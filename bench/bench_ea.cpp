@@ -1,0 +1,95 @@
+// Ablation: evolutionary search vs pure random search at equal latency-
+// query budget (supernet accuracy disabled so the comparison isolates the
+// search strategy on the latency objective).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "hgnas/search.hpp"
+
+namespace {
+
+using namespace hg;
+
+double best_random(std::int64_t budget, const hw::Device& dev,
+                   const hgnas::Workload& w, std::uint64_t seed) {
+  Rng rng(seed);
+  hgnas::SpaceConfig space;
+  space.num_positions = 12;
+  double best = 1e18;
+  for (std::int64_t i = 0; i < budget; ++i) {
+    const auto a = hgnas::random_arch(space, rng);
+    best = std::min(best, dev.latency_ms(lower_to_trace(a, w)));
+  }
+  return best;
+}
+
+double best_ea(std::int64_t iterations, const hw::Device& dev,
+               const hgnas::Workload& w, std::uint64_t seed) {
+  // Minimal EA on latency only (mirrors the stage-2 loop's selection
+  // pressure without the supernet).
+  Rng rng(seed);
+  hgnas::SpaceConfig space;
+  space.num_positions = 12;
+  std::vector<std::pair<double, hgnas::Arch>> pop;
+  for (int i = 0; i < 16; ++i) {
+    auto a = hgnas::random_arch(space, rng);
+    pop.emplace_back(dev.latency_ms(lower_to_trace(a, w)), a);
+  }
+  for (std::int64_t t = 0; t < iterations; ++t) {
+    std::sort(pop.begin(), pop.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    pop.resize(16);
+    for (int c = 0; c < 8; ++c) {
+      const auto& parent =
+          pop[static_cast<std::size_t>(rng.uniform_int(std::uint64_t{8}))]
+              .second;
+      auto child = hgnas::mutate(parent, 0.2, 0.2, rng);
+      pop.emplace_back(dev.latency_ms(lower_to_trace(child, w)), child);
+    }
+  }
+  std::sort(pop.begin(), pop.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return pop.front().first;
+}
+
+void BM_RandomSearch(benchmark::State& state) {
+  hw::Device dev = hw::make_device(hw::DeviceKind::Rtx3080);
+  hgnas::Workload w;
+  w.num_points = 1024;
+  w.k = 20;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(best_random(16 + 8 * state.range(0), dev, w, 1));
+}
+BENCHMARK(BM_RandomSearch)->Arg(20)->Arg(50);
+
+void BM_EvolutionarySearch(benchmark::State& state) {
+  hw::Device dev = hw::make_device(hw::DeviceKind::Rtx3080);
+  hgnas::Workload w;
+  w.num_points = 1024;
+  w.k = 20;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(best_ea(state.range(0), dev, w, 1));
+}
+BENCHMARK(BM_EvolutionarySearch)->Arg(20)->Arg(50);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Quality-at-equal-budget report, then timing benchmarks.
+  hg::hw::Device dev = hg::hw::make_device(hg::hw::DeviceKind::Rtx3080);
+  hg::hgnas::Workload w;
+  w.num_points = 1024;
+  w.k = 20;
+  for (std::int64_t iters : {20, 50}) {
+    const double ea = best_ea(iters, dev, w, 42);
+    const double rnd = best_random(16 + 8 * iters, dev, w, 42);
+    std::printf("budget %3lld iters: EA best %.2f ms | random best %.2f ms "
+                "(EA advantage %.1f%%)\n",
+                static_cast<long long>(iters), ea, rnd,
+                100.0 * (rnd - ea) / rnd);
+  }
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

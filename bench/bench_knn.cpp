@@ -1,0 +1,45 @@
+// Micro-benchmark: brute-force vs grid-accelerated KNN graph construction
+// (ablation for the graph substrate's dispatch heuristic).
+#include <benchmark/benchmark.h>
+
+#include "graph/graph.hpp"
+#include "tensor/rng.hpp"
+
+namespace {
+
+std::vector<float> random_points(std::int64_t n) {
+  hg::Rng rng(static_cast<std::uint64_t>(n));
+  std::vector<float> pts(static_cast<std::size_t>(n) * 3);
+  for (auto& v : pts) v = rng.uniform(-1.f, 1.f);
+  return pts;
+}
+
+void BM_KnnBrute(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const auto pts = random_points(n);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(hg::graph::knn_graph_brute(pts, n, 16));
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_KnnBrute)->Arg(128)->Arg(256)->Arg(512)->Arg(1024)->Complexity();
+
+void BM_KnnGrid(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const auto pts = random_points(n);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(hg::graph::knn_graph_grid(pts, n, 16));
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_KnnGrid)->Arg(128)->Arg(256)->Arg(512)->Arg(1024)->Complexity();
+
+void BM_RandomSample(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  hg::Rng rng(1);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(hg::graph::random_graph(n, 16, rng));
+}
+BENCHMARK(BM_RandomSample)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// §III-D claim: predictor queries cost milliseconds, simulated on-device
+// measurement costs seconds-to-minutes. Benchmarks the real query latency
+// of the predictor forward pass and of trace lowering + analytical cost.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "predictor/predictor.hpp"
+
+namespace {
+
+using namespace hg;
+
+hgnas::Workload workload() {
+  hgnas::Workload w;
+  w.num_points = 1024;
+  w.k = 20;
+  return w;
+}
+
+void BM_PredictorQuery(benchmark::State& state) {
+  Rng rng(1);
+  predictor::PredictorConfig cfg;
+  // Paper-size predictor: GCN 256-512-512, MLP 256-128-1.
+  if (state.range(0) == 1) {
+    cfg.gcn_dims = {256, 512, 512};
+    cfg.mlp_dims = {256, 128, 1};
+  }
+  predictor::LatencyPredictor pred(cfg, workload(), rng);
+  hgnas::SpaceConfig space;
+  space.num_positions = 12;
+  hgnas::Arch a = hgnas::random_arch(space, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(pred.predict_ms(a));
+}
+BENCHMARK(BM_PredictorQuery)
+    ->Arg(0)  // scaled predictor
+    ->Arg(1)  // paper-size predictor
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ArchToGraph(benchmark::State& state) {
+  Rng rng(2);
+  hgnas::SpaceConfig space;
+  space.num_positions = 12;
+  hgnas::Arch a = hgnas::random_arch(space, rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(predictor::arch_to_graph(a, workload()));
+}
+BENCHMARK(BM_ArchToGraph);
+
+void BM_AnalyticalLatency(benchmark::State& state) {
+  Rng rng(3);
+  hgnas::SpaceConfig space;
+  space.num_positions = 12;
+  hgnas::Arch a = hgnas::random_arch(space, rng);
+  hw::Device dev = hw::make_device(hw::DeviceKind::Rtx3080);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(dev.latency_ms(lower_to_trace(a, workload())));
+}
+BENCHMARK(BM_AnalyticalLatency);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Design-space ablation: cardinality of the operation vs full fine-grained
+// space (§III-C complexity claim) and sampling / lowering throughput.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "hgnas/arch.hpp"
+
+namespace {
+
+using namespace hg;
+
+void BM_RandomArchSampling(benchmark::State& state) {
+  hgnas::SpaceConfig cfg;
+  cfg.num_positions = state.range(0);
+  Rng rng(1);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(hgnas::random_arch(cfg, rng));
+}
+BENCHMARK(BM_RandomArchSampling)->Arg(6)->Arg(12)->Arg(24);
+
+void BM_LowerToTrace(benchmark::State& state) {
+  hgnas::SpaceConfig cfg;
+  cfg.num_positions = 12;
+  Rng rng(2);
+  hgnas::Arch a = hgnas::random_arch(cfg, rng);
+  hgnas::Workload w;
+  w.num_points = state.range(0);
+  w.k = 20;
+  for (auto _ : state) benchmark::DoNotOptimize(lower_to_trace(a, w));
+}
+BENCHMARK(BM_LowerToTrace)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_MutateAndCrossover(benchmark::State& state) {
+  hgnas::SpaceConfig cfg;
+  cfg.num_positions = 12;
+  Rng rng(3);
+  hgnas::Arch a = hgnas::random_arch(cfg, rng);
+  hgnas::Arch b = hgnas::random_arch(cfg, rng);
+  for (auto _ : state) {
+    hgnas::Arch child = hgnas::crossover(a, b, rng);
+    benchmark::DoNotOptimize(hgnas::mutate(child, 0.2, 0.2, rng));
+  }
+}
+BENCHMARK(BM_MutateAndCrossover);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Space-size report (the §III-C numbers), then the micro-benchmarks.
+  hg::hgnas::SpaceConfig cfg;
+  cfg.num_positions = 12;
+  std::printf("design-space cardinality (12 positions):\n");
+  std::printf("  operation space (functions shared): 10^%.2f  (~1.7e7)\n",
+              hg::hgnas::log10_operation_space_size(cfg));
+  std::printf("  full fine-grained space:            10^%.2f\n",
+              hg::hgnas::log10_full_space_size(cfg));
+
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,51 @@
+// profile_devices — Observation ① / ③ of the paper on the device models:
+// per-op profiling of DGCNN on all four platforms, execution-time
+// breakdowns, and the point-count scaling sweep with OOM detection.
+#include <cstdio>
+
+#include "baselines/baselines.hpp"
+#include "hw/profiler.hpp"
+
+int main() {
+  using namespace hg;
+
+  std::printf("== DGCNN execution-time breakdown (1024 points) ==\n");
+  const hw::Trace dgcnn = hw::dgcnn_reference_trace(1024);
+  for (int d = 0; d < hw::kNumDevices; ++d) {
+    hw::Device dev = hw::make_device(static_cast<hw::DeviceKind>(d));
+    std::printf("%-18s %s\n", dev.name().c_str(),
+                hw::breakdown_summary(dev, dgcnn).c_str());
+  }
+
+  std::printf("\n== point-count scaling on every device ==\n");
+  std::printf("%8s", "points");
+  for (int d = 0; d < hw::kNumDevices; ++d)
+    std::printf(" %16s", hw::device_kind_name(
+                             static_cast<hw::DeviceKind>(d)).c_str());
+  std::printf("\n");
+  for (std::int64_t n : {128, 256, 512, 1024, 1536, 2048}) {
+    const hw::Trace t = hw::dgcnn_reference_trace(n);
+    std::printf("%8lld", static_cast<long long>(n));
+    for (int d = 0; d < hw::kNumDevices; ++d) {
+      hw::Device dev = hw::make_device(static_cast<hw::DeviceKind>(d));
+      if (dev.would_oom(t))
+        std::printf(" %16s", "OOM");
+      else
+        std::printf(" %13.1f ms", dev.latency_ms(t));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n== full per-op profile: Intel i7-8700K ==\n%s",
+              hw::profile_report(
+                  hw::make_device(hw::DeviceKind::IntelI7_8700K), dgcnn)
+                  .c_str());
+
+  std::printf("\n== power-efficiency claim (paper §I) ==\n");
+  hw::Device rtx = hw::make_device(hw::DeviceKind::Rtx3080);
+  hw::Device tx2 = hw::make_device(hw::DeviceKind::JetsonTx2);
+  std::printf("RTX3080 %.0f W vs Jetson TX2 %.1f W -> %.0fx power budget\n",
+              rtx.spec().power_w, tx2.spec().power_w,
+              rtx.spec().power_w / tx2.spec().power_w);
+  return 0;
+}

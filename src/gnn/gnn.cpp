@@ -1,0 +1,173 @@
+#include "gnn/gnn.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hg::gnn {
+
+namespace {
+
+/// Row-wise L2 norm of a [E, C] tensor -> [E, 1], differentiable.
+Tensor row_norm(const Tensor& d) {
+  Tensor sq = square(d);
+  Tensor s = sum_axis(sq, 1);                     // [E]
+  Tensor s2 = reshape(s, {s.shape()[0], 1});      // [E,1]
+  return sqrt_op(add(s2, 1e-12f));
+}
+
+}  // namespace
+
+std::string message_type_name(MessageType mt) {
+  switch (mt) {
+    case MessageType::SourcePos: return "source_pos";
+    case MessageType::TargetPos: return "target_pos";
+    case MessageType::RelPos: return "rel_pos";
+    case MessageType::Distance: return "distance";
+    case MessageType::SourceRel: return "source||rel";
+    case MessageType::TargetRel: return "target||rel";
+    case MessageType::Full: return "full";
+  }
+  return "unknown";
+}
+
+std::int64_t message_dim(MessageType mt, std::int64_t in_dim) {
+  switch (mt) {
+    case MessageType::SourcePos:
+    case MessageType::TargetPos:
+    case MessageType::RelPos: return in_dim;
+    case MessageType::Distance: return 1;
+    case MessageType::SourceRel:
+    case MessageType::TargetRel: return 2 * in_dim;
+    case MessageType::Full: return 3 * in_dim + 1;
+  }
+  throw std::invalid_argument("message_dim: unknown message type");
+}
+
+Tensor build_messages(const Tensor& x, const graph::EdgeList& g,
+                      MessageType mt) {
+  if (x.dim() != 2)
+    throw std::invalid_argument("build_messages: x must be [N, C]");
+  if (x.shape()[0] != g.num_nodes)
+    throw std::invalid_argument(
+        "build_messages: node count mismatch between features (" +
+        std::to_string(x.shape()[0]) + ") and graph (" +
+        std::to_string(g.num_nodes) + ")");
+
+  const std::span<const std::int64_t> src(g.src);
+  const std::span<const std::int64_t> dst(g.dst);
+  switch (mt) {
+    case MessageType::SourcePos: return gather_rows(x, src);
+    case MessageType::TargetPos: return gather_rows(x, dst);
+    case MessageType::RelPos:
+      return sub(gather_rows(x, src), gather_rows(x, dst));
+    case MessageType::Distance: {
+      Tensor rel = sub(gather_rows(x, src), gather_rows(x, dst));
+      return row_norm(rel);
+    }
+    case MessageType::SourceRel: {
+      Tensor xs = gather_rows(x, src);
+      Tensor rel = sub(xs, gather_rows(x, dst));
+      return concat({xs, rel}, 1);
+    }
+    case MessageType::TargetRel: {
+      Tensor xs = gather_rows(x, src);
+      Tensor xt = gather_rows(x, dst);
+      return concat({xt, sub(xs, xt)}, 1);
+    }
+    case MessageType::Full: {
+      Tensor xs = gather_rows(x, src);
+      Tensor xt = gather_rows(x, dst);
+      Tensor rel = sub(xs, xt);
+      return concat({xt, xs, rel, row_norm(rel)}, 1);
+    }
+  }
+  throw std::invalid_argument("build_messages: unknown message type");
+}
+
+Tensor aggregate(const Tensor& x, const graph::EdgeList& g, MessageType mt,
+                 Reduce reduce) {
+  Tensor msgs = build_messages(x, g, mt);
+  return scatter_reduce(msgs, g.dst, g.num_nodes, reduce);
+}
+
+Tensor global_max_pool(const Tensor& x) {
+  Tensor m = max_axis0(x);
+  return reshape(m, {1, m.shape()[0]});
+}
+
+Tensor global_mean_pool(const Tensor& x) {
+  Tensor m = mean_axis(x, 0);
+  return reshape(m, {1, m.shape()[0]});
+}
+
+EdgeConv::EdgeConv(std::int64_t in_dim, std::int64_t out_dim, Rng& rng)
+    : in_dim_(in_dim), out_dim_(out_dim) {
+  lin_ = std::make_unique<nn::Linear>(2 * in_dim, out_dim, rng);
+  bn_ = std::make_unique<nn::BatchNorm1d>(out_dim);
+}
+
+Tensor EdgeConv::forward(const Tensor& x, const graph::EdgeList& g) {
+  Tensor msgs = build_messages(x, g, MessageType::TargetRel);  // [E, 2*in]
+  Tensor h = lin_->forward(msgs);
+  h = bn_->forward(h);
+  h = leaky_relu(h, 0.2f);  // DGCNN uses LeakyReLU(0.2)
+  return scatter_reduce(h, g.dst, g.num_nodes, Reduce::Max);
+}
+
+std::vector<Tensor> EdgeConv::parameters() const {
+  std::vector<Tensor> out;
+  for (auto& p : lin_->parameters()) out.push_back(p);
+  for (auto& p : bn_->parameters()) out.push_back(p);
+  return out;
+}
+
+void EdgeConv::set_training(bool training) {
+  Module::set_training(training);
+  lin_->set_training(training);
+  bn_->set_training(training);
+}
+
+GcnLayer::GcnLayer(std::int64_t in_dim, std::int64_t out_dim, Rng& rng,
+                   Reduce reduce)
+    : in_dim_(in_dim), out_dim_(out_dim), reduce_(reduce) {
+  lin_ = std::make_unique<nn::Linear>(in_dim, out_dim, rng);
+}
+
+Tensor GcnLayer::forward(const Tensor& x, const graph::EdgeList& g) {
+  if (x.shape()[0] != g.num_nodes)
+    throw std::invalid_argument("GcnLayer: node count mismatch");
+  Tensor h = lin_->forward(x);  // transform first: cheaper when out < in
+
+  // Symmetric normalisation with self-loops: deg includes the loop.
+  const std::int64_t n = g.num_nodes;
+  std::vector<float> deg(static_cast<std::size_t>(n), 1.f);
+  for (auto d : g.dst) deg[static_cast<std::size_t>(d)] += 1.f;
+  std::vector<float> inv_sqrt(static_cast<std::size_t>(n));
+  for (std::int64_t v = 0; v < n; ++v)
+    inv_sqrt[static_cast<std::size_t>(v)] =
+        1.f / std::sqrt(deg[static_cast<std::size_t>(v)]);
+
+  // Edge messages scaled by 1/sqrt(deg_u * deg_v), plus the self-loop term.
+  Tensor msgs = gather_rows(h, g.src);  // [E, out]
+  std::vector<float> scale(g.src.size());
+  for (std::size_t e = 0; e < g.src.size(); ++e)
+    scale[e] = inv_sqrt[static_cast<std::size_t>(g.src[e])] *
+               inv_sqrt[static_cast<std::size_t>(g.dst[e])];
+  const auto num_scaled = static_cast<std::int64_t>(scale.size());
+  Tensor scale_t = Tensor::from_vector({num_scaled, 1}, std::move(scale));
+  msgs = mul(msgs, scale_t);
+  Tensor agg = scatter_reduce(msgs, g.dst, n, reduce_);
+
+  std::vector<float> self_scale(static_cast<std::size_t>(n));
+  for (std::int64_t v = 0; v < n; ++v)
+    self_scale[static_cast<std::size_t>(v)] =
+        inv_sqrt[static_cast<std::size_t>(v)] *
+        inv_sqrt[static_cast<std::size_t>(v)];
+  Tensor self_t =
+      Tensor::from_vector({n, 1}, std::move(self_scale));
+  return add(agg, mul(h, self_t));
+}
+
+std::vector<Tensor> GcnLayer::parameters() const { return lin_->parameters(); }
+
+}  // namespace hg::gnn

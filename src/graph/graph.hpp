@@ -1,0 +1,95 @@
+// graph.hpp — graph structures and graph-construction kernels.
+//
+// In point-cloud GNNs (DGCNN and everything HGNAS searches over) the graph
+// is not given: it is *constructed* per layer by a Sample operation (KNN or
+// random neighbour sampling). This module provides those kernels plus the
+// COO/CSR containers the aggregation stage consumes.
+//
+// Edge convention: an edge (src -> dst) carries a message from neighbour
+// `src` into centre node `dst`; aggregation reduces over incoming edges.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/rng.hpp"
+
+namespace hg::graph {
+
+/// Coordinate-format edge list. Parallel arrays; edge e is src[e] -> dst[e].
+struct EdgeList {
+  std::int64_t num_nodes = 0;
+  std::vector<std::int64_t> src;
+  std::vector<std::int64_t> dst;
+
+  std::int64_t num_edges() const {
+    return static_cast<std::int64_t>(src.size());
+  }
+  void add_edge(std::int64_t s, std::int64_t d) {
+    src.push_back(s);
+    dst.push_back(d);
+  }
+};
+
+/// Compressed-sparse-row view grouped by destination node: the incoming
+/// neighbours of node v are neighbors[row_ptr[v] .. row_ptr[v+1]).
+struct Csr {
+  std::int64_t num_nodes = 0;
+  std::vector<std::int64_t> row_ptr;    // size num_nodes + 1
+  std::vector<std::int64_t> neighbors;  // size num_edges (source nodes)
+
+  std::int64_t num_edges() const {
+    return static_cast<std::int64_t>(neighbors.size());
+  }
+  std::int64_t degree(std::int64_t v) const {
+    return row_ptr[static_cast<std::size_t>(v + 1)] -
+           row_ptr[static_cast<std::size_t>(v)];
+  }
+};
+
+/// Group edges by destination. O(V + E), stable within each row.
+Csr to_csr(const EdgeList& edges);
+
+/// Exact k-nearest-neighbour graph over 3-D points by brute force
+/// (O(N^2) distances, O(N k log k) selection). `points` is row-major
+/// [n x 3]. Self-loops are excluded; if k >= n, every other point is a
+/// neighbour. Edge direction: neighbour -> centre.
+EdgeList knn_graph_brute(std::span<const float> points, std::int64_t n,
+                         std::int64_t k);
+
+/// KNN via a uniform spatial grid: points are binned into cells of width
+/// equal to an estimated kth-neighbour radius, and the search expands in
+/// cell rings until k candidates are guaranteed exact. Same output
+/// contract as knn_graph_brute (ties may order differently).
+EdgeList knn_graph_grid(std::span<const float> points, std::int64_t n,
+                        std::int64_t k);
+
+/// Default KNN used by models: grid when it pays off, brute otherwise.
+EdgeList knn_graph(std::span<const float> points, std::int64_t n,
+                   std::int64_t k);
+
+/// Random-neighbour graph: each node draws k distinct neighbours uniformly
+/// from the other nodes. This is the cheap `Sample = Random` alternative in
+/// the HGNAS function space (no distance computation at all).
+EdgeList random_graph(std::int64_t n, std::int64_t k, Rng& rng);
+
+/// Feature-space KNN over arbitrary-dimension rows ([n x dim]); used when a
+/// model reconstructs the graph dynamically from hidden features, as DGCNN
+/// does in its deeper EdgeConv layers.
+EdgeList knn_graph_features(std::span<const float> features, std::int64_t n,
+                            std::int64_t dim, std::int64_t k);
+
+/// Dataset-level properties encoded into the predictor's global node.
+struct GraphProperties {
+  std::int64_t num_nodes = 0;
+  std::int64_t num_edges = 0;
+  double density = 0.0;     // E / (V * (V - 1))
+  double avg_degree = 0.0;  // E / V
+  std::int64_t max_degree = 0;
+  std::int64_t min_degree = 0;
+};
+
+GraphProperties compute_properties(const EdgeList& edges);
+
+}  // namespace hg::graph

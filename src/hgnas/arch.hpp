@@ -1,0 +1,200 @@
+// arch.hpp — the fine-grained operation-based GNN design space (paper §III-B).
+//
+// HGNAS decouples the message-passing paradigm into *positions*, each
+// holding one basic operation (Connect / Aggregate / Combine / Sample) with
+// operation-specific function attributes (Table I):
+//
+//   Connect   : skip-connect | identity
+//   Aggregate : aggregator {sum, min, max, mean} x message type
+//               {source, target, rel, distance, source||rel, target||rel, full}
+//   Combine   : output dimension {8, 16, 32, 64, 128, 256}
+//   Sample    : KNN | Random
+//
+// An `Arch` assigns a gene (operation + functions) to every position. The
+// hierarchical space splits this into a Function Space (attribute choices,
+// shared across the upper / lower half of positions in stage 1) and an
+// Operation Space (the 4^N operation-type assignment searched in stage 2).
+//
+// Execution semantics (mirrored exactly by the cost-model lowering):
+//  * Features flow h_0 = input points -> positions in order -> head.
+//  * Sample rebuilds the neighbour graph from *current* features; adjacent
+//    Sample ops with no feature change in between are merged (Fig. 10 note).
+//  * Aggregate lazily triggers an initial KNN on raw points if no Sample
+//    has run yet (point-cloud GNNs always need a first graph).
+//  * Aggregate changes the channel count to message_dim(msg, d) and carries
+//    no weights in the finalised network (supernet alignment layers are
+//    disposed of, per §III-B).
+//  * Combine is Linear(d -> c) + BatchNorm + LeakyReLU.
+//  * Skip-connect adds the features recorded at the previous Connect (or
+//    the input) when channel counts match, and degrades to identity
+//    otherwise (the finalised network carries no alignment weights).
+//  * Head: global max pool -> MLP(d -> 128 -> classes).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gnn/gnn.hpp"
+#include "hw/device.hpp"
+#include "tensor/rng.hpp"
+
+namespace hg::hgnas {
+
+enum class OpType : std::int64_t { Connect = 0, Aggregate, Combine, Sample };
+constexpr std::int64_t kNumOpTypes = 4;
+
+enum class ConnectFunc : std::int64_t { SkipConnect = 0, Identity };
+constexpr std::int64_t kNumConnectFuncs = 2;
+
+enum class AggrType : std::int64_t { Sum = 0, Min, Max, Mean };
+constexpr std::int64_t kNumAggrTypes = 4;
+
+enum class SampleFunc : std::int64_t { Knn = 0, Random };
+constexpr std::int64_t kNumSampleFuncs = 2;
+
+/// Combine output dimensions from Table I.
+constexpr std::array<std::int64_t, 6> kCombineDims = {8, 16, 32, 64, 128, 256};
+constexpr std::int64_t kNumCombineDims = 6;
+
+std::string op_type_name(OpType t);
+std::string connect_func_name(ConnectFunc f);
+std::string aggr_type_name(AggrType a);
+std::string sample_func_name(SampleFunc s);
+
+Reduce to_reduce(AggrType a);
+
+/// Function attributes for one position (only the fields matching the
+/// position's OpType are meaningful, but all are always populated so the
+/// same struct serves as the shared per-half function set of stage 1).
+struct FunctionSet {
+  ConnectFunc connect = ConnectFunc::Identity;
+  AggrType aggr = AggrType::Max;
+  gnn::MessageType msg = gnn::MessageType::TargetRel;
+  std::int64_t combine_dim_idx = 3;  // index into kCombineDims
+  SampleFunc sample = SampleFunc::Knn;
+
+  std::int64_t combine_dim() const {
+    return kCombineDims[static_cast<std::size_t>(combine_dim_idx)];
+  }
+  bool operator==(const FunctionSet&) const = default;
+};
+
+/// One position's gene: operation type + its functions.
+struct PositionGene {
+  OpType op = OpType::Connect;
+  FunctionSet fn;
+
+  bool operator==(const PositionGene&) const = default;
+};
+
+/// A complete architecture in the fine-grained design space.
+struct Arch {
+  std::vector<PositionGene> genes;
+
+  std::int64_t num_positions() const {
+    return static_cast<std::int64_t>(genes.size());
+  }
+  bool operator==(const Arch&) const = default;
+
+  /// Stable content hash (population dedup).
+  std::uint64_t hash() const;
+};
+
+/// Workload description an architecture runs against (drives cost lowering
+/// and graph-property features for the predictor).
+struct Workload {
+  std::int64_t num_points = 1024;
+  std::int64_t k = 20;          // neighbours per sample op
+  std::int64_t num_classes = 40;
+  std::int64_t in_dim = 3;
+};
+
+/// Static configuration of the design space.
+struct SpaceConfig {
+  std::int64_t num_positions = 12;
+  std::int64_t head_hidden = 128;
+};
+
+/// dead[i] is true when a Sample at position i can never influence the
+/// output because no Aggregate follows it — such samples are eliminated
+/// during execution and lowering (together with the adjacent-sample
+/// merging of Fig. 10).
+std::vector<bool> dead_sample_mask(const Arch& arch);
+
+/// Which graph-construction work each position really performs at run
+/// time, after dead-sample elimination and adjacent-sample merging. Used
+/// by the trace lowering and exposed to the latency predictor as node
+/// features (a merged sample is free; the first Aggregate without a prior
+/// Sample pays for an implicit KNN).
+struct ExecMarks {
+  std::vector<bool> sample_executes;      // Sample positions that run
+  std::vector<bool> implicit_initial_knn; // Aggregates that lazily build
+                                          // the first graph
+};
+
+ExecMarks compute_exec_marks(const Arch& arch);
+
+/// Channel count after each position when the arch executes on `w`
+/// (size num_positions + 1; [0] is the input dim). Needed by the supernet,
+/// the materialised model, the lowering and the predictor alike.
+std::vector<std::int64_t> channel_flow(const Arch& arch, const Workload& w);
+
+/// Lower an architecture to a hardware trace (see execution semantics at
+/// the top of this header, including adjacent-sample merging and the lazy
+/// initial KNN).
+hw::Trace lower_to_trace(const Arch& arch, const Workload& w);
+
+/// Model weight footprint (MB, fp32) of the finalised network.
+double arch_param_mb(const Arch& arch, const Workload& w);
+
+/// Multi-line human-readable visualisation (Fig. 10 style): one line per
+/// *effective* op (merged samples collapsed), annotated with functions.
+std::string visualize(const Arch& arch, const Workload& w);
+
+// ---- sampling & genetic operators ------------------------------------------
+
+/// Canonical form: function attributes that the position's operation does
+/// not use are reset to defaults. Two architectures with equal canonical
+/// forms execute identically; the EA dedups on this, and text
+/// serialisation round-trips exactly on canonical archs.
+Arch canonicalize(const Arch& arch);
+
+/// Uniformly random architecture over the full fine-grained space.
+Arch random_arch(const SpaceConfig& cfg, Rng& rng);
+
+/// Uniformly random function set.
+FunctionSet random_functions(Rng& rng);
+
+/// Random operation assignment with the two per-half function sets stamped
+/// on (stage-2 sampling in the hierarchical space).
+Arch random_arch_with_functions(const SpaceConfig& cfg,
+                                const FunctionSet& upper,
+                                const FunctionSet& lower, Rng& rng);
+
+/// Stamp shared per-half functions onto an existing operation assignment.
+void apply_functions(Arch& arch, const FunctionSet& upper,
+                     const FunctionSet& lower);
+
+/// Mutate: each position's operation resampled with prob `p_op`; each
+/// function attribute resampled with prob `p_fn` (full space).
+Arch mutate(const Arch& parent, double p_op, double p_fn, Rng& rng);
+
+/// Mutate operations only (stage 2; functions preserved).
+Arch mutate_ops(const Arch& parent, double p_op, Rng& rng);
+
+/// Uniform crossover per position.
+Arch crossover(const Arch& a, const Arch& b, Rng& rng);
+
+/// Mutate one shared function set (stage 1).
+FunctionSet mutate_functions(const FunctionSet& parent, double p, Rng& rng);
+
+/// Number of architectures in the operation space (4^N) and in the full
+/// fine-grained space ((sum of per-op function counts)^N = 38^N), as
+/// log10 values to avoid overflow. Verifies the paper's §III-C claim that
+/// function sharing shrinks exploration from ~1e12 to ~1.7e7 candidates.
+double log10_operation_space_size(const SpaceConfig& cfg);
+double log10_full_space_size(const SpaceConfig& cfg);
+
+}  // namespace hg::hgnas

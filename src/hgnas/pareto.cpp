@@ -1,0 +1,48 @@
+#include "hgnas/pareto.hpp"
+
+#include <algorithm>
+
+namespace hg::hgnas {
+
+bool dominates(const ParetoPoint& a, const ParetoPoint& b) {
+  const bool no_worse =
+      a.accuracy >= b.accuracy && a.latency_ms <= b.latency_ms;
+  const bool strictly_better =
+      a.accuracy > b.accuracy || a.latency_ms < b.latency_ms;
+  return no_worse && strictly_better;
+}
+
+std::vector<ParetoPoint> pareto_front(std::vector<ParetoPoint> points) {
+  std::sort(points.begin(), points.end(),
+            [](const ParetoPoint& a, const ParetoPoint& b) {
+              if (a.latency_ms != b.latency_ms)
+                return a.latency_ms < b.latency_ms;
+              return a.accuracy > b.accuracy;
+            });
+  std::vector<ParetoPoint> front;
+  double best_acc = -1.0;
+  for (auto& p : points) {
+    if (p.accuracy > best_acc) {
+      best_acc = p.accuracy;
+      front.push_back(std::move(p));
+    }
+  }
+  return front;
+}
+
+double dominance_ratio(const std::vector<ParetoPoint>& ours,
+                       const std::vector<ParetoPoint>& theirs) {
+  if (theirs.empty()) return 0.0;
+  std::size_t dominated = 0;
+  for (const auto& t : theirs) {
+    for (const auto& o : ours) {
+      if (dominates(o, t)) {
+        ++dominated;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(dominated) / static_cast<double>(theirs.size());
+}
+
+}  // namespace hg::hgnas

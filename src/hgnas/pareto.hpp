@@ -1,0 +1,36 @@
+// pareto.hpp — accuracy/latency Pareto-front utilities.
+//
+// The paper's Fig. 6 frames results as an accuracy-vs-latency frontier
+// ("HGNAS consistently maintains a better performance frontier"). These
+// helpers extract non-dominated sets from scored candidates so frontiers
+// can be computed for any population or search log.
+#pragma once
+
+#include <vector>
+
+#include "hgnas/arch.hpp"
+
+namespace hg::hgnas {
+
+/// One evaluated design point (higher accuracy better, lower latency
+/// better).
+struct ParetoPoint {
+  Arch arch;
+  double accuracy = 0.0;
+  double latency_ms = 0.0;
+};
+
+/// True iff `a` dominates `b`: at least as good on both axes and strictly
+/// better on one.
+bool dominates(const ParetoPoint& a, const ParetoPoint& b);
+
+/// Non-dominated subset, sorted by ascending latency. Duplicated points
+/// (same accuracy and latency) are kept once.
+std::vector<ParetoPoint> pareto_front(std::vector<ParetoPoint> points);
+
+/// Fraction of `theirs` dominated by at least one point of `ours` — a
+/// scalar summary of "maintains a better frontier".
+double dominance_ratio(const std::vector<ParetoPoint>& ours,
+                       const std::vector<ParetoPoint>& theirs);
+
+}  // namespace hg::hgnas

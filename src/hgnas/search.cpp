@@ -1,0 +1,308 @@
+#include "hgnas/search.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace hg::hgnas {
+
+namespace {
+
+void check(bool cond, const std::string& msg) {
+  if (!cond) throw std::invalid_argument("HgnasSearch: " + msg);
+}
+
+}  // namespace
+
+LatencyFn make_measurement_evaluator(const hw::Device& device,
+                                     const Workload& workload,
+                                     std::uint64_t seed) {
+  check(device.spec().supports_online_measurement,
+        "device " + device.name() +
+            " does not support online measurement (paper §IV-D); use the "
+            "predictor instead");
+  auto rng = std::make_shared<Rng>(seed);
+  return [&device, workload, rng](const Arch& arch) -> LatencyEval {
+    const hw::Trace trace = lower_to_trace(arch, workload);
+    const hw::Measurement m = device.measure(trace, *rng);
+    return {m.latency_ms, m.wall_clock_s, m.oom, m.peak_memory_mb};
+  };
+}
+
+LatencyFn make_oracle_evaluator(const hw::Device& device,
+                                const Workload& workload) {
+  return [&device, workload](const Arch& arch) -> LatencyEval {
+    const hw::Trace trace = lower_to_trace(arch, workload);
+    return {device.latency_ms(trace), 0.0, device.would_oom(trace),
+            device.peak_memory_mb(trace)};
+  };
+}
+
+HgnasSearch::HgnasSearch(SuperNet& supernet, const pointcloud::Dataset& data,
+                         SearchConfig cfg, LatencyFn latency)
+    : supernet_(supernet), data_(data), cfg_(std::move(cfg)),
+      latency_(std::move(latency)) {
+  check(static_cast<bool>(latency_), "latency evaluator required");
+  check(cfg_.population >= 2, "population must be >= 2");
+  check(cfg_.parents >= 1 && cfg_.parents <= cfg_.population,
+        "parents must be in [1, population]");
+  check(cfg_.iterations >= 1, "iterations must be >= 1");
+  check(cfg_.latency_scale_ms > 0.0, "latency_scale_ms must be positive");
+  check(cfg_.space.num_positions == supernet.space().num_positions,
+        "search space and supernet disagree on position count");
+}
+
+double HgnasSearch::objective(double acc, double latency_ms, bool oom) const {
+  if (oom || latency_ms >= cfg_.latency_constraint_ms) return 0.0;  // Eq. (3)
+  return cfg_.alpha * acc - cfg_.beta * latency_ms / cfg_.latency_scale_ms;
+}
+
+bool HgnasSearch::feasible(const LatencyEval& lat, double size_mb) const {
+  if (lat.oom) return false;
+  if (lat.latency_ms >= cfg_.latency_constraint_ms) return false;
+  if (lat.peak_memory_mb > 0.0 &&
+      lat.peak_memory_mb >= cfg_.memory_constraint_mb)
+    return false;
+  if (size_mb >= cfg_.size_constraint_mb) return false;
+  return true;
+}
+
+double HgnasSearch::supernet_accuracy(const Arch& arch, Rng& rng) {
+  ++accuracy_probes_;
+  const std::int64_t probes =
+      std::min<std::int64_t>(cfg_.eval_val_samples,
+                             static_cast<std::int64_t>(data_.test().size()));
+  advance_clock(static_cast<double>(probes) * cfg_.sim_eval_s_per_sample);
+  return supernet_.evaluate(arch, data_.test(), probes, rng);
+}
+
+HgnasSearch::Scored HgnasSearch::score_candidate(const Arch& arch, Rng& rng) {
+  Scored s;
+  s.arch = arch;
+  ++latency_queries_;
+  const LatencyEval lat = latency_(arch);
+  advance_clock(lat.cost_s);
+  s.latency_ms = lat.oom ? std::numeric_limits<double>::infinity()
+                         : lat.latency_ms;
+  if (!feasible(lat, arch_param_mb(arch, cfg_.workload))) {
+    s.fitness = 0.0;  // Eq. (3): accuracy never probed when infeasible
+    s.is_feasible = false;
+    return s;
+  }
+  s.acc = supernet_accuracy(arch, rng);
+  s.fitness = objective(s.acc, s.latency_ms, false);
+  s.is_feasible = true;
+  return s;
+}
+
+SearchResult HgnasSearch::evolve_operations(const FunctionSet& upper,
+                                            const FunctionSet& lower,
+                                            bool full_space, Rng& rng) {
+  SearchResult result;
+  result.upper = upper;
+  result.lower = lower;
+
+  auto sample_candidate = [&](Rng& r) {
+    return full_space ? random_arch(cfg_.space, r)
+                      : random_arch_with_functions(cfg_.space, upper, lower,
+                                                   r);
+  };
+
+  std::vector<Scored> population;
+  std::unordered_set<std::uint64_t> seen;
+  std::unordered_map<std::uint64_t, Scored> cache;
+
+  auto admit = [&](const Arch& a) -> bool {
+    // Dedup on the canonical form: genomes differing only in unused
+    // function attributes execute identically and must not both consume
+    // evaluation budget.
+    const auto h = canonicalize(a).hash();
+    if (!seen.insert(h).second) return false;
+    auto it = cache.find(h);
+    Scored s = (it != cache.end()) ? it->second : score_candidate(a, rng);
+    cache.emplace(h, s);
+    population.push_back(std::move(s));
+    return true;
+  };
+
+  while (static_cast<std::int64_t>(population.size()) < cfg_.population)
+    admit(sample_candidate(rng));
+
+  // Ranking: any feasible candidate beats any infeasible one (Eq. (3)
+  // scores feasible candidates, which can legitimately go negative when
+  // beta is large — that must still outrank a constraint violation). Among
+  // infeasible candidates, lower latency first, so selection pressure
+  // points toward feasibility even when the whole population violates C.
+  auto by_fitness = [](const Scored& a, const Scored& b) {
+    if (a.is_feasible != b.is_feasible) return a.is_feasible;
+    if (a.fitness != b.fitness) return a.fitness > b.fitness;
+    return a.latency_ms < b.latency_ms;
+  };
+
+  for (std::int64_t t = 0; t < cfg_.iterations; ++t) {
+    std::sort(population.begin(), population.end(), by_fitness);
+    population.resize(static_cast<std::size_t>(cfg_.population));
+
+    result.history.push_back({sim_time_s_, population.front().fitness});
+
+    // Offspring: crossover between random elites, or mutation of an elite.
+    const auto n_par = static_cast<std::size_t>(
+        std::min<std::int64_t>(cfg_.parents,
+                               static_cast<std::int64_t>(population.size())));
+    std::int64_t produced = 0;
+    std::int64_t attempts = 0;
+    const std::int64_t offspring_target = cfg_.population / 2;
+    while (produced < offspring_target && attempts < offspring_target * 10) {
+      ++attempts;
+      const auto& p1 =
+          population[static_cast<std::size_t>(rng.uniform_int(n_par))].arch;
+      Arch child;
+      if (rng.bernoulli(cfg_.crossover_fraction)) {
+        const auto& p2 =
+            population[static_cast<std::size_t>(rng.uniform_int(n_par))].arch;
+        child = crossover(p1, p2, rng);
+        child = full_space ? mutate(child, cfg_.mutation_prob / 2,
+                                    cfg_.mutation_prob / 2, rng)
+                           : mutate_ops(child, cfg_.mutation_prob / 2, rng);
+      } else {
+        child = full_space
+                    ? mutate(p1, cfg_.mutation_prob, cfg_.mutation_prob, rng)
+                    : mutate_ops(p1, cfg_.mutation_prob, rng);
+      }
+      if (!full_space) apply_functions(child, upper, lower);
+      if (admit(child)) ++produced;
+    }
+    // Keep diversity if mutation stalled on duplicates.
+    while (produced < offspring_target) {
+      if (admit(sample_candidate(rng))) ++produced;
+    }
+  }
+
+  std::sort(population.begin(), population.end(), by_fitness);
+  const Scored& best = population.front();
+  result.best_arch = best.arch;
+  result.best_objective = best.fitness;
+  result.best_supernet_acc = best.acc;
+  result.best_latency_ms = best.latency_ms;
+  result.history.push_back({sim_time_s_, best.fitness});
+  result.total_sim_time_s = sim_time_s_;
+  result.latency_queries = latency_queries_;
+  result.accuracy_probes = accuracy_probes_;
+  return result;
+}
+
+SearchResult HgnasSearch::run_multistage(Rng& rng) {
+  sim_time_s_ = 0.0;
+  latency_queries_ = 0;
+  accuracy_probes_ = 0;
+
+  // ---- Stage 0: supernet warmup over the full space -----------------------
+  if (cfg_.train_supernet) {
+    Adam opt(supernet_.parameters(), 1e-3f);
+    auto sampler = [this](Rng& r) { return random_arch(cfg_.space, r); };
+    for (std::int64_t e = 0; e < cfg_.stage1_epochs; ++e) {
+      supernet_.train_epoch(data_.train(), sampler, opt, cfg_.batch_size,
+                            rng);
+      advance_clock(static_cast<double>(data_.train().size()) *
+                    cfg_.sim_train_s_per_sample);
+    }
+  }
+
+  // ---- Stage 1: function search (objective: supernet accuracy) -----------
+  struct ScoredFn {
+    FunctionSet upper, lower;
+    double fitness = 0.0;
+  };
+  auto eval_pair = [&](const FunctionSet& up, const FunctionSet& lo) {
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < cfg_.function_paths_per_eval; ++i) {
+      const Arch probe =
+          random_arch_with_functions(cfg_.space, up, lo, rng);
+      acc += supernet_accuracy(probe, rng);
+    }
+    return acc / static_cast<double>(cfg_.function_paths_per_eval);
+  };
+
+  std::vector<ScoredFn> fn_pop;
+  for (std::int64_t i = 0; i < cfg_.population; ++i) {
+    ScoredFn s{random_functions(rng), random_functions(rng), 0.0};
+    s.fitness = eval_pair(s.upper, s.lower);
+    fn_pop.push_back(std::move(s));
+  }
+  auto by_fit = [](const ScoredFn& a, const ScoredFn& b) {
+    return a.fitness > b.fitness;
+  };
+  for (std::int64_t t = 0; t < cfg_.iterations; ++t) {
+    std::sort(fn_pop.begin(), fn_pop.end(), by_fit);
+    fn_pop.resize(static_cast<std::size_t>(cfg_.population));
+    const auto n_par = static_cast<std::size_t>(std::min<std::int64_t>(
+        cfg_.parents, static_cast<std::int64_t>(fn_pop.size())));
+    for (std::int64_t c = 0; c < cfg_.population / 2; ++c) {
+      const auto& p1 =
+          fn_pop[static_cast<std::size_t>(rng.uniform_int(n_par))];
+      ScoredFn child;
+      if (rng.bernoulli(cfg_.crossover_fraction)) {
+        const auto& p2 =
+            fn_pop[static_cast<std::size_t>(rng.uniform_int(n_par))];
+        child.upper = rng.bernoulli(0.5) ? p1.upper : p2.upper;
+        child.lower = rng.bernoulli(0.5) ? p1.lower : p2.lower;
+        child.upper = mutate_functions(child.upper, cfg_.mutation_prob / 2,
+                                       rng);
+        child.lower = mutate_functions(child.lower, cfg_.mutation_prob / 2,
+                                       rng);
+      } else {
+        child.upper = mutate_functions(p1.upper, cfg_.mutation_prob, rng);
+        child.lower = mutate_functions(p1.lower, cfg_.mutation_prob, rng);
+      }
+      child.fitness = eval_pair(child.upper, child.lower);
+      fn_pop.push_back(std::move(child));
+    }
+  }
+  std::sort(fn_pop.begin(), fn_pop.end(), by_fit);
+  const FunctionSet upper = fn_pop.front().upper;
+  const FunctionSet lower = fn_pop.front().lower;
+
+  // ---- Between stages: re-init and pre-train with functions fixed --------
+  if (cfg_.train_supernet) {
+    supernet_.reinitialize(rng);
+    Adam opt(supernet_.parameters(), 1e-3f);
+    auto sampler = [this, &upper, &lower](Rng& r) {
+      return random_arch_with_functions(cfg_.space, upper, lower, r);
+    };
+    for (std::int64_t e = 0; e < cfg_.stage2_epochs; ++e) {
+      supernet_.train_epoch(data_.train(), sampler, opt, cfg_.batch_size,
+                            rng);
+      advance_clock(static_cast<double>(data_.train().size()) *
+                    cfg_.sim_train_s_per_sample);
+    }
+  }
+
+  // ---- Stage 2: multi-objective operation search --------------------------
+  return evolve_operations(upper, lower, /*full_space=*/false, rng);
+}
+
+SearchResult HgnasSearch::run_onestage(Rng& rng) {
+  sim_time_s_ = 0.0;
+  latency_queries_ = 0;
+  accuracy_probes_ = 0;
+
+  // Same training budget as the multi-stage pipeline, then one joint EA
+  // over the full fine-grained space.
+  if (cfg_.train_supernet) {
+    Adam opt(supernet_.parameters(), 1e-3f);
+    auto sampler = [this](Rng& r) { return random_arch(cfg_.space, r); };
+    for (std::int64_t e = 0; e < cfg_.stage1_epochs + cfg_.stage2_epochs;
+         ++e) {
+      supernet_.train_epoch(data_.train(), sampler, opt, cfg_.batch_size,
+                            rng);
+      advance_clock(static_cast<double>(data_.train().size()) *
+                    cfg_.sim_train_s_per_sample);
+    }
+  }
+  return evolve_operations(FunctionSet{}, FunctionSet{}, /*full_space=*/true,
+                           rng);
+}
+
+}  // namespace hg::hgnas

@@ -1,0 +1,164 @@
+// search.hpp — HGNAS design-space exploration (paper §III-C, Alg. 1).
+//
+// Multi-stage hierarchical strategy over a weight-sharing supernet:
+//   Stage 1 (Function Search): evolutionary search over the two shared
+//     function sets (upper half / lower half of positions), objective =
+//     supernet validation accuracy.
+//   Stage 2 (Operation Search): re-initialise and pre-train the supernet
+//     with the winning functions fixed, then evolutionary search over the
+//     4^N operation assignment with the multi-objective score of Eq. (3):
+//         F(C) = 0                       if lat >= C
+//                a * acc - b * lat_norm  if lat <  C
+//     where lat_norm = latency / latency_scale_ms (the caller passes the
+//     DGCNN latency of the target device, making a : b dimensionless like
+//     the paper's Fig. 7 sweep).
+//
+// Latency comes from a pluggable evaluator: either the GNN performance
+// predictor (milliseconds per query) or simulated on-device measurement
+// (seconds to minutes per query) — the Fig. 9(a) ablation. A simulated
+// wall clock accumulates evaluator + training costs so that search-progress
+// curves can be plotted against "GPU hours" even though the whole pipeline
+// runs scaled-down on one CPU core.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "hgnas/arch.hpp"
+#include "hgnas/supernet.hpp"
+#include "hw/device.hpp"
+#include "pointcloud/pointcloud.hpp"
+
+namespace hg::hgnas {
+
+/// One latency query against an architecture.
+struct LatencyEval {
+  double latency_ms = 0.0;
+  double cost_s = 0.0;  // simulated wall-clock cost of obtaining the number
+  bool oom = false;
+  /// Peak memory, when the evaluator can report it (the analytical oracle
+  /// and simulated measurement can; a pure latency predictor reports 0 =
+  /// unknown and the memory constraint is then not enforced).
+  double peak_memory_mb = 0.0;
+};
+
+using LatencyFn = std::function<LatencyEval(const Arch&)>;
+
+/// Latency evaluator backed by simulated on-device measurement (deploy +
+/// runs; see hw::Device::measure). Throws if the device does not support
+/// online measurement (Jetson TX2 / Raspberry Pi in the paper).
+LatencyFn make_measurement_evaluator(const hw::Device& device,
+                                     const Workload& workload,
+                                     std::uint64_t seed);
+
+/// Latency evaluator backed by the deterministic analytical model with
+/// zero query cost — the oracle upper bound used in tests.
+LatencyFn make_oracle_evaluator(const hw::Device& device,
+                                const Workload& workload);
+
+struct SearchConfig {
+  SpaceConfig space;
+  Workload workload;  // lowering target (point count, k, classes)
+
+  std::int64_t population = 20;   // paper: population size 20
+  std::int64_t parents = 10;      // elites kept for reproduction
+  std::int64_t iterations = 50;   // EA iterations per stage (paper: 1000)
+  double crossover_fraction = 0.5;  // offspring from crossover vs mutation
+  double mutation_prob = 0.2;       // per-gene resample probability
+
+  double alpha = 1.0;  // accuracy weight (Eq. 1/3)
+  double beta = 0.5;   // latency weight
+  // Hardware constraint set C (paper Eq. 2 lists "inference latency, model
+  // size, etc."). A candidate violating any bound scores 0.
+  double latency_constraint_ms = 1e18;
+  double memory_constraint_mb = 1e18;
+  double size_constraint_mb = 1e18;
+  double latency_scale_ms = 1.0;  // normaliser for the latency term
+
+  std::int64_t eval_val_samples = 40;  // clouds per supernet accuracy probe
+  std::int64_t function_paths_per_eval = 3;  // op paths averaged in stage 1
+
+  std::int64_t stage1_epochs = 2;  // supernet warmup epochs (paper: 50)
+  std::int64_t stage2_epochs = 4;  // supernet pretrain epochs (paper: 500)
+  std::int64_t batch_size = 8;
+  /// When false, the supernet is assumed already trained by the caller and
+  /// all warmup / re-init / pretrain phases are skipped (lets one supernet
+  /// serve several per-device searches, as training is device-independent).
+  bool train_supernet = true;
+
+  // Simulated cost book-keeping (V100-equivalents, see DESIGN.md):
+  double sim_train_s_per_sample = 0.004;  // supernet fwd+bwd per cloud
+  double sim_eval_s_per_sample = 0.0015;  // supernet inference per cloud
+};
+
+/// (simulated time, best objective so far) — one point per EA iteration.
+struct SearchEvent {
+  double sim_time_s = 0.0;
+  double best_objective = 0.0;
+};
+
+struct SearchResult {
+  Arch best_arch;
+  FunctionSet upper, lower;
+  double best_objective = 0.0;
+  double best_supernet_acc = 0.0;
+  double best_latency_ms = 0.0;
+  std::vector<SearchEvent> history;  // stage-2 (or one-stage) progress
+  double total_sim_time_s = 0.0;
+  std::int64_t latency_queries = 0;
+  std::int64_t accuracy_probes = 0;
+};
+
+class HgnasSearch {
+ public:
+  /// The supernet and dataset are borrowed; they must outlive the search.
+  HgnasSearch(SuperNet& supernet, const pointcloud::Dataset& data,
+              SearchConfig cfg, LatencyFn latency);
+
+  /// Full Alg. 1: function search, supernet re-init + pretrain, operation
+  /// search.
+  SearchResult run_multistage(Rng& rng);
+
+  /// Ablation baseline (Fig. 9b): one joint EA over operations and
+  /// per-position functions in the full fine-grained space.
+  SearchResult run_onestage(Rng& rng);
+
+  /// Eq. (3) objective for given accuracy / latency.
+  double objective(double acc, double latency_ms, bool oom) const;
+
+  /// All hardware constraints of C (latency / peak memory / model size).
+  bool feasible(const LatencyEval& lat, double size_mb) const;
+
+  const SearchConfig& config() const { return cfg_; }
+
+ private:
+  struct Scored {
+    Arch arch;
+    double fitness = 0.0;
+    double acc = 0.0;
+    double latency_ms = 0.0;
+    bool is_feasible = false;
+  };
+
+  /// Evaluate Eq. (3) for an arch: latency gate first (predictor is cheap,
+  /// accuracy probes are not — paper §III-C: only candidates that meet the
+  /// hardware constraint are evaluated for accuracy).
+  Scored score_candidate(const Arch& arch, Rng& rng);
+
+  double supernet_accuracy(const Arch& arch, Rng& rng);
+  void advance_clock(double seconds) { sim_time_s_ += seconds; }
+
+  SearchResult evolve_operations(const FunctionSet& upper,
+                                 const FunctionSet& lower, bool full_space,
+                                 Rng& rng);
+
+  SuperNet& supernet_;
+  const pointcloud::Dataset& data_;
+  SearchConfig cfg_;
+  LatencyFn latency_;
+  double sim_time_s_ = 0.0;
+  std::int64_t latency_queries_ = 0;
+  std::int64_t accuracy_probes_ = 0;
+};
+
+}  // namespace hg::hgnas

@@ -1,0 +1,191 @@
+#include "hgnas/serialize_arch.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace hg::hgnas {
+
+namespace {
+
+[[noreturn]] void fail_line(std::size_t line_no, const std::string& msg) {
+  throw std::invalid_argument("arch_from_text: line " +
+                              std::to_string(line_no) + ": " + msg);
+}
+
+std::string msg_token(gnn::MessageType m) {
+  switch (m) {
+    case gnn::MessageType::SourcePos: return "source";
+    case gnn::MessageType::TargetPos: return "target";
+    case gnn::MessageType::RelPos: return "rel";
+    case gnn::MessageType::Distance: return "distance";
+    case gnn::MessageType::SourceRel: return "source||rel";
+    case gnn::MessageType::TargetRel: return "target||rel";
+    case gnn::MessageType::Full: return "full";
+  }
+  return "?";
+}
+
+gnn::MessageType parse_msg(const std::string& s, std::size_t line_no) {
+  static const std::unordered_map<std::string, gnn::MessageType> map = {
+      {"source", gnn::MessageType::SourcePos},
+      {"target", gnn::MessageType::TargetPos},
+      {"rel", gnn::MessageType::RelPos},
+      {"distance", gnn::MessageType::Distance},
+      {"source||rel", gnn::MessageType::SourceRel},
+      {"target||rel", gnn::MessageType::TargetRel},
+      {"full", gnn::MessageType::Full},
+  };
+  auto it = map.find(s);
+  if (it == map.end()) fail_line(line_no, "unknown message type '" + s + "'");
+  return it->second;
+}
+
+AggrType parse_aggr(const std::string& s, std::size_t line_no) {
+  if (s == "sum") return AggrType::Sum;
+  if (s == "min") return AggrType::Min;
+  if (s == "max") return AggrType::Max;
+  if (s == "mean") return AggrType::Mean;
+  fail_line(line_no, "unknown aggregator '" + s + "'");
+}
+
+/// "key=value" -> value, checking the key.
+std::string expect_kv(const std::string& token, const std::string& key,
+                      std::size_t line_no) {
+  const auto eq = token.find('=');
+  if (eq == std::string::npos || token.substr(0, eq) != key)
+    fail_line(line_no, "expected '" + key + "=...', got '" + token + "'");
+  return token.substr(eq + 1);
+}
+
+}  // namespace
+
+std::string arch_to_text(const Arch& arch) {
+  std::ostringstream out;
+  out << "hgnas-arch v1\n";
+  out << "positions " << arch.genes.size() << "\n";
+  for (std::size_t i = 0; i < arch.genes.size(); ++i) {
+    const auto& g = arch.genes[i];
+    out << i << " ";
+    switch (g.op) {
+      case OpType::Connect:
+        out << "connect fn="
+            << (g.fn.connect == ConnectFunc::SkipConnect ? "skip"
+                                                         : "identity");
+        break;
+      case OpType::Aggregate:
+        out << "aggregate msg=" << msg_token(g.fn.msg)
+            << " aggr=" << aggr_type_name(g.fn.aggr);
+        break;
+      case OpType::Combine:
+        out << "combine dim=" << g.fn.combine_dim();
+        break;
+      case OpType::Sample:
+        out << "sample fn="
+            << (g.fn.sample == SampleFunc::Knn ? "knn" : "random");
+        break;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+Arch arch_from_text(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+
+  auto next_line = [&]() -> bool {
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (!line.empty() && line[0] != '#') return true;
+    }
+    return false;
+  };
+
+  if (!next_line() || line != "hgnas-arch v1")
+    fail_line(line_no, "missing 'hgnas-arch v1' header");
+  if (!next_line()) fail_line(line_no, "missing 'positions N' line");
+  std::istringstream hdr(line);
+  std::string word;
+  std::int64_t positions = 0;
+  hdr >> word >> positions;
+  if (word != "positions" || positions <= 0)
+    fail_line(line_no, "malformed positions line '" + line + "'");
+
+  Arch arch;
+  arch.genes.resize(static_cast<std::size_t>(positions));
+  std::vector<bool> seen(static_cast<std::size_t>(positions), false);
+  while (next_line()) {
+    std::istringstream ls(line);
+    std::int64_t idx = -1;
+    std::string op;
+    ls >> idx >> op;
+    if (idx < 0 || idx >= positions)
+      fail_line(line_no, "position index out of range");
+    if (seen[static_cast<std::size_t>(idx)])
+      fail_line(line_no, "duplicate position " + std::to_string(idx));
+    seen[static_cast<std::size_t>(idx)] = true;
+    PositionGene& g = arch.genes[static_cast<std::size_t>(idx)];
+    std::string tok;
+    if (op == "connect") {
+      g.op = OpType::Connect;
+      ls >> tok;
+      const std::string v = expect_kv(tok, "fn", line_no);
+      if (v == "skip") g.fn.connect = ConnectFunc::SkipConnect;
+      else if (v == "identity") g.fn.connect = ConnectFunc::Identity;
+      else fail_line(line_no, "unknown connect fn '" + v + "'");
+    } else if (op == "aggregate") {
+      g.op = OpType::Aggregate;
+      ls >> tok;
+      g.fn.msg = parse_msg(expect_kv(tok, "msg", line_no), line_no);
+      ls >> tok;
+      g.fn.aggr = parse_aggr(expect_kv(tok, "aggr", line_no), line_no);
+    } else if (op == "combine") {
+      g.op = OpType::Combine;
+      ls >> tok;
+      const std::int64_t dim = std::stoll(expect_kv(tok, "dim", line_no));
+      bool found = false;
+      for (std::int64_t i = 0; i < kNumCombineDims; ++i)
+        if (kCombineDims[static_cast<std::size_t>(i)] == dim) {
+          g.fn.combine_dim_idx = i;
+          found = true;
+        }
+      if (!found)
+        fail_line(line_no,
+                  "dim=" + std::to_string(dim) + " is not in Table I");
+    } else if (op == "sample") {
+      g.op = OpType::Sample;
+      ls >> tok;
+      const std::string v = expect_kv(tok, "fn", line_no);
+      if (v == "knn") g.fn.sample = SampleFunc::Knn;
+      else if (v == "random") g.fn.sample = SampleFunc::Random;
+      else fail_line(line_no, "unknown sample fn '" + v + "'");
+    } else {
+      fail_line(line_no, "unknown operation '" + op + "'");
+    }
+  }
+  for (std::size_t i = 0; i < seen.size(); ++i)
+    if (!seen[i])
+      throw std::invalid_argument("arch_from_text: position " +
+                                  std::to_string(i) + " missing");
+  return arch;
+}
+
+void save_arch(const std::string& path, const Arch& arch) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_arch: cannot open " + path);
+  out << arch_to_text(arch);
+  if (!out) throw std::runtime_error("save_arch: write failed for " + path);
+}
+
+Arch load_arch(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_arch: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return arch_from_text(buf.str());
+}
+
+}  // namespace hg::hgnas

@@ -1,0 +1,33 @@
+// serialize_arch.hpp — human-readable architecture persistence.
+//
+// A searched architecture is the deployable artifact of HGNAS; this module
+// stores it as a stable line-oriented text format so deployments, ablations
+// and regression tests can round-trip designs:
+//
+//   hgnas-arch v1
+//   positions 12
+//   0 combine   dim=64
+//   1 aggregate msg=target||rel aggr=max
+//   2 sample    fn=knn
+//   3 connect   fn=skip
+//   ...
+#pragma once
+
+#include <string>
+
+#include "hgnas/arch.hpp"
+
+namespace hg::hgnas {
+
+/// Serialise to the v1 text format.
+std::string arch_to_text(const Arch& arch);
+
+/// Parse the v1 text format. Throws std::invalid_argument with a
+/// line-numbered message on any malformed input.
+Arch arch_from_text(const std::string& text);
+
+/// Convenience file wrappers (throw std::runtime_error on I/O failure).
+void save_arch(const std::string& path, const Arch& arch);
+Arch load_arch(const std::string& path);
+
+}  // namespace hg::hgnas

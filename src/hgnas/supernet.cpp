@@ -1,0 +1,204 @@
+#include "hgnas/supernet.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hg::hgnas {
+
+namespace {
+
+void check(bool cond, const std::string& msg) {
+  if (!cond) throw std::invalid_argument("SuperNet: " + msg);
+}
+
+}  // namespace
+
+SuperNet::SuperNet(const SpaceConfig& space, const SupernetConfig& cfg,
+                   Rng& rng)
+    : space_(space), cfg_(cfg) {
+  check(space_.num_positions > 0, "num_positions must be positive");
+  check(cfg_.hidden > 0, "hidden width must be positive");
+  const std::int64_t H = cfg_.hidden;
+  input_proj_ = std::make_unique<nn::Linear>(3, H, rng);
+  const auto P = static_cast<std::size_t>(space_.num_positions);
+  combine_in_.resize(P);
+  combine_out_.resize(P);
+  aggr_align_.resize(P);
+  for (std::size_t p = 0; p < P; ++p) {
+    combine_in_[p].resize(static_cast<std::size_t>(kNumCombineDims));
+    combine_out_[p].resize(static_cast<std::size_t>(kNumCombineDims));
+    for (std::size_t c = 0; c < static_cast<std::size_t>(kNumCombineDims);
+         ++c) {
+      const std::int64_t dim = kCombineDims[c];
+      combine_in_[p][c] = std::make_unique<nn::Linear>(H, dim, rng);
+      combine_out_[p][c] = std::make_unique<nn::Linear>(dim, H, rng);
+    }
+    aggr_align_[p].resize(static_cast<std::size_t>(gnn::kNumMessageTypes));
+    for (std::size_t m = 0; m < static_cast<std::size_t>(gnn::kNumMessageTypes);
+         ++m) {
+      const std::int64_t md =
+          gnn::message_dim(static_cast<gnn::MessageType>(m), H);
+      aggr_align_[p][m] = std::make_unique<nn::Linear>(md, H, rng);
+    }
+  }
+  head1_ = std::make_unique<nn::Linear>(H, cfg_.head_hidden, rng);
+  head2_ = std::make_unique<nn::Linear>(cfg_.head_hidden, cfg_.num_classes,
+                                        rng);
+}
+
+Tensor SuperNet::forward(const Arch& arch, const Tensor& points, Rng& rng) {
+  check(arch.num_positions() == space_.num_positions,
+        "architecture has " + std::to_string(arch.num_positions()) +
+            " positions, supernet expects " +
+            std::to_string(space_.num_positions));
+  check(points.dim() == 2 && points.shape()[1] == 3,
+        "points must be [n, 3]");
+  const std::int64_t n = points.shape()[0];
+  check(n > 1, "need at least 2 points");
+  const std::int64_t kk = std::min<std::int64_t>(cfg_.k, n - 1);
+
+  Tensor h = leaky_relu(input_proj_->forward(points), 0.2f);
+  Tensor skip = h;
+  graph::EdgeList g;
+  bool graph_built = false, graph_fresh = false;
+  const std::vector<bool> dead = dead_sample_mask(arch);
+
+  auto ensure_graph = [&]() {
+    if (!graph_built) {
+      g = graph::knn_graph(points.data(), n, kk);
+      graph_built = true;
+      graph_fresh = true;
+    }
+  };
+
+  for (std::size_t p = 0; p < arch.genes.size(); ++p) {
+    const auto& gene = arch.genes[p];
+    switch (gene.op) {
+      case OpType::Sample:
+        if (!graph_fresh && !dead[p]) {
+          if (gene.fn.sample == SampleFunc::Knn) {
+            // Detached features: graph construction is non-differentiable.
+            Tensor feats = h.detach();
+            g = graph::knn_graph_features(feats.data(), n, feats.shape()[1],
+                                          kk);
+          } else {
+            g = graph::random_graph(n, kk, rng);
+          }
+          graph_built = true;
+          graph_fresh = true;
+        }
+        break;
+      case OpType::Aggregate: {
+        ensure_graph();
+        Tensor agg = gnn::aggregate(h, g, gene.fn.msg,
+                                    to_reduce(gene.fn.aggr));
+        h = aggr_align_[p][static_cast<std::size_t>(gene.fn.msg)]->forward(
+            agg);
+        graph_fresh = false;
+        break;
+      }
+      case OpType::Combine: {
+        const auto c = static_cast<std::size_t>(gene.fn.combine_dim_idx);
+        Tensor z = leaky_relu(combine_in_[p][c]->forward(h), 0.2f);
+        h = combine_out_[p][c]->forward(z);
+        graph_fresh = false;
+        break;
+      }
+      case OpType::Connect:
+        if (gene.fn.connect == ConnectFunc::SkipConnect) {
+          h = add(h, skip);
+          graph_fresh = false;
+        }
+        skip = h;
+        break;
+    }
+  }
+
+  Tensor pooled = gnn::global_max_pool(h);
+  Tensor z = leaky_relu(head1_->forward(pooled), 0.2f);
+  return head2_->forward(z);
+}
+
+std::vector<Tensor> SuperNet::parameters() const {
+  std::vector<Tensor> out;
+  auto push = [&out](const nn::Linear& l) {
+    for (auto& p : l.parameters()) out.push_back(p);
+  };
+  push(*input_proj_);
+  for (std::size_t p = 0; p < combine_in_.size(); ++p) {
+    for (auto& l : combine_in_[p]) push(*l);
+    for (auto& l : combine_out_[p]) push(*l);
+    for (auto& l : aggr_align_[p]) push(*l);
+  }
+  push(*head1_);
+  push(*head2_);
+  return out;
+}
+
+void SuperNet::set_training(bool training) { Module::set_training(training); }
+
+double SuperNet::train_epoch(const std::vector<pointcloud::Sample>& train,
+                             const std::function<Arch(Rng&)>& sampler,
+                             Adam& opt, std::int64_t batch_size, Rng& rng) {
+  check(!train.empty(), "train_epoch: empty split");
+  check(batch_size > 0, "train_epoch: batch_size must be positive");
+  set_training(true);
+  auto order = pointcloud::shuffled_indices(train.size(), rng);
+  double loss_sum = 0.0;
+  std::int64_t in_batch = 0;
+  for (std::size_t oi = 0; oi < order.size(); ++oi) {
+    const auto& s = train[order[oi]];
+    const Arch path = sampler(rng);  // uniform single-path sampling
+    Tensor pts = pointcloud::Dataset::to_tensor(s);
+    Tensor logits = forward(path, pts, rng);
+    const std::int64_t label[1] = {s.label};
+    Tensor loss = cross_entropy(logits, label);
+    loss.backward();
+    loss_sum += loss.item();
+    ++in_batch;
+    if (in_batch == batch_size || oi + 1 == order.size()) {
+      opt.step();
+      opt.zero_grad();
+      in_batch = 0;
+    }
+  }
+  return loss_sum / static_cast<double>(train.size());
+}
+
+double SuperNet::evaluate(const Arch& arch,
+                          const std::vector<pointcloud::Sample>& val,
+                          std::int64_t max_samples, Rng& rng) {
+  check(!val.empty(), "evaluate: empty split");
+  NoGradGuard ng;
+  set_training(false);
+  const std::size_t count = std::min<std::size_t>(
+      val.size(), static_cast<std::size_t>(
+                      max_samples > 0 ? max_samples
+                                      : static_cast<std::int64_t>(val.size())));
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    Tensor pts = pointcloud::Dataset::to_tensor(val[i]);
+    Tensor logits = forward(arch, pts, rng);
+    if (argmax_rows(logits)[0] == val[i].label) ++correct;
+  }
+  set_training(true);
+  return static_cast<double>(correct) / static_cast<double>(count);
+}
+
+void SuperNet::reinitialize(Rng& rng) {
+  for (auto& p : parameters()) {
+    // Re-draw Kaiming weights / zero biases in place, preserving handles
+    // held by optimisers created afterwards.
+    auto data = p.data();
+    if (p.dim() == 2) {
+      const float stddev =
+          std::sqrt(2.f / static_cast<float>(p.shape()[0]));
+      for (auto& v : data) v = rng.normal(0.f, stddev);
+    } else {
+      for (auto& v : data) v = 0.f;
+    }
+    p.zero_grad();
+  }
+}
+
+}  // namespace hg::hgnas

@@ -1,0 +1,81 @@
+// supernet.hpp — weight-sharing GNN supernet (single-path one-shot).
+//
+// The supernet covers the whole design space with one parameter bank per
+// (position, choice) so that sub-network accuracy can be evaluated without
+// retraining (Guo et al. [22], paper §III-C). To keep all positions
+// compatible, every operation is dimension-aligned to a fixed hidden width
+// H ("supernet training demands that operations within each position must
+// obtain the same hidden dimension length", §III-B):
+//
+//   * input projection   Linear(3 -> H)
+//   * Combine(c)         Linear(H -> c) + LeakyReLU + align Linear(c -> H)
+//                        — the bottleneck width c is the function choice,
+//                        so stage-1 function search feels its capacity.
+//   * Aggregate(msg, r)  messages from H-dim features, scatter-reduce,
+//                        align Linear(message_dim(msg, H) -> H).
+//   * Sample / Connect   weightless (channels are already aligned).
+//
+// The alignment linears exist only here; the finalised GnnModel rebuilds
+// the architecture with natural channel flow and no alignment weights.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hgnas/arch.hpp"
+#include "nn/nn.hpp"
+#include "pointcloud/pointcloud.hpp"
+#include "tensor/optim.hpp"
+
+namespace hg::hgnas {
+
+struct SupernetConfig {
+  std::int64_t hidden = 32;       // H
+  std::int64_t k = 10;            // neighbours per sample
+  std::int64_t num_classes = 10;  // synthetic dataset classes
+  std::int64_t head_hidden = 64;
+};
+
+class SuperNet final : public nn::Module {
+ public:
+  SuperNet(const SpaceConfig& space, const SupernetConfig& cfg, Rng& rng);
+
+  /// Forward one point cloud through the path selected by `arch`
+  /// (operation types and function attributes). rng drives Random samples.
+  Tensor forward(const Arch& arch, const Tensor& points, Rng& rng);
+
+  std::vector<Tensor> parameters() const override;
+  void set_training(bool training) override;
+
+  /// One SPOS training pass over `train`: every sample gets a fresh
+  /// uniformly-sampled path from `sampler`. Returns mean loss.
+  double train_epoch(const std::vector<pointcloud::Sample>& train,
+                     const std::function<Arch(Rng&)>& sampler, Adam& opt,
+                     std::int64_t batch_size, Rng& rng);
+
+  /// Validation accuracy of one path over (a prefix of) `val`.
+  double evaluate(const Arch& arch,
+                  const std::vector<pointcloud::Sample>& val,
+                  std::int64_t max_samples, Rng& rng);
+
+  /// Re-initialise every weight (paper re-inits the supernet between
+  /// stage 1 and stage 2).
+  void reinitialize(Rng& rng);
+
+  const SpaceConfig& space() const { return space_; }
+  const SupernetConfig& config() const { return cfg_; }
+
+ private:
+  SpaceConfig space_;
+  SupernetConfig cfg_;
+
+  std::unique_ptr<nn::Linear> input_proj_;
+  // combine_[pos][dim_idx] -> {bottleneck, align}
+  std::vector<std::vector<std::unique_ptr<nn::Linear>>> combine_in_;
+  std::vector<std::vector<std::unique_ptr<nn::Linear>>> combine_out_;
+  // aggr_align_[pos][msg] -> align linear
+  std::vector<std::vector<std::unique_ptr<nn::Linear>>> aggr_align_;
+  std::unique_ptr<nn::Linear> head1_, head2_;
+};
+
+}  // namespace hg::hgnas

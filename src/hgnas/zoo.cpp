@@ -1,0 +1,80 @@
+#include "hgnas/zoo.hpp"
+
+namespace hg::hgnas::zoo {
+
+namespace {
+
+PositionGene sample() {
+  PositionGene g;
+  g.op = OpType::Sample;
+  g.fn.sample = SampleFunc::Knn;
+  return g;
+}
+
+PositionGene combine(std::int64_t dim) {
+  PositionGene g;
+  g.op = OpType::Combine;
+  for (std::int64_t i = 0; i < kNumCombineDims; ++i)
+    if (kCombineDims[static_cast<std::size_t>(i)] == dim)
+      g.fn.combine_dim_idx = i;
+  return g;
+}
+
+PositionGene aggregate(gnn::MessageType msg, AggrType aggr) {
+  PositionGene g;
+  g.op = OpType::Aggregate;
+  g.fn.msg = msg;
+  g.fn.aggr = aggr;
+  return g;
+}
+
+}  // namespace
+
+Arch rtx_fast() {
+  Arch a;
+  a.genes = {sample(), combine(64),
+             aggregate(gnn::MessageType::TargetRel, AggrType::Max),
+             aggregate(gnn::MessageType::TargetRel, AggrType::Mean),
+             sample()};
+  return a;
+}
+
+Arch intel_fast() {
+  Arch a;
+  a.genes = {sample(), combine(64),
+             aggregate(gnn::MessageType::TargetRel, AggrType::Max),
+             combine(64), combine(128),
+             aggregate(gnn::MessageType::TargetRel, AggrType::Mean)};
+  return a;
+}
+
+Arch tx2_fast() {
+  Arch a;
+  a.genes = {sample(),
+             aggregate(gnn::MessageType::TargetRel, AggrType::Max),
+             aggregate(gnn::MessageType::TargetRel, AggrType::Mean),
+             combine(128),
+             aggregate(gnn::MessageType::TargetRel, AggrType::Mean)};
+  return a;
+}
+
+Arch pi_fast() {
+  Arch a;
+  a.genes = {sample(), sample(), combine(128),
+             aggregate(gnn::MessageType::SourcePos, AggrType::Max),
+             combine(32), combine(32),
+             aggregate(gnn::MessageType::SourcePos, AggrType::Max)};
+  return a;
+}
+
+Arch fast_for(hw::DeviceKind kind) {
+  switch (kind) {
+    case hw::DeviceKind::Rtx3080: return rtx_fast();
+    case hw::DeviceKind::IntelI7_8700K: return intel_fast();
+    case hw::DeviceKind::JetsonTx2: return tx2_fast();
+    case hw::DeviceKind::RaspberryPi3B: return pi_fast();
+  }
+  return pi_fast();
+}
+
+}  // namespace hg::hgnas::zoo

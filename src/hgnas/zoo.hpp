@@ -1,0 +1,34 @@
+// zoo.hpp — reference architectures from the paper's Fig. 10.
+//
+// These are the Device_Fast networks HGNAS discovered for each platform,
+// transcribed into this repo's design space. They serve as regression
+// anchors (tests assert their qualitative properties: few KNNs on GPU-like
+// devices, few aggregates on the CPU, simplified ops on the Pi) and as the
+// "Ours" models in the Fig. 1 reproduction.
+#pragma once
+
+#include "hgnas/arch.hpp"
+#include "hw/device.hpp"
+
+namespace hg::hgnas::zoo {
+
+/// RTX_Fast: KNN, Combine(64), Aggregate(target||rel, max),
+/// Aggregate(target||rel, mean), KNN (merged away), Classifier.
+Arch rtx_fast();
+
+/// Intel_Fast: KNN, Combine(64), Aggregate(target||rel, max), Combine(64),
+/// Combine(128), Aggregate(target||rel, mean), Classifier.
+Arch intel_fast();
+
+/// TX2_Fast: KNN, Aggregate(target||rel, max), Aggregate(target||rel,
+/// mean), Combine(128), Aggregate(target||rel, mean), Classifier.
+Arch tx2_fast();
+
+/// Pi_Fast: KNN, KNN (merged), Combine(128), Aggregate(source, max),
+/// Combine(32), Combine(32), Aggregate(source, max), Classifier.
+Arch pi_fast();
+
+/// The Fig. 10 network for a given device kind.
+Arch fast_for(hw::DeviceKind kind);
+
+}  // namespace hg::hgnas::zoo

@@ -1,0 +1,53 @@
+#include "hw/profiler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace hg::hw {
+
+std::string profile_report(const Device& device, const Trace& trace) {
+  struct Row {
+    std::string name;
+    OpCategory cat;
+    double ms;
+  };
+  std::vector<Row> rows;
+  double total = 0.0;
+  for (const auto& op : trace.ops) {
+    const double ms =
+        device.spec().op_overhead_ms +
+        op.work * device.spec().coef[static_cast<int>(op.category)] * 1e3;
+    rows.push_back({op.name, op.category, ms});
+    total += ms;
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.ms > b.ms; });
+
+  std::string out = "# Profile on " + device.name() + " (total " +
+                    std::to_string(total) + " ms)\n";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-40s %-10s %12s %8s\n", "op", "category",
+                "latency_ms", "share");
+  out += buf;
+  for (const auto& r : rows) {
+    std::snprintf(buf, sizeof(buf), "%-40s %-10s %12.4f %7.2f%%\n",
+                  r.name.c_str(), category_name(r.cat).c_str(), r.ms,
+                  total > 0 ? 100.0 * r.ms / total : 0.0);
+    out += buf;
+  }
+  return out;
+}
+
+std::string breakdown_summary(const Device& device, const Trace& trace) {
+  const Breakdown b = device.breakdown(trace);
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "Sample %.1f%% | Aggregate %.1f%% | Combine %.1f%% | "
+                "Others %.1f%% (total %.1f ms)",
+                100.0 * b.fraction[0], 100.0 * b.fraction[1],
+                100.0 * b.fraction[2], 100.0 * b.fraction[3], b.total_ms);
+  return buf;
+}
+
+}  // namespace hg::hw

@@ -1,0 +1,21 @@
+// profiler.hpp — human-readable execution reports over device cost models.
+//
+// Mirrors the role PyTorch Profiler plays in the paper's Observation ③:
+// given a lowered trace and a device, produce per-op and per-category
+// timing tables (Fig. 3).
+#pragma once
+
+#include <string>
+
+#include "hw/device.hpp"
+
+namespace hg::hw {
+
+/// Per-op latency table, sorted by time descending.
+std::string profile_report(const Device& device, const Trace& trace);
+
+/// Single-line category summary, e.g.
+/// "Sample 53.3% | Aggregate 33.1% | Combine 5.4% | Others 8.2%".
+std::string breakdown_summary(const Device& device, const Trace& trace);
+
+}  // namespace hg::hw

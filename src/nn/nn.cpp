@@ -1,0 +1,180 @@
+#include "nn/nn.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hg::nn {
+
+std::int64_t Module::num_parameters() const {
+  std::int64_t n = 0;
+  for (const auto& p : parameters()) n += p.numel();
+  return n;
+}
+
+Tensor& Module::register_parameter(Tensor t) {
+  params_.push_back(std::move(t));
+  return params_.back();
+}
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
+               bool bias)
+    : in_features_(in_features),
+      out_features_(out_features),
+      has_bias_(bias) {
+  if (in_features <= 0 || out_features <= 0)
+    throw std::invalid_argument("Linear: feature counts must be positive");
+  weight_ = register_parameter(kaiming_normal(in_features, out_features, rng));
+  if (has_bias_) bias_ = register_parameter(zeros_bias(out_features));
+}
+
+Tensor Linear::forward(const Tensor& x) const {
+  if (x.dim() != 2 || x.shape()[1] != in_features_)
+    throw std::invalid_argument(
+        "Linear: input shape " + shape_to_string(x.shape()) +
+        " incompatible with in_features=" + std::to_string(in_features_));
+  Tensor y = matmul(x, weight_);
+  if (has_bias_) y = add(y, bias_);
+  return y;
+}
+
+BatchNorm1d::BatchNorm1d(std::int64_t num_features)
+    : num_features_(num_features) {
+  if (num_features <= 0)
+    throw std::invalid_argument("BatchNorm1d: num_features must be positive");
+  gamma_ = register_parameter(
+      Tensor::ones({num_features}, /*requires_grad=*/true));
+  beta_ = register_parameter(
+      Tensor::zeros({num_features}, /*requires_grad=*/true));
+  running_mean_.assign(static_cast<std::size_t>(num_features), 0.f);
+  running_var_.assign(static_cast<std::size_t>(num_features), 1.f);
+}
+
+Tensor BatchNorm1d::forward(const Tensor& x) {
+  if (x.dim() != 2 || x.shape()[1] != num_features_)
+    throw std::invalid_argument(
+        "BatchNorm1d: input shape " + shape_to_string(x.shape()) +
+        " incompatible with num_features=" + std::to_string(num_features_));
+  const std::int64_t n = x.shape()[0];
+  if (n > 1) {
+    Tensor mean = mean_axis(x, 0);                       // [C]
+    Tensor centered = sub(x, mean);                      // [N,C]
+    Tensor var = mean_axis(square(centered), 0);         // [C] (biased)
+    Tensor std_ = sqrt_op(add(var, eps_));
+    Tensor norm = div(centered, std_);
+    if (training_) {
+      // Update running stats outside the tape.
+      const auto md = mean.data();
+      const auto vd = var.data();
+      for (std::int64_t c = 0; c < num_features_; ++c) {
+        running_mean_[static_cast<std::size_t>(c)] =
+            (1.f - momentum_) * running_mean_[static_cast<std::size_t>(c)] +
+            momentum_ * md[c];
+        running_var_[static_cast<std::size_t>(c)] =
+            (1.f - momentum_) * running_var_[static_cast<std::size_t>(c)] +
+            momentum_ * vd[c];
+      }
+    }
+    return add(mul(norm, gamma_), beta_);
+  }
+  // Degenerate single-row batch: use running statistics.
+  std::vector<float> inv_std(static_cast<std::size_t>(num_features_));
+  for (std::int64_t c = 0; c < num_features_; ++c)
+    inv_std[static_cast<std::size_t>(c)] =
+        1.f / std::sqrt(running_var_[static_cast<std::size_t>(c)] + eps_);
+  Tensor mean_t = Tensor::from_vector(
+      {num_features_},
+      std::vector<float>(running_mean_.begin(), running_mean_.end()));
+  Tensor inv_t = Tensor::from_vector({num_features_}, std::move(inv_std));
+  Tensor norm = mul(sub(x, mean_t), inv_t);
+  return add(mul(norm, gamma_), beta_);
+}
+
+Tensor apply_activation(const Tensor& x, Activation act, float leaky_slope) {
+  switch (act) {
+    case Activation::None: return x;
+    case Activation::Relu: return relu(x);
+    case Activation::LeakyRelu: return leaky_relu(x, leaky_slope);
+  }
+  return x;
+}
+
+Mlp::Mlp(std::vector<std::int64_t> dims, Rng& rng, Activation hidden_act,
+         Activation final_act, bool batch_norm, float leaky_slope)
+    : hidden_act_(hidden_act),
+      final_act_(final_act),
+      leaky_slope_(leaky_slope) {
+  if (dims.size() < 2)
+    throw std::invalid_argument("Mlp: need at least {in, out} dims");
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+    linears_.push_back(std::make_unique<Linear>(dims[i], dims[i + 1], rng));
+    const bool is_last = (i + 2 == dims.size());
+    if (batch_norm && !is_last)
+      norms_.push_back(std::make_unique<BatchNorm1d>(dims[i + 1]));
+  }
+}
+
+Tensor Mlp::forward(const Tensor& x) {
+  Tensor h = x;
+  for (std::size_t i = 0; i < linears_.size(); ++i) {
+    h = linears_[i]->forward(h);
+    const bool is_last = (i + 1 == linears_.size());
+    if (!is_last && i < norms_.size()) h = norms_[i]->forward(h);
+    h = apply_activation(h, is_last ? final_act_ : hidden_act_, leaky_slope_);
+  }
+  return h;
+}
+
+std::vector<Tensor> Mlp::parameters() const {
+  std::vector<Tensor> out;
+  for (const auto& l : linears_)
+    for (auto& p : l->parameters()) out.push_back(p);
+  for (const auto& n : norms_)
+    for (auto& p : n->parameters()) out.push_back(p);
+  return out;
+}
+
+void Mlp::set_training(bool training) {
+  Module::set_training(training);
+  for (auto& l : linears_) l->set_training(training);
+  for (auto& n : norms_) n->set_training(training);
+}
+
+double overall_accuracy(std::span<const std::int64_t> pred,
+                        std::span<const std::int64_t> label) {
+  if (pred.size() != label.size())
+    throw std::invalid_argument("overall_accuracy: size mismatch");
+  if (pred.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i)
+    if (pred[i] == label[i]) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(pred.size());
+}
+
+double balanced_accuracy(std::span<const std::int64_t> pred,
+                         std::span<const std::int64_t> label,
+                         std::int64_t num_classes) {
+  if (pred.size() != label.size())
+    throw std::invalid_argument("balanced_accuracy: size mismatch");
+  if (num_classes <= 0)
+    throw std::invalid_argument("balanced_accuracy: bad num_classes");
+  std::vector<std::int64_t> correct(static_cast<std::size_t>(num_classes), 0);
+  std::vector<std::int64_t> total(static_cast<std::size_t>(num_classes), 0);
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const auto y = label[i];
+    if (y < 0 || y >= num_classes)
+      throw std::invalid_argument("balanced_accuracy: label out of range");
+    ++total[static_cast<std::size_t>(y)];
+    if (pred[i] == y) ++correct[static_cast<std::size_t>(y)];
+  }
+  double acc = 0.0;
+  std::int64_t present = 0;
+  for (std::int64_t c = 0; c < num_classes; ++c) {
+    if (total[static_cast<std::size_t>(c)] == 0) continue;
+    ++present;
+    acc += static_cast<double>(correct[static_cast<std::size_t>(c)]) /
+           static_cast<double>(total[static_cast<std::size_t>(c)]);
+  }
+  return present > 0 ? acc / static_cast<double>(present) : 0.0;
+}
+
+}  // namespace hg::nn

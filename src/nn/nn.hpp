@@ -1,0 +1,125 @@
+// nn.hpp — neural-network layers built on the tensor/autograd engine.
+//
+// A Module owns parameter Tensors and exposes them for optimisers and
+// checkpointing. Layers are deliberately minimal: exactly what DGCNN, the
+// HGNAS supernet and the latency predictor need.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tensor/init.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hg::nn {
+
+/// Base class: parameter registration + train/eval mode.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// All trainable parameters (shared handles — mutating them updates the
+  /// module). Default implementation returns the registered list.
+  virtual std::vector<Tensor> parameters() const { return params_; }
+
+  virtual void set_training(bool training) { training_ = training; }
+  bool training() const { return training_; }
+
+  /// Total number of scalar parameters.
+  std::int64_t num_parameters() const;
+
+ protected:
+  Tensor& register_parameter(Tensor t);
+
+  std::vector<Tensor> params_;
+  bool training_ = true;
+};
+
+/// Fully-connected layer: y = x W + b, Kaiming-initialised.
+class Linear final : public Module {
+ public:
+  Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
+         bool bias = true);
+
+  Tensor forward(const Tensor& x) const;
+
+  std::int64_t in_features() const { return in_features_; }
+  std::int64_t out_features() const { return out_features_; }
+
+ private:
+  std::int64_t in_features_, out_features_;
+  Tensor weight_;  // [in, out]
+  Tensor bias_;    // [out] (empty handle if bias == false)
+  bool has_bias_;
+};
+
+/// Batch normalisation over the row dimension of a [N, C] tensor
+/// (momentum 0.1, eps 1e-5 like PyTorch).
+///
+/// In this library the "batch" is almost always the nodes/edges of a
+/// single point cloud, whose statistics vary strongly between clouds
+/// (random rotation/scale). Normalisation therefore always uses the
+/// current batch statistics when the batch has more than one row —
+/// graph-instance normalisation, deterministic at inference — and falls
+/// back to the running estimates only for degenerate single-row batches.
+/// Running statistics are updated in training mode only.
+class BatchNorm1d final : public Module {
+ public:
+  explicit BatchNorm1d(std::int64_t num_features);
+
+  Tensor forward(const Tensor& x);
+
+  std::span<const float> running_mean() const { return running_mean_; }
+  std::span<const float> running_var() const { return running_var_; }
+
+ private:
+  std::int64_t num_features_;
+  Tensor gamma_, beta_;
+  std::vector<float> running_mean_, running_var_;
+  float momentum_ = 0.1f;
+  float eps_ = 1e-5f;
+};
+
+enum class Activation { None, Relu, LeakyRelu };
+
+/// Multi-layer perceptron: Linear (+ optional BatchNorm) + activation per
+/// hidden layer; the final layer is linear with no activation by default.
+class Mlp final : public Module {
+ public:
+  /// dims = {in, h1, ..., out}. `hidden_act` applies after every layer but
+  /// the last; `final_act` after the last.
+  Mlp(std::vector<std::int64_t> dims, Rng& rng,
+      Activation hidden_act = Activation::Relu,
+      Activation final_act = Activation::None, bool batch_norm = false,
+      float leaky_slope = 0.01f);
+
+  Tensor forward(const Tensor& x);
+
+  std::vector<Tensor> parameters() const override;
+  void set_training(bool training) override;
+
+  std::size_t num_layers() const { return linears_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Linear>> linears_;
+  std::vector<std::unique_ptr<BatchNorm1d>> norms_;  // empty if !batch_norm
+  Activation hidden_act_, final_act_;
+  float leaky_slope_;
+};
+
+Tensor apply_activation(const Tensor& x, Activation act, float leaky_slope);
+
+// ---- metrics -----------------------------------------------------------------
+
+/// Overall accuracy (fraction of correct predictions).
+double overall_accuracy(std::span<const std::int64_t> pred,
+                        std::span<const std::int64_t> label);
+
+/// Balanced (macro-averaged per-class) accuracy — the paper's "mAcc".
+double balanced_accuracy(std::span<const std::int64_t> pred,
+                         std::span<const std::int64_t> label,
+                         std::int64_t num_classes);
+
+}  // namespace hg::nn

@@ -1,0 +1,386 @@
+#include "pointcloud/pointcloud.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace hg::pointcloud {
+
+namespace {
+
+constexpr float kPi = 3.14159265358979323846f;
+
+void push_point(std::vector<float>& v, float x, float y, float z) {
+  v.push_back(x);
+  v.push_back(y);
+  v.push_back(z);
+}
+
+/// Uniform point on the unit sphere.
+void sphere_point(Rng& rng, float& x, float& y, float& z) {
+  const float u = rng.uniform(-1.f, 1.f);
+  const float phi = rng.uniform(0.f, 2.f * kPi);
+  const float r = std::sqrt(std::max(0.f, 1.f - u * u));
+  x = r * std::cos(phi);
+  y = r * std::sin(phi);
+  z = u;
+}
+
+std::vector<float> gen_sphere(std::int64_t n, Rng& rng) {
+  std::vector<float> pts;
+  pts.reserve(static_cast<std::size_t>(n) * 3);
+  for (std::int64_t i = 0; i < n; ++i) {
+    float x, y, z;
+    sphere_point(rng, x, y, z);
+    push_point(pts, x, y, z);
+  }
+  return pts;
+}
+
+std::vector<float> gen_ellipsoid(std::int64_t n, Rng& rng) {
+  // Fixed 1 : 0.6 : 0.35 axes — distinguishable from the sphere by local
+  // curvature, not by global scale (normalisation removes scale).
+  std::vector<float> pts;
+  pts.reserve(static_cast<std::size_t>(n) * 3);
+  for (std::int64_t i = 0; i < n; ++i) {
+    float x, y, z;
+    sphere_point(rng, x, y, z);
+    push_point(pts, x, 0.6f * y, 0.35f * z);
+  }
+  return pts;
+}
+
+std::vector<float> gen_cube(std::int64_t n, Rng& rng) {
+  std::vector<float> pts;
+  pts.reserve(static_cast<std::size_t>(n) * 3);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto face = static_cast<int>(rng.uniform_int(6));
+    const float u = rng.uniform(-1.f, 1.f);
+    const float v = rng.uniform(-1.f, 1.f);
+    switch (face) {
+      case 0: push_point(pts, 1.f, u, v); break;
+      case 1: push_point(pts, -1.f, u, v); break;
+      case 2: push_point(pts, u, 1.f, v); break;
+      case 3: push_point(pts, u, -1.f, v); break;
+      case 4: push_point(pts, u, v, 1.f); break;
+      default: push_point(pts, u, v, -1.f); break;
+    }
+  }
+  return pts;
+}
+
+std::vector<float> gen_cylinder(std::int64_t n, Rng& rng) {
+  std::vector<float> pts;
+  pts.reserve(static_cast<std::size_t>(n) * 3);
+  // Side area : cap area = 2*pi*r*h : 2*pi*r^2 with r=0.5, h=2 -> 4 : 1.
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float theta = rng.uniform(0.f, 2.f * kPi);
+    if (rng.uniform() < 0.8) {
+      push_point(pts, 0.5f * std::cos(theta), 0.5f * std::sin(theta),
+                 rng.uniform(-1.f, 1.f));
+    } else {
+      const float r = 0.5f * std::sqrt(static_cast<float>(rng.uniform()));
+      push_point(pts, r * std::cos(theta), r * std::sin(theta),
+                 rng.uniform() < 0.5 ? -1.f : 1.f);
+    }
+  }
+  return pts;
+}
+
+std::vector<float> gen_cone(std::int64_t n, Rng& rng) {
+  std::vector<float> pts;
+  pts.reserve(static_cast<std::size_t>(n) * 3);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float theta = rng.uniform(0.f, 2.f * kPi);
+    if (rng.uniform() < 0.75) {
+      // Lateral surface: radius shrinks linearly toward the apex; area
+      // density grows with radius, so sample sqrt.
+      const float t = std::sqrt(static_cast<float>(rng.uniform()));
+      const float r = 0.8f * t;
+      push_point(pts, r * std::cos(theta), r * std::sin(theta),
+                 1.f - 2.f * t);
+    } else {
+      const float r = 0.8f * std::sqrt(static_cast<float>(rng.uniform()));
+      push_point(pts, r * std::cos(theta), r * std::sin(theta), -1.f);
+    }
+  }
+  return pts;
+}
+
+std::vector<float> gen_torus(std::int64_t n, Rng& rng) {
+  std::vector<float> pts;
+  pts.reserve(static_cast<std::size_t>(n) * 3);
+  const float R = 0.7f, r = 0.25f;
+  for (std::int64_t i = 0; i < n; ++i) {
+    // Rejection-sample the poloidal angle for uniform surface density.
+    float phi;
+    do {
+      phi = rng.uniform(0.f, 2.f * kPi);
+    } while (rng.uniform() > (R + r * std::cos(phi)) / (R + r));
+    const float theta = rng.uniform(0.f, 2.f * kPi);
+    push_point(pts, (R + r * std::cos(phi)) * std::cos(theta),
+               (R + r * std::cos(phi)) * std::sin(theta), r * std::sin(phi));
+  }
+  return pts;
+}
+
+std::vector<float> gen_pyramid(std::int64_t n, Rng& rng) {
+  // Square-base pyramid: 4 triangular faces + base.
+  std::vector<float> pts;
+  pts.reserve(static_cast<std::size_t>(n) * 3);
+  const float apex_z = 1.f, base_z = -1.f, half = 0.9f;
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (rng.uniform() < 0.3) {  // base
+      push_point(pts, rng.uniform(-half, half), rng.uniform(-half, half),
+                 base_z);
+      continue;
+    }
+    // Pick a face, then sample the triangle (apex, c0, c1) uniformly.
+    const auto f = static_cast<int>(rng.uniform_int(4));
+    const float cx[4] = {half, -half, -half, half};
+    const float cy[4] = {half, half, -half, -half};
+    const int f2 = (f + 1) % 4;
+    float u = static_cast<float>(rng.uniform());
+    float v = static_cast<float>(rng.uniform());
+    if (u + v > 1.f) {
+      u = 1.f - u;
+      v = 1.f - v;
+    }
+    const float w = 1.f - u - v;
+    push_point(pts, u * cx[f] + v * cx[f2],
+               u * cy[f] + v * cy[f2], w * apex_z + (u + v) * base_z);
+  }
+  return pts;
+}
+
+std::vector<float> gen_helix(std::int64_t n, Rng& rng) {
+  // Tube around a 3-turn helix — a curve-like class with 1-D local
+  // structure, very different neighbourhoods from surface classes.
+  std::vector<float> pts;
+  pts.reserve(static_cast<std::size_t>(n) * 3);
+  const float turns = 3.f, radius = 0.7f, tube = 0.08f;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float t = static_cast<float>(rng.uniform());
+    const float theta = t * turns * 2.f * kPi;
+    const float cx = radius * std::cos(theta);
+    const float cy = radius * std::sin(theta);
+    const float cz = 2.f * t - 1.f;
+    float ox, oy, oz;
+    sphere_point(rng, ox, oy, oz);
+    push_point(pts, cx + tube * ox, cy + tube * oy, cz + tube * oz);
+  }
+  return pts;
+}
+
+std::vector<float> gen_cross_planes(std::int64_t n, Rng& rng) {
+  // Two unit squares intersecting at 90 degrees — sharp crease geometry.
+  std::vector<float> pts;
+  pts.reserve(static_cast<std::size_t>(n) * 3);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float u = rng.uniform(-1.f, 1.f);
+    const float v = rng.uniform(-1.f, 1.f);
+    if (rng.uniform() < 0.5)
+      push_point(pts, u, 0.f, v);
+    else
+      push_point(pts, 0.f, u, v);
+  }
+  return pts;
+}
+
+std::vector<float> gen_capsule(std::int64_t n, Rng& rng) {
+  // Cylinder with hemispherical caps (r = 0.4, half-height 0.6).
+  std::vector<float> pts;
+  pts.reserve(static_cast<std::size_t>(n) * 3);
+  const float r = 0.4f, h = 0.6f;
+  // Area split: side 2*pi*r*2h vs caps 4*pi*r^2 -> 2h : 2r = 0.6 : 0.4.
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (rng.uniform() < 0.6) {
+      const float theta = rng.uniform(0.f, 2.f * kPi);
+      push_point(pts, r * std::cos(theta), r * std::sin(theta),
+                 rng.uniform(-h, h));
+    } else {
+      float x, y, z;
+      sphere_point(rng, x, y, z);
+      const float zc = z >= 0.f ? h : -h;
+      push_point(pts, r * x, r * y, zc + r * z);
+    }
+  }
+  return pts;
+}
+
+/// Random rotation matrix via quaternion (uniform over SO(3)).
+void random_rotation_matrix(Rng& rng, float m[9]) {
+  const float u1 = static_cast<float>(rng.uniform());
+  const float u2 = static_cast<float>(rng.uniform());
+  const float u3 = static_cast<float>(rng.uniform());
+  const float a = std::sqrt(1.f - u1), b = std::sqrt(u1);
+  const float qx = a * std::sin(2.f * kPi * u2);
+  const float qy = a * std::cos(2.f * kPi * u2);
+  const float qz = b * std::sin(2.f * kPi * u3);
+  const float qw = b * std::cos(2.f * kPi * u3);
+  m[0] = 1 - 2 * (qy * qy + qz * qz);
+  m[1] = 2 * (qx * qy - qz * qw);
+  m[2] = 2 * (qx * qz + qy * qw);
+  m[3] = 2 * (qx * qy + qz * qw);
+  m[4] = 1 - 2 * (qx * qx + qz * qz);
+  m[5] = 2 * (qy * qz - qx * qw);
+  m[6] = 2 * (qx * qz - qy * qw);
+  m[7] = 2 * (qy * qz + qx * qw);
+  m[8] = 1 - 2 * (qx * qx + qy * qy);
+}
+
+}  // namespace
+
+std::string shape_class_name(ShapeClass c) {
+  switch (c) {
+    case ShapeClass::Sphere: return "sphere";
+    case ShapeClass::Cube: return "cube";
+    case ShapeClass::Cylinder: return "cylinder";
+    case ShapeClass::Cone: return "cone";
+    case ShapeClass::Torus: return "torus";
+    case ShapeClass::Pyramid: return "pyramid";
+    case ShapeClass::Ellipsoid: return "ellipsoid";
+    case ShapeClass::Helix: return "helix";
+    case ShapeClass::CrossPlanes: return "cross_planes";
+    case ShapeClass::Capsule: return "capsule";
+  }
+  return "unknown";
+}
+
+std::vector<float> generate_shape(ShapeClass c, std::int64_t num_points,
+                                  Rng& rng) {
+  if (num_points <= 0)
+    throw std::invalid_argument("generate_shape: num_points must be positive");
+  switch (c) {
+    case ShapeClass::Sphere: return gen_sphere(num_points, rng);
+    case ShapeClass::Cube: return gen_cube(num_points, rng);
+    case ShapeClass::Cylinder: return gen_cylinder(num_points, rng);
+    case ShapeClass::Cone: return gen_cone(num_points, rng);
+    case ShapeClass::Torus: return gen_torus(num_points, rng);
+    case ShapeClass::Pyramid: return gen_pyramid(num_points, rng);
+    case ShapeClass::Ellipsoid: return gen_ellipsoid(num_points, rng);
+    case ShapeClass::Helix: return gen_helix(num_points, rng);
+    case ShapeClass::CrossPlanes: return gen_cross_planes(num_points, rng);
+    case ShapeClass::Capsule: return gen_capsule(num_points, rng);
+  }
+  throw std::invalid_argument("generate_shape: unknown class");
+}
+
+void augment(std::vector<float>& points, const AugmentConfig& cfg, Rng& rng) {
+  const std::size_t n = points.size() / 3;
+  if (cfg.rotation == RotationMode::Full) {
+    float m[9];
+    random_rotation_matrix(rng, m);
+    for (std::size_t i = 0; i < n; ++i) {
+      const float x = points[i * 3], y = points[i * 3 + 1],
+                  z = points[i * 3 + 2];
+      points[i * 3] = m[0] * x + m[1] * y + m[2] * z;
+      points[i * 3 + 1] = m[3] * x + m[4] * y + m[5] * z;
+      points[i * 3 + 2] = m[6] * x + m[7] * y + m[8] * z;
+    }
+  } else if (cfg.rotation == RotationMode::ZAxis) {
+    const float theta = rng.uniform(0.f, 2.f * kPi);
+    const float c = std::cos(theta), s = std::sin(theta);
+    for (std::size_t i = 0; i < n; ++i) {
+      const float x = points[i * 3], y = points[i * 3 + 1];
+      points[i * 3] = c * x - s * y;
+      points[i * 3 + 1] = s * x + c * y;
+    }
+  }
+  const float sx = rng.uniform(cfg.scale_low, cfg.scale_high);
+  const float sy = rng.uniform(cfg.scale_low, cfg.scale_high);
+  const float sz = rng.uniform(cfg.scale_low, cfg.scale_high);
+  for (std::size_t i = 0; i < n; ++i) {
+    points[i * 3] *= sx;
+    points[i * 3 + 1] *= sy;
+    points[i * 3 + 2] *= sz;
+  }
+  if (cfg.jitter_sigma > 0.f) {
+    for (auto& v : points) {
+      const float noise = std::clamp(rng.normal(0.f, cfg.jitter_sigma),
+                                     -cfg.jitter_clip, cfg.jitter_clip);
+      v += noise;
+    }
+  }
+  if (cfg.outlier_fraction > 0.f) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.uniform() < cfg.outlier_fraction) {
+        points[i * 3] = rng.uniform(-1.f, 1.f);
+        points[i * 3 + 1] = rng.uniform(-1.f, 1.f);
+        points[i * 3 + 2] = rng.uniform(-1.f, 1.f);
+      }
+    }
+  }
+}
+
+void normalize_unit_sphere(std::vector<float>& points) {
+  const std::size_t n = points.size() / 3;
+  if (n == 0) return;
+  float cx = 0.f, cy = 0.f, cz = 0.f;
+  for (std::size_t i = 0; i < n; ++i) {
+    cx += points[i * 3];
+    cy += points[i * 3 + 1];
+    cz += points[i * 3 + 2];
+  }
+  cx /= static_cast<float>(n);
+  cy /= static_cast<float>(n);
+  cz /= static_cast<float>(n);
+  float max_r = 1e-9f;
+  for (std::size_t i = 0; i < n; ++i) {
+    points[i * 3] -= cx;
+    points[i * 3 + 1] -= cy;
+    points[i * 3 + 2] -= cz;
+    const float r2 = points[i * 3] * points[i * 3] +
+                     points[i * 3 + 1] * points[i * 3 + 1] +
+                     points[i * 3 + 2] * points[i * 3 + 2];
+    max_r = std::max(max_r, r2);
+  }
+  const float inv = 1.f / std::sqrt(max_r);
+  for (auto& v : points) v *= inv;
+}
+
+Dataset::Dataset(std::int64_t samples_per_class, std::int64_t num_points,
+                 std::uint64_t seed, const AugmentConfig& cfg,
+                 double train_fraction)
+    : num_points_(num_points) {
+  if (samples_per_class <= 0)
+    throw std::invalid_argument("Dataset: samples_per_class must be positive");
+  if (train_fraction <= 0.0 || train_fraction >= 1.0)
+    throw std::invalid_argument("Dataset: train_fraction must be in (0,1)");
+  Rng rng(seed);
+  const auto train_per_class = static_cast<std::int64_t>(
+      std::round(train_fraction * static_cast<double>(samples_per_class)));
+  for (std::int64_t c = 0; c < kNumClasses; ++c) {
+    for (std::int64_t s = 0; s < samples_per_class; ++s) {
+      Sample smp;
+      smp.label = c;
+      smp.num_points = num_points;
+      smp.points =
+          generate_shape(static_cast<ShapeClass>(c), num_points, rng);
+      augment(smp.points, cfg, rng);
+      normalize_unit_sphere(smp.points);
+      if (s < train_per_class)
+        train_.push_back(std::move(smp));
+      else
+        test_.push_back(std::move(smp));
+    }
+  }
+  rng.shuffle(train_);
+  rng.shuffle(test_);
+}
+
+Tensor Dataset::to_tensor(const Sample& s) {
+  return Tensor::from_vector({s.num_points, 3},
+                             std::vector<float>(s.points.begin(),
+                                                s.points.end()));
+}
+
+std::vector<std::size_t> shuffled_indices(std::size_t n, Rng& rng) {
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  rng.shuffle(idx);
+  return idx;
+}
+
+}  // namespace hg::pointcloud

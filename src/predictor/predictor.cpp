@@ -1,0 +1,332 @@
+#include "predictor/predictor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "pointcloud/pointcloud.hpp"
+#include "tensor/optim.hpp"
+
+namespace hg::predictor {
+
+namespace {
+
+void check(bool cond, const std::string& msg) {
+  if (!cond) throw std::invalid_argument("predictor: " + msg);
+}
+
+// Node-type slots of the 7-dim one-hot.
+enum NodeType : std::int64_t {
+  kInput = 0,
+  kOutput,
+  kGlobal,
+  kConnect,
+  kAggregate,
+  kCombine,
+  kSample,
+};
+
+// Function slots of the 9-dim one-hot.
+enum FunctionSlot : std::int64_t {
+  kFnSkip = 0,
+  kFnIdentity,
+  kFnKnn,
+  kFnRandom,
+  kFnSum,
+  kFnMin,
+  kFnMax,
+  kFnMean,
+  kFnNone,
+};
+
+std::int64_t function_slot(const hgnas::PositionGene& g) {
+  switch (g.op) {
+    case hgnas::OpType::Connect:
+      return g.fn.connect == hgnas::ConnectFunc::SkipConnect ? kFnSkip
+                                                             : kFnIdentity;
+    case hgnas::OpType::Sample:
+      return g.fn.sample == hgnas::SampleFunc::Knn ? kFnKnn : kFnRandom;
+    case hgnas::OpType::Aggregate:
+      switch (g.fn.aggr) {
+        case hgnas::AggrType::Sum: return kFnSum;
+        case hgnas::AggrType::Min: return kFnMin;
+        case hgnas::AggrType::Max: return kFnMax;
+        case hgnas::AggrType::Mean: return kFnMean;
+      }
+      return kFnNone;
+    case hgnas::OpType::Combine:
+      return kFnNone;  // the dimension is carried by the channel scalars
+  }
+  return kFnNone;
+}
+
+std::int64_t node_type_of(const hgnas::PositionGene& g) {
+  switch (g.op) {
+    case hgnas::OpType::Connect: return kConnect;
+    case hgnas::OpType::Aggregate: return kAggregate;
+    case hgnas::OpType::Combine: return kCombine;
+    case hgnas::OpType::Sample: return kSample;
+  }
+  return kConnect;
+}
+
+float log_channel(std::int64_t c) {
+  return std::log2(static_cast<float>(std::max<std::int64_t>(c, 1))) / 8.f;
+}
+
+}  // namespace
+
+ArchGraph arch_to_graph(const hgnas::Arch& arch, const hgnas::Workload& w,
+                        int device_slot) {
+  check(!arch.genes.empty(), "arch_to_graph: empty architecture");
+  check(device_slot >= -1 && device_slot < hw::kNumDevices,
+        "arch_to_graph: device_slot out of range");
+  const std::int64_t P = arch.num_positions();
+  // Node ids: 0 input, 1..P positions, P+1 output, P+2 global.
+  const std::int64_t n_nodes = P + 3;
+  const std::int64_t out_node = P + 1;
+  const std::int64_t global_node = P + 2;
+
+  graph::EdgeList e;
+  e.num_nodes = n_nodes;
+  auto bi_edge = [&e](std::int64_t a, std::int64_t b) {
+    e.add_edge(a, b);
+    e.add_edge(b, a);
+  };
+  // Dataflow chain (plus reverse edges so GCN messages flow both ways).
+  for (std::int64_t i = 0; i <= P; ++i) bi_edge(i, i + 1);
+  // Skip-connect edges: from the previous Connect checkpoint (or input).
+  std::int64_t checkpoint = 0;
+  for (std::int64_t i = 0; i < P; ++i) {
+    const auto& g = arch.genes[static_cast<std::size_t>(i)];
+    if (g.op == hgnas::OpType::Connect) {
+      if (g.fn.connect == hgnas::ConnectFunc::SkipConnect &&
+          checkpoint != i)  // the chain edge already exists for i-1 -> i
+        bi_edge(checkpoint, i + 1);
+      checkpoint = i + 1;
+    }
+  }
+  // Global node star (improves connectivity; carries data properties).
+  for (std::int64_t i = 0; i < global_node; ++i) bi_edge(i, global_node);
+
+  // ---- features -------------------------------------------------------------
+  const auto flow = channel_flow(arch, w);
+  std::vector<float> feat(
+      static_cast<std::size_t>(n_nodes * kFeatureDim), 0.f);
+  auto at = [&feat](std::int64_t node, std::int64_t dim) -> float& {
+    return feat[static_cast<std::size_t>(node * kFeatureDim + dim)];
+  };
+  const std::int64_t fn_off = kNodeTypeDim;
+  const std::int64_t msg_off = fn_off + kFunctionDim;
+  const std::int64_t ch_off = msg_off + kMessageDim;
+  const std::int64_t exec_off = ch_off + kChannelDim;
+  const std::int64_t glob_off = exec_off + kExecDim;
+  const hgnas::ExecMarks marks = hgnas::compute_exec_marks(arch);
+
+  at(0, kInput) = 1.f;
+  at(0, ch_off + 1) = log_channel(w.in_dim);
+  at(out_node, kOutput) = 1.f;
+  at(out_node, ch_off) = log_channel(flow.back());
+
+  for (std::int64_t i = 0; i < P; ++i) {
+    const auto& g = arch.genes[static_cast<std::size_t>(i)];
+    const std::int64_t node = i + 1;
+    at(node, node_type_of(g)) = 1.f;
+    at(node, fn_off + function_slot(g)) = 1.f;
+    if (g.op == hgnas::OpType::Aggregate)
+      at(node, msg_off + static_cast<std::int64_t>(g.fn.msg)) = 1.f;
+    at(node, ch_off) = log_channel(flow[static_cast<std::size_t>(i)]);
+    at(node, ch_off + 1) = log_channel(flow[static_cast<std::size_t>(i + 1)]);
+    if (marks.sample_executes[static_cast<std::size_t>(i)])
+      at(node, exec_off) = 1.f;
+    if (marks.implicit_initial_knn[static_cast<std::size_t>(i)])
+      at(node, exec_off + 1) = 1.f;
+  }
+
+  // Global node: 16-dim data-property encoding (paper: "number of nodes,
+  // density, etc."). Unused slots stay zero for forward compatibility.
+  at(global_node, kGlobal) = 1.f;
+  const std::int64_t kk = std::min<std::int64_t>(w.k, w.num_points - 1);
+  const double edges_d =
+      static_cast<double>(w.num_points) * static_cast<double>(kk);
+  at(global_node, glob_off + 0) =
+      std::log2(static_cast<float>(w.num_points)) / 16.f;
+  at(global_node, glob_off + 1) =
+      std::log2(static_cast<float>(edges_d) + 1.f) / 24.f;
+  at(global_node, glob_off + 2) = static_cast<float>(
+      edges_d / (static_cast<double>(w.num_points) *
+                 std::max<double>(1.0, static_cast<double>(w.num_points - 1))));
+  at(global_node, glob_off + 3) = static_cast<float>(kk) / 64.f;
+  at(global_node, glob_off + 4) = static_cast<float>(w.in_dim) / 8.f;
+  at(global_node, glob_off + 5) = static_cast<float>(w.num_classes) / 64.f;
+  at(global_node, glob_off + 6) =
+      static_cast<float>(P) / 16.f;  // positions in the chain
+  // Slots 8..11: target-device one-hot ("information on the target
+  // device", §III-D) for the shared cross-device predictor.
+  if (device_slot >= 0) at(global_node, glob_off + 8 + device_slot) = 1.f;
+
+  ArchGraph ag;
+  ag.edges = std::move(e);
+  ag.features = Tensor::from_vector({n_nodes, kFeatureDim}, std::move(feat));
+  return ag;
+}
+
+LatencyPredictor::LatencyPredictor(const PredictorConfig& cfg,
+                                   const hgnas::Workload& w, Rng& rng)
+    : cfg_(cfg), workload_(w) {
+  check(!cfg_.gcn_dims.empty(), "need at least one GCN layer");
+  check(cfg_.mlp_dims.size() >= 2 && cfg_.mlp_dims.back() == 1,
+        "MLP must end in a single scalar output");
+  std::int64_t d = kFeatureDim;
+  for (auto h : cfg_.gcn_dims) {
+    gcn_.push_back(std::make_unique<gnn::GcnLayer>(d, h, rng, Reduce::Sum));
+    d = h;
+  }
+  std::vector<std::int64_t> mlp_dims = cfg_.mlp_dims;
+  mlp_dims.insert(mlp_dims.begin(), d);
+  mlp_ = std::make_unique<nn::Mlp>(
+      mlp_dims, rng, nn::Activation::Relu,
+      cfg_.log_space_output ? nn::Activation::None
+                            : nn::Activation::LeakyRelu,
+      /*batch_norm=*/false, cfg_.leaky_slope);
+}
+
+Tensor LatencyPredictor::forward(const ArchGraph& g) {
+  Tensor h = g.features;
+  for (auto& layer : gcn_) h = relu(layer->forward(h, g.edges));
+  if (!cfg_.log_space_output) {
+    Tensor pooled = gnn::global_mean_pool(h);  // [1, d]
+    return mlp_->forward(pooled);              // [1, 1]
+  }
+  // Additive head: total latency is a sum of per-operation costs, so the
+  // MLP scores every node and the readout sums positive per-node
+  // contributions. softplus keeps contributions positive without the
+  // gradient saturation a hard clamp would cause:
+  //   softplus(z) = relu(z) + log(1 + exp(-|z|))   (numerically stable).
+  Tensor z = mlp_->forward(h);  // [N, 1]
+  Tensor contrib =
+      add(relu(z), log_op(add(exp_op(neg(abs_op(z))), 1.f)));
+  Tensor total = sum_all(contrib);
+  return reshape(total, {1, 1});
+}
+
+double LatencyPredictor::predict_ms(const hgnas::Arch& arch) {
+  NoGradGuard ng;
+  const ArchGraph g = arch_to_graph(arch, workload_, cfg_.device_slot);
+  Tensor out = const_cast<LatencyPredictor*>(this)->forward(g);
+  return std::max(0.0, static_cast<double>(out.item()) * scale_ms_);
+}
+
+double LatencyPredictor::fit(const std::vector<LabeledArch>& train,
+                             Rng& rng) {
+  check(!train.empty(), "fit: empty training set");
+  // Normalisation scale: arithmetic mean for the raw head, geometric mean
+  // for the exponential head (centres z near zero).
+  double acc = 0.0;
+  for (const auto& s : train) {
+    check(s.latency_ms > 0.0, "fit: non-positive latency label");
+    acc += cfg_.log_space_output ? std::log(s.latency_ms) : s.latency_ms;
+  }
+  acc /= static_cast<double>(train.size());
+  scale_ms_ = cfg_.log_space_output ? std::exp(acc) : acc;
+
+  // Pre-build graphs once (they are label-independent).
+  std::vector<ArchGraph> graphs;
+  graphs.reserve(train.size());
+  for (const auto& s : train)
+    graphs.push_back(arch_to_graph(s.arch, workload_, cfg_.device_slot));
+
+  Adam opt(parameters(), cfg_.lr);
+  double last_epoch_mape = 0.0;
+  for (std::int64_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    opt.set_lr(cosine_lr(cfg_.lr, cfg_.lr * 0.02f, epoch, cfg_.epochs));
+    auto order = pointcloud::shuffled_indices(train.size(), rng);
+    double mape_sum = 0.0;
+    std::int64_t in_batch = 0;
+    for (std::size_t oi = 0; oi < order.size(); ++oi) {
+      const std::size_t i = order[oi];
+      const float y =
+          static_cast<float>(train[i].latency_ms / scale_ms_);
+      Tensor pred = forward(graphs[i]);  // [1,1]
+      // MAPE contribution: |pred - y| / y.
+      Tensor err = div(abs_op(sub(pred, y)), y);
+      Tensor loss = mean_all(err);
+      loss.backward();
+      mape_sum += loss.item();
+      ++in_batch;
+      if (in_batch == cfg_.batch_size || oi + 1 == order.size()) {
+        opt.step();
+        opt.zero_grad();
+        in_batch = 0;
+      }
+    }
+    last_epoch_mape = mape_sum / static_cast<double>(train.size());
+  }
+  return last_epoch_mape;
+}
+
+PredictorMetrics LatencyPredictor::evaluate(
+    const std::vector<LabeledArch>& test) {
+  check(!test.empty(), "evaluate: empty test set");
+  PredictorMetrics m;
+  double se = 0.0;
+  std::int64_t within = 0;
+  for (const auto& s : test) {
+    const double pred = predict_ms(s.arch);
+    const double rel = std::abs(pred - s.latency_ms) / s.latency_ms;
+    m.mape += rel;
+    if (rel <= 0.10) ++within;
+    se += (pred - s.latency_ms) * (pred - s.latency_ms);
+  }
+  const auto n = static_cast<double>(test.size());
+  m.mape /= n;
+  m.within_10pct = static_cast<double>(within) / n;
+  m.rmse_ms = std::sqrt(se / n);
+  return m;
+}
+
+std::vector<Tensor> LatencyPredictor::parameters() const {
+  std::vector<Tensor> out;
+  for (const auto& l : gcn_)
+    for (auto& p : l->parameters()) out.push_back(p);
+  for (auto& p : mlp_->parameters()) out.push_back(p);
+  return out;
+}
+
+std::vector<LabeledArch> collect_labeled_archs(const hw::Device& device,
+                                               const hgnas::SpaceConfig& space,
+                                               const hgnas::Workload& w,
+                                               std::int64_t count,
+                                               std::uint64_t seed) {
+  check(count > 0, "collect_labeled_archs: count must be positive");
+  Rng rng(seed);
+  std::vector<LabeledArch> out;
+  out.reserve(static_cast<std::size_t>(count));
+  std::int64_t attempts = 0;
+  const std::int64_t max_attempts = count * 20;
+  while (static_cast<std::int64_t>(out.size()) < count &&
+         attempts++ < max_attempts) {
+    LabeledArch s;
+    s.arch = hgnas::random_arch(space, rng);
+    const hw::Trace trace = lower_to_trace(s.arch, w);
+    const hw::Measurement meas = device.measure(trace, rng);
+    if (meas.oom || meas.latency_ms <= 0.0) continue;  // no label for OOM
+    s.latency_ms = meas.latency_ms;
+    out.push_back(std::move(s));
+  }
+  check(static_cast<std::int64_t>(out.size()) == count,
+        "collect_labeled_archs: too many OOM architectures on " +
+            device.name());
+  return out;
+}
+
+hgnas::LatencyFn make_predictor_evaluator(
+    std::shared_ptr<LatencyPredictor> predictor, double query_cost_s) {
+  check(predictor != nullptr, "make_predictor_evaluator: null predictor");
+  return [predictor, query_cost_s](const hgnas::Arch& arch)
+             -> hgnas::LatencyEval {
+    return {predictor->predict_ms(arch), query_cost_s, false};
+  };
+}
+
+}  // namespace hg::predictor

@@ -1,0 +1,35 @@
+// init.hpp — weight-initialisation schemes.
+#pragma once
+
+#include <cmath>
+
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hg {
+
+/// Xavier/Glorot uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+/// Standard for the linear layers feeding tanh/softmax heads.
+inline Tensor xavier_uniform(std::int64_t fan_in, std::int64_t fan_out,
+                             Rng& rng) {
+  const float a =
+      std::sqrt(6.f / static_cast<float>(fan_in + fan_out));
+  return Tensor::rand_uniform({fan_in, fan_out}, rng, -a, a,
+                              /*requires_grad=*/true);
+}
+
+/// Kaiming/He normal: N(0, sqrt(2 / fan_in)), matched to ReLU-family
+/// activations (used throughout the GNN combine layers).
+inline Tensor kaiming_normal(std::int64_t fan_in, std::int64_t fan_out,
+                             Rng& rng) {
+  const float stddev = std::sqrt(2.f / static_cast<float>(fan_in));
+  return Tensor::randn({fan_in, fan_out}, rng, 0.f, stddev,
+                       /*requires_grad=*/true);
+}
+
+/// Bias vector initialised to zero.
+inline Tensor zeros_bias(std::int64_t n) {
+  return Tensor::zeros({n}, /*requires_grad=*/true);
+}
+
+}  // namespace hg

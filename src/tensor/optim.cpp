@@ -1,0 +1,98 @@
+#include "tensor/optim.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace hg {
+
+Optimizer::Optimizer(std::vector<Tensor> params) {
+  std::unordered_set<const void*> seen;
+  for (auto& p : params) {
+    if (!p.requires_grad())
+      throw std::invalid_argument(
+          "optimizer: parameter without requires_grad");
+    if (seen.insert(p.id()).second) params_.push_back(p);
+  }
+}
+
+void Optimizer::zero_grad() {
+  for (auto& p : params_) p.zero_grad();
+}
+
+Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum,
+         float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  velocity_.resize(params_.size());
+}
+
+void Sgd::step() {
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    auto& p = params_[pi];
+    if (!p.has_grad()) continue;  // unused this iteration (supernet paths)
+    auto data = p.data();
+    const auto grad = p.grad();
+    auto& vel = velocity_[pi];
+    if (momentum_ != 0.f && vel.size() != data.size())
+      vel.assign(data.size(), 0.f);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      float g = grad[i] + weight_decay_ * data[i];
+      if (momentum_ != 0.f) {
+        vel[i] = momentum_ * vel[i] + g;
+        g = vel[i];
+      }
+      data[i] -= lr_ * g;
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    auto& p = params_[pi];
+    if (!p.has_grad()) continue;
+    auto data = p.data();
+    const auto grad = p.grad();
+    auto& m = m_[pi];
+    auto& v = v_[pi];
+    if (m.size() != data.size()) {
+      m.assign(data.size(), 0.f);
+      v.assign(data.size(), 0.f);
+    }
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const float g = grad[i] + weight_decay_ * data[i];
+      m[i] = beta1_ * m[i] + (1.f - beta1_) * g;
+      v[i] = beta2_ * v[i] + (1.f - beta2_) * g * g;
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      data[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+float cosine_lr(float lr0, float lr_min, std::int64_t step,
+                std::int64_t total) {
+  if (total <= 0 || step >= total) return lr_min;
+  const float t = static_cast<float>(step) / static_cast<float>(total);
+  return lr_min + 0.5f * (lr0 - lr_min) *
+                      (1.f + std::cos(3.14159265358979323846f * t));
+}
+
+}  // namespace hg

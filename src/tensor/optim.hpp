@@ -1,0 +1,68 @@
+// optim.hpp — gradient-descent optimisers over parameter lists.
+//
+// Parameters are plain Tensors with requires_grad set; Modules expose
+// `parameters()` as std::vector<Tensor> and optimisers mutate the data
+// in place. Duplicate handles to the same storage are deduped so shared
+// supernet weights are stepped exactly once.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace hg {
+
+/// Common interface: step() applies one update from accumulated grads,
+/// zero_grad() clears them for the next iteration.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params);
+  virtual ~Optimizer() = default;
+
+  virtual void step() = 0;
+  void zero_grad();
+
+  std::size_t num_params() const { return params_.size(); }
+
+ protected:
+  std::vector<Tensor> params_;
+};
+
+/// SGD with optional momentum and decoupled L2 weight decay.
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, float lr, float momentum = 0.f,
+      float weight_decay = 0.f);
+
+  void step() override;
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float momentum_;
+  float weight_decay_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+/// Adam (Kingma & Ba, 2015) with bias correction.
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.f);
+
+  void step() override;
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_, beta1_, beta2_, eps_, weight_decay_;
+  std::int64_t t_ = 0;
+  std::vector<std::vector<float>> m_, v_;
+};
+
+/// Cosine learning-rate schedule: lr(t) = lr_min + 0.5(lr0-lr_min)(1+cos(pi t/T)).
+float cosine_lr(float lr0, float lr_min, std::int64_t step, std::int64_t total);
+
+}  // namespace hg

@@ -1,0 +1,138 @@
+// rng.hpp — deterministic pseudo-random number generation for the whole
+// project. Every stochastic component (dataset synthesis, weight init,
+// supernet sampling, evolutionary search, measurement noise) takes an
+// explicit seed so that runs are reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace hg {
+
+/// SplitMix64 — used to expand a single user seed into a full xoshiro state.
+/// Reference: Steele, Lea, Flood — "Fast splittable pseudorandom number
+/// generators" (OOPSLA 2014).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — fast, high-quality 64-bit PRNG (Blackman & Vigna).
+/// Satisfies UniformRandomBitGenerator so it can feed <random> if needed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi) {
+    return lo + static_cast<float>(uniform()) * (hi - lo);
+  }
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  std::uint64_t uniform_int(std::uint64_t n) {
+    // Lemire's nearly-divisionless bounded generation.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    std::uint64_t l = static_cast<std::uint64_t>(m);
+    if (l < n) {
+      std::uint64_t t = (0 - n) % n;
+      while (l < t) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * n;
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    uniform_int(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Standard normal via Box–Muller (cached second value).
+  float normal() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    float u1 = 0.f;
+    do {
+      u1 = static_cast<float>(uniform());
+    } while (u1 <= 1e-12f);
+    const float u2 = static_cast<float>(uniform());
+    const float r = std::sqrt(-2.0f * std::log(u1));
+    const float theta = 6.28318530717958647692f * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  float normal(float mean, float stddev) { return mean + stddev * normal(); }
+
+  /// True with probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_int(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child stream (for parallel-safe sub-seeding).
+  Rng split() { return Rng(next() ^ 0xA5A5A5A5DEADBEEFULL); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+  float cached_ = 0.f;
+  bool has_cached_ = false;
+};
+
+}  // namespace hg

@@ -1,0 +1,61 @@
+#include "tensor/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace hg {
+
+namespace {
+constexpr char kMagic[4] = {'H', 'G', 'T', '1'};
+}
+
+void save_tensors(const std::string& path,
+                  const std::vector<Tensor>& tensors) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_tensors: cannot open " + path);
+  out.write(kMagic, 4);
+  const std::uint64_t count = tensors.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& t : tensors) {
+    const std::uint64_t rank = t.shape().size();
+    out.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+    for (auto d : t.shape())
+      out.write(reinterpret_cast<const char*>(&d), sizeof(d));
+    const auto data = t.data();
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size() * sizeof(float)));
+  }
+  if (!out) throw std::runtime_error("save_tensors: write failed for " + path);
+}
+
+void load_tensors(const std::string& path, std::vector<Tensor>& tensors) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_tensors: cannot open " + path);
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kMagic, 4) != 0)
+    throw std::runtime_error("load_tensors: bad magic in " + path);
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (count != tensors.size())
+    throw std::runtime_error("load_tensors: checkpoint has " +
+                             std::to_string(count) + " tensors, expected " +
+                             std::to_string(tensors.size()));
+  for (auto& t : tensors) {
+    std::uint64_t rank = 0;
+    in.read(reinterpret_cast<char*>(&rank), sizeof(rank));
+    Shape shape(rank);
+    for (auto& d : shape) in.read(reinterpret_cast<char*>(&d), sizeof(d));
+    if (shape != t.shape())
+      throw std::runtime_error("load_tensors: shape mismatch, file has " +
+                               shape_to_string(shape) + " expected " +
+                               shape_to_string(t.shape()));
+    auto data = t.data();
+    in.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(float)));
+    if (!in) throw std::runtime_error("load_tensors: truncated file " + path);
+  }
+}
+
+}  // namespace hg

@@ -1,0 +1,22 @@
+// serialize.hpp — binary checkpointing of parameter lists.
+//
+// Format: magic "HGT1", u64 tensor count, then per tensor:
+// u64 rank, i64 dims..., f32 data...  Little-endian host order (this project
+// only targets x86-64 Linux).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace hg {
+
+/// Write parameters to `path`. Throws std::runtime_error on I/O failure.
+void save_tensors(const std::string& path, const std::vector<Tensor>& tensors);
+
+/// Read parameters from `path` into the given (pre-shaped) tensors in order.
+/// Shapes must match what was saved; throws otherwise.
+void load_tensors(const std::string& path, std::vector<Tensor>& tensors);
+
+}  // namespace hg

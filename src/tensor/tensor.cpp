@@ -1,0 +1,1007 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "tensor/rng.hpp"
+
+namespace hg {
+
+namespace {
+
+thread_local bool g_grad_enabled = true;
+
+[[noreturn]] void fail(const std::string& msg) {
+  throw std::invalid_argument("tensor: " + msg);
+}
+
+void check(bool cond, const std::string& msg) {
+  if (!cond) fail(msg);
+}
+
+using Impl = detail::TensorImpl;
+using ImplPtr = std::shared_ptr<Impl>;
+
+ImplPtr make_impl(Shape shape, std::vector<float> data) {
+  auto impl = std::make_shared<Impl>();
+  impl->shape = std::move(shape);
+  impl->data = std::move(data);
+  return impl;
+}
+
+/// Build an op result: decides requires_grad from parents and records the
+/// tape edge only when autograd is enabled and some parent needs gradients.
+Tensor make_op(Shape shape, std::vector<float> data,
+               std::vector<Tensor> parents,
+               std::function<void(Impl&)> backward_fn) {
+  auto impl = make_impl(std::move(shape), std::move(data));
+  bool needs = false;
+  if (detail::grad_enabled()) {
+    for (const auto& p : parents) {
+      if (p.impl()->requires_grad) needs = true;
+    }
+  }
+  if (needs) {
+    impl->requires_grad = true;
+    impl->parents.reserve(parents.size());
+    for (auto& p : parents) impl->parents.push_back(p.impl());
+    impl->backward_fn = std::move(backward_fn);
+  }
+  return Tensor(std::move(impl));
+}
+
+// ---- raw (tape-free) kernels used inside backward closures -----------------
+
+void raw_matmul(const float* a, const float* b, float* c, std::int64_t m,
+                std::int64_t k, std::int64_t n) {
+  std::fill(c, c + m * n, 0.f);
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.f) continue;
+      const float* brow = b + p * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// c[m,n] += a^T[m,k_rows] ... specialised transposed products for backward.
+void raw_matmul_at_b(const float* a, const float* b, float* c, std::int64_t m,
+                     std::int64_t k, std::int64_t n) {
+  // a is [k, m] (we want a^T @ b), b is [k, n], c is [m, n]
+  std::fill(c, c + m * n, 0.f);
+  for (std::int64_t p = 0; p < k; ++p) {
+    const float* arow = a + p * m;
+    const float* brow = b + p * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.f) continue;
+      float* crow = c + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void raw_matmul_a_bt(const float* a, const float* b, float* c, std::int64_t m,
+                     std::int64_t k, std::int64_t n) {
+  // a is [m, k], b is [n, k] (we want a @ b^T), c is [m, n]
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.f;
+      for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] = acc;
+    }
+  }
+}
+
+enum class BinOp { Add, Sub, Mul, Div };
+
+enum class Broadcast { Exact, ScalarRhs, RowRhs, ColRhs };
+
+Broadcast classify_broadcast(const Shape& a, const Shape& b) {
+  if (a == b) return Broadcast::Exact;
+  if (shape_numel(b) == 1) return Broadcast::ScalarRhs;
+  if (a.size() == 2 && b.size() == 1 && b[0] == a[1]) return Broadcast::RowRhs;
+  if (a.size() == 2 && b.size() == 2 && b[0] == a[0] && b[1] == 1)
+    return Broadcast::ColRhs;
+  fail("incompatible shapes for broadcast: " + shape_to_string(a) + " vs " +
+       shape_to_string(b));
+}
+
+float apply_bin(BinOp op, float x, float y) {
+  switch (op) {
+    case BinOp::Add: return x + y;
+    case BinOp::Sub: return x - y;
+    case BinOp::Mul: return x * y;
+    case BinOp::Div: return x / y;
+  }
+  return 0.f;
+}
+
+Tensor binary_op(const Tensor& a, const Tensor& b, BinOp op) {
+  const Broadcast bc = classify_broadcast(a.shape(), b.shape());
+  const auto& ad = a.data();
+  const auto& bd = b.data();
+  const std::int64_t n = a.numel();
+  std::vector<float> out(static_cast<std::size_t>(n));
+
+  const std::int64_t cols = (a.dim() == 2) ? a.shape()[1] : n;
+  // Captured by value: this lambda outlives binary_op inside the backward
+  // closure below.
+  auto rhs_index = [bc, cols](std::int64_t i) -> std::int64_t {
+    switch (bc) {
+      case Broadcast::Exact: return i;
+      case Broadcast::ScalarRhs: return 0;
+      case Broadcast::RowRhs: return i % cols;
+      case Broadcast::ColRhs: return i / cols;
+    }
+    return 0;
+  };
+
+  for (std::int64_t i = 0; i < n; ++i)
+    out[static_cast<std::size_t>(i)] = apply_bin(op, ad[i], bd[rhs_index(i)]);
+
+  // Capture everything the backward pass needs by value.
+  std::vector<float> a_copy(ad.begin(), ad.end());
+  std::vector<float> b_copy(bd.begin(), bd.end());
+  auto backward = [op, bc, cols, n, a_copy = std::move(a_copy),
+                   b_copy = std::move(b_copy),
+                   rhs_index](Impl& self) {
+    auto& g = self.grad;
+    Impl& pa = *self.parents[0];
+    Impl& pb = *self.parents[1];
+    if (pa.requires_grad) {
+      std::vector<float> ga(static_cast<std::size_t>(n));
+      for (std::int64_t i = 0; i < n; ++i) {
+        const float gi = g[static_cast<std::size_t>(i)];
+        switch (op) {
+          case BinOp::Add:
+          case BinOp::Sub: ga[i] = gi; break;
+          case BinOp::Mul: ga[i] = gi * b_copy[rhs_index(i)]; break;
+          case BinOp::Div: ga[i] = gi / b_copy[rhs_index(i)]; break;
+        }
+      }
+      pa.accumulate_grad(ga);
+    }
+    if (pb.requires_grad) {
+      std::vector<float> gb(b_copy.size(), 0.f);
+      for (std::int64_t i = 0; i < n; ++i) {
+        const float gi = g[static_cast<std::size_t>(i)];
+        const std::int64_t j = rhs_index(i);
+        float contrib = 0.f;
+        switch (op) {
+          case BinOp::Add: contrib = gi; break;
+          case BinOp::Sub: contrib = -gi; break;
+          case BinOp::Mul: contrib = gi * a_copy[static_cast<std::size_t>(i)]; break;
+          case BinOp::Div: {
+            const float bv = b_copy[static_cast<std::size_t>(j)];
+            contrib = -gi * a_copy[static_cast<std::size_t>(i)] / (bv * bv);
+            break;
+          }
+        }
+        gb[static_cast<std::size_t>(j)] += contrib;
+      }
+      pb.accumulate_grad(gb);
+    }
+    (void)bc;
+    (void)cols;
+  };
+
+  return make_op(a.shape(), std::move(out), {a, b}, std::move(backward));
+}
+
+/// Unary op with pointwise derivative expressed from (x, y).
+Tensor unary_op(const Tensor& a, const std::function<float(float)>& f,
+                const std::function<float(float, float)>& dfdx_from_xy) {
+  const auto ad = a.data();
+  std::vector<float> out(ad.size());
+  for (std::size_t i = 0; i < ad.size(); ++i) out[i] = f(ad[i]);
+  std::vector<float> x_copy(ad.begin(), ad.end());
+  std::vector<float> y_copy = out;
+  auto backward = [x_copy = std::move(x_copy), y_copy = std::move(y_copy),
+                   dfdx_from_xy](Impl& self) {
+    Impl& p = *self.parents[0];
+    if (!p.requires_grad) return;
+    std::vector<float> g(x_copy.size());
+    for (std::size_t i = 0; i < x_copy.size(); ++i)
+      g[i] = self.grad[i] * dfdx_from_xy(x_copy[i], y_copy[i]);
+    p.accumulate_grad(g);
+  };
+  return make_op(a.shape(), std::move(out), {a}, std::move(backward));
+}
+
+}  // namespace
+
+// ---- shape helpers ----------------------------------------------------------
+
+std::int64_t shape_numel(const Shape& shape) {
+  std::int64_t n = 1;
+  for (auto d : shape) {
+    if (d < 0) fail("negative dimension in shape " + shape_to_string(shape));
+    n *= d;
+  }
+  return n;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::string s = "[";
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) s += ", ";
+    s += std::to_string(shape[i]);
+  }
+  return s + "]";
+}
+
+// ---- detail -----------------------------------------------------------------
+
+namespace detail {
+
+void TensorImpl::ensure_grad() {
+  if (grad.size() != data.size()) grad.assign(data.size(), 0.f);
+}
+
+void TensorImpl::accumulate_grad(std::span<const float> g) {
+  if (g.size() != data.size())
+    fail("gradient size mismatch: " + std::to_string(g.size()) + " vs " +
+         std::to_string(data.size()));
+  ensure_grad();
+  for (std::size_t i = 0; i < g.size(); ++i) grad[i] += g[i];
+}
+
+NoGradGuard::NoGradGuard() : prev_(g_grad_enabled) { g_grad_enabled = false; }
+NoGradGuard::~NoGradGuard() { g_grad_enabled = prev_; }
+
+bool grad_enabled() { return g_grad_enabled; }
+
+}  // namespace detail
+
+// ---- Tensor -------------------------------------------------------------------
+
+Tensor::Tensor() : impl_(make_impl({}, {0.f})) {}
+
+Tensor Tensor::zeros(Shape shape, bool requires_grad) {
+  return full(std::move(shape), 0.f, requires_grad);
+}
+
+Tensor Tensor::ones(Shape shape, bool requires_grad) {
+  return full(std::move(shape), 1.f, requires_grad);
+}
+
+Tensor Tensor::full(Shape shape, float value, bool requires_grad) {
+  const auto n = shape_numel(shape);
+  auto impl = make_impl(std::move(shape),
+                        std::vector<float>(static_cast<std::size_t>(n), value));
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::scalar(float value, bool requires_grad) {
+  return full({}, value, requires_grad);
+}
+
+Tensor Tensor::from_vector(Shape shape, std::vector<float> values,
+                           bool requires_grad) {
+  check(static_cast<std::int64_t>(values.size()) == shape_numel(shape),
+        "from_vector: " + std::to_string(values.size()) +
+            " values do not fill shape " + shape_to_string(shape));
+  auto impl = make_impl(std::move(shape), std::move(values));
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float mean, float stddev,
+                     bool requires_grad) {
+  const auto n = shape_numel(shape);
+  std::vector<float> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = rng.normal(mean, stddev);
+  return from_vector(std::move(shape), std::move(v), requires_grad);
+}
+
+Tensor Tensor::rand_uniform(Shape shape, Rng& rng, float lo, float hi,
+                            bool requires_grad) {
+  const auto n = shape_numel(shape);
+  std::vector<float> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = rng.uniform(lo, hi);
+  return from_vector(std::move(shape), std::move(v), requires_grad);
+}
+
+std::int64_t Tensor::size(std::int64_t axis) const {
+  check(axis >= 0 && axis < dim(), "size(): axis out of range");
+  return impl_->shape[static_cast<std::size_t>(axis)];
+}
+
+float Tensor::item() const {
+  check(numel() == 1, "item(): tensor has " + std::to_string(numel()) +
+                          " elements, expected 1");
+  return impl_->data[0];
+}
+
+float Tensor::at(std::initializer_list<std::int64_t> idx) const {
+  check(static_cast<std::int64_t>(idx.size()) == dim(),
+        "at(): rank mismatch");
+  std::int64_t flat = 0;
+  std::size_t axis = 0;
+  for (auto i : idx) {
+    const auto d = impl_->shape[axis];
+    check(i >= 0 && i < d, "at(): index out of range");
+    flat = flat * d + i;
+    ++axis;
+  }
+  return impl_->data[static_cast<std::size_t>(flat)];
+}
+
+Tensor& Tensor::set_requires_grad(bool v) {
+  impl_->requires_grad = v;
+  return *this;
+}
+
+void Tensor::zero_grad() {
+  std::fill(impl_->grad.begin(), impl_->grad.end(), 0.f);
+}
+
+Tensor Tensor::detach() const {
+  auto impl = make_impl(impl_->shape, impl_->data);
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::clone() const {
+  auto impl = make_impl(impl_->shape, impl_->data);
+  impl->requires_grad = impl_->requires_grad;
+  return Tensor(std::move(impl));
+}
+
+void Tensor::backward() {
+  check(numel() == 1,
+        "backward() without a seed requires a scalar tensor; got shape " +
+            shape_to_string(shape()));
+  backward(std::vector<float>{1.f});
+}
+
+void Tensor::backward(std::span<const float> seed) {
+  check(static_cast<std::int64_t>(seed.size()) == numel(),
+        "backward(): seed size mismatch");
+  // Iterative post-order DFS to topologically sort the tape.
+  std::vector<Impl*> order;
+  std::unordered_set<Impl*> visited;
+  std::vector<std::pair<Impl*, std::size_t>> stack;
+  stack.emplace_back(impl_.get(), 0);
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (next_child < node->parents.size()) {
+      Impl* child = node->parents[next_child].get();
+      ++next_child;
+      if (child->requires_grad && !visited.count(child)) {
+        visited.insert(child);
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  impl_->accumulate_grad(seed);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Impl* node = *it;
+    if (node->backward_fn && !node->grad.empty()) {
+      node->backward_fn(*node);
+      // Non-leaf grads are consumed once propagated; this keeps repeated
+      // backward() calls additive (PyTorch semantics) instead of
+      // re-propagating previously accumulated seeds.
+      node->grad.clear();
+    }
+  }
+}
+
+// ---- binary ops -----------------------------------------------------------------
+
+Tensor add(const Tensor& a, const Tensor& b) { return binary_op(a, b, BinOp::Add); }
+Tensor sub(const Tensor& a, const Tensor& b) { return binary_op(a, b, BinOp::Sub); }
+Tensor mul(const Tensor& a, const Tensor& b) { return binary_op(a, b, BinOp::Mul); }
+Tensor div(const Tensor& a, const Tensor& b) { return binary_op(a, b, BinOp::Div); }
+
+Tensor add(const Tensor& a, float s) { return add(a, Tensor::scalar(s)); }
+Tensor sub(const Tensor& a, float s) { return sub(a, Tensor::scalar(s)); }
+Tensor mul(const Tensor& a, float s) { return mul(a, Tensor::scalar(s)); }
+Tensor div(const Tensor& a, float s) {
+  check(s != 0.f, "division by zero scalar");
+  return div(a, Tensor::scalar(s));
+}
+
+Tensor neg(const Tensor& a) {
+  return unary_op(a, [](float x) { return -x; },
+                  [](float, float) { return -1.f; });
+}
+
+// ---- unary ops ------------------------------------------------------------------
+
+Tensor relu(const Tensor& a) {
+  return unary_op(a, [](float x) { return x > 0.f ? x : 0.f; },
+                  [](float x, float) { return x > 0.f ? 1.f : 0.f; });
+}
+
+Tensor leaky_relu(const Tensor& a, float negative_slope) {
+  return unary_op(
+      a,
+      [negative_slope](float x) { return x > 0.f ? x : negative_slope * x; },
+      [negative_slope](float x, float) {
+        return x > 0.f ? 1.f : negative_slope;
+      });
+}
+
+Tensor sigmoid(const Tensor& a) {
+  return unary_op(a,
+                  [](float x) { return 1.f / (1.f + std::exp(-x)); },
+                  [](float, float y) { return y * (1.f - y); });
+}
+
+Tensor tanh_op(const Tensor& a) {
+  return unary_op(a, [](float x) { return std::tanh(x); },
+                  [](float, float y) { return 1.f - y * y; });
+}
+
+Tensor exp_op(const Tensor& a) {
+  return unary_op(a, [](float x) { return std::exp(x); },
+                  [](float, float y) { return y; });
+}
+
+Tensor log_op(const Tensor& a) {
+  for (float x : a.data())
+    check(x > 0.f, "log of non-positive value " + std::to_string(x));
+  return unary_op(a, [](float x) { return std::log(x); },
+                  [](float x, float) { return 1.f / x; });
+}
+
+Tensor sqrt_op(const Tensor& a) {
+  for (float x : a.data())
+    check(x >= 0.f, "sqrt of negative value " + std::to_string(x));
+  return unary_op(a, [](float x) { return std::sqrt(x); },
+                  [](float, float y) { return y > 0.f ? 0.5f / y : 0.f; });
+}
+
+Tensor square(const Tensor& a) {
+  return unary_op(a, [](float x) { return x * x; },
+                  [](float x, float) { return 2.f * x; });
+}
+
+Tensor abs_op(const Tensor& a) {
+  return unary_op(a, [](float x) { return std::fabs(x); },
+                  [](float x, float) { return x > 0.f ? 1.f : (x < 0.f ? -1.f : 0.f); });
+}
+
+// ---- matmul / transpose -----------------------------------------------------------
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  check(a.dim() == 2 && b.dim() == 2, "matmul requires 2-D tensors, got " +
+                                          shape_to_string(a.shape()) + " x " +
+                                          shape_to_string(b.shape()));
+  const std::int64_t m = a.shape()[0], k = a.shape()[1];
+  const std::int64_t k2 = b.shape()[0], n = b.shape()[1];
+  check(k == k2, "matmul inner dimension mismatch: " +
+                     shape_to_string(a.shape()) + " x " +
+                     shape_to_string(b.shape()));
+  std::vector<float> out(static_cast<std::size_t>(m * n));
+  raw_matmul(a.data().data(), b.data().data(), out.data(), m, k, n);
+
+  std::vector<float> a_copy(a.data().begin(), a.data().end());
+  std::vector<float> b_copy(b.data().begin(), b.data().end());
+  auto backward = [m, k, n, a_copy = std::move(a_copy),
+                   b_copy = std::move(b_copy)](Impl& self) {
+    Impl& pa = *self.parents[0];
+    Impl& pb = *self.parents[1];
+    if (pa.requires_grad) {
+      std::vector<float> ga(static_cast<std::size_t>(m * k));
+      raw_matmul_a_bt(self.grad.data(), b_copy.data(), ga.data(), m, n, k);
+      pa.accumulate_grad(ga);
+    }
+    if (pb.requires_grad) {
+      std::vector<float> gb(static_cast<std::size_t>(k * n));
+      raw_matmul_at_b(a_copy.data(), self.grad.data(), gb.data(), k, m, n);
+      pb.accumulate_grad(gb);
+    }
+  };
+  return make_op({m, n}, std::move(out), {a, b}, std::move(backward));
+}
+
+Tensor transpose(const Tensor& a) {
+  check(a.dim() == 2, "transpose requires a 2-D tensor");
+  const std::int64_t r = a.shape()[0], c = a.shape()[1];
+  std::vector<float> out(static_cast<std::size_t>(r * c));
+  const auto ad = a.data();
+  for (std::int64_t i = 0; i < r; ++i)
+    for (std::int64_t j = 0; j < c; ++j) out[j * r + i] = ad[i * c + j];
+  auto backward = [r, c](Impl& self) {
+    Impl& p = *self.parents[0];
+    if (!p.requires_grad) return;
+    std::vector<float> g(static_cast<std::size_t>(r * c));
+    for (std::int64_t j = 0; j < c; ++j)
+      for (std::int64_t i = 0; i < r; ++i)
+        g[i * c + j] = self.grad[static_cast<std::size_t>(j * r + i)];
+    p.accumulate_grad(g);
+  };
+  return make_op({c, r}, std::move(out), {a}, std::move(backward));
+}
+
+// ---- reductions --------------------------------------------------------------------
+
+Tensor sum_all(const Tensor& a) {
+  float acc = 0.f;
+  for (float x : a.data()) acc += x;
+  const std::int64_t n = a.numel();
+  auto backward = [n](Impl& self) {
+    Impl& p = *self.parents[0];
+    if (!p.requires_grad) return;
+    std::vector<float> g(static_cast<std::size_t>(n), self.grad[0]);
+    p.accumulate_grad(g);
+  };
+  return make_op({}, {acc}, {a}, std::move(backward));
+}
+
+Tensor mean_all(const Tensor& a) {
+  check(a.numel() > 0, "mean of empty tensor");
+  return div(sum_all(a), static_cast<float>(a.numel()));
+}
+
+Tensor sum_axis(const Tensor& a, int axis) {
+  check(a.dim() == 2, "sum_axis requires a 2-D tensor");
+  check(axis == 0 || axis == 1, "sum_axis: axis must be 0 or 1");
+  const std::int64_t r = a.shape()[0], c = a.shape()[1];
+  const auto ad = a.data();
+  if (axis == 0) {
+    std::vector<float> out(static_cast<std::size_t>(c), 0.f);
+    for (std::int64_t i = 0; i < r; ++i)
+      for (std::int64_t j = 0; j < c; ++j) out[j] += ad[i * c + j];
+    auto backward = [r, c](Impl& self) {
+      Impl& p = *self.parents[0];
+      if (!p.requires_grad) return;
+      std::vector<float> g(static_cast<std::size_t>(r * c));
+      for (std::int64_t i = 0; i < r; ++i)
+        for (std::int64_t j = 0; j < c; ++j)
+          g[i * c + j] = self.grad[static_cast<std::size_t>(j)];
+      p.accumulate_grad(g);
+    };
+    return make_op({c}, std::move(out), {a}, std::move(backward));
+  }
+  std::vector<float> out(static_cast<std::size_t>(r), 0.f);
+  for (std::int64_t i = 0; i < r; ++i)
+    for (std::int64_t j = 0; j < c; ++j) out[i] += ad[i * c + j];
+  auto backward = [r, c](Impl& self) {
+    Impl& p = *self.parents[0];
+    if (!p.requires_grad) return;
+    std::vector<float> g(static_cast<std::size_t>(r * c));
+    for (std::int64_t i = 0; i < r; ++i)
+      for (std::int64_t j = 0; j < c; ++j)
+        g[i * c + j] = self.grad[static_cast<std::size_t>(i)];
+    p.accumulate_grad(g);
+  };
+  return make_op({r}, std::move(out), {a}, std::move(backward));
+}
+
+Tensor mean_axis(const Tensor& a, int axis) {
+  const float denom =
+      static_cast<float>(axis == 0 ? a.shape()[0] : a.shape()[1]);
+  check(denom > 0.f, "mean_axis over empty axis");
+  return div(sum_axis(a, axis), denom);
+}
+
+namespace {
+
+Tensor extreme_axis0(const Tensor& a, bool is_max) {
+  check(a.dim() == 2, "max/min_axis0 requires a 2-D tensor");
+  const std::int64_t r = a.shape()[0], c = a.shape()[1];
+  check(r > 0, "max/min_axis0 over empty axis");
+  const auto ad = a.data();
+  std::vector<float> out(static_cast<std::size_t>(c));
+  std::vector<std::int64_t> arg(static_cast<std::size_t>(c), 0);
+  for (std::int64_t j = 0; j < c; ++j) {
+    float best = ad[j];
+    std::int64_t bi = 0;
+    for (std::int64_t i = 1; i < r; ++i) {
+      const float v = ad[i * c + j];
+      if (is_max ? (v > best) : (v < best)) {
+        best = v;
+        bi = i;
+      }
+    }
+    out[static_cast<std::size_t>(j)] = best;
+    arg[static_cast<std::size_t>(j)] = bi;
+  }
+  auto backward = [r, c, arg = std::move(arg)](Impl& self) {
+    Impl& p = *self.parents[0];
+    if (!p.requires_grad) return;
+    std::vector<float> g(static_cast<std::size_t>(r * c), 0.f);
+    for (std::int64_t j = 0; j < c; ++j)
+      g[arg[static_cast<std::size_t>(j)] * c + j] =
+          self.grad[static_cast<std::size_t>(j)];
+    p.accumulate_grad(g);
+  };
+  return make_op({c}, std::move(out), {a}, std::move(backward));
+}
+
+}  // namespace
+
+Tensor max_axis0(const Tensor& a) { return extreme_axis0(a, true); }
+Tensor min_axis0(const Tensor& a) { return extreme_axis0(a, false); }
+
+// ---- shape ops -----------------------------------------------------------------------
+
+Tensor reshape(const Tensor& a, Shape new_shape) {
+  check(shape_numel(new_shape) == a.numel(),
+        "reshape: element count mismatch " + shape_to_string(a.shape()) +
+            " -> " + shape_to_string(new_shape));
+  std::vector<float> out(a.data().begin(), a.data().end());
+  auto backward = [](Impl& self) {
+    Impl& p = *self.parents[0];
+    if (!p.requires_grad) return;
+    p.accumulate_grad(self.grad);
+  };
+  return make_op(std::move(new_shape), std::move(out), {a},
+                 std::move(backward));
+}
+
+Tensor concat(const std::vector<Tensor>& parts, int axis) {
+  check(!parts.empty(), "concat of zero tensors");
+  check(axis == 0 || axis == 1, "concat: axis must be 0 or 1");
+  for (const auto& p : parts)
+    check(p.dim() == 2, "concat requires 2-D tensors");
+
+  std::int64_t rows = parts[0].shape()[0], cols = parts[0].shape()[1];
+  std::vector<std::int64_t> sizes;
+  if (axis == 1) {
+    cols = 0;
+    for (const auto& p : parts) {
+      check(p.shape()[0] == rows, "concat axis=1: row count mismatch");
+      sizes.push_back(p.shape()[1]);
+      cols += p.shape()[1];
+    }
+  } else {
+    rows = 0;
+    for (const auto& p : parts) {
+      check(p.shape()[1] == cols, "concat axis=0: column count mismatch");
+      sizes.push_back(p.shape()[0]);
+      rows += p.shape()[0];
+    }
+  }
+
+  std::vector<float> out(static_cast<std::size_t>(rows * cols));
+  if (axis == 1) {
+    std::int64_t col_off = 0;
+    for (const auto& p : parts) {
+      const auto pd = p.data();
+      const std::int64_t pc = p.shape()[1];
+      for (std::int64_t i = 0; i < rows; ++i)
+        std::copy(pd.begin() + i * pc, pd.begin() + (i + 1) * pc,
+                  out.begin() + i * cols + col_off);
+      col_off += pc;
+    }
+  } else {
+    std::int64_t row_off = 0;
+    for (const auto& p : parts) {
+      const auto pd = p.data();
+      std::copy(pd.begin(), pd.end(), out.begin() + row_off * cols);
+      row_off += p.shape()[0];
+    }
+  }
+
+  auto backward = [axis, rows, cols, sizes](Impl& self) {
+    std::int64_t off = 0;
+    for (std::size_t pi = 0; pi < self.parents.size(); ++pi) {
+      Impl& p = *self.parents[pi];
+      const std::int64_t sz = sizes[pi];
+      if (p.requires_grad) {
+        if (axis == 1) {
+          std::vector<float> g(static_cast<std::size_t>(rows * sz));
+          for (std::int64_t i = 0; i < rows; ++i)
+            std::copy(self.grad.begin() + i * cols + off,
+                      self.grad.begin() + i * cols + off + sz,
+                      g.begin() + i * sz);
+          p.accumulate_grad(g);
+        } else {
+          std::vector<float> g(static_cast<std::size_t>(sz * cols));
+          std::copy(self.grad.begin() + off * cols,
+                    self.grad.begin() + (off + sz) * cols, g.begin());
+          p.accumulate_grad(g);
+        }
+      }
+      off += sz;
+    }
+  };
+  return make_op({rows, cols}, std::move(out), parts, std::move(backward));
+}
+
+Tensor gather_rows(const Tensor& a, std::span<const std::int64_t> indices) {
+  check(a.dim() == 2, "gather_rows requires a 2-D tensor");
+  const std::int64_t r = a.shape()[0], c = a.shape()[1];
+  const std::int64_t e = static_cast<std::int64_t>(indices.size());
+  const auto ad = a.data();
+  std::vector<float> out(static_cast<std::size_t>(e * c));
+  for (std::int64_t i = 0; i < e; ++i) {
+    const std::int64_t src = indices[static_cast<std::size_t>(i)];
+    check(src >= 0 && src < r, "gather_rows: index " + std::to_string(src) +
+                                   " out of range [0, " + std::to_string(r) +
+                                   ")");
+    std::copy(ad.begin() + src * c, ad.begin() + (src + 1) * c,
+              out.begin() + i * c);
+  }
+  std::vector<std::int64_t> idx_copy(indices.begin(), indices.end());
+  auto backward = [r, c, e, idx_copy = std::move(idx_copy)](Impl& self) {
+    Impl& p = *self.parents[0];
+    if (!p.requires_grad) return;
+    std::vector<float> g(static_cast<std::size_t>(r * c), 0.f);
+    for (std::int64_t i = 0; i < e; ++i) {
+      const std::int64_t dst = idx_copy[static_cast<std::size_t>(i)];
+      for (std::int64_t j = 0; j < c; ++j)
+        g[dst * c + j] += self.grad[static_cast<std::size_t>(i * c + j)];
+    }
+    p.accumulate_grad(g);
+  };
+  return make_op({e, c}, std::move(out), {a}, std::move(backward));
+}
+
+Tensor slice_rows(const Tensor& a, std::int64_t begin, std::int64_t end) {
+  check(a.dim() == 2, "slice_rows requires a 2-D tensor");
+  const std::int64_t r = a.shape()[0], c = a.shape()[1];
+  check(begin >= 0 && begin <= end && end <= r, "slice_rows: bad range");
+  const std::int64_t n = end - begin;
+  const auto ad = a.data();
+  std::vector<float> out(ad.begin() + begin * c, ad.begin() + end * c);
+  auto backward = [r, c, begin, n](Impl& self) {
+    Impl& p = *self.parents[0];
+    if (!p.requires_grad) return;
+    std::vector<float> g(static_cast<std::size_t>(r * c), 0.f);
+    std::copy(self.grad.begin(), self.grad.end(), g.begin() + begin * c);
+    (void)n;
+    p.accumulate_grad(g);
+  };
+  return make_op({n, c}, std::move(out), {a}, std::move(backward));
+}
+
+// ---- scatter ----------------------------------------------------------------------------
+
+Tensor scatter_reduce(const Tensor& messages,
+                      std::span<const std::int64_t> index,
+                      std::int64_t num_nodes, Reduce reduce) {
+  check(messages.dim() == 2, "scatter_reduce: messages must be 2-D");
+  const std::int64_t e = messages.shape()[0], c = messages.shape()[1];
+  check(static_cast<std::int64_t>(index.size()) == e,
+        "scatter_reduce: index size must equal number of message rows");
+  check(num_nodes > 0, "scatter_reduce: num_nodes must be positive");
+  const auto md = messages.data();
+
+  std::vector<float> out(static_cast<std::size_t>(num_nodes * c), 0.f);
+
+  if (reduce == Reduce::Sum || reduce == Reduce::Mean) {
+    std::vector<float> degree(static_cast<std::size_t>(num_nodes), 0.f);
+    for (std::int64_t i = 0; i < e; ++i) {
+      const std::int64_t dst = index[static_cast<std::size_t>(i)];
+      check(dst >= 0 && dst < num_nodes, "scatter_reduce: index out of range");
+      degree[static_cast<std::size_t>(dst)] += 1.f;
+      for (std::int64_t j = 0; j < c; ++j) out[dst * c + j] += md[i * c + j];
+    }
+    if (reduce == Reduce::Mean) {
+      for (std::int64_t v = 0; v < num_nodes; ++v) {
+        const float d = degree[static_cast<std::size_t>(v)];
+        if (d > 0.f)
+          for (std::int64_t j = 0; j < c; ++j) out[v * c + j] /= d;
+      }
+    }
+    std::vector<std::int64_t> idx_copy(index.begin(), index.end());
+    auto backward = [e, c, reduce, degree = std::move(degree),
+                     idx_copy = std::move(idx_copy)](Impl& self) {
+      Impl& p = *self.parents[0];
+      if (!p.requires_grad) return;
+      std::vector<float> g(static_cast<std::size_t>(e * c));
+      for (std::int64_t i = 0; i < e; ++i) {
+        const std::int64_t dst = idx_copy[static_cast<std::size_t>(i)];
+        const float scale =
+            reduce == Reduce::Mean
+                ? 1.f / degree[static_cast<std::size_t>(dst)]
+                : 1.f;
+        for (std::int64_t j = 0; j < c; ++j)
+          g[i * c + j] = self.grad[static_cast<std::size_t>(dst * c + j)] * scale;
+      }
+      p.accumulate_grad(g);
+    };
+    return make_op({num_nodes, c}, std::move(out), {messages},
+                   std::move(backward));
+  }
+
+  // Max / Min: track winning edge per (node, channel); untouched rows are 0.
+  const bool is_max = reduce == Reduce::Max;
+  std::vector<std::int64_t> arg(static_cast<std::size_t>(num_nodes * c), -1);
+  for (std::int64_t i = 0; i < e; ++i) {
+    const std::int64_t dst = index[static_cast<std::size_t>(i)];
+    check(dst >= 0 && dst < num_nodes, "scatter_reduce: index out of range");
+    for (std::int64_t j = 0; j < c; ++j) {
+      const float v = md[i * c + j];
+      auto& a = arg[static_cast<std::size_t>(dst * c + j)];
+      float& o = out[static_cast<std::size_t>(dst * c + j)];
+      if (a < 0 || (is_max ? (v > o) : (v < o))) {
+        o = v;
+        a = i;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < arg.size(); ++i)
+    if (arg[i] < 0) out[i] = 0.f;  // isolated node: defined as zero
+
+  auto backward = [e, c, num_nodes, arg = std::move(arg)](Impl& self) {
+    Impl& p = *self.parents[0];
+    if (!p.requires_grad) return;
+    std::vector<float> g(static_cast<std::size_t>(e * c), 0.f);
+    for (std::int64_t v = 0; v < num_nodes; ++v)
+      for (std::int64_t j = 0; j < c; ++j) {
+        const std::int64_t src = arg[static_cast<std::size_t>(v * c + j)];
+        if (src >= 0)
+          g[src * c + j] += self.grad[static_cast<std::size_t>(v * c + j)];
+      }
+    p.accumulate_grad(g);
+  };
+  return make_op({num_nodes, c}, std::move(out), {messages},
+                 std::move(backward));
+}
+
+// ---- softmax & losses ----------------------------------------------------------------------
+
+Tensor softmax(const Tensor& a) {
+  check(a.dim() == 2, "softmax requires a 2-D tensor");
+  const std::int64_t r = a.shape()[0], c = a.shape()[1];
+  const auto ad = a.data();
+  std::vector<float> out(static_cast<std::size_t>(r * c));
+  for (std::int64_t i = 0; i < r; ++i) {
+    float mx = -std::numeric_limits<float>::infinity();
+    for (std::int64_t j = 0; j < c; ++j) mx = std::max(mx, ad[i * c + j]);
+    float denom = 0.f;
+    for (std::int64_t j = 0; j < c; ++j) {
+      const float ev = std::exp(ad[i * c + j] - mx);
+      out[i * c + j] = ev;
+      denom += ev;
+    }
+    for (std::int64_t j = 0; j < c; ++j) out[i * c + j] /= denom;
+  }
+  std::vector<float> y_copy = out;
+  auto backward = [r, c, y_copy = std::move(y_copy)](Impl& self) {
+    Impl& p = *self.parents[0];
+    if (!p.requires_grad) return;
+    std::vector<float> g(static_cast<std::size_t>(r * c));
+    for (std::int64_t i = 0; i < r; ++i) {
+      float dot = 0.f;
+      for (std::int64_t j = 0; j < c; ++j)
+        dot += self.grad[static_cast<std::size_t>(i * c + j)] *
+               y_copy[static_cast<std::size_t>(i * c + j)];
+      for (std::int64_t j = 0; j < c; ++j)
+        g[i * c + j] = y_copy[static_cast<std::size_t>(i * c + j)] *
+                       (self.grad[static_cast<std::size_t>(i * c + j)] - dot);
+    }
+    p.accumulate_grad(g);
+  };
+  return make_op({r, c}, std::move(out), {a}, std::move(backward));
+}
+
+Tensor log_softmax(const Tensor& a) {
+  check(a.dim() == 2, "log_softmax requires a 2-D tensor");
+  const std::int64_t r = a.shape()[0], c = a.shape()[1];
+  const auto ad = a.data();
+  std::vector<float> out(static_cast<std::size_t>(r * c));
+  std::vector<float> soft(static_cast<std::size_t>(r * c));
+  for (std::int64_t i = 0; i < r; ++i) {
+    float mx = -std::numeric_limits<float>::infinity();
+    for (std::int64_t j = 0; j < c; ++j) mx = std::max(mx, ad[i * c + j]);
+    float denom = 0.f;
+    for (std::int64_t j = 0; j < c; ++j) denom += std::exp(ad[i * c + j] - mx);
+    const float log_denom = std::log(denom);
+    for (std::int64_t j = 0; j < c; ++j) {
+      out[i * c + j] = ad[i * c + j] - mx - log_denom;
+      soft[i * c + j] = std::exp(out[i * c + j]);
+    }
+  }
+  auto backward = [r, c, soft = std::move(soft)](Impl& self) {
+    Impl& p = *self.parents[0];
+    if (!p.requires_grad) return;
+    std::vector<float> g(static_cast<std::size_t>(r * c));
+    for (std::int64_t i = 0; i < r; ++i) {
+      float row_sum = 0.f;
+      for (std::int64_t j = 0; j < c; ++j)
+        row_sum += self.grad[static_cast<std::size_t>(i * c + j)];
+      for (std::int64_t j = 0; j < c; ++j)
+        g[i * c + j] = self.grad[static_cast<std::size_t>(i * c + j)] -
+                       soft[static_cast<std::size_t>(i * c + j)] * row_sum;
+    }
+    p.accumulate_grad(g);
+  };
+  return make_op({r, c}, std::move(out), {a}, std::move(backward));
+}
+
+Tensor cross_entropy(const Tensor& logits,
+                     std::span<const std::int64_t> labels) {
+  check(logits.dim() == 2, "cross_entropy: logits must be 2-D");
+  const std::int64_t r = logits.shape()[0], c = logits.shape()[1];
+  check(static_cast<std::int64_t>(labels.size()) == r,
+        "cross_entropy: label count mismatch");
+  for (auto l : labels)
+    check(l >= 0 && l < c, "cross_entropy: label out of range");
+
+  const auto ad = logits.data();
+  std::vector<float> soft(static_cast<std::size_t>(r * c));
+  float loss = 0.f;
+  for (std::int64_t i = 0; i < r; ++i) {
+    float mx = -std::numeric_limits<float>::infinity();
+    for (std::int64_t j = 0; j < c; ++j) mx = std::max(mx, ad[i * c + j]);
+    float denom = 0.f;
+    for (std::int64_t j = 0; j < c; ++j) denom += std::exp(ad[i * c + j] - mx);
+    const float log_denom = std::log(denom);
+    for (std::int64_t j = 0; j < c; ++j)
+      soft[i * c + j] = std::exp(ad[i * c + j] - mx - log_denom);
+    const std::int64_t y = labels[static_cast<std::size_t>(i)];
+    loss -= ad[i * c + y] - mx - log_denom;
+  }
+  loss /= static_cast<float>(r);
+
+  std::vector<std::int64_t> lbl(labels.begin(), labels.end());
+  auto backward = [r, c, soft = std::move(soft), lbl = std::move(lbl)](Impl& self) {
+    Impl& p = *self.parents[0];
+    if (!p.requires_grad) return;
+    const float seed = self.grad[0] / static_cast<float>(r);
+    std::vector<float> g(static_cast<std::size_t>(r * c));
+    for (std::int64_t i = 0; i < r; ++i) {
+      const std::int64_t y = lbl[static_cast<std::size_t>(i)];
+      for (std::int64_t j = 0; j < c; ++j) {
+        float v = soft[static_cast<std::size_t>(i * c + j)];
+        if (j == y) v -= 1.f;
+        g[i * c + j] = v * seed;
+      }
+    }
+    p.accumulate_grad(g);
+  };
+  return make_op({}, {loss}, {logits}, std::move(backward));
+}
+
+// ---- dropout -------------------------------------------------------------------------------
+
+Tensor dropout(const Tensor& a, float p, bool training, Rng& rng) {
+  check(p >= 0.f && p < 1.f, "dropout: p must be in [0, 1)");
+  if (!training || p == 0.f) return a;
+  const std::int64_t n = a.numel();
+  const float scale = 1.f / (1.f - p);
+  std::vector<float> mask(static_cast<std::size_t>(n));
+  for (auto& m : mask) m = rng.bernoulli(p) ? 0.f : scale;
+  const auto ad = a.data();
+  std::vector<float> out(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) out[i] = ad[i] * mask[i];
+  auto backward = [mask = std::move(mask)](Impl& self) {
+    Impl& par = *self.parents[0];
+    if (!par.requires_grad) return;
+    std::vector<float> g(mask.size());
+    for (std::size_t i = 0; i < mask.size(); ++i)
+      g[i] = self.grad[i] * mask[i];
+    par.accumulate_grad(g);
+  };
+  return make_op(a.shape(), std::move(out), {a}, std::move(backward));
+}
+
+// ---- helpers ---------------------------------------------------------------------------------
+
+std::vector<std::int64_t> argmax_rows(const Tensor& a) {
+  check(a.dim() == 2, "argmax_rows requires a 2-D tensor");
+  const std::int64_t r = a.shape()[0], c = a.shape()[1];
+  check(c > 0, "argmax_rows: empty rows");
+  const auto ad = a.data();
+  std::vector<std::int64_t> out(static_cast<std::size_t>(r));
+  for (std::int64_t i = 0; i < r; ++i) {
+    std::int64_t best = 0;
+    for (std::int64_t j = 1; j < c; ++j)
+      if (ad[i * c + j] > ad[i * c + best]) best = j;
+    out[static_cast<std::size_t>(i)] = best;
+  }
+  return out;
+}
+
+}  // namespace hg

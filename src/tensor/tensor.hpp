@@ -1,0 +1,226 @@
+// tensor.hpp — dense float32 tensor with reverse-mode automatic
+// differentiation.
+//
+// This is the numerical substrate for the whole HGNAS reproduction: the
+// DGCNN baselines, the weight-sharing supernet and the GCN-based latency
+// predictor are all trained through this engine.
+//
+// Design notes
+//  * `Tensor` is a cheap value-semantic handle onto a shared
+//    `TensorImpl` (data + grad + autograd edges), mirroring the
+//    define-by-run tape style of PyTorch.
+//  * Only float32 is supported; shapes are arbitrary-rank but the operator
+//    set is optimised for the 1-D / 2-D tensors used by GNNs
+//    ([num_nodes, channels], [num_edges, channels]).
+//  * Broadcasting is intentionally restricted to the patterns required by
+//    neural-network layers: exact shape, right-hand scalar, row vector
+//    ([N,M] op [M]) and column vector ([N,M] op [N,1]). Anything else
+//    throws — silent misbroadcasts are a classic source of wrong results.
+//  * Gradients are accumulated (+=), so a tensor used twice receives the
+//    sum of both contributions, and `zero_grad` must be called between
+//    optimisation steps.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hg {
+
+using Shape = std::vector<std::int64_t>;
+
+/// Number of elements described by a shape. Empty shape = scalar = 1.
+std::int64_t shape_numel(const Shape& shape);
+
+/// Human-readable "[2, 3]" form, used in error messages.
+std::string shape_to_string(const Shape& shape);
+
+class Tensor;
+
+namespace detail {
+
+/// Shared state behind a Tensor handle. Users never touch this directly.
+struct TensorImpl {
+  Shape shape;
+  std::vector<float> data;
+  bool requires_grad = false;
+  std::vector<float> grad;  // lazily sized to data.size() on first accumulate
+
+  // Autograd tape: the tensors this one was computed from, plus a closure
+  // that scatters `grad` back into the parents' grads.
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+  std::function<void(TensorImpl&)> backward_fn;
+
+  void accumulate_grad(std::span<const float> g);
+  void ensure_grad();
+};
+
+/// RAII guard disabling autograd tape recording (inference / measurement).
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
+bool grad_enabled();
+
+}  // namespace detail
+
+using detail::NoGradGuard;
+
+class Rng;
+
+/// Dense float tensor with optional autograd.
+class Tensor {
+ public:
+  /// Default: empty scalar-shaped tensor holding {0}.
+  Tensor();
+
+  // ---- factories ---------------------------------------------------------
+  static Tensor zeros(Shape shape, bool requires_grad = false);
+  static Tensor ones(Shape shape, bool requires_grad = false);
+  static Tensor full(Shape shape, float value, bool requires_grad = false);
+  static Tensor scalar(float value, bool requires_grad = false);
+  /// Takes ownership of `values`; size must equal shape_numel(shape).
+  static Tensor from_vector(Shape shape, std::vector<float> values,
+                            bool requires_grad = false);
+  static Tensor randn(Shape shape, Rng& rng, float mean = 0.f,
+                      float stddev = 1.f, bool requires_grad = false);
+  static Tensor rand_uniform(Shape shape, Rng& rng, float lo, float hi,
+                             bool requires_grad = false);
+
+  // ---- shape & data access ------------------------------------------------
+  const Shape& shape() const { return impl_->shape; }
+  std::int64_t dim() const { return static_cast<std::int64_t>(impl_->shape.size()); }
+  std::int64_t size(std::int64_t axis) const;
+  std::int64_t numel() const { return static_cast<std::int64_t>(impl_->data.size()); }
+
+  std::span<float> data() { return impl_->data; }
+  std::span<const float> data() const { return impl_->data; }
+  std::span<const float> grad() const { return impl_->grad; }
+  bool has_grad() const { return !impl_->grad.empty(); }
+
+  /// Element access for scalars and small tensors (tests, losses).
+  float item() const;
+  float at(std::initializer_list<std::int64_t> idx) const;
+
+  bool requires_grad() const { return impl_->requires_grad; }
+  /// Mark as a leaf that should receive gradients (parameters, probes).
+  Tensor& set_requires_grad(bool v);
+
+  void zero_grad();
+
+  /// Run reverse-mode autodiff from this tensor. Precondition: scalar
+  /// (numel == 1) unless an explicit seed gradient is supplied.
+  void backward();
+  void backward(std::span<const float> seed);
+
+  /// Deep copy of data (drops the autograd history).
+  Tensor detach() const;
+  Tensor clone() const;  // like detach but keeps requires_grad flag
+
+  // Identity of the underlying storage — used by optimisers to dedupe.
+  const void* id() const { return impl_.get(); }
+
+  // Internal handle access for op implementations.
+  const std::shared_ptr<detail::TensorImpl>& impl() const { return impl_; }
+  explicit Tensor(std::shared_ptr<detail::TensorImpl> impl)
+      : impl_(std::move(impl)) {}
+
+ private:
+  std::shared_ptr<detail::TensorImpl> impl_;
+};
+
+// ---- binary elementwise (broadcast: exact | scalar | [M] row | [N,1] col) --
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor div(const Tensor& a, const Tensor& b);
+
+Tensor add(const Tensor& a, float s);
+Tensor sub(const Tensor& a, float s);
+Tensor mul(const Tensor& a, float s);
+Tensor div(const Tensor& a, float s);
+
+inline Tensor operator+(const Tensor& a, const Tensor& b) { return add(a, b); }
+inline Tensor operator-(const Tensor& a, const Tensor& b) { return sub(a, b); }
+inline Tensor operator*(const Tensor& a, const Tensor& b) { return mul(a, b); }
+inline Tensor operator/(const Tensor& a, const Tensor& b) { return div(a, b); }
+inline Tensor operator+(const Tensor& a, float s) { return add(a, s); }
+inline Tensor operator-(const Tensor& a, float s) { return sub(a, s); }
+inline Tensor operator*(const Tensor& a, float s) { return mul(a, s); }
+inline Tensor operator/(const Tensor& a, float s) { return div(a, s); }
+
+Tensor neg(const Tensor& a);
+
+// ---- unary elementwise ------------------------------------------------------
+Tensor relu(const Tensor& a);
+Tensor leaky_relu(const Tensor& a, float negative_slope = 0.01f);
+Tensor sigmoid(const Tensor& a);
+Tensor tanh_op(const Tensor& a);
+Tensor exp_op(const Tensor& a);
+Tensor log_op(const Tensor& a);      // natural log; inputs must be > 0
+Tensor sqrt_op(const Tensor& a);
+Tensor square(const Tensor& a);
+Tensor abs_op(const Tensor& a);
+
+// ---- linear algebra ---------------------------------------------------------
+/// [N,K] x [K,M] -> [N,M].
+Tensor matmul(const Tensor& a, const Tensor& b);
+/// 2-D transpose (copies).
+Tensor transpose(const Tensor& a);
+
+// ---- reductions -------------------------------------------------------------
+Tensor sum_all(const Tensor& a);                   // -> scalar
+Tensor mean_all(const Tensor& a);                  // -> scalar
+/// 2-D reduction along `axis` (0: over rows -> [M]; 1: over cols -> [N]).
+Tensor sum_axis(const Tensor& a, int axis);
+Tensor mean_axis(const Tensor& a, int axis);
+/// Max over axis 0 of a 2-D tensor -> [M]; gradient routed to the argmax row.
+Tensor max_axis0(const Tensor& a);
+Tensor min_axis0(const Tensor& a);
+
+// ---- shape ops ---------------------------------------------------------------
+Tensor reshape(const Tensor& a, Shape new_shape);
+/// Concatenate 2-D tensors along `axis` (0 or 1).
+Tensor concat(const std::vector<Tensor>& parts, int axis);
+/// Select rows of a 2-D tensor: result[i] = a[indices[i]]. Grad scatters back.
+Tensor gather_rows(const Tensor& a, std::span<const std::int64_t> indices);
+/// Rows [begin, end) of a 2-D tensor.
+Tensor slice_rows(const Tensor& a, std::int64_t begin, std::int64_t end);
+
+// ---- GNN scatter primitives ---------------------------------------------------
+enum class Reduce { Sum, Mean, Max, Min };
+
+/// Scatter-reduce edge messages to nodes: out[index[e]] ⊕= messages[e].
+/// messages: [E, M]; index: size E with values in [0, num_nodes).
+/// Mean divides by in-degree (degree-0 rows are zero). Max/Min route the
+/// gradient to the winning edge; empty rows get 0.
+Tensor scatter_reduce(const Tensor& messages,
+                      std::span<const std::int64_t> index,
+                      std::int64_t num_nodes, Reduce reduce);
+
+// ---- softmax & losses -----------------------------------------------------------
+/// Numerically-stable softmax over the last dimension of a 2-D tensor.
+Tensor softmax(const Tensor& a);
+Tensor log_softmax(const Tensor& a);
+/// Mean cross-entropy of logits [N,C] against integer labels (size N).
+Tensor cross_entropy(const Tensor& logits, std::span<const std::int64_t> labels);
+
+// ---- regularisation ----------------------------------------------------------
+/// Inverted dropout. Identity when !training or p == 0.
+Tensor dropout(const Tensor& a, float p, bool training, Rng& rng);
+
+// ---- non-differentiable helpers -------------------------------------------------
+/// Row-wise argmax of a 2-D tensor (predictions from logits).
+std::vector<std::int64_t> argmax_rows(const Tensor& a);
+
+}  // namespace hg

@@ -1,0 +1,291 @@
+// Extensions beyond the minimal pipeline: architecture serialisation,
+// Pareto-front utilities, multi-constraint objectives, energy model,
+// device-conditioned predictor features.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "hgnas/pareto.hpp"
+#include "hgnas/search.hpp"
+#include "hgnas/serialize_arch.hpp"
+#include "hgnas/zoo.hpp"
+#include "predictor/predictor.hpp"
+
+namespace hg {
+namespace {
+
+using hgnas::Arch;
+using hgnas::OpType;
+using hgnas::PositionGene;
+
+// ---- arch serialisation -----------------------------------------------------
+
+TEST(ArchSerialization, RoundTripsRandomArchs) {
+  // The text format stores only the function attributes the operation
+  // uses, so equality holds on canonical forms.
+  Rng rng(1);
+  hgnas::SpaceConfig cfg;
+  cfg.num_positions = 12;
+  for (int i = 0; i < 30; ++i) {
+    Arch a = hgnas::random_arch(cfg, rng);
+    Arch b = hgnas::arch_from_text(hgnas::arch_to_text(a));
+    EXPECT_EQ(hgnas::canonicalize(a), b);
+    // And the round trip is exact from then on.
+    EXPECT_EQ(hgnas::arch_from_text(hgnas::arch_to_text(b)), b);
+  }
+}
+
+TEST(ArchSerialization, CanonicalFormPreservesExecution) {
+  Rng rng(9);
+  hgnas::SpaceConfig cfg;
+  cfg.num_positions = 12;
+  hgnas::Workload w;
+  w.num_points = 512;
+  w.k = 10;
+  hw::Device dev = hw::make_device(hw::DeviceKind::Rtx3080);
+  for (int i = 0; i < 20; ++i) {
+    Arch a = hgnas::random_arch(cfg, rng);
+    Arch c = hgnas::canonicalize(a);
+    EXPECT_DOUBLE_EQ(dev.latency_ms(lower_to_trace(a, w)),
+                     dev.latency_ms(lower_to_trace(c, w)));
+    EXPECT_EQ(channel_flow(a, w), channel_flow(c, w));
+  }
+}
+
+TEST(ArchSerialization, RoundTripsZooArchs) {
+  for (int d = 0; d < hw::kNumDevices; ++d) {
+    Arch a = hgnas::zoo::fast_for(static_cast<hw::DeviceKind>(d));
+    EXPECT_EQ(hgnas::arch_from_text(hgnas::arch_to_text(a)), a);
+  }
+}
+
+TEST(ArchSerialization, TextFormatIsReadable) {
+  const std::string text = hgnas::arch_to_text(hgnas::zoo::rtx_fast());
+  EXPECT_NE(text.find("hgnas-arch v1"), std::string::npos);
+  EXPECT_NE(text.find("combine dim=64"), std::string::npos);
+  EXPECT_NE(text.find("aggregate msg=target||rel aggr=max"),
+            std::string::npos);
+  EXPECT_NE(text.find("sample fn=knn"), std::string::npos);
+}
+
+TEST(ArchSerialization, CommentsAndOrderIndependence) {
+  const std::string text =
+      "hgnas-arch v1\n"
+      "positions 2\n"
+      "# order is free and comments are skipped\n"
+      "1 sample fn=random\n"
+      "0 combine dim=128\n";
+  Arch a = hgnas::arch_from_text(text);
+  EXPECT_EQ(a.genes[0].op, OpType::Combine);
+  EXPECT_EQ(a.genes[0].fn.combine_dim(), 128);
+  EXPECT_EQ(a.genes[1].op, OpType::Sample);
+  EXPECT_EQ(a.genes[1].fn.sample, hgnas::SampleFunc::Random);
+}
+
+TEST(ArchSerialization, RejectsMalformedInput) {
+  EXPECT_THROW(hgnas::arch_from_text("garbage"), std::invalid_argument);
+  EXPECT_THROW(hgnas::arch_from_text("hgnas-arch v1\npositions 0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      hgnas::arch_from_text("hgnas-arch v1\npositions 1\n0 frobnicate x=1\n"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      hgnas::arch_from_text("hgnas-arch v1\npositions 1\n0 combine dim=77\n"),
+      std::invalid_argument);  // 77 not in Table I
+  EXPECT_THROW(
+      hgnas::arch_from_text("hgnas-arch v1\npositions 2\n0 sample fn=knn\n"),
+      std::invalid_argument);  // position 1 missing
+  EXPECT_THROW(hgnas::arch_from_text("hgnas-arch v1\npositions 1\n"
+                                     "0 sample fn=knn\n0 sample fn=knn\n"),
+               std::invalid_argument);  // duplicate
+}
+
+TEST(ArchSerialization, FileRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() / "hg_arch.txt";
+  Arch a = hgnas::zoo::pi_fast();
+  hgnas::save_arch(path.string(), a);
+  EXPECT_EQ(hgnas::load_arch(path.string()), a);
+  std::filesystem::remove(path);
+  EXPECT_THROW(hgnas::load_arch("/nonexistent/arch.txt"),
+               std::runtime_error);
+}
+
+// ---- pareto utilities ----------------------------------------------------------
+
+hgnas::ParetoPoint pp(double acc, double lat) {
+  hgnas::ParetoPoint p;
+  p.accuracy = acc;
+  p.latency_ms = lat;
+  return p;
+}
+
+TEST(Pareto, DominanceDefinition) {
+  EXPECT_TRUE(hgnas::dominates(pp(0.9, 10), pp(0.8, 12)));
+  EXPECT_TRUE(hgnas::dominates(pp(0.9, 10), pp(0.9, 12)));
+  EXPECT_FALSE(hgnas::dominates(pp(0.9, 10), pp(0.9, 10)));  // equal
+  EXPECT_FALSE(hgnas::dominates(pp(0.9, 10), pp(0.95, 5)));
+  EXPECT_FALSE(hgnas::dominates(pp(0.9, 10), pp(0.95, 20)));  // trade-off
+}
+
+TEST(Pareto, FrontExtractsNonDominated) {
+  auto front = hgnas::pareto_front(
+      {pp(0.5, 5), pp(0.7, 10), pp(0.6, 12), pp(0.9, 50), pp(0.4, 8)});
+  ASSERT_EQ(front.size(), 3u);
+  EXPECT_DOUBLE_EQ(front[0].latency_ms, 5);
+  EXPECT_DOUBLE_EQ(front[1].latency_ms, 10);
+  EXPECT_DOUBLE_EQ(front[2].latency_ms, 50);
+  // Sorted by latency, accuracy strictly increasing.
+  EXPECT_LT(front[0].accuracy, front[1].accuracy);
+  EXPECT_LT(front[1].accuracy, front[2].accuracy);
+}
+
+TEST(Pareto, FrontOfEmptyAndSingle) {
+  EXPECT_TRUE(hgnas::pareto_front({}).empty());
+  EXPECT_EQ(hgnas::pareto_front({pp(0.5, 5)}).size(), 1u);
+}
+
+TEST(Pareto, DominanceRatio) {
+  std::vector<hgnas::ParetoPoint> ours = {pp(0.9, 5)};
+  std::vector<hgnas::ParetoPoint> theirs = {pp(0.8, 10), pp(0.95, 3)};
+  EXPECT_DOUBLE_EQ(hgnas::dominance_ratio(ours, theirs), 0.5);
+  EXPECT_DOUBLE_EQ(hgnas::dominance_ratio(ours, {}), 0.0);
+}
+
+// ---- multi-constraint objective ---------------------------------------------------
+
+struct ConstraintFixture {
+  hgnas::SpaceConfig space;
+  hgnas::Workload workload;
+  pointcloud::Dataset data{3, 32, 5};
+  Rng rng{1};
+  hgnas::SupernetConfig sn_cfg;
+
+  ConstraintFixture() {
+    space.num_positions = 6;
+    workload.num_points = 512;
+    workload.k = 10;
+    sn_cfg.hidden = 16;
+    sn_cfg.k = 6;
+    sn_cfg.num_classes = 10;
+    sn_cfg.head_hidden = 32;
+  }
+};
+
+TEST(Constraints, MemoryAndSizeBoundsGateFitness) {
+  ConstraintFixture f;
+  hgnas::SuperNet supernet(f.space, f.sn_cfg, f.rng);
+  hw::Device dev = hw::make_device(hw::DeviceKind::Rtx3080);
+  hgnas::SearchConfig cfg;
+  cfg.space = f.space;
+  cfg.workload = f.workload;
+  cfg.population = 4;
+  cfg.parents = 2;
+  cfg.iterations = 1;
+  cfg.latency_scale_ms = 10.0;
+  cfg.memory_constraint_mb = 30.0;
+  cfg.size_constraint_mb = 0.5;
+  hgnas::HgnasSearch search(supernet, f.data, cfg,
+                            hgnas::make_oracle_evaluator(dev, f.workload));
+
+  hgnas::LatencyEval ok{5.0, 0.0, false, 20.0};
+  EXPECT_TRUE(search.feasible(ok, 0.1));
+  hgnas::LatencyEval heavy_mem{5.0, 0.0, false, 35.0};
+  EXPECT_FALSE(search.feasible(heavy_mem, 0.1));
+  EXPECT_FALSE(search.feasible(ok, 1.0));  // too many parameters
+  hgnas::LatencyEval oom{0.0, 0.0, true, 999.0};
+  EXPECT_FALSE(search.feasible(oom, 0.1));
+  // Unknown memory (predictor path) is not gated on.
+  hgnas::LatencyEval unknown_mem{5.0, 0.0, false, 0.0};
+  EXPECT_TRUE(search.feasible(unknown_mem, 0.1));
+}
+
+TEST(Constraints, SizeConstrainedSearchFindsSmallModels) {
+  ConstraintFixture f;
+  hgnas::SuperNet supernet(f.space, f.sn_cfg, f.rng);
+  hw::Device dev = hw::make_device(hw::DeviceKind::Rtx3080);
+  hgnas::SearchConfig cfg;
+  cfg.space = f.space;
+  cfg.workload = f.workload;
+  cfg.population = 8;
+  cfg.parents = 4;
+  cfg.iterations = 4;
+  cfg.eval_val_samples = 4;
+  cfg.train_supernet = false;
+  cfg.latency_scale_ms =
+      dev.latency_ms(hw::dgcnn_reference_trace(f.workload.num_points));
+  cfg.size_constraint_mb = 0.05;  // very tight parameter budget
+  Rng rng(3);
+  hgnas::HgnasSearch search(supernet, f.data, cfg,
+                            hgnas::make_oracle_evaluator(dev, f.workload));
+  const auto r = search.run_multistage(rng);
+  if (r.best_objective > 0.0) {  // found a feasible design
+    EXPECT_LT(arch_param_mb(r.best_arch, f.workload), 0.05);
+  }
+}
+
+// ---- energy model ------------------------------------------------------------------
+
+TEST(Energy, PowerEfficiencyClaimAcrossDevices) {
+  // §I: TX2 running the HGNAS design reaches DGCNN-on-RTX latency at 47x
+  // less power, i.e. far better energy per inference.
+  hw::Device rtx = hw::make_device(hw::DeviceKind::Rtx3080);
+  hw::Device tx2 = hw::make_device(hw::DeviceKind::JetsonTx2);
+  const hw::Trace dgcnn = hw::dgcnn_reference_trace(1024);
+  hgnas::Workload w;
+  w.num_points = 1024;
+  w.k = 20;
+  const hw::Trace ours = lower_to_trace(hgnas::zoo::tx2_fast(), w);
+  EXPECT_LT(tx2.energy_mj(ours), rtx.energy_mj(dgcnn) / 10.0);
+}
+
+TEST(Energy, ScalesWithLatency) {
+  hw::Device pi = hw::make_device(hw::DeviceKind::RaspberryPi3B);
+  EXPECT_GT(pi.energy_mj(hw::dgcnn_reference_trace(1024)),
+            pi.energy_mj(hw::dgcnn_reference_trace(256)));
+}
+
+// ---- device-conditioned predictor features ---------------------------------------
+
+TEST(DeviceSlot, WritesOneHotIntoGlobalNode) {
+  Rng rng(5);
+  hgnas::SpaceConfig cfg;
+  cfg.num_positions = 6;
+  hgnas::Workload w;
+  w.num_points = 512;
+  w.k = 10;
+  Arch a = hgnas::random_arch(cfg, rng);
+  auto g_none = predictor::arch_to_graph(a, w, -1);
+  auto g_dev2 = predictor::arch_to_graph(a, w, 2);
+  const std::int64_t global = g_none.edges.num_nodes - 1;
+  int diffs = 0;
+  for (std::int64_t i = 0; i < predictor::kFeatureDim; ++i)
+    if (g_none.features.at({global, i}) != g_dev2.features.at({global, i}))
+      ++diffs;
+  EXPECT_EQ(diffs, 1);  // exactly the device bit
+  EXPECT_THROW(predictor::arch_to_graph(a, w, 7), std::invalid_argument);
+}
+
+TEST(DeviceSlot, SharedPredictorLearnsDeviceScales) {
+  // One predictor, two devices whose latencies differ by ~5x: with the
+  // device bit it should at least track each device's scale.
+  hgnas::SpaceConfig space;
+  space.num_positions = 6;
+  hgnas::Workload w;
+  w.num_points = 512;
+  w.k = 10;
+  hw::Device rtx = hw::make_device(hw::DeviceKind::Rtx3080);
+  hw::Device tx2 = hw::make_device(hw::DeviceKind::JetsonTx2);
+
+  auto rtx_set = predictor::collect_labeled_archs(rtx, space, w, 80, 1);
+  auto tx2_set = predictor::collect_labeled_archs(tx2, space, w, 80, 1);
+  // Same seed -> same architectures, different device labels: mean ratio
+  // reflects the device speed gap.
+  double ratio = 0.0;
+  for (std::size_t i = 0; i < rtx_set.size(); ++i)
+    ratio += tx2_set[i].latency_ms / rtx_set[i].latency_ms;
+  ratio /= static_cast<double>(rtx_set.size());
+  EXPECT_GT(ratio, 2.0);  // the TX2 is much slower on the same archs
+}
+
+}  // namespace
+}  // namespace hg

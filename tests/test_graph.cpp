@@ -1,0 +1,217 @@
+// Graph construction kernels: KNN exactness, grid/brute equivalence, CSR,
+// random sampling, properties.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/graph.hpp"
+#include "tensor/rng.hpp"
+
+namespace hg::graph {
+namespace {
+
+std::vector<float> random_points(std::int64_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> pts(static_cast<std::size_t>(n) * 3);
+  for (auto& v : pts) v = rng.uniform(-1.f, 1.f);
+  return pts;
+}
+
+/// Neighbour set of node v in an edge list.
+std::multiset<std::int64_t> neighbours_of(const EdgeList& e, std::int64_t v) {
+  std::multiset<std::int64_t> out;
+  for (std::size_t i = 0; i < e.dst.size(); ++i)
+    if (e.dst[i] == v) out.insert(e.src[i]);
+  return out;
+}
+
+TEST(KnnBrute, EachNodeGetsKNeighbours) {
+  auto pts = random_points(20, 1);
+  EdgeList e = knn_graph_brute(pts, 20, 5);
+  EXPECT_EQ(e.num_nodes, 20);
+  EXPECT_EQ(e.num_edges(), 100);
+  for (std::int64_t v = 0; v < 20; ++v)
+    EXPECT_EQ(neighbours_of(e, v).size(), 5u);
+}
+
+TEST(KnnBrute, NoSelfLoops) {
+  auto pts = random_points(15, 2);
+  EdgeList e = knn_graph_brute(pts, 15, 4);
+  for (std::size_t i = 0; i < e.src.size(); ++i)
+    EXPECT_NE(e.src[i], e.dst[i]);
+}
+
+TEST(KnnBrute, KLargerThanNClamps) {
+  auto pts = random_points(4, 3);
+  EdgeList e = knn_graph_brute(pts, 4, 10);
+  EXPECT_EQ(e.num_edges(), 4 * 3);  // everyone else is a neighbour
+}
+
+TEST(KnnBrute, PicksActualNearest) {
+  // Colinear points at x = 0, 1, 2, 5: NN of x=0 is x=1, etc.
+  std::vector<float> pts = {0, 0, 0, 1, 0, 0, 2, 0, 0, 5, 0, 0};
+  EdgeList e = knn_graph_brute(pts, 4, 1);
+  auto n0 = neighbours_of(e, 0);
+  EXPECT_TRUE(n0.count(1));
+  auto n3 = neighbours_of(e, 3);
+  EXPECT_TRUE(n3.count(2));
+}
+
+TEST(KnnBrute, DegenerateInputs) {
+  EXPECT_EQ(knn_graph_brute({}, 0, 3).num_edges(), 0);
+  std::vector<float> one = {0, 0, 0};
+  EXPECT_EQ(knn_graph_brute(one, 1, 3).num_edges(), 0);
+  EXPECT_THROW(knn_graph_brute(one, 1, 0), std::invalid_argument);
+  EXPECT_THROW(knn_graph_brute(one, 2, 3), std::invalid_argument);
+}
+
+class KnnGridEquivalence : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(KnnGridEquivalence, GridMatchesBruteNeighbourSets) {
+  const std::int64_t n = GetParam();
+  auto pts = random_points(n, static_cast<std::uint64_t>(n));
+  const std::int64_t k = 8;
+  EdgeList brute = knn_graph_brute(pts, n, k);
+  EdgeList grid = knn_graph_grid(pts, n, k);
+  ASSERT_EQ(brute.num_edges(), grid.num_edges());
+  for (std::int64_t v = 0; v < n; ++v) {
+    // Ties can be ordered differently, so compare distances, not ids.
+    auto dist_set = [&](const EdgeList& e) {
+      std::multiset<float> d;
+      for (std::size_t i = 0; i < e.dst.size(); ++i) {
+        if (e.dst[i] != v) continue;
+        const auto s = e.src[i];
+        float acc = 0.f;
+        for (int c = 0; c < 3; ++c) {
+          const float diff = pts[static_cast<std::size_t>(s * 3 + c)] -
+                             pts[static_cast<std::size_t>(v * 3 + c)];
+          acc += diff * diff;
+        }
+        d.insert(acc);
+      }
+      return d;
+    };
+    auto bd = dist_set(brute);
+    auto gd = dist_set(grid);
+    ASSERT_EQ(bd.size(), gd.size());
+    auto bi = bd.begin();
+    auto gi = gd.begin();
+    for (; bi != bd.end(); ++bi, ++gi) EXPECT_NEAR(*bi, *gi, 1e-5f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, KnnGridEquivalence,
+                         ::testing::Values<std::int64_t>(16, 64, 200, 512));
+
+TEST(KnnGrid, ClusteredPointsStillExact) {
+  // Two tight clusters far apart — stresses the ring-expansion logic.
+  Rng rng(7);
+  std::vector<float> pts;
+  for (int i = 0; i < 30; ++i) {
+    pts.push_back(rng.uniform(-0.01f, 0.01f));
+    pts.push_back(rng.uniform(-0.01f, 0.01f));
+    pts.push_back(rng.uniform(-0.01f, 0.01f));
+  }
+  for (int i = 0; i < 30; ++i) {
+    pts.push_back(10.f + rng.uniform(-0.01f, 0.01f));
+    pts.push_back(rng.uniform(-0.01f, 0.01f));
+    pts.push_back(rng.uniform(-0.01f, 0.01f));
+  }
+  EdgeList brute = knn_graph_brute(pts, 60, 5);
+  EdgeList grid = knn_graph_grid(pts, 60, 5);
+  EXPECT_EQ(brute.num_edges(), grid.num_edges());
+  // Cluster membership: all neighbours of node 0 are in the first cluster.
+  for (auto s : neighbours_of(grid, 0)) EXPECT_LT(s, 30);
+}
+
+TEST(KnnFeatures, WorksInHigherDimensions) {
+  // 4-D features, nearest by feature distance.
+  std::vector<float> f = {
+      0, 0, 0, 0,
+      1, 0, 0, 0,
+      0.1f, 0, 0, 0,
+      5, 5, 5, 5,
+  };
+  EdgeList e = knn_graph_features(f, 4, 4, 1);
+  auto n0 = neighbours_of(e, 0);
+  EXPECT_TRUE(n0.count(2));
+}
+
+TEST(RandomGraph, DegreeAndDistinctness) {
+  Rng rng(11);
+  EdgeList e = random_graph(50, 6, rng);
+  EXPECT_EQ(e.num_edges(), 300);
+  for (std::int64_t v = 0; v < 50; ++v) {
+    auto ns = neighbours_of(e, v);
+    EXPECT_EQ(ns.size(), 6u);
+    std::set<std::int64_t> uniq(ns.begin(), ns.end());
+    EXPECT_EQ(uniq.size(), 6u);  // distinct neighbours
+    EXPECT_FALSE(uniq.count(v));  // no self-loop
+  }
+}
+
+TEST(RandomGraph, IsRandom) {
+  Rng r1(1), r2(2);
+  EdgeList a = random_graph(30, 4, r1);
+  EdgeList b = random_graph(30, 4, r2);
+  EXPECT_NE(a.src, b.src);
+}
+
+TEST(Csr, GroupsByDestination) {
+  EdgeList e;
+  e.num_nodes = 3;
+  e.add_edge(0, 1);
+  e.add_edge(2, 1);
+  e.add_edge(1, 0);
+  Csr csr = to_csr(e);
+  EXPECT_EQ(csr.degree(0), 1);
+  EXPECT_EQ(csr.degree(1), 2);
+  EXPECT_EQ(csr.degree(2), 0);
+  // Incoming neighbours of node 1 = {0, 2}.
+  std::set<std::int64_t> in1(csr.neighbors.begin() + csr.row_ptr[1],
+                             csr.neighbors.begin() + csr.row_ptr[2]);
+  EXPECT_EQ(in1, (std::set<std::int64_t>{0, 2}));
+}
+
+TEST(Csr, RejectsOutOfRangeIndices) {
+  EdgeList e;
+  e.num_nodes = 2;
+  e.add_edge(0, 5);
+  EXPECT_THROW(to_csr(e), std::invalid_argument);
+}
+
+TEST(Properties, DensityAndDegrees) {
+  EdgeList e;
+  e.num_nodes = 4;
+  e.add_edge(0, 1);
+  e.add_edge(2, 1);
+  e.add_edge(3, 1);
+  e.add_edge(1, 0);
+  GraphProperties p = compute_properties(e);
+  EXPECT_EQ(p.num_nodes, 4);
+  EXPECT_EQ(p.num_edges, 4);
+  EXPECT_DOUBLE_EQ(p.avg_degree, 1.0);
+  EXPECT_EQ(p.max_degree, 3);
+  EXPECT_EQ(p.min_degree, 0);
+  EXPECT_NEAR(p.density, 4.0 / 12.0, 1e-12);
+}
+
+TEST(Properties, KnnGraphDensity) {
+  auto pts = random_points(32, 13);
+  EdgeList e = knn_graph_brute(pts, 32, 4);
+  GraphProperties p = compute_properties(e);
+  EXPECT_DOUBLE_EQ(p.avg_degree, 4.0);
+  EXPECT_EQ(p.min_degree, 4);  // in-degree via dst is exactly k
+}
+
+TEST(KnnDispatch, SelectsCorrectImplementation) {
+  // Behavioural check only: results must match brute either way.
+  auto pts = random_points(600, 17);
+  EdgeList a = knn_graph(pts, 600, 8);
+  EdgeList b = knn_graph_brute(pts, 600, 8);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+}
+
+}  // namespace
+}  // namespace hg::graph

@@ -1,0 +1,234 @@
+// Device cost models: calibration against the paper's Table II / Fig. 3,
+// scaling behaviour, OOM modelling, measurement noise.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hw/device.hpp"
+#include "hw/profiler.hpp"
+
+namespace hg::hw {
+namespace {
+
+struct DeviceCase {
+  DeviceKind kind;
+  double dgcnn_ms;                      // Table II DGCNN latency @1024 pts
+  std::array<double, 4> pct;            // Fig. 3 {Sample, Aggr, Comb, Other}
+};
+
+const DeviceCase kCases[] = {
+    {DeviceKind::Rtx3080, 51.8, {0.5326, 0.3313, 0.0542, 0.0819}},
+    {DeviceKind::IntelI7_8700K, 234.2, {0.0176, 0.8744, 0.0085, 0.0995}},
+    {DeviceKind::JetsonTx2, 270.4, {0.5088, 0.1170, 0.0817, 0.2925}},
+    {DeviceKind::RaspberryPi3B, 4139.1, {0.2246, 0.3355, 0.2732, 0.1666}},
+};
+
+class DeviceCalibration : public ::testing::TestWithParam<DeviceCase> {};
+
+TEST_P(DeviceCalibration, DgcnnLatencyMatchesTable2) {
+  const auto& c = GetParam();
+  Device dev = make_device(c.kind);
+  const Trace ref = dgcnn_reference_trace(1024);
+  EXPECT_NEAR(dev.latency_ms(ref), c.dgcnn_ms, c.dgcnn_ms * 0.001);
+}
+
+TEST_P(DeviceCalibration, BreakdownMatchesFig3) {
+  const auto& c = GetParam();
+  Device dev = make_device(c.kind);
+  const Breakdown b = dev.breakdown(dgcnn_reference_trace(1024));
+  for (int cat = 0; cat < kNumCategories; ++cat)
+    EXPECT_NEAR(b.fraction[static_cast<std::size_t>(cat)],
+                c.pct[static_cast<std::size_t>(cat)], 0.002)
+        << "category " << category_name(static_cast<OpCategory>(cat));
+}
+
+TEST_P(DeviceCalibration, LatencyGrowsWithPointCount) {
+  Device dev = make_device(GetParam().kind);
+  double prev = 0.0;
+  for (std::int64_t n : {128, 256, 512, 1024, 2048}) {
+    const double ms = dev.latency_ms(dgcnn_reference_trace(n));
+    EXPECT_GT(ms, prev);
+    prev = ms;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDevices, DeviceCalibration, ::testing::ValuesIn(kCases),
+    [](const ::testing::TestParamInfo<DeviceCase>& info) {
+      switch (info.param.kind) {
+        case DeviceKind::Rtx3080: return std::string("Rtx3080");
+        case DeviceKind::IntelI7_8700K: return std::string("IntelI7");
+        case DeviceKind::JetsonTx2: return std::string("JetsonTx2");
+        case DeviceKind::RaspberryPi3B: return std::string("RaspberryPi");
+      }
+      return std::string("unknown");
+    });
+
+TEST(DeviceMemory, DgcnnPeakMemoryMatchesTable2) {
+  // Table II peak memory: 144.0 / 643.0 / 145.0 / 457.8 MB.
+  const Trace ref = dgcnn_reference_trace(1024);
+  EXPECT_NEAR(make_device(DeviceKind::Rtx3080).peak_memory_mb(ref), 144.0,
+              6.0);
+  EXPECT_NEAR(make_device(DeviceKind::IntelI7_8700K).peak_memory_mb(ref),
+              643.0, 15.0);
+  EXPECT_NEAR(make_device(DeviceKind::JetsonTx2).peak_memory_mb(ref), 145.0,
+              6.0);
+  EXPECT_NEAR(make_device(DeviceKind::RaspberryPi3B).peak_memory_mb(ref),
+              457.8, 15.0);
+}
+
+TEST(DeviceMemory, RaspberryPiOomsAbove1536Points) {
+  // Fig. 1: "graphs with more than 1536 points will cause OOM" on the Pi.
+  Device pi = make_device(DeviceKind::RaspberryPi3B);
+  EXPECT_FALSE(pi.would_oom(dgcnn_reference_trace(1024)));
+  EXPECT_FALSE(pi.would_oom(dgcnn_reference_trace(1536)));
+  EXPECT_TRUE(pi.would_oom(dgcnn_reference_trace(2048)));
+}
+
+TEST(DeviceMemory, BigDevicesNeverOomInSweep) {
+  for (auto kind : {DeviceKind::Rtx3080, DeviceKind::IntelI7_8700K,
+                    DeviceKind::JetsonTx2}) {
+    Device dev = make_device(kind);
+    EXPECT_FALSE(dev.would_oom(dgcnn_reference_trace(2048)));
+  }
+}
+
+TEST(Measurement, NoiseIsUnbiasedAndBounded) {
+  Device dev = make_device(DeviceKind::Rtx3080);
+  const Trace ref = dgcnn_reference_trace(1024);
+  const double truth = dev.latency_ms(ref);
+  Rng rng(1);
+  double sum = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) sum += dev.measure(ref, rng).latency_ms;
+  EXPECT_NEAR(sum / n, truth, truth * 0.01);  // log-normal with unit mean
+}
+
+TEST(Measurement, PiNoisierThanRtx) {
+  const Trace ref = dgcnn_reference_trace(512);
+  auto relative_spread = [&](DeviceKind kind) {
+    Device dev = make_device(kind);
+    const double truth = dev.latency_ms(ref);
+    Rng rng(2);
+    double var = 0.0;
+    const int n = 500;
+    for (int i = 0; i < n; ++i) {
+      const double d = dev.measure(ref, rng).latency_ms - truth;
+      var += d * d;
+    }
+    return std::sqrt(var / n) / truth;
+  };
+  EXPECT_GT(relative_spread(DeviceKind::RaspberryPi3B),
+            2.0 * relative_spread(DeviceKind::Rtx3080));
+}
+
+TEST(Measurement, WallClockIncludesDeployOverhead) {
+  Device pi = make_device(DeviceKind::RaspberryPi3B);
+  Rng rng(3);
+  const Measurement m = pi.measure(dgcnn_reference_trace(1024), rng);
+  EXPECT_GE(m.wall_clock_s, pi.spec().deploy_overhead_s);
+}
+
+TEST(Measurement, OomReportsNoLatency) {
+  Device pi = make_device(DeviceKind::RaspberryPi3B);
+  Rng rng(4);
+  const Measurement m = pi.measure(dgcnn_reference_trace(2048), rng);
+  EXPECT_TRUE(m.oom);
+  EXPECT_EQ(m.latency_ms, 0.0);
+}
+
+TEST(Measurement, OnlineMeasurementFlagsMatchPaper) {
+  EXPECT_TRUE(make_device(DeviceKind::Rtx3080)
+                  .spec()
+                  .supports_online_measurement);
+  EXPECT_TRUE(make_device(DeviceKind::IntelI7_8700K)
+                  .spec()
+                  .supports_online_measurement);
+  EXPECT_FALSE(
+      make_device(DeviceKind::JetsonTx2).spec().supports_online_measurement);
+  EXPECT_FALSE(make_device(DeviceKind::RaspberryPi3B)
+                   .spec()
+                   .supports_online_measurement);
+}
+
+TEST(TraceBuilder, WorkModelFormulae) {
+  TraceBuilder tb;
+  tb.knn(100, 3, 10);
+  tb.aggregate(1000, 16);
+  tb.edge_mlp_aggregate(1000, 8, 16);
+  tb.combine(100, 8, 32);
+  tb.other(100, 32, "act");
+  Trace t = tb.build();
+  ASSERT_EQ(t.ops.size(), 5u);
+  EXPECT_NEAR(t.ops[0].work, 100.0 * 100.0 * (3.0 + std::log2(11.0)), 1e-6);
+  // Plain aggregation: elements x irregular-traffic cost (32 MACs/elem).
+  EXPECT_DOUBLE_EQ(t.ops[1].work, 16000.0 * 32.0);
+  // Fused edge MLP: edges * 2*in * out MACs.
+  EXPECT_DOUBLE_EQ(t.ops[2].work, 1000.0 * 2.0 * 8.0 * 16.0);
+  EXPECT_DOUBLE_EQ(t.ops[3].work, 100.0 * 8.0 * 32.0);
+  EXPECT_DOUBLE_EQ(t.ops[4].work, 3200.0);
+  // Both aggregate flavours land in the Aggregate category.
+  EXPECT_EQ(static_cast<int>(t.ops[1].category),
+            static_cast<int>(OpCategory::Aggregate));
+  EXPECT_EQ(static_cast<int>(t.ops[2].category),
+            static_cast<int>(OpCategory::Aggregate));
+}
+
+TEST(TraceBuilder, RejectsBadArguments) {
+  TraceBuilder tb;
+  EXPECT_THROW(tb.knn(0, 3, 10), std::invalid_argument);
+  EXPECT_THROW(tb.combine(10, 0, 5), std::invalid_argument);
+  EXPECT_THROW(tb.aggregate(10, 0), std::invalid_argument);
+  EXPECT_THROW(tb.set_param_mb(-1.0), std::invalid_argument);
+}
+
+TEST(Trace, CategoryTotalsAndWorkspace) {
+  TraceBuilder tb;
+  tb.knn(64, 3, 8).aggregate(512, 6).combine(64, 6, 16);
+  Trace t = tb.build();
+  EXPECT_GT(t.total_work(OpCategory::Sample), 0.0);
+  EXPECT_GT(t.total_work(OpCategory::Aggregate), 0.0);
+  EXPECT_GT(t.total_work(OpCategory::Combine), 0.0);
+  EXPECT_DOUBLE_EQ(t.total_work(OpCategory::Others), 0.0);
+  EXPECT_GT(t.max_workspace_mb(), 0.0);
+}
+
+TEST(Profiler, ReportContainsOpsAndDevice) {
+  Device dev = make_device(DeviceKind::Rtx3080);
+  const std::string report = profile_report(dev, dgcnn_reference_trace(256));
+  EXPECT_NE(report.find("RTX3080"), std::string::npos);
+  EXPECT_NE(report.find("knn"), std::string::npos);
+  EXPECT_NE(report.find("edge_mlp_aggr"), std::string::npos);
+}
+
+TEST(Profiler, SummarySharesSumToHundred) {
+  Device dev = make_device(DeviceKind::JetsonTx2);
+  const Breakdown b = dev.breakdown(dgcnn_reference_trace(512));
+  double total = 0.0;
+  for (double f : b.fraction) total += f;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ReferenceTrace, ParamFootprintIsPlausible) {
+  const Trace t = dgcnn_reference_trace(1024);
+  // Standard DGCNN is ~1.3M fp32 parameters for the 40-class head.
+  EXPECT_GT(t.param_mb, 4.0);
+  EXPECT_LT(t.param_mb, 7.0);
+}
+
+TEST(ReferenceTrace, PointCountOnlyAffectsPerPointWork) {
+  const Trace a = dgcnn_reference_trace(256);
+  const Trace b = dgcnn_reference_trace(512);
+  EXPECT_EQ(a.ops.size(), b.ops.size());
+  EXPECT_DOUBLE_EQ(a.param_mb, b.param_mb);
+}
+
+TEST(DeviceSpec, PowerBudgetsMatchPaperClaim) {
+  // §I: "47x (350 W vs 7.5 W) power efficiency" — RTX vs TX2.
+  const double rtx = make_device(DeviceKind::Rtx3080).spec().power_w;
+  const double tx2 = make_device(DeviceKind::JetsonTx2).spec().power_w;
+  EXPECT_NEAR(rtx / tx2, 47.0, 0.5);
+}
+
+}  // namespace
+}  // namespace hg::hw

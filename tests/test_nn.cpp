@@ -1,0 +1,187 @@
+// Layers: Linear, BatchNorm1d, MLP; metrics OA / mAcc.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/nn.hpp"
+#include "tensor/optim.hpp"
+
+namespace hg::nn {
+namespace {
+
+TEST(Linear, OutputShapeAndBias) {
+  Rng rng(1);
+  Linear lin(3, 5, rng);
+  Tensor x = Tensor::ones({4, 3});
+  Tensor y = lin.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{4, 5}));
+  EXPECT_EQ(lin.num_parameters(), 3 * 5 + 5);
+}
+
+TEST(Linear, NoBiasVariant) {
+  Rng rng(2);
+  Linear lin(3, 5, rng, /*bias=*/false);
+  EXPECT_EQ(lin.num_parameters(), 15);
+}
+
+TEST(Linear, RejectsWrongInputWidth) {
+  Rng rng(3);
+  Linear lin(3, 5, rng);
+  EXPECT_THROW(lin.forward(Tensor::ones({4, 4})), std::invalid_argument);
+}
+
+TEST(Linear, RejectsBadDims) {
+  Rng rng(4);
+  EXPECT_THROW(Linear(0, 5, rng), std::invalid_argument);
+}
+
+TEST(Linear, IsTrainable) {
+  Rng rng(5);
+  Linear lin(2, 1, rng);
+  Adam opt(lin.parameters(), 0.05f);
+  // Learn y = x0 - x1.
+  Tensor X = Tensor::from_vector({4, 2}, {1, 0, 0, 1, 1, 1, 2, 1});
+  Tensor Y = Tensor::from_vector({4, 1}, {1, -1, 0, 1});
+  float loss_val = 0.f;
+  for (int i = 0; i < 300; ++i) {
+    opt.zero_grad();
+    Tensor loss = mean_all(square(sub(lin.forward(X), Y)));
+    loss.backward();
+    opt.step();
+    loss_val = loss.item();
+  }
+  EXPECT_LT(loss_val, 1e-3f);
+}
+
+TEST(BatchNorm, NormalizesTrainingBatch) {
+  BatchNorm1d bn(3);
+  bn.set_training(true);
+  Rng rng(6);
+  Tensor x = Tensor::randn({64, 3}, rng, 5.f, 2.f);
+  Tensor y = bn.forward(x);
+  // Per-channel mean ~0, var ~1 after normalisation (gamma=1, beta=0).
+  Tensor m = mean_axis(y, 0);
+  for (float v : m.data()) EXPECT_NEAR(v, 0.f, 1e-4f);
+  Tensor var = mean_axis(square(y), 0);
+  for (float v : var.data()) EXPECT_NEAR(v, 1.f, 1e-2f);
+}
+
+TEST(BatchNorm, RunningStatsConverge) {
+  BatchNorm1d bn(2);
+  bn.set_training(true);
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    Tensor x = Tensor::randn({32, 2}, rng, 3.f, 1.f);
+    bn.forward(x);
+  }
+  EXPECT_NEAR(bn.running_mean()[0], 3.f, 0.2f);
+  EXPECT_NEAR(bn.running_var()[0], 1.f, 0.2f);
+}
+
+TEST(BatchNorm, EvalModeStillUsesBatchStatsForMultiRow) {
+  // Graph-instance normalisation: per-cloud statistics apply at inference
+  // too (see the class comment in nn.hpp).
+  BatchNorm1d bn(1);
+  bn.set_training(false);
+  Rng rng(8);
+  Tensor y1 = bn.forward(Tensor::randn({32, 1}, rng, 100.f, 1.f));
+  Tensor m1 = mean_axis(y1, 0);
+  EXPECT_NEAR(m1.data()[0], 0.f, 1e-3f);  // normalised regardless of shift
+}
+
+TEST(BatchNorm, EvalModeDoesNotUpdateRunningStats) {
+  BatchNorm1d bn(1);
+  bn.set_training(false);
+  Rng rng(18);
+  const float before = bn.running_mean()[0];
+  bn.forward(Tensor::randn({32, 1}, rng, 10.f, 1.f));
+  EXPECT_FLOAT_EQ(bn.running_mean()[0], before);
+}
+
+TEST(BatchNorm, SingleRowBatchFallsBackToRunningStats) {
+  BatchNorm1d bn(2);
+  bn.set_training(true);
+  Tensor y = bn.forward(Tensor::ones({1, 2}));  // must not divide by zero
+  for (float v : y.data()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(BatchNorm, GammaBetaAreTrainable) {
+  BatchNorm1d bn(2);
+  EXPECT_EQ(bn.num_parameters(), 4);
+  for (auto& p : bn.parameters()) EXPECT_TRUE(p.requires_grad());
+}
+
+TEST(Mlp, ForwardShape) {
+  Rng rng(9);
+  Mlp mlp({4, 8, 8, 2}, rng);
+  Tensor y = mlp.forward(Tensor::ones({3, 4}));
+  EXPECT_EQ(y.shape(), (Shape{3, 2}));
+  EXPECT_EQ(mlp.num_layers(), 3u);
+}
+
+TEST(Mlp, RejectsTooFewDims) {
+  Rng rng(10);
+  EXPECT_THROW(Mlp({4}, rng), std::invalid_argument);
+}
+
+TEST(Mlp, LearnsXor) {
+  Rng rng(11);
+  Mlp mlp({2, 16, 2}, rng);
+  Adam opt(mlp.parameters(), 0.03f);
+  Tensor X = Tensor::from_vector({4, 2}, {0, 0, 0, 1, 1, 0, 1, 1});
+  std::vector<std::int64_t> Y = {0, 1, 1, 0};
+  for (int i = 0; i < 500; ++i) {
+    opt.zero_grad();
+    cross_entropy(mlp.forward(X), Y).backward();
+    opt.step();
+  }
+  auto preds = argmax_rows(mlp.forward(X));
+  EXPECT_EQ(preds, Y);
+}
+
+TEST(Mlp, FinalActivationApplied) {
+  Rng rng(12);
+  Mlp mlp({2, 4, 1}, rng, Activation::Relu, Activation::Relu);
+  Tensor y = mlp.forward(Tensor::from_vector({1, 2}, {-5.f, -5.f}));
+  EXPECT_GE(y.item(), 0.f);
+}
+
+TEST(Metrics, OverallAccuracy) {
+  std::vector<std::int64_t> pred = {0, 1, 2, 2};
+  std::vector<std::int64_t> label = {0, 1, 1, 2};
+  EXPECT_DOUBLE_EQ(overall_accuracy(pred, label), 0.75);
+}
+
+TEST(Metrics, OverallAccuracyEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(overall_accuracy({}, {}), 0.0);
+}
+
+TEST(Metrics, BalancedAccuracyWeightsClassesEqually) {
+  // Class 0: 3 samples all correct; class 1: 1 sample wrong.
+  std::vector<std::int64_t> pred = {0, 0, 0, 0};
+  std::vector<std::int64_t> label = {0, 0, 0, 1};
+  EXPECT_DOUBLE_EQ(overall_accuracy(pred, label), 0.75);
+  EXPECT_DOUBLE_EQ(balanced_accuracy(pred, label, 2), 0.5);
+}
+
+TEST(Metrics, BalancedAccuracySkipsAbsentClasses) {
+  std::vector<std::int64_t> pred = {0, 1};
+  std::vector<std::int64_t> label = {0, 1};
+  EXPECT_DOUBLE_EQ(balanced_accuracy(pred, label, 5), 1.0);
+}
+
+TEST(Metrics, MismatchedSizesThrow) {
+  std::vector<std::int64_t> a = {0};
+  std::vector<std::int64_t> b = {0, 1};
+  EXPECT_THROW(overall_accuracy(a, b), std::invalid_argument);
+  EXPECT_THROW(balanced_accuracy(a, b, 2), std::invalid_argument);
+}
+
+TEST(Metrics, LabelOutOfRangeThrows) {
+  std::vector<std::int64_t> pred = {0};
+  std::vector<std::int64_t> label = {5};
+  EXPECT_THROW(balanced_accuracy(pred, label, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hg::nn

@@ -1,0 +1,134 @@
+// Optimiser behaviour: SGD / Adam convergence, dedup, schedules.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/optim.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hg {
+namespace {
+
+/// Quadratic bowl: loss = sum((x - target)^2).
+float quadratic_step(Tensor& x, const Tensor& target, Optimizer& opt) {
+  opt.zero_grad();
+  Tensor loss = sum_all(square(sub(x, target)));
+  loss.backward();
+  opt.step();
+  return loss.item();
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  Tensor x = Tensor::from_vector({3}, {5.f, -3.f, 1.f}, true);
+  Tensor target = Tensor::from_vector({3}, {1.f, 2.f, -1.f});
+  Sgd opt({x}, 0.1f);
+  float last = 0.f;
+  for (int i = 0; i < 100; ++i) last = quadratic_step(x, target, opt);
+  EXPECT_LT(last, 1e-6f);
+  EXPECT_NEAR(x.data()[0], 1.f, 1e-3);
+}
+
+TEST(Sgd, MomentumAcceleratesDescent) {
+  Tensor x1 = Tensor::from_vector({1}, {10.f}, true);
+  Tensor x2 = Tensor::from_vector({1}, {10.f}, true);
+  Tensor target = Tensor::from_vector({1}, {0.f});
+  Sgd plain({x1}, 0.01f);
+  Sgd momentum({x2}, 0.01f, 0.9f);
+  for (int i = 0; i < 30; ++i) {
+    quadratic_step(x1, target, plain);
+    quadratic_step(x2, target, momentum);
+  }
+  EXPECT_LT(std::fabs(x2.data()[0]), std::fabs(x1.data()[0]));
+}
+
+TEST(Sgd, WeightDecayShrinksWeights) {
+  Tensor x = Tensor::from_vector({1}, {1.f}, true);
+  Sgd opt({x}, 0.1f, 0.f, 0.5f);
+  // No loss gradient at all: decay alone should shrink the weight.
+  x.zero_grad();
+  Tensor dummy = mul(x, 0.f);
+  sum_all(dummy).backward();
+  opt.step();
+  EXPECT_LT(x.data()[0], 1.f);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  Tensor x = Tensor::from_vector({4}, {3.f, -2.f, 0.5f, 4.f}, true);
+  Tensor target = Tensor::from_vector({4}, {0.f, 1.f, -1.f, 2.f});
+  Adam opt({x}, 0.05f);
+  float last = 0.f;
+  for (int i = 0; i < 300; ++i) last = quadratic_step(x, target, opt);
+  EXPECT_LT(last, 1e-4f);
+}
+
+TEST(Adam, HandlesSparseGradients) {
+  // Parameters with no grad this step must be left untouched.
+  Tensor used = Tensor::from_vector({1}, {1.f}, true);
+  Tensor unused = Tensor::from_vector({1}, {7.f}, true);
+  Adam opt({used, unused}, 0.1f);
+  opt.zero_grad();
+  sum_all(square(used)).backward();
+  opt.step();
+  EXPECT_FLOAT_EQ(unused.data()[0], 7.f);
+  EXPECT_NE(used.data()[0], 1.f);
+}
+
+TEST(Optimizer, DedupesSharedParameters) {
+  Tensor x = Tensor::from_vector({1}, {1.f}, true);
+  Sgd opt({x, x, x}, 0.1f);
+  EXPECT_EQ(opt.num_params(), 1u);
+  opt.zero_grad();
+  sum_all(x).backward();
+  opt.step();
+  EXPECT_NEAR(x.data()[0], 0.9f, 1e-6);  // stepped exactly once
+}
+
+TEST(Optimizer, RejectsNonGradParameters) {
+  Tensor x = Tensor::from_vector({1}, {1.f}, false);
+  EXPECT_THROW(Sgd({x}, 0.1f), std::invalid_argument);
+}
+
+TEST(CosineLr, EndpointsAndMonotone) {
+  EXPECT_FLOAT_EQ(cosine_lr(1.f, 0.f, 0, 100), 1.f);
+  EXPECT_NEAR(cosine_lr(1.f, 0.f, 100, 100), 0.f, 1e-6);
+  EXPECT_NEAR(cosine_lr(1.f, 0.f, 50, 100), 0.5f, 1e-6);
+  float prev = 2.f;
+  for (int s = 0; s <= 100; s += 10) {
+    const float lr = cosine_lr(1.f, 0.1f, s, 100);
+    EXPECT_LE(lr, prev);
+    prev = lr;
+  }
+}
+
+TEST(CosineLr, ClampsPastEnd) {
+  EXPECT_FLOAT_EQ(cosine_lr(1.f, 0.2f, 150, 100), 0.2f);
+}
+
+TEST(Adam, TrainsLinearRegression) {
+  // y = 2x + 1 from noisy samples; checks the full tensor+optim loop.
+  Rng rng(99);
+  Tensor w = Tensor::from_vector({1, 1}, {0.f}, true);
+  Tensor b = Tensor::from_vector({1}, {0.f}, true);
+  Adam opt({w, b}, 0.05f);
+  std::vector<float> xs, ys;
+  for (int i = 0; i < 64; ++i) {
+    const float x = rng.uniform(-2.f, 2.f);
+    xs.push_back(x);
+    ys.push_back(2.f * x + 1.f + rng.normal(0.f, 0.01f));
+  }
+  Tensor X = Tensor::from_vector({64, 1}, std::vector<float>(xs));
+  Tensor Y = Tensor::from_vector({64, 1}, std::vector<float>(ys));
+  for (int it = 0; it < 400; ++it) {
+    opt.zero_grad();
+    Tensor pred = add(matmul(X, w), b);
+    Tensor loss = mean_all(square(sub(pred, Y)));
+    loss.backward();
+    opt.step();
+  }
+  EXPECT_NEAR(w.data()[0], 2.f, 0.05);
+  EXPECT_NEAR(b.data()[0], 1.f, 0.05);
+}
+
+}  // namespace
+}  // namespace hg

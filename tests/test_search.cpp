@@ -1,0 +1,229 @@
+// Evolutionary search: Eq. (3) objective, constraint gating, EA progress,
+// evaluators, simulated clock.
+#include <gtest/gtest.h>
+
+#include "hgnas/search.hpp"
+
+namespace hg::hgnas {
+namespace {
+
+struct SearchFixture {
+  SpaceConfig space;
+  SupernetConfig sn_cfg;
+  Workload workload;
+  pointcloud::Dataset data;
+  Rng rng;
+  SuperNet supernet;
+
+  SearchFixture()
+      : data(4, 32, 21), rng(1), supernet(make_space(), make_sn(), rng) {
+    space = make_space();
+    sn_cfg = make_sn();
+    workload.num_points = 256;
+    workload.k = 10;
+    workload.num_classes = 10;
+  }
+  static SpaceConfig make_space() {
+    SpaceConfig s;
+    s.num_positions = 6;
+    return s;
+  }
+  static SupernetConfig make_sn() {
+    SupernetConfig c;
+    c.hidden = 16;
+    c.k = 6;
+    c.num_classes = 10;
+    c.head_hidden = 32;
+    return c;
+  }
+  SearchConfig make_cfg(double scale_ms) {
+    SearchConfig cfg;
+    cfg.space = space;
+    cfg.workload = workload;
+    cfg.population = 8;
+    cfg.parents = 4;
+    cfg.iterations = 4;
+    cfg.eval_val_samples = 6;
+    cfg.function_paths_per_eval = 1;
+    cfg.stage1_epochs = 1;
+    cfg.stage2_epochs = 1;
+    cfg.latency_scale_ms = scale_ms;
+    return cfg;
+  }
+};
+
+TEST(Objective, Eq3GatesOnConstraint) {
+  SearchFixture f;
+  hw::Device dev = hw::make_device(hw::DeviceKind::Rtx3080);
+  SearchConfig cfg = f.make_cfg(50.0);
+  cfg.latency_constraint_ms = 10.0;
+  cfg.alpha = 1.0;
+  cfg.beta = 0.5;
+  HgnasSearch search(f.supernet, f.data, cfg,
+                     make_oracle_evaluator(dev, f.workload));
+  EXPECT_DOUBLE_EQ(search.objective(0.9, 10.0, false), 0.0);  // lat >= C
+  EXPECT_DOUBLE_EQ(search.objective(0.9, 15.0, false), 0.0);
+  EXPECT_DOUBLE_EQ(search.objective(0.9, 5.0, true), 0.0);  // OOM
+  EXPECT_NEAR(search.objective(0.9, 5.0, false), 0.9 - 0.5 * 5.0 / 50.0,
+              1e-12);
+}
+
+TEST(Objective, AlphaBetaTradeoffDirection) {
+  SearchFixture f;
+  hw::Device dev = hw::make_device(hw::DeviceKind::Rtx3080);
+  SearchConfig acc_cfg = f.make_cfg(50.0);
+  acc_cfg.alpha = 10.0;
+  acc_cfg.beta = 0.1;
+  SearchConfig fast_cfg = f.make_cfg(50.0);
+  fast_cfg.alpha = 0.1;
+  fast_cfg.beta = 10.0;
+  HgnasSearch acc_search(f.supernet, f.data, acc_cfg,
+                         make_oracle_evaluator(dev, f.workload));
+  HgnasSearch fast_search(f.supernet, f.data, fast_cfg,
+                          make_oracle_evaluator(dev, f.workload));
+  // Accurate-but-slow vs inaccurate-but-fast candidates flip ordering.
+  const double slow_good = 0.9, slow_lat = 40.0;
+  const double fast_bad = 0.5, fast_lat = 5.0;
+  EXPECT_GT(acc_search.objective(slow_good, slow_lat, false),
+            acc_search.objective(fast_bad, fast_lat, false));
+  EXPECT_LT(fast_search.objective(slow_good, slow_lat, false),
+            fast_search.objective(fast_bad, fast_lat, false));
+}
+
+TEST(Evaluators, OracleIsDeterministicAndFree) {
+  SearchFixture f;
+  hw::Device dev = hw::make_device(hw::DeviceKind::Rtx3080);
+  auto oracle = make_oracle_evaluator(dev, f.workload);
+  Arch a = random_arch(f.space, f.rng);
+  const LatencyEval e1 = oracle(a);
+  const LatencyEval e2 = oracle(a);
+  EXPECT_DOUBLE_EQ(e1.latency_ms, e2.latency_ms);
+  EXPECT_DOUBLE_EQ(e1.cost_s, 0.0);
+}
+
+TEST(Evaluators, MeasurementIsNoisyAndCostly) {
+  SearchFixture f;
+  hw::Device dev = hw::make_device(hw::DeviceKind::Rtx3080);
+  auto meas = make_measurement_evaluator(dev, f.workload, 7);
+  Arch a = random_arch(f.space, f.rng);
+  const LatencyEval e1 = meas(a);
+  const LatencyEval e2 = meas(a);
+  EXPECT_NE(e1.latency_ms, e2.latency_ms);  // fresh noise each call
+  EXPECT_GT(e1.cost_s, 1.0);                // deploy overhead dominates
+}
+
+TEST(Evaluators, MeasurementRefusedOnOfflineDevices) {
+  SearchFixture f;
+  hw::Device pi = hw::make_device(hw::DeviceKind::RaspberryPi3B);
+  EXPECT_THROW(make_measurement_evaluator(pi, f.workload, 7),
+               std::invalid_argument);
+  hw::Device tx2 = hw::make_device(hw::DeviceKind::JetsonTx2);
+  EXPECT_THROW(make_measurement_evaluator(tx2, f.workload, 7),
+               std::invalid_argument);
+}
+
+TEST(SearchConfigValidation, RejectsBadValues) {
+  SearchFixture f;
+  hw::Device dev = hw::make_device(hw::DeviceKind::Rtx3080);
+  auto oracle = make_oracle_evaluator(dev, f.workload);
+  SearchConfig cfg = f.make_cfg(50.0);
+  cfg.population = 1;
+  EXPECT_THROW(HgnasSearch(f.supernet, f.data, cfg, oracle),
+               std::invalid_argument);
+  cfg = f.make_cfg(50.0);
+  cfg.parents = 100;
+  EXPECT_THROW(HgnasSearch(f.supernet, f.data, cfg, oracle),
+               std::invalid_argument);
+  cfg = f.make_cfg(0.0);
+  EXPECT_THROW(HgnasSearch(f.supernet, f.data, cfg, oracle),
+               std::invalid_argument);
+  cfg = f.make_cfg(50.0);
+  EXPECT_THROW(HgnasSearch(f.supernet, f.data, cfg, nullptr),
+               std::invalid_argument);
+}
+
+TEST(MultistageSearch, ProducesFeasibleResultAndHistory) {
+  SearchFixture f;
+  hw::Device dev = hw::make_device(hw::DeviceKind::Rtx3080);
+  const double dgcnn_ms = dev.latency_ms(hw::dgcnn_reference_trace(
+      f.workload.num_points));
+  SearchConfig cfg = f.make_cfg(dgcnn_ms);
+  cfg.latency_constraint_ms = dgcnn_ms;  // must beat DGCNN
+  HgnasSearch search(f.supernet, f.data, cfg,
+                     make_oracle_evaluator(dev, f.workload));
+  SearchResult r = search.run_multistage(f.rng);
+  EXPECT_EQ(r.best_arch.num_positions(), f.space.num_positions);
+  EXPECT_GT(r.best_objective, 0.0);  // found something feasible
+  EXPECT_LT(r.best_latency_ms, dgcnn_ms);
+  EXPECT_FALSE(r.history.empty());
+  EXPECT_GT(r.total_sim_time_s, 0.0);
+  EXPECT_GT(r.latency_queries, 0);
+  // History is monotone non-decreasing in both time and objective.
+  for (std::size_t i = 1; i < r.history.size(); ++i) {
+    EXPECT_GE(r.history[i].sim_time_s, r.history[i - 1].sim_time_s);
+    EXPECT_GE(r.history[i].best_objective,
+              r.history[i - 1].best_objective - 1e-12);
+  }
+  // The winner respects the stamped per-half function sharing.
+  for (std::size_t i = 0; i < r.best_arch.genes.size(); ++i) {
+    const auto& expect_fn = i < 3 ? r.upper : r.lower;
+    EXPECT_EQ(r.best_arch.genes[i].fn, expect_fn);
+  }
+}
+
+TEST(OnestageSearch, RunsAndReportsHistory) {
+  SearchFixture f;
+  hw::Device dev = hw::make_device(hw::DeviceKind::Rtx3080);
+  const double dgcnn_ms =
+      dev.latency_ms(hw::dgcnn_reference_trace(f.workload.num_points));
+  SearchConfig cfg = f.make_cfg(dgcnn_ms);
+  HgnasSearch search(f.supernet, f.data, cfg,
+                     make_oracle_evaluator(dev, f.workload));
+  SearchResult r = search.run_onestage(f.rng);
+  EXPECT_FALSE(r.history.empty());
+  EXPECT_EQ(r.best_arch.num_positions(), f.space.num_positions);
+}
+
+TEST(Search, TightConstraintYieldsFasterArchitectures) {
+  SearchFixture f;
+  hw::Device dev = hw::make_device(hw::DeviceKind::Rtx3080);
+  const double dgcnn_ms =
+      dev.latency_ms(hw::dgcnn_reference_trace(f.workload.num_points));
+  auto run_with_constraint = [&](double c_ms) {
+    Rng rng(5);
+    SearchConfig cfg = f.make_cfg(dgcnn_ms);
+    cfg.latency_constraint_ms = c_ms;
+    cfg.train_supernet = false;  // accuracy proxy irrelevant here
+    HgnasSearch s(f.supernet, f.data, cfg,
+                  make_oracle_evaluator(dev, f.workload));
+    return s.run_multistage(rng).best_latency_ms;
+  };
+  const double loose = run_with_constraint(dgcnn_ms * 2.0);
+  const double tight = run_with_constraint(dgcnn_ms * 0.05);
+  EXPECT_LT(tight, dgcnn_ms * 0.05);
+  EXPECT_LE(tight, loose + 1e-9);
+}
+
+TEST(Search, PredictorVsMeasurementClockGap) {
+  // The whole point of the predictor (Fig. 9a): same search, orders of
+  // magnitude less simulated wall clock than on-device measurement.
+  SearchFixture f;
+  hw::Device dev = hw::make_device(hw::DeviceKind::Rtx3080);
+  const double dgcnn_ms =
+      dev.latency_ms(hw::dgcnn_reference_trace(f.workload.num_points));
+
+  auto run = [&](LatencyFn fn) {
+    Rng rng(9);
+    SearchConfig cfg = f.make_cfg(dgcnn_ms);
+    cfg.train_supernet = false;
+    HgnasSearch s(f.supernet, f.data, cfg, std::move(fn));
+    return s.run_multistage(rng).total_sim_time_s;
+  };
+  // Zero-cost oracle stands in for the predictor's ms-scale queries here.
+  const double fast = run(make_oracle_evaluator(dev, f.workload));
+  const double slow = run(make_measurement_evaluator(dev, f.workload, 3));
+  EXPECT_GT(slow, fast + 10.0);
+}
+
+}  // namespace
+}  // namespace hg::hgnas

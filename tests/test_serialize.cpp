@@ -1,0 +1,75 @@
+// Checkpoint round-trips and failure modes.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "tensor/rng.hpp"
+#include "tensor/serialize.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hg {
+namespace {
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("hg_ser_test_" + std::to_string(::getpid()) + ".bin");
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::filesystem::path path_;
+};
+
+TEST_F(SerializeTest, RoundTripPreservesDataAndShape) {
+  Rng rng(5);
+  std::vector<Tensor> saved = {Tensor::randn({3, 4}, rng),
+                               Tensor::randn({7}, rng),
+                               Tensor::scalar(2.5f)};
+  save_tensors(path_.string(), saved);
+
+  std::vector<Tensor> loaded = {Tensor::zeros({3, 4}), Tensor::zeros({7}),
+                                Tensor::scalar(0.f)};
+  load_tensors(path_.string(), loaded);
+  for (std::size_t t = 0; t < saved.size(); ++t) {
+    ASSERT_EQ(saved[t].shape(), loaded[t].shape());
+    for (std::int64_t i = 0; i < saved[t].numel(); ++i)
+      EXPECT_FLOAT_EQ(saved[t].data()[i], loaded[t].data()[i]);
+  }
+}
+
+TEST_F(SerializeTest, ShapeMismatchThrows) {
+  save_tensors(path_.string(), {Tensor::zeros({2, 2})});
+  std::vector<Tensor> wrong = {Tensor::zeros({4})};
+  EXPECT_THROW(load_tensors(path_.string(), wrong), std::runtime_error);
+}
+
+TEST_F(SerializeTest, CountMismatchThrows) {
+  save_tensors(path_.string(), {Tensor::zeros({2})});
+  std::vector<Tensor> wrong = {Tensor::zeros({2}), Tensor::zeros({2})};
+  EXPECT_THROW(load_tensors(path_.string(), wrong), std::runtime_error);
+}
+
+TEST_F(SerializeTest, MissingFileThrows) {
+  std::vector<Tensor> t = {Tensor::zeros({1})};
+  EXPECT_THROW(load_tensors("/nonexistent/dir/x.bin", t), std::runtime_error);
+}
+
+TEST_F(SerializeTest, CorruptMagicThrows) {
+  std::ofstream out(path_, std::ios::binary);
+  out << "NOPE garbage";
+  out.close();
+  std::vector<Tensor> t = {Tensor::zeros({1})};
+  EXPECT_THROW(load_tensors(path_.string(), t), std::runtime_error);
+}
+
+TEST_F(SerializeTest, TruncatedFileThrows) {
+  save_tensors(path_.string(), {Tensor::zeros({100})});
+  std::filesystem::resize_file(path_, 40);
+  std::vector<Tensor> t = {Tensor::zeros({100})};
+  EXPECT_THROW(load_tensors(path_.string(), t), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hg

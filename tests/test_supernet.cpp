@@ -1,0 +1,150 @@
+// Weight-sharing supernet: path forward, SPOS training, evaluation,
+// re-initialisation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hgnas/supernet.hpp"
+
+namespace hg::hgnas {
+namespace {
+
+SpaceConfig small_space() {
+  SpaceConfig s;
+  s.num_positions = 6;
+  return s;
+}
+
+SupernetConfig small_config() {
+  SupernetConfig c;
+  c.hidden = 16;
+  c.k = 6;
+  c.num_classes = 10;
+  c.head_hidden = 32;
+  return c;
+}
+
+TEST(SuperNet, ForwardAnyRandomPath) {
+  Rng rng(1);
+  SuperNet net(small_space(), small_config(), rng);
+  pointcloud::Dataset data(2, 32, 7);
+  Tensor pts = pointcloud::Dataset::to_tensor(data.train()[0]);
+  for (int i = 0; i < 20; ++i) {
+    Arch a = random_arch(small_space(), rng);
+    Tensor logits = net.forward(a, pts, rng);
+    EXPECT_EQ(logits.shape(), (Shape{1, 10}));
+    for (float v : logits.data()) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(SuperNet, PositionCountMismatchThrows) {
+  Rng rng(2);
+  SuperNet net(small_space(), small_config(), rng);
+  SpaceConfig other;
+  other.num_positions = 12;
+  Arch a = random_arch(other, rng);
+  EXPECT_THROW(net.forward(a, Tensor::ones({8, 3}), rng),
+               std::invalid_argument);
+}
+
+TEST(SuperNet, SharedWeightsAcrossPaths) {
+  // Two paths that differ only in one position must still share the other
+  // positions' banks: parameter count is path-independent.
+  Rng rng(3);
+  SuperNet net(small_space(), small_config(), rng);
+  const auto params = net.parameters();
+  // positions * (6 combine-dim pairs + 7 aggregate aligns) + proj + head.
+  const std::size_t expected =
+      6 * (6 * 2 + 7) * 2 /*w+b*/ + 2 /*proj*/ + 4 /*heads*/;
+  EXPECT_EQ(params.size(), expected);
+}
+
+TEST(SuperNet, TrainEpochReturnsFiniteLossAndLearns) {
+  Rng rng(4);
+  SpaceConfig space = small_space();
+  SuperNet net(space, small_config(), rng);
+  pointcloud::Dataset data(6, 32, 11);
+  Adam opt(net.parameters(), 2e-3f);
+  auto sampler = [&space](Rng& r) { return random_arch(space, r); };
+  const double first = net.train_epoch(data.train(), sampler, opt, 8, rng);
+  double last = first;
+  for (int e = 0; e < 4; ++e)
+    last = net.train_epoch(data.train(), sampler, opt, 8, rng);
+  EXPECT_TRUE(std::isfinite(first));
+  EXPECT_LT(last, first);  // SPOS training reduces the shared-weight loss
+}
+
+TEST(SuperNet, EvaluateReturnsAccuracyInRange) {
+  Rng rng(5);
+  SuperNet net(small_space(), small_config(), rng);
+  pointcloud::Dataset data(3, 32, 13);
+  Arch a = random_arch(small_space(), rng);
+  const double acc = net.evaluate(a, data.test(), 10, rng);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+}
+
+TEST(SuperNet, EvaluateEmptySplitThrows) {
+  Rng rng(6);
+  SuperNet net(small_space(), small_config(), rng);
+  std::vector<pointcloud::Sample> empty;
+  Arch a = random_arch(small_space(), rng);
+  EXPECT_THROW(net.evaluate(a, empty, 10, rng), std::invalid_argument);
+}
+
+TEST(SuperNet, ReinitializeChangesWeightsInPlace) {
+  Rng rng(7);
+  SuperNet net(small_space(), small_config(), rng);
+  auto params = net.parameters();
+  std::vector<float> before(params[0].data().begin(),
+                            params[0].data().end());
+  Rng rng2(99);
+  net.reinitialize(rng2);
+  // Same handles still registered, values re-drawn.
+  auto after_params = net.parameters();
+  EXPECT_EQ(params[0].id(), after_params[0].id());
+  bool changed = false;
+  for (std::size_t i = 0; i < before.size(); ++i)
+    if (before[i] != after_params[0].data()[i]) changed = true;
+  EXPECT_TRUE(changed);
+}
+
+TEST(SuperNet, FunctionChoiceAffectsOutput) {
+  // Max vs mean aggregation along the same path must differ.
+  Rng rng(8);
+  SuperNet net(small_space(), small_config(), rng);
+  pointcloud::Dataset data(2, 32, 17);
+  Tensor pts = pointcloud::Dataset::to_tensor(data.train()[0]);
+
+  Arch a;
+  PositionGene agg;
+  agg.op = OpType::Aggregate;
+  agg.fn.aggr = AggrType::Max;
+  a.genes.assign(6, PositionGene{});
+  a.genes[1] = agg;
+  Arch b = a;
+  b.genes[1].fn.aggr = AggrType::Mean;
+
+  NoGradGuard ng;
+  net.set_training(false);
+  Rng f1(1), f2(1);
+  Tensor ya = net.forward(a, pts, f1);
+  Tensor yb = net.forward(b, pts, f2);
+  bool differs = false;
+  for (std::int64_t i = 0; i < ya.numel(); ++i)
+    if (std::fabs(ya.data()[i] - yb.data()[i]) > 1e-7f) differs = true;
+  EXPECT_TRUE(differs);
+}
+
+TEST(SuperNet, RejectsBadConfig) {
+  Rng rng(9);
+  SpaceConfig bad;
+  bad.num_positions = 0;
+  EXPECT_THROW(SuperNet(bad, small_config(), rng), std::invalid_argument);
+  SupernetConfig bad_cfg = small_config();
+  bad_cfg.hidden = 0;
+  EXPECT_THROW(SuperNet(small_space(), bad_cfg, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hg::hgnas

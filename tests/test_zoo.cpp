@@ -1,0 +1,142 @@
+// Fig. 10 reference architectures: structure, hardware affinity, execution
+// marks (merging / dead samples / implicit KNN).
+#include <gtest/gtest.h>
+
+#include "hgnas/model.hpp"
+#include "hgnas/zoo.hpp"
+
+namespace hg::hgnas {
+namespace {
+
+Workload paper_w() {
+  Workload w;
+  w.num_points = 1024;
+  w.k = 20;
+  return w;
+}
+
+int sample_ops_in_trace(const Arch& a) {
+  const hw::Trace t = lower_to_trace(a, paper_w());
+  int n = 0;
+  for (const auto& op : t.ops)
+    if (op.category == hw::OpCategory::Sample) ++n;
+  return n;
+}
+
+TEST(Zoo, AllFastArchsBeatDgcnnOnTheirDevice) {
+  for (int d = 0; d < hw::kNumDevices; ++d) {
+    const auto kind = static_cast<hw::DeviceKind>(d);
+    hw::Device dev = hw::make_device(kind);
+    const double dgcnn = dev.latency_ms(hw::dgcnn_reference_trace(1024));
+    const double ours =
+        dev.latency_ms(lower_to_trace(zoo::fast_for(kind), paper_w()));
+    EXPECT_LT(ours, dgcnn / 3.0) << dev.name();  // large speedups (Fig. 1)
+  }
+}
+
+TEST(Zoo, RtxFastHasSingleEffectiveKnn) {
+  // The trailing KNN of the paper's figure is merged/dead at run time.
+  EXPECT_EQ(sample_ops_in_trace(zoo::rtx_fast()), 1);
+}
+
+TEST(Zoo, PiFastMergesAdjacentKnns) {
+  EXPECT_EQ(sample_ops_in_trace(zoo::pi_fast()), 1);
+}
+
+TEST(Zoo, IntelFastHasFewerAggregatesThanTx2Fast) {
+  // Paper insight: the i7 is aggregation-bound, so its design uses fewer
+  // aggregate ops than the TX2's.
+  auto count_aggr = [](const Arch& a) {
+    int n = 0;
+    for (const auto& g : a.genes)
+      if (g.op == OpType::Aggregate) ++n;
+    return n;
+  };
+  EXPECT_LT(count_aggr(zoo::intel_fast()), count_aggr(zoo::tx2_fast()));
+}
+
+TEST(Zoo, AllArchsMaterialiseAndRun) {
+  for (int d = 0; d < hw::kNumDevices; ++d) {
+    Rng rng(static_cast<std::uint64_t>(d) + 1);
+    Workload w;
+    w.num_points = 32;
+    w.k = 6;
+    w.num_classes = 10;
+    GnnModel model(zoo::fast_for(static_cast<hw::DeviceKind>(d)), w, rng);
+    Tensor pts = Tensor::rand_uniform({32, 3}, rng, -1.f, 1.f);
+    Tensor logits = model.forward(pts, rng);
+    EXPECT_EQ(logits.shape(), (Shape{1, 10}));
+  }
+}
+
+TEST(Zoo, PiFastMemoryBelowDgcnnEverywhere) {
+  const hw::Trace pi_trace = lower_to_trace(zoo::pi_fast(), paper_w());
+  for (int d = 0; d < hw::kNumDevices; ++d) {
+    hw::Device dev = hw::make_device(static_cast<hw::DeviceKind>(d));
+    EXPECT_LT(dev.peak_memory_mb(pi_trace),
+              dev.peak_memory_mb(hw::dgcnn_reference_trace(1024)));
+  }
+}
+
+// ---- execution marks ------------------------------------------------------
+
+PositionGene gene(OpType op) {
+  PositionGene g;
+  g.op = op;
+  return g;
+}
+
+TEST(ExecMarks, MergedAndDeadSamplesDoNotExecute) {
+  Arch a;
+  a.genes = {gene(OpType::Sample), gene(OpType::Sample),
+             gene(OpType::Aggregate), gene(OpType::Sample)};
+  const ExecMarks m = compute_exec_marks(a);
+  EXPECT_TRUE(m.sample_executes[0]);   // first of the adjacent pair
+  EXPECT_FALSE(m.sample_executes[1]);  // merged
+  EXPECT_FALSE(m.sample_executes[3]);  // dead (no aggregate after)
+  EXPECT_FALSE(m.implicit_initial_knn[2]);  // graph already built
+}
+
+TEST(ExecMarks, FirstAggregateWithoutSampleGetsImplicitKnn) {
+  Arch a;
+  a.genes = {gene(OpType::Combine), gene(OpType::Aggregate),
+             gene(OpType::Aggregate)};
+  const ExecMarks m = compute_exec_marks(a);
+  EXPECT_TRUE(m.implicit_initial_knn[1]);
+  EXPECT_FALSE(m.implicit_initial_knn[2]);
+}
+
+TEST(ExecMarks, AgreeWithTraceSampleCount) {
+  // Property: trace sample-op count == executing samples + implicit KNNs.
+  Rng rng(7);
+  SpaceConfig cfg;
+  cfg.num_positions = 12;
+  for (int i = 0; i < 50; ++i) {
+    Arch a = random_arch(cfg, rng);
+    const ExecMarks m = compute_exec_marks(a);
+    int expected = 0;
+    for (std::size_t p = 0; p < a.genes.size(); ++p) {
+      if (m.sample_executes[p]) ++expected;
+      if (m.implicit_initial_knn[p]) ++expected;
+    }
+    const hw::Trace t = lower_to_trace(a, paper_w());
+    int actual = 0;
+    for (const auto& op : t.ops)
+      if (op.category == hw::OpCategory::Sample) ++actual;
+    EXPECT_EQ(actual, expected);
+  }
+}
+
+TEST(DeadSamples, TrailingSamplesAreFree) {
+  Arch with_tail;
+  with_tail.genes = {gene(OpType::Aggregate), gene(OpType::Combine),
+                     gene(OpType::Sample)};
+  Arch without;
+  without.genes = {gene(OpType::Aggregate), gene(OpType::Combine)};
+  hw::Device dev = hw::make_device(hw::DeviceKind::Rtx3080);
+  EXPECT_DOUBLE_EQ(dev.latency_ms(lower_to_trace(with_tail, paper_w())),
+                   dev.latency_ms(lower_to_trace(without, paper_w())));
+}
+
+}  // namespace
+}  // namespace hg::hgnas
