@@ -1,48 +1,53 @@
 // Fig. 10 reproduction: visualisation of the GNN architectures HGNAS
-// designs for each device (Fast mode), with merged adjacent samples —
-// plus the per-device op-census that supports the paper's insight
-// (fewer valid KNNs on GPU-like devices, fewer aggregates on the CPU,
-// simplified ops on the Pi).
+// designs for each device (Fast mode), driven through the hg::Engine
+// facade — one declarative config per device, search, then the facade's
+// deployment profile (latency, params, Fig. 3 category breakdown) that
+// supports the paper's insight (fewer valid KNNs on GPU-like devices,
+// fewer aggregates on the CPU, simplified ops on the Pi).
 #include <cstdio>
-#include <map>
+#include <utility>
 
 #include "bench_util.hpp"
+#include "api/engine.hpp"
 
 int main() {
   using namespace hg;
-  pointcloud::Dataset data(8, 32, 21);
 
-  for (int d = 0; d < hw::kNumDevices; ++d) {
-    const auto kind = static_cast<hw::DeviceKind>(d);
-    hw::Device dev = hw::make_device(kind);
-    Rng rng(40 + static_cast<std::uint64_t>(d));
-    hgnas::SuperNet supernet(bench::default_space(),
-                             bench::default_supernet(), rng);
-    hgnas::SearchConfig cfg = bench::default_search_config(dev);
+  std::uint64_t index = 0;
+  for (const std::string& device : api::Registry::global().device_names()) {
+    api::EngineConfig cfg = bench::default_engine_config(device);
     cfg.alpha = 1.0;
     cfg.beta = 1.0;  // Fast mode
-    cfg.latency_constraint_ms =
-        dev.latency_ms(hw::dgcnn_reference_trace(1024));
-    hgnas::HgnasSearch search(
-        supernet, data, cfg,
-        hgnas::make_oracle_evaluator(dev, bench::paper_workload()));
-    hgnas::SearchResult r = search.run_multistage(rng);
+    cfg.constrain_to_reference = true;
+    cfg.dataset_seed = 21;
+    cfg.seed = 40 + index++;  // independent random streams per device
+    api::Result<api::Engine> created = api::Engine::create(cfg);
+    if (!created.ok()) {
+      std::fprintf(stderr, "%s: %s\n", device.c_str(),
+                   created.status().to_string().c_str());
+      return 1;
+    }
+    api::Engine engine = std::move(created).value();
+
+    api::Result<api::SearchReport> searched = engine.search();
+    if (!searched.ok()) {
+      std::fprintf(stderr, "%s: %s\n", device.c_str(),
+                   searched.status().to_string().c_str());
+      return 1;
+    }
+    const api::SearchResult& r = searched.value().result;
 
     bench::print_header(std::string("Fig. 10: ") +
-                        bench::short_device_name(kind) + "_Fast");
-    std::printf("%s", visualize(r.best_arch, bench::paper_workload()).c_str());
-    std::printf("latency %.1f ms | objective %.4f | params %.2f MB\n",
-                r.best_latency_ms, r.best_objective,
-                arch_param_mb(r.best_arch, bench::paper_workload()));
+                        engine.device().name() + " Fast");
+    std::printf("%s", searched.value().visualization.c_str());
 
-    // Effective-op census for the insight table.
-    const hw::Trace t = lower_to_trace(r.best_arch, bench::paper_workload());
-    std::map<std::string, int> census;
-    for (const auto& op : t.ops) ++census[hw::category_name(op.category)];
-    std::printf("effective ops:");
-    for (const auto& [name, count] : census)
-      std::printf("  %s=%d", name.c_str(), count);
-    std::printf("\n");
+    const api::Result<api::ProfileReport> prof = engine.profile(r.best_arch);
+    if (prof.ok()) {
+      std::printf("latency %.1f ms | objective %.4f | params %.2f MB\n",
+                  prof.value().latency_ms, r.best_objective,
+                  prof.value().param_mb);
+      std::printf("category breakdown: %s\n", prof.value().breakdown.c_str());
+    }
   }
   std::printf("\n(paper: searched models mirror device characteristics — "
               "few KNNs on RTX/TX2, few aggregates on i7, everything "

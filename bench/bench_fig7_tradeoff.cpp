@@ -1,16 +1,16 @@
 // Fig. 7 reproduction: accuracy / speedup trade-off as a function of the
-// objective scaling ratio alpha : beta (Eq. 1/3), on the RTX3080.
+// objective scaling ratio alpha : beta (Eq. 1/3), on the RTX3080 — each
+// ratio is one engine run followed by the facade's train() verb on the
+// winner.
 #include <cstdio>
+#include <utility>
 #include <vector>
 
 #include "bench_util.hpp"
-#include "hgnas/model.hpp"
+#include "api/engine.hpp"
 
 int main() {
   using namespace hg;
-  hw::Device dev = hw::make_device(hw::DeviceKind::Rtx3080);
-  const double dgcnn_ms = dev.latency_ms(hw::dgcnn_reference_trace(1024));
-  pointcloud::Dataset data(16, 32, 42);
 
   const std::vector<double> ratios = {0.1, 0.2, 1.0, 2.0, 5.0, 10.0};
 
@@ -18,29 +18,39 @@ int main() {
   std::printf("%10s %14s %12s %12s\n", "a:b", "latency_ms", "speedup",
               "accuracy_%");
   for (double ratio : ratios) {
-    Rng rng(static_cast<std::uint64_t>(ratio * 1000) + 3);
-    hgnas::SuperNet supernet(bench::default_space(),
-                             bench::default_supernet(), rng);
-    hgnas::SearchConfig cfg = bench::default_search_config(dev);
+    api::EngineConfig cfg = bench::default_engine_config("rtx3080");
     cfg.alpha = ratio;  // ratio = alpha / beta with beta fixed at 1
     cfg.beta = 1.0;
-    cfg.latency_constraint_ms = dgcnn_ms;
-    pointcloud::Dataset search_data(12, 32, 11);
-    hgnas::HgnasSearch search(
-        supernet, search_data, cfg,
-        hgnas::make_oracle_evaluator(dev, bench::paper_workload()));
-    hgnas::SearchResult r = search.run_multistage(rng);
+    cfg.constrain_to_reference = true;
+    cfg.samples_per_class = 12;
+    cfg.dataset_seed = 11;
+    cfg.train_epochs = 15;
+    cfg.train_lr = 2e-3f;
+    cfg.seed = static_cast<std::uint64_t>(ratio * 1000) + 3;
+    api::Result<api::Engine> created = api::Engine::create(cfg);
+    if (!created.ok()) {
+      std::fprintf(stderr, "%s\n", created.status().to_string().c_str());
+      return 1;
+    }
+    api::Engine engine = std::move(created).value();
+
+    api::Result<api::SearchReport> searched = engine.search();
+    if (!searched.ok()) {
+      std::fprintf(stderr, "%s\n", searched.status().to_string().c_str());
+      return 1;
+    }
+    const api::SearchResult& r = searched.value().result;
 
     // Final accuracy of the materialised winner.
-    Rng trng(static_cast<std::uint64_t>(ratio * 7) + 5);
-    hgnas::GnnModel model(r.best_arch, bench::train_workload(), trng);
-    hgnas::TrainConfig tcfg;
-    tcfg.epochs = 15;
-    tcfg.lr = 2e-3f;
-    const auto eval = train_model(model, data, tcfg, trng);
+    const api::Result<api::TrainReport> trained = engine.train(r.best_arch);
+    if (!trained.ok()) {
+      std::fprintf(stderr, "%s\n", trained.status().to_string().c_str());
+      return 1;
+    }
 
     std::printf("%10.1f %14.1f %11.1fx %12.1f\n", ratio, r.best_latency_ms,
-                dgcnn_ms / r.best_latency_ms, 100.0 * eval.overall_acc);
+                engine.reference_latency_ms() / r.best_latency_ms,
+                100.0 * trained.value().overall_acc);
   }
   std::printf("(paper: small a:b favours speed — up to ~11x; large a:b "
               "favours accuracy at lower speedup)\n");

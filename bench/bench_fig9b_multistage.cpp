@@ -1,33 +1,37 @@
 // Fig. 9(b) reproduction: multi-stage hierarchical search vs traditional
 // one-stage search over the full fine-grained space — objective score vs
-// simulated search time.
+// simulated search time. The two pipelines are the same EngineConfig with
+// a different strategy name, which is the whole point of the facade.
 #include <cstdio>
+#include <utility>
 
 #include "bench_util.hpp"
+#include "api/engine.hpp"
 
 int main() {
   using namespace hg;
-  hw::Device dev = hw::make_device(hw::DeviceKind::Rtx3080);
-  pointcloud::Dataset data(8, 32, 55);
 
-  auto run = [&](bool multistage) {
-    Rng rng(7);
-    hgnas::SuperNet supernet(bench::default_space(),
-                             bench::default_supernet(), rng);
-    hgnas::SearchConfig cfg = bench::default_search_config(dev);
+  auto run = [](const char* strategy) -> api::Result<api::SearchReport> {
+    api::EngineConfig cfg = bench::default_engine_config("rtx3080");
+    cfg.strategy = strategy;
     cfg.iterations = 15;
-    hgnas::HgnasSearch search(
-        supernet, data, cfg,
-        hgnas::make_oracle_evaluator(dev, bench::paper_workload()));
-    return multistage ? search.run_multistage(rng)
-                      : search.run_onestage(rng);
+    cfg.dataset_seed = 55;
+    cfg.seed = 7;
+    api::Result<api::Engine> engine = api::Engine::create(cfg);
+    if (!engine.ok()) return engine.status();
+    return engine.value().search();
   };
 
   bench::print_header("Fig. 9(b): multi-stage vs one-stage search");
-  const auto multi = run(true);
-  const auto one = run(false);
+  const api::Result<api::SearchReport> multi = run("multistage");
+  const api::Result<api::SearchReport> one = run("onestage");
+  if (!multi.ok() || !one.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 (!multi.ok() ? multi : one).status().to_string().c_str());
+    return 1;
+  }
 
-  auto print_series = [](const char* label, const hgnas::SearchResult& r) {
+  auto print_series = [](const char* label, const api::SearchResult& r) {
     std::printf("%s\n  %14s %14s\n", label, "time_min", "objective");
     const std::size_t step =
         r.history.size() > 10 ? r.history.size() / 10 : 1;
@@ -36,11 +40,12 @@ int main() {
                   r.history[i].best_objective);
     std::printf("  final objective: %.4f\n", r.best_objective);
   };
-  print_series("multi-stage:", multi);
-  print_series("one-stage:", one);
+  print_series("multi-stage:", multi.value().result);
+  print_series("one-stage:", one.value().result);
 
   std::printf("multi-stage vs one-stage final score: %.4f vs %.4f\n",
-              multi.best_objective, one.best_objective);
+              multi.value().result.best_objective,
+              one.value().result.best_objective);
   std::printf("(paper: one-stage gets entangled in the huge fine-grained "
               "space; multi-stage finds better architectures within a few "
               "GPU hours)\n");

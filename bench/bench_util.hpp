@@ -10,11 +10,41 @@
 #include <cstdio>
 #include <string>
 
+#include "api/config.hpp"
 #include "hgnas/search.hpp"
 #include "hw/device.hpp"
 #include "pointcloud/pointcloud.hpp"
 
 namespace hg::bench {
+
+/// Facade-level counterpart of default_search_config: the same paper-scale
+/// deployment workload and CPU-scale search knobs, expressed as one
+/// declarative EngineConfig for the benches that drive hg::api::Engine.
+inline api::EngineConfig default_engine_config(const std::string& device) {
+  api::EngineConfig cfg;
+  cfg.device = device;
+  cfg.num_points = 1024;  // paper workload
+  cfg.k = 20;
+  cfg.num_classes = 40;
+  cfg.num_positions = 12;
+  cfg.samples_per_class = 8;
+  cfg.train_points = 32;
+  cfg.train_k = 6;
+  cfg.supernet_hidden = 24;
+  cfg.supernet_head_hidden = 48;
+  cfg.population = 16;
+  cfg.parents = 8;
+  cfg.iterations = 12;
+  cfg.eval_val_samples = 40;
+  cfg.function_paths_per_eval = 3;
+  cfg.stage1_epochs = 2;
+  cfg.stage2_epochs = 4;
+  // Simulated wall-clock constants expressed at paper scale (ModelNet40 on
+  // a V100), as in default_search_config below.
+  cfg.sim_train_s_per_sample = 0.5;
+  cfg.sim_eval_s_per_sample = 0.05;
+  return cfg;
+}
 
 /// Paper-scale workload used for all cost-model evaluations.
 inline hgnas::Workload paper_workload() {

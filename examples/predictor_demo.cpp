@@ -1,46 +1,61 @@
-// predictor_demo — "use GNN to perceive GNNs" (§III-D) end to end:
-// abstract architectures into graphs, train the GCN latency predictor on
-// noisy simulated measurements, and inspect its accuracy per device.
+// predictor_demo — "use GNN to perceive GNNs" (§III-D) through the facade:
+// the engine abstracts architectures into graphs, trains the GCN latency
+// predictor on noisy simulated measurements at creation time, and reports
+// its held-out accuracy per device.
 #include <cstdio>
+#include <utility>
 
-#include "predictor/predictor.hpp"
+#include "api/engine.hpp"
 
 int main() {
   using namespace hg;
 
-  hgnas::SpaceConfig space;  // 12 positions
-  hgnas::Workload w;
-  w.num_points = 1024;
-  w.k = 20;
-
   // Show the graph abstraction of one random architecture.
-  Rng rng(5);
-  hgnas::Arch a = hgnas::random_arch(space, rng);
-  predictor::ArchGraph g = predictor::arch_to_graph(a, w);
+  api::EngineConfig probe_cfg;
+  api::Result<api::Engine> probe = api::Engine::create(probe_cfg);
+  if (!probe.ok()) {
+    std::fprintf(stderr, "%s\n", probe.status().to_string().c_str());
+    return 1;
+  }
+  api::Engine probe_engine = std::move(probe).value();
+  const api::Arch a = probe_engine.sample_arch();
+  const api::ArchGraphInfo g = probe_engine.arch_graph_info(a);
   std::printf("== architecture graph abstraction ==\n");
-  std::printf("architecture:\n%s", visualize(a, w).c_str());
+  std::printf("architecture:\n%s", probe_engine.visualize(a).c_str());
   std::printf("graph: %lld nodes, %lld directed edges, %lld-dim features\n",
-              static_cast<long long>(g.edges.num_nodes),
-              static_cast<long long>(g.edges.num_edges()),
-              static_cast<long long>(predictor::kFeatureDim));
+              static_cast<long long>(g.nodes),
+              static_cast<long long>(g.edges),
+              static_cast<long long>(g.feature_dim));
 
-  // Train one predictor per device; report MAPE / 10%-bound accuracy.
+  // One engine (and thus one predictor) per device, as in the paper;
+  // report MAPE / 10%-bound accuracy on held-out architectures.
   std::printf("\n== predictor accuracy per device ==\n");
   std::printf("%-18s %10s %16s\n", "device", "MAPE_%", "within_10pct_%");
-  for (int d = 0; d < hw::kNumDevices; ++d) {
-    hw::Device dev = hw::make_device(static_cast<hw::DeviceKind>(d));
-    auto train = predictor::collect_labeled_archs(dev, space, w, 500,
-                                                  100 + d);
-    auto test = predictor::collect_labeled_archs(dev, space, w, 150,
-                                                 200 + d);
-    Rng prng(300 + static_cast<std::uint64_t>(d));
-    predictor::PredictorConfig cfg;
-    cfg.epochs = 50;
-    predictor::LatencyPredictor pred(cfg, w, prng);
-    pred.fit(train, prng);
-    const auto m = pred.evaluate(test);
-    std::printf("%-18s %10.1f %16.1f\n", dev.name().c_str(),
-                100.0 * m.mape, 100.0 * m.within_10pct);
+  int slot = 0;
+  for (const std::string& name : api::Registry::global().device_names()) {
+    api::EngineConfig cfg;
+    cfg.device = name;
+    cfg.evaluator = "predictor";
+    cfg.predictor_samples = 500;
+    cfg.predictor_epochs = 50;
+    cfg.seed = 300 + static_cast<std::uint64_t>(slot);
+    api::Result<api::Engine> created = api::Engine::create(cfg);
+    if (!created.ok()) {
+      std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                   created.status().to_string().c_str());
+      return 1;
+    }
+    api::Engine engine = std::move(created).value();
+    const api::Result<api::PredictorReport> m = engine.evaluate_predictor(
+        150, 200 + static_cast<std::uint64_t>(slot));
+    if (!m.ok()) {
+      std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                   m.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("%-18s %10.1f %16.1f\n", engine.device().name().c_str(),
+                100.0 * m.value().mape, 100.0 * m.value().within_10pct);
+    ++slot;
   }
   std::printf("\n(the Raspberry Pi's measurement noise dominates its error, "
               "matching the paper's ~19%% MAPE there)\n");

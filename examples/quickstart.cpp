@@ -1,50 +1,42 @@
-// quickstart — the 5-minute tour of the library:
-//   1. generate a synthetic point-cloud classification dataset,
-//   2. train a (scaled-down) DGCNN baseline on it,
-//   3. estimate its latency / memory on the four edge-device models,
-//   4. hand-build an HGNAS-style architecture and compare.
+// quickstart — the 5-minute tour of the library through the hg::Engine
+// facade (the one stable entry point; see README.md):
+//   1. build an engine from a declarative EngineConfig,
+//   2. hand-build an HGNAS-style architecture and inspect it,
+//   3. train it on the synthetic dataset,
+//   4. profile it against the DGCNN reference on every edge device,
+//   5. round-trip it through the text serialisation.
 //
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
 
-#include "baselines/baselines.hpp"
-#include "hgnas/model.hpp"
-#include "hw/profiler.hpp"
+#include "api/engine.hpp"
 
 int main() {
   using namespace hg;
 
-  // 1. Dataset: 10 shape classes, 32 points per cloud.
-  std::printf("== generating dataset ==\n");
-  pointcloud::Dataset data(/*samples_per_class=*/10, /*num_points=*/32,
-                           /*seed=*/7);
-  std::printf("train %zu clouds, test %zu clouds, %lld classes\n",
-              data.train().size(), data.test().size(),
-              static_cast<long long>(data.num_classes()));
-
-  // 2. Train DGCNN briefly.
-  std::printf("\n== training DGCNN (scaled) ==\n");
-  Rng rng(1);
-  baselines::Dgcnn dgcnn(baselines::DgcnnConfig::scaled(10, 6), rng);
-  const auto eval = baselines::train_baseline(dgcnn, data, /*epochs=*/8,
-                                              2e-3f, rng);
-  std::printf("DGCNN test accuracy: OA %.1f%%  mAcc %.1f%%\n",
-              100.0 * eval.overall_acc, 100.0 * eval.balanced_acc);
-
-  // 3. Edge-device cost estimates at paper scale (1024 points).
-  std::printf("\n== DGCNN on the edge-device models (1024 points) ==\n");
-  const hw::Trace trace = baselines::Dgcnn::trace(baselines::DgcnnConfig{},
-                                                  1024);
-  for (int d = 0; d < hw::kNumDevices; ++d) {
-    hw::Device dev = hw::make_device(static_cast<hw::DeviceKind>(d));
-    std::printf("%-18s %8.1f ms   %7.1f MB   [%s]\n", dev.name().c_str(),
-                dev.latency_ms(trace), dev.peak_memory_mb(trace),
-                hw::breakdown_summary(dev, trace).c_str());
+  // 1. One declarative config: target device, latency evaluator, search
+  //    strategy and every scale knob in a single struct. Errors come back
+  //    as Status values, never exceptions.
+  std::printf("== creating the engine ==\n");
+  api::EngineConfig cfg;
+  cfg.device = "rtx3080";   // registry name; try "tx2" or "pi"
+  cfg.evaluator = "oracle"; // deterministic analytical cost model
+  cfg.samples_per_class = 10;
+  cfg.train_epochs = 8;
+  api::Result<api::Engine> created = api::Engine::create(cfg);
+  if (!created.ok()) {
+    std::fprintf(stderr, "engine creation failed: %s\n",
+                 created.status().to_string().c_str());
+    return 1;
   }
+  api::Engine engine = std::move(created).value();
+  std::printf("target device: %s | DGCNN reference: %.1f ms, %.1f MB\n",
+              engine.device().name().c_str(), engine.reference_latency_ms(),
+              engine.reference_memory_mb());
 
-  // 4. A hand-written architecture in the HGNAS design space.
+  // 2. A hand-written architecture in the HGNAS design space.
   std::printf("\n== hand-built fine-grained architecture ==\n");
-  hgnas::Arch arch;
+  api::Arch arch;
   auto gene = [](hgnas::OpType op) {
     hgnas::PositionGene g;
     g.op = op;
@@ -56,29 +48,51 @@ int main() {
   auto comb = gene(hgnas::OpType::Combine);
   comb.fn.combine_dim_idx = 3;  // 64
   arch.genes = {gene(hgnas::OpType::Sample), comb, agg, comb};
+  std::printf("%s", engine.visualize(arch).c_str());
 
-  hgnas::Workload paper_w;
-  paper_w.num_points = 1024;
-  paper_w.k = 20;
-  std::printf("%s", visualize(arch, paper_w).c_str());
+  // 3. Materialise and train it on the engine's synthetic dataset.
+  std::printf("\n== training the architecture ==\n");
+  api::Result<api::TrainReport> trained = engine.train(arch);
+  if (!trained.ok()) {
+    std::fprintf(stderr, "%s\n", trained.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("accuracy: OA %.1f%%  mAcc %.1f%%  (params %.2f MB)\n",
+              100.0 * trained.value().overall_acc,
+              100.0 * trained.value().balanced_acc,
+              trained.value().param_mb);
 
-  hgnas::Workload train_w;
-  train_w.num_points = 32;
-  train_w.k = 6;
-  train_w.num_classes = 10;
-  hgnas::GnnModel model(arch, train_w, rng);
-  hgnas::TrainConfig tcfg;
-  tcfg.epochs = 8;
-  const auto arch_eval = train_model(model, data, tcfg, rng);
-  std::printf("hand-built arch accuracy: OA %.1f%%\n",
-              100.0 * arch_eval.overall_acc);
+  // 4. Deployment cost on every registered edge-device model.
+  std::printf("\n== deployment profile across the edge devices ==\n");
+  for (const std::string& name : api::Registry::global().device_names()) {
+    api::EngineConfig dev_cfg = cfg;
+    dev_cfg.device = name;
+    api::Result<api::Engine> dev_engine = api::Engine::create(dev_cfg);
+    if (!dev_engine.ok()) continue;
+    const api::Result<api::ProfileReport> prof =
+        dev_engine.value().profile(arch);
+    if (!prof.ok()) continue;
+    std::printf("%-18s %8.1f ms  %7.1f MB  %5.1fx vs DGCNN  [%s]\n",
+                dev_engine.value().device().name().c_str(),
+                prof.value().latency_ms, prof.value().peak_memory_mb,
+                prof.value().speedup_vs_reference,
+                prof.value().breakdown.c_str());
+  }
 
-  const hw::Trace arch_trace = lower_to_trace(arch, paper_w);
-  hw::Device rtx = hw::make_device(hw::DeviceKind::Rtx3080);
-  std::printf("RTX3080: %.1f ms vs DGCNN %.1f ms (%.1fx faster)\n",
-              rtx.latency_ms(arch_trace), rtx.latency_ms(trace),
-              rtx.latency_ms(trace) / rtx.latency_ms(arch_trace));
+  // 5. The architecture is the deployable artifact: export / import.
+  std::printf("\n== persistence round-trip ==\n");
+  const api::Result<std::string> text = engine.export_arch(arch);
+  if (!text.ok()) {
+    std::fprintf(stderr, "%s\n", text.status().to_string().c_str());
+    return 1;
+  }
+  const api::Result<api::Arch> back = engine.import_arch(text.value());
+  std::printf("round-trip %s\n",
+              back.ok() && back.value() == hgnas::canonicalize(arch)
+                  ? "OK"
+                  : "FAILED");
+
   std::printf("\nNext: run examples/search_edge_gnn for the full NAS "
-              "pipeline.\n");
+              "pipeline on one device.\n");
   return 0;
 }

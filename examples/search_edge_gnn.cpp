@@ -1,111 +1,88 @@
-// search_edge_gnn — the full HGNAS pipeline for one target device:
-//   1. collect latency-labelled random architectures on the device model,
-//   2. train the GNN latency predictor on them,
-//   3. run the multi-stage hierarchical search with the predictor in the
-//      loop,
-//   4. materialise the winner, train it, and compare against DGCNN.
+// search_edge_gnn — the full HGNAS pipeline for one target device, driven
+// entirely through the hg::Engine facade:
+//   1. configure an engine with the GNN latency predictor in the loop
+//      (the engine collects labelled architectures and fits the predictor),
+//   2. run the multi-stage hierarchical search,
+//   3. profile the winner against the DGCNN reference on the device model,
+//   4. materialise and train the winner.
 //
-// Usage: search_edge_gnn [device]   device in {rtx, i7, tx2, pi} (default tx2)
+// Usage: search_edge_gnn [device]   device is any registry name or alias
+//                                   (rtx, i7, tx2, pi; default tx2)
 #include <cstdio>
-#include <cstring>
-#include <memory>
+#include <utility>
 
-#include "baselines/baselines.hpp"
-#include "hgnas/model.hpp"
-#include "hgnas/search.hpp"
-#include "predictor/predictor.hpp"
+#include "api/engine.hpp"
 
 int main(int argc, char** argv) {
   using namespace hg;
 
-  hw::DeviceKind kind = hw::DeviceKind::JetsonTx2;
-  if (argc > 1) {
-    if (!std::strcmp(argv[1], "rtx")) kind = hw::DeviceKind::Rtx3080;
-    else if (!std::strcmp(argv[1], "i7")) kind = hw::DeviceKind::IntelI7_8700K;
-    else if (!std::strcmp(argv[1], "tx2")) kind = hw::DeviceKind::JetsonTx2;
-    else if (!std::strcmp(argv[1], "pi")) kind = hw::DeviceKind::RaspberryPi3B;
-    else {
-      std::fprintf(stderr, "unknown device '%s' (use rtx|i7|tx2|pi)\n",
-                   argv[1]);
-      return 1;
-    }
-  }
-  hw::Device dev = hw::make_device(kind);
-  std::printf("target device: %s\n", dev.name().c_str());
-
-  hgnas::SpaceConfig space;  // 12 positions, paper setting
-  hgnas::Workload workload;
-  workload.num_points = 1024;
-  workload.k = 20;
-  workload.num_classes = 40;
-  const double dgcnn_ms = dev.latency_ms(hw::dgcnn_reference_trace(1024));
-  std::printf("DGCNN reference latency: %.1f ms\n", dgcnn_ms);
-
-  // 1-2. Predictor.
-  std::printf("\n== collecting measurements & training the predictor ==\n");
-  Rng rng(2024);
-  auto labeled = predictor::collect_labeled_archs(dev, space, workload,
-                                                  600, 11);
-  predictor::PredictorConfig pcfg;
-  pcfg.epochs = 50;
-  auto pred =
-      std::make_shared<predictor::LatencyPredictor>(pcfg, workload, rng);
-  const double train_mape = pred->fit(labeled, rng);
-  std::printf("predictor training MAPE: %.1f%%\n", 100.0 * train_mape);
-
-  // 3. Search.
-  std::printf("\n== multi-stage hierarchical search ==\n");
-  pointcloud::Dataset data(10, 32, 3);
-  hgnas::SupernetConfig sn_cfg;
-  sn_cfg.hidden = 16;
-  sn_cfg.k = 6;
-  sn_cfg.num_classes = 10;
-  sn_cfg.head_hidden = 32;
-  hgnas::SuperNet supernet(space, sn_cfg, rng);
-  hgnas::SearchConfig cfg;
-  cfg.space = space;
-  cfg.workload = workload;
-  cfg.population = 16;
-  cfg.parents = 8;
-  cfg.iterations = 12;
+  api::EngineConfig cfg;
+  cfg.device = argc > 1 ? argv[1] : "tx2";
+  cfg.evaluator = "predictor";   // §III-D: "use GNN to perceive GNNs"
+  cfg.strategy = "multistage";   // Alg. 1
+  cfg.constrain_to_reference = true;  // hardware constraint C = DGCNN ms
+  cfg.predictor_samples = 600;
+  cfg.predictor_epochs = 50;
   cfg.eval_val_samples = 20;
-  cfg.stage1_epochs = 1;
-  cfg.stage2_epochs = 2;
-  cfg.latency_scale_ms = dgcnn_ms;
-  cfg.latency_constraint_ms = dgcnn_ms;  // hardware constraint C
-  hgnas::HgnasSearch search(supernet, data, cfg,
-                            predictor::make_predictor_evaluator(pred));
-  hgnas::SearchResult result = search.run_multistage(rng);
+
+  std::printf("== building the engine (collects measurements, trains the "
+              "predictor) ==\n");
+  api::Result<api::Engine> created = api::Engine::create(cfg);
+  if (!created.ok()) {
+    // Unknown device names land here with a NOT_FOUND listing the registry.
+    std::fprintf(stderr, "%s\n", created.status().to_string().c_str());
+    return 1;
+  }
+  api::Engine engine = std::move(created).value();
+  std::printf("target device: %s\n", engine.device().name().c_str());
+  std::printf("DGCNN reference latency: %.1f ms\n",
+              engine.reference_latency_ms());
+
+  api::Result<api::PredictorReport> pm = engine.evaluate_predictor(150, 42);
+  if (pm.ok())
+    std::printf("predictor: train MAPE %.1f%% | held-out MAPE %.1f%% "
+                "(%.0f%% within 10%%)\n",
+                100.0 * pm.value().train_mape, 100.0 * pm.value().mape,
+                100.0 * pm.value().within_10pct);
+
+  std::printf("\n== multi-stage hierarchical search ==\n");
+  api::Result<api::SearchReport> searched = engine.search();
+  if (!searched.ok()) {
+    std::fprintf(stderr, "%s\n", searched.status().to_string().c_str());
+    return 1;
+  }
+  const api::SearchResult& result = searched.value().result;
   std::printf("best objective %.4f | predicted latency %.1f ms | "
               "%lld latency queries | %.1f simulated minutes\n",
               result.best_objective, result.best_latency_ms,
               static_cast<long long>(result.latency_queries),
               result.total_sim_time_s / 60.0);
-
   std::printf("\nsearched architecture (Fig. 10 style):\n%s",
-              visualize(result.best_arch, workload).c_str());
+              searched.value().visualization.c_str());
 
-  // 4. Ground truth + final training.
-  const hw::Trace trace = lower_to_trace(result.best_arch, workload);
   std::printf("\n== deployment check on the device model ==\n");
-  std::printf("analytical latency %.1f ms (DGCNN %.1f ms -> %.1fx faster)\n",
-              dev.latency_ms(trace), dgcnn_ms,
-              dgcnn_ms / dev.latency_ms(trace));
-  std::printf("peak memory %.1f MB (DGCNN %.1f MB)\n",
-              dev.peak_memory_mb(trace),
-              dev.peak_memory_mb(hw::dgcnn_reference_trace(1024)));
+  const api::Result<api::ProfileReport> prof =
+      engine.profile(result.best_arch);
+  if (prof.ok()) {
+    std::printf("analytical latency %.1f ms (DGCNN %.1f ms -> %.1fx "
+                "faster)\n",
+                prof.value().latency_ms, prof.value().reference_latency_ms,
+                prof.value().speedup_vs_reference);
+    std::printf("peak memory %.1f MB (DGCNN %.1f MB)\n",
+                prof.value().peak_memory_mb,
+                prof.value().reference_memory_mb);
+  }
 
   std::printf("\n== training the finalised network ==\n");
-  hgnas::Workload train_w;
-  train_w.num_points = 32;
-  train_w.k = 6;
-  train_w.num_classes = 10;
-  hgnas::GnnModel model(result.best_arch, train_w, rng);
-  hgnas::TrainConfig tcfg;
-  tcfg.epochs = 10;
-  const auto eval = train_model(model, data, tcfg, rng);
+  const api::Result<api::TrainReport> trained =
+      engine.train(result.best_arch);
+  if (!trained.ok()) {
+    std::fprintf(stderr, "%s\n", trained.status().to_string().c_str());
+    return 1;
+  }
   std::printf("final accuracy: OA %.1f%%  mAcc %.1f%%  (params %.2f MB)\n",
-              100.0 * eval.overall_acc, 100.0 * eval.balanced_acc,
-              model.param_mb());
+              100.0 * trained.value().overall_acc,
+              100.0 * trained.value().balanced_acc,
+              trained.value().param_mb);
   return 0;
 }

@@ -1,0 +1,81 @@
+#include "api/config.hpp"
+
+namespace hg::api {
+
+EngineConfig EngineConfig::tiny() {
+  EngineConfig cfg;
+  cfg.num_points = 256;
+  cfg.k = 10;
+  cfg.num_classes = 10;
+  cfg.num_positions = 6;
+  cfg.samples_per_class = 4;
+  cfg.population = 8;
+  cfg.parents = 4;
+  cfg.iterations = 3;
+  cfg.eval_val_samples = 6;
+  cfg.function_paths_per_eval = 1;
+  cfg.stage1_epochs = 1;
+  cfg.stage2_epochs = 1;
+  cfg.train_epochs = 4;
+  cfg.predictor_samples = 60;
+  cfg.predictor_epochs = 8;
+  return cfg;
+}
+
+Status validate(const EngineConfig& cfg) {
+  auto require = [](bool cond, const char* msg) {
+    return cond ? Status::Ok() : Status::InvalidArgument(msg);
+  };
+  struct Check {
+    bool cond;
+    const char* msg;
+  };
+  const Check checks[] = {
+      {!cfg.device.empty(), "device name must not be empty"},
+      {!cfg.evaluator.empty(), "evaluator name must not be empty"},
+      {!cfg.strategy.empty(), "strategy name must not be empty"},
+      {cfg.num_points > 0, "num_points must be positive"},
+      {cfg.k > 0 && cfg.k < cfg.num_points,
+       "k must be in [1, num_points)"},
+      {cfg.num_classes > 0, "num_classes must be positive"},
+      {cfg.num_positions > 0, "num_positions must be positive"},
+      {cfg.samples_per_class > 0, "samples_per_class must be positive"},
+      {cfg.train_points > 0, "train_points must be positive"},
+      {cfg.train_k > 0 && cfg.train_k < cfg.train_points,
+       "train_k must be in [1, train_points)"},
+      {cfg.supernet_hidden > 0, "supernet_hidden must be positive"},
+      {cfg.supernet_head_hidden > 0, "supernet_head_hidden must be positive"},
+      {cfg.train_epochs > 0, "train_epochs must be positive"},
+      {cfg.train_lr > 0.f, "train_lr must be positive"},
+      {cfg.population >= 2, "population must be >= 2"},
+      {cfg.parents >= 1 && cfg.parents <= cfg.population,
+       "parents must be in [1, population]"},
+      {cfg.iterations >= 1, "iterations must be >= 1"},
+      {cfg.eval_val_samples > 0, "eval_val_samples must be positive"},
+      {cfg.function_paths_per_eval > 0,
+       "function_paths_per_eval must be positive"},
+      {cfg.stage1_epochs >= 0, "stage1_epochs must be non-negative"},
+      {cfg.stage2_epochs >= 0, "stage2_epochs must be non-negative"},
+      {!cfg.latency_budget_ms || *cfg.latency_budget_ms > 0.0,
+       "latency_budget_ms must be positive when set"},
+      {!cfg.memory_budget_mb || *cfg.memory_budget_mb > 0.0,
+       "memory_budget_mb must be positive when set"},
+      {!cfg.model_size_budget_mb || *cfg.model_size_budget_mb > 0.0,
+       "model_size_budget_mb must be positive when set"},
+      {!cfg.latency_scale_ms || *cfg.latency_scale_ms > 0.0,
+       "latency_scale_ms must be positive when set"},
+      {cfg.predictor_samples > 0, "predictor_samples must be positive"},
+      {cfg.predictor_epochs > 0, "predictor_epochs must be positive"},
+      {cfg.sim_train_s_per_sample >= 0.0,
+       "sim_train_s_per_sample must be non-negative"},
+      {cfg.sim_eval_s_per_sample >= 0.0,
+       "sim_eval_s_per_sample must be non-negative"},
+  };
+  for (const Check& c : checks) {
+    const Status s = require(c.cond, c.msg);
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+}  // namespace hg::api

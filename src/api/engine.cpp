@@ -1,0 +1,272 @@
+#include "api/engine.hpp"
+
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+#include "predictor/predictor.hpp"
+
+namespace hg::api {
+
+namespace {
+
+std::string join(const std::vector<std::string>& names) {
+  std::string out;
+  for (const auto& n : names) {
+    if (!out.empty()) out += ", ";
+    out += n;
+  }
+  return out;
+}
+
+/// Structural validity of a user-supplied architecture (imported files and
+/// hand-built genes enter the facade here; enum values outside their range
+/// would index out of bounds further down).
+Status validate_arch(const Arch& arch) {
+  if (arch.genes.empty())
+    return Status::InvalidArgument("architecture has no positions");
+  for (std::size_t i = 0; i < arch.genes.size(); ++i) {
+    const hgnas::PositionGene& g = arch.genes[i];
+    const auto pos = std::to_string(i);
+    const auto op = static_cast<std::int64_t>(g.op);
+    if (op < 0 || op >= hgnas::kNumOpTypes)
+      return Status::InvalidArgument("position " + pos +
+                                     ": operation type out of range");
+    const auto connect = static_cast<std::int64_t>(g.fn.connect);
+    if (connect < 0 || connect >= hgnas::kNumConnectFuncs)
+      return Status::InvalidArgument("position " + pos +
+                                     ": connect function out of range");
+    const auto aggr = static_cast<std::int64_t>(g.fn.aggr);
+    if (aggr < 0 || aggr >= hgnas::kNumAggrTypes)
+      return Status::InvalidArgument("position " + pos +
+                                     ": aggregator out of range");
+    const auto msg = static_cast<std::int64_t>(g.fn.msg);
+    if (msg < 0 || msg >= gnn::kNumMessageTypes)
+      return Status::InvalidArgument("position " + pos +
+                                     ": message type out of range");
+    const auto sample = static_cast<std::int64_t>(g.fn.sample);
+    if (sample < 0 || sample >= hgnas::kNumSampleFuncs)
+      return Status::InvalidArgument("position " + pos +
+                                     ": sample function out of range");
+    if (g.fn.combine_dim_idx < 0 ||
+        g.fn.combine_dim_idx >= hgnas::kNumCombineDims)
+      return Status::InvalidArgument("position " + pos +
+                                     ": combine dimension index out of range");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<Engine> Engine::create(const EngineConfig& cfg) {
+  if (const Status s = validate(cfg); !s.ok()) return s;
+
+  Registry& reg = Registry::global();
+  if (!reg.has_strategy(cfg.strategy))
+    return Status::NotFound("unknown strategy '" + cfg.strategy +
+                            "' (known: " + join(reg.strategy_names()) + ")");
+
+  Engine engine;
+  engine.cfg_ = cfg;
+
+  Result<hw::Device> device = reg.make_device(cfg.device);
+  if (!device.ok()) return device.status();
+  engine.device_ = std::make_unique<hw::Device>(std::move(device).value());
+
+  engine.deploy_workload_.num_points = cfg.num_points;
+  engine.deploy_workload_.k = cfg.k;
+  engine.deploy_workload_.num_classes = cfg.num_classes;
+
+  engine.data_ = std::make_unique<pointcloud::Dataset>(
+      cfg.samples_per_class, cfg.train_points, cfg.dataset_seed);
+  engine.train_workload_.num_points = cfg.train_points;
+  engine.train_workload_.k = cfg.train_k;
+  engine.train_workload_.num_classes = engine.data_->num_classes();
+
+  const hw::Trace reference =
+      hw::dgcnn_reference_trace(cfg.num_points, cfg.k, cfg.num_classes);
+  engine.reference_ms_ = engine.device_->latency_ms(reference);
+  engine.reference_mb_ = engine.device_->peak_memory_mb(reference);
+
+  hgnas::SearchConfig& scfg = engine.search_cfg_;
+  scfg.space.num_positions = cfg.num_positions;
+  scfg.workload = engine.deploy_workload_;
+  scfg.population = cfg.population;
+  scfg.parents = cfg.parents;
+  scfg.iterations = cfg.iterations;
+  scfg.alpha = cfg.alpha;
+  scfg.beta = cfg.beta;
+  scfg.latency_constraint_ms = cfg.latency_budget_ms;
+  if (!scfg.latency_constraint_ms && cfg.constrain_to_reference)
+    scfg.latency_constraint_ms = engine.reference_ms_;
+  scfg.memory_constraint_mb = cfg.memory_budget_mb;
+  scfg.size_constraint_mb = cfg.model_size_budget_mb;
+  scfg.latency_scale_ms = cfg.latency_scale_ms.value_or(engine.reference_ms_);
+  scfg.eval_val_samples = cfg.eval_val_samples;
+  scfg.function_paths_per_eval = cfg.function_paths_per_eval;
+  scfg.stage1_epochs = cfg.stage1_epochs;
+  scfg.stage2_epochs = cfg.stage2_epochs;
+  scfg.sim_train_s_per_sample = cfg.sim_train_s_per_sample;
+  scfg.sim_eval_s_per_sample = cfg.sim_eval_s_per_sample;
+
+  engine.rng_ = std::make_unique<Rng>(cfg.seed);
+  hgnas::SupernetConfig sn_cfg;
+  sn_cfg.hidden = cfg.supernet_hidden;
+  sn_cfg.k = cfg.train_k;
+  sn_cfg.num_classes = engine.data_->num_classes();
+  sn_cfg.head_hidden = cfg.supernet_head_hidden;
+  engine.supernet_ = std::make_unique<hgnas::SuperNet>(scfg.space, sn_cfg,
+                                                       *engine.rng_);
+
+  EvaluatorRequest ereq;
+  ereq.device = engine.device_.get();
+  ereq.space = scfg.space;
+  ereq.workload = engine.deploy_workload_;
+  ereq.seed = cfg.seed ^ 0xa5a5a5a55a5a5a5aULL;
+  ereq.predictor_samples = cfg.predictor_samples;
+  ereq.predictor_epochs = cfg.predictor_epochs;
+  Result<EvaluatorBundle> evaluator = reg.make_evaluator(cfg.evaluator, ereq);
+  if (!evaluator.ok()) return evaluator.status();
+  engine.evaluator_ = std::move(evaluator).value();
+
+  return engine;
+}
+
+Result<SearchReport> Engine::search() {
+  StrategyRequest req;
+  req.supernet = supernet_.get();
+  req.data = data_.get();
+  req.cfg = search_cfg_;
+  req.latency = evaluator_.fn;
+  req.rng = rng_.get();
+  try {
+    Result<hgnas::SearchResult> result =
+        Registry::global().run_strategy(cfg_.strategy, req);
+    if (!result.ok()) return result.status();
+    SearchReport report;
+    report.result = std::move(result).value();
+    report.visualization =
+        hgnas::visualize(report.result.best_arch, deploy_workload_);
+    return report;
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("search failed: ") + e.what());
+  }
+}
+
+Result<LatencyReport> Engine::predict_latency(const Arch& arch) {
+  if (const Status s = validate_arch(arch); !s.ok()) return s;
+  try {
+    const hgnas::LatencyEval eval = evaluator_.fn(arch);
+    return LatencyReport{eval.latency_ms, eval.peak_memory_mb, eval.oom};
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("latency evaluation failed: ") +
+                            e.what());
+  }
+}
+
+Result<TrainReport> Engine::train(const Arch& arch) {
+  if (const Status s = validate_arch(arch); !s.ok()) return s;
+  try {
+    hgnas::GnnModel model(arch, train_workload_, *rng_);
+    hgnas::TrainConfig tcfg;
+    tcfg.epochs = cfg_.train_epochs;
+    tcfg.lr = cfg_.train_lr;
+    const hgnas::EvalResult eval =
+        hgnas::train_model(model, *data_, tcfg, *rng_);
+    return TrainReport{eval.overall_acc, eval.balanced_acc, eval.mean_loss,
+                       model.param_mb()};
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("training failed: ") + e.what());
+  }
+}
+
+Result<ProfileReport> Engine::profile(const Arch& arch) const {
+  if (const Status s = validate_arch(arch); !s.ok()) return s;
+  try {
+    const hw::Trace trace = hgnas::lower_to_trace(arch, deploy_workload_);
+    ProfileReport report;
+    report.latency_ms = device_->latency_ms(trace);
+    report.peak_memory_mb = device_->peak_memory_mb(trace);
+    report.energy_mj = device_->energy_mj(trace);
+    report.param_mb = hgnas::arch_param_mb(arch, deploy_workload_);
+    report.oom = device_->would_oom(trace);
+    report.breakdown = hw::breakdown_summary(*device_, trace);
+    report.per_op_table = hw::profile_report(*device_, trace);
+    report.reference_latency_ms = reference_ms_;
+    report.reference_memory_mb = reference_mb_;
+    report.speedup_vs_reference =
+        report.latency_ms > 0.0 ? reference_ms_ / report.latency_ms : 0.0;
+    return report;
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("profiling failed: ") + e.what());
+  }
+}
+
+Result<std::string> Engine::export_arch(const Arch& arch) const {
+  if (const Status s = validate_arch(arch); !s.ok()) return s;
+  return hgnas::arch_to_text(arch);
+}
+
+Result<Arch> Engine::import_arch(const std::string& text) const {
+  try {
+    Arch arch = hgnas::arch_from_text(text);
+    if (const Status s = validate_arch(arch); !s.ok()) return s;
+    return arch;
+  } catch (const std::exception& e) {
+    return Status::InvalidArgument(e.what());
+  }
+}
+
+Status Engine::save_arch(const std::string& path, const Arch& arch) const {
+  if (const Status s = validate_arch(arch); !s.ok()) return s;
+  try {
+    hgnas::save_arch(path, arch);
+    return Status::Ok();
+  } catch (const std::exception& e) {
+    return Status::InvalidArgument(e.what());
+  }
+}
+
+Result<Arch> Engine::load_arch(const std::string& path) const {
+  try {
+    Arch arch = hgnas::load_arch(path);
+    if (const Status s = validate_arch(arch); !s.ok()) return s;
+    return arch;
+  } catch (const std::exception& e) {
+    return Status::InvalidArgument(e.what());
+  }
+}
+
+std::string Engine::visualize(const Arch& arch) const {
+  return hgnas::visualize(arch, deploy_workload_);
+}
+
+ArchGraphInfo Engine::arch_graph_info(const Arch& arch) const {
+  const predictor::ArchGraph g =
+      predictor::arch_to_graph(arch, deploy_workload_);
+  return ArchGraphInfo{g.edges.num_nodes, g.edges.num_edges(),
+                       predictor::kFeatureDim};
+}
+
+Result<PredictorReport> Engine::evaluate_predictor(std::int64_t test_count,
+                                                   std::uint64_t seed) {
+  if (!evaluator_.predictor)
+    return Status::FailedPrecondition(
+        "engine was created with evaluator '" + cfg_.evaluator +
+        "'; predictor metrics need evaluator \"predictor\"");
+  if (test_count <= 0)
+    return Status::InvalidArgument("test_count must be positive");
+  const auto test = predictor::collect_labeled_archs(
+      *device_, search_cfg_.space, deploy_workload_, test_count, seed);
+  if (test.empty())
+    return Status::Internal("no measurable test architectures collected");
+  const predictor::PredictorMetrics m = evaluator_.predictor->evaluate(test);
+  return PredictorReport{m.mape, m.within_10pct, m.rmse_ms,
+                         evaluator_.predictor_train_mape};
+}
+
+Arch Engine::sample_arch() {
+  return hgnas::random_arch(search_cfg_.space, *rng_);
+}
+
+}  // namespace hg::api

@@ -1,0 +1,165 @@
+// engine.hpp — hg::api::Engine, the stable entry point of this library.
+//
+// One facade over the whole HGNAS pipeline (paper: supernet -> hierarchical
+// evolutionary search -> GNN latency predictor -> edge deployment). An
+// Engine is constructed from a declarative EngineConfig naming a device, a
+// latency evaluator and a search strategy (resolved through the registry),
+// owns the dataset / supernet / device model / predictor, and exposes
+// coherent verbs:
+//
+//   search()           run the configured NAS strategy, return the winner
+//   predict_latency(a) latency of an architecture via the configured
+//                      evaluator (oracle, measurement, or GNN predictor)
+//   profile(a)         deterministic deployment report on the target device
+//                      (latency, memory, energy, Fig. 3 breakdown)
+//   train(a)           materialise the architecture and train it on the
+//                      engine's dataset
+//   export_arch(a) / import_arch(text)   persistence round-trip
+//
+// Every verb reports failure as Status/Result — user input never throws
+// across this boundary. Module-level headers (hgnas/, hw/, predictor/)
+// remain public for callers that need internals; new code should start
+// here.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "api/config.hpp"
+#include "api/registry.hpp"
+#include "api/status.hpp"
+#include "hgnas/model.hpp"
+#include "hgnas/search.hpp"
+#include "hgnas/serialize_arch.hpp"
+#include "hw/profiler.hpp"
+
+namespace hg::api {
+
+// Vocabulary types re-exported so facade consumers need only this header.
+using Arch = hgnas::Arch;
+using Workload = hgnas::Workload;
+using SearchResult = hgnas::SearchResult;
+
+/// One latency answer from the configured evaluator.
+struct LatencyReport {
+  double latency_ms = 0.0;
+  double peak_memory_mb = 0.0;  // 0 = evaluator cannot report memory
+  bool oom = false;
+};
+
+/// Deterministic deployment report on the target device's cost model.
+struct ProfileReport {
+  double latency_ms = 0.0;
+  double peak_memory_mb = 0.0;
+  double energy_mj = 0.0;
+  double param_mb = 0.0;
+  bool oom = false;
+  std::string breakdown;     // one-line Fig. 3 category summary
+  std::string per_op_table;  // full per-op profiler table
+  // DGCNN reference on the same device / workload:
+  double reference_latency_ms = 0.0;
+  double reference_memory_mb = 0.0;
+  double speedup_vs_reference = 0.0;
+};
+
+/// Final metrics after materialising and training an architecture.
+struct TrainReport {
+  double overall_acc = 0.0;
+  double balanced_acc = 0.0;
+  double mean_loss = 0.0;
+  double param_mb = 0.0;
+};
+
+struct SearchReport {
+  hgnas::SearchResult result;
+  std::string visualization;  // Fig. 10-style rendering of the winner
+};
+
+/// Shape of the predictor's architecture-graph abstraction (§III-D).
+struct ArchGraphInfo {
+  std::int64_t nodes = 0;
+  std::int64_t edges = 0;
+  std::int64_t feature_dim = 0;
+};
+
+/// Held-out accuracy of the engine's trained latency predictor.
+struct PredictorReport {
+  double mape = 0.0;
+  double within_10pct = 0.0;
+  double rmse_ms = 0.0;
+  double train_mape = 0.0;  // from the fit at engine creation
+};
+
+class Engine {
+ public:
+  /// Validate the config, resolve every registry name, build the owned
+  /// state (dataset, supernet, device model; for evaluator "predictor"
+  /// this collects labelled architectures and fits the predictor).
+  static Result<Engine> create(const EngineConfig& cfg);
+
+  Engine(Engine&&) = default;
+  Engine& operator=(Engine&&) = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Run the configured search strategy end to end.
+  Result<SearchReport> search();
+
+  /// Latency of one architecture through the configured evaluator. Noisy
+  /// for "measured", learned for "predictor", exact for "oracle".
+  Result<LatencyReport> predict_latency(const Arch& arch);
+
+  /// Materialise the architecture at training scale and train it for
+  /// config().train_epochs on the engine's dataset.
+  Result<TrainReport> train(const Arch& arch);
+
+  /// Deterministic deployment report on the target device.
+  Result<ProfileReport> profile(const Arch& arch) const;
+
+  // ---- persistence (serialize_arch v1 text format) ----
+  Result<std::string> export_arch(const Arch& arch) const;
+  Result<Arch> import_arch(const std::string& text) const;
+  Status save_arch(const std::string& path, const Arch& arch) const;
+  Result<Arch> load_arch(const std::string& path) const;
+
+  // ---- introspection ----
+  /// Fig. 10-style multi-line rendering at the deployment workload.
+  std::string visualize(const Arch& arch) const;
+  /// Node/edge/feature counts of the predictor's graph abstraction.
+  ArchGraphInfo arch_graph_info(const Arch& arch) const;
+  /// Held-out accuracy of the trained predictor (FAILED_PRECONDITION
+  /// unless the engine was created with evaluator "predictor").
+  Result<PredictorReport> evaluate_predictor(std::int64_t test_count,
+                                             std::uint64_t seed);
+  /// Uniformly random architecture from the configured design space.
+  Arch sample_arch();
+
+  const EngineConfig& config() const { return cfg_; }
+  const hw::Device& device() const { return *device_; }
+  /// Deployment-side workload (cost models, predictor).
+  const Workload& deploy_workload() const { return deploy_workload_; }
+  /// Training-side workload (dataset, materialised models).
+  const Workload& train_workload() const { return train_workload_; }
+  /// DGCNN reference latency / memory on the target device (Table II).
+  double reference_latency_ms() const { return reference_ms_; }
+  double reference_memory_mb() const { return reference_mb_; }
+
+ private:
+  Engine() = default;
+
+  EngineConfig cfg_;
+  Workload deploy_workload_;
+  Workload train_workload_;
+  hgnas::SearchConfig search_cfg_;
+  // unique_ptrs keep addresses stable across Engine moves: the evaluator
+  // closure and the search borrow the device / dataset / supernet.
+  std::unique_ptr<hw::Device> device_;
+  std::unique_ptr<pointcloud::Dataset> data_;
+  std::unique_ptr<hgnas::SuperNet> supernet_;
+  std::unique_ptr<Rng> rng_;
+  EvaluatorBundle evaluator_;
+  double reference_ms_ = 0.0;
+  double reference_mb_ = 0.0;
+};
+
+}  // namespace hg::api

@@ -1,0 +1,291 @@
+#include "api/registry.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+#include <utility>
+
+#include "tensor/optim.hpp"
+
+namespace hg::api {
+
+namespace {
+
+std::string normalize(const std::string& name) {
+  std::string out = name;
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+template <typename Map>
+std::string known_names(const Map& map) {
+  std::string out;
+  for (const auto& [key, unused] : map) {
+    if (!out.empty()) out += ", ";
+    out += key;
+  }
+  return out;
+}
+
+template <typename Map>
+std::vector<std::string> sorted_keys(const Map& map) {
+  std::vector<std::string> out;
+  out.reserve(map.size());
+  for (const auto& [key, unused] : map) out.push_back(key);
+  return out;
+}
+
+// ---- built-in strategies ---------------------------------------------------
+
+/// Wrap HgnasSearch construction (which throws std::invalid_argument on a
+/// bad SearchConfig) into the Status model.
+template <typename Fn>
+Result<hgnas::SearchResult> with_search(const StrategyRequest& req, Fn run) {
+  try {
+    hgnas::HgnasSearch search(*req.supernet, *req.data, req.cfg, req.latency);
+    return run(search);
+  } catch (const std::invalid_argument& e) {
+    return Status::InvalidArgument(e.what());
+  }
+}
+
+/// Random-sampling baseline at the same latency-query budget as the EA
+/// (population + iterations * population/2 candidates), with the same
+/// supernet training schedule, feasibility gate and Eq. (3) objective —
+/// the "random search" row of ablation tables.
+Result<hgnas::SearchResult> run_random_strategy(const StrategyRequest& req) {
+  return with_search(req, [&](hgnas::HgnasSearch& search) {
+    const hgnas::SearchConfig& cfg = search.config();
+    Rng& rng = *req.rng;
+    hgnas::SuperNet& supernet = *req.supernet;
+    const pointcloud::Dataset& data = *req.data;
+
+    double sim_time_s = 0.0;
+    if (cfg.train_supernet) {
+      Adam opt(supernet.parameters(), 1e-3f);
+      auto sampler = [&cfg](Rng& r) { return random_arch(cfg.space, r); };
+      for (std::int64_t e = 0; e < cfg.stage1_epochs + cfg.stage2_epochs;
+           ++e) {
+        supernet.train_epoch(data.train(), sampler, opt, cfg.batch_size, rng);
+        sim_time_s += static_cast<double>(data.train().size()) *
+                      cfg.sim_train_s_per_sample;
+      }
+    }
+
+    hgnas::SearchResult result;
+    const std::int64_t budget =
+        cfg.population + cfg.iterations * (cfg.population / 2);
+    const std::int64_t probes = std::min<std::int64_t>(
+        cfg.eval_val_samples, static_cast<std::int64_t>(data.test().size()));
+    bool have_best = false;
+    bool best_feasible = false;
+    for (std::int64_t i = 0; i < budget; ++i) {
+      const hgnas::Arch arch = random_arch(cfg.space, rng);
+      ++result.latency_queries;
+      const hgnas::LatencyEval lat = req.latency(arch);
+      sim_time_s += lat.cost_s;
+      const bool feasible =
+          search.feasible(lat, arch_param_mb(arch, cfg.workload));
+      double acc = 0.0;
+      double fitness = 0.0;
+      if (feasible) {
+        ++result.accuracy_probes;
+        sim_time_s += static_cast<double>(probes) * cfg.sim_eval_s_per_sample;
+        acc = supernet.evaluate(arch, data.test(), probes, rng);
+        fitness = search.objective(acc, lat.latency_ms, lat.oom);
+      }
+      // Same ordering as the EA: feasibility first, then fitness, then
+      // latency (so an all-infeasible run still reports its fastest find).
+      const bool better =
+          !have_best ||
+          (feasible != best_feasible
+               ? feasible
+               : (fitness != result.best_objective
+                      ? fitness > result.best_objective
+                      : lat.latency_ms < result.best_latency_ms));
+      if (better) {
+        have_best = true;
+        best_feasible = feasible;
+        result.best_arch = arch;
+        result.best_objective = fitness;
+        result.best_supernet_acc = acc;
+        result.best_latency_ms = lat.latency_ms;
+      }
+      // One history point per EA-iteration-equivalent chunk of budget.
+      if ((i + 1) % std::max<std::int64_t>(1, cfg.population / 2) == 0)
+        result.history.push_back({sim_time_s, result.best_objective});
+    }
+    result.history.push_back({sim_time_s, result.best_objective});
+    result.total_sim_time_s = sim_time_s;
+    return Result<hgnas::SearchResult>(std::move(result));
+  });
+}
+
+// ---- built-in evaluators ---------------------------------------------------
+
+Result<EvaluatorBundle> make_oracle(const EvaluatorRequest& req) {
+  EvaluatorBundle bundle;
+  bundle.fn = hgnas::make_oracle_evaluator(*req.device, req.workload);
+  return bundle;
+}
+
+Result<EvaluatorBundle> make_measured(const EvaluatorRequest& req) {
+  if (!req.device->spec().supports_online_measurement)
+    return Status::FailedPrecondition(
+        "device '" + req.device->name() +
+        "' does not support online measurement (paper §IV-D); use "
+        "evaluator \"predictor\" instead");
+  EvaluatorBundle bundle;
+  bundle.fn =
+      hgnas::make_measurement_evaluator(*req.device, req.workload, req.seed);
+  return bundle;
+}
+
+Result<EvaluatorBundle> make_predictor(const EvaluatorRequest& req) {
+  const auto labeled = predictor::collect_labeled_archs(
+      *req.device, req.space, req.workload, req.predictor_samples, req.seed);
+  if (labeled.empty())
+    return Status::Internal("no measurable architectures collected on '" +
+                            req.device->name() + "'");
+  predictor::PredictorConfig pcfg;
+  pcfg.epochs = req.predictor_epochs;
+  // The MAPE loss over the softplus-sum head has a seed-dependent failure
+  // mode: early pressure from over-predicted small-latency samples can push
+  // every per-node contribution into the softplus dead zone, after which
+  // predictions stick at 0 and the train MAPE at exactly 1. A collapsed fit
+  // is useless to search, so refit from a different initialisation.
+  constexpr int kMaxFits = 4;
+  constexpr double kCollapsedMape = 0.95;
+  EvaluatorBundle bundle;
+  for (int attempt = 0; attempt < kMaxFits; ++attempt) {
+    Rng rng(req.seed ^ (0x9e3779b97f4a7c15ULL *
+                        static_cast<std::uint64_t>(attempt + 1)));
+    bundle.predictor = std::make_shared<predictor::LatencyPredictor>(
+        pcfg, req.workload, rng);
+    bundle.predictor_train_mape = bundle.predictor->fit(labeled, rng);
+    if (bundle.predictor_train_mape < kCollapsedMape) break;
+  }
+  if (bundle.predictor_train_mape >= kCollapsedMape)
+    return Status::Internal("latency predictor failed to converge on '" +
+                            req.device->name() + "' (train MAPE " +
+                            std::to_string(bundle.predictor_train_mape) +
+                            " after " + std::to_string(kMaxFits) + " fits)");
+  bundle.fn = predictor::make_predictor_evaluator(bundle.predictor);
+  return bundle;
+}
+
+}  // namespace
+
+Registry::Registry() {
+  auto add_device = [this](const std::string& name, const std::string& alias,
+                           hw::DeviceKind kind) {
+    DeviceFactory factory = [kind]() { return hw::make_device(kind); };
+    devices_[name] = factory;
+    canonical_devices_.push_back(name);
+    if (!alias.empty()) devices_[alias] = factory;
+  };
+  add_device("rtx3080", "rtx", hw::DeviceKind::Rtx3080);
+  add_device("i7-8700k", "i7", hw::DeviceKind::IntelI7_8700K);
+  add_device("jetson-tx2", "tx2", hw::DeviceKind::JetsonTx2);
+  add_device("raspberry-pi-3b", "pi", hw::DeviceKind::RaspberryPi3B);
+
+  evaluators_["oracle"] = make_oracle;
+  evaluators_["measured"] = make_measured;
+  evaluators_["predictor"] = make_predictor;
+
+  strategies_["multistage"] = [](const StrategyRequest& req) {
+    return with_search(req, [&](hgnas::HgnasSearch& s) {
+      return Result<hgnas::SearchResult>(s.run_multistage(*req.rng));
+    });
+  };
+  strategies_["onestage"] = [](const StrategyRequest& req) {
+    return with_search(req, [&](hgnas::HgnasSearch& s) {
+      return Result<hgnas::SearchResult>(s.run_onestage(*req.rng));
+    });
+  };
+  strategies_["random"] = run_random_strategy;
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Status Registry::register_device(const std::string& name,
+                                 DeviceFactory factory) {
+  const std::string key = normalize(name);
+  if (key.empty()) return Status::InvalidArgument("device name is empty");
+  if (!devices_.emplace(key, std::move(factory)).second)
+    return Status::InvalidArgument("device '" + key + "' already registered");
+  canonical_devices_.push_back(key);
+  return Status::Ok();
+}
+
+Status Registry::register_evaluator(const std::string& name,
+                                    EvaluatorFactory factory) {
+  const std::string key = normalize(name);
+  if (key.empty()) return Status::InvalidArgument("evaluator name is empty");
+  if (!evaluators_.emplace(key, std::move(factory)).second)
+    return Status::InvalidArgument("evaluator '" + key +
+                                   "' already registered");
+  return Status::Ok();
+}
+
+Status Registry::register_strategy(const std::string& name,
+                                   StrategyFn strategy) {
+  const std::string key = normalize(name);
+  if (key.empty()) return Status::InvalidArgument("strategy name is empty");
+  if (!strategies_.emplace(key, std::move(strategy)).second)
+    return Status::InvalidArgument("strategy '" + key +
+                                   "' already registered");
+  return Status::Ok();
+}
+
+Result<hw::Device> Registry::make_device(const std::string& name) const {
+  const auto it = devices_.find(normalize(name));
+  if (it == devices_.end())
+    return Status::NotFound("unknown device '" + name +
+                            "' (known: " + known_names(devices_) + ")");
+  return it->second();
+}
+
+Result<EvaluatorBundle> Registry::make_evaluator(
+    const std::string& name, const EvaluatorRequest& req) const {
+  const auto it = evaluators_.find(normalize(name));
+  if (it == evaluators_.end())
+    return Status::NotFound("unknown evaluator '" + name +
+                            "' (known: " + known_names(evaluators_) + ")");
+  if (req.device == nullptr)
+    return Status::Internal("EvaluatorRequest.device is null");
+  return it->second(req);
+}
+
+Result<hgnas::SearchResult> Registry::run_strategy(
+    const std::string& name, const StrategyRequest& req) const {
+  const auto it = strategies_.find(normalize(name));
+  if (it == strategies_.end())
+    return Status::NotFound("unknown strategy '" + name +
+                            "' (known: " + known_names(strategies_) + ")");
+  if (req.supernet == nullptr || req.data == nullptr || req.rng == nullptr)
+    return Status::Internal("StrategyRequest has null borrows");
+  if (!req.latency)
+    return Status::InvalidArgument("strategy requires a latency evaluator");
+  return it->second(req);
+}
+
+bool Registry::has_strategy(const std::string& name) const {
+  return strategies_.count(normalize(name)) > 0;
+}
+
+std::vector<std::string> Registry::device_names() const {
+  return canonical_devices_;
+}
+std::vector<std::string> Registry::evaluator_names() const {
+  return sorted_keys(evaluators_);
+}
+std::vector<std::string> Registry::strategy_names() const {
+  return sorted_keys(strategies_);
+}
+
+}  // namespace hg::api

@@ -1,0 +1,103 @@
+// status.hpp — the error model of the public API layer.
+//
+// Module code underneath the facade throws on programmer error (broken
+// invariants, malformed internal state). User input — a device name typed
+// on a CLI, a config assembled by a service, an architecture file from disk
+// — must not take the process down, so every facade entry point reports
+// failures as a `Status` (or a `Result<T>` carrying one) instead of
+// throwing across the API boundary.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace hg::api {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument,     // malformed user input (bad config value, bad text)
+  kNotFound,            // unknown registry key (device / evaluator / strategy)
+  kFailedPrecondition,  // valid request, unsupported in this configuration
+  kInternal,            // an invariant broke below the facade
+};
+
+std::string status_code_name(StatusCode code);
+
+class Status {
+ public:
+  Status() = default;  // OK
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string to_string() const {
+    return ok() ? "OK" : status_code_name(code_) + ": " + message_;
+  }
+
+  bool operator==(const Status&) const = default;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline std::string status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+/// A value or the Status explaining its absence. Accessing `value()` on an
+/// error Result is a programmer error (asserts in debug, UB in release) —
+/// check `ok()` first.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok())
+      status_ = Status::Internal("Result constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  /// value() with a fallback for the error case.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ holds a T
+  std::optional<T> value_;
+};
+
+}  // namespace hg::api

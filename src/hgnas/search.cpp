@@ -50,22 +50,33 @@ HgnasSearch::HgnasSearch(SuperNet& supernet, const pointcloud::Dataset& data,
         "parents must be in [1, population]");
   check(cfg_.iterations >= 1, "iterations must be >= 1");
   check(cfg_.latency_scale_ms > 0.0, "latency_scale_ms must be positive");
+  check(!cfg_.latency_constraint_ms || *cfg_.latency_constraint_ms > 0.0,
+        "latency_constraint_ms must be positive when set");
+  check(!cfg_.memory_constraint_mb || *cfg_.memory_constraint_mb > 0.0,
+        "memory_constraint_mb must be positive when set");
+  check(!cfg_.size_constraint_mb || *cfg_.size_constraint_mb > 0.0,
+        "size_constraint_mb must be positive when set");
   check(cfg_.space.num_positions == supernet.space().num_positions,
         "search space and supernet disagree on position count");
 }
 
 double HgnasSearch::objective(double acc, double latency_ms, bool oom) const {
-  if (oom || latency_ms >= cfg_.latency_constraint_ms) return 0.0;  // Eq. (3)
+  if (oom || (cfg_.latency_constraint_ms &&
+              latency_ms >= *cfg_.latency_constraint_ms))
+    return 0.0;  // Eq. (3)
   return cfg_.alpha * acc - cfg_.beta * latency_ms / cfg_.latency_scale_ms;
 }
 
 bool HgnasSearch::feasible(const LatencyEval& lat, double size_mb) const {
   if (lat.oom) return false;
-  if (lat.latency_ms >= cfg_.latency_constraint_ms) return false;
-  if (lat.peak_memory_mb > 0.0 &&
-      lat.peak_memory_mb >= cfg_.memory_constraint_mb)
+  if (cfg_.latency_constraint_ms &&
+      lat.latency_ms >= *cfg_.latency_constraint_ms)
     return false;
-  if (size_mb >= cfg_.size_constraint_mb) return false;
+  if (cfg_.memory_constraint_mb && lat.peak_memory_mb > 0.0 &&
+      lat.peak_memory_mb >= *cfg_.memory_constraint_mb)
+    return false;
+  if (cfg_.size_constraint_mb && size_mb >= *cfg_.size_constraint_mb)
+    return false;
   return true;
 }
 

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "hgnas/arch.hpp"
@@ -69,10 +70,11 @@ struct SearchConfig {
   double alpha = 1.0;  // accuracy weight (Eq. 1/3)
   double beta = 0.5;   // latency weight
   // Hardware constraint set C (paper Eq. 2 lists "inference latency, model
-  // size, etc."). A candidate violating any bound scores 0.
-  double latency_constraint_ms = 1e18;
-  double memory_constraint_mb = 1e18;
-  double size_constraint_mb = 1e18;
+  // size, etc."). A candidate violating any set bound scores 0; an unset
+  // bound is unconstrained.
+  std::optional<double> latency_constraint_ms;
+  std::optional<double> memory_constraint_mb;
+  std::optional<double> size_constraint_mb;
   double latency_scale_ms = 1.0;  // normaliser for the latency term
 
   std::int64_t eval_val_samples = 40;  // clouds per supernet accuracy probe
