@@ -11,6 +11,8 @@
 #include "api/engine.hpp"
 
 int main() {
+  hg::bench::JsonReporter bench_json("fig10_archviz");
+  hg::bench::Timer bench_timer;
   using namespace hg;
 
   std::uint64_t index = 0;
@@ -52,5 +54,6 @@ int main() {
   std::printf("\n(paper: searched models mirror device characteristics — "
               "few KNNs on RTX/TX2, few aggregates on i7, everything "
               "simplified on the Pi)\n");
+  bench_json.add("total", bench_timer.ms(), "whole bench");
   return 0;
 }

@@ -11,6 +11,8 @@
 #include "hgnas/zoo.hpp"
 
 int main() {
+  hg::bench::JsonReporter bench_json("fig1_scaling");
+  hg::bench::Timer bench_timer;
   using namespace hg;
   const std::vector<std::int64_t> point_counts = {128, 256, 512,
                                                   1024, 1536, 2048};
@@ -60,5 +62,6 @@ int main() {
   }
   std::printf("(paper: ~10.6x / 10.2x / 7.5x / 7.4x speedup and up to "
               "88.2%% peak-memory reduction)\n");
+  bench_json.add("total", bench_timer.ms(), "whole bench");
   return 0;
 }

@@ -11,6 +11,8 @@
 #include "bench_util.hpp"
 
 int main() {
+  hg::bench::JsonReporter bench_json("fig2_reuse");
+  hg::bench::Timer bench_timer;
   using namespace hg;
 
   hw::Device rtx = hw::make_device(hw::DeviceKind::Rtx3080);
@@ -41,5 +43,6 @@ int main() {
   }
   std::printf("(paper: reuse costs <1%% accuracy but cuts latency "
               "substantially — redundancy in the MP paradigm)\n");
+  bench_json.add("total", bench_timer.ms(), "whole bench");
   return 0;
 }

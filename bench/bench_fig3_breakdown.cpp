@@ -7,6 +7,8 @@
 #include "hw/profiler.hpp"
 
 int main() {
+  hg::bench::JsonReporter bench_json("fig3_breakdown");
+  hg::bench::Timer bench_timer;
   using namespace hg;
   const hw::Trace dgcnn = hw::dgcnn_reference_trace(1024);
 
@@ -29,5 +31,6 @@ int main() {
   bench::print_header("Per-op profile (Raspberry Pi 3B+)");
   hw::Device pi = hw::make_device(hw::DeviceKind::RaspberryPi3B);
   std::printf("%s", hw::profile_report(pi, dgcnn).c_str());
+  bench_json.add("total", bench_timer.ms(), "whole bench");
   return 0;
 }

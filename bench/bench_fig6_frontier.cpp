@@ -36,6 +36,8 @@ double train_arch_accuracy(const hgnas::Arch& arch,
 }  // namespace
 
 int main() {
+  hg::bench::JsonReporter bench_json("fig6_frontier");
+  hg::bench::Timer bench_timer;
   pointcloud::Dataset data(16, 32, 77);
 
   // Baseline accuracies are device-independent: train once.
@@ -109,5 +111,6 @@ int main() {
   }
   std::printf("\n(paper: HGNAS points dominate the baselines' frontier — "
               "lower latency at comparable accuracy on every device)\n");
+  bench_json.add("total", bench_timer.ms(), "whole bench");
   return 0;
 }

@@ -10,6 +10,8 @@
 #include "api/engine.hpp"
 
 int main() {
+  hg::bench::JsonReporter bench_json("fig7_tradeoff");
+  hg::bench::Timer bench_timer;
   using namespace hg;
 
   const std::vector<double> ratios = {0.1, 0.2, 1.0, 2.0, 5.0, 10.0};
@@ -54,5 +56,6 @@ int main() {
   }
   std::printf("(paper: small a:b favours speed — up to ~11x; large a:b "
               "favours accuracy at lower speedup)\n");
+  bench_json.add("total", bench_timer.ms(), "whole bench");
   return 0;
 }

@@ -7,6 +7,8 @@
 #include "predictor/predictor.hpp"
 
 int main() {
+  hg::bench::JsonReporter bench_json("fig8_predictor");
+  hg::bench::Timer bench_timer;
   using namespace hg;
   const hgnas::SpaceConfig space = bench::default_space();
   const hgnas::Workload w = bench::paper_workload();
@@ -42,5 +44,6 @@ int main() {
   }
   std::printf("(paper: ~6%% MAPE on RTX/i7/TX2, ~19%% on the noisy Pi; "
               ">80%% within the 10%% bound)\n");
+  bench_json.add("total", bench_timer.ms(), "whole bench");
   return 0;
 }

@@ -30,6 +30,8 @@ void print_series(const char* label, const hgnas::SearchResult& r) {
 }  // namespace
 
 int main() {
+  hg::bench::JsonReporter bench_json("fig9a_predvsreal");
+  hg::bench::Timer bench_timer;
   const hgnas::Workload w = bench::paper_workload();
 
   for (auto kind : {hw::DeviceKind::Rtx3080, hw::DeviceKind::IntelI7_8700K}) {
@@ -72,5 +74,6 @@ int main() {
   std::printf("\n(paper: both reach similar objective scores; the predictor "
               "cuts exploration time dramatically and is the only option on "
               "TX2 / Raspberry Pi)\n");
+  bench_json.add("total", bench_timer.ms(), "whole bench");
   return 0;
 }

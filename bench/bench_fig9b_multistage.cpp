@@ -9,6 +9,8 @@
 #include "api/engine.hpp"
 
 int main() {
+  hg::bench::JsonReporter bench_json("fig9b_multistage");
+  hg::bench::Timer bench_timer;
   using namespace hg;
 
   auto run = [](const char* strategy) -> api::Result<api::SearchReport> {
@@ -49,5 +51,6 @@ int main() {
   std::printf("(paper: one-stage gets entangled in the huge fine-grained "
               "space; multi-stage finds better architectures within a few "
               "GPU hours)\n");
+  bench_json.add("total", bench_timer.ms(), "whole bench");
   return 0;
 }

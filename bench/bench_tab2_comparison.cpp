@@ -34,6 +34,8 @@ void print_row(const Row& r, double dgcnn_ms, double dgcnn_mb) {
 }  // namespace
 
 int main() {
+  hg::bench::JsonReporter bench_json("tab2_comparison");
+  hg::bench::Timer bench_timer;
   pointcloud::Dataset data(16, 32, 2718);
 
   // --- Device-independent accuracy training (shared across devices) -------
@@ -113,5 +115,6 @@ int main() {
   std::printf("\n(paper: HGNAS-Fast reaches up to 10.6x / 10.2x / 7.5x / "
               "7.4x speedup and up to 88%% memory reduction vs DGCNN with "
               "similar accuracy)\n");
+  bench_json.add("total", bench_timer.ms(), "whole bench");
   return 0;
 }

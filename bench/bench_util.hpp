@@ -7,15 +7,112 @@
 //    EXPERIMENTS.md for the mapping.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "api/config.hpp"
+#include "core/parallel.hpp"
 #include "hgnas/search.hpp"
 #include "hw/device.hpp"
 #include "pointcloud/pointcloud.hpp"
 
+// Git revision baked in by bench/CMakeLists.txt at configure time, so every
+// BENCH_*.json row is attributable to a commit.
+#ifndef HG_GIT_REV
+#define HG_GIT_REV "unknown"
+#endif
+
 namespace hg::bench {
+
+/// Wall-clock stopwatch for bench measurements.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+  double ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Machine-readable bench output: collects (name, wall_ms, problem, value)
+/// records and writes BENCH_<bench>.json into the working directory on
+/// destruction (or an explicit write()). Each record also captures the pool
+/// width at the time of the measurement and the file carries the git rev,
+/// giving the repo a perf trajectory that CI can archive per commit.
+class JsonReporter {
+ public:
+  explicit JsonReporter(std::string bench) : bench_(std::move(bench)) {}
+  ~JsonReporter() { write(); }
+  JsonReporter(const JsonReporter&) = delete;
+  JsonReporter& operator=(const JsonReporter&) = delete;
+
+  /// `threads` < 0 records the current pool width; pass it explicitly when
+  /// the measurement ran under a different width than the caller's.
+  void add(const std::string& name, double wall_ms,
+           const std::string& problem, double value = 0.0,
+           const std::string& unit = "", std::int64_t threads = -1) {
+    records_.push_back({name, problem, unit, wall_ms, value,
+                        threads < 0 ? core::num_threads() : threads});
+  }
+
+  std::string path() const { return "BENCH_" + bench_ + ".json"; }
+
+  void write() {
+    if (written_ || records_.empty()) return;
+    written_ = true;
+    std::FILE* f = std::fopen(path().c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path().c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"git_rev\": \"%s\",\n",
+                 escape(bench_).c_str(), HG_GIT_REV);
+    std::fprintf(f, "  \"records\": [\n");
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"wall_ms\": %.6f, "
+                   "\"threads\": %lld, \"problem\": \"%s\", "
+                   "\"value\": %.6f, \"unit\": \"%s\"}%s\n",
+                   escape(r.name).c_str(), r.wall_ms,
+                   static_cast<long long>(r.threads),
+                   escape(r.problem).c_str(), r.value, escape(r.unit).c_str(),
+                   i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu records)\n", path().c_str(), records_.size());
+  }
+
+ private:
+  struct Record {
+    std::string name, problem, unit;
+    double wall_ms = 0.0;
+    double value = 0.0;
+    std::int64_t threads = 1;
+  };
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string bench_;
+  std::vector<Record> records_;
+  bool written_ = false;
+};
 
 /// Facade-level counterpart of default_search_config: the same paper-scale
 /// deployment workload and CPU-scale search knobs, expressed as one

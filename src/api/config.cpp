@@ -1,5 +1,9 @@
 #include "api/config.hpp"
 
+#include <algorithm>
+
+#include "core/parallel.hpp"
+
 namespace hg::api {
 
 EngineConfig EngineConfig::tiny() {
@@ -70,6 +74,13 @@ Status validate(const EngineConfig& cfg) {
        "sim_train_s_per_sample must be non-negative"},
       {cfg.sim_eval_s_per_sample >= 0.0,
        "sim_eval_s_per_sample must be non-negative"},
+      {cfg.num_threads >= 0,
+       "num_threads must be non-negative (0 = hardware concurrency)"},
+      // Oversubscription beyond a few x hardware is never useful and a huge
+      // value would fail std::thread construction mid-resize.
+      {cfg.num_threads <= std::max<std::int64_t>(64,
+                                                 8 * core::hardware_threads()),
+       "num_threads is absurdly large (cap: max(64, 8 x hardware threads))"},
   };
   for (const Check& c : checks) {
     const Status s = require(c.cond, c.msg);

@@ -77,6 +77,13 @@ struct EngineConfig {
 
   std::uint64_t seed = 2024;  // master seed for every stochastic component
 
+  /// Width of the process-wide execution pool (kernels, concurrent
+  /// candidate evaluation). 0 = hardware concurrency. 1 disables the pool
+  /// and forces the historical single-threaded path bit-for-bit. Applied
+  /// process-wide by Engine::create (the pool is shared, like a BLAS
+  /// thread setting).
+  std::int64_t num_threads = 0;
+
   /// Tiny preset: everything shrunk so a full engine lifecycle (create,
   /// search, train, profile) completes in seconds — the scale used by
   /// tests/test_api.cpp and CI smoke runs.

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/parallel.hpp"
 #include "predictor/predictor.hpp"
 
 namespace hg::api {
@@ -68,6 +69,17 @@ Result<Engine> Engine::create(const EngineConfig& cfg) {
 
   Engine engine;
   engine.cfg_ = cfg;
+
+  // Size the shared execution pool (0 = hardware concurrency, 1 = the
+  // bit-for-bit serial path). Process-wide, like a BLAS thread setting.
+  try {
+    core::set_num_threads(cfg.num_threads);
+  } catch (const std::exception& e) {
+    // Thread creation can fail under resource exhaustion even for counts
+    // that pass validation; keep the no-throw facade contract.
+    return Status::Internal(std::string("cannot size the thread pool: ") +
+                            e.what());
+  }
 
   Result<hw::Device> device = reg.make_device(cfg.device);
   if (!device.ok()) return device.status();
@@ -145,6 +157,8 @@ Result<SearchReport> Engine::search() {
     if (!result.ok()) return result.status();
     SearchReport report;
     report.result = std::move(result).value();
+    last_cache_hits_ = report.result.eval_cache_hits;
+    last_cache_misses_ = report.result.eval_cache_misses;
     report.visualization =
         hgnas::visualize(report.result.best_arch, deploy_workload_);
     return report;
@@ -196,6 +210,8 @@ Result<ProfileReport> Engine::profile(const Arch& arch) const {
     report.reference_memory_mb = reference_mb_;
     report.speedup_vs_reference =
         report.latency_ms > 0.0 ? reference_ms_ / report.latency_ms : 0.0;
+    report.search_cache_hits = last_cache_hits_;
+    report.search_cache_misses = last_cache_misses_;
     return report;
   } catch (const std::exception& e) {
     return Status::Internal(std::string("profiling failed: ") + e.what());

@@ -60,6 +60,10 @@ struct ProfileReport {
   double reference_latency_ms = 0.0;
   double reference_memory_mb = 0.0;
   double speedup_vs_reference = 0.0;
+  // Candidate memo-cache traffic of this engine's most recent search()
+  // (0/0 before any search; a miss is one full candidate evaluation).
+  std::int64_t search_cache_hits = 0;
+  std::int64_t search_cache_misses = 0;
 };
 
 /// Final metrics after materialising and training an architecture.
@@ -160,6 +164,10 @@ class Engine {
   EvaluatorBundle evaluator_;
   double reference_ms_ = 0.0;
   double reference_mb_ = 0.0;
+  // Memo-cache counters of the most recent search(), surfaced in
+  // ProfileReport.
+  std::int64_t last_cache_hits_ = 0;
+  std::int64_t last_cache_misses_ = 0;
 };
 
 }  // namespace hg::api

@@ -5,8 +5,6 @@
 #include <stdexcept>
 #include <utility>
 
-#include "tensor/optim.hpp"
-
 namespace hg::api {
 
 namespace {
@@ -48,78 +46,6 @@ Result<hgnas::SearchResult> with_search(const StrategyRequest& req, Fn run) {
   } catch (const std::invalid_argument& e) {
     return Status::InvalidArgument(e.what());
   }
-}
-
-/// Random-sampling baseline at the same latency-query budget as the EA
-/// (population + iterations * population/2 candidates), with the same
-/// supernet training schedule, feasibility gate and Eq. (3) objective —
-/// the "random search" row of ablation tables.
-Result<hgnas::SearchResult> run_random_strategy(const StrategyRequest& req) {
-  return with_search(req, [&](hgnas::HgnasSearch& search) {
-    const hgnas::SearchConfig& cfg = search.config();
-    Rng& rng = *req.rng;
-    hgnas::SuperNet& supernet = *req.supernet;
-    const pointcloud::Dataset& data = *req.data;
-
-    double sim_time_s = 0.0;
-    if (cfg.train_supernet) {
-      Adam opt(supernet.parameters(), 1e-3f);
-      auto sampler = [&cfg](Rng& r) { return random_arch(cfg.space, r); };
-      for (std::int64_t e = 0; e < cfg.stage1_epochs + cfg.stage2_epochs;
-           ++e) {
-        supernet.train_epoch(data.train(), sampler, opt, cfg.batch_size, rng);
-        sim_time_s += static_cast<double>(data.train().size()) *
-                      cfg.sim_train_s_per_sample;
-      }
-    }
-
-    hgnas::SearchResult result;
-    const std::int64_t budget =
-        cfg.population + cfg.iterations * (cfg.population / 2);
-    const std::int64_t probes = std::min<std::int64_t>(
-        cfg.eval_val_samples, static_cast<std::int64_t>(data.test().size()));
-    bool have_best = false;
-    bool best_feasible = false;
-    for (std::int64_t i = 0; i < budget; ++i) {
-      const hgnas::Arch arch = random_arch(cfg.space, rng);
-      ++result.latency_queries;
-      const hgnas::LatencyEval lat = req.latency(arch);
-      sim_time_s += lat.cost_s;
-      const bool feasible =
-          search.feasible(lat, arch_param_mb(arch, cfg.workload));
-      double acc = 0.0;
-      double fitness = 0.0;
-      if (feasible) {
-        ++result.accuracy_probes;
-        sim_time_s += static_cast<double>(probes) * cfg.sim_eval_s_per_sample;
-        acc = supernet.evaluate(arch, data.test(), probes, rng);
-        fitness = search.objective(acc, lat.latency_ms, lat.oom);
-      }
-      // Same ordering as the EA: feasibility first, then fitness, then
-      // latency (so an all-infeasible run still reports its fastest find).
-      const bool better =
-          !have_best ||
-          (feasible != best_feasible
-               ? feasible
-               : (fitness != result.best_objective
-                      ? fitness > result.best_objective
-                      : lat.latency_ms < result.best_latency_ms));
-      if (better) {
-        have_best = true;
-        best_feasible = feasible;
-        result.best_arch = arch;
-        result.best_objective = fitness;
-        result.best_supernet_acc = acc;
-        result.best_latency_ms = lat.latency_ms;
-      }
-      // One history point per EA-iteration-equivalent chunk of budget.
-      if ((i + 1) % std::max<std::int64_t>(1, cfg.population / 2) == 0)
-        result.history.push_back({sim_time_s, result.best_objective});
-    }
-    result.history.push_back({sim_time_s, result.best_objective});
-    result.total_sim_time_s = sim_time_s;
-    return Result<hgnas::SearchResult>(std::move(result));
-  });
 }
 
 // ---- built-in evaluators ---------------------------------------------------
@@ -204,7 +130,11 @@ Registry::Registry() {
       return Result<hgnas::SearchResult>(s.run_onestage(*req.rng));
     });
   };
-  strategies_["random"] = run_random_strategy;
+  strategies_["random"] = [](const StrategyRequest& req) {
+    return with_search(req, [&](hgnas::HgnasSearch& s) {
+      return Result<hgnas::SearchResult>(s.run_random(*req.rng));
+    });
+  };
 }
 
 Registry& Registry::global() {

@@ -1,0 +1,210 @@
+#include "core/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace hg::core {
+
+namespace {
+
+thread_local bool t_in_parallel_region = false;
+
+/// One fork-join job: workers (plus the caller) claim chunk indices from an
+/// atomic cursor until exhausted. Chunk boundaries are fixed before any
+/// thread runs, so the decomposition never depends on scheduling.
+struct Job {
+  std::int64_t begin = 0;
+  std::int64_t chunk = 1;
+  std::int64_t end = 0;
+  std::int64_t num_chunks = 0;
+  const std::function<void(std::int64_t, std::int64_t)>* fn = nullptr;
+  std::atomic<std::int64_t> next{0};
+  std::atomic<std::int64_t> remaining{0};
+  std::mutex err_mutex;
+  std::exception_ptr error;
+
+  void run_chunks() {
+    t_in_parallel_region = true;
+    for (;;) {
+      const std::int64_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) break;
+      const std::int64_t lo = begin + c * chunk;
+      const std::int64_t hi = std::min(end, lo + chunk);
+      try {
+        (*fn)(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mutex);
+        if (!error) error = std::current_exception();
+      }
+    }
+    t_in_parallel_region = false;
+  }
+};
+
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  std::int64_t width() const { return width_.load(std::memory_order_relaxed); }
+
+  void resize(std::int64_t n) {
+    std::lock_guard<std::mutex> lock(resize_mutex_);
+    if (n == width()) return;
+    stop_workers();
+    width_.store(n, std::memory_order_relaxed);
+    start_workers();
+  }
+
+  /// Execute `job` on the pool; the caller participates and blocks until
+  /// every chunk has run.
+  void run(Job& job) {
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      pending_.push_back(&job);
+    }
+    wake_.notify_all();
+    job.run_chunks();
+    // The caller ran out of chunks. Unpublish the job so no further worker
+    // can join it (the Job lives on the caller's stack), then wait for the
+    // workers already inside it.
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    const auto it = std::find(pending_.begin(), pending_.end(), &job);
+    if (it != pending_.end()) pending_.erase(it);  // a worker may have already
+    done_.wait(lock, [&job] {
+      return job.remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+
+ private:
+  Pool() {
+    width_.store(hardware_threads(), std::memory_order_relaxed);
+    start_workers();
+  }
+
+  ~Pool() { stop_workers(); }
+
+  void start_workers() {
+    const std::int64_t n = width() - 1;
+    shutdown_ = false;
+    for (std::int64_t i = 0; i < n; ++i) {
+      try {
+        workers_.emplace_back([this] { worker_loop(); });
+      } catch (...) {
+        // Thread creation failed (resource exhaustion): keep the pool
+        // consistent at the width actually achieved, then report.
+        width_.store(static_cast<std::int64_t>(workers_.size()) + 1,
+                     std::memory_order_relaxed);
+        throw;
+      }
+    }
+  }
+
+  void stop_workers() {
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      shutdown_ = true;
+    }
+    wake_.notify_all();
+    for (auto& w : workers_) w.join();
+    workers_.clear();
+  }
+
+  void worker_loop() {
+    for (;;) {
+      Job* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(queue_mutex_);
+        wake_.wait(lock, [this] { return shutdown_ || !pending_.empty(); });
+        if (shutdown_) return;
+        job = pending_.front();
+        // Keep the job visible until its chunks are exhausted so every idle
+        // worker can join in; drop it once the cursor has passed the end.
+        if (job->next.load(std::memory_order_relaxed) >= job->num_chunks) {
+          pending_.erase(pending_.begin());
+          continue;
+        }
+        job->remaining.fetch_add(1, std::memory_order_acq_rel);
+      }
+      job->run_chunks();
+      job->remaining.fetch_sub(1, std::memory_order_acq_rel);
+      {
+        // Lock pairs the decrement with the caller's predicate check so the
+        // final wakeup cannot be lost.
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+      }
+      done_.notify_all();
+    }
+  }
+
+  std::atomic<std::int64_t> width_{1};
+  std::mutex resize_mutex_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  std::vector<Job*> pending_;
+  std::vector<std::thread> workers_;
+  bool shutdown_ = false;
+};
+
+}  // namespace
+
+std::int64_t hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::int64_t>(n);
+}
+
+std::int64_t num_threads() { return Pool::instance().width(); }
+
+void set_num_threads(std::int64_t n) {
+  if (n < 0) throw std::invalid_argument("set_num_threads: negative count");
+  if (in_parallel_region())
+    throw std::logic_error("set_num_threads inside a parallel region");
+  Pool::instance().resize(n == 0 ? hardware_threads() : n);
+}
+
+bool in_parallel_region() { return t_in_parallel_region; }
+
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  if (begin >= end) return;
+  if (grain < 1) grain = 1;
+  const std::int64_t range = end - begin;
+  const std::int64_t threads = num_threads();
+  if (threads == 1 || range <= grain || in_parallel_region()) {
+    fn(begin, end);
+    return;
+  }
+  // Fixed decomposition: enough chunks for dynamic load balance, never so
+  // many that scheduling overhead dominates, each at least `grain` wide.
+  const std::int64_t max_chunks =
+      std::min<std::int64_t>((range + grain - 1) / grain, threads * 4);
+  Job job;
+  job.begin = begin;
+  job.end = end;
+  job.num_chunks = std::max<std::int64_t>(1, max_chunks);
+  job.chunk = (range + job.num_chunks - 1) / job.num_chunks;
+  // Recompute: ceil division can leave trailing empty chunks; shrink count.
+  job.num_chunks = (range + job.chunk - 1) / job.chunk;
+  job.fn = &fn;
+  Pool::instance().run(job);
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+void parallel_invoke(std::int64_t n,
+                     const std::function<void(std::int64_t)>& fn) {
+  parallel_for(0, n, 1, [&fn](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+}  // namespace hg::core

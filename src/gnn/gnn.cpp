@@ -1,7 +1,10 @@
 #include "gnn/gnn.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+
+#include "core/parallel.hpp"
 
 namespace hg::gnn {
 
@@ -84,10 +87,291 @@ Tensor build_messages(const Tensor& x, const graph::EdgeList& g,
   throw std::invalid_argument("build_messages: unknown message type");
 }
 
-Tensor aggregate(const Tensor& x, const graph::EdgeList& g, MessageType mt,
-                 Reduce reduce) {
+Tensor aggregate_materialized(const Tensor& x, const graph::EdgeList& g,
+                              MessageType mt, Reduce reduce) {
   Tensor msgs = build_messages(x, g, mt);
   return scatter_reduce(msgs, g.dst, g.num_nodes, reduce);
+}
+
+namespace {
+
+/// Scratch-free per-edge message evaluation for the fused kernel. Writes
+/// message_dim(mt, C) floats into `buf` with exactly the float operations
+/// (and their order) of build_messages, so values match it bit-for-bit.
+/// For Distance/Full the row norm is also returned (the backward pass needs
+/// it, as sqrt's derivative is expressed from the output).
+float fused_edge_message(const float* xd, std::int64_t s, std::int64_t d,
+                         std::int64_t c, MessageType mt, float* buf) {
+  const float* xs = xd + s * c;
+  const float* xt = xd + d * c;
+  auto rel_norm = [&]() {
+    float acc = 0.f;
+    for (std::int64_t j = 0; j < c; ++j) {
+      const float dv = xs[j] - xt[j];
+      acc += dv * dv;
+    }
+    return std::sqrt(acc + 1e-12f);
+  };
+  switch (mt) {
+    case MessageType::SourcePos:
+      std::copy(xs, xs + c, buf);
+      return 0.f;
+    case MessageType::TargetPos:
+      std::copy(xt, xt + c, buf);
+      return 0.f;
+    case MessageType::RelPos:
+      for (std::int64_t j = 0; j < c; ++j) buf[j] = xs[j] - xt[j];
+      return 0.f;
+    case MessageType::Distance: {
+      const float nv = rel_norm();
+      buf[0] = nv;
+      return nv;
+    }
+    case MessageType::SourceRel:
+      for (std::int64_t j = 0; j < c; ++j) {
+        buf[j] = xs[j];
+        buf[c + j] = xs[j] - xt[j];
+      }
+      return 0.f;
+    case MessageType::TargetRel:
+      for (std::int64_t j = 0; j < c; ++j) {
+        buf[j] = xt[j];
+        buf[c + j] = xs[j] - xt[j];
+      }
+      return 0.f;
+    case MessageType::Full: {
+      for (std::int64_t j = 0; j < c; ++j) {
+        buf[j] = xt[j];
+        buf[c + j] = xs[j];
+        buf[2 * c + j] = xs[j] - xt[j];
+      }
+      const float nv = rel_norm();
+      buf[3 * c] = nv;
+      return nv;
+    }
+  }
+  throw std::invalid_argument("aggregate_fused: unknown message type");
+}
+
+/// Per-node chunk grain for loops whose cost is edges * channels.
+std::int64_t fused_node_grain(std::int64_t num_nodes, std::int64_t num_edges,
+                              std::int64_t channels) {
+  const std::int64_t per_node =
+      (num_edges / std::max<std::int64_t>(1, num_nodes) + 1) * channels;
+  return std::max<std::int64_t>(
+      1, (1 << 18) / std::max<std::int64_t>(1, per_node));
+}
+
+}  // namespace
+
+Tensor aggregate_fused(const Tensor& x, const graph::EdgeList& g,
+                       MessageType mt, Reduce reduce) {
+  if (x.dim() != 2)
+    throw std::invalid_argument("aggregate_fused: x must be [N, C]");
+  if (x.shape()[0] != g.num_nodes)
+    throw std::invalid_argument(
+        "aggregate_fused: node count mismatch between features (" +
+        std::to_string(x.shape()[0]) + ") and graph (" +
+        std::to_string(g.num_nodes) + ")");
+  if (g.num_nodes <= 0)
+    throw std::invalid_argument("aggregate_fused: num_nodes must be positive");
+
+  const std::int64_t n = g.num_nodes;
+  const std::int64_t e = g.num_edges();
+  const std::int64_t c = x.shape()[1];
+  const std::int64_t m = message_dim(mt, c);
+  const float* xd = x.data().data();
+  const std::int64_t* src = g.src.data();
+
+  detail::IndexCsr by_dst = detail::group_by_index(g.dst, n, "aggregate_fused");
+  // The backward capture (feature/edge copies, norms, degrees) is built
+  // only when a tape edge will actually be recorded — the inference-heavy
+  // search path runs under NoGradGuard and skips all of it.
+  const bool needs_grad = detail::grad_enabled() && x.requires_grad();
+  const bool needs_norm =
+      needs_grad &&
+      (mt == MessageType::Distance || mt == MessageType::Full);
+  std::vector<float> norm(needs_norm ? static_cast<std::size_t>(e) : 0);
+
+  std::vector<float> out(static_cast<std::size_t>(n * m), 0.f);
+  std::vector<std::int64_t> arg;  // Max/Min winners, [n * m]
+  const bool extremal = reduce == Reduce::Max || reduce == Reduce::Min;
+  if (extremal) arg.assign(static_cast<std::size_t>(n * m), -1);
+  const bool is_max = reduce == Reduce::Max;
+  const std::int64_t grain = fused_node_grain(n, e, m);
+
+  core::parallel_for(0, n, grain, [&](std::int64_t lo, std::int64_t hi) {
+    std::vector<float> buf(static_cast<std::size_t>(m));
+    for (std::int64_t v = lo; v < hi; ++v) {
+      float* orow = out.data() + v * m;
+      const std::int64_t b = by_dst.row_ptr[static_cast<std::size_t>(v)];
+      const std::int64_t t = by_dst.row_ptr[static_cast<std::size_t>(v) + 1];
+      for (std::int64_t s = b; s < t; ++s) {
+        const std::int64_t ei = by_dst.items[static_cast<std::size_t>(s)];
+        const float nv =
+            fused_edge_message(xd, src[ei], v, c, mt, buf.data());
+        if (needs_norm) norm[static_cast<std::size_t>(ei)] = nv;
+        if (extremal) {
+          for (std::int64_t j = 0; j < m; ++j) {
+            auto& a = arg[static_cast<std::size_t>(v * m + j)];
+            float& o = orow[j];
+            const float mv = buf[static_cast<std::size_t>(j)];
+            if (a < 0 || (is_max ? (mv > o) : (mv < o))) {
+              o = mv;
+              a = ei;
+            }
+          }
+        } else {
+          for (std::int64_t j = 0; j < m; ++j)
+            orow[j] += buf[static_cast<std::size_t>(j)];
+        }
+      }
+      if (reduce == Reduce::Mean && t > b) {
+        const float d = static_cast<float>(t - b);
+        for (std::int64_t j = 0; j < m; ++j) orow[j] /= d;
+      }
+    }
+  });
+
+  if (!needs_grad)
+    return detail::make_custom_op({n, m}, std::move(out), {x}, nullptr);
+
+  // Everything the backward pass needs, by value (the graph and x may die
+  // before backward() runs).
+  std::vector<float> x_copy(x.data().begin(), x.data().end());
+  std::vector<std::int64_t> src_copy(g.src.begin(), g.src.end());
+  std::vector<std::int64_t> dst_copy(g.dst.begin(), g.dst.end());
+  std::vector<std::int64_t> degree(static_cast<std::size_t>(n));
+  for (std::int64_t v = 0; v < n; ++v)
+    degree[static_cast<std::size_t>(v)] =
+        by_dst.row_ptr[static_cast<std::size_t>(v) + 1] -
+        by_dst.row_ptr[static_cast<std::size_t>(v)];
+
+  auto backward = [n, e, c, m, mt, reduce, x_copy = std::move(x_copy),
+                   src_copy = std::move(src_copy),
+                   dst_copy = std::move(dst_copy), norm = std::move(norm),
+                   arg = std::move(arg), degree = std::move(degree),
+                   by_dst = std::move(by_dst)](detail::TensorImpl& self) {
+    detail::TensorImpl& p = *self.parents[0];
+    if (!p.requires_grad) return;
+    const float* gout = self.grad.data();
+    const float* xd = x_copy.data();
+
+    // Message-tensor gradient, evaluated lazily per (edge, channel): what
+    // scatter_reduce's backward would have written into the materialised
+    // [e, m] buffer.
+    auto gm = [&](std::int64_t ei, std::int64_t mj) -> float {
+      const std::int64_t v = dst_copy[static_cast<std::size_t>(ei)];
+      const float gv = gout[static_cast<std::size_t>(v * m + mj)];
+      switch (reduce) {
+        case Reduce::Sum: return gv;
+        case Reduce::Mean:
+          return gv * (1.f / static_cast<float>(
+                                 degree[static_cast<std::size_t>(v)]));
+        case Reduce::Max:
+        case Reduce::Min:
+          return arg[static_cast<std::size_t>(v * m + mj)] == ei ? gv : 0.f;
+      }
+      return 0.f;
+    };
+    // d message / d rel, chained through the norm for Distance/Full. The
+    // expression shape ((g * (0.5/norm)) * (2 * rel)) reproduces the
+    // sqrt -> sum -> square reference backward exactly.
+    auto rel_grad = [&](std::int64_t ei, std::int64_t j) -> float {
+      const float rel =
+          xd[src_copy[static_cast<std::size_t>(ei)] * c + j] -
+          xd[dst_copy[static_cast<std::size_t>(ei)] * c + j];
+      if (mt == MessageType::Distance)
+        return (gm(ei, 0) * (0.5f / norm[static_cast<std::size_t>(ei)])) *
+               (2.f * rel);
+      // Full: direct rel channels plus the distance channel.
+      return gm(ei, 2 * c + j) +
+             (gm(ei, 3 * c) * (0.5f / norm[static_cast<std::size_t>(ei)])) *
+                 (2.f * rel);
+    };
+    // Per-edge gradient w.r.t. the source / destination feature row. The
+    // combinations mirror how the reference tape sums each gather's
+    // contributions before scattering them back into x.
+    auto src_grad = [&](std::int64_t ei, std::int64_t j) -> float {
+      switch (mt) {
+        case MessageType::SourcePos: return gm(ei, j);
+        case MessageType::TargetPos: return 0.f;
+        case MessageType::RelPos: return gm(ei, j);
+        case MessageType::Distance: return rel_grad(ei, j);
+        case MessageType::SourceRel: return gm(ei, j) + gm(ei, c + j);
+        case MessageType::TargetRel: return gm(ei, c + j);
+        case MessageType::Full: return gm(ei, c + j) + rel_grad(ei, j);
+      }
+      return 0.f;
+    };
+    auto dst_grad = [&](std::int64_t ei, std::int64_t j) -> float {
+      switch (mt) {
+        case MessageType::SourcePos: return 0.f;
+        case MessageType::TargetPos: return gm(ei, j);
+        case MessageType::RelPos: return -gm(ei, j);
+        case MessageType::Distance: return -rel_grad(ei, j);
+        case MessageType::SourceRel: return -gm(ei, c + j);
+        case MessageType::TargetRel: return gm(ei, j) - gm(ei, c + j);
+        case MessageType::Full: return gm(ei, j) - rel_grad(ei, j);
+      }
+      return 0.f;
+    };
+
+    const std::int64_t grain = fused_node_grain(n, e, c);
+    auto gather_into = [&](const detail::IndexCsr& csr, auto&& edge_grad) {
+      std::vector<float> buf(static_cast<std::size_t>(n * c), 0.f);
+      core::parallel_for(0, n, grain, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t v = lo; v < hi; ++v) {
+          float* row = buf.data() + v * c;
+          const std::int64_t b = csr.row_ptr[static_cast<std::size_t>(v)];
+          const std::int64_t t = csr.row_ptr[static_cast<std::size_t>(v) + 1];
+          for (std::int64_t s = b; s < t; ++s) {
+            const std::int64_t ei = csr.items[static_cast<std::size_t>(s)];
+            for (std::int64_t j = 0; j < c; ++j) row[j] += edge_grad(ei, j);
+          }
+        }
+      });
+      return buf;
+    };
+
+    const bool has_src = mt != MessageType::TargetPos;
+    const bool has_dst = mt != MessageType::SourcePos;
+    std::vector<float> sbuf, dbuf;
+    if (has_src) {
+      const detail::IndexCsr by_src =
+          detail::group_by_index(src_copy, n, "aggregate_fused");
+      sbuf = gather_into(by_src, src_grad);
+    }
+    // The destination grouping is reused from the forward pass (captured
+    // above) — dst_copy would sort to the identical CSR.
+    if (has_dst) dbuf = gather_into(by_dst, dst_grad);
+    // Accumulation order mirrors the reference tape's reverse-topological
+    // execution: for messages listing the target part first in the concat
+    // (TargetRel, Full) the source gather's backward runs first; otherwise
+    // the destination gather's does.
+    const bool src_first =
+        mt == MessageType::TargetRel || mt == MessageType::Full;
+    if (src_first) {
+      if (has_src) p.accumulate_grad(sbuf);
+      if (has_dst) p.accumulate_grad(dbuf);
+    } else {
+      if (has_dst) p.accumulate_grad(dbuf);
+      if (has_src) p.accumulate_grad(sbuf);
+    }
+  };
+
+  return detail::make_custom_op({n, m}, std::move(out), {x},
+                                std::move(backward));
+}
+
+Tensor aggregate(const Tensor& x, const graph::EdgeList& g, MessageType mt,
+                 Reduce reduce) {
+  // One thread: preserve the historical composite path bit-for-bit
+  // (including its tape structure). Pool active: the fused kernel computes
+  // the same bits without the [E, message_dim] materialisation.
+  if (core::num_threads() == 1)
+    return aggregate_materialized(x, g, mt, reduce);
+  return aggregate_fused(x, g, mt, reduce);
 }
 
 Tensor global_max_pool(const Tensor& x) {

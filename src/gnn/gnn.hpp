@@ -43,9 +43,27 @@ Tensor build_messages(const Tensor& x, const graph::EdgeList& g,
                       MessageType mt);
 
 /// Aggregate = build_messages + scatter_reduce onto destination nodes.
-/// Returns [num_nodes x message_dim].
+/// Returns [num_nodes x message_dim]. Dispatches to the fused kernel when
+/// the thread pool is active, the materialising reference otherwise.
 Tensor aggregate(const Tensor& x, const graph::EdgeList& g, MessageType mt,
                  Reduce reduce);
+
+/// Reference Aggregate: materialise the full [num_edges x message_dim]
+/// message tensor, then scatter-reduce it (the historical composite-op
+/// implementation; every intermediate lives on the autograd tape).
+Tensor aggregate_materialized(const Tensor& x, const graph::EdgeList& g,
+                              MessageType mt, Reduce reduce);
+
+/// Fused Aggregate fast path: builds each edge's message on the fly and
+/// reduces it straight into its destination node, so neither the forward
+/// nor the backward pass ever materialises an [num_edges x message_dim]
+/// tensor. Edges are grouped per node and visited in ascending edge order,
+/// and the backward accumulation mirrors the reference tape order, making
+/// the results (values and gradients) bit-for-bit identical to
+/// aggregate_materialized for every MessageType / Reduce combination and
+/// any thread count.
+Tensor aggregate_fused(const Tensor& x, const graph::EdgeList& g,
+                       MessageType mt, Reduce reduce);
 
 /// Global max pool over nodes: [N, C] -> [1, C]. The standard point-cloud
 /// readout (DGCNN uses max).

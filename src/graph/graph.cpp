@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "core/parallel.hpp"
+
 namespace hg::graph {
 
 namespace {
@@ -58,22 +60,32 @@ EdgeList knn_graph_brute(std::span<const float> points, std::int64_t n,
   out.num_nodes = n;
   if (n <= 1) return out;
   const std::int64_t kk = std::min<std::int64_t>(k, n - 1);
-  out.src.reserve(static_cast<std::size_t>(n * kk));
-  out.dst.reserve(static_cast<std::size_t>(n * kk));
+  // Every node emits exactly kk edges, so each one owns a fixed slot range
+  // of the preallocated edge arrays and the queries parallelise without any
+  // ordering change.
+  out.src.resize(static_cast<std::size_t>(n * kk));
+  out.dst.resize(static_cast<std::size_t>(n * kk));
 
-  std::vector<std::pair<float, std::int64_t>> cand(
-      static_cast<std::size_t>(n - 1));
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float* pi = points.data() + i * 3;
-    std::size_t c = 0;
-    for (std::int64_t j = 0; j < n; ++j) {
-      if (j == i) continue;
-      cand[c++] = {sq_dist3(pi, points.data() + j * 3), j};
-    }
-    std::partial_sort(cand.begin(), cand.begin() + kk, cand.end());
-    for (std::int64_t m = 0; m < kk; ++m)
-      out.add_edge(cand[static_cast<std::size_t>(m)].second, i);
-  }
+  core::parallel_for(
+      0, n, std::max<std::int64_t>(1, (1 << 18) / n),
+      [&](std::int64_t lo, std::int64_t hi) {
+        std::vector<std::pair<float, std::int64_t>> cand(
+            static_cast<std::size_t>(n - 1));
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const float* pi = points.data() + i * 3;
+          std::size_t c = 0;
+          for (std::int64_t j = 0; j < n; ++j) {
+            if (j == i) continue;
+            cand[c++] = {sq_dist3(pi, points.data() + j * 3), j};
+          }
+          std::partial_sort(cand.begin(), cand.begin() + kk, cand.end());
+          for (std::int64_t m = 0; m < kk; ++m) {
+            out.src[static_cast<std::size_t>(i * kk + m)] =
+                cand[static_cast<std::size_t>(m)].second;
+            out.dst[static_cast<std::size_t>(i * kk + m)] = i;
+          }
+        }
+      });
   return out;
 }
 
@@ -123,52 +135,69 @@ EdgeList knn_graph_grid(std::span<const float> points, std::int64_t n,
   for (std::int64_t i = 0; i < n; ++i)
     bins[flat(cell_of(i, 0), cell_of(i, 1), cell_of(i, 2))].push_back(i);
 
+  // Per-node slot buffers: queries run in parallel (the bins are read-only
+  // once built), then a serial compaction re-emits the edges in exactly the
+  // node-major order the sequential loop produced.
+  std::vector<std::int64_t> slot_src(static_cast<std::size_t>(n * kk));
+  std::vector<std::int64_t> taken(static_cast<std::size_t>(n), 0);
+
+  core::parallel_for(
+      0, n, std::max<std::int64_t>(1, 8192 / (kk + 1)),
+      [&](std::int64_t lo, std::int64_t hi) {
+        std::vector<std::pair<float, std::int64_t>> cand;
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const float* pi = points.data() + i * 3;
+          const std::int64_t cx = cell_of(i, 0), cy = cell_of(i, 1),
+                             cz = cell_of(i, 2);
+          cand.clear();
+          // Expand rings of cells until the kth-best distance is provably
+          // exact: all unexplored cells lie at distance > ring_inner_dist
+          // >= kth-best.
+          const std::int64_t max_ring = std::max({gx, gy, gz});
+          for (std::int64_t ring = 0; ring <= max_ring; ++ring) {
+            const bool had_enough =
+                static_cast<std::int64_t>(cand.size()) >= kk;
+            float kth = std::numeric_limits<float>::infinity();
+            if (had_enough) {
+              std::nth_element(
+                  cand.begin(), cand.begin() + kk - 1, cand.end());
+              kth = cand[static_cast<std::size_t>(kk - 1)].first;
+              const float ring_inner = (static_cast<float>(ring) - 1.f) * cell;
+              if (ring_inner > 0.f && ring_inner * ring_inner > kth) break;
+            }
+            for (std::int64_t dx = -ring; dx <= ring; ++dx)
+              for (std::int64_t dy = -ring; dy <= ring; ++dy)
+                for (std::int64_t dz = -ring; dz <= ring; ++dz) {
+                  if (std::max({std::abs(dx), std::abs(dy), std::abs(dz)}) !=
+                      ring)
+                    continue;  // only the shell of this ring
+                  const std::int64_t nx = cx + dx, ny = cy + dy, nz = cz + dz;
+                  if (nx < 0 || nx >= gx || ny < 0 || ny >= gy || nz < 0 ||
+                      nz >= gz)
+                    continue;
+                  auto it = bins.find(flat(nx, ny, nz));
+                  if (it == bins.end()) continue;
+                  for (auto j : it->second) {
+                    if (j == i) continue;
+                    cand.emplace_back(sq_dist3(pi, points.data() + j * 3), j);
+                  }
+                }
+          }
+          const std::int64_t take = std::min<std::int64_t>(
+              kk, static_cast<std::int64_t>(cand.size()));
+          std::partial_sort(cand.begin(), cand.begin() + take, cand.end());
+          for (std::int64_t m = 0; m < take; ++m)
+            slot_src[static_cast<std::size_t>(i * kk + m)] =
+                cand[static_cast<std::size_t>(m)].second;
+          taken[static_cast<std::size_t>(i)] = take;
+        }
+      });
+
   out.src.reserve(static_cast<std::size_t>(n * kk));
   out.dst.reserve(static_cast<std::size_t>(n * kk));
-
-  std::vector<std::pair<float, std::int64_t>> cand;
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float* pi = points.data() + i * 3;
-    const std::int64_t cx = cell_of(i, 0), cy = cell_of(i, 1),
-                       cz = cell_of(i, 2);
-    cand.clear();
-    // Expand rings of cells until the kth-best distance is provably exact:
-    // all unexplored cells lie at distance > ring_inner_dist >= kth-best.
-    const std::int64_t max_ring = std::max({gx, gy, gz});
-    for (std::int64_t ring = 0; ring <= max_ring; ++ring) {
-      const bool had_enough =
-          static_cast<std::int64_t>(cand.size()) >= kk;
-      float kth = std::numeric_limits<float>::infinity();
-      if (had_enough) {
-        std::nth_element(
-            cand.begin(), cand.begin() + kk - 1, cand.end());
-        kth = cand[static_cast<std::size_t>(kk - 1)].first;
-        const float ring_inner = (static_cast<float>(ring) - 1.f) * cell;
-        if (ring_inner > 0.f && ring_inner * ring_inner > kth) break;
-      }
-      for (std::int64_t dx = -ring; dx <= ring; ++dx)
-        for (std::int64_t dy = -ring; dy <= ring; ++dy)
-          for (std::int64_t dz = -ring; dz <= ring; ++dz) {
-            if (std::max({std::abs(dx), std::abs(dy), std::abs(dz)}) != ring)
-              continue;  // only the shell of this ring
-            const std::int64_t nx = cx + dx, ny = cy + dy, nz = cz + dz;
-            if (nx < 0 || nx >= gx || ny < 0 || ny >= gy || nz < 0 ||
-                nz >= gz)
-              continue;
-            auto it = bins.find(flat(nx, ny, nz));
-            if (it == bins.end()) continue;
-            for (auto j : it->second) {
-              if (j == i) continue;
-              cand.emplace_back(sq_dist3(pi, points.data() + j * 3), j);
-            }
-          }
-    }
-    const std::int64_t take =
-        std::min<std::int64_t>(kk, static_cast<std::int64_t>(cand.size()));
-    std::partial_sort(cand.begin(), cand.begin() + take, cand.end());
-    for (std::int64_t m = 0; m < take; ++m)
-      out.add_edge(cand[static_cast<std::size_t>(m)].second, i);
-  }
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t m = 0; m < taken[static_cast<std::size_t>(i)]; ++m)
+      out.add_edge(slot_src[static_cast<std::size_t>(i * kk + m)], i);
   return out;
 }
 
@@ -215,27 +244,34 @@ EdgeList knn_graph_features(std::span<const float> features, std::int64_t n,
   out.num_nodes = n;
   if (n <= 1) return out;
   const std::int64_t kk = std::min<std::int64_t>(k, n - 1);
-  out.src.reserve(static_cast<std::size_t>(n * kk));
-  out.dst.reserve(static_cast<std::size_t>(n * kk));
-  std::vector<std::pair<float, std::int64_t>> cand(
-      static_cast<std::size_t>(n - 1));
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float* fi = features.data() + i * dim;
-    std::size_t c = 0;
-    for (std::int64_t j = 0; j < n; ++j) {
-      if (j == i) continue;
-      const float* fj = features.data() + j * dim;
-      float d2 = 0.f;
-      for (std::int64_t d = 0; d < dim; ++d) {
-        const float diff = fi[d] - fj[d];
-        d2 += diff * diff;
-      }
-      cand[c++] = {d2, j};
-    }
-    std::partial_sort(cand.begin(), cand.begin() + kk, cand.end());
-    for (std::int64_t m = 0; m < kk; ++m)
-      out.add_edge(cand[static_cast<std::size_t>(m)].second, i);
-  }
+  out.src.resize(static_cast<std::size_t>(n * kk));
+  out.dst.resize(static_cast<std::size_t>(n * kk));
+  core::parallel_for(
+      0, n, std::max<std::int64_t>(1, (1 << 18) / (n * dim)),
+      [&](std::int64_t lo, std::int64_t hi) {
+        std::vector<std::pair<float, std::int64_t>> cand(
+            static_cast<std::size_t>(n - 1));
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const float* fi = features.data() + i * dim;
+          std::size_t c = 0;
+          for (std::int64_t j = 0; j < n; ++j) {
+            if (j == i) continue;
+            const float* fj = features.data() + j * dim;
+            float d2 = 0.f;
+            for (std::int64_t d = 0; d < dim; ++d) {
+              const float diff = fi[d] - fj[d];
+              d2 += diff * diff;
+            }
+            cand[c++] = {d2, j};
+          }
+          std::partial_sort(cand.begin(), cand.begin() + kk, cand.end());
+          for (std::int64_t m = 0; m < kk; ++m) {
+            out.src[static_cast<std::size_t>(i * kk + m)] =
+                cand[static_cast<std::size_t>(m)].second;
+            out.dst[static_cast<std::size_t>(i * kk + m)] = i;
+          }
+        }
+      });
   return out;
 }
 

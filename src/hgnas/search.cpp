@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
-#include <unordered_map>
 #include <unordered_set>
+#include <utility>
+
+#include "core/parallel.hpp"
+#include "hgnas/serialize_arch.hpp"
 
 namespace hg::hgnas {
 
@@ -13,6 +16,26 @@ namespace {
 void check(bool cond, const std::string& msg) {
   if (!cond) throw std::invalid_argument("HgnasSearch: " + msg);
 }
+
+/// Candidate evaluation fans out across the pool when it is active. The
+/// serial path (1 thread) reproduces the historical sequential pipeline —
+/// shared RNG stream and all — bit for bit.
+bool batch_eval_enabled() { return core::num_threads() > 1; }
+
+/// Holds the supernet in inference mode for the duration of a concurrent
+/// evaluation batch, restoring training mode even when a probe throws.
+class EvalModeGuard {
+ public:
+  explicit EvalModeGuard(SuperNet& net) : net_(net) {
+    net_.set_training(false);
+  }
+  ~EvalModeGuard() { net_.set_training(true); }
+  EvalModeGuard(const EvalModeGuard&) = delete;
+  EvalModeGuard& operator=(const EvalModeGuard&) = delete;
+
+ private:
+  SuperNet& net_;
+};
 
 }  // namespace
 
@@ -89,23 +112,135 @@ double HgnasSearch::supernet_accuracy(const Arch& arch, Rng& rng) {
   return supernet_.evaluate(arch, data_.test(), probes, rng);
 }
 
-HgnasSearch::Scored HgnasSearch::score_candidate(const Arch& arch, Rng& rng) {
-  Scored s;
+bool HgnasSearch::gate_candidate(const Arch& arch, Scored& s) {
   s.arch = arch;
   ++latency_queries_;
   const LatencyEval lat = latency_(arch);
   advance_clock(lat.cost_s);
   s.latency_ms = lat.oom ? std::numeric_limits<double>::infinity()
                          : lat.latency_ms;
+  s.raw_latency_ms = lat.latency_ms;
   if (!feasible(lat, arch_param_mb(arch, cfg_.workload))) {
     s.fitness = 0.0;  // Eq. (3): accuracy never probed when infeasible
     s.is_feasible = false;
-    return s;
+    return false;
   }
+  return true;
+}
+
+HgnasSearch::Scored HgnasSearch::score_candidate(const Arch& arch, Rng& rng) {
+  Scored s;
+  if (!gate_candidate(arch, s)) return s;
   s.acc = supernet_accuracy(arch, rng);
   s.fitness = objective(s.acc, s.latency_ms, false);
   s.is_feasible = true;
   return s;
+}
+
+HgnasSearch::Scored HgnasSearch::score_cached(const Arch& arch,
+                                              const std::string& key,
+                                              Rng& rng) {
+  if (cfg_.use_eval_cache) {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    const auto it = eval_cache_.find(key);
+    if (it != eval_cache_.end()) {
+      ++cache_hits_;
+      return it->second;
+    }
+  }
+  ++cache_misses_;
+  Scored s = score_candidate(arch, rng);
+  if (cfg_.use_eval_cache) {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    eval_cache_.emplace(key, s);
+  }
+  return s;
+}
+
+std::vector<HgnasSearch::Scored> HgnasSearch::score_batch(
+    const std::vector<PendingEval>& batch, std::uint64_t acc_seed) {
+  const std::int64_t nb = static_cast<std::int64_t>(batch.size());
+  std::vector<Scored> out(static_cast<std::size_t>(nb));
+  std::vector<char> fresh(static_cast<std::size_t>(nb), 0);
+  std::vector<char> need_acc(static_cast<std::size_t>(nb), 0);
+  // Within-batch revisits (the random strategy does not dedup its draws)
+  // alias the first occurrence instead of re-evaluating.
+  std::vector<std::int64_t> dup_of(static_cast<std::size_t>(nb), -1);
+  std::unordered_map<std::string, std::int64_t> first_index;
+  const std::int64_t probes =
+      std::min<std::int64_t>(cfg_.eval_val_samples,
+                             static_cast<std::int64_t>(data_.test().size()));
+
+  // Phase 1, serial in batch order: cache lookups, latency gate, clock and
+  // counter bookkeeping (deterministic regardless of the pool).
+  for (std::int64_t i = 0; i < nb; ++i) {
+    const PendingEval& pe = batch[static_cast<std::size_t>(i)];
+    Scored& s = out[static_cast<std::size_t>(i)];
+    if (cfg_.use_eval_cache) {
+      {
+        std::lock_guard<std::mutex> lock(cache_mutex_);
+        const auto it = eval_cache_.find(pe.key);
+        if (it != eval_cache_.end()) {
+          ++cache_hits_;
+          s = it->second;
+          continue;
+        }
+      }
+      const auto [fit, inserted] = first_index.emplace(pe.key, i);
+      if (!inserted) {
+        ++cache_hits_;
+        dup_of[static_cast<std::size_t>(i)] = fit->second;
+        continue;
+      }
+    }
+    ++cache_misses_;
+    fresh[static_cast<std::size_t>(i)] = 1;
+    if (!gate_candidate(pe.arch, s)) continue;
+    need_acc[static_cast<std::size_t>(i)] = 1;
+    ++accuracy_probes_;
+    advance_clock(static_cast<double>(probes) * cfg_.sim_eval_s_per_sample);
+  }
+
+  // Phase 2: the expensive supernet accuracy probes, concurrently. Each
+  // candidate owns an RNG derived from its genome, so the outcome does not
+  // depend on which worker runs it or on the thread count.
+  {
+    EvalModeGuard eval_mode(supernet_);
+    core::parallel_invoke(nb, [&](std::int64_t i) {
+      if (!need_acc[static_cast<std::size_t>(i)]) return;
+      Scored& s = out[static_cast<std::size_t>(i)];
+      Rng probe_rng(acc_seed ^ batch[static_cast<std::size_t>(i)].hash);
+      s.acc = supernet_.evaluate_concurrent(s.arch, data_.test(), probes,
+                                            probe_rng);
+      s.fitness = objective(s.acc, s.latency_ms, false);
+      s.is_feasible = true;
+    });
+  }
+
+  for (std::int64_t i = 0; i < nb; ++i)
+    if (dup_of[static_cast<std::size_t>(i)] >= 0)
+      out[static_cast<std::size_t>(i)] = out[static_cast<std::size_t>(
+          dup_of[static_cast<std::size_t>(i)])];
+
+  if (cfg_.use_eval_cache) {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    for (std::int64_t i = 0; i < nb; ++i)
+      if (fresh[static_cast<std::size_t>(i)])
+        eval_cache_.emplace(batch[static_cast<std::size_t>(i)].key,
+                            out[static_cast<std::size_t>(i)]);
+  }
+  return out;
+}
+
+void HgnasSearch::reset_run_state() {
+  sim_time_s_ = 0.0;
+  latency_queries_ = 0;
+  accuracy_probes_ = 0;
+  cache_hits_ = 0;
+  cache_misses_ = 0;
+  // Cached scores depend on the supernet weights; every run_* entry point
+  // may retrain, so a run always starts cold.
+  eval_cache_.clear();
 }
 
 SearchResult HgnasSearch::evolve_operations(const FunctionSet& upper,
@@ -121,25 +256,45 @@ SearchResult HgnasSearch::evolve_operations(const FunctionSet& upper,
                                                    r);
   };
 
+  const bool batch_eval = batch_eval_enabled();
+  // Drawn up-front (batch path only) so cache hits cannot shift the main
+  // stream: every candidate's probe RNG derives from this one seed and its
+  // own genome.
+  const std::uint64_t acc_seed = batch_eval ? rng.next() : 0;
+
   std::vector<Scored> population;
   std::unordered_set<std::uint64_t> seen;
-  std::unordered_map<std::uint64_t, Scored> cache;
+  std::vector<PendingEval> pending;
 
   auto admit = [&](const Arch& a) -> bool {
     // Dedup on the canonical form: genomes differing only in unused
     // function attributes execute identically and must not both consume
     // evaluation budget.
-    const auto h = canonicalize(a).hash();
+    const Arch canon = canonicalize(a);
+    const auto h = canon.hash();
     if (!seen.insert(h).second) return false;
-    auto it = cache.find(h);
-    Scored s = (it != cache.end()) ? it->second : score_candidate(a, rng);
-    cache.emplace(h, s);
-    population.push_back(std::move(s));
+    std::string key = arch_to_text(canon);
+    if (batch_eval) {
+      pending.push_back(PendingEval{a, std::move(key), h});
+    } else {
+      population.push_back(score_cached(a, key, rng));
+    }
     return true;
   };
+  auto admitted = [&] {
+    return static_cast<std::int64_t>(population.size() + pending.size());
+  };
+  // Score the generation's admissions concurrently and append in admit
+  // order (no-op on the serial path, which scored inside admit).
+  auto flush = [&] {
+    if (pending.empty()) return;
+    std::vector<Scored> scored = score_batch(pending, acc_seed);
+    for (Scored& s : scored) population.push_back(std::move(s));
+    pending.clear();
+  };
 
-  while (static_cast<std::int64_t>(population.size()) < cfg_.population)
-    admit(sample_candidate(rng));
+  while (admitted() < cfg_.population) admit(sample_candidate(rng));
+  flush();
 
   // Ranking: any feasible candidate beats any infeasible one (Eq. (3)
   // scores feasible candidates, which can legitimately go negative when
@@ -189,6 +344,7 @@ SearchResult HgnasSearch::evolve_operations(const FunctionSet& upper,
     while (produced < offspring_target) {
       if (admit(sample_candidate(rng))) ++produced;
     }
+    flush();
   }
 
   std::sort(population.begin(), population.end(), by_fitness);
@@ -201,13 +357,13 @@ SearchResult HgnasSearch::evolve_operations(const FunctionSet& upper,
   result.total_sim_time_s = sim_time_s_;
   result.latency_queries = latency_queries_;
   result.accuracy_probes = accuracy_probes_;
+  result.eval_cache_hits = cache_hits_;
+  result.eval_cache_misses = cache_misses_;
   return result;
 }
 
 SearchResult HgnasSearch::run_multistage(Rng& rng) {
-  sim_time_s_ = 0.0;
-  latency_queries_ = 0;
-  accuracy_probes_ = 0;
+  reset_run_state();
 
   // ---- Stage 0: supernet warmup over the full space -----------------------
   if (cfg_.train_supernet) {
@@ -226,6 +382,7 @@ SearchResult HgnasSearch::run_multistage(Rng& rng) {
     FunctionSet upper, lower;
     double fitness = 0.0;
   };
+  const bool batch_eval = batch_eval_enabled();
   auto eval_pair = [&](const FunctionSet& up, const FunctionSet& lo) {
     double acc = 0.0;
     for (std::int64_t i = 0; i < cfg_.function_paths_per_eval; ++i) {
@@ -235,13 +392,58 @@ SearchResult HgnasSearch::run_multistage(Rng& rng) {
     }
     return acc / static_cast<double>(cfg_.function_paths_per_eval);
   };
+  // Batch path: score fn_pop[first..] in one fork-join — probe paths and
+  // their seeds are drawn serially from the main stream, then every probe's
+  // supernet pass runs concurrently.
+  struct FnProbe {
+    Arch arch;
+    std::uint64_t seed = 0;
+    double acc = 0.0;
+  };
+  auto eval_group = [&](std::vector<ScoredFn>& group, std::size_t first) {
+    const std::int64_t paths = cfg_.function_paths_per_eval;
+    const std::int64_t probe_samples = std::min<std::int64_t>(
+        cfg_.eval_val_samples,
+        static_cast<std::int64_t>(data_.test().size()));
+    std::vector<FnProbe> probes;
+    probes.reserve((group.size() - first) * static_cast<std::size_t>(paths));
+    for (std::size_t i = first; i < group.size(); ++i) {
+      for (std::int64_t p = 0; p < paths; ++p) {
+        probes.push_back({random_arch_with_functions(
+                              cfg_.space, group[i].upper, group[i].lower, rng),
+                          rng.next(), 0.0});
+        ++accuracy_probes_;
+        advance_clock(static_cast<double>(probe_samples) *
+                      cfg_.sim_eval_s_per_sample);
+      }
+    }
+    {
+      EvalModeGuard eval_mode(supernet_);
+      core::parallel_invoke(
+          static_cast<std::int64_t>(probes.size()), [&](std::int64_t i) {
+            FnProbe& pr = probes[static_cast<std::size_t>(i)];
+            Rng probe_rng(pr.seed);
+            pr.acc = supernet_.evaluate_concurrent(pr.arch, data_.test(),
+                                                   probe_samples, probe_rng);
+          });
+    }
+    for (std::size_t i = first; i < group.size(); ++i) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < paths; ++p)
+        acc += probes[(i - first) * static_cast<std::size_t>(paths) +
+                      static_cast<std::size_t>(p)]
+                   .acc;
+      group[i].fitness = acc / static_cast<double>(paths);
+    }
+  };
 
   std::vector<ScoredFn> fn_pop;
   for (std::int64_t i = 0; i < cfg_.population; ++i) {
     ScoredFn s{random_functions(rng), random_functions(rng), 0.0};
-    s.fitness = eval_pair(s.upper, s.lower);
+    if (!batch_eval) s.fitness = eval_pair(s.upper, s.lower);
     fn_pop.push_back(std::move(s));
   }
+  if (batch_eval) eval_group(fn_pop, 0);
   auto by_fit = [](const ScoredFn& a, const ScoredFn& b) {
     return a.fitness > b.fitness;
   };
@@ -250,6 +452,7 @@ SearchResult HgnasSearch::run_multistage(Rng& rng) {
     fn_pop.resize(static_cast<std::size_t>(cfg_.population));
     const auto n_par = static_cast<std::size_t>(std::min<std::int64_t>(
         cfg_.parents, static_cast<std::int64_t>(fn_pop.size())));
+    const std::size_t first_child = fn_pop.size();
     for (std::int64_t c = 0; c < cfg_.population / 2; ++c) {
       const auto& p1 =
           fn_pop[static_cast<std::size_t>(rng.uniform_int(n_par))];
@@ -267,9 +470,10 @@ SearchResult HgnasSearch::run_multistage(Rng& rng) {
         child.upper = mutate_functions(p1.upper, cfg_.mutation_prob, rng);
         child.lower = mutate_functions(p1.lower, cfg_.mutation_prob, rng);
       }
-      child.fitness = eval_pair(child.upper, child.lower);
+      if (!batch_eval) child.fitness = eval_pair(child.upper, child.lower);
       fn_pop.push_back(std::move(child));
     }
+    if (batch_eval) eval_group(fn_pop, first_child);
   }
   std::sort(fn_pop.begin(), fn_pop.end(), by_fit);
   const FunctionSet upper = fn_pop.front().upper;
@@ -295,9 +499,7 @@ SearchResult HgnasSearch::run_multistage(Rng& rng) {
 }
 
 SearchResult HgnasSearch::run_onestage(Rng& rng) {
-  sim_time_s_ = 0.0;
-  latency_queries_ = 0;
-  accuracy_probes_ = 0;
+  reset_run_state();
 
   // Same training budget as the multi-stage pipeline, then one joint EA
   // over the full fine-grained space.
@@ -314,6 +516,91 @@ SearchResult HgnasSearch::run_onestage(Rng& rng) {
   }
   return evolve_operations(FunctionSet{}, FunctionSet{}, /*full_space=*/true,
                            rng);
+}
+
+SearchResult HgnasSearch::run_random(Rng& rng) {
+  reset_run_state();
+
+  if (cfg_.train_supernet) {
+    Adam opt(supernet_.parameters(), 1e-3f);
+    auto sampler = [this](Rng& r) { return random_arch(cfg_.space, r); };
+    for (std::int64_t e = 0; e < cfg_.stage1_epochs + cfg_.stage2_epochs;
+         ++e) {
+      supernet_.train_epoch(data_.train(), sampler, opt, cfg_.batch_size,
+                            rng);
+      advance_clock(static_cast<double>(data_.train().size()) *
+                    cfg_.sim_train_s_per_sample);
+    }
+  }
+
+  SearchResult result;
+  const std::int64_t budget =
+      cfg_.population + cfg_.iterations * (cfg_.population / 2);
+  // One history point per EA-iteration-equivalent chunk of budget; the
+  // batch path also evaluates one chunk per fork-join.
+  const std::int64_t chunk =
+      std::max<std::int64_t>(1, cfg_.population / 2);
+  const bool batch_eval = batch_eval_enabled();
+  const std::uint64_t acc_seed = batch_eval ? rng.next() : 0;
+
+  bool have_best = false;
+  bool best_feasible = false;
+  // Same ordering as the EA: feasibility first, then fitness, then latency.
+  // The tiebreak and the report use the measured latency even for OOM
+  // candidates, so an all-infeasible run still names its fastest find.
+  auto consider = [&](const Scored& s) {
+    const bool better =
+        !have_best ||
+        (s.is_feasible != best_feasible
+             ? s.is_feasible
+             : (s.fitness != result.best_objective
+                    ? s.fitness > result.best_objective
+                    : s.raw_latency_ms < result.best_latency_ms));
+    if (better) {
+      have_best = true;
+      best_feasible = s.is_feasible;
+      result.best_arch = s.arch;
+      result.best_objective = s.fitness;
+      result.best_supernet_acc = s.acc;
+      result.best_latency_ms = s.raw_latency_ms;
+    }
+  };
+
+  std::int64_t done = 0;
+  while (done < budget) {
+    const std::int64_t n = std::min<std::int64_t>(chunk, budget - done);
+    if (batch_eval) {
+      std::vector<PendingEval> batch;
+      batch.reserve(static_cast<std::size_t>(n));
+      for (std::int64_t i = 0; i < n; ++i) {
+        const Arch arch = random_arch(cfg_.space, rng);
+        const Arch canon = canonicalize(arch);
+        batch.push_back(PendingEval{arch, arch_to_text(canon), canon.hash()});
+      }
+      for (const Scored& s : score_batch(batch, acc_seed)) consider(s);
+      done += n;
+      if (done % chunk == 0)
+        result.history.push_back({sim_time_s_, result.best_objective});
+    } else {
+      // Serial path: the historical sequential pipeline, one shared RNG
+      // stream. The memo cache is bypassed here because a hit would skip
+      // that stream's accuracy draws and change every later candidate.
+      for (std::int64_t i = 0; i < n; ++i) {
+        ++cache_misses_;
+        consider(score_candidate(random_arch(cfg_.space, rng), rng));
+        ++done;
+        if (done % chunk == 0)
+          result.history.push_back({sim_time_s_, result.best_objective});
+      }
+    }
+  }
+  result.history.push_back({sim_time_s_, result.best_objective});
+  result.total_sim_time_s = sim_time_s_;
+  result.latency_queries = latency_queries_;
+  result.accuracy_probes = accuracy_probes_;
+  result.eval_cache_hits = cache_hits_;
+  result.eval_cache_misses = cache_misses_;
+  return result;
 }
 
 }  // namespace hg::hgnas

@@ -22,7 +22,10 @@
 #pragma once
 
 #include <functional>
+#include <mutex>
 #include <optional>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "hgnas/arch.hpp"
@@ -91,6 +94,14 @@ struct SearchConfig {
   // Simulated cost book-keeping (V100-equivalents, see DESIGN.md):
   double sim_train_s_per_sample = 0.004;  // supernet fwd+bwd per cloud
   double sim_eval_s_per_sample = 0.0015;  // supernet inference per cloud
+
+  /// Memoise candidate scores on the serialized canonical genome for the
+  /// duration of one search run, so a re-visited candidate is never
+  /// re-evaluated (hits/misses are reported in SearchResult). Disable only
+  /// for A/B experiments; with a deterministic evaluator and the pool
+  /// active (num_threads > 1, where accuracy-probe RNG streams are derived
+  /// from the genome) disabling it reproduces the exact same search.
+  bool use_eval_cache = true;
 };
 
 /// (simulated time, best objective so far) — one point per EA iteration.
@@ -109,6 +120,10 @@ struct SearchResult {
   double total_sim_time_s = 0.0;
   std::int64_t latency_queries = 0;
   std::int64_t accuracy_probes = 0;
+  /// Memo-cache traffic of the scoring pipeline (a "miss" is one full
+  /// candidate evaluation: latency query + accuracy probe when feasible).
+  std::int64_t eval_cache_hits = 0;
+  std::int64_t eval_cache_misses = 0;
 };
 
 class HgnasSearch {
@@ -125,6 +140,13 @@ class HgnasSearch {
   /// per-position functions in the full fine-grained space.
   SearchResult run_onestage(Rng& rng);
 
+  /// Random-sampling baseline at the same latency-query budget as the EA
+  /// (population + iterations * population/2 candidates), with the same
+  /// supernet training schedule, feasibility gate and Eq. (3) objective —
+  /// the "random search" row of ablation tables. Unlike the EA, random
+  /// sampling re-visits genomes, so this is where the memo cache pays off.
+  SearchResult run_random(Rng& rng);
+
   /// Eq. (3) objective for given accuracy / latency.
   double objective(double acc, double latency_ms, bool oom) const;
 
@@ -138,17 +160,44 @@ class HgnasSearch {
     Arch arch;
     double fitness = 0.0;
     double acc = 0.0;
-    double latency_ms = 0.0;
+    double latency_ms = 0.0;      // infinity when the evaluator reports OOM
+    double raw_latency_ms = 0.0;  // as measured, even for OOM candidates
     bool is_feasible = false;
   };
 
+  /// One deduplicated candidate queued for batch evaluation. `key` is the
+  /// serialized canonical genome (the memo-cache key); `hash` seeds the
+  /// candidate's private accuracy-probe RNG stream.
+  struct PendingEval {
+    Arch arch;
+    std::string key;
+    std::uint64_t hash = 0;
+  };
+
+  /// Latency gate shared by the serial and batch scoring paths (paper
+  /// §III-C: only candidates that meet the hardware constraint are
+  /// evaluated for accuracy). Fills the latency/feasibility side of `s`
+  /// and returns true when the accuracy probe must run.
+  bool gate_candidate(const Arch& arch, Scored& s);
+
   /// Evaluate Eq. (3) for an arch: latency gate first (predictor is cheap,
-  /// accuracy probes are not — paper §III-C: only candidates that meet the
-  /// hardware constraint are evaluated for accuracy).
+  /// accuracy probes are not).
   Scored score_candidate(const Arch& arch, Rng& rng);
+
+  /// Serial-path scoring through the memo cache (shared rng — this is the
+  /// historical bit-for-bit sequential pipeline when hits do not occur).
+  Scored score_cached(const Arch& arch, const std::string& key, Rng& rng);
+
+  /// Batch-path scoring: the latency gate, clock and counters run serially
+  /// in batch order; feasible candidates' accuracy probes fan out across
+  /// the pool, each with an RNG derived from (acc_seed, genome hash) so the
+  /// result is independent of scheduling and of the thread count.
+  std::vector<Scored> score_batch(const std::vector<PendingEval>& batch,
+                                  std::uint64_t acc_seed);
 
   double supernet_accuracy(const Arch& arch, Rng& rng);
   void advance_clock(double seconds) { sim_time_s_ += seconds; }
+  void reset_run_state();
 
   SearchResult evolve_operations(const FunctionSet& upper,
                                  const FunctionSet& lower, bool full_space,
@@ -161,6 +210,14 @@ class HgnasSearch {
   double sim_time_s_ = 0.0;
   std::int64_t latency_queries_ = 0;
   std::int64_t accuracy_probes_ = 0;
+
+  // Memo cache: serialized canonical genome -> score. Guarded so strategy
+  // code running on pool workers may consult it; invalidated whenever the
+  // supernet weights change (every run_* entry point retrains).
+  std::unordered_map<std::string, Scored> eval_cache_;
+  std::mutex cache_mutex_;
+  std::int64_t cache_hits_ = 0;
+  std::int64_t cache_misses_ = 0;
 };
 
 }  // namespace hg::hgnas

@@ -168,9 +168,17 @@ double SuperNet::train_epoch(const std::vector<pointcloud::Sample>& train,
 double SuperNet::evaluate(const Arch& arch,
                           const std::vector<pointcloud::Sample>& val,
                           std::int64_t max_samples, Rng& rng) {
+  set_training(false);
+  const double acc = evaluate_concurrent(arch, val, max_samples, rng);
+  set_training(true);
+  return acc;
+}
+
+double SuperNet::evaluate_concurrent(const Arch& arch,
+                                     const std::vector<pointcloud::Sample>& val,
+                                     std::int64_t max_samples, Rng& rng) {
   check(!val.empty(), "evaluate: empty split");
   NoGradGuard ng;
-  set_training(false);
   const std::size_t count = std::min<std::size_t>(
       val.size(), static_cast<std::size_t>(
                       max_samples > 0 ? max_samples
@@ -181,7 +189,6 @@ double SuperNet::evaluate(const Arch& arch,
     Tensor logits = forward(arch, pts, rng);
     if (argmax_rows(logits)[0] == val[i].label) ++correct;
   }
-  set_training(true);
   return static_cast<double>(correct) / static_cast<double>(count);
 }
 

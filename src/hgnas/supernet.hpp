@@ -58,6 +58,15 @@ class SuperNet final : public nn::Module {
                   const std::vector<pointcloud::Sample>& val,
                   std::int64_t max_samples, Rng& rng);
 
+  /// evaluate() without the training-mode toggles: forward passes only,
+  /// under a per-thread NoGradGuard. Safe to call concurrently from pool
+  /// workers (forward reads the shared weights, never writes), provided the
+  /// caller has set_training(false) around the whole batch and each caller
+  /// passes its own Rng.
+  double evaluate_concurrent(const Arch& arch,
+                             const std::vector<pointcloud::Sample>& val,
+                             std::int64_t max_samples, Rng& rng);
+
   /// Re-initialise every weight (paper re-inits the supernet between
   /// stage 1 and stage 2).
   void reinitialize(Rng& rng);

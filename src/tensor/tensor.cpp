@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <numeric>
 #include <stdexcept>
 #include <unordered_set>
 
+#include "core/parallel.hpp"
 #include "tensor/rng.hpp"
 
 namespace hg {
@@ -13,6 +15,21 @@ namespace hg {
 namespace {
 
 thread_local bool g_grad_enabled = true;
+
+// Parallel grain sizes. Every parallel kernel in this file keeps the
+// per-output-element arithmetic order identical to its serial loop, so the
+// results are bit-for-bit independent of the thread count; grains only
+// decide when forking is worth the synchronisation cost. The tiny tensors
+// of the CPU-scale training pipeline stay below these cutoffs and run the
+// plain serial loops inline.
+constexpr std::int64_t kElemGrain = 1 << 15;  // elementwise ops
+constexpr std::int64_t kWorkGrain = 1 << 18;  // ~flops per scheduled chunk
+
+/// Rows per chunk for a row-parallel kernel doing `work_per_row` flops.
+std::int64_t row_grain(std::int64_t work_per_row) {
+  return std::max<std::int64_t>(
+      1, kWorkGrain / std::max<std::int64_t>(1, work_per_row));
+}
 
 [[noreturn]] void fail(const std::string& msg) {
   throw std::invalid_argument("tensor: " + msg);
@@ -55,51 +72,73 @@ Tensor make_op(Shape shape, std::vector<float> data,
 
 // ---- raw (tape-free) kernels used inside backward closures -----------------
 
+// Matmul kernels: row-parallel and cache-blocked. Each output element
+// accumulates its k terms in ascending-p order exactly like the historical
+// naive triple loop, so the blocked/parallel kernels are bit-for-bit
+// identical to it for any thread count. The i-block keeps a handful of
+// output rows hot while one row of b streams through, cutting b reloads by
+// the block factor.
+constexpr std::int64_t kMatmulRowBlock = 4;
+
 void raw_matmul(const float* a, const float* b, float* c, std::int64_t m,
                 std::int64_t k, std::int64_t n) {
-  std::fill(c, c + m * n, 0.f);
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    for (std::int64_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.f) continue;
-      const float* brow = b + p * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  core::parallel_for(
+      0, m, row_grain(k * n), [=](std::int64_t lo, std::int64_t hi) {
+        std::fill(c + lo * n, c + hi * n, 0.f);
+        for (std::int64_t i0 = lo; i0 < hi; i0 += kMatmulRowBlock) {
+          const std::int64_t i1 =
+              std::min<std::int64_t>(hi, i0 + kMatmulRowBlock);
+          for (std::int64_t p = 0; p < k; ++p) {
+            const float* brow = b + p * n;
+            for (std::int64_t i = i0; i < i1; ++i) {
+              const float av = a[i * k + p];
+              if (av == 0.f) continue;
+              float* crow = c + i * n;
+              for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+            }
+          }
+        }
+      });
 }
 
 // c[m,n] += a^T[m,k_rows] ... specialised transposed products for backward.
 void raw_matmul_at_b(const float* a, const float* b, float* c, std::int64_t m,
                      std::int64_t k, std::int64_t n) {
-  // a is [k, m] (we want a^T @ b), b is [k, n], c is [m, n]
-  std::fill(c, c + m * n, 0.f);
-  for (std::int64_t p = 0; p < k; ++p) {
-    const float* arow = a + p * m;
-    const float* brow = b + p * n;
-    for (std::int64_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.f) continue;
-      float* crow = c + i * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  // a is [k, m] (we want a^T @ b), b is [k, n], c is [m, n]. Parallel over
+  // output rows i (columns of a); p ascends per element as in the serial
+  // p-outer loop, so results are unchanged.
+  core::parallel_for(
+      0, m, row_grain(k * n), [=](std::int64_t lo, std::int64_t hi) {
+        std::fill(c + lo * n, c + hi * n, 0.f);
+        for (std::int64_t p = 0; p < k; ++p) {
+          const float* arow = a + p * m;
+          const float* brow = b + p * n;
+          for (std::int64_t i = lo; i < hi; ++i) {
+            const float av = arow[i];
+            if (av == 0.f) continue;
+            float* crow = c + i * n;
+            for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+          }
+        }
+      });
 }
 
 void raw_matmul_a_bt(const float* a, const float* b, float* c, std::int64_t m,
                      std::int64_t k, std::int64_t n) {
   // a is [m, k], b is [n, k] (we want a @ b^T), c is [m, n]
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* brow = b + j * k;
-      float acc = 0.f;
-      for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      crow[j] = acc;
-    }
-  }
+  core::parallel_for(
+      0, m, row_grain(k * n), [=](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const float* arow = a + i * k;
+          float* crow = c + i * n;
+          for (std::int64_t j = 0; j < n; ++j) {
+            const float* brow = b + j * k;
+            float acc = 0.f;
+            for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+            crow[j] = acc;
+          }
+        }
+      });
 }
 
 enum class BinOp { Add, Sub, Mul, Div };
@@ -146,8 +185,16 @@ Tensor binary_op(const Tensor& a, const Tensor& b, BinOp op) {
     return 0;
   };
 
-  for (std::int64_t i = 0; i < n; ++i)
-    out[static_cast<std::size_t>(i)] = apply_bin(op, ad[i], bd[rhs_index(i)]);
+  {
+    const float* ap = ad.data();
+    const float* bp = bd.data();
+    float* op_ = out.data();
+    core::parallel_for(0, n, kElemGrain,
+                       [&](std::int64_t lo, std::int64_t hi) {
+                         for (std::int64_t i = lo; i < hi; ++i)
+                           op_[i] = apply_bin(op, ap[i], bp[rhs_index(i)]);
+                       });
+  }
 
   // Capture everything the backward pass needs by value.
   std::vector<float> a_copy(ad.begin(), ad.end());
@@ -160,34 +207,52 @@ Tensor binary_op(const Tensor& a, const Tensor& b, BinOp op) {
     Impl& pb = *self.parents[1];
     if (pa.requires_grad) {
       std::vector<float> ga(static_cast<std::size_t>(n));
-      for (std::int64_t i = 0; i < n; ++i) {
-        const float gi = g[static_cast<std::size_t>(i)];
-        switch (op) {
-          case BinOp::Add:
-          case BinOp::Sub: ga[i] = gi; break;
-          case BinOp::Mul: ga[i] = gi * b_copy[rhs_index(i)]; break;
-          case BinOp::Div: ga[i] = gi / b_copy[rhs_index(i)]; break;
-        }
-      }
+      core::parallel_for(0, n, kElemGrain,
+                         [&](std::int64_t lo, std::int64_t hi) {
+                           for (std::int64_t i = lo; i < hi; ++i) {
+                             const float gi = g[static_cast<std::size_t>(i)];
+                             switch (op) {
+                               case BinOp::Add:
+                               case BinOp::Sub: ga[i] = gi; break;
+                               case BinOp::Mul:
+                                 ga[i] = gi * b_copy[rhs_index(i)];
+                                 break;
+                               case BinOp::Div:
+                                 ga[i] = gi / b_copy[rhs_index(i)];
+                                 break;
+                             }
+                           }
+                         });
       pa.accumulate_grad(ga);
     }
     if (pb.requires_grad) {
       std::vector<float> gb(b_copy.size(), 0.f);
-      for (std::int64_t i = 0; i < n; ++i) {
-        const float gi = g[static_cast<std::size_t>(i)];
-        const std::int64_t j = rhs_index(i);
-        float contrib = 0.f;
-        switch (op) {
-          case BinOp::Add: contrib = gi; break;
-          case BinOp::Sub: contrib = -gi; break;
-          case BinOp::Mul: contrib = gi * a_copy[static_cast<std::size_t>(i)]; break;
-          case BinOp::Div: {
-            const float bv = b_copy[static_cast<std::size_t>(j)];
-            contrib = -gi * a_copy[static_cast<std::size_t>(i)] / (bv * bv);
-            break;
+      auto accumulate_range = [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const float gi = g[static_cast<std::size_t>(i)];
+          const std::int64_t j = rhs_index(i);
+          float contrib = 0.f;
+          switch (op) {
+            case BinOp::Add: contrib = gi; break;
+            case BinOp::Sub: contrib = -gi; break;
+            case BinOp::Mul:
+              contrib = gi * a_copy[static_cast<std::size_t>(i)];
+              break;
+            case BinOp::Div: {
+              const float bv = b_copy[static_cast<std::size_t>(j)];
+              contrib = -gi * a_copy[static_cast<std::size_t>(i)] / (bv * bv);
+              break;
+            }
           }
+          gb[static_cast<std::size_t>(j)] += contrib;
         }
-        gb[static_cast<std::size_t>(j)] += contrib;
+      };
+      if (bc == Broadcast::Exact) {
+        // rhs_index(i) == i: disjoint writes, safe to fork.
+        core::parallel_for(0, n, kElemGrain, accumulate_range);
+      } else {
+        // Broadcast cases reduce many i into one j; keep the serial order.
+        accumulate_range(0, n);
       }
       pb.accumulate_grad(gb);
     }
@@ -203,7 +268,11 @@ Tensor unary_op(const Tensor& a, const std::function<float(float)>& f,
                 const std::function<float(float, float)>& dfdx_from_xy) {
   const auto ad = a.data();
   std::vector<float> out(ad.size());
-  for (std::size_t i = 0; i < ad.size(); ++i) out[i] = f(ad[i]);
+  core::parallel_for(0, static_cast<std::int64_t>(ad.size()), kElemGrain,
+                     [&](std::int64_t lo, std::int64_t hi) {
+                       for (std::int64_t i = lo; i < hi; ++i)
+                         out[static_cast<std::size_t>(i)] = f(ad[i]);
+                     });
   std::vector<float> x_copy(ad.begin(), ad.end());
   std::vector<float> y_copy = out;
   auto backward = [x_copy = std::move(x_copy), y_copy = std::move(y_copy),
@@ -211,8 +280,14 @@ Tensor unary_op(const Tensor& a, const std::function<float(float)>& f,
     Impl& p = *self.parents[0];
     if (!p.requires_grad) return;
     std::vector<float> g(x_copy.size());
-    for (std::size_t i = 0; i < x_copy.size(); ++i)
-      g[i] = self.grad[i] * dfdx_from_xy(x_copy[i], y_copy[i]);
+    core::parallel_for(0, static_cast<std::int64_t>(x_copy.size()), kElemGrain,
+                       [&](std::int64_t lo, std::int64_t hi) {
+                         for (std::int64_t i = lo; i < hi; ++i)
+                           g[static_cast<std::size_t>(i)] =
+                               self.grad[static_cast<std::size_t>(i)] *
+                               dfdx_from_xy(x_copy[static_cast<std::size_t>(i)],
+                                            y_copy[static_cast<std::size_t>(i)]);
+                       });
     p.accumulate_grad(g);
   };
   return make_op(a.shape(), std::move(out), {a}, std::move(backward));
@@ -254,6 +329,13 @@ void TensorImpl::accumulate_grad(std::span<const float> g) {
          std::to_string(data.size()));
   ensure_grad();
   for (std::size_t i = 0; i < g.size(); ++i) grad[i] += g[i];
+}
+
+Tensor make_custom_op(Shape shape, std::vector<float> data,
+                      std::vector<Tensor> parents,
+                      std::function<void(TensorImpl&)> backward_fn) {
+  return make_op(std::move(shape), std::move(data), std::move(parents),
+                 std::move(backward_fn));
 }
 
 NoGradGuard::NoGradGuard() : prev_(g_grad_enabled) { g_grad_enabled = false; }
@@ -511,20 +593,45 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   return make_op({m, n}, std::move(out), {a, b}, std::move(backward));
 }
 
+namespace {
+
+/// Blocked 2-D transpose: dst[j * r + i] = src[i * c + j]. Square tiles
+/// keep both the row-major reads and the column-major writes inside one
+/// cache line's worth of rows, instead of striding the full output per
+/// element. Pure permutation, so exact for any tiling / thread count.
+void raw_transpose(const float* src, float* dst, std::int64_t r,
+                   std::int64_t c) {
+  constexpr std::int64_t kTile = 32;
+  const std::int64_t row_tiles = (r + kTile - 1) / kTile;
+  core::parallel_for(
+      0, row_tiles, row_grain(kTile * c), [=](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t bi = lo; bi < hi; ++bi) {
+          const std::int64_t i0 = bi * kTile;
+          const std::int64_t i1 = std::min<std::int64_t>(r, i0 + kTile);
+          for (std::int64_t j0 = 0; j0 < c; j0 += kTile) {
+            const std::int64_t j1 = std::min<std::int64_t>(c, j0 + kTile);
+            for (std::int64_t i = i0; i < i1; ++i)
+              for (std::int64_t j = j0; j < j1; ++j)
+                dst[j * r + i] = src[i * c + j];
+          }
+        }
+      });
+}
+
+}  // namespace
+
 Tensor transpose(const Tensor& a) {
   check(a.dim() == 2, "transpose requires a 2-D tensor");
   const std::int64_t r = a.shape()[0], c = a.shape()[1];
   std::vector<float> out(static_cast<std::size_t>(r * c));
-  const auto ad = a.data();
-  for (std::int64_t i = 0; i < r; ++i)
-    for (std::int64_t j = 0; j < c; ++j) out[j * r + i] = ad[i * c + j];
+  raw_transpose(a.data().data(), out.data(), r, c);
   auto backward = [r, c](Impl& self) {
     Impl& p = *self.parents[0];
     if (!p.requires_grad) return;
     std::vector<float> g(static_cast<std::size_t>(r * c));
-    for (std::int64_t j = 0; j < c; ++j)
-      for (std::int64_t i = 0; i < r; ++i)
-        g[i * c + j] = self.grad[static_cast<std::size_t>(j * r + i)];
+    // The gradient of a transpose is the transpose of the gradient
+    // ([c, r] -> [r, c]).
+    raw_transpose(self.grad.data(), g.data(), c, r);
     p.accumulate_grad(g);
   };
   return make_op({c, r}, std::move(out), {a}, std::move(backward));
@@ -723,14 +830,16 @@ Tensor gather_rows(const Tensor& a, std::span<const std::int64_t> indices) {
   const std::int64_t e = static_cast<std::int64_t>(indices.size());
   const auto ad = a.data();
   std::vector<float> out(static_cast<std::size_t>(e * c));
-  for (std::int64_t i = 0; i < e; ++i) {
-    const std::int64_t src = indices[static_cast<std::size_t>(i)];
-    check(src >= 0 && src < r, "gather_rows: index " + std::to_string(src) +
-                                   " out of range [0, " + std::to_string(r) +
-                                   ")");
-    std::copy(ad.begin() + src * c, ad.begin() + (src + 1) * c,
-              out.begin() + i * c);
-  }
+  core::parallel_for(0, e, row_grain(c), [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const std::int64_t src = indices[static_cast<std::size_t>(i)];
+      check(src >= 0 && src < r, "gather_rows: index " + std::to_string(src) +
+                                     " out of range [0, " + std::to_string(r) +
+                                     ")");
+      std::copy(ad.begin() + src * c, ad.begin() + (src + 1) * c,
+                out.begin() + i * c);
+    }
+  });
   std::vector<std::int64_t> idx_copy(indices.begin(), indices.end());
   auto backward = [r, c, e, idx_copy = std::move(idx_copy)](Impl& self) {
     Impl& p = *self.parents[0];
@@ -766,6 +875,31 @@ Tensor slice_rows(const Tensor& a, std::int64_t begin, std::int64_t end) {
 
 // ---- scatter ----------------------------------------------------------------------------
 
+namespace detail {
+
+IndexCsr group_by_index(std::span<const std::int64_t> index,
+                        std::int64_t num_buckets, const char* what) {
+  IndexCsr csr;
+  csr.row_ptr.assign(static_cast<std::size_t>(num_buckets) + 1, 0);
+  for (const std::int64_t v : index) {
+    check(v >= 0 && v < num_buckets,
+          std::string(what) + ": index out of range");
+    ++csr.row_ptr[static_cast<std::size_t>(v) + 1];
+  }
+  std::partial_sum(csr.row_ptr.begin(), csr.row_ptr.end(),
+                   csr.row_ptr.begin());
+  csr.items.resize(index.size());
+  std::vector<std::int64_t> cursor(csr.row_ptr.begin(),
+                                   csr.row_ptr.end() - 1);
+  for (std::size_t i = 0; i < index.size(); ++i)
+    csr.items[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(index[i])]++)] =
+        static_cast<std::int64_t>(i);
+  return csr;
+}
+
+}  // namespace detail
+
 Tensor scatter_reduce(const Tensor& messages,
                       std::span<const std::int64_t> index,
                       std::int64_t num_nodes, Reduce reduce) {
@@ -776,38 +910,60 @@ Tensor scatter_reduce(const Tensor& messages,
   check(num_nodes > 0, "scatter_reduce: num_nodes must be positive");
   const auto md = messages.data();
 
+  // Group edges by destination (stable counting sort), then reduce each
+  // node's rows independently. Within a node the rows are visited in
+  // ascending edge order — exactly the order the historical serial
+  // edge-loop accumulated them — so the result is bit-for-bit identical to
+  // that loop for any thread count.
+  const detail::IndexCsr by_dst =
+      detail::group_by_index(index, num_nodes, "scatter_reduce");
+  const std::int64_t node_grain =
+      row_grain((e / std::max<std::int64_t>(1, num_nodes) + 1) * c);
+
   std::vector<float> out(static_cast<std::size_t>(num_nodes * c), 0.f);
 
   if (reduce == Reduce::Sum || reduce == Reduce::Mean) {
-    std::vector<float> degree(static_cast<std::size_t>(num_nodes), 0.f);
-    for (std::int64_t i = 0; i < e; ++i) {
-      const std::int64_t dst = index[static_cast<std::size_t>(i)];
-      check(dst >= 0 && dst < num_nodes, "scatter_reduce: index out of range");
-      degree[static_cast<std::size_t>(dst)] += 1.f;
-      for (std::int64_t j = 0; j < c; ++j) out[dst * c + j] += md[i * c + j];
-    }
-    if (reduce == Reduce::Mean) {
-      for (std::int64_t v = 0; v < num_nodes; ++v) {
-        const float d = degree[static_cast<std::size_t>(v)];
-        if (d > 0.f)
-          for (std::int64_t j = 0; j < c; ++j) out[v * c + j] /= d;
-      }
-    }
+    core::parallel_for(
+        0, num_nodes, node_grain, [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t v = lo; v < hi; ++v) {
+            float* orow = out.data() + v * c;
+            const std::int64_t b = by_dst.row_ptr[static_cast<std::size_t>(v)];
+            const std::int64_t t =
+                by_dst.row_ptr[static_cast<std::size_t>(v) + 1];
+            for (std::int64_t s = b; s < t; ++s) {
+              const float* mrow =
+                  md.data() + by_dst.items[static_cast<std::size_t>(s)] * c;
+              for (std::int64_t j = 0; j < c; ++j) orow[j] += mrow[j];
+            }
+            if (reduce == Reduce::Mean && t > b) {
+              const float d = static_cast<float>(t - b);
+              for (std::int64_t j = 0; j < c; ++j) orow[j] /= d;
+            }
+          }
+        });
     std::vector<std::int64_t> idx_copy(index.begin(), index.end());
+    std::vector<std::int64_t> degree(by_dst.row_ptr.size() - 1);
+    for (std::size_t v = 0; v + 1 < by_dst.row_ptr.size(); ++v)
+      degree[v] = by_dst.row_ptr[v + 1] - by_dst.row_ptr[v];
     auto backward = [e, c, reduce, degree = std::move(degree),
                      idx_copy = std::move(idx_copy)](Impl& self) {
       Impl& p = *self.parents[0];
       if (!p.requires_grad) return;
       std::vector<float> g(static_cast<std::size_t>(e * c));
-      for (std::int64_t i = 0; i < e; ++i) {
-        const std::int64_t dst = idx_copy[static_cast<std::size_t>(i)];
-        const float scale =
-            reduce == Reduce::Mean
-                ? 1.f / degree[static_cast<std::size_t>(dst)]
-                : 1.f;
-        for (std::int64_t j = 0; j < c; ++j)
-          g[i * c + j] = self.grad[static_cast<std::size_t>(dst * c + j)] * scale;
-      }
+      core::parallel_for(
+          0, e, row_grain(c), [&](std::int64_t lo, std::int64_t hi) {
+            for (std::int64_t i = lo; i < hi; ++i) {
+              const std::int64_t dst = idx_copy[static_cast<std::size_t>(i)];
+              const float scale =
+                  reduce == Reduce::Mean
+                      ? 1.f / static_cast<float>(
+                                  degree[static_cast<std::size_t>(dst)])
+                      : 1.f;
+              for (std::int64_t j = 0; j < c; ++j)
+                g[i * c + j] =
+                    self.grad[static_cast<std::size_t>(dst * c + j)] * scale;
+            }
+          });
       p.accumulate_grad(g);
     };
     return make_op({num_nodes, c}, std::move(out), {messages},
@@ -817,32 +973,43 @@ Tensor scatter_reduce(const Tensor& messages,
   // Max / Min: track winning edge per (node, channel); untouched rows are 0.
   const bool is_max = reduce == Reduce::Max;
   std::vector<std::int64_t> arg(static_cast<std::size_t>(num_nodes * c), -1);
-  for (std::int64_t i = 0; i < e; ++i) {
-    const std::int64_t dst = index[static_cast<std::size_t>(i)];
-    check(dst >= 0 && dst < num_nodes, "scatter_reduce: index out of range");
-    for (std::int64_t j = 0; j < c; ++j) {
-      const float v = md[i * c + j];
-      auto& a = arg[static_cast<std::size_t>(dst * c + j)];
-      float& o = out[static_cast<std::size_t>(dst * c + j)];
-      if (a < 0 || (is_max ? (v > o) : (v < o))) {
-        o = v;
-        a = i;
-      }
-    }
-  }
-  for (std::size_t i = 0; i < arg.size(); ++i)
-    if (arg[i] < 0) out[i] = 0.f;  // isolated node: defined as zero
+  core::parallel_for(
+      0, num_nodes, node_grain, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t v = lo; v < hi; ++v) {
+          const std::int64_t b = by_dst.row_ptr[static_cast<std::size_t>(v)];
+          const std::int64_t t =
+              by_dst.row_ptr[static_cast<std::size_t>(v) + 1];
+          for (std::int64_t s = b; s < t; ++s) {
+            const std::int64_t i = by_dst.items[static_cast<std::size_t>(s)];
+            for (std::int64_t j = 0; j < c; ++j) {
+              const float mv = md[i * c + j];
+              auto& a = arg[static_cast<std::size_t>(v * c + j)];
+              float& o = out[static_cast<std::size_t>(v * c + j)];
+              if (a < 0 || (is_max ? (mv > o) : (mv < o))) {
+                o = mv;
+                a = i;
+              }
+            }
+          }
+        }
+      });
 
   auto backward = [e, c, num_nodes, arg = std::move(arg)](Impl& self) {
     Impl& p = *self.parents[0];
     if (!p.requires_grad) return;
     std::vector<float> g(static_cast<std::size_t>(e * c), 0.f);
-    for (std::int64_t v = 0; v < num_nodes; ++v)
-      for (std::int64_t j = 0; j < c; ++j) {
-        const std::int64_t src = arg[static_cast<std::size_t>(v * c + j)];
-        if (src >= 0)
-          g[src * c + j] += self.grad[static_cast<std::size_t>(v * c + j)];
-      }
+    // arg[v * c + j] names an edge whose destination is v, so two distinct
+    // nodes can never route into the same (edge, channel) slot: the writes
+    // below are disjoint across v.
+    core::parallel_for(
+        0, num_nodes, row_grain(c), [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t v = lo; v < hi; ++v)
+            for (std::int64_t j = 0; j < c; ++j) {
+              const std::int64_t src = arg[static_cast<std::size_t>(v * c + j)];
+              if (src >= 0)
+                g[src * c + j] += self.grad[static_cast<std::size_t>(v * c + j)];
+            }
+        });
     p.accumulate_grad(g);
   };
   return make_op({num_nodes, c}, std::move(out), {messages},

@@ -58,6 +58,29 @@ struct TensorImpl {
   void ensure_grad();
 };
 
+/// Stable grouping of positions by index value (counting sort): bucket v
+/// owns items[row_ptr[v] .. row_ptr[v+1]), in ascending position order.
+/// Shared by scatter_reduce and the fused GNN aggregation kernels; the
+/// ascending order inside each bucket is what keeps their parallel
+/// reductions bit-for-bit identical to the serial edge loop.
+struct IndexCsr {
+  std::vector<std::int64_t> row_ptr;  // size num_buckets + 1
+  std::vector<std::int64_t> items;    // size index.size()
+};
+
+/// Group positions 0..index.size() by index[i]. Throws on out-of-range
+/// values, prefixing the message with `what`.
+IndexCsr group_by_index(std::span<const std::int64_t> index,
+                        std::int64_t num_buckets, const char* what);
+
+/// Build a custom autograd op outside tensor.cpp (fused kernels). Decides
+/// requires_grad from `parents` and records the tape edge exactly like the
+/// built-in ops; `backward_fn` must scatter self.grad into the parents via
+/// accumulate_grad.
+Tensor make_custom_op(Shape shape, std::vector<float> data,
+                      std::vector<Tensor> parents,
+                      std::function<void(TensorImpl&)> backward_fn);
+
 /// RAII guard disabling autograd tape recording (inference / measurement).
 class NoGradGuard {
  public:

@@ -1,0 +1,411 @@
+// Parallel execution backbone: parallel_for semantics, bit-exact
+// thread-count invariance of the tensor/GNN/graph kernels, the fused
+// aggregation against its materializing reference, and the concurrent
+// search path with the candidate memo cache.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "core/parallel.hpp"
+#include "gnn/gnn.hpp"
+#include "graph/graph.hpp"
+#include "hgnas/search.hpp"
+#include "hgnas/serialize_arch.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hg {
+namespace {
+
+using core::ScopedNumThreads;
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  ScopedNumThreads threads(4);
+  std::vector<std::atomic<int>> hits(1000);
+  core::parallel_for(0, 1000, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) ++hits[static_cast<std::size_t>(i)];
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  ScopedNumThreads threads(4);
+  EXPECT_THROW(
+      core::parallel_for(0, 100, 1,
+                         [](std::int64_t lo, std::int64_t) {
+                           if (lo >= 0) throw std::runtime_error("boom");
+                         }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, NestedCallsRunInline) {
+  ScopedNumThreads threads(4);
+  std::atomic<int> total{0};
+  core::parallel_for(0, 8, 1, [&](std::int64_t lo, std::int64_t hi) {
+    EXPECT_TRUE(core::in_parallel_region());
+    core::parallel_for(lo * 10, hi * 10, 1,
+                       [&](std::int64_t l, std::int64_t h) {
+                         total += static_cast<int>(h - l);
+                       });
+  });
+  EXPECT_EQ(total.load(), 80);
+}
+
+TEST(ParallelFor, ScopedOverrideRestoresWidth) {
+  const std::int64_t before = core::num_threads();
+  {
+    ScopedNumThreads threads(3);
+    EXPECT_EQ(core::num_threads(), 3);
+  }
+  EXPECT_EQ(core::num_threads(), before);
+}
+
+// ---- kernel thread-count invariance ----------------------------------------
+
+std::vector<float> random_values(std::size_t n, Rng& rng) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = rng.normal();
+  return v;
+}
+
+/// Reference naive matmul (the historical triple loop, verbatim).
+std::vector<float> naive_matmul(const std::vector<float>& a,
+                                const std::vector<float>& b, std::int64_t m,
+                                std::int64_t k, std::int64_t n) {
+  std::vector<float> c(static_cast<std::size_t>(m * n), 0.f);
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = a[static_cast<std::size_t>(i * k + p)];
+      if (av == 0.f) continue;
+      for (std::int64_t j = 0; j < n; ++j)
+        c[static_cast<std::size_t>(i * n + j)] +=
+            av * b[static_cast<std::size_t>(p * n + j)];
+    }
+  return c;
+}
+
+TEST(ParallelKernels, BlockedMatmulBitExactVsNaiveForAnyThreadCount) {
+  // Large enough that the row grain actually forks at 4 threads.
+  const std::int64_t m = 256, k = 64, n = 48;
+  Rng rng(7);
+  const auto av = random_values(static_cast<std::size_t>(m * k), rng);
+  const auto bv = random_values(static_cast<std::size_t>(k * n), rng);
+  const auto ref = naive_matmul(av, bv, m, k, n);
+
+  for (const std::int64_t threads : {1, 2, 4}) {
+    ScopedNumThreads scoped(threads);
+    Tensor a = Tensor::from_vector({m, k}, av);
+    Tensor b = Tensor::from_vector({k, n}, bv);
+    Tensor c = matmul(a, b);
+    ASSERT_EQ(c.numel(), m * n);
+    for (std::int64_t i = 0; i < c.numel(); ++i)
+      ASSERT_EQ(c.data()[i], ref[static_cast<std::size_t>(i)])
+          << "threads=" << threads << " element " << i;
+  }
+}
+
+TEST(ParallelKernels, MatmulBackwardBitExactAcrossThreadCounts) {
+  const std::int64_t m = 192, k = 40, n = 56;
+  Rng rng(11);
+  const auto av = random_values(static_cast<std::size_t>(m * k), rng);
+  const auto bv = random_values(static_cast<std::size_t>(k * n), rng);
+  std::vector<float> seed(static_cast<std::size_t>(m * n));
+  for (std::size_t i = 0; i < seed.size(); ++i)
+    seed[i] = static_cast<float>(static_cast<int>(i % 13) - 6) * 0.25f;
+
+  std::vector<float> ga_ref, gb_ref;
+  for (const std::int64_t threads : {1, 4}) {
+    ScopedNumThreads scoped(threads);
+    Tensor a = Tensor::from_vector({m, k}, av, /*requires_grad=*/true);
+    Tensor b = Tensor::from_vector({k, n}, bv, /*requires_grad=*/true);
+    Tensor c = matmul(a, b);
+    c.backward(seed);
+    if (threads == 1) {
+      ga_ref.assign(a.grad().begin(), a.grad().end());
+      gb_ref.assign(b.grad().begin(), b.grad().end());
+    } else {
+      for (std::size_t i = 0; i < ga_ref.size(); ++i)
+        ASSERT_EQ(a.grad()[i], ga_ref[i]) << "ga " << i;
+      for (std::size_t i = 0; i < gb_ref.size(); ++i)
+        ASSERT_EQ(b.grad()[i], gb_ref[i]) << "gb " << i;
+    }
+  }
+}
+
+TEST(ParallelKernels, BlockedTransposeIsExactInverse) {
+  ScopedNumThreads scoped(4);
+  Rng rng(13);
+  const std::int64_t r = 173, c = 91;
+  const auto v = random_values(static_cast<std::size_t>(r * c), rng);
+  Tensor a = Tensor::from_vector({r, c}, v);
+  Tensor t = transpose(a);
+  ASSERT_EQ(t.shape(), (Shape{c, r}));
+  for (std::int64_t i = 0; i < r; ++i)
+    for (std::int64_t j = 0; j < c; ++j)
+      ASSERT_EQ(t.at({j, i}), a.at({i, j}));
+  Tensor back = transpose(t);
+  for (std::int64_t i = 0; i < r * c; ++i)
+    ASSERT_EQ(back.data()[i], v[static_cast<std::size_t>(i)]);
+}
+
+TEST(ParallelKernels, ScatterReduceBitExactAcrossThreadCounts) {
+  const std::int64_t e = 6000, c = 16, nodes = 700;
+  Rng rng(17);
+  const auto msg = random_values(static_cast<std::size_t>(e * c), rng);
+  std::vector<std::int64_t> index(static_cast<std::size_t>(e));
+  for (auto& i : index)
+    i = static_cast<std::int64_t>(rng.uniform_int(
+        static_cast<std::uint64_t>(nodes)));
+  std::vector<float> seed(static_cast<std::size_t>(nodes * c));
+  for (std::size_t i = 0; i < seed.size(); ++i)
+    seed[i] = static_cast<float>(static_cast<int>(i % 9) - 4) * 0.5f;
+
+  for (const Reduce reduce :
+       {Reduce::Sum, Reduce::Mean, Reduce::Max, Reduce::Min}) {
+    std::vector<float> out_ref, grad_ref;
+    for (const std::int64_t threads : {1, 2, 4}) {
+      ScopedNumThreads scoped(threads);
+      Tensor m = Tensor::from_vector({e, c}, msg, /*requires_grad=*/true);
+      Tensor out = scatter_reduce(m, index, nodes, reduce);
+      out.backward(seed);
+      if (threads == 1) {
+        out_ref.assign(out.data().begin(), out.data().end());
+        grad_ref.assign(m.grad().begin(), m.grad().end());
+      } else {
+        for (std::size_t i = 0; i < out_ref.size(); ++i)
+          ASSERT_EQ(out.data()[static_cast<std::int64_t>(i)], out_ref[i])
+              << "reduce " << static_cast<int>(reduce) << " out " << i;
+        for (std::size_t i = 0; i < grad_ref.size(); ++i)
+          ASSERT_EQ(m.grad()[i], grad_ref[i])
+              << "reduce " << static_cast<int>(reduce) << " grad " << i;
+      }
+    }
+  }
+}
+
+TEST(ParallelKernels, KnnGraphsIdenticalAcrossThreadCounts) {
+  Rng rng(19);
+  const std::int64_t n = 600, k = 12;
+  const auto pts = random_values(static_cast<std::size_t>(n * 3), rng);
+  const auto feats = random_values(static_cast<std::size_t>(n * 8), rng);
+
+  graph::EdgeList brute1, grid1, feat1;
+  {
+    ScopedNumThreads scoped(1);
+    brute1 = graph::knn_graph_brute(pts, n, k);
+    grid1 = graph::knn_graph_grid(pts, n, k);
+    feat1 = graph::knn_graph_features(feats, n, 8, k);
+  }
+  ScopedNumThreads scoped(4);
+  const graph::EdgeList brute4 = graph::knn_graph_brute(pts, n, k);
+  const graph::EdgeList grid4 = graph::knn_graph_grid(pts, n, k);
+  const graph::EdgeList feat4 = graph::knn_graph_features(feats, n, 8, k);
+  EXPECT_EQ(brute1.src, brute4.src);
+  EXPECT_EQ(brute1.dst, brute4.dst);
+  EXPECT_EQ(grid1.src, grid4.src);
+  EXPECT_EQ(grid1.dst, grid4.dst);
+  EXPECT_EQ(feat1.src, feat4.src);
+  EXPECT_EQ(feat1.dst, feat4.dst);
+}
+
+// ---- fused aggregation ------------------------------------------------------
+
+TEST(FusedAggregate, MatchesMaterializedReferenceForAllCombos) {
+  ScopedNumThreads scoped(4);
+  Rng rng(23);
+  const std::int64_t n = 60, c = 5, k = 7;
+  const auto pts = random_values(static_cast<std::size_t>(n * 3), rng);
+  const graph::EdgeList g = graph::knn_graph_brute(pts, n, 3);
+  (void)k;
+  const auto xv = random_values(static_cast<std::size_t>(n * c), rng);
+
+  for (std::int64_t mi = 0; mi < gnn::kNumMessageTypes; ++mi) {
+    const auto mt = static_cast<gnn::MessageType>(mi);
+    const std::int64_t m = gnn::message_dim(mt, c);
+    std::vector<float> seed(static_cast<std::size_t>(n * m));
+    for (std::size_t i = 0; i < seed.size(); ++i)
+      seed[i] = static_cast<float>(static_cast<int>(i % 7) - 3) * 0.5f;
+    for (const Reduce reduce :
+         {Reduce::Sum, Reduce::Mean, Reduce::Max, Reduce::Min}) {
+      Tensor x_ref = Tensor::from_vector({n, c}, xv, /*requires_grad=*/true);
+      Tensor y_ref = gnn::aggregate_materialized(x_ref, g, mt, reduce);
+      y_ref.backward(seed);
+
+      Tensor x_fused = Tensor::from_vector({n, c}, xv, /*requires_grad=*/true);
+      Tensor y_fused = gnn::aggregate_fused(x_fused, g, mt, reduce);
+      y_fused.backward(seed);
+
+      ASSERT_EQ(y_fused.shape(), y_ref.shape())
+          << gnn::message_type_name(mt);
+      for (std::int64_t i = 0; i < y_ref.numel(); ++i)
+        ASSERT_EQ(y_fused.data()[i], y_ref.data()[i])
+            << gnn::message_type_name(mt) << " reduce "
+            << static_cast<int>(reduce) << " out " << i;
+      ASSERT_EQ(x_fused.grad().size(), x_ref.grad().size());
+      for (std::size_t i = 0; i < x_ref.grad().size(); ++i)
+        ASSERT_EQ(x_fused.grad()[i], x_ref.grad()[i])
+            << gnn::message_type_name(mt) << " reduce "
+            << static_cast<int>(reduce) << " grad " << i;
+    }
+  }
+}
+
+TEST(FusedAggregate, DispatchIsThreadCountInvariant) {
+  Rng rng(29);
+  const std::int64_t n = 80, c = 6;
+  const auto pts = random_values(static_cast<std::size_t>(n * 3), rng);
+  const graph::EdgeList g = graph::knn_graph_brute(pts, n, 5);
+  const auto xv = random_values(static_cast<std::size_t>(n * c), rng);
+  std::vector<float> seed(static_cast<std::size_t>(n * 2 * c), 1.f);
+
+  std::vector<float> out_ref, grad_ref;
+  for (const std::int64_t threads : {1, 4}) {
+    ScopedNumThreads scoped(threads);
+    Tensor x = Tensor::from_vector({n, c}, xv, /*requires_grad=*/true);
+    // aggregate() picks materialized at 1 thread, fused otherwise; the two
+    // must agree bit-for-bit.
+    Tensor y = gnn::aggregate(x, g, gnn::MessageType::TargetRel, Reduce::Max);
+    y.backward(seed);
+    if (threads == 1) {
+      out_ref.assign(y.data().begin(), y.data().end());
+      grad_ref.assign(x.grad().begin(), x.grad().end());
+    } else {
+      for (std::size_t i = 0; i < out_ref.size(); ++i)
+        ASSERT_EQ(y.data()[static_cast<std::int64_t>(i)], out_ref[i]);
+      for (std::size_t i = 0; i < grad_ref.size(); ++i)
+        ASSERT_EQ(x.grad()[i], grad_ref[i]);
+    }
+  }
+}
+
+TEST(FusedAggregate, EdgeConvForwardBackwardThreadCountInvariant) {
+  Rng init_rng(31);
+  gnn::EdgeConv conv(6, 8, init_rng);
+  conv.set_training(false);
+  Rng rng(37);
+  const std::int64_t n = 120;
+  const auto pts = random_values(static_cast<std::size_t>(n * 3), rng);
+  const graph::EdgeList g = graph::knn_graph(pts, n, 9);
+  const auto xv = random_values(static_cast<std::size_t>(n * 6), rng);
+  std::vector<float> seed(static_cast<std::size_t>(n * 8), 0.5f);
+
+  std::vector<float> out_ref;
+  std::vector<std::vector<float>> param_grads_ref;
+  for (const std::int64_t threads : {1, 4}) {
+    ScopedNumThreads scoped(threads);
+    for (auto& p : conv.parameters()) p.zero_grad();
+    Tensor x = Tensor::from_vector({n, 6}, xv, /*requires_grad=*/true);
+    Tensor y = conv.forward(x, g);
+    y.backward(seed);
+    if (threads == 1) {
+      out_ref.assign(y.data().begin(), y.data().end());
+      for (const auto& p : conv.parameters())
+        param_grads_ref.emplace_back(p.grad().begin(), p.grad().end());
+    } else {
+      for (std::size_t i = 0; i < out_ref.size(); ++i)
+        ASSERT_EQ(y.data()[static_cast<std::int64_t>(i)], out_ref[i]);
+      const auto params = conv.parameters();
+      for (std::size_t pi = 0; pi < params.size(); ++pi)
+        for (std::size_t i = 0; i < param_grads_ref[pi].size(); ++i)
+          ASSERT_EQ(params[pi].grad()[i], param_grads_ref[pi][i])
+              << "param " << pi << " grad " << i;
+    }
+  }
+}
+
+// ---- concurrent search ------------------------------------------------------
+
+struct TinySearchFixture {
+  hgnas::SpaceConfig space;
+  hgnas::SupernetConfig sn_cfg;
+  pointcloud::Dataset data;
+
+  TinySearchFixture() : data(4, 32, 21) {
+    space.num_positions = 1;  // ~40 canonical genomes: revisits guaranteed
+    sn_cfg.hidden = 8;
+    sn_cfg.k = 6;
+    sn_cfg.num_classes = 10;
+    sn_cfg.head_hidden = 16;
+  }
+
+  hgnas::SearchConfig make_cfg() const {
+    hgnas::SearchConfig cfg;
+    cfg.space = space;
+    cfg.workload.num_points = 256;
+    cfg.workload.k = 10;
+    cfg.workload.num_classes = 10;
+    cfg.population = 8;
+    cfg.parents = 4;
+    cfg.iterations = 12;
+    cfg.eval_val_samples = 4;
+    cfg.function_paths_per_eval = 1;
+    cfg.train_supernet = false;  // weights fixed: scores are reproducible
+    cfg.latency_scale_ms = 50.0;
+    return cfg;
+  }
+
+  hgnas::SearchResult run_random(bool use_cache, std::int64_t threads) {
+    ScopedNumThreads scoped(threads);
+    Rng init_rng(5);
+    hgnas::SuperNet supernet(space, sn_cfg, init_rng);
+    hgnas::SearchConfig cfg = make_cfg();
+    cfg.use_eval_cache = use_cache;
+    hw::Device dev = hw::make_device(hw::DeviceKind::Rtx3080);
+    hgnas::HgnasSearch search(supernet, data, cfg,
+                              hgnas::make_oracle_evaluator(dev, cfg.workload));
+    Rng rng(99);
+    return search.run_random(rng);
+  }
+
+  hgnas::SearchResult run_multistage(std::int64_t threads) {
+    ScopedNumThreads scoped(threads);
+    Rng init_rng(5);
+    // Stage 2 fixes the functions, shrinking the canonical space to
+    // 4^positions operation layouts; it must stay comfortably above the
+    // deduplicated population + offspring count or the fill loop starves.
+    hgnas::SpaceConfig wide = space;
+    wide.num_positions = 4;
+    hgnas::SuperNet supernet(wide, sn_cfg, init_rng);
+    hgnas::SearchConfig cfg = make_cfg();
+    cfg.space = wide;
+    cfg.iterations = 3;
+    hw::Device dev = hw::make_device(hw::DeviceKind::Rtx3080);
+    hgnas::HgnasSearch search(supernet, data, cfg,
+                              hgnas::make_oracle_evaluator(dev, cfg.workload));
+    Rng rng(99);
+    return search.run_multistage(rng);
+  }
+};
+
+TEST(ConcurrentSearch, MemoCacheSkipsRevisitsWithoutChangingTheResult) {
+  TinySearchFixture f;
+  const hgnas::SearchResult with_cache = f.run_random(true, 4);
+  const hgnas::SearchResult without_cache = f.run_random(false, 4);
+
+  // The tiny space guarantees revisits; the cache must absorb them.
+  EXPECT_GT(with_cache.eval_cache_hits, 0);
+  EXPECT_EQ(without_cache.eval_cache_hits, 0);
+  EXPECT_LT(with_cache.latency_queries, without_cache.latency_queries);
+  // Genome-derived probe streams make the cached and re-evaluated runs
+  // land on the same winner with the same score.
+  EXPECT_EQ(hgnas::arch_to_text(with_cache.best_arch),
+            hgnas::arch_to_text(without_cache.best_arch));
+  EXPECT_DOUBLE_EQ(with_cache.best_objective, without_cache.best_objective);
+}
+
+TEST(ConcurrentSearch, BatchPathDeterministicAcrossThreadCounts) {
+  TinySearchFixture f;
+  const hgnas::SearchResult r2 = f.run_multistage(2);
+  const hgnas::SearchResult r4 = f.run_multistage(4);
+  EXPECT_EQ(hgnas::arch_to_text(r2.best_arch),
+            hgnas::arch_to_text(r4.best_arch));
+  EXPECT_DOUBLE_EQ(r2.best_objective, r4.best_objective);
+  EXPECT_DOUBLE_EQ(r2.best_supernet_acc, r4.best_supernet_acc);
+  EXPECT_EQ(r2.latency_queries, r4.latency_queries);
+  EXPECT_EQ(r2.accuracy_probes, r4.accuracy_probes);
+}
+
+}  // namespace
+}  // namespace hg
