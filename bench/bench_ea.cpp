@@ -5,6 +5,7 @@
 
 #include <cstdio>
 
+#include "gbench_json.hpp"
 #include "hgnas/search.hpp"
 
 namespace {
@@ -90,6 +91,8 @@ int main(int argc, char** argv) {
                 100.0 * (rnd - ea) / rnd);
   }
   ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
+  hg::bench::JsonReporter json("ea");
+  hg::bench::GBenchJsonAdapter reporter(json);
+  ::benchmark::RunSpecifiedBenchmarks(&reporter);
   return 0;
 }

@@ -2,13 +2,14 @@
 // and peak memory vs point count on the Raspberry Pi (left panel), and
 // speedup / memory-reduction across all four edge devices (right panel).
 //
-// "Ours" is the paper's Fig. 10 Device_Fast network for each platform
-// (hgnas::zoo), evaluated on the calibrated device models.
+// "Ours" is the paper's Fig. 10 Device_Fast network for each platform,
+// resolved by baseline name through the facade ("pi-fast", ...); everything
+// runs through Engine::profile_baseline on the calibrated device models.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
-#include "hgnas/zoo.hpp"
 
 int main() {
   hg::bench::JsonReporter bench_json("fig1_scaling");
@@ -18,19 +19,23 @@ int main() {
                                                   1024, 1536, 2048};
 
   bench::print_header("Fig. 1 (left): Raspberry Pi latency & peak memory");
-  hw::Device pi = hw::make_device(hw::DeviceKind::RaspberryPi3B);
+  api::Engine pi = bench::unwrap(
+      api::Engine::create(bench::default_engine_config("raspberry-pi-3b")),
+      "create(pi)");
   std::printf("%8s %14s %14s %16s %16s\n", "points", "dgcnn_lat_s",
               "ours_lat_s", "dgcnn_mem_MB", "ours_mem_MB");
   for (auto n : point_counts) {
-    hgnas::Workload w = bench::paper_workload();
+    api::Workload w = bench::paper_workload();
     w.num_points = n;
-    const hw::Trace dgcnn = hw::dgcnn_reference_trace(n);
-    const hw::Trace ours = lower_to_trace(hgnas::zoo::pi_fast(), w);
-    auto fmt = [&](const hw::Trace& t, bool latency) {
-      if (pi.would_oom(t)) return std::string("OOM");
+    const api::ProfileReport dgcnn =
+        bench::unwrap(pi.profile_baseline("dgcnn", w), "profile dgcnn");
+    const api::ProfileReport ours =
+        bench::unwrap(pi.profile_baseline("pi-fast", w), "profile pi-fast");
+    auto fmt = [](const api::ProfileReport& r, bool latency) {
+      if (r.oom) return std::string("OOM");
       char buf[32];
       std::snprintf(buf, sizeof(buf), "%.3f",
-                    latency ? pi.latency_ms(t) / 1e3 : pi.peak_memory_mb(t));
+                    latency ? r.latency_ms / 1e3 : r.peak_memory_mb);
       return std::string(buf);
     };
     std::printf("%8lld %14s %14s %16s %16s\n", static_cast<long long>(n),
@@ -45,20 +50,20 @@ int main() {
   std::printf("%-12s %12s %12s %10s %12s %12s %10s\n", "device",
               "dgcnn_fps", "ours_fps", "speedup", "dgcnn_MB", "ours_MB",
               "mem_red");
-  for (int d = 0; d < hw::kNumDevices; ++d) {
-    const auto kind = static_cast<hw::DeviceKind>(d);
-    hw::Device dev = hw::make_device(kind);
-    const hw::Trace dgcnn = hw::dgcnn_reference_trace(1024);
-    const hw::Trace ours =
-        lower_to_trace(hgnas::zoo::fast_for(kind), bench::paper_workload());
-    const double dgcnn_ms = dev.latency_ms(dgcnn);
-    const double ours_ms = dev.latency_ms(ours);
-    const double dgcnn_mb = dev.peak_memory_mb(dgcnn);
-    const double ours_mb = dev.peak_memory_mb(ours);
+  for (const std::string& name : api::Registry::global().device_names()) {
+    api::Engine engine = bench::unwrap(
+        api::Engine::create(bench::default_engine_config(name)),
+        "create(device)");
+    const api::ProfileReport dgcnn =
+        bench::unwrap(engine.profile_baseline("dgcnn"), "profile dgcnn");
+    const api::ProfileReport ours = bench::unwrap(
+        engine.profile_baseline(bench::fast_baseline_for(name)),
+        "profile ours");
     std::printf("%-12s %12.2f %12.2f %9.1fx %12.1f %12.1f %9.1f%%\n",
-                bench::short_device_name(kind), 1e3 / dgcnn_ms,
-                1e3 / ours_ms, dgcnn_ms / ours_ms, dgcnn_mb, ours_mb,
-                100.0 * (1.0 - ours_mb / dgcnn_mb));
+                bench::short_device_name(name), 1e3 / dgcnn.latency_ms,
+                1e3 / ours.latency_ms, dgcnn.latency_ms / ours.latency_ms,
+                dgcnn.peak_memory_mb, ours.peak_memory_mb,
+                100.0 * (1.0 - ours.peak_memory_mb / dgcnn.peak_memory_mb));
   }
   std::printf("(paper: ~10.6x / 10.2x / 7.5x / 7.4x speedup and up to "
               "88.2%% peak-memory reduction)\n");

@@ -1,13 +1,13 @@
 // Fig. 2(b) reproduction: accuracy vs latency when reusing sampled results
 // across DGCNN layers on the classification dataset.
 //
-// x-axis sweep: reuse_from_layer = 4 (original DGCNN, all layers resample)
-// down to 1 (single KNN reused everywhere, the Li et al. [6] setting).
-// Accuracy is trained/evaluated at CPU scale; latency at paper scale on the
-// RTX3080 model (the platform used in the paper's figure).
+// x-axis sweep: the facade's DGCNN reuse ladder — "dgcnn" (all layers
+// resample) down to "li" (single KNN reused everywhere, the Li et al. [6]
+// setting). Accuracy comes from Engine::train_baseline at CPU scale;
+// latency from Engine::profile_baseline at paper scale on the RTX3080 (the
+// platform used in the paper's figure).
 #include <cstdio>
 
-#include "baselines/baselines.hpp"
 #include "bench_util.hpp"
 
 int main() {
@@ -15,31 +15,33 @@ int main() {
   hg::bench::Timer bench_timer;
   using namespace hg;
 
-  hw::Device rtx = hw::make_device(hw::DeviceKind::Rtx3080);
-  pointcloud::Dataset data(24, 32, /*seed=*/2024);
+  api::EngineConfig cfg = bench::default_engine_config("rtx3080");
+  cfg.samples_per_class = 24;
+  cfg.dataset_seed = 2024;
+  cfg.train_epochs = 15;
+  cfg.train_lr = 2e-3f;
+  api::Engine engine =
+      bench::unwrap(api::Engine::create(cfg), "create(rtx3080)");
 
   bench::print_header("Fig. 2(b): sampled-result reuse across DGCNN layers");
   std::printf("%-22s %14s %14s\n", "variant", "latency_ms", "accuracy_%");
 
-  for (std::int64_t reuse = 4; reuse >= 1; --reuse) {
-    // Paper-scale latency.
-    baselines::DgcnnConfig paper_cfg;  // 1024 pts / 40 classes defaults
-    paper_cfg.reuse_from_layer = reuse;
-    const double lat = rtx.latency_ms(baselines::Dgcnn::trace(paper_cfg,
-                                                              1024));
-    // CPU-scale accuracy.
-    Rng rng(100 + static_cast<std::uint64_t>(reuse));
-    baselines::DgcnnConfig train_cfg = baselines::DgcnnConfig::scaled(10, 6);
-    train_cfg.reuse_from_layer = reuse;
-    baselines::Dgcnn model(train_cfg, rng);
-    const auto eval = baselines::train_baseline(model, data, /*epochs=*/15,
-                                                2e-3f, rng);
-    const char* label = reuse == 4   ? "layer4 (original)"
-                        : reuse == 3 ? "reuse from layer 3"
-                        : reuse == 2 ? "reuse from layer 2"
-                                     : "reuse from layer 1";
-    std::printf("%-22s %14.1f %14.1f\n", label, lat,
-                100.0 * eval.overall_acc);
+  const struct {
+    const char* name;
+    const char* label;
+  } variants[] = {
+      {"dgcnn", "layer4 (original)"},
+      {"dgcnn-reuse3", "reuse from layer 3"},
+      {"dgcnn-reuse2", "reuse from layer 2"},
+      {"li", "reuse from layer 1"},
+  };
+  for (const auto& v : variants) {
+    const api::ProfileReport prof =
+        bench::unwrap(engine.profile_baseline(v.name), "profile");
+    const api::TrainReport train =
+        bench::unwrap(engine.train_baseline(v.name), "train");
+    std::printf("%-22s %14.1f %14.1f\n", v.label, prof.latency_ms,
+                100.0 * train.overall_acc);
   }
   std::printf("(paper: reuse costs <1%% accuracy but cuts latency "
               "substantially — redundancy in the MP paradigm)\n");

@@ -1,36 +1,42 @@
 // Fig. 3 reproduction: DGCNN execution-time breakdown (Sample / Aggregate /
 // Combine / Others) across the four edge platforms, plus the full per-op
-// profiler report for one device.
+// profiler report for one device — all through Engine::profile_baseline.
 #include <cstdio>
+#include <string>
 
 #include "bench_util.hpp"
-#include "hw/profiler.hpp"
 
 int main() {
   hg::bench::JsonReporter bench_json("fig3_breakdown");
   hg::bench::Timer bench_timer;
   using namespace hg;
-  const hw::Trace dgcnn = hw::dgcnn_reference_trace(1024);
 
   bench::print_header("Fig. 3: DGCNN execution-time breakdown");
   std::printf("%-12s %10s %12s %10s %10s %12s\n", "device", "Sample",
               "Aggregate", "Combine", "Others", "total_ms");
-  for (int d = 0; d < hw::kNumDevices; ++d) {
-    const auto kind = static_cast<hw::DeviceKind>(d);
-    hw::Device dev = hw::make_device(kind);
-    const hw::Breakdown b = dev.breakdown(dgcnn);
+  for (const std::string& name : api::Registry::global().device_names()) {
+    api::Engine engine = bench::unwrap(
+        api::Engine::create(bench::default_engine_config(name)),
+        "create(device)");
+    const api::ProfileReport r =
+        bench::unwrap(engine.profile_baseline("dgcnn"), "profile dgcnn");
     std::printf("%-12s %9.2f%% %11.2f%% %9.2f%% %9.2f%% %12.1f\n",
-                bench::short_device_name(kind), 100.0 * b.fraction[0],
-                100.0 * b.fraction[1], 100.0 * b.fraction[2],
-                100.0 * b.fraction[3], b.total_ms);
+                bench::short_device_name(name),
+                100.0 * r.category_fraction[0], 100.0 * r.category_fraction[1],
+                100.0 * r.category_fraction[2], 100.0 * r.category_fraction[3],
+                r.latency_ms);
   }
   std::printf(
       "(paper: RTX/TX2 sample-bound, i7 aggregate-bound, Pi compute-bound "
       "on all categories)\n");
 
   bench::print_header("Per-op profile (Raspberry Pi 3B+)");
-  hw::Device pi = hw::make_device(hw::DeviceKind::RaspberryPi3B);
-  std::printf("%s", hw::profile_report(pi, dgcnn).c_str());
+  api::Engine pi = bench::unwrap(
+      api::Engine::create(bench::default_engine_config("raspberry-pi-3b")),
+      "create(pi)");
+  const api::ProfileReport r =
+      bench::unwrap(pi.profile_baseline("dgcnn"), "profile dgcnn");
+  std::printf("%s", r.per_op_table.c_str());
   bench_json.add("total", bench_timer.ms(), "whole bench");
   return 0;
 }

@@ -3,111 +3,100 @@
 // For each of the four platforms we report the baselines (DGCNN, Li [6],
 // Tailor [7]) and two HGNAS designs: Device-Acc (accuracy-leaning
 // objective) and Device-Fast (latency-leaning objective, ~1% accuracy-loss
-// budget). Latency: paper-scale cost model; accuracy: CPU-scale training on
-// the synthetic dataset.
+// budget). Latency: paper-scale cost model via Engine::profile_baseline;
+// accuracy: CPU-scale training on one shared dataset via Engine::train /
+// train_baseline. Each search also prints its own in-loop Pareto frontier
+// (SearchResult::frontier — supernet-proxy accuracy vs latency).
 #include <cstdio>
+#include <string>
+#include <vector>
 
-#include "baselines/baselines.hpp"
 #include "bench_util.hpp"
-#include "hgnas/model.hpp"
-
-namespace {
-
-using namespace hg;
-
-struct Point {
-  std::string name;
-  double latency_ms;
-  double acc;
-};
-
-double train_arch_accuracy(const hgnas::Arch& arch,
-                           const pointcloud::Dataset& data,
-                           std::uint64_t seed) {
-  Rng rng(seed);
-  hgnas::Workload w = bench::train_workload();
-  hgnas::GnnModel model(arch, w, rng);
-  hgnas::TrainConfig cfg;
-  cfg.epochs = 15;
-  cfg.lr = 2e-3f;
-  return train_model(model, data, cfg, rng).overall_acc;
-}
-
-}  // namespace
 
 int main() {
   hg::bench::JsonReporter bench_json("fig6_frontier");
   hg::bench::Timer bench_timer;
-  pointcloud::Dataset data(16, 32, 77);
+  using namespace hg;
 
-  // Baseline accuracies are device-independent: train once.
-  Rng brng(1);
-  baselines::Dgcnn dgcnn(baselines::DgcnnConfig::scaled(10, 6), brng);
-  const double dgcnn_acc =
-      baselines::train_baseline(dgcnn, data, 15, 2e-3f, brng).overall_acc;
-  baselines::DgcnnConfig li_cfg = baselines::li_optimized_config(
-      baselines::DgcnnConfig::scaled(10, 6));
-  baselines::Dgcnn li(li_cfg, brng);
-  const double li_acc =
-      baselines::train_baseline(li, data, 15, 2e-3f, brng).overall_acc;
-  baselines::TailorGnn tailor(baselines::TailorConfig::scaled(10, 6), brng);
-  const double tailor_acc =
-      baselines::train_baseline(tailor, data, 15, 2e-3f, brng).overall_acc;
+  struct Point {
+    std::string name;
+    double latency_ms;
+    double acc;
+  };
 
-  for (int d = 0; d < hw::kNumDevices; ++d) {
-    const auto kind = static_cast<hw::DeviceKind>(d);
-    hw::Device dev = hw::make_device(kind);
-    const double dgcnn_ms =
-        dev.latency_ms(baselines::Dgcnn::trace(baselines::DgcnnConfig{},
-                                               1024));
+  // One engine holds the shared accuracy-side dataset: baselines are
+  // device-independent, so they train exactly once.
+  api::EngineConfig acc_cfg = bench::default_engine_config("rtx3080");
+  acc_cfg.samples_per_class = 16;
+  acc_cfg.dataset_seed = 77;
+  acc_cfg.train_epochs = 15;
+  acc_cfg.train_lr = 2e-3f;
+  api::Engine acc_engine =
+      bench::unwrap(api::Engine::create(acc_cfg), "create(accuracy engine)");
+  const double dgcnn_acc = bench::unwrap(
+      acc_engine.train_baseline("dgcnn"), "train dgcnn").overall_acc;
+  const double li_acc = bench::unwrap(
+      acc_engine.train_baseline("li"), "train li").overall_acc;
+  const double tailor_acc = bench::unwrap(
+      acc_engine.train_baseline("tailor"), "train tailor").overall_acc;
+
+  const std::vector<std::string> devices =
+      api::Registry::global().device_names();
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    const std::string& dev_name = devices[d];
+    const char* short_name = bench::short_device_name(dev_name);
 
     std::vector<Point> points;
-    points.push_back({"DGCNN", dgcnn_ms, dgcnn_acc});
-    points.push_back(
-        {"[6] Li et al.",
-         dev.latency_ms(baselines::Dgcnn::trace(
-             baselines::li_optimized_config(baselines::DgcnnConfig{}),
-             1024)),
-         li_acc});
-    points.push_back(
-        {"[7] Tailor et al.",
-         dev.latency_ms(baselines::TailorGnn::trace(baselines::TailorConfig{},
-                                                    1024)),
-         tailor_acc});
-
+    std::vector<std::string> frontiers;
+    std::string full_name;
     // Two HGNAS searches: Acc (beta small) and Fast (beta large).
     for (int mode = 0; mode < 2; ++mode) {
-      Rng rng(500 + static_cast<std::uint64_t>(d * 2 + mode));
-      hgnas::SuperNet supernet(bench::default_space(),
-                               bench::default_supernet(), rng);
-      hgnas::SearchConfig cfg = bench::default_search_config(dev);
-      cfg.latency_constraint_ms = dgcnn_ms;  // must not be slower than DGCNN
-      if (mode == 0) {  // Device-Acc
-        cfg.alpha = 1.0;
-        cfg.beta = 0.1;
-      } else {  // Device-Fast
-        cfg.alpha = 1.0;
-        cfg.beta = 1.0;
+      api::EngineConfig cfg = bench::default_engine_config(dev_name);
+      cfg.constrain_to_reference = true;  // must not be slower than DGCNN
+      cfg.alpha = 1.0;
+      cfg.beta = mode == 0 ? 0.1 : 1.0;
+      cfg.samples_per_class = 12;
+      cfg.dataset_seed = 900 + static_cast<std::uint64_t>(d);
+      cfg.seed = 500 + static_cast<std::uint64_t>(d * 2 + mode);
+      api::Engine engine =
+          bench::unwrap(api::Engine::create(cfg), "create(search engine)");
+      if (points.empty()) {
+        full_name = engine.device().name();
+        points.push_back({"DGCNN",
+                          bench::unwrap(engine.profile_baseline("dgcnn"),
+                                        "profile").latency_ms,
+                          dgcnn_acc});
+        points.push_back({"[6] Li et al.",
+                          bench::unwrap(engine.profile_baseline("li"),
+                                        "profile").latency_ms,
+                          li_acc});
+        points.push_back({"[7] Tailor et al.",
+                          bench::unwrap(engine.profile_baseline("tailor"),
+                                        "profile").latency_ms,
+                          tailor_acc});
       }
-      pointcloud::Dataset search_data(12, 32,
-                                      900 + static_cast<std::uint64_t>(d));
-      hgnas::HgnasSearch search(
-          supernet, search_data, cfg,
-          hgnas::make_oracle_evaluator(dev, bench::paper_workload()));
-      hgnas::SearchResult r = search.run_multistage(rng);
-      const double acc = train_arch_accuracy(
-          r.best_arch, data, 7000 + static_cast<std::uint64_t>(d * 2 + mode));
-      points.push_back(
-          {mode == 0 ? std::string(bench::short_device_name(kind)) + "-Acc"
-                     : std::string(bench::short_device_name(kind)) + "-Fast",
-           r.best_latency_ms, acc});
+      const api::SearchReport report =
+          bench::unwrap(engine.search(), "search");
+      const api::SearchResult& r = report.result;
+      const double acc =
+          bench::unwrap(acc_engine.train(r.best_arch), "train winner")
+              .overall_acc;
+      points.push_back({std::string(short_name) +
+                            (mode == 0 ? "-Acc" : "-Fast"),
+                        r.best_latency_ms, acc});
+      frontiers.push_back(report.frontier_table);
     }
 
-    bench::print_header(std::string("Fig. 6: ") + dev.name());
+    bench::print_header(std::string("Fig. 6: ") + full_name);
     std::printf("%-18s %14s %12s\n", "model", "latency_ms", "accuracy_%");
     for (const auto& p : points)
       std::printf("%-18s %14.1f %12.1f\n", p.name.c_str(), p.latency_ms,
                   100.0 * p.acc);
+    for (int mode = 0; mode < 2; ++mode) {
+      std::printf("in-loop frontier (%s, latency_ms / supernet acc):\n%s",
+                  mode == 0 ? "Acc" : "Fast",
+                  frontiers[static_cast<std::size_t>(mode)].c_str());
+    }
   }
   std::printf("\n(paper: HGNAS points dominate the baselines' frontier — "
               "lower latency at comparable accuracy on every device)\n");

@@ -1,45 +1,47 @@
 // Fig. 8 reproduction: GNN latency-predictor accuracy on each device —
 // MAPE, fraction within a 10% error bound, and a sample of
 // (measured, predicted) pairs for the scatter plots.
+//
+// One EvalContext per device fits the predictor exactly once (at engine
+// creation); Engine::evaluate_predictor scores it on a freshly-collected
+// held-out set and carries the scatter sample.
 #include <cstdio>
+#include <string>
 
 #include "bench_util.hpp"
-#include "predictor/predictor.hpp"
 
 int main() {
   hg::bench::JsonReporter bench_json("fig8_predictor");
   hg::bench::Timer bench_timer;
   using namespace hg;
-  const hgnas::SpaceConfig space = bench::default_space();
-  const hgnas::Workload w = bench::paper_workload();
 
   bench::print_header("Fig. 8: predictor accuracy per device");
   std::printf("%-12s %10s %14s %12s\n", "device", "MAPE_%", "within_10pct_%",
               "rmse_ms");
 
-  for (int d = 0; d < hw::kNumDevices; ++d) {
-    const auto kind = static_cast<hw::DeviceKind>(d);
-    hw::Device dev = hw::make_device(kind);
+  const std::vector<std::string> devices =
+      api::Registry::global().device_names();
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    api::EngineConfig cfg = bench::default_engine_config(devices[d]);
+    cfg.evaluator = "predictor";
     // Paper: 30K archs (21K train / 9K val). CPU scale: 1200 / 400.
-    auto train = predictor::collect_labeled_archs(dev, space, w, 1200,
-                                                  1000 + d);
-    auto test = predictor::collect_labeled_archs(dev, space, w, 400,
-                                                 2000 + d);
-    Rng rng(3000 + static_cast<std::uint64_t>(d));
-    predictor::PredictorConfig cfg;  // scaled GCN {64,128,128} + MLP
-    cfg.epochs = 50;
-    predictor::LatencyPredictor pred(cfg, w, rng);
-    pred.fit(train, rng);
-    const auto m = pred.evaluate(test);
+    cfg.predictor_samples = 1200;
+    cfg.predictor_epochs = 50;
+    cfg.seed = 1000 + static_cast<std::uint64_t>(d);
+    api::Engine engine =
+        bench::unwrap(api::Engine::create(cfg), "create(predictor engine)");
+
+    const api::PredictorReport m = bench::unwrap(
+        engine.evaluate_predictor(400, 2000 + static_cast<std::uint64_t>(d)),
+        "evaluate predictor");
     std::printf("%-12s %10.1f %14.1f %12.1f\n",
-                bench::short_device_name(kind), 100.0 * m.mape,
+                bench::short_device_name(devices[d]), 100.0 * m.mape,
                 100.0 * m.within_10pct, m.rmse_ms);
 
-    // Scatter sample: first 8 test points.
     std::printf("    measured->predicted (ms): ");
-    for (int i = 0; i < 8; ++i)
-      std::printf("%.0f->%.0f  ", test[static_cast<std::size_t>(i)].latency_ms,
-                  pred.predict_ms(test[static_cast<std::size_t>(i)].arch));
+    for (std::size_t i = 0; i < m.sample_measured_ms.size(); ++i)
+      std::printf("%.0f->%.0f  ", m.sample_measured_ms[i],
+                  m.sample_predicted_ms[i]);
     std::printf("\n");
   }
   std::printf("(paper: ~6%% MAPE on RTX/i7/TX2, ~19%% on the noisy Pi; "

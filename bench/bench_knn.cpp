@@ -2,6 +2,7 @@
 // (ablation for the graph substrate's dispatch heuristic).
 #include <benchmark/benchmark.h>
 
+#include "gbench_json.hpp"
 #include "graph/graph.hpp"
 #include "tensor/rng.hpp"
 
@@ -42,4 +43,10 @@ BENCHMARK(BM_RandomSample)->Arg(256)->Arg(1024);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  hg::bench::JsonReporter json("knn");
+  hg::bench::GBenchJsonAdapter reporter(json);
+  ::benchmark::RunSpecifiedBenchmarks(&reporter);
+  return 0;
+}

@@ -5,6 +5,7 @@
 
 #include <memory>
 
+#include "gbench_json.hpp"
 #include "predictor/predictor.hpp"
 
 namespace {
@@ -60,4 +61,10 @@ BENCHMARK(BM_AnalyticalLatency);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  hg::bench::JsonReporter json("predictor_speed");
+  hg::bench::GBenchJsonAdapter reporter(json);
+  ::benchmark::RunSpecifiedBenchmarks(&reporter);
+  return 0;
+}

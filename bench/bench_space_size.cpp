@@ -4,6 +4,7 @@
 
 #include <cstdio>
 
+#include "gbench_json.hpp"
 #include "hgnas/arch.hpp"
 
 namespace {
@@ -57,6 +58,8 @@ int main(int argc, char** argv) {
               hg::hgnas::log10_full_space_size(cfg));
 
   ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
+  hg::bench::JsonReporter json("space_size");
+  hg::bench::GBenchJsonAdapter reporter(json);
+  ::benchmark::RunSpecifiedBenchmarks(&reporter);
   return 0;
 }

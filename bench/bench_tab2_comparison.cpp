@@ -2,14 +2,15 @@
 // DGCNN and the manual optimisations [6][7] — model size, overall accuracy
 // (OA), balanced accuracy (mAcc), inference latency and peak memory.
 //
-// Latency / memory / size: paper-scale cost models (1024 points, 40-class
-// head). OA / mAcc: CPU-scale training on the 10-class synthetic dataset.
+// Latency / memory / size: paper-scale cost models through
+// Engine::profile_baseline / profile. OA / mAcc: CPU-scale training through
+// Engine::train_baseline / train on the 10-class synthetic dataset —
+// baseline accuracy is device-independent and trains exactly once.
 #include <cstdio>
 #include <string>
+#include <vector>
 
-#include "baselines/baselines.hpp"
 #include "bench_util.hpp"
-#include "hgnas/model.hpp"
 
 namespace {
 
@@ -36,78 +37,78 @@ void print_row(const Row& r, double dgcnn_ms, double dgcnn_mb) {
 int main() {
   hg::bench::JsonReporter bench_json("tab2_comparison");
   hg::bench::Timer bench_timer;
-  pointcloud::Dataset data(16, 32, 2718);
 
   // --- Device-independent accuracy training (shared across devices) -------
-  Rng brng(10);
-  baselines::Dgcnn dgcnn_model(baselines::DgcnnConfig::scaled(10, 6), brng);
-  const auto dgcnn_eval =
-      baselines::train_baseline(dgcnn_model, data, 15, 2e-3f, brng);
-  baselines::Dgcnn li_model(
-      baselines::li_optimized_config(baselines::DgcnnConfig::scaled(10, 6)),
-      brng);
-  const auto li_eval =
-      baselines::train_baseline(li_model, data, 15, 2e-3f, brng);
-  baselines::TailorGnn tailor_model(baselines::TailorConfig::scaled(10, 6),
-                                    brng);
-  const auto tailor_eval =
-      baselines::train_baseline(tailor_model, data, 15, 2e-3f, brng);
+  api::EngineConfig acc_cfg = bench::default_engine_config("rtx3080");
+  acc_cfg.samples_per_class = 16;
+  acc_cfg.dataset_seed = 2718;
+  acc_cfg.train_epochs = 15;
+  acc_cfg.train_lr = 2e-3f;
+  acc_cfg.seed = 10;
+  api::Engine acc_engine =
+      bench::unwrap(api::Engine::create(acc_cfg), "create(accuracy engine)");
+  const api::TrainReport dgcnn_eval =
+      bench::unwrap(acc_engine.train_baseline("dgcnn"), "train dgcnn");
+  const api::TrainReport li_eval =
+      bench::unwrap(acc_engine.train_baseline("li"), "train li");
+  const api::TrainReport tailor_eval =
+      bench::unwrap(acc_engine.train_baseline("tailor"), "train tailor");
 
-  const hw::Trace dgcnn_trace =
-      baselines::Dgcnn::trace(baselines::DgcnnConfig{}, 1024);
-  const hw::Trace li_trace = baselines::Dgcnn::trace(
-      baselines::li_optimized_config(baselines::DgcnnConfig{}), 1024);
-  const hw::Trace tailor_trace =
-      baselines::TailorGnn::trace(baselines::TailorConfig{}, 1024);
-
-  for (int d = 0; d < hw::kNumDevices; ++d) {
-    const auto kind = static_cast<hw::DeviceKind>(d);
-    hw::Device dev = hw::make_device(kind);
-    const double dgcnn_ms = dev.latency_ms(dgcnn_trace);
-    const double dgcnn_mb = dev.peak_memory_mb(dgcnn_trace);
+  const std::vector<std::string> devices =
+      api::Registry::global().device_names();
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    const std::string& dev_name = devices[d];
 
     std::vector<Row> rows;
-    rows.push_back({"DGCNN", dgcnn_trace.param_mb, dgcnn_eval.overall_acc,
-                    dgcnn_eval.balanced_acc, dgcnn_ms, dgcnn_mb});
-    rows.push_back({"[6] Li", li_trace.param_mb, li_eval.overall_acc,
-                    li_eval.balanced_acc, dev.latency_ms(li_trace),
-                    dev.peak_memory_mb(li_trace)});
-    rows.push_back({"[7] Tailor", tailor_trace.param_mb,
-                    tailor_eval.overall_acc, tailor_eval.balanced_acc,
-                    dev.latency_ms(tailor_trace),
-                    dev.peak_memory_mb(tailor_trace)});
+    std::string full_name;
+    double dgcnn_ms = 0.0, dgcnn_mb = 0.0;
 
     // --- HGNAS Device-Acc and Device-Fast ---------------------------------
     for (int mode = 0; mode < 2; ++mode) {
-      Rng rng(333 + static_cast<std::uint64_t>(d * 2 + mode));
-      hgnas::SuperNet supernet(bench::default_space(),
-                               bench::default_supernet(), rng);
-      hgnas::SearchConfig cfg = bench::default_search_config(dev);
-      cfg.latency_constraint_ms = dgcnn_ms;
+      api::EngineConfig cfg = bench::default_engine_config(dev_name);
+      cfg.constrain_to_reference = true;
       cfg.alpha = 1.0;
       cfg.beta = mode == 0 ? 0.1 : 1.0;
-      pointcloud::Dataset search_data(12, 32, 1234);
-      hgnas::HgnasSearch search(
-          supernet, search_data, cfg,
-          hgnas::make_oracle_evaluator(dev, bench::paper_workload()));
-      hgnas::SearchResult r = search.run_multistage(rng);
+      cfg.samples_per_class = 12;
+      cfg.dataset_seed = 1234;
+      cfg.seed = 333 + static_cast<std::uint64_t>(d * 2 + mode);
+      api::Engine engine =
+          bench::unwrap(api::Engine::create(cfg), "create(search engine)");
 
-      Rng trng(444 + static_cast<std::uint64_t>(d * 2 + mode));
-      hgnas::GnnModel model(r.best_arch, bench::train_workload(), trng);
-      hgnas::TrainConfig tcfg;
-      tcfg.epochs = 15;
-      tcfg.lr = 2e-3f;
-      const auto eval = train_model(model, data, tcfg, trng);
+      if (mode == 0) {
+        full_name = engine.device().name();
+        const api::ProfileReport dgcnn = bench::unwrap(
+            engine.profile_baseline("dgcnn"), "profile dgcnn");
+        dgcnn_ms = dgcnn.latency_ms;
+        dgcnn_mb = dgcnn.peak_memory_mb;
+        rows.push_back({"DGCNN", dgcnn.param_mb, dgcnn_eval.overall_acc,
+                        dgcnn_eval.balanced_acc, dgcnn_ms, dgcnn_mb});
+        const api::ProfileReport li =
+            bench::unwrap(engine.profile_baseline("li"), "profile li");
+        rows.push_back({"[6] Li", li.param_mb, li_eval.overall_acc,
+                        li_eval.balanced_acc, li.latency_ms,
+                        li.peak_memory_mb});
+        const api::ProfileReport tailor = bench::unwrap(
+            engine.profile_baseline("tailor"), "profile tailor");
+        rows.push_back({"[7] Tailor", tailor.param_mb,
+                        tailor_eval.overall_acc, tailor_eval.balanced_acc,
+                        tailor.latency_ms, tailor.peak_memory_mb});
+      }
 
-      const hw::Trace t = lower_to_trace(r.best_arch,
-                                         bench::paper_workload());
-      rows.push_back({std::string(bench::short_device_name(kind)) +
+      const api::SearchReport report =
+          bench::unwrap(engine.search(), "search");
+      const api::Arch& best = report.result.best_arch;
+      const api::TrainReport eval =
+          bench::unwrap(acc_engine.train(best), "train winner");
+      const api::ProfileReport prof =
+          bench::unwrap(engine.profile(best), "profile winner");
+      rows.push_back({std::string(bench::short_device_name(dev_name)) +
                           (mode == 0 ? "-Acc" : "-Fast"),
-                      t.param_mb, eval.overall_acc, eval.balanced_acc,
-                      dev.latency_ms(t), dev.peak_memory_mb(t)});
+                      prof.param_mb, eval.overall_acc, eval.balanced_acc,
+                      prof.latency_ms, prof.peak_memory_mb});
     }
 
-    bench::print_header(std::string("Table II: ") + dev.name());
+    bench::print_header(std::string("Table II: ") + full_name);
     std::printf("%-14s %8s %7s %7s %18s %18s\n", "network", "size_MB",
                 "OA_%", "mAcc_%", "latency_ms (spd)", "mem_MB (red)");
     for (const auto& r : rows) print_row(r, dgcnn_ms, dgcnn_mb);

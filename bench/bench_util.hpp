@@ -5,19 +5,21 @@
 //  * anything requiring actual training (accuracy, search, predictor fit)
 //    runs at CPU scale (32-64 points, 10 synthetic classes) — see
 //    EXPERIMENTS.md for the mapping.
+//
+// The figure benches reproduce everything through hg::api::Engine — no
+// module header (hgnas/, hw/, predictor/, baselines/) is included here or
+// in any figure bench; devices and baselines are iterated by registry name.
 #pragma once
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
 
-#include "api/config.hpp"
+#include "api/engine.hpp"
 #include "core/parallel.hpp"
-#include "hgnas/search.hpp"
-#include "hw/device.hpp"
-#include "pointcloud/pointcloud.hpp"
 
 // Git revision baked in by bench/CMakeLists.txt at configure time, so every
 // BENCH_*.json row is attributable to a commit.
@@ -144,73 +146,46 @@ inline api::EngineConfig default_engine_config(const std::string& device) {
 }
 
 /// Paper-scale workload used for all cost-model evaluations.
-inline hgnas::Workload paper_workload() {
-  hgnas::Workload w;
+inline api::Workload paper_workload() {
+  api::Workload w;
   w.num_points = 1024;
   w.k = 20;
   w.num_classes = 40;
   return w;
 }
 
-/// CPU-scale training workload (drives dataset + materialised models).
-inline hgnas::Workload train_workload() {
-  hgnas::Workload w;
-  w.num_points = 32;
-  w.k = 6;
-  w.num_classes = 10;
-  return w;
-}
-
-inline hgnas::SpaceConfig default_space() {
-  hgnas::SpaceConfig s;
-  s.num_positions = 12;  // paper setting
-  return s;
-}
-
-inline hgnas::SupernetConfig default_supernet() {
-  hgnas::SupernetConfig c;
-  c.hidden = 24;
-  c.k = 6;
-  c.num_classes = 10;
-  c.head_hidden = 48;
-  return c;
-}
-
-/// Search configuration scaled for a single CPU core; latencies are always
-/// evaluated at paper scale through cfg.workload.
-inline hgnas::SearchConfig default_search_config(const hw::Device& device) {
-  hgnas::SearchConfig cfg;
-  cfg.space = default_space();
-  cfg.workload = paper_workload();
-  cfg.population = 16;
-  cfg.parents = 8;
-  cfg.iterations = 12;
-  cfg.eval_val_samples = 40;
-  cfg.function_paths_per_eval = 3;
-  cfg.stage1_epochs = 2;
-  cfg.stage2_epochs = 4;
-  cfg.latency_scale_ms =
-      device.latency_ms(hw::dgcnn_reference_trace(1024));
-  // Simulated wall-clock constants expressed at paper scale (ModelNet40 on
-  // a V100): one supernet training pass over our 80-cloud CPU-scale split
-  // stands in for an epoch over ~9.8k clouds.
-  cfg.sim_train_s_per_sample = 0.5;
-  cfg.sim_eval_s_per_sample = 0.05;
-  return cfg;
-}
-
 inline void print_header(const std::string& title) {
   std::printf("\n===== %s =====\n", title.c_str());
 }
 
-inline const char* short_device_name(hw::DeviceKind kind) {
-  switch (kind) {
-    case hw::DeviceKind::Rtx3080: return "RTX3080";
-    case hw::DeviceKind::IntelI7_8700K: return "i7-8700K";
-    case hw::DeviceKind::JetsonTx2: return "JetsonTX2";
-    case hw::DeviceKind::RaspberryPi3B: return "RaspberryPi";
+/// Compact display label for a canonical registry device name.
+inline const char* short_device_name(const std::string& registry_name) {
+  if (registry_name == "rtx3080") return "RTX3080";
+  if (registry_name == "i7-8700k") return "i7-8700K";
+  if (registry_name == "jetson-tx2") return "JetsonTX2";
+  if (registry_name == "raspberry-pi-3b") return "RaspberryPi";
+  return registry_name.c_str();
+}
+
+/// Registry name of the zoo's Fig. 10 Device_Fast design for a device.
+inline const char* fast_baseline_for(const std::string& registry_name) {
+  if (registry_name == "rtx3080") return "rtx-fast";
+  if (registry_name == "i7-8700k") return "i7-fast";
+  if (registry_name == "jetson-tx2") return "tx2-fast";
+  if (registry_name == "raspberry-pi-3b") return "pi-fast";
+  return "dgcnn";
+}
+
+/// Exit-on-error unwrap for bench code: benches have no recovery path, so
+/// a Status failure prints and aborts the run.
+template <typename T>
+T unwrap(api::Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what,
+                 result.status().to_string().c_str());
+    std::exit(1);
   }
-  return "?";
+  return std::move(result).value();
 }
 
 }  // namespace hg::bench

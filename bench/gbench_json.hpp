@@ -1,0 +1,54 @@
+// gbench_json.hpp — bridge from Google Benchmark's reporter interface to
+// the repo's BENCH_*.json trajectory (bench_util.hpp's JsonReporter).
+//
+// The figure benches write their wall-clock records directly; the
+// Google-Benchmark micro-benches report through this adapter instead, so
+// the whole suite feeds the same machine-readable per-commit perf history
+// (wall_ms, threads, problem, git rev) that CI archives and thresholds.
+//
+// Usage (replaces BENCHMARK_MAIN()):
+//   int main(int argc, char** argv) {
+//     ::benchmark::Initialize(&argc, argv);
+//     hg::bench::JsonReporter json("knn");
+//     hg::bench::GBenchJsonAdapter reporter(json);
+//     ::benchmark::RunSpecifiedBenchmarks(&reporter);
+//     return 0;
+//   }
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace hg::bench {
+
+/// Console output as usual, plus one JsonReporter record per benchmark run:
+/// name = the full benchmark name ("BM_KnnBrute/512"), wall_ms = real time
+/// per iteration, value = iteration count.
+class GBenchJsonAdapter final : public ::benchmark::ConsoleReporter {
+ public:
+  explicit GBenchJsonAdapter(JsonReporter& json) : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ::benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration ||
+          run.report_big_o || run.report_rms)
+        continue;
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      json_.add(run.benchmark_name(),
+                run.real_accumulated_time / iters * 1e3,
+                /*problem=*/"per-iteration",
+                /*value=*/static_cast<double>(run.iterations),
+                /*unit=*/"iters");
+    }
+  }
+
+ private:
+  JsonReporter& json_;
+};
+
+}  // namespace hg::bench

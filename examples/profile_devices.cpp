@@ -1,51 +1,79 @@
 // profile_devices — Observation ① / ③ of the paper on the device models:
 // per-op profiling of DGCNN on all four platforms, execution-time
-// breakdowns, and the point-count scaling sweep with OOM detection.
+// breakdowns, and the point-count scaling sweep with OOM detection — all
+// through Engine::profile_baseline.
 #include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
 
-#include "baselines/baselines.hpp"
-#include "hw/profiler.hpp"
+#include "api/engine.hpp"
 
 int main() {
   using namespace hg;
 
+  // One tiny-scale engine per device (the cost models are independent of
+  // the engine's training-side scale).
+  std::vector<std::unique_ptr<api::Engine>> engines;
+  for (const std::string& name : api::Registry::global().device_names()) {
+    api::EngineConfig cfg = api::EngineConfig::tiny();
+    cfg.device = name;
+    cfg.num_points = 1024;  // paper workload for the cost models
+    cfg.k = 20;
+    cfg.num_classes = 40;
+    api::Result<api::Engine> engine = api::Engine::create(cfg);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "%s\n", engine.status().to_string().c_str());
+      return 1;
+    }
+    engines.push_back(
+        std::make_unique<api::Engine>(std::move(engine).value()));
+  }
+
   std::printf("== DGCNN execution-time breakdown (1024 points) ==\n");
-  const hw::Trace dgcnn = hw::dgcnn_reference_trace(1024);
-  for (int d = 0; d < hw::kNumDevices; ++d) {
-    hw::Device dev = hw::make_device(static_cast<hw::DeviceKind>(d));
-    std::printf("%-18s %s\n", dev.name().c_str(),
-                hw::breakdown_summary(dev, dgcnn).c_str());
+  for (const auto& engine : engines) {
+    const api::Result<api::ProfileReport> r =
+        engine->profile_baseline("dgcnn");
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s\n", r.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("%-18s %s\n", engine->device().name().c_str(),
+                r.value().breakdown.c_str());
   }
 
   std::printf("\n== point-count scaling on every device ==\n");
   std::printf("%8s", "points");
-  for (int d = 0; d < hw::kNumDevices; ++d)
-    std::printf(" %16s", hw::device_kind_name(
-                             static_cast<hw::DeviceKind>(d)).c_str());
+  for (const auto& engine : engines)
+    std::printf(" %16s", engine->device().name().c_str());
   std::printf("\n");
   for (std::int64_t n : {128, 256, 512, 1024, 1536, 2048}) {
-    const hw::Trace t = hw::dgcnn_reference_trace(n);
+    api::Workload w = engines.front()->deploy_workload();
+    w.num_points = n;
     std::printf("%8lld", static_cast<long long>(n));
-    for (int d = 0; d < hw::kNumDevices; ++d) {
-      hw::Device dev = hw::make_device(static_cast<hw::DeviceKind>(d));
-      if (dev.would_oom(t))
+    for (const auto& engine : engines) {
+      const api::Result<api::ProfileReport> r =
+          engine->profile_baseline("dgcnn", w);
+      if (!r.ok()) {
+        std::fprintf(stderr, "%s\n", r.status().to_string().c_str());
+        return 1;
+      }
+      if (r.value().oom)
         std::printf(" %16s", "OOM");
       else
-        std::printf(" %13.1f ms", dev.latency_ms(t));
+        std::printf(" %13.1f ms", r.value().latency_ms);
     }
     std::printf("\n");
   }
 
   std::printf("\n== full per-op profile: Intel i7-8700K ==\n%s",
-              hw::profile_report(
-                  hw::make_device(hw::DeviceKind::IntelI7_8700K), dgcnn)
-                  .c_str());
+              engines[1]->profile_baseline("dgcnn").value()
+                  .per_op_table.c_str());
 
   std::printf("\n== power-efficiency claim (paper §I) ==\n");
-  hw::Device rtx = hw::make_device(hw::DeviceKind::Rtx3080);
-  hw::Device tx2 = hw::make_device(hw::DeviceKind::JetsonTx2);
+  const double rtx_w = engines[0]->device().spec().power_w;
+  const double tx2_w = engines[2]->device().spec().power_w;
   std::printf("RTX3080 %.0f W vs Jetson TX2 %.1f W -> %.0fx power budget\n",
-              rtx.spec().power_w, tx2.spec().power_w,
-              rtx.spec().power_w / tx2.spec().power_w);
+              rtx_w, tx2_w, rtx_w / tx2_w);
   return 0;
 }

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Gate BENCH_*.json records against a committed baseline.
+
+Usage: check_perf_regression.py <current.json> <baseline.json> [threshold]
+
+Fails (exit 1) when any record's wall_ms regresses more than `threshold`x
+(default 1.5) against the same-named record in the baseline file, and the
+measurement is above the noise floor. Records missing on either side are
+reported but do not fail the gate (bench contents may evolve); improvements
+are reported for the log.
+
+The baseline lives in bench/baseline/ and is refreshed deliberately, by
+committing a new BENCH_*.json produced on the reference configuration —
+that keeps the perf trajectory an explicit, reviewable artifact.
+"""
+
+import json
+import os
+import sys
+
+# Records faster than this are timer/scheduler noise, not regressions.
+NOISE_FLOOR_MS = 5.0
+
+
+def load_records(path):
+    with open(path) as f:
+        data = json.load(f)
+    return {r["name"]: r for r in data.get("records", [])}
+
+
+def main():
+    if len(sys.argv) < 3:
+        print(__doc__)
+        return 2
+    current_path, baseline_path = sys.argv[1], sys.argv[2]
+    threshold = float(sys.argv[3]) if len(sys.argv) > 3 else float(
+        os.environ.get("HG_PERF_THRESHOLD", "1.5"))
+
+    current = load_records(current_path)
+    baseline = load_records(baseline_path)
+
+    failures = []
+    compared = 0
+    for name, rec in sorted(current.items()):
+        base = baseline.get(name)
+        if base is None:
+            print(f"  new record (no baseline): {name}")
+            continue
+        cur_ms, base_ms = rec["wall_ms"], base["wall_ms"]
+        if rec.get("threads") != base.get("threads"):
+            print(f"  skipped (thread count differs): {name}")
+            continue
+        if rec.get("problem") != base.get("problem"):
+            # e.g. a baseline refreshed from a full run vs CI's --quick run:
+            # different problem sizes are not comparable.
+            print(f"  skipped (problem size differs): {name} "
+                  f"({base.get('problem')!r} vs {rec.get('problem')!r})")
+            continue
+        if base_ms < NOISE_FLOOR_MS and cur_ms < NOISE_FLOOR_MS:
+            continue
+        compared += 1
+        ratio = cur_ms / base_ms if base_ms > 0 else float("inf")
+        verdict = "OK"
+        if ratio > threshold:
+            verdict = "REGRESSION"
+            failures.append((name, base_ms, cur_ms, ratio))
+        elif ratio < 1.0 / threshold:
+            verdict = "improved"
+        print(f"  {verdict:>10}  {name}: {base_ms:.1f} ms -> {cur_ms:.1f} ms "
+              f"({ratio:.2f}x)")
+
+    for name in sorted(set(baseline) - set(current)):
+        print(f"  record dropped from bench: {name}")
+
+    if failures:
+        print(f"\n{len(failures)} record(s) regressed beyond {threshold}x:")
+        for name, base_ms, cur_ms, ratio in failures:
+            print(f"  {name}: {base_ms:.1f} ms -> {cur_ms:.1f} ms "
+                  f"({ratio:.2f}x)")
+        return 1
+    print(f"\nperf gate passed ({compared} records compared, "
+          f"threshold {threshold}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

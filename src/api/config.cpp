@@ -89,4 +89,41 @@ Status validate(const EngineConfig& cfg) {
   return Status::Ok();
 }
 
+Status context_compatible(const EngineConfig& ctx_cfg,
+                          const EngineConfig& cfg) {
+  auto mismatch = [](const char* field) {
+    return Status::InvalidArgument(
+        std::string("config field '") + field +
+        "' differs from the shared EvalContext's; context-shaping fields "
+        "must match (build a fresh context to change them)");
+  };
+  struct Check {
+    bool equal;
+    const char* field;
+  };
+  const Check checks[] = {
+      {ctx_cfg.device == cfg.device, "device"},
+      {ctx_cfg.num_points == cfg.num_points, "num_points"},
+      {ctx_cfg.k == cfg.k, "k"},
+      {ctx_cfg.num_classes == cfg.num_classes, "num_classes"},
+      {ctx_cfg.num_positions == cfg.num_positions, "num_positions"},
+      {ctx_cfg.samples_per_class == cfg.samples_per_class,
+       "samples_per_class"},
+      {ctx_cfg.train_points == cfg.train_points, "train_points"},
+      {ctx_cfg.train_k == cfg.train_k, "train_k"},
+      {ctx_cfg.dataset_seed == cfg.dataset_seed, "dataset_seed"},
+      {ctx_cfg.supernet_hidden == cfg.supernet_hidden, "supernet_hidden"},
+      {ctx_cfg.supernet_head_hidden == cfg.supernet_head_hidden,
+       "supernet_head_hidden"},
+      {ctx_cfg.predictor_samples == cfg.predictor_samples,
+       "predictor_samples"},
+      {ctx_cfg.predictor_epochs == cfg.predictor_epochs, "predictor_epochs"},
+      {ctx_cfg.seed == cfg.seed, "seed"},
+      {ctx_cfg.num_threads == cfg.num_threads, "num_threads"},
+  };
+  for (const Check& c : checks)
+    if (!c.equal) return mismatch(c.field);
+  return Status::Ok();
+}
+
 }  // namespace hg::api

@@ -44,6 +44,13 @@ struct EngineConfig {
   float train_lr = 1e-3f;          // learning rate for Engine::train()
 
   // ---- search scale ----
+  /// When false, search() assumes the context's supernet was already
+  /// trained (by an earlier search on the same shared EvalContext) and
+  /// skips every warmup / re-init / pretrain phase. Supernet training is
+  /// device-independent, so one trained supernet can serve several
+  /// per-device or per-objective searches — and their candidate scores can
+  /// then meet in the context's shared memo cache.
+  bool train_supernet = true;
   std::int64_t population = 16;
   std::int64_t parents = 8;
   std::int64_t iterations = 12;
@@ -93,5 +100,14 @@ struct EngineConfig {
 /// Field-level sanity checks (positivity, ranges, cross-field relations).
 /// Registry-name resolution happens later, in Engine::create.
 Status validate(const EngineConfig& cfg);
+
+/// Whether `cfg` can run on an EvalContext built from `ctx_cfg`: every
+/// field that shapes the context's owned state (device, workloads, design
+/// space, dataset, supernet, predictor knobs, master seed, pool width) must
+/// match. Per-engine fields — evaluator, strategy, objective weights,
+/// constraint set, search scale — are free to differ; that is the point of
+/// sharing a context. Returns INVALID_ARGUMENT naming the first mismatch.
+Status context_compatible(const EngineConfig& ctx_cfg,
+                          const EngineConfig& cfg);
 
 }  // namespace hg::api

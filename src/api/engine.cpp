@@ -1,10 +1,11 @@
 #include "api/engine.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <exception>
 #include <stdexcept>
 #include <utility>
 
-#include "core/parallel.hpp"
 #include "predictor/predictor.hpp"
 
 namespace hg::api {
@@ -60,7 +61,18 @@ Status validate_arch(const Arch& arch) {
 }  // namespace
 
 Result<Engine> Engine::create(const EngineConfig& cfg) {
+  Result<std::shared_ptr<EvalContext>> ctx = EvalContext::create(cfg);
+  if (!ctx.ok()) return ctx.status();
+  return create(cfg, std::move(ctx).value());
+}
+
+Result<Engine> Engine::create(const EngineConfig& cfg,
+                              std::shared_ptr<EvalContext> ctx) {
   if (const Status s = validate(cfg); !s.ok()) return s;
+  if (ctx == nullptr)
+    return Status::InvalidArgument("EvalContext is null");
+  if (const Status s = context_compatible(ctx->config(), cfg); !s.ok())
+    return s;
 
   Registry& reg = Registry::global();
   if (!reg.has_strategy(cfg.strategy))
@@ -69,40 +81,15 @@ Result<Engine> Engine::create(const EngineConfig& cfg) {
 
   Engine engine;
   engine.cfg_ = cfg;
+  engine.ctx_ = std::move(ctx);
 
-  // Size the shared execution pool (0 = hardware concurrency, 1 = the
-  // bit-for-bit serial path). Process-wide, like a BLAS thread setting.
-  try {
-    core::set_num_threads(cfg.num_threads);
-  } catch (const std::exception& e) {
-    // Thread creation can fail under resource exhaustion even for counts
-    // that pass validation; keep the no-throw facade contract.
-    return Status::Internal(std::string("cannot size the thread pool: ") +
-                            e.what());
-  }
-
-  Result<hw::Device> device = reg.make_device(cfg.device);
-  if (!device.ok()) return device.status();
-  engine.device_ = std::make_unique<hw::Device>(std::move(device).value());
-
-  engine.deploy_workload_.num_points = cfg.num_points;
-  engine.deploy_workload_.k = cfg.k;
-  engine.deploy_workload_.num_classes = cfg.num_classes;
-
-  engine.data_ = std::make_unique<pointcloud::Dataset>(
-      cfg.samples_per_class, cfg.train_points, cfg.dataset_seed);
-  engine.train_workload_.num_points = cfg.train_points;
-  engine.train_workload_.k = cfg.train_k;
-  engine.train_workload_.num_classes = engine.data_->num_classes();
-
-  const hw::Trace reference =
-      hw::dgcnn_reference_trace(cfg.num_points, cfg.k, cfg.num_classes);
-  engine.reference_ms_ = engine.device_->latency_ms(reference);
-  engine.reference_mb_ = engine.device_->peak_memory_mb(reference);
+  Result<EvaluatorBundle> evaluator = engine.ctx_->evaluator(cfg.evaluator);
+  if (!evaluator.ok()) return evaluator.status();
+  engine.evaluator_ = std::move(evaluator).value();
 
   hgnas::SearchConfig& scfg = engine.search_cfg_;
   scfg.space.num_positions = cfg.num_positions;
-  scfg.workload = engine.deploy_workload_;
+  scfg.workload = engine.ctx_->deploy_workload();
   scfg.population = cfg.population;
   scfg.parents = cfg.parents;
   scfg.iterations = cfg.iterations;
@@ -110,47 +97,34 @@ Result<Engine> Engine::create(const EngineConfig& cfg) {
   scfg.beta = cfg.beta;
   scfg.latency_constraint_ms = cfg.latency_budget_ms;
   if (!scfg.latency_constraint_ms && cfg.constrain_to_reference)
-    scfg.latency_constraint_ms = engine.reference_ms_;
+    scfg.latency_constraint_ms = engine.ctx_->reference_latency_ms();
   scfg.memory_constraint_mb = cfg.memory_budget_mb;
   scfg.size_constraint_mb = cfg.model_size_budget_mb;
-  scfg.latency_scale_ms = cfg.latency_scale_ms.value_or(engine.reference_ms_);
+  scfg.latency_scale_ms =
+      cfg.latency_scale_ms.value_or(engine.ctx_->reference_latency_ms());
   scfg.eval_val_samples = cfg.eval_val_samples;
   scfg.function_paths_per_eval = cfg.function_paths_per_eval;
   scfg.stage1_epochs = cfg.stage1_epochs;
   scfg.stage2_epochs = cfg.stage2_epochs;
+  scfg.train_supernet = cfg.train_supernet;
   scfg.sim_train_s_per_sample = cfg.sim_train_s_per_sample;
   scfg.sim_eval_s_per_sample = cfg.sim_eval_s_per_sample;
-
-  engine.rng_ = std::make_unique<Rng>(cfg.seed);
-  hgnas::SupernetConfig sn_cfg;
-  sn_cfg.hidden = cfg.supernet_hidden;
-  sn_cfg.k = cfg.train_k;
-  sn_cfg.num_classes = engine.data_->num_classes();
-  sn_cfg.head_hidden = cfg.supernet_head_hidden;
-  engine.supernet_ = std::make_unique<hgnas::SuperNet>(scfg.space, sn_cfg,
-                                                       *engine.rng_);
-
-  EvaluatorRequest ereq;
-  ereq.device = engine.device_.get();
-  ereq.space = scfg.space;
-  ereq.workload = engine.deploy_workload_;
-  ereq.seed = cfg.seed ^ 0xa5a5a5a55a5a5a5aULL;
-  ereq.predictor_samples = cfg.predictor_samples;
-  ereq.predictor_epochs = cfg.predictor_epochs;
-  Result<EvaluatorBundle> evaluator = reg.make_evaluator(cfg.evaluator, ereq);
-  if (!evaluator.ok()) return evaluator.status();
-  engine.evaluator_ = std::move(evaluator).value();
+  // Scopes the shared memo cache: scores from a different evaluator (or a
+  // different master seed's measurement stream) never get served here.
+  scfg.evaluator_tag = cfg.evaluator + "@" + cfg.device + "#" +
+                       std::to_string(cfg.seed);
 
   return engine;
 }
 
 Result<SearchReport> Engine::search() {
   StrategyRequest req;
-  req.supernet = supernet_.get();
-  req.data = data_.get();
+  req.supernet = &ctx_->supernet();
+  req.data = &ctx_->data();
   req.cfg = search_cfg_;
   req.latency = evaluator_.fn;
-  req.rng = rng_.get();
+  req.rng = &ctx_->rng();
+  req.eval_cache = &ctx_->eval_cache();
   try {
     Result<hgnas::SearchResult> result =
         Registry::global().run_strategy(cfg_.strategy, req);
@@ -160,7 +134,13 @@ Result<SearchReport> Engine::search() {
     last_cache_hits_ = report.result.eval_cache_hits;
     last_cache_misses_ = report.result.eval_cache_misses;
     report.visualization =
-        hgnas::visualize(report.result.best_arch, deploy_workload_);
+        hgnas::visualize(report.result.best_arch, deploy_workload());
+    for (const ParetoPoint& p : report.result.frontier) {
+      char line[64];
+      std::snprintf(line, sizeof(line), "%12.1f %10.3f\n", p.latency_ms,
+                    p.accuracy);
+      report.frontier_table += line;
+    }
     return report;
   } catch (const std::exception& e) {
     return Status::Internal(std::string("search failed: ") + e.what());
@@ -181,12 +161,12 @@ Result<LatencyReport> Engine::predict_latency(const Arch& arch) {
 Result<TrainReport> Engine::train(const Arch& arch) {
   if (const Status s = validate_arch(arch); !s.ok()) return s;
   try {
-    hgnas::GnnModel model(arch, train_workload_, *rng_);
+    hgnas::GnnModel model(arch, train_workload(), ctx_->rng());
     hgnas::TrainConfig tcfg;
     tcfg.epochs = cfg_.train_epochs;
     tcfg.lr = cfg_.train_lr;
     const hgnas::EvalResult eval =
-        hgnas::train_model(model, *data_, tcfg, *rng_);
+        hgnas::train_model(model, ctx_->data(), tcfg, ctx_->rng());
     return TrainReport{eval.overall_acc, eval.balanced_acc, eval.mean_loss,
                        model.param_mb()};
   } catch (const std::exception& e) {
@@ -194,27 +174,78 @@ Result<TrainReport> Engine::train(const Arch& arch) {
   }
 }
 
+ProfileReport Engine::profile_trace(const hw::Trace& trace,
+                                    const Workload& reference_workload) const {
+  const hw::Device& dev = ctx_->device();
+  ProfileReport report;
+  report.latency_ms = dev.latency_ms(trace);
+  report.peak_memory_mb = dev.peak_memory_mb(trace);
+  report.energy_mj = dev.energy_mj(trace);
+  report.param_mb = trace.param_mb;
+  report.oom = dev.would_oom(trace);
+  report.breakdown = hw::breakdown_summary(dev, trace);
+  report.per_op_table = hw::profile_report(dev, trace);
+  report.category_fraction = dev.breakdown(trace).fraction;
+  const hw::Trace reference = hw::dgcnn_reference_trace(
+      reference_workload.num_points, reference_workload.k,
+      reference_workload.num_classes);
+  report.reference_latency_ms = dev.latency_ms(reference);
+  report.reference_memory_mb = dev.peak_memory_mb(reference);
+  report.speedup_vs_reference =
+      report.latency_ms > 0.0
+          ? report.reference_latency_ms / report.latency_ms
+          : 0.0;
+  report.search_cache_hits = last_cache_hits_;
+  report.search_cache_misses = last_cache_misses_;
+  return report;
+}
+
 Result<ProfileReport> Engine::profile(const Arch& arch) const {
   if (const Status s = validate_arch(arch); !s.ok()) return s;
   try {
-    const hw::Trace trace = hgnas::lower_to_trace(arch, deploy_workload_);
-    ProfileReport report;
-    report.latency_ms = device_->latency_ms(trace);
-    report.peak_memory_mb = device_->peak_memory_mb(trace);
-    report.energy_mj = device_->energy_mj(trace);
-    report.param_mb = hgnas::arch_param_mb(arch, deploy_workload_);
-    report.oom = device_->would_oom(trace);
-    report.breakdown = hw::breakdown_summary(*device_, trace);
-    report.per_op_table = hw::profile_report(*device_, trace);
-    report.reference_latency_ms = reference_ms_;
-    report.reference_memory_mb = reference_mb_;
-    report.speedup_vs_reference =
-        report.latency_ms > 0.0 ? reference_ms_ / report.latency_ms : 0.0;
-    report.search_cache_hits = last_cache_hits_;
-    report.search_cache_misses = last_cache_misses_;
-    return report;
+    const Workload& w = deploy_workload();
+    hw::Trace trace = hgnas::lower_to_trace(arch, w);
+    trace.param_mb = hgnas::arch_param_mb(arch, w);
+    return profile_trace(trace, w);
   } catch (const std::exception& e) {
     return Status::Internal(std::string("profiling failed: ") + e.what());
+  }
+}
+
+Result<ProfileReport> Engine::profile_baseline(const std::string& name) const {
+  return profile_baseline(name, deploy_workload());
+}
+
+Result<ProfileReport> Engine::profile_baseline(const std::string& name,
+                                               const Workload& w) const {
+  if (w.num_points <= 1 || w.k <= 0 || w.k >= w.num_points ||
+      w.num_classes <= 0)
+    return Status::InvalidArgument(
+        "profile_baseline: workload needs num_points > 1, "
+        "k in [1, num_points), num_classes > 0");
+  Result<std::unique_ptr<Lowerable>> baseline =
+      Registry::global().make_baseline(name);
+  if (!baseline.ok()) return baseline.status();
+  try {
+    return profile_trace(baseline.value()->lower(w), w);
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("baseline profiling failed: ") +
+                            e.what());
+  }
+}
+
+Result<TrainReport> Engine::train_baseline(const std::string& name) {
+  Result<std::unique_ptr<Lowerable>> baseline =
+      Registry::global().make_baseline(name);
+  if (!baseline.ok()) return baseline.status();
+  try {
+    const BaselineTrainResult r = baseline.value()->train(
+        ctx_->data(), train_workload(), cfg_.train_epochs, cfg_.train_lr,
+        ctx_->rng());
+    return TrainReport{r.overall_acc, r.balanced_acc, 0.0, r.param_mb};
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("baseline training failed: ") +
+                            e.what());
   }
 }
 
@@ -254,12 +285,12 @@ Result<Arch> Engine::load_arch(const std::string& path) const {
 }
 
 std::string Engine::visualize(const Arch& arch) const {
-  return hgnas::visualize(arch, deploy_workload_);
+  return hgnas::visualize(arch, deploy_workload());
 }
 
 ArchGraphInfo Engine::arch_graph_info(const Arch& arch) const {
   const predictor::ArchGraph g =
-      predictor::arch_to_graph(arch, deploy_workload_);
+      predictor::arch_to_graph(arch, deploy_workload());
   return ArchGraphInfo{g.edges.num_nodes, g.edges.num_edges(),
                        predictor::kFeatureDim};
 }
@@ -273,16 +304,24 @@ Result<PredictorReport> Engine::evaluate_predictor(std::int64_t test_count,
   if (test_count <= 0)
     return Status::InvalidArgument("test_count must be positive");
   const auto test = predictor::collect_labeled_archs(
-      *device_, search_cfg_.space, deploy_workload_, test_count, seed);
+      ctx_->device(), search_cfg_.space, deploy_workload(), test_count, seed);
   if (test.empty())
     return Status::Internal("no measurable test architectures collected");
   const predictor::PredictorMetrics m = evaluator_.predictor->evaluate(test);
-  return PredictorReport{m.mape, m.within_10pct, m.rmse_ms,
-                         evaluator_.predictor_train_mape};
+  PredictorReport report{m.mape, m.within_10pct, m.rmse_ms,
+                         evaluator_.predictor_train_mape,
+                         {}, {}};
+  const std::size_t sample = std::min<std::size_t>(8, test.size());
+  for (std::size_t i = 0; i < sample; ++i) {
+    report.sample_measured_ms.push_back(test[i].latency_ms);
+    report.sample_predicted_ms.push_back(
+        evaluator_.predictor->predict_ms(test[i].arch));
+  }
+  return report;
 }
 
 Arch Engine::sample_arch() {
-  return hgnas::random_arch(search_cfg_.space, *rng_);
+  return hgnas::random_arch(search_cfg_.space, ctx_->rng());
 }
 
 }  // namespace hg::api

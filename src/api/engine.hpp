@@ -8,13 +8,22 @@
 // coherent verbs:
 //
 //   search()           run the configured NAS strategy, return the winner
+//                      (with the run's accuracy–latency Pareto frontier)
 //   predict_latency(a) latency of an architecture via the configured
 //                      evaluator (oracle, measurement, or GNN predictor)
 //   profile(a)         deterministic deployment report on the target device
 //                      (latency, memory, energy, Fig. 3 breakdown)
-//   train(a)           materialise the architecture and train it on the
+//   profile_baseline(name [, workload])  the same report for a named
+//                      reference network ("dgcnn", "li", "tailor", zoo)
+//   train(a) / train_baseline(name)      materialise and train on the
 //                      engine's dataset
 //   export_arch(a) / import_arch(text)   persistence round-trip
+//
+// The owned evaluation state (dataset, supernet, device model, fitted
+// predictor, candidate-score memo) lives in a shared EvalContext: build one
+// engine per config with Engine::create(cfg), or several engines on one
+// context with Engine::create(cfg, ctx) so e.g. one fitted predictor serves
+// every search on a device (see api/eval_context.hpp).
 //
 // Every verb reports failure as Status/Result — user input never throws
 // across this boundary. Module-level headers (hgnas/, hw/, predictor/)
@@ -22,10 +31,13 @@
 // here.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "api/config.hpp"
+#include "api/eval_context.hpp"
 #include "api/registry.hpp"
 #include "api/status.hpp"
 #include "hgnas/model.hpp"
@@ -39,6 +51,7 @@ namespace hg::api {
 using Arch = hgnas::Arch;
 using Workload = hgnas::Workload;
 using SearchResult = hgnas::SearchResult;
+using ParetoPoint = hgnas::ParetoPoint;
 
 /// One latency answer from the configured evaluator.
 struct LatencyReport {
@@ -56,6 +69,9 @@ struct ProfileReport {
   bool oom = false;
   std::string breakdown;     // one-line Fig. 3 category summary
   std::string per_op_table;  // full per-op profiler table
+  /// Per-category latency shares in hw::OpCategory order (Sample /
+  /// Aggregate / Combine / Others) — the Fig. 3 bars, numerically.
+  std::array<double, hw::kNumCategories> category_fraction{};
   // DGCNN reference on the same device / workload:
   double reference_latency_ms = 0.0;
   double reference_memory_mb = 0.0;
@@ -75,8 +91,10 @@ struct TrainReport {
 };
 
 struct SearchReport {
-  hgnas::SearchResult result;
-  std::string visualization;  // Fig. 10-style rendering of the winner
+  hgnas::SearchResult result;  // includes result.frontier (Fig. 6)
+  std::string visualization;   // Fig. 10-style rendering of the winner
+  /// result.frontier as a printable "latency_ms  accuracy" table.
+  std::string frontier_table;
 };
 
 /// Shape of the predictor's architecture-graph abstraction (§III-D).
@@ -92,14 +110,26 @@ struct PredictorReport {
   double within_10pct = 0.0;
   double rmse_ms = 0.0;
   double train_mape = 0.0;  // from the fit at engine creation
+  /// A few (measured, predicted) pairs from the held-out set — the Fig. 8
+  /// scatter sample. Parallel arrays, at most 8 entries.
+  std::vector<double> sample_measured_ms;
+  std::vector<double> sample_predicted_ms;
 };
 
 class Engine {
  public:
-  /// Validate the config, resolve every registry name, build the owned
-  /// state (dataset, supernet, device model; for evaluator "predictor"
-  /// this collects labelled architectures and fits the predictor).
+  /// Validate the config and build a fresh EvalContext for this engine
+  /// alone (for evaluator "predictor" this collects labelled architectures
+  /// and fits the predictor).
   static Result<Engine> create(const EngineConfig& cfg);
+
+  /// Build an engine on an existing shared context: the dataset, supernet,
+  /// device model, fitted predictors and candidate-score memo are reused.
+  /// Context-shaping config fields must match the context's (see
+  /// context_compatible); evaluator / strategy / objective / constraints /
+  /// search scale may differ per engine.
+  static Result<Engine> create(const EngineConfig& cfg,
+                               std::shared_ptr<EvalContext> ctx);
 
   Engine(Engine&&) = default;
   Engine& operator=(Engine&&) = default;
@@ -120,6 +150,21 @@ class Engine {
   /// Deterministic deployment report on the target device.
   Result<ProfileReport> profile(const Arch& arch) const;
 
+  // ---- named reference networks (registry "baselines") ----
+  /// The profile() report for a named baseline ("dgcnn", "li", "tailor",
+  /// "dgcnn-reuse2/3", zoo entries) at the deployment workload — or at an
+  /// explicit one (Fig. 1's point-count sweep). Reference numbers inside
+  /// the report are recomputed at the same workload, so speedup columns
+  /// stay comparable.
+  Result<ProfileReport> profile_baseline(const std::string& name) const;
+  Result<ProfileReport> profile_baseline(const std::string& name,
+                                         const Workload& workload) const;
+  /// Train a CPU-scale instance of a named baseline on the engine's
+  /// dataset (config().train_epochs / train_lr) — the accuracy columns of
+  /// Table II / Fig. 2 / Fig. 6. mean_loss is 0 (baseline training loops
+  /// report accuracy only).
+  Result<TrainReport> train_baseline(const std::string& name);
+
   // ---- persistence (serialize_arch v1 text format) ----
   Result<std::string> export_arch(const Arch& arch) const;
   Result<Arch> import_arch(const std::string& text) const;
@@ -139,31 +184,29 @@ class Engine {
   Arch sample_arch();
 
   const EngineConfig& config() const { return cfg_; }
-  const hw::Device& device() const { return *device_; }
+  /// The shared evaluation state this engine runs on.
+  const std::shared_ptr<EvalContext>& context() const { return ctx_; }
+  const hw::Device& device() const { return ctx_->device(); }
   /// Deployment-side workload (cost models, predictor).
-  const Workload& deploy_workload() const { return deploy_workload_; }
+  const Workload& deploy_workload() const { return ctx_->deploy_workload(); }
   /// Training-side workload (dataset, materialised models).
-  const Workload& train_workload() const { return train_workload_; }
+  const Workload& train_workload() const { return ctx_->train_workload(); }
   /// DGCNN reference latency / memory on the target device (Table II).
-  double reference_latency_ms() const { return reference_ms_; }
-  double reference_memory_mb() const { return reference_mb_; }
+  double reference_latency_ms() const { return ctx_->reference_latency_ms(); }
+  double reference_memory_mb() const { return ctx_->reference_memory_mb(); }
 
  private:
   Engine() = default;
 
+  /// profile() / profile_baseline() share this: cost-model numbers for one
+  /// lowered trace against an explicit reference workload.
+  ProfileReport profile_trace(const hw::Trace& trace,
+                              const Workload& reference_workload) const;
+
   EngineConfig cfg_;
-  Workload deploy_workload_;
-  Workload train_workload_;
   hgnas::SearchConfig search_cfg_;
-  // unique_ptrs keep addresses stable across Engine moves: the evaluator
-  // closure and the search borrow the device / dataset / supernet.
-  std::unique_ptr<hw::Device> device_;
-  std::unique_ptr<pointcloud::Dataset> data_;
-  std::unique_ptr<hgnas::SuperNet> supernet_;
-  std::unique_ptr<Rng> rng_;
+  std::shared_ptr<EvalContext> ctx_;
   EvaluatorBundle evaluator_;
-  double reference_ms_ = 0.0;
-  double reference_mb_ = 0.0;
   // Memo-cache counters of the most recent search(), surfaced in
   // ProfileReport.
   std::int64_t last_cache_hits_ = 0;

@@ -1,0 +1,88 @@
+#include "api/eval_context.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "core/parallel.hpp"
+
+namespace hg::api {
+
+Result<std::shared_ptr<EvalContext>> EvalContext::create(
+    const EngineConfig& cfg) {
+  if (const Status s = validate(cfg); !s.ok()) return s;
+
+  std::shared_ptr<EvalContext> ctx(new EvalContext());
+  ctx->cfg_ = cfg;
+
+  // Size the shared execution pool (0 = hardware concurrency, 1 = the
+  // bit-for-bit serial path). Process-wide, like a BLAS thread setting.
+  try {
+    core::set_num_threads(cfg.num_threads);
+  } catch (const std::exception& e) {
+    // Thread creation can fail under resource exhaustion even for counts
+    // that pass validation; keep the no-throw facade contract.
+    return Status::Internal(std::string("cannot size the thread pool: ") +
+                            e.what());
+  }
+
+  Result<hw::Device> device = Registry::global().make_device(cfg.device);
+  if (!device.ok()) return device.status();
+  ctx->device_ = std::make_unique<hw::Device>(std::move(device).value());
+
+  ctx->deploy_workload_.num_points = cfg.num_points;
+  ctx->deploy_workload_.k = cfg.k;
+  ctx->deploy_workload_.num_classes = cfg.num_classes;
+
+  ctx->data_ = std::make_unique<pointcloud::Dataset>(
+      cfg.samples_per_class, cfg.train_points, cfg.dataset_seed);
+  ctx->train_workload_.num_points = cfg.train_points;
+  ctx->train_workload_.k = cfg.train_k;
+  ctx->train_workload_.num_classes = ctx->data_->num_classes();
+
+  const hw::Trace reference =
+      hw::dgcnn_reference_trace(cfg.num_points, cfg.k, cfg.num_classes);
+  ctx->reference_ms_ = ctx->device_->latency_ms(reference);
+  ctx->reference_mb_ = ctx->device_->peak_memory_mb(reference);
+
+  ctx->rng_ = std::make_unique<Rng>(cfg.seed);
+  hgnas::SpaceConfig space;
+  space.num_positions = cfg.num_positions;
+  hgnas::SupernetConfig sn_cfg;
+  sn_cfg.hidden = cfg.supernet_hidden;
+  sn_cfg.k = cfg.train_k;
+  sn_cfg.num_classes = ctx->data_->num_classes();
+  sn_cfg.head_hidden = cfg.supernet_head_hidden;
+  ctx->supernet_ =
+      std::make_unique<hgnas::SuperNet>(space, sn_cfg, *ctx->rng_);
+
+  // Resolve the config's evaluator eagerly: for "predictor" this collects
+  // the labelled architectures and fits — the expensive step sharing a
+  // context amortises.
+  if (Result<EvaluatorBundle> eval = ctx->evaluator(cfg.evaluator);
+      !eval.ok())
+    return eval.status();
+
+  return ctx;
+}
+
+Result<EvaluatorBundle> EvalContext::evaluator(const std::string& name) {
+  const std::string key = normalize_key(name);
+  if (const auto it = evaluators_.find(key); it != evaluators_.end())
+    return it->second;
+
+  EvaluatorRequest req;
+  req.device = device_.get();
+  req.space.num_positions = cfg_.num_positions;
+  req.workload = deploy_workload_;
+  req.seed = cfg_.seed ^ 0xa5a5a5a55a5a5a5aULL;
+  req.predictor_samples = cfg_.predictor_samples;
+  req.predictor_epochs = cfg_.predictor_epochs;
+  Result<EvaluatorBundle> bundle =
+      Registry::global().make_evaluator(key, req);
+  if (!bundle.ok()) return bundle.status();
+  ++evaluator_builds_;
+  evaluators_.emplace(key, bundle.value());
+  return bundle;
+}
+
+}  // namespace hg::api

@@ -1,0 +1,96 @@
+// eval_context.hpp — the shared, reference-counted evaluation state behind
+// one or more engines.
+//
+// Building an engine used to mean building everything it evaluates with:
+// the synthetic dataset, the weight-sharing supernet, the calibrated device
+// model and — for evaluator "predictor" — collecting ~hundreds of labelled
+// architectures and fitting the GNN latency predictor, by far the most
+// expensive step. Benches that run several searches against the same device
+// (Fig. 8 / Fig. 9a) paid that cost once per search.
+//
+// An EvalContext owns that state once:
+//
+//   auto ctx = EvalContext::create(cfg);             // one predictor fit
+//   auto a = Engine::create(cfg, ctx.value());       // shares it
+//   cfg.evaluator = "measured";
+//   auto b = Engine::create(cfg, ctx.value());       // same data/supernet
+//
+// Evaluator bundles are memoized by registry name — the predictor is
+// fitted on the first request and every engine on the context reuses it.
+// The context also owns the candidate-score memo cache (hgnas::EvalCache),
+// so searches sharing a context never re-evaluate a genome the cache has
+// already scored under the same evaluator/objective/supernet-weight scope.
+//
+// Config fields that shape this owned state must match across every engine
+// on a context (see context_compatible in api/config.hpp); per-engine
+// fields (evaluator, strategy, objective, constraints, search scale) may
+// differ. Contexts are single-threaded like the engines on them: share
+// across sequential searches, not across threads.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "api/config.hpp"
+#include "api/registry.hpp"
+#include "api/status.hpp"
+
+namespace hg::api {
+
+class EvalContext {
+ public:
+  /// Validate `cfg`, size the execution pool, build the owned state and
+  /// eagerly resolve cfg.evaluator (so a predictor fit failure surfaces
+  /// here, not at first use).
+  static Result<std::shared_ptr<EvalContext>> create(const EngineConfig& cfg);
+
+  EvalContext(const EvalContext&) = delete;
+  EvalContext& operator=(const EvalContext&) = delete;
+
+  /// The context-shaping config snapshot this context was built from.
+  const EngineConfig& config() const { return cfg_; }
+
+  const hw::Device& device() const { return *device_; }
+  const pointcloud::Dataset& data() const { return *data_; }
+  hgnas::SuperNet& supernet() { return *supernet_; }
+  Rng& rng() { return *rng_; }
+  hgnas::EvalCache& eval_cache() { return eval_cache_; }
+
+  /// Deployment-side workload (cost models, predictor).
+  const hgnas::Workload& deploy_workload() const { return deploy_workload_; }
+  /// Training-side workload (dataset, materialised models).
+  const hgnas::Workload& train_workload() const { return train_workload_; }
+
+  /// DGCNN reference latency / memory on the target device (Table II).
+  double reference_latency_ms() const { return reference_ms_; }
+  double reference_memory_mb() const { return reference_mb_; }
+
+  /// Evaluator bundle for a registry name, memoized: the first request
+  /// builds it (fitting the predictor for "predictor"), later requests —
+  /// from any engine on this context — return the same bundle.
+  Result<EvaluatorBundle> evaluator(const std::string& name);
+
+  /// How many evaluator bundles have actually been built (observability:
+  /// "one predictor fit per device" is this staying at 1).
+  std::int64_t evaluator_builds() const { return evaluator_builds_; }
+
+ private:
+  EvalContext() = default;
+
+  EngineConfig cfg_;
+  hgnas::Workload deploy_workload_;
+  hgnas::Workload train_workload_;
+  std::unique_ptr<hw::Device> device_;
+  std::unique_ptr<pointcloud::Dataset> data_;
+  std::unique_ptr<hgnas::SuperNet> supernet_;
+  std::unique_ptr<Rng> rng_;
+  hgnas::EvalCache eval_cache_;
+  double reference_ms_ = 0.0;
+  double reference_mb_ = 0.0;
+  std::map<std::string, EvaluatorBundle> evaluators_;  // by normalized name
+  std::int64_t evaluator_builds_ = 0;
+};
+
+}  // namespace hg::api

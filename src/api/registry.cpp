@@ -7,14 +7,14 @@
 
 namespace hg::api {
 
-namespace {
-
-std::string normalize(const std::string& name) {
+std::string normalize_key(const std::string& name) {
   std::string out = name;
   std::transform(out.begin(), out.end(), out.begin(),
                  [](unsigned char c) { return std::tolower(c); });
   return out;
 }
+
+namespace {
 
 template <typename Map>
 std::string known_names(const Map& map) {
@@ -41,7 +41,8 @@ std::vector<std::string> sorted_keys(const Map& map) {
 template <typename Fn>
 Result<hgnas::SearchResult> with_search(const StrategyRequest& req, Fn run) {
   try {
-    hgnas::HgnasSearch search(*req.supernet, *req.data, req.cfg, req.latency);
+    hgnas::HgnasSearch search(*req.supernet, *req.data, req.cfg, req.latency,
+                              req.eval_cache);
     return run(search);
   } catch (const std::invalid_argument& e) {
     return Status::InvalidArgument(e.what());
@@ -135,6 +136,8 @@ Registry::Registry() {
       return Result<hgnas::SearchResult>(s.run_random(*req.rng));
     });
   };
+
+  install_builtin_baselines(*this);
 }
 
 Registry& Registry::global() {
@@ -144,7 +147,7 @@ Registry& Registry::global() {
 
 Status Registry::register_device(const std::string& name,
                                  DeviceFactory factory) {
-  const std::string key = normalize(name);
+  const std::string key = normalize_key(name);
   if (key.empty()) return Status::InvalidArgument("device name is empty");
   if (!devices_.emplace(key, std::move(factory)).second)
     return Status::InvalidArgument("device '" + key + "' already registered");
@@ -154,7 +157,7 @@ Status Registry::register_device(const std::string& name,
 
 Status Registry::register_evaluator(const std::string& name,
                                     EvaluatorFactory factory) {
-  const std::string key = normalize(name);
+  const std::string key = normalize_key(name);
   if (key.empty()) return Status::InvalidArgument("evaluator name is empty");
   if (!evaluators_.emplace(key, std::move(factory)).second)
     return Status::InvalidArgument("evaluator '" + key +
@@ -164,7 +167,7 @@ Status Registry::register_evaluator(const std::string& name,
 
 Status Registry::register_strategy(const std::string& name,
                                    StrategyFn strategy) {
-  const std::string key = normalize(name);
+  const std::string key = normalize_key(name);
   if (key.empty()) return Status::InvalidArgument("strategy name is empty");
   if (!strategies_.emplace(key, std::move(strategy)).second)
     return Status::InvalidArgument("strategy '" + key +
@@ -172,8 +175,26 @@ Status Registry::register_strategy(const std::string& name,
   return Status::Ok();
 }
 
+Status Registry::register_baseline(const std::string& name,
+                                   const std::string& alias,
+                                   BaselineFactory factory) {
+  const std::string key = normalize_key(name);
+  if (key.empty()) return Status::InvalidArgument("baseline name is empty");
+  if (!baselines_.emplace(key, factory).second)
+    return Status::InvalidArgument("baseline '" + key +
+                                   "' already registered");
+  canonical_baselines_.push_back(key);
+  if (!alias.empty()) {
+    const std::string alias_key = normalize_key(alias);
+    if (!baselines_.emplace(alias_key, std::move(factory)).second)
+      return Status::InvalidArgument("baseline alias '" + alias_key +
+                                     "' already registered");
+  }
+  return Status::Ok();
+}
+
 Result<hw::Device> Registry::make_device(const std::string& name) const {
-  const auto it = devices_.find(normalize(name));
+  const auto it = devices_.find(normalize_key(name));
   if (it == devices_.end())
     return Status::NotFound("unknown device '" + name +
                             "' (known: " + known_names(devices_) + ")");
@@ -182,7 +203,7 @@ Result<hw::Device> Registry::make_device(const std::string& name) const {
 
 Result<EvaluatorBundle> Registry::make_evaluator(
     const std::string& name, const EvaluatorRequest& req) const {
-  const auto it = evaluators_.find(normalize(name));
+  const auto it = evaluators_.find(normalize_key(name));
   if (it == evaluators_.end())
     return Status::NotFound("unknown evaluator '" + name +
                             "' (known: " + known_names(evaluators_) + ")");
@@ -193,7 +214,7 @@ Result<EvaluatorBundle> Registry::make_evaluator(
 
 Result<hgnas::SearchResult> Registry::run_strategy(
     const std::string& name, const StrategyRequest& req) const {
-  const auto it = strategies_.find(normalize(name));
+  const auto it = strategies_.find(normalize_key(name));
   if (it == strategies_.end())
     return Status::NotFound("unknown strategy '" + name +
                             "' (known: " + known_names(strategies_) + ")");
@@ -204,8 +225,17 @@ Result<hgnas::SearchResult> Registry::run_strategy(
   return it->second(req);
 }
 
+Result<std::unique_ptr<Lowerable>> Registry::make_baseline(
+    const std::string& name) const {
+  const auto it = baselines_.find(normalize_key(name));
+  if (it == baselines_.end())
+    return Status::NotFound("unknown baseline '" + name +
+                            "' (known: " + known_names(baselines_) + ")");
+  return it->second();
+}
+
 bool Registry::has_strategy(const std::string& name) const {
-  return strategies_.count(normalize(name)) > 0;
+  return strategies_.count(normalize_key(name)) > 0;
 }
 
 std::vector<std::string> Registry::device_names() const {
@@ -216,6 +246,9 @@ std::vector<std::string> Registry::evaluator_names() const {
 }
 std::vector<std::string> Registry::strategy_names() const {
   return sorted_keys(strategies_);
+}
+std::vector<std::string> Registry::baseline_names() const {
+  return canonical_baselines_;
 }
 
 }  // namespace hg::api

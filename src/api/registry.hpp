@@ -16,6 +16,11 @@
 //   strategies : "multistage" — the paper's hierarchical Alg. 1
 //                "onestage"   — joint EA over the full fine-grained space
 //                "random"     — random sampling at the same query budget
+//   baselines  : "dgcnn" ("dgcnn-reuse4"), "dgcnn-reuse3", "dgcnn-reuse2",
+//                "li" ("dgcnn-reuse1"), "tailor" — the paper's comparison
+//                networks — plus the zoo's Fig. 10 designs "rtx-fast",
+//                "i7-fast" ("intel-fast"), "tx2-fast", "pi-fast"; all
+//                resolve to the common Lowerable interface
 //
 // Lookup of an unknown name returns NOT_FOUND listing the known names; the
 // facade never throws on user-provided strings.
@@ -27,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "api/lowerable.hpp"
 #include "api/status.hpp"
 #include "hgnas/search.hpp"
 #include "predictor/predictor.hpp"
@@ -62,7 +68,15 @@ struct StrategyRequest {
   hgnas::SearchConfig cfg;
   hgnas::LatencyFn latency;
   Rng* rng = nullptr;
+  /// Optional shared candidate-score memo (the engine passes its
+  /// EvalContext's cache so searches sharing a context pool their scores).
+  hgnas::EvalCache* eval_cache = nullptr;
 };
+
+/// Lowercase canonical form of a registry key. Every lookup in the
+/// Registry resolves through this, and anything that caches by registry
+/// name (EvalContext's evaluator memo) must key on the same form.
+std::string normalize_key(const std::string& name);
 
 class Registry {
  public:
@@ -71,6 +85,7 @@ class Registry {
       std::function<Result<EvaluatorBundle>(const EvaluatorRequest&)>;
   using StrategyFn =
       std::function<Result<hgnas::SearchResult>(const StrategyRequest&)>;
+  using BaselineFactory = std::function<std::unique_ptr<Lowerable>()>;
 
   /// The process-wide registry, with the built-ins installed.
   static Registry& global();
@@ -80,12 +95,18 @@ class Registry {
   Status register_device(const std::string& name, DeviceFactory factory);
   Status register_evaluator(const std::string& name, EvaluatorFactory factory);
   Status register_strategy(const std::string& name, StrategyFn strategy);
+  /// `alias` may be empty; like devices, aliases resolve but are not
+  /// listed in baseline_names().
+  Status register_baseline(const std::string& name, const std::string& alias,
+                           BaselineFactory factory);
 
   Result<hw::Device> make_device(const std::string& name) const;
   Result<EvaluatorBundle> make_evaluator(const std::string& name,
                                          const EvaluatorRequest& req) const;
   Result<hgnas::SearchResult> run_strategy(const std::string& name,
                                            const StrategyRequest& req) const;
+  Result<std::unique_ptr<Lowerable>> make_baseline(
+      const std::string& name) const;
 
   bool has_strategy(const std::string& name) const;
 
@@ -94,6 +115,7 @@ class Registry {
   std::vector<std::string> device_names() const;
   std::vector<std::string> evaluator_names() const;
   std::vector<std::string> strategy_names() const;
+  std::vector<std::string> baseline_names() const;
 
  private:
   Registry();  // installs the built-ins
@@ -102,6 +124,8 @@ class Registry {
   std::vector<std::string> canonical_devices_;
   std::map<std::string, EvaluatorFactory> evaluators_;
   std::map<std::string, StrategyFn> strategies_;
+  std::map<std::string, BaselineFactory> baselines_;  // canonical + aliases
+  std::vector<std::string> canonical_baselines_;
 };
 
 }  // namespace hg::api

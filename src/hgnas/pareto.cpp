@@ -1,6 +1,7 @@
 #include "hgnas/pareto.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace hg::hgnas {
 
@@ -28,6 +29,40 @@ std::vector<ParetoPoint> pareto_front(std::vector<ParetoPoint> points) {
     }
   }
   return front;
+}
+
+void ParetoTracker::record(Arch arch, double accuracy, double latency_ms) {
+  record(ParetoPoint{std::move(arch), accuracy, latency_ms});
+}
+
+void ParetoTracker::record(ParetoPoint point) {
+  ++recorded_;
+  // front_ is a staircase: latency strictly ascending, accuracy strictly
+  // ascending. The point is dominated (or duplicated) iff some entry is at
+  // most as slow and at least as accurate; admitting it evicts every entry
+  // it dominates — exactly pareto_front()'s keep-once tie rules.
+  const auto at_or_after = std::lower_bound(
+      front_.begin(), front_.end(), point.latency_ms,
+      [](const ParetoPoint& q, double lat) { return q.latency_ms < lat; });
+  const auto i = static_cast<std::size_t>(at_or_after - front_.begin());
+  if (i > 0 && front_[i - 1].accuracy >= point.accuracy) return;
+  if (i < front_.size() && front_[i].latency_ms == point.latency_ms &&
+      front_[i].accuracy >= point.accuracy)
+    return;
+  std::size_t j = i;
+  while (j < front_.size() && front_[j].accuracy <= point.accuracy) ++j;
+  if (j == i) {
+    front_.insert(at_or_after, std::move(point));
+  } else {
+    front_[i] = std::move(point);
+    front_.erase(front_.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                 front_.begin() + static_cast<std::ptrdiff_t>(j));
+  }
+}
+
+void ParetoTracker::clear() {
+  front_.clear();
+  recorded_ = 0;
 }
 
 double dominance_ratio(const std::vector<ParetoPoint>& ours,

@@ -33,4 +33,32 @@ std::vector<ParetoPoint> pareto_front(std::vector<ParetoPoint> points);
 double dominance_ratio(const std::vector<ParetoPoint>& ours,
                        const std::vector<ParetoPoint>& theirs);
 
+/// Incremental Pareto bookkeeping: record() every evaluated design point as
+/// it is scored and frontier() is always the non-dominated subset of
+/// everything seen so far — identical to calling pareto_front() on the full
+/// log, without retaining the log. The search loop threads one of these
+/// through candidate scoring so any run reports its accuracy–latency
+/// frontier (Fig. 6) for free.
+///
+/// Not thread-safe: record from one thread (the search records serially,
+/// after each evaluation batch joins).
+class ParetoTracker {
+ public:
+  void record(Arch arch, double accuracy, double latency_ms);
+  void record(ParetoPoint point);
+
+  /// Current non-dominated set, ascending latency (strictly ascending
+  /// accuracy follows from non-domination).
+  const std::vector<ParetoPoint>& frontier() const { return front_; }
+
+  /// Total points recorded (dominated ones included).
+  std::int64_t recorded() const { return recorded_; }
+
+  void clear();
+
+ private:
+  std::vector<ParetoPoint> front_;  // sorted: latency and accuracy ascending
+  std::int64_t recorded_ = 0;
+};
+
 }  // namespace hg::hgnas

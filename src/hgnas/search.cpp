@@ -39,6 +39,38 @@ class EvalModeGuard {
 
 }  // namespace
 
+void EvalCache::open_scope(const std::string& scope) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (scope_ != scope) {
+    map_.clear();
+    scope_ = scope;
+  }
+}
+
+bool EvalCache::lookup(const std::string& key, ScoredCandidate* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+void EvalCache::insert(const std::string& key, const ScoredCandidate& score) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  map_.emplace(key, score);
+}
+
+void EvalCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  map_.clear();
+  scope_.clear();
+}
+
+std::int64_t EvalCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<std::int64_t>(map_.size());
+}
+
 LatencyFn make_measurement_evaluator(const hw::Device& device,
                                      const Workload& workload,
                                      std::uint64_t seed) {
@@ -64,9 +96,11 @@ LatencyFn make_oracle_evaluator(const hw::Device& device,
 }
 
 HgnasSearch::HgnasSearch(SuperNet& supernet, const pointcloud::Dataset& data,
-                         SearchConfig cfg, LatencyFn latency)
+                         SearchConfig cfg, LatencyFn latency,
+                         EvalCache* shared_cache)
     : supernet_(supernet), data_(data), cfg_(std::move(cfg)),
-      latency_(std::move(latency)) {
+      latency_(std::move(latency)),
+      cache_(shared_cache != nullptr ? shared_cache : &own_cache_) {
   check(static_cast<bool>(latency_), "latency evaluator required");
   check(cfg_.population >= 2, "population must be >= 2");
   check(cfg_.parents >= 1 && cfg_.parents <= cfg_.population,
@@ -141,19 +175,17 @@ HgnasSearch::Scored HgnasSearch::score_cached(const Arch& arch,
                                               const std::string& key,
                                               Rng& rng) {
   if (cfg_.use_eval_cache) {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
-    const auto it = eval_cache_.find(key);
-    if (it != eval_cache_.end()) {
+    Scored hit;
+    if (cache_->lookup(key, &hit)) {
       ++cache_hits_;
-      return it->second;
+      record_frontier(hit);
+      return hit;
     }
   }
   ++cache_misses_;
   Scored s = score_candidate(arch, rng);
-  if (cfg_.use_eval_cache) {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
-    eval_cache_.emplace(key, s);
-  }
+  if (cfg_.use_eval_cache) cache_->insert(key, s);
+  record_frontier(s);
   return s;
 }
 
@@ -177,14 +209,9 @@ std::vector<HgnasSearch::Scored> HgnasSearch::score_batch(
     const PendingEval& pe = batch[static_cast<std::size_t>(i)];
     Scored& s = out[static_cast<std::size_t>(i)];
     if (cfg_.use_eval_cache) {
-      {
-        std::lock_guard<std::mutex> lock(cache_mutex_);
-        const auto it = eval_cache_.find(pe.key);
-        if (it != eval_cache_.end()) {
-          ++cache_hits_;
-          s = it->second;
-          continue;
-        }
+      if (cache_->lookup(pe.key, &s)) {
+        ++cache_hits_;
+        continue;
       }
       const auto [fit, inserted] = first_index.emplace(pe.key, i);
       if (!inserted) {
@@ -223,12 +250,14 @@ std::vector<HgnasSearch::Scored> HgnasSearch::score_batch(
           dup_of[static_cast<std::size_t>(i)])];
 
   if (cfg_.use_eval_cache) {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
     for (std::int64_t i = 0; i < nb; ++i)
       if (fresh[static_cast<std::size_t>(i)])
-        eval_cache_.emplace(batch[static_cast<std::size_t>(i)].key,
-                            out[static_cast<std::size_t>(i)]);
+        cache_->insert(batch[static_cast<std::size_t>(i)].key,
+                       out[static_cast<std::size_t>(i)]);
   }
+  // Frontier bookkeeping runs serially after the join (the tracker is not
+  // thread-safe); revisits are recorded again and deduplicate inside.
+  for (const Scored& s : out) record_frontier(s);
   return out;
 }
 
@@ -238,9 +267,50 @@ void HgnasSearch::reset_run_state() {
   accuracy_probes_ = 0;
   cache_hits_ = 0;
   cache_misses_ = 0;
-  // Cached scores depend on the supernet weights; every run_* entry point
-  // may retrain, so a run always starts cold.
-  eval_cache_.clear();
+  frontier_.clear();
+  // The memo cache is NOT cleared here: open_cache() re-scopes it when
+  // scoring starts, which clears it exactly when the supernet weights, the
+  // evaluator or the objective changed since the entries were written —
+  // that is what lets searches sharing one cache keep their hits.
+}
+
+std::string HgnasSearch::cache_scope() const {
+  std::string s = cfg_.evaluator_tag;
+  auto field = [&s](double v) {
+    s += '|';
+    s += std::to_string(v);
+  };
+  field(cfg_.alpha);
+  field(cfg_.beta);
+  field(cfg_.latency_constraint_ms.value_or(-1.0));
+  field(cfg_.memory_constraint_mb.value_or(-1.0));
+  field(cfg_.size_constraint_mb.value_or(-1.0));
+  field(cfg_.latency_scale_ms);
+  field(static_cast<double>(cfg_.eval_val_samples));
+  field(static_cast<double>(cfg_.workload.num_points));
+  field(static_cast<double>(cfg_.workload.k));
+  field(static_cast<double>(cfg_.workload.num_classes));
+  s += "|w";
+  s += std::to_string(supernet_.weight_version());
+  return s;
+}
+
+void HgnasSearch::open_cache() {
+  if (cfg_.use_eval_cache) cache_->open_scope(cache_scope());
+}
+
+void HgnasSearch::record_frontier(const Scored& s) {
+  if (s.is_feasible) frontier_.record(s.arch, s.acc, s.raw_latency_ms);
+}
+
+void HgnasSearch::finalize_result(SearchResult& result) {
+  result.total_sim_time_s = sim_time_s_;
+  result.latency_queries = latency_queries_;
+  result.accuracy_probes = accuracy_probes_;
+  result.eval_cache_hits = cache_hits_;
+  result.eval_cache_misses = cache_misses_;
+  result.frontier = frontier_.frontier();
+  result.frontier_candidates = frontier_.recorded();
 }
 
 SearchResult HgnasSearch::evolve_operations(const FunctionSet& upper,
@@ -249,6 +319,7 @@ SearchResult HgnasSearch::evolve_operations(const FunctionSet& upper,
   SearchResult result;
   result.upper = upper;
   result.lower = lower;
+  open_cache();  // supernet training is done: entries valid from here on
 
   auto sample_candidate = [&](Rng& r) {
     return full_space ? random_arch(cfg_.space, r)
@@ -354,11 +425,7 @@ SearchResult HgnasSearch::evolve_operations(const FunctionSet& upper,
   result.best_supernet_acc = best.acc;
   result.best_latency_ms = best.latency_ms;
   result.history.push_back({sim_time_s_, best.fitness});
-  result.total_sim_time_s = sim_time_s_;
-  result.latency_queries = latency_queries_;
-  result.accuracy_probes = accuracy_probes_;
-  result.eval_cache_hits = cache_hits_;
-  result.eval_cache_misses = cache_misses_;
+  finalize_result(result);
   return result;
 }
 
@@ -534,6 +601,7 @@ SearchResult HgnasSearch::run_random(Rng& rng) {
   }
 
   SearchResult result;
+  open_cache();
   const std::int64_t budget =
       cfg_.population + cfg_.iterations * (cfg_.population / 2);
   // One history point per EA-iteration-equivalent chunk of budget; the
@@ -587,7 +655,9 @@ SearchResult HgnasSearch::run_random(Rng& rng) {
       // that stream's accuracy draws and change every later candidate.
       for (std::int64_t i = 0; i < n; ++i) {
         ++cache_misses_;
-        consider(score_candidate(random_arch(cfg_.space, rng), rng));
+        const Scored s = score_candidate(random_arch(cfg_.space, rng), rng);
+        record_frontier(s);
+        consider(s);
         ++done;
         if (done % chunk == 0)
           result.history.push_back({sim_time_s_, result.best_objective});
@@ -595,11 +665,7 @@ SearchResult HgnasSearch::run_random(Rng& rng) {
     }
   }
   result.history.push_back({sim_time_s_, result.best_objective});
-  result.total_sim_time_s = sim_time_s_;
-  result.latency_queries = latency_queries_;
-  result.accuracy_probes = accuracy_probes_;
-  result.eval_cache_hits = cache_hits_;
-  result.eval_cache_misses = cache_misses_;
+  finalize_result(result);
   return result;
 }
 

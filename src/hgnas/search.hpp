@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "hgnas/arch.hpp"
+#include "hgnas/pareto.hpp"
 #include "hgnas/supernet.hpp"
 #include "hw/device.hpp"
 #include "pointcloud/pointcloud.hpp"
@@ -59,6 +60,43 @@ LatencyFn make_measurement_evaluator(const hw::Device& device,
 /// zero query cost — the oracle upper bound used in tests.
 LatencyFn make_oracle_evaluator(const hw::Device& device,
                                 const Workload& workload);
+
+/// One fully-scored candidate: Eq. (3) fitness plus the raw measurements it
+/// was computed from. Shared vocabulary of the memo cache, the Pareto
+/// tracker and the scoring pipeline.
+struct ScoredCandidate {
+  Arch arch;
+  double fitness = 0.0;
+  double acc = 0.0;
+  double latency_ms = 0.0;      // infinity when the evaluator reports OOM
+  double raw_latency_ms = 0.0;  // as measured, even for OOM candidates
+  bool is_feasible = false;
+};
+
+/// Thread-safe memo of candidate scores keyed by the serialized canonical
+/// genome. An entry is only meaningful for one scoring context — evaluator,
+/// objective parameters and supernet weights — so the cache carries a
+/// `scope` string and self-clears when a search opens it under a different
+/// scope (the supernet weight version is part of the scope, which is what
+/// invalidates entries whenever any search retrains).
+///
+/// HgnasSearch owns a private one by default; hand the same instance to
+/// several searches (api::EvalContext does) and revisited genomes are never
+/// re-evaluated across runs as long as the scope matches.
+class EvalCache {
+ public:
+  /// Clears the map when `scope` differs from the stored scope.
+  void open_scope(const std::string& scope);
+  bool lookup(const std::string& key, ScoredCandidate* out);
+  void insert(const std::string& key, const ScoredCandidate& score);
+  void clear();
+  std::int64_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::string scope_;
+  std::unordered_map<std::string, ScoredCandidate> map_;
+};
 
 struct SearchConfig {
   SpaceConfig space;
@@ -102,6 +140,11 @@ struct SearchConfig {
   /// active (num_threads > 1, where accuracy-probe RNG streams are derived
   /// from the genome) disabling it reproduces the exact same search.
   bool use_eval_cache = true;
+
+  /// Identity of the latency evaluator, folded into the memo-cache scope so
+  /// a cache shared across searches never serves scores produced by a
+  /// different evaluator. Empty is fine for a search that owns its cache.
+  std::string evaluator_tag;
 };
 
 /// (simulated time, best objective so far) — one point per EA iteration.
@@ -124,13 +167,23 @@ struct SearchResult {
   /// candidate evaluation: latency query + accuracy probe when feasible).
   std::int64_t eval_cache_hits = 0;
   std::int64_t eval_cache_misses = 0;
+  /// Accuracy–latency Pareto front over every feasible candidate this run
+  /// scored (Fig. 6), ascending latency. Maintained in-loop by a
+  /// ParetoTracker — identical to pareto_front() over the full scoring log.
+  std::vector<ParetoPoint> frontier;
+  /// Feasible candidates the frontier was distilled from.
+  std::int64_t frontier_candidates = 0;
 };
 
 class HgnasSearch {
  public:
   /// The supernet and dataset are borrowed; they must outlive the search.
+  /// `shared_cache` (optional, borrowed) replaces the search's private memo
+  /// cache so several searches can pool their candidate scores — see
+  /// EvalCache for the scope rules that keep that sound.
   HgnasSearch(SuperNet& supernet, const pointcloud::Dataset& data,
-              SearchConfig cfg, LatencyFn latency);
+              SearchConfig cfg, LatencyFn latency,
+              EvalCache* shared_cache = nullptr);
 
   /// Full Alg. 1: function search, supernet re-init + pretrain, operation
   /// search.
@@ -156,14 +209,7 @@ class HgnasSearch {
   const SearchConfig& config() const { return cfg_; }
 
  private:
-  struct Scored {
-    Arch arch;
-    double fitness = 0.0;
-    double acc = 0.0;
-    double latency_ms = 0.0;      // infinity when the evaluator reports OOM
-    double raw_latency_ms = 0.0;  // as measured, even for OOM candidates
-    bool is_feasible = false;
-  };
+  using Scored = ScoredCandidate;
 
   /// One deduplicated candidate queued for batch evaluation. `key` is the
   /// serialized canonical genome (the memo-cache key); `hash` seeds the
@@ -199,6 +245,16 @@ class HgnasSearch {
   void advance_clock(double seconds) { sim_time_s_ += seconds; }
   void reset_run_state();
 
+  /// Scope under which this run's cache entries are valid: evaluator tag,
+  /// objective parameters, probe budget and the supernet weight version.
+  std::string cache_scope() const;
+  /// Open the cache for scoring (clears it on a scope change) — called once
+  /// per run, after all supernet training is done.
+  void open_cache();
+  /// Feed every feasible (accuracy-probed) score into the Pareto tracker.
+  void record_frontier(const Scored& s);
+  void finalize_result(SearchResult& result);
+
   SearchResult evolve_operations(const FunctionSet& upper,
                                  const FunctionSet& lower, bool full_space,
                                  Rng& rng);
@@ -211,13 +267,16 @@ class HgnasSearch {
   std::int64_t latency_queries_ = 0;
   std::int64_t accuracy_probes_ = 0;
 
-  // Memo cache: serialized canonical genome -> score. Guarded so strategy
-  // code running on pool workers may consult it; invalidated whenever the
-  // supernet weights change (every run_* entry point retrains).
-  std::unordered_map<std::string, Scored> eval_cache_;
-  std::mutex cache_mutex_;
+  // Memo cache: serialized canonical genome -> score. `cache_` points at
+  // either the private cache below or a caller-shared one; scope checks
+  // (see EvalCache) invalidate entries whenever the supernet weights, the
+  // evaluator or the objective change. Hit/miss counters are per run.
+  EvalCache own_cache_;
+  EvalCache* cache_ = nullptr;
   std::int64_t cache_hits_ = 0;
   std::int64_t cache_misses_ = 0;
+  // In-loop Pareto bookkeeping over every feasible candidate scored.
+  ParetoTracker frontier_;
 };
 
 }  // namespace hg::hgnas

@@ -49,6 +49,13 @@ class SuperNet final : public nn::Module {
 
   /// One SPOS training pass over `train`: every sample gets a fresh
   /// uniformly-sampled path from `sampler`. Returns mean loss.
+  ///
+  /// When the execution pool is active (num_threads > 1), the forward
+  /// passes of each gradient-accumulation batch run concurrently — paths
+  /// and per-sample RNG streams are drawn serially up front and the
+  /// backward passes replay serially in sample order, so the result is
+  /// identical for every pool width > 1. num_threads == 1 is the
+  /// historical sequential pipeline (shared RNG stream), bit for bit.
   double train_epoch(const std::vector<pointcloud::Sample>& train,
                      const std::function<Arch(Rng&)>& sampler, Adam& opt,
                      std::int64_t batch_size, Rng& rng);
@@ -74,9 +81,15 @@ class SuperNet final : public nn::Module {
   const SpaceConfig& space() const { return space_; }
   const SupernetConfig& config() const { return cfg_; }
 
+  /// Monotone counter bumped by every weight mutation (train_epoch,
+  /// reinitialize). Anything derived from the weights — notably memoised
+  /// candidate scores (hgnas::EvalCache) — keys its validity on this.
+  std::int64_t weight_version() const { return weight_version_; }
+
  private:
   SpaceConfig space_;
   SupernetConfig cfg_;
+  std::int64_t weight_version_ = 0;
 
   std::unique_ptr<nn::Linear> input_proj_;
   // combine_[pos][dim_idx] -> {bottleneck, align}

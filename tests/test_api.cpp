@@ -1,9 +1,12 @@
 // The hg::api::Engine facade: config validation, registry lookup (errors
 // are Status values, never exceptions), search smoke run at tiny scale,
+// shared EvalContext semantics, baseline verbs, in-loop Pareto frontiers,
 // and the export/import persistence round-trip.
 #include <gtest/gtest.h>
 
 #include "api/engine.hpp"
+#include "baselines/baselines.hpp"
+#include "hgnas/pareto.hpp"
 
 namespace hg::api {
 namespace {
@@ -226,6 +229,175 @@ TEST(Engine, PredictorEvaluatorTrainsAndReportsMetrics) {
   ASSERT_TRUE(oracle.ok());
   EXPECT_EQ(oracle.value().evaluate_predictor(20, 77).status().code(),
             StatusCode::kFailedPrecondition);
+}
+
+TEST(EvalContext, SharedAcrossEnginesFitsThePredictorOnce) {
+  EngineConfig cfg = EngineConfig::tiny();
+  cfg.evaluator = "predictor";
+  cfg.predictor_samples = 40;
+  cfg.predictor_epochs = 5;
+  Result<std::shared_ptr<EvalContext>> ctx = EvalContext::create(cfg);
+  ASSERT_TRUE(ctx.ok()) << ctx.status().to_string();
+  // Creation resolved (and fitted) the config's evaluator eagerly.
+  EXPECT_EQ(ctx.value()->evaluator_builds(), 1);
+
+  Result<Engine> a = Engine::create(cfg, ctx.value());
+  ASSERT_TRUE(a.ok()) << a.status().to_string();
+  Result<Engine> b = Engine::create(cfg, ctx.value());
+  ASSERT_TRUE(b.ok()) << b.status().to_string();
+  // Neither engine triggered a second fit...
+  EXPECT_EQ(ctx.value()->evaluator_builds(), 1);
+  // ...so both answer latency queries from the same fitted predictor.
+  const Arch arch = a.value().sample_arch();
+  const Result<LatencyReport> la = a.value().predict_latency(arch);
+  const Result<LatencyReport> lb = b.value().predict_latency(arch);
+  ASSERT_TRUE(la.ok() && lb.ok());
+  EXPECT_DOUBLE_EQ(la.value().latency_ms, lb.value().latency_ms);
+
+  // A different evaluator on the same context builds exactly one bundle
+  // more and reuses the shared dataset / supernet / device.
+  EngineConfig measured = cfg;
+  measured.evaluator = "measured";
+  Result<Engine> c = Engine::create(measured, ctx.value());
+  ASSERT_TRUE(c.ok()) << c.status().to_string();
+  EXPECT_EQ(ctx.value()->evaluator_builds(), 2);
+
+  // Context-shaping fields must match the context's config.
+  EngineConfig mismatched = cfg;
+  mismatched.num_points = cfg.num_points * 2;
+  Result<Engine> bad = Engine::create(mismatched, ctx.value());
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.status().message().find("num_points"), std::string::npos);
+}
+
+TEST(EvalContext, SecondSearchCanReuseTheTrainedSupernet) {
+  EngineConfig cfg = EngineConfig::tiny();
+  cfg.strategy = "random";
+  Result<std::shared_ptr<EvalContext>> ctx = EvalContext::create(cfg);
+  ASSERT_TRUE(ctx.ok()) << ctx.status().to_string();
+
+  Result<Engine> first = Engine::create(cfg, ctx.value());
+  ASSERT_TRUE(first.ok()) << first.status().to_string();
+  Result<SearchReport> r1 = first.value().search();
+  ASSERT_TRUE(r1.ok()) << r1.status().to_string();
+
+  // train_supernet = false: the second search rides the weights (and any
+  // cache entries) the first one produced instead of retraining.
+  EngineConfig follow = cfg;
+  follow.train_supernet = false;
+  Result<Engine> second = Engine::create(follow, ctx.value());
+  ASSERT_TRUE(second.ok()) << second.status().to_string();
+  Result<SearchReport> r2 = second.value().search();
+  ASSERT_TRUE(r2.ok()) << r2.status().to_string();
+  // No supernet training happened: the simulated clock only advanced by
+  // query/probe costs, never by training epochs.
+  EXPECT_LT(r2.value().result.total_sim_time_s,
+            r1.value().result.total_sim_time_s);
+}
+
+TEST(Engine, ProfileBaselineMatchesDirectLowering) {
+  Result<Engine> created = Engine::create(EngineConfig::tiny());
+  ASSERT_TRUE(created.ok()) << created.status().to_string();
+  Engine engine = std::move(created).value();
+
+  // The facade's "dgcnn" must be the exact cost-model numbers of a direct
+  // baselines:: lowering at the engine's deployment workload.
+  const Workload& w = engine.deploy_workload();
+  baselines::DgcnnConfig dgcnn_cfg;
+  dgcnn_cfg.k = w.k;
+  dgcnn_cfg.num_classes = w.num_classes;
+  const hw::Trace direct = baselines::Dgcnn::trace(dgcnn_cfg, w.num_points);
+
+  const Result<ProfileReport> report = engine.profile_baseline("dgcnn");
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_DOUBLE_EQ(report.value().latency_ms,
+                   engine.device().latency_ms(direct));
+  EXPECT_DOUBLE_EQ(report.value().peak_memory_mb,
+                   engine.device().peak_memory_mb(direct));
+  EXPECT_DOUBLE_EQ(report.value().param_mb, direct.param_mb);
+  // Category fractions sum to 1 on a non-empty trace.
+  double total = 0.0;
+  for (double f : report.value().category_fraction) total += f;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+
+  // Aliases resolve; unknown names are NOT_FOUND listing the known ones.
+  EXPECT_TRUE(engine.profile_baseline("dgcnn-reuse4").ok());
+  const Result<ProfileReport> unknown = engine.profile_baseline("pointnet");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(unknown.status().message().find("tailor"), std::string::npos);
+  EXPECT_FALSE(Registry::global().baseline_names().empty());
+}
+
+TEST(Engine, ProfileBaselineZooEntryAndExplicitWorkload) {
+  Result<Engine> created = Engine::create(EngineConfig::tiny());
+  ASSERT_TRUE(created.ok()) << created.status().to_string();
+  Engine engine = std::move(created).value();
+
+  Workload w = engine.deploy_workload();
+  w.num_points = 512;
+  const Result<ProfileReport> ours = engine.profile_baseline("rtx-fast", w);
+  const Result<ProfileReport> dgcnn = engine.profile_baseline("dgcnn", w);
+  ASSERT_TRUE(ours.ok() && dgcnn.ok());
+  EXPECT_GT(ours.value().latency_ms, 0.0);
+  // The Fig. 10 RTX design is faster than DGCNN on its own platform.
+  EXPECT_LT(ours.value().latency_ms, dgcnn.value().latency_ms);
+  // Reference numbers are recomputed at the explicit workload: for DGCNN
+  // itself the speedup is 1 (its lowering agrees op-for-op with the
+  // calibration reference).
+  EXPECT_NEAR(dgcnn.value().speedup_vs_reference, 1.0, 1e-6);
+
+  Workload bad = engine.deploy_workload();
+  bad.k = bad.num_points;
+  EXPECT_EQ(engine.profile_baseline("dgcnn", bad).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Engine, TrainBaselineRuns) {
+  EngineConfig cfg = EngineConfig::tiny();
+  cfg.train_epochs = 2;
+  Result<Engine> created = Engine::create(cfg);
+  ASSERT_TRUE(created.ok()) << created.status().to_string();
+  Engine engine = std::move(created).value();
+  // Tailor is the cheapest baseline to materialise at CPU scale.
+  const Result<TrainReport> report = engine.train_baseline("tailor");
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_GE(report.value().overall_acc, 0.0);
+  EXPECT_LE(report.value().overall_acc, 1.0);
+  EXPECT_GT(report.value().param_mb, 0.0);
+  EXPECT_EQ(engine.train_baseline("resnet").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(Engine, SearchReportsInLoopParetoFrontier) {
+  EngineConfig cfg = EngineConfig::tiny();
+  cfg.constrain_to_reference = true;
+  Result<Engine> created = Engine::create(cfg);
+  ASSERT_TRUE(created.ok()) << created.status().to_string();
+  Engine engine = std::move(created).value();
+  Result<SearchReport> report = engine.search();
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  const SearchResult& r = report.value().result;
+
+  ASSERT_FALSE(r.frontier.empty());
+  EXPECT_GT(r.frontier_candidates, 0);
+  EXPECT_FALSE(report.value().frontier_table.empty());
+  // Ascending latency, strictly ascending accuracy — i.e. an anti-chain.
+  for (std::size_t i = 1; i < r.frontier.size(); ++i) {
+    EXPECT_GT(r.frontier[i].latency_ms, r.frontier[i - 1].latency_ms);
+    EXPECT_GT(r.frontier[i].accuracy, r.frontier[i - 1].accuracy);
+  }
+  // The frontier is its own Pareto front (no member dominates another).
+  EXPECT_EQ(hgnas::pareto_front(r.frontier).size(), r.frontier.size());
+  // The Eq.-(3) winner is on the frontier: nothing scored dominated it
+  // (a dominator would have scored strictly higher).
+  bool winner_present = false;
+  for (const auto& p : r.frontier)
+    if (p.accuracy == r.best_supernet_acc &&
+        p.latency_ms == r.best_latency_ms)
+      winner_present = true;
+  EXPECT_TRUE(winner_present);
 }
 
 TEST(Registry, CustomStrategyPluggableByName) {

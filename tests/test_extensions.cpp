@@ -151,6 +151,56 @@ TEST(Pareto, DominanceRatio) {
   EXPECT_DOUBLE_EQ(hgnas::dominance_ratio(ours, {}), 0.0);
 }
 
+TEST(Pareto, TrackerMatchesPostHocFrontOnRandomStreams) {
+  // The incremental tracker must agree with pareto_front() over the full
+  // log for any insertion order — including duplicates and ties, which a
+  // quantised value grid provokes constantly.
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    hgnas::ParetoTracker tracker;
+    std::vector<hgnas::ParetoPoint> log;
+    const int n = 1 + static_cast<int>(rng.uniform_int(std::uint64_t{200}));
+    for (int i = 0; i < n; ++i) {
+      const double acc =
+          static_cast<double>(rng.uniform_int(std::uint64_t{10})) / 10.0;
+      const double lat =
+          static_cast<double>(1 + rng.uniform_int(std::uint64_t{12}));
+      tracker.record(hgnas::Arch{}, acc, lat);
+      log.push_back(pp(acc, lat));
+    }
+    const auto expected = hgnas::pareto_front(log);
+    const auto& actual = tracker.frontier();
+    ASSERT_EQ(actual.size(), expected.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_DOUBLE_EQ(actual[i].accuracy, expected[i].accuracy)
+          << "trial " << trial << " point " << i;
+      EXPECT_DOUBLE_EQ(actual[i].latency_ms, expected[i].latency_ms)
+          << "trial " << trial << " point " << i;
+    }
+    EXPECT_EQ(tracker.recorded(), n);
+  }
+}
+
+TEST(Pareto, TrackerClearAndTieHandling) {
+  hgnas::ParetoTracker t;
+  t.record(hgnas::Arch{}, 0.5, 10.0);
+  t.record(hgnas::Arch{}, 0.5, 10.0);  // exact duplicate: kept once
+  ASSERT_EQ(t.frontier().size(), 1u);
+  t.record(hgnas::Arch{}, 0.7, 10.0);  // same latency, better accuracy
+  ASSERT_EQ(t.frontier().size(), 1u);
+  EXPECT_DOUBLE_EQ(t.frontier()[0].accuracy, 0.7);
+  t.record(hgnas::Arch{}, 0.7, 8.0);  // same accuracy, faster
+  ASSERT_EQ(t.frontier().size(), 1u);
+  EXPECT_DOUBLE_EQ(t.frontier()[0].latency_ms, 8.0);
+  t.record(hgnas::Arch{}, 0.9, 2.0);  // dominates everything
+  ASSERT_EQ(t.frontier().size(), 1u);
+  EXPECT_DOUBLE_EQ(t.frontier()[0].latency_ms, 2.0);
+  EXPECT_EQ(t.recorded(), 5);
+  t.clear();
+  EXPECT_TRUE(t.frontier().empty());
+  EXPECT_EQ(t.recorded(), 0);
+}
+
 // ---- multi-constraint objective ---------------------------------------------------
 
 struct ConstraintFixture {

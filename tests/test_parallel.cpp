@@ -13,6 +13,7 @@
 #include "graph/graph.hpp"
 #include "hgnas/search.hpp"
 #include "hgnas/serialize_arch.hpp"
+#include "predictor/predictor.hpp"
 #include "tensor/rng.hpp"
 #include "tensor/tensor.hpp"
 
@@ -405,6 +406,158 @@ TEST(ConcurrentSearch, BatchPathDeterministicAcrossThreadCounts) {
   EXPECT_DOUBLE_EQ(r2.best_supernet_acc, r4.best_supernet_acc);
   EXPECT_EQ(r2.latency_queries, r4.latency_queries);
   EXPECT_EQ(r2.accuracy_probes, r4.accuracy_probes);
+  // The in-loop Pareto frontier is part of the deterministic contract.
+  ASSERT_EQ(r2.frontier.size(), r4.frontier.size());
+  for (std::size_t i = 0; i < r2.frontier.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r2.frontier[i].accuracy, r4.frontier[i].accuracy);
+    EXPECT_DOUBLE_EQ(r2.frontier[i].latency_ms, r4.frontier[i].latency_ms);
+  }
+}
+
+TEST(ConcurrentSearch, SharedCacheCarriesScoresAcrossSearches) {
+  // Two searches over a frozen supernet, one shared EvalCache: the second
+  // run's revisits of genomes the first run scored are cache hits, and the
+  // outcome is identical to running with a cold private cache (probe RNG
+  // streams are genome-derived on the batch path).
+  TinySearchFixture f;
+  ScopedNumThreads scoped(4);
+  Rng init_rng(5);
+  hgnas::SuperNet supernet(f.space, f.sn_cfg, init_rng);
+  hgnas::SearchConfig cfg = f.make_cfg();
+  hw::Device dev = hw::make_device(hw::DeviceKind::Rtx3080);
+  auto oracle = hgnas::make_oracle_evaluator(dev, cfg.workload);
+
+  hgnas::EvalCache shared;
+  hgnas::HgnasSearch first(supernet, f.data, cfg, oracle, &shared);
+  Rng rng_a(99);
+  const hgnas::SearchResult warm = first.run_random(rng_a);
+  EXPECT_GT(shared.size(), 0);
+
+  hgnas::HgnasSearch second(supernet, f.data, cfg, oracle, &shared);
+  Rng rng_b(123);
+  const hgnas::SearchResult with_shared = second.run_random(rng_b);
+  // The tiny space guarantees overlap with the first run's scores.
+  EXPECT_GT(with_shared.eval_cache_hits, 0);
+
+  // Same second search on a cold private cache: identical outcome, more
+  // evaluations.
+  hgnas::HgnasSearch cold(supernet, f.data, cfg, oracle);
+  Rng rng_c(123);
+  const hgnas::SearchResult without_shared = cold.run_random(rng_c);
+  EXPECT_EQ(hgnas::arch_to_text(with_shared.best_arch),
+            hgnas::arch_to_text(without_shared.best_arch));
+  EXPECT_DOUBLE_EQ(with_shared.best_objective,
+                   without_shared.best_objective);
+  EXPECT_LT(with_shared.latency_queries, without_shared.latency_queries);
+  (void)warm;
+}
+
+TEST(ConcurrentSearch, EvalCacheScopeClearsOnChangeOnly) {
+  hgnas::EvalCache cache;
+  cache.open_scope("scope-a");
+  hgnas::ScoredCandidate s;
+  s.fitness = 0.5;
+  cache.insert("genome", s);
+  ASSERT_EQ(cache.size(), 1);
+
+  cache.open_scope("scope-a");  // unchanged scope keeps entries
+  hgnas::ScoredCandidate out;
+  EXPECT_TRUE(cache.lookup("genome", &out));
+  EXPECT_DOUBLE_EQ(out.fitness, 0.5);
+
+  cache.open_scope("scope-b");  // any change — evaluator, objective,
+  EXPECT_EQ(cache.size(), 0);   // supernet weight version — starts cold
+  EXPECT_FALSE(cache.lookup("genome", &out));
+}
+
+TEST(ConcurrentSearch, WeightVersionTracksEveryWeightMutation) {
+  // The supernet weight version is what folds retraining into the cache
+  // scope: any train_epoch or reinitialize must bump it.
+  pointcloud::Dataset data(4, 32, 21);
+  hgnas::SpaceConfig space;
+  space.num_positions = 2;
+  hgnas::SupernetConfig sn_cfg;
+  sn_cfg.hidden = 8;
+  sn_cfg.k = 6;
+  sn_cfg.num_classes = 10;
+  sn_cfg.head_hidden = 16;
+  Rng rng(3);
+  hgnas::SuperNet net(space, sn_cfg, rng);
+  EXPECT_EQ(net.weight_version(), 0);
+  net.reinitialize(rng);
+  EXPECT_EQ(net.weight_version(), 1);
+  Adam opt(net.parameters(), 1e-3f);
+  auto sampler = [&](Rng& r) { return hgnas::random_arch(space, r); };
+  net.train_epoch(data.train(), sampler, opt, 8, rng);
+  EXPECT_EQ(net.weight_version(), 2);
+}
+
+// ---- parallel supernet training ---------------------------------------------
+
+TEST(ParallelTraining, TrainEpochDeterministicAcrossThreadCounts) {
+  pointcloud::Dataset data(4, 32, 21);
+  hgnas::SpaceConfig space;
+  space.num_positions = 3;
+  hgnas::SupernetConfig sn_cfg;
+  sn_cfg.hidden = 8;
+  sn_cfg.k = 6;
+  sn_cfg.num_classes = 10;
+  sn_cfg.head_hidden = 16;
+
+  auto run = [&](std::int64_t threads) {
+    ScopedNumThreads scoped(threads);
+    Rng init_rng(3);
+    hgnas::SuperNet net(space, sn_cfg, init_rng);
+    Adam opt(net.parameters(), 1e-3f);
+    auto sampler = [&](Rng& r) { return hgnas::random_arch(space, r); };
+    Rng rng(11);
+    double loss = 0.0;
+    for (int e = 0; e < 2; ++e)
+      loss = net.train_epoch(data.train(), sampler, opt, 8, rng);
+    std::vector<std::vector<float>> params;
+    for (const auto& p : net.parameters())
+      params.emplace_back(p.data().begin(), p.data().end());
+    return std::make_pair(loss, params);
+  };
+
+  const auto [loss2, params2] = run(2);
+  const auto [loss4, params4] = run(4);
+  EXPECT_EQ(loss2, loss4);
+  ASSERT_EQ(params2.size(), params4.size());
+  for (std::size_t p = 0; p < params2.size(); ++p)
+    for (std::size_t i = 0; i < params2[p].size(); ++i)
+      ASSERT_EQ(params2[p][i], params4[p][i]) << "param " << p << " " << i;
+
+  // The serial path trains too (different RNG discipline, same schedule).
+  const auto [loss1, params1] = run(1);
+  EXPECT_TRUE(std::isfinite(loss1));
+  EXPECT_EQ(params1.size(), params2.size());
+}
+
+TEST(ParallelTraining, CollectLabeledArchsDeterministicAcrossThreadCounts) {
+  hw::Device dev = hw::make_device(hw::DeviceKind::Rtx3080);
+  hgnas::SpaceConfig space;
+  space.num_positions = 4;
+  hgnas::Workload w;
+  w.num_points = 256;
+  w.k = 10;
+  w.num_classes = 10;
+
+  auto collect = [&](std::int64_t threads) {
+    ScopedNumThreads scoped(threads);
+    return predictor::collect_labeled_archs(dev, space, w, 50, 77);
+  };
+  const auto r2 = collect(2);
+  const auto r4 = collect(4);
+  ASSERT_EQ(r2.size(), 50u);
+  ASSERT_EQ(r4.size(), r2.size());
+  for (std::size_t i = 0; i < r2.size(); ++i) {
+    EXPECT_EQ(hgnas::arch_to_text(r2[i].arch),
+              hgnas::arch_to_text(r4[i].arch));
+    EXPECT_DOUBLE_EQ(r2[i].latency_ms, r4[i].latency_ms);
+  }
+  // Serial path still yields a full set (its own historical stream).
+  EXPECT_EQ(collect(1).size(), 50u);
 }
 
 }  // namespace
