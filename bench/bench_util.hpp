@@ -20,12 +20,7 @@
 
 #include "api/engine.hpp"
 #include "core/parallel.hpp"
-
-// Git revision baked in by bench/CMakeLists.txt at configure time, so every
-// BENCH_*.json row is attributable to a commit.
-#ifndef HG_GIT_REV
-#define HG_GIT_REV "unknown"
-#endif
+#include "json_common.hpp"
 
 namespace hg::bench {
 
@@ -76,7 +71,7 @@ class JsonReporter {
       return;
     }
     std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"git_rev\": \"%s\",\n",
-                 escape(bench_).c_str(), HG_GIT_REV);
+                 json_escape(bench_).c_str(), git_rev());
     std::fprintf(f, "  \"records\": [\n");
     for (std::size_t i = 0; i < records_.size(); ++i) {
       const Record& r = records_[i];
@@ -84,9 +79,10 @@ class JsonReporter {
                    "    {\"name\": \"%s\", \"wall_ms\": %.6f, "
                    "\"threads\": %lld, \"problem\": \"%s\", "
                    "\"value\": %.6f, \"unit\": \"%s\"}%s\n",
-                   escape(r.name).c_str(), r.wall_ms,
+                   json_escape(r.name).c_str(), r.wall_ms,
                    static_cast<long long>(r.threads),
-                   escape(r.problem).c_str(), r.value, escape(r.unit).c_str(),
+                   json_escape(r.problem).c_str(), r.value,
+                   json_escape(r.unit).c_str(),
                    i + 1 < records_.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
@@ -101,15 +97,6 @@ class JsonReporter {
     double value = 0.0;
     std::int64_t threads = 1;
   };
-
-  static std::string escape(const std::string& s) {
-    std::string out;
-    for (char c : s) {
-      if (c == '"' || c == '\\') out.push_back('\\');
-      out.push_back(c);
-    }
-    return out;
-  }
 
   std::string bench_;
   std::vector<Record> records_;

@@ -5,6 +5,9 @@
 // Google-Benchmark micro-benches report through this adapter instead, so
 // the whole suite feeds the same machine-readable per-commit perf history
 // (wall_ms, threads, problem, git rev) that CI archives and thresholds.
+// JSON escaping and the git revision come from json_common.hpp (via
+// bench_util.hpp), shared with the figure-bench emitter so the two cannot
+// drift.
 //
 // Usage (replaces BENCHMARK_MAIN()):
 //   int main(int argc, char** argv) {

@@ -120,6 +120,7 @@ Status context_compatible(const EngineConfig& ctx_cfg,
       {ctx_cfg.predictor_epochs == cfg.predictor_epochs, "predictor_epochs"},
       {ctx_cfg.seed == cfg.seed, "seed"},
       {ctx_cfg.num_threads == cfg.num_threads, "num_threads"},
+      {ctx_cfg.eval_cache_path == cfg.eval_cache_path, "eval_cache_path"},
   };
   for (const Check& c : checks)
     if (!c.equal) return mismatch(c.field);

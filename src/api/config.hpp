@@ -78,6 +78,17 @@ struct EngineConfig {
   std::int64_t predictor_samples = 600;  // labelled archs collected
   std::int64_t predictor_epochs = 50;
 
+  /// When non-empty, the context's candidate-score memo cache
+  /// (hgnas::EvalCache) is loaded from this file at EvalContext creation
+  /// and written back at context destruction, so repeated runs (benches,
+  /// service restarts) start warm. Entries survive only while the cache
+  /// scope — evaluator tag, objective, supernet weight version — still
+  /// matches; a stale file is simply a cold start. The file sits wherever
+  /// the caller points it (benches: next to their BENCH_*.json). One file
+  /// belongs to one context: point each context (e.g. each device of a
+  /// fleet) at its own path — EvalContext::create_many rejects duplicates.
+  std::string eval_cache_path;
+
   // ---- simulated wall-clock bookkeeping (V100-equivalents) ----
   double sim_train_s_per_sample = 0.004;
   double sim_eval_s_per_sample = 0.0015;
@@ -102,11 +113,17 @@ struct EngineConfig {
 Status validate(const EngineConfig& cfg);
 
 /// Whether `cfg` can run on an EvalContext built from `ctx_cfg`: every
-/// field that shapes the context's owned state (device, workloads, design
-/// space, dataset, supernet, predictor knobs, master seed, pool width) must
-/// match. Per-engine fields — evaluator, strategy, objective weights,
-/// constraint set, search scale — are free to differ; that is the point of
-/// sharing a context. Returns INVALID_ARGUMENT naming the first mismatch.
+/// field that shapes the context's owned state must match. Those fields
+/// are, exhaustively: device; the deployment workload (num_points, k,
+/// num_classes); num_positions; the dataset (samples_per_class,
+/// train_points, train_k, dataset_seed); the supernet (supernet_hidden,
+/// supernet_head_hidden); the predictor knobs (predictor_samples,
+/// predictor_epochs); the master seed; num_threads; and eval_cache_path.
+/// Per-engine fields — evaluator, strategy, objective weights, constraint
+/// set, search scale — are free to differ; that is the point of sharing a
+/// context. Returns INVALID_ARGUMENT naming the first mismatch. Anything
+/// that dispatches requests across engines on one context
+/// (serve::Service) relies on this check as its admission gate.
 Status context_compatible(const EngineConfig& ctx_cfg,
                           const EngineConfig& cfg);
 

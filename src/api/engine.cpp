@@ -158,6 +158,31 @@ Result<LatencyReport> Engine::predict_latency(const Arch& arch) {
   }
 }
 
+Result<std::vector<LatencyReport>> Engine::predict_batch(
+    std::span<const Arch> archs) {
+  for (const Arch& arch : archs)
+    if (const Status s = validate_arch(arch); !s.ok()) return s;
+  try {
+    std::vector<LatencyReport> reports;
+    reports.reserve(archs.size());
+    if (evaluator_.predictor != nullptr) {
+      const std::vector<double> ms =
+          evaluator_.predictor->predict_batch_ms(archs);
+      for (const double m : ms) reports.push_back(LatencyReport{m, 0.0, false});
+    } else {
+      for (const Arch& arch : archs) {
+        const hgnas::LatencyEval eval = evaluator_.fn(arch);
+        reports.push_back(
+            LatencyReport{eval.latency_ms, eval.peak_memory_mb, eval.oom});
+      }
+    }
+    return reports;
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("batched latency evaluation failed: ") +
+                            e.what());
+  }
+}
+
 Result<TrainReport> Engine::train(const Arch& arch) {
   if (const Status s = validate_arch(arch); !s.ok()) return s;
   try {

@@ -33,6 +33,7 @@
 
 #include <array>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -140,8 +141,20 @@ class Engine {
   Result<SearchReport> search();
 
   /// Latency of one architecture through the configured evaluator. Noisy
-  /// for "measured", learned for "predictor", exact for "oracle".
+  /// for "measured", learned for "predictor", exact for "oracle". For
+  /// "predictor" this is predict_batch at batch size 1 (one packed GCN
+  /// forward per call, same code path as a coalesced batch).
   Result<LatencyReport> predict_latency(const Arch& arch);
+
+  /// Latency of N architectures in one evaluator pass. For "predictor" the
+  /// batch packs into a single block-diagonal GCN forward
+  /// (predictor::LatencyPredictor::predict_batch_ms) — element i is
+  /// bit-identical to predict_latency(archs[i]), just cheaper per query;
+  /// serve::Service coalesces queued predictions onto this. Other
+  /// evaluators answer with a per-architecture loop in order (so "measured"
+  /// consumes its noise stream exactly as N predict_latency calls would).
+  Result<std::vector<LatencyReport>> predict_batch(
+      std::span<const Arch> archs);
 
   /// Materialise the architecture at training scale and train it for
   /// config().train_epochs on the engine's dataset.

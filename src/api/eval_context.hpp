@@ -24,14 +24,30 @@
 // Config fields that shape this owned state must match across every engine
 // on a context (see context_compatible in api/config.hpp); per-engine
 // fields (evaluator, strategy, objective, constraints, search scale) may
-// differ. Contexts are single-threaded like the engines on them: share
-// across sequential searches, not across threads.
+// differ.
+//
+// Concurrency contract (what serve::Service builds on):
+//  * Read-only state — device model, dataset, workloads, reference
+//    numbers — is immutable after create() and safe from any thread.
+//  * evaluator() is thread-safe (the memo sits behind a mutex); a fitted
+//    predictor's predict paths only read trained weights and may run
+//    concurrently.
+//  * eval_cache() is internally synchronized and scope-checked (see
+//    hgnas::EvalCache).
+//  * supernet() and rng() are shared MUTABLE state with no internal locks:
+//    anything that trains the supernet or draws from the context RNG
+//    (Engine::search / train / train_baseline) must hold external
+//    exclusion — serve::Service runs exactly one such request at a time,
+//    in submission order.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "api/config.hpp"
 #include "api/registry.hpp"
@@ -43,8 +59,22 @@ class EvalContext {
  public:
   /// Validate `cfg`, size the execution pool, build the owned state and
   /// eagerly resolve cfg.evaluator (so a predictor fit failure surfaces
-  /// here, not at first use).
+  /// here, not at first use). Loads the memo cache from
+  /// cfg.eval_cache_path when set.
   static Result<std::shared_ptr<EvalContext>> create(const EngineConfig& cfg);
+
+  /// Build one context per config — a device fleet — sharding the dominant
+  /// startup cost: every "predictor" config's labelled-architecture
+  /// collection is routed through ONE pooled measurement queue
+  /// (predictor::collect_labeled_archs_multi) instead of M sequential
+  /// passes. Each resulting context is identical to a lone create() of its
+  /// config. All configs must agree on num_threads (the pool is
+  /// process-wide).
+  static Result<std::vector<std::shared_ptr<EvalContext>>> create_many(
+      std::span<const EngineConfig> cfgs);
+
+  /// Writes the memo cache back to config().eval_cache_path when set.
+  ~EvalContext();
 
   EvalContext(const EvalContext&) = delete;
   EvalContext& operator=(const EvalContext&) = delete;
@@ -69,15 +99,28 @@ class EvalContext {
 
   /// Evaluator bundle for a registry name, memoized: the first request
   /// builds it (fitting the predictor for "predictor"), later requests —
-  /// from any engine on this context — return the same bundle.
+  /// from any engine on this context, from any thread — return the same
+  /// bundle. Builds run outside the memo mutex, so a cheap evaluator
+  /// never waits behind another thread's predictor fit; should two
+  /// threads race the SAME name's first build, the first insert wins and
+  /// everyone gets that bundle (builds are deterministic, so the
+  /// discarded duplicate was identical anyway).
   Result<EvaluatorBundle> evaluator(const std::string& name);
 
   /// How many evaluator bundles have actually been built (observability:
   /// "one predictor fit per device" is this staying at 1).
-  std::int64_t evaluator_builds() const { return evaluator_builds_; }
+  std::int64_t evaluator_builds() const {
+    std::lock_guard<std::mutex> lock(evaluators_mutex_);
+    return evaluator_builds_;
+  }
 
  private:
   EvalContext() = default;
+
+  /// Everything create() does except the eager evaluator resolution (so
+  /// create_many can interpose the fleet-wide label collection).
+  static Result<std::shared_ptr<EvalContext>> build_base(
+      const EngineConfig& cfg);
 
   EngineConfig cfg_;
   hgnas::Workload deploy_workload_;
@@ -89,8 +132,15 @@ class EvalContext {
   hgnas::EvalCache eval_cache_;
   double reference_ms_ = 0.0;
   double reference_mb_ = 0.0;
+  // Guards the evaluator memo (and its build counter); everything else is
+  // immutable after creation or internally synchronized.
+  mutable std::mutex evaluators_mutex_;
   std::map<std::string, EvaluatorBundle> evaluators_;  // by normalized name
   std::int64_t evaluator_builds_ = 0;
+  // Labels pre-collected by create_many for this context's "predictor"
+  // evaluator; consumed (and released) by the first build.
+  std::shared_ptr<const std::vector<predictor::LabeledArch>>
+      prefetched_labels_;
 };
 
 }  // namespace hg::api

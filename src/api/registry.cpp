@@ -70,8 +70,14 @@ Result<EvaluatorBundle> make_measured(const EvaluatorRequest& req) {
 }
 
 Result<EvaluatorBundle> make_predictor(const EvaluatorRequest& req) {
-  const auto labeled = predictor::collect_labeled_archs(
-      *req.device, req.space, req.workload, req.predictor_samples, req.seed);
+  std::vector<predictor::LabeledArch> collected;
+  if (req.labeled == nullptr)
+    collected = predictor::collect_labeled_archs(*req.device, req.space,
+                                                 req.workload,
+                                                 req.predictor_samples,
+                                                 req.seed);
+  const std::vector<predictor::LabeledArch>& labeled =
+      req.labeled != nullptr ? *req.labeled : collected;
   if (labeled.empty())
     return Status::Internal("no measurable architectures collected on '" +
                             req.device->name() + "'");

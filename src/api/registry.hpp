@@ -49,6 +49,12 @@ struct EvaluatorRequest {
   // "predictor" knobs (ignored by the other evaluators):
   std::int64_t predictor_samples = 600;
   std::int64_t predictor_epochs = 50;
+  /// Pre-collected labelled architectures for "predictor" (borrowed for the
+  /// duration of the factory call). Null: the factory collects its own.
+  /// EvalContext::create_many passes labels collected for a whole device
+  /// fleet through one pooled measurement queue; the caller must have
+  /// collected them on `device` with the same space/workload/seed.
+  const std::vector<predictor::LabeledArch>* labeled = nullptr;
 };
 
 /// An evaluator plus whatever heavyweight state backs it. `predictor` is

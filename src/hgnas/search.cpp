@@ -1,6 +1,8 @@
 #include "hgnas/search.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <fstream>
 #include <limits>
 #include <stdexcept>
 #include <unordered_set>
@@ -39,36 +41,194 @@ class EvalModeGuard {
 
 }  // namespace
 
-void EvalCache::open_scope(const std::string& scope) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (scope_ != scope) {
-    map_.clear();
-    scope_ = scope;
-  }
+EvalCache::Shard& EvalCache::shard_for(const std::string& key) const {
+  return shards_[std::hash<std::string>{}(key) % kNumShards];
 }
 
-bool EvalCache::lookup(const std::string& key, ScoredCandidate* out) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = map_.find(key);
-  if (it == map_.end()) return false;
+void EvalCache::open_scope(const std::string& scope) {
+  std::unique_lock<std::shared_mutex> lock(scope_mutex_);
+  if (scope_ == scope) return;
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> shard_lock(s.mutex);
+    s.map.clear();
+  }
+  scope_ = scope;
+}
+
+bool EvalCache::lookup(const std::string& scope, const std::string& key,
+                       ScoredCandidate* out) const {
+  std::shared_lock<std::shared_mutex> lock(scope_mutex_);
+  if (scope_ != scope) return false;
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> shard_lock(s.mutex);
+  const auto it = s.map.find(key);
+  if (it == s.map.end()) return false;
   *out = it->second;
   return true;
 }
 
-void EvalCache::insert(const std::string& key, const ScoredCandidate& score) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  map_.emplace(key, score);
+void EvalCache::insert(const std::string& scope, const std::string& key,
+                       const ScoredCandidate& score) {
+  std::shared_lock<std::shared_mutex> lock(scope_mutex_);
+  if (scope_ != scope) return;  // stale writer: the entry is invalid here
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> shard_lock(s.mutex);
+  s.map.emplace(key, score);
 }
 
 void EvalCache::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  map_.clear();
+  std::unique_lock<std::shared_mutex> lock(scope_mutex_);
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> shard_lock(s.mutex);
+    s.map.clear();
+  }
   scope_.clear();
 }
 
 std::int64_t EvalCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return static_cast<std::int64_t>(map_.size());
+  std::shared_lock<std::shared_mutex> lock(scope_mutex_);
+  std::int64_t n = 0;
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> shard_lock(s.mutex);
+    n += static_cast<std::int64_t>(s.map.size());
+  }
+  return n;
+}
+
+std::string EvalCache::scope() const {
+  std::shared_lock<std::shared_mutex> lock(scope_mutex_);
+  return scope_;
+}
+
+// ---- persistence -----------------------------------------------------------
+//
+// Line-oriented text, reusing the arch v1 text format for genomes:
+//
+//   hgnas-evalcache v1
+//   scope <byte count>
+//   <scope, verbatim>
+//   entries <count>
+//   entry <fitness> <acc> <latency_ms> <raw_latency_ms> <is_feasible>
+//   key <byte count>
+//   <serialized canonical genome, verbatim>
+//   arch <byte count>
+//   <serialized stored arch, verbatim>
+//   ... (per entry)
+
+namespace {
+
+void write_block(std::ostream& os, const char* tag, const std::string& body) {
+  os << tag << ' ' << body.size() << '\n' << body << '\n';
+}
+
+// Corrupt size fields (a negative count wraps through num_get to 2^64-1)
+// must not drive resize()/reserve() into std::length_error — any size
+// beyond this is not a cache this code ever wrote.
+constexpr std::size_t kMaxBlockBytes = std::size_t{1} << 30;
+
+/// Reads "<tag> <n>\n<n bytes>\n" written by write_block. False on any
+/// mismatch (malformed file).
+bool read_block(std::istream& is, const char* tag, std::string* body) {
+  std::string seen;
+  std::size_t n = 0;
+  if (!(is >> seen >> n) || seen != tag) return false;
+  if (n > kMaxBlockBytes) return false;
+  if (is.get() != '\n') return false;
+  body->resize(n);
+  if (n > 0 && !is.read(body->data(), static_cast<std::streamsize>(n)))
+    return false;
+  return is.get() == '\n';
+}
+
+}  // namespace
+
+bool EvalCache::save(const std::string& path) const {
+  std::shared_lock<std::shared_mutex> lock(scope_mutex_);
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) return false;
+  std::vector<std::pair<std::string, ScoredCandidate>> entries;
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> shard_lock(s.mutex);
+    for (const auto& [key, score] : s.map) entries.emplace_back(key, score);
+  }
+  // Deterministic file contents regardless of hash order (reviewable
+  // artifacts, stable diffs next to the BENCH_*.json they sit with).
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  os << "hgnas-evalcache v1\n";
+  write_block(os, "scope", scope_);
+  os << "entries " << entries.size() << '\n';
+  os.precision(17);
+  for (const auto& [key, score] : entries) {
+    // latency_ms is +inf exactly for OOM candidates; iostreams cannot
+    // round-trip "inf", so encode it as -1 (real latencies are positive).
+    const double lat_enc =
+        std::isinf(score.latency_ms) ? -1.0 : score.latency_ms;
+    os << "entry " << score.fitness << ' ' << score.acc << ' ' << lat_enc
+       << ' ' << score.raw_latency_ms << ' ' << (score.is_feasible ? 1 : 0)
+       << '\n';
+    write_block(os, "key", key);
+    write_block(os, "arch", arch_to_text(score.arch));
+  }
+  return static_cast<bool>(os);
+}
+
+bool EvalCache::load(const std::string& path) {
+  std::unique_lock<std::shared_mutex> lock(scope_mutex_);
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> shard_lock(s.mutex);
+    s.map.clear();
+  }
+  scope_.clear();
+
+  // Parse everything first, commit only a fully-valid file: a truncated or
+  // corrupt cache degrades to a cold start, never a half-filled one.
+  std::ifstream is(path);
+  if (!is) return false;
+  std::string magic, version;
+  if (!(is >> magic >> version) || magic != "hgnas-evalcache" ||
+      version != "v1")
+    return false;
+  if (is.get() != '\n') return false;
+  std::string scope;
+  if (!read_block(is, "scope", &scope)) return false;
+  std::string tag;
+  std::size_t count = 0;
+  if (!(is >> tag >> count) || tag != "entries") return false;
+  if (count > kMaxBlockBytes) return false;  // corrupt / wrapped count
+  // No reserve(count): a corrupt count must fail at the first missing
+  // entry, not allocate for entries that are not in the file.
+  std::vector<std::pair<std::string, ScoredCandidate>> entries;
+  for (std::size_t i = 0; i < count; ++i) {
+    ScoredCandidate score;
+    double lat_enc = 0.0;
+    int feasible = 0;
+    if (!(is >> tag >> score.fitness >> score.acc >> lat_enc >>
+          score.raw_latency_ms >> feasible) ||
+        tag != "entry")
+      return false;
+    if (is.get() != '\n') return false;
+    score.latency_ms =
+        lat_enc < 0.0 ? std::numeric_limits<double>::infinity() : lat_enc;
+    score.is_feasible = feasible != 0;
+    std::string key, arch_text;
+    if (!read_block(is, "key", &key) || !read_block(is, "arch", &arch_text))
+      return false;
+    try {
+      score.arch = arch_from_text(arch_text);
+    } catch (const std::exception&) {
+      return false;
+    }
+    entries.emplace_back(std::move(key), std::move(score));
+  }
+
+  for (auto& [key, score] : entries) {
+    Shard& s = shard_for(key);
+    std::lock_guard<std::mutex> shard_lock(s.mutex);
+    s.map.emplace(std::move(key), std::move(score));
+  }
+  scope_ = std::move(scope);
+  return true;
 }
 
 LatencyFn make_measurement_evaluator(const hw::Device& device,
@@ -176,7 +336,7 @@ HgnasSearch::Scored HgnasSearch::score_cached(const Arch& arch,
                                               Rng& rng) {
   if (cfg_.use_eval_cache) {
     Scored hit;
-    if (cache_->lookup(key, &hit)) {
+    if (cache_->lookup(run_scope_, key, &hit)) {
       ++cache_hits_;
       record_frontier(hit);
       return hit;
@@ -184,7 +344,7 @@ HgnasSearch::Scored HgnasSearch::score_cached(const Arch& arch,
   }
   ++cache_misses_;
   Scored s = score_candidate(arch, rng);
-  if (cfg_.use_eval_cache) cache_->insert(key, s);
+  if (cfg_.use_eval_cache) cache_->insert(run_scope_, key, s);
   record_frontier(s);
   return s;
 }
@@ -209,7 +369,7 @@ std::vector<HgnasSearch::Scored> HgnasSearch::score_batch(
     const PendingEval& pe = batch[static_cast<std::size_t>(i)];
     Scored& s = out[static_cast<std::size_t>(i)];
     if (cfg_.use_eval_cache) {
-      if (cache_->lookup(pe.key, &s)) {
+      if (cache_->lookup(run_scope_, pe.key, &s)) {
         ++cache_hits_;
         continue;
       }
@@ -252,7 +412,7 @@ std::vector<HgnasSearch::Scored> HgnasSearch::score_batch(
   if (cfg_.use_eval_cache) {
     for (std::int64_t i = 0; i < nb; ++i)
       if (fresh[static_cast<std::size_t>(i)])
-        cache_->insert(batch[static_cast<std::size_t>(i)].key,
+        cache_->insert(run_scope_, batch[static_cast<std::size_t>(i)].key,
                        out[static_cast<std::size_t>(i)]);
   }
   // Frontier bookkeeping runs serially after the join (the tracker is not
@@ -296,7 +456,8 @@ std::string HgnasSearch::cache_scope() const {
 }
 
 void HgnasSearch::open_cache() {
-  if (cfg_.use_eval_cache) cache_->open_scope(cache_scope());
+  run_scope_ = cache_scope();
+  if (cfg_.use_eval_cache) cache_->open_scope(run_scope_);
 }
 
 void HgnasSearch::record_frontier(const Scored& s) {

@@ -21,9 +21,11 @@
 // runs scaled-down on one CPU core.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -80,22 +82,60 @@ struct ScoredCandidate {
 /// scope (the supernet weight version is part of the scope, which is what
 /// invalidates entries whenever any search retrains).
 ///
+/// Concurrency story (several searches on one shared cache, as
+/// api::EvalContext and serve::Service do):
+///  * Entries live in hash-sharded maps, each behind its own mutex, so
+///    concurrent lookups/inserts on different genomes never contend.
+///  * lookup/insert carry the caller's scope and are no-ops under a scope
+///    mismatch: a search that computed a score under old supernet weights
+///    can never serve it into — or pollute — a cache another search has
+///    since re-scoped. The scope itself sits behind a shared_mutex
+///    (shared for the hot lookup/insert path, exclusive in open_scope).
+///  * save()/load() persist the current scope plus every entry to a
+///    line-oriented text file, so repeated runs whose scope still matches
+///    (same evaluator tag, objective and supernet weight version) start
+///    warm (api::EngineConfig::eval_cache_path wires this up).
+///
 /// HgnasSearch owns a private one by default; hand the same instance to
 /// several searches (api::EvalContext does) and revisited genomes are never
 /// re-evaluated across runs as long as the scope matches.
 class EvalCache {
  public:
-  /// Clears the map when `scope` differs from the stored scope.
+  /// Clears every shard when `scope` differs from the stored scope.
   void open_scope(const std::string& scope);
-  bool lookup(const std::string& key, ScoredCandidate* out);
-  void insert(const std::string& key, const ScoredCandidate& score);
+  /// True (and fills *out) only when `key` is present AND `scope` is the
+  /// currently open scope.
+  bool lookup(const std::string& scope, const std::string& key,
+              ScoredCandidate* out) const;
+  /// Records the score; silently dropped when `scope` is no longer the
+  /// open scope (the entry would be invalid there).
+  void insert(const std::string& scope, const std::string& key,
+              const ScoredCandidate& score);
   void clear();
   std::int64_t size() const;
+  std::string scope() const;
+
+  /// Serialize scope + entries to `path` (overwrite). False on I/O
+  /// failure. Stored architectures ride the arch v1 text format, which
+  /// normalises unused function attributes — a reloaded entry's arch is
+  /// the canonical form of the one inserted (execution-identical; see
+  /// hgnas::canonicalize).
+  bool save(const std::string& path) const;
+  /// Replace contents from a save() file. False (cache left empty) when the
+  /// file is missing or malformed — a cold start, not an error.
+  bool load(const std::string& path);
 
  private:
-  mutable std::mutex mutex_;
+  static constexpr std::size_t kNumShards = 16;
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, ScoredCandidate> map;
+  };
+  Shard& shard_for(const std::string& key) const;
+
+  mutable std::shared_mutex scope_mutex_;
   std::string scope_;
-  std::unordered_map<std::string, ScoredCandidate> map_;
+  mutable std::array<Shard, kNumShards> shards_;
 };
 
 struct SearchConfig {
@@ -271,8 +311,12 @@ class HgnasSearch {
   // either the private cache below or a caller-shared one; scope checks
   // (see EvalCache) invalidate entries whenever the supernet weights, the
   // evaluator or the objective change. Hit/miss counters are per run.
+  // `run_scope_` is this run's scope snapshot (set by open_cache) — every
+  // lookup/insert carries it so a shared cache re-scoped by another search
+  // mid-run turns this run's traffic into misses instead of corruption.
   EvalCache own_cache_;
   EvalCache* cache_ = nullptr;
+  std::string run_scope_;
   std::int64_t cache_hits_ = 0;
   std::int64_t cache_misses_ = 0;
   // In-loop Pareto bookkeeping over every feasible candidate scored.

@@ -144,7 +144,7 @@ double SuperNet::train_epoch(const std::vector<pointcloud::Sample>& train,
                              Adam& opt, std::int64_t batch_size, Rng& rng) {
   check(!train.empty(), "train_epoch: empty split");
   check(batch_size > 0, "train_epoch: batch_size must be positive");
-  ++weight_version_;
+  weight_version_.fetch_add(1, std::memory_order_acq_rel);
   set_training(true);
   auto order = pointcloud::shuffled_indices(train.size(), rng);
   double loss_sum = 0.0;
@@ -244,7 +244,7 @@ double SuperNet::evaluate_concurrent(const Arch& arch,
 }
 
 void SuperNet::reinitialize(Rng& rng) {
-  ++weight_version_;
+  weight_version_.fetch_add(1, std::memory_order_acq_rel);
   for (auto& p : parameters()) {
     // Re-draw Kaiming weights / zero biases in place, preserving handles
     // held by optimisers created afterwards.

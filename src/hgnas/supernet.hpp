@@ -19,6 +19,7 @@
 // the architecture with natural channel flow and no alignment weights.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -84,12 +85,18 @@ class SuperNet final : public nn::Module {
   /// Monotone counter bumped by every weight mutation (train_epoch,
   /// reinitialize). Anything derived from the weights — notably memoised
   /// candidate scores (hgnas::EvalCache) — keys its validity on this.
-  std::int64_t weight_version() const { return weight_version_; }
+  /// Atomic so a reader on another thread (a concurrent cache-scope check)
+  /// observes a published value; the weights themselves are NOT protected —
+  /// callers that mutate them must hold whatever exclusion the sharing
+  /// layer provides (serve::Service runs all training exclusively).
+  std::int64_t weight_version() const {
+    return weight_version_.load(std::memory_order_acquire);
+  }
 
  private:
   SpaceConfig space_;
   SupernetConfig cfg_;
-  std::int64_t weight_version_ = 0;
+  std::atomic<std::int64_t> weight_version_{0};
 
   std::unique_ptr<nn::Linear> input_proj_;
   // combine_[pos][dim_idx] -> {bottleneck, align}

@@ -213,10 +213,72 @@ Tensor LatencyPredictor::forward(const ArchGraph& g) {
 }
 
 double LatencyPredictor::predict_ms(const hgnas::Arch& arch) {
+  return predict_batch_ms(std::span<const hgnas::Arch>(&arch, 1))[0];
+}
+
+std::vector<double> LatencyPredictor::predict_batch_ms(
+    std::span<const hgnas::Arch> archs) {
+  if (archs.empty()) return {};
   NoGradGuard ng;
-  const ArchGraph g = arch_to_graph(arch, workload_, cfg_.device_slot);
-  Tensor out = const_cast<LatencyPredictor*>(this)->forward(g);
-  return std::max(0.0, static_cast<double>(out.item()) * scale_ms_);
+  const auto n_graphs = static_cast<std::int64_t>(archs.size());
+
+  // Pack the N architecture graphs block-diagonally: node ids offset per
+  // graph, features stacked row-wise, and a node -> graph segment index for
+  // the readout. No edge crosses a graph boundary, and every kernel below
+  // (GCN normalisation, gather/scatter, row-wise linears) is local to a
+  // node/edge/row, so the packed pass computes exactly what N separate
+  // forwards would.
+  std::vector<ArchGraph> graphs;
+  graphs.reserve(archs.size());
+  std::int64_t total_nodes = 0, total_edges = 0;
+  for (const hgnas::Arch& arch : archs) {
+    graphs.push_back(arch_to_graph(arch, workload_, cfg_.device_slot));
+    total_nodes += graphs.back().edges.num_nodes;
+    total_edges += graphs.back().edges.num_edges();
+  }
+  graph::EdgeList packed;
+  packed.num_nodes = total_nodes;
+  packed.src.reserve(static_cast<std::size_t>(total_edges));
+  packed.dst.reserve(static_cast<std::size_t>(total_edges));
+  std::vector<float> feat;
+  feat.reserve(static_cast<std::size_t>(total_nodes * kFeatureDim));
+  std::vector<std::int64_t> graph_of;
+  graph_of.reserve(static_cast<std::size_t>(total_nodes));
+  std::int64_t offset = 0;
+  for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+    const ArchGraph& g = graphs[gi];
+    for (std::size_t e = 0; e < g.edges.src.size(); ++e) {
+      packed.add_edge(g.edges.src[e] + offset, g.edges.dst[e] + offset);
+    }
+    const auto gd = g.features.data();
+    feat.insert(feat.end(), gd.begin(), gd.end());
+    graph_of.insert(graph_of.end(),
+                    static_cast<std::size_t>(g.edges.num_nodes),
+                    static_cast<std::int64_t>(gi));
+    offset += g.edges.num_nodes;
+  }
+
+  Tensor h = Tensor::from_vector({total_nodes, kFeatureDim}, std::move(feat));
+  for (auto& layer : gcn_) h = relu(layer->forward(h, packed));
+  Tensor out;  // [n_graphs, 1]
+  if (cfg_.log_space_output) {
+    // Additive head (see forward()): per-node softplus contributions,
+    // segment-summed per graph in ascending node order — the same
+    // accumulation sequence as a lone forward's sum_all.
+    Tensor z = mlp_->forward(h);  // [total_nodes, 1]
+    Tensor contrib = add(relu(z), log_op(add(exp_op(neg(abs_op(z))), 1.f)));
+    out = scatter_reduce(contrib, graph_of, n_graphs, Reduce::Sum);
+  } else {
+    Tensor pooled = scatter_reduce(h, graph_of, n_graphs, Reduce::Mean);
+    out = mlp_->forward(pooled);
+  }
+
+  std::vector<double> result(archs.size());
+  for (std::int64_t i = 0; i < n_graphs; ++i) {
+    result[static_cast<std::size_t>(i)] =
+        std::max(0.0, static_cast<double>(out.at({i, 0})) * scale_ms_);
+  }
+  return result;
 }
 
 double LatencyPredictor::fit(const std::vector<LabeledArch>& train,
@@ -357,6 +419,99 @@ std::vector<LabeledArch> collect_labeled_archs(const hw::Device& device,
   check(static_cast<std::int64_t>(out.size()) == count,
         "collect_labeled_archs: too many OOM architectures on " +
             device.name());
+  return out;
+}
+
+std::vector<std::vector<LabeledArch>> collect_labeled_archs_multi(
+    std::span<const CollectSpec> specs, const hgnas::SpaceConfig& space,
+    const hgnas::Workload& w) {
+  for (const CollectSpec& spec : specs) {
+    check(spec.device != nullptr, "collect_labeled_archs_multi: null device");
+    check(spec.count > 0, "collect_labeled_archs_multi: count must be positive");
+  }
+  const std::size_t n_dev = specs.size();
+  std::vector<std::vector<LabeledArch>> out(n_dev);
+
+  if (core::num_threads() <= 1) {
+    // Serial path: device after device, bit for bit the single-device
+    // collection (which itself takes the historical interleaved-stream
+    // path at one thread).
+    for (std::size_t d = 0; d < n_dev; ++d)
+      out[d] = collect_labeled_archs(*specs[d].device, space, w,
+                                     specs[d].count, specs[d].seed);
+    return out;
+  }
+
+  // Pooled path: per-device draws replay the exact batch recurrence of the
+  // single-device batch path (so each device's labelled set is identical to
+  // a lone collection), but every device's lowering + measurements of a
+  // round share one parallel_invoke — one queue for the whole fleet.
+  struct DeviceState {
+    Rng rng;
+    std::int64_t attempts = 0;
+    std::int64_t max_attempts = 0;
+    explicit DeviceState(std::uint64_t seed) : rng(seed) {}
+  };
+  struct Drawn {
+    std::size_t device_index = 0;
+    hgnas::Arch arch;
+    std::uint64_t seed = 0;
+    hw::Measurement meas;
+  };
+  std::vector<DeviceState> states;
+  states.reserve(n_dev);
+  for (std::size_t d = 0; d < n_dev; ++d) {
+    states.emplace_back(specs[d].seed);
+    states[d].max_attempts = specs[d].count * 20;
+    out[d].reserve(static_cast<std::size_t>(specs[d].count));
+  }
+
+  for (;;) {
+    std::vector<Drawn> round;
+    std::vector<std::size_t> round_begin(n_dev + 1, 0);
+    for (std::size_t d = 0; d < n_dev; ++d) {
+      round_begin[d] = round.size();
+      DeviceState& st = states[d];
+      const std::int64_t remaining =
+          specs[d].count - static_cast<std::int64_t>(out[d].size());
+      if (remaining <= 0 || st.attempts >= st.max_attempts) continue;
+      const std::int64_t n =
+          std::min<std::int64_t>(remaining, st.max_attempts - st.attempts);
+      for (std::int64_t i = 0; i < n; ++i) {
+        Drawn drawn;
+        drawn.device_index = d;
+        drawn.arch = hgnas::random_arch(space, st.rng);
+        drawn.seed = st.rng.next();
+        round.push_back(std::move(drawn));
+      }
+      st.attempts += n;
+    }
+    round_begin[n_dev] = round.size();
+    if (round.empty()) break;
+
+    core::parallel_invoke(
+        static_cast<std::int64_t>(round.size()), [&](std::int64_t i) {
+          Drawn& drawn = round[static_cast<std::size_t>(i)];
+          Rng meas_rng(drawn.seed);
+          drawn.meas = specs[drawn.device_index].device->measure(
+              lower_to_trace(drawn.arch, w), meas_rng);
+        });
+
+    for (std::size_t d = 0; d < n_dev; ++d) {
+      for (std::size_t i = round_begin[d]; i < round_begin[d + 1]; ++i) {
+        Drawn& drawn = round[i];
+        if (static_cast<std::int64_t>(out[d].size()) == specs[d].count) break;
+        if (drawn.meas.oom || drawn.meas.latency_ms <= 0.0) continue;
+        out[d].push_back(
+            LabeledArch{std::move(drawn.arch), drawn.meas.latency_ms});
+      }
+    }
+  }
+
+  for (std::size_t d = 0; d < n_dev; ++d)
+    check(static_cast<std::int64_t>(out[d].size()) == specs[d].count,
+          "collect_labeled_archs: too many OOM architectures on " +
+              specs[d].device->name());
   return out;
 }
 

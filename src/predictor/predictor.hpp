@@ -26,6 +26,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "gnn/gnn.hpp"
@@ -105,8 +106,19 @@ class LatencyPredictor final : public nn::Module {
   LatencyPredictor(const PredictorConfig& cfg, const hgnas::Workload& w,
                    Rng& rng);
 
-  /// Predicted latency (ms) for an architecture. Never negative.
+  /// Predicted latency (ms) for an architecture. Never negative. Runs
+  /// through predict_batch_ms at batch size 1.
   double predict_ms(const hgnas::Arch& arch);
+
+  /// Predicted latencies for N architectures through ONE packed GCN
+  /// forward: the N architecture graphs are stacked block-diagonally
+  /// (node ids offset, features concatenated) so every GCN layer runs a
+  /// single adjacency pass, and the readout segment-reduces per graph.
+  /// All GCN/MLP arithmetic is per-node/per-edge/per-row local, so each
+  /// element is bit-for-bit identical to a lone predict_ms of that
+  /// architecture — batching changes wall clock, never answers. Safe to
+  /// call concurrently (forward passes only read the trained weights).
+  std::vector<double> predict_batch_ms(std::span<const hgnas::Arch> archs);
 
   /// Train on labelled architectures (MAPE loss, Adam). Returns final
   /// training-set MAPE.
@@ -134,6 +146,24 @@ class LatencyPredictor final : public nn::Module {
 std::vector<LabeledArch> collect_labeled_archs(
     const hw::Device& device, const hgnas::SpaceConfig& space,
     const hgnas::Workload& w, std::int64_t count, std::uint64_t seed);
+
+/// One device's slice of a multi-device collection run.
+struct CollectSpec {
+  const hw::Device* device = nullptr;
+  std::int64_t count = 0;
+  std::uint64_t seed = 0;
+};
+
+/// Label architectures for M devices through ONE pooled measurement queue:
+/// per-device draws stay serial (each device owns an RNG seeded from its
+/// spec), but the expensive lowering + simulated measurements of every
+/// device fan out across the shared execution pool together, so fitting
+/// predictors for a fleet shares one queue instead of M sequential
+/// collection passes. Result i is identical — arch for arch, label for
+/// label — to collect_labeled_archs(*specs[i].device, ..., specs[i].seed).
+std::vector<std::vector<LabeledArch>> collect_labeled_archs_multi(
+    std::span<const CollectSpec> specs, const hgnas::SpaceConfig& space,
+    const hgnas::Workload& w);
 
 /// Wrap a trained predictor as a search-side latency evaluator. Each query
 /// costs `query_cost_s` of simulated wall clock (milliseconds, §III-D).

@@ -1,0 +1,63 @@
+// request.hpp — the typed request vocabulary of the hg::serve layer.
+//
+// A serve::Service answers five kinds of long-lived-loop requests, one
+// struct each. Submitting a request returns a std::future carrying the
+// same Result<T> the matching Engine verb would return, so a caller
+// migrating from direct engine calls keeps its error handling unchanged.
+//
+// Scheduling class (decided by the service, not the caller):
+//  * PURE requests — PredictLatency, Profile, ProfileBaseline — touch only
+//    immutable or internally-synchronized context state and run
+//    concurrently across the worker pool, in any order.
+//  * EXCLUSIVE requests — Search, TrainBaseline, and PredictLatency when
+//    the service's evaluator is "measured" (its noise stream is shared
+//    state) — consume the context RNG or mutate the supernet, so the
+//    service runs them one at a time, in submission order. That FIFO
+//    ordering is what makes a concurrent run's results bit-identical to a
+//    serial one.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "api/config.hpp"
+#include "api/engine.hpp"
+
+namespace hg::serve {
+
+/// Run a full NAS search on the service's context. `cfg` overrides the
+/// service's engine config for this one request (strategy, objective,
+/// constraints, search scale); its context-shaping fields must match the
+/// service's (api::context_compatible) or the future resolves to
+/// INVALID_ARGUMENT. Unset: the service's config as-is.
+struct SearchRequest {
+  std::optional<api::EngineConfig> cfg;
+};
+
+/// One latency query through the service's configured evaluator. With
+/// evaluator "predictor", queued requests are coalesced into one packed
+/// GCN forward (Engine::predict_batch) — the answer is bit-identical to an
+/// uncoalesced query, only cheaper.
+struct PredictLatencyRequest {
+  api::Arch arch;
+};
+
+/// Deterministic deployment report on the service's device model.
+struct ProfileRequest {
+  api::Arch arch;
+};
+
+/// The profile report for a named reference network ("dgcnn", "li",
+/// "tailor", zoo entries), optionally at an explicit workload.
+struct ProfileBaselineRequest {
+  std::string name;
+  std::optional<api::Workload> workload;
+};
+
+/// Train a CPU-scale instance of a named baseline on the service's
+/// dataset.
+struct TrainBaselineRequest {
+  std::string name;
+};
+
+}  // namespace hg::serve

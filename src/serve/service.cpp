@@ -1,0 +1,280 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+namespace hg::serve {
+
+namespace {
+
+api::Status shut_down_status() {
+  return api::Status::FailedPrecondition("service is shut down");
+}
+
+}  // namespace
+
+api::Result<std::shared_ptr<Service>> Service::create(
+    const api::EngineConfig& cfg, const ServiceConfig& service_cfg) {
+  api::Result<std::shared_ptr<api::EvalContext>> ctx =
+      api::EvalContext::create(cfg);
+  if (!ctx.ok()) return ctx.status();
+  return create(cfg, std::move(ctx).value(), service_cfg);
+}
+
+api::Result<std::shared_ptr<Service>> Service::create(
+    const api::EngineConfig& cfg, std::shared_ptr<api::EvalContext> ctx,
+    const ServiceConfig& service_cfg) {
+  if (service_cfg.num_workers < 1 || service_cfg.num_workers > 256)
+    return api::Status::InvalidArgument(
+        "ServiceConfig::num_workers must be in [1, 256]");
+  if (service_cfg.max_predict_batch < 1)
+    return api::Status::InvalidArgument(
+        "ServiceConfig::max_predict_batch must be >= 1");
+  if (ctx == nullptr)
+    return api::Status::InvalidArgument("EvalContext is null");
+
+  std::shared_ptr<Service> service(new Service());
+  service->base_cfg_ = cfg;
+  service->service_cfg_ = service_cfg;
+  service->ctx_ = std::move(ctx);
+  const std::string evaluator = api::normalize_key(cfg.evaluator);
+  service->coalesce_predictions_ = evaluator == "predictor";
+  service->measured_evaluator_ = evaluator == "measured";
+
+  service->engines_.reserve(
+      static_cast<std::size_t>(service_cfg.num_workers));
+  for (std::int64_t i = 0; i < service_cfg.num_workers; ++i) {
+    api::Result<api::Engine> engine = api::Engine::create(cfg, service->ctx_);
+    if (!engine.ok()) return engine.status();
+    service->engines_.push_back(std::move(engine).value());
+  }
+  service->start_workers(service_cfg.num_workers);
+  return service;
+}
+
+Service::~Service() { shutdown(); }
+
+void Service::start_workers(std::int64_t n) {
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i)
+    workers_.emplace_back(
+        [this, i] { worker_loop(static_cast<std::size_t>(i)); });
+}
+
+void Service::shutdown() {
+  // Serializes concurrent shutdown() callers (a second caller would
+  // otherwise join the same threads); queue state stays under mutex_.
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+}
+
+bool Service::enqueue(std::function<void(api::Engine&)> fn, bool exclusive,
+                      bool count_predict) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return false;
+    ++stats_.requests;
+    if (count_predict) ++stats_.predict_requests;
+    if (exclusive) {
+      ++stats_.exclusive_requests;
+      exclusive_queue_.push_back(std::move(fn));
+    } else {
+      pure_queue_.push_back(std::move(fn));
+    }
+  }
+  cv_.notify_all();
+  return true;
+}
+
+template <typename T>
+std::future<api::Result<T>> Service::submit_task(
+    std::function<api::Result<T>(api::Engine&)> fn, bool exclusive,
+    bool count_predict) {
+  auto promise = std::make_shared<std::promise<api::Result<T>>>();
+  std::future<api::Result<T>> future = promise->get_future();
+  const bool accepted = enqueue(
+      [fn = std::move(fn), promise](api::Engine& engine) {
+        promise->set_value(fn(engine));
+      },
+      exclusive, count_predict);
+  if (!accepted) promise->set_value(shut_down_status());
+  return future;
+}
+
+std::future<api::Result<api::SearchReport>> Service::submit(
+    SearchRequest req) {
+  const api::EngineConfig cfg = req.cfg.value_or(base_cfg_);
+  return submit_task<api::SearchReport>(
+      [this, cfg](api::Engine&) -> api::Result<api::SearchReport> {
+        // A fresh engine per search: per-request strategy / objective /
+        // constraint overrides without touching the worker's engine, gated
+        // by context_compatible inside Engine::create.
+        api::Result<api::Engine> engine = api::Engine::create(cfg, ctx_);
+        if (!engine.ok()) return engine.status();
+        return engine.value().search();
+      },
+      /*exclusive=*/true);
+}
+
+std::future<api::Result<api::LatencyReport>> Service::submit(
+    PredictLatencyRequest req) {
+  // "measured" draws from the evaluator's shared noise stream: route it
+  // through the exclusive FIFO so concurrent runs replay the serial
+  // stream. Everything else is a pure read of trained/fitted state.
+  if (!coalesce_predictions_) {
+    return submit_task<api::LatencyReport>(
+        [arch = std::move(req.arch)](api::Engine& engine) {
+          return engine.predict_latency(arch);
+        },
+        /*exclusive=*/measured_evaluator_, /*count_predict=*/true);
+  }
+
+  // Predictor path: park the request on the coalescing queue; a worker
+  // drains a whole batch into one packed forward.
+  PredictTask task;
+  task.arch = std::move(req.arch);
+  task.promise =
+      std::make_shared<std::promise<api::Result<api::LatencyReport>>>();
+  auto future = task.promise->get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      task.promise->set_value(shut_down_status());
+      return future;
+    }
+    ++stats_.requests;
+    ++stats_.predict_requests;
+    predict_queue_.push_back(std::move(task));
+  }
+  cv_.notify_all();
+  return future;
+}
+
+std::future<api::Result<api::ProfileReport>> Service::submit(
+    ProfileRequest req) {
+  return submit_task<api::ProfileReport>(
+      [arch = std::move(req.arch)](api::Engine& engine) {
+        return engine.profile(arch);
+      },
+      /*exclusive=*/false);
+}
+
+std::future<api::Result<api::ProfileReport>> Service::submit(
+    ProfileBaselineRequest req) {
+  return submit_task<api::ProfileReport>(
+      [req = std::move(req)](api::Engine& engine) {
+        return req.workload
+                   ? engine.profile_baseline(req.name, *req.workload)
+                   : engine.profile_baseline(req.name);
+      },
+      /*exclusive=*/false);
+}
+
+std::future<api::Result<api::TrainReport>> Service::submit(
+    TrainBaselineRequest req) {
+  return submit_task<api::TrainReport>(
+      [name = std::move(req.name)](api::Engine& engine) {
+        return engine.train_baseline(name);
+      },
+      /*exclusive=*/true);  // draws from the shared context RNG
+}
+
+ServiceStats Service::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void Service::worker_loop(std::size_t worker_index) {
+  api::Engine& engine = engines_[worker_index];
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_.wait(lock, [this] {
+      const bool work =
+          !exclusive_claimed_ &&
+          (!exclusive_queue_.empty() || !predict_queue_.empty() ||
+           !pure_queue_.empty());
+      const bool drained = stopping_ && exclusive_queue_.empty() &&
+                           predict_queue_.empty() && pure_queue_.empty();
+      return work || drained;
+    });
+
+    // Exclusive requests outrank everything: claim the oldest, wait for
+    // in-flight pure work to drain, run alone. While a claim is pending or
+    // running, no worker starts anything — that is the whole guarantee.
+    if (!exclusive_claimed_ && !exclusive_queue_.empty()) {
+      std::function<void(api::Engine&)> task =
+          std::move(exclusive_queue_.front());
+      exclusive_queue_.pop_front();
+      exclusive_claimed_ = true;
+      cv_.wait(lock, [this] { return pure_active_ == 0; });
+      lock.unlock();
+      task(engine);
+      lock.lock();
+      exclusive_claimed_ = false;
+      cv_.notify_all();
+      continue;
+    }
+
+    if (!exclusive_claimed_ && !predict_queue_.empty()) {
+      const std::size_t n = std::min<std::size_t>(
+          predict_queue_.size(),
+          static_cast<std::size_t>(service_cfg_.max_predict_batch));
+      std::vector<PredictTask> batch;
+      batch.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        batch.push_back(std::move(predict_queue_.front()));
+        predict_queue_.pop_front();
+      }
+      ++stats_.predict_batches;
+      stats_.max_predict_batch = std::max(
+          stats_.max_predict_batch, static_cast<std::int64_t>(n));
+      ++pure_active_;
+      lock.unlock();
+      std::vector<api::Arch> archs;
+      archs.reserve(batch.size());
+      for (const PredictTask& t : batch) archs.push_back(t.arch);
+      api::Result<std::vector<api::LatencyReport>> reports =
+          engine.predict_batch(archs);
+      if (reports.ok()) {
+        for (std::size_t i = 0; i < batch.size(); ++i)
+          batch[i].promise->set_value(reports.value()[i]);
+      } else {
+        // One bad request (an invalid genome fails the whole packed
+        // forward) must not poison its batchmates: fall back to lone
+        // queries so every request gets exactly the answer an uncoalesced
+        // submission would have produced.
+        for (PredictTask& t : batch)
+          t.promise->set_value(engine.predict_latency(t.arch));
+      }
+      lock.lock();
+      --pure_active_;
+      cv_.notify_all();
+      continue;
+    }
+
+    if (!exclusive_claimed_ && !pure_queue_.empty()) {
+      std::function<void(api::Engine&)> task = std::move(pure_queue_.front());
+      pure_queue_.pop_front();
+      ++pure_active_;
+      lock.unlock();
+      task(engine);
+      lock.lock();
+      --pure_active_;
+      cv_.notify_all();
+      continue;
+    }
+
+    if (stopping_ && exclusive_queue_.empty() && predict_queue_.empty() &&
+        pure_queue_.empty())
+      return;
+  }
+}
+
+}  // namespace hg::serve

@@ -1,0 +1,147 @@
+// service.hpp — hg::serve::Service, the long-lived concurrent NAS service
+// loop (the ROADMAP's "several engines answering profile/search/predict
+// requests concurrently").
+//
+// One Service owns one api::EvalContext — one device model, one dataset,
+// one supernet, one fitted predictor — and a pool of worker threads, each
+// holding its own api::Engine on that context. Callers submit typed
+// requests (serve/request.hpp) and get std::futures back; the service
+// dispatches:
+//
+//   * PURE requests (predict / profile / profile_baseline) run
+//     concurrently across the workers.
+//   * EXCLUSIVE requests (search / train_baseline / measured-evaluator
+//     predictions) run one at a time, in submission order, with the pure
+//     traffic drained first — so a concurrent run's results are
+//     bit-identical to submitting the same requests serially.
+//   * Queued PredictLatency requests against a "predictor" evaluator are
+//     coalesced: a worker drains up to ServiceConfig::max_predict_batch of
+//     them and answers with ONE packed GCN forward
+//     (Engine::predict_batch), which is bit-identical per element to
+//     serial queries but pays the per-forward overhead once.
+//
+// Lifecycle: create() -> submit() from any thread -> shutdown() (drains
+// queued work, joins the workers; the destructor calls it too). After
+// shutdown, submit() resolves immediately to FAILED_PRECONDITION.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "api/engine.hpp"
+#include "api/eval_context.hpp"
+#include "api/status.hpp"
+#include "serve/request.hpp"
+
+namespace hg::serve {
+
+struct ServiceConfig {
+  /// Worker threads (each with its own Engine on the shared context).
+  std::int64_t num_workers = 2;
+  /// Most PredictLatency requests coalesced into one packed forward.
+  /// 1 disables coalescing (every query is its own forward).
+  std::int64_t max_predict_batch = 16;
+};
+
+/// Cumulative counters (monotone; snapshot via Service::stats()).
+struct ServiceStats {
+  std::int64_t requests = 0;            // everything submitted
+  std::int64_t exclusive_requests = 0;  // ran on the exclusive FIFO path
+  std::int64_t predict_requests = 0;    // PredictLatency submissions
+  std::int64_t predict_batches = 0;     // packed forwards actually run
+  std::int64_t max_predict_batch = 0;   // largest coalesced batch seen
+};
+
+class Service {
+ public:
+  /// Build the context from `cfg` (for "predictor" this fits the latency
+  /// predictor — the expensive step), then start the workers.
+  static api::Result<std::shared_ptr<Service>> create(
+      const api::EngineConfig& cfg, const ServiceConfig& service_cfg = {});
+
+  /// Start the workers on an existing shared context (e.g. one built by
+  /// EvalContext::create_many for a device fleet). `cfg` must be
+  /// context-compatible with `ctx`.
+  static api::Result<std::shared_ptr<Service>> create(
+      const api::EngineConfig& cfg, std::shared_ptr<api::EvalContext> ctx,
+      const ServiceConfig& service_cfg = {});
+
+  /// shutdown() + join.
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  // ---- request submission (thread-safe, non-blocking) ----
+  std::future<api::Result<api::SearchReport>> submit(SearchRequest req);
+  std::future<api::Result<api::LatencyReport>> submit(
+      PredictLatencyRequest req);
+  std::future<api::Result<api::ProfileReport>> submit(ProfileRequest req);
+  std::future<api::Result<api::ProfileReport>> submit(
+      ProfileBaselineRequest req);
+  std::future<api::Result<api::TrainReport>> submit(TrainBaselineRequest req);
+
+  /// Stop accepting requests, finish everything already queued, join the
+  /// workers. Idempotent; safe from any thread (not from a worker).
+  void shutdown();
+
+  ServiceStats stats() const;
+  const std::shared_ptr<api::EvalContext>& context() const { return ctx_; }
+  const api::EngineConfig& config() const { return base_cfg_; }
+
+ private:
+  Service() = default;
+
+  void start_workers(std::int64_t n);
+  void worker_loop(std::size_t worker_index);
+
+  /// Enqueue `fn` on the pure or exclusive queue, bumping the request
+  /// counters (incl. predict_requests when `count_predict`) atomically
+  /// with admission; returns false (caller resolves the future to
+  /// FAILED_PRECONDITION) after shutdown.
+  bool enqueue(std::function<void(api::Engine&)> fn, bool exclusive,
+               bool count_predict = false);
+
+  /// The common submit shape: park `fn` on a queue, resolve its promise
+  /// with the Result it returns — or with FAILED_PRECONDITION when the
+  /// service is already shut down. Defined in service.cpp (instantiated
+  /// for the facade report types only).
+  template <typename T>
+  std::future<api::Result<T>> submit_task(
+      std::function<api::Result<T>(api::Engine&)> fn, bool exclusive,
+      bool count_predict = false);
+
+  struct PredictTask {
+    api::Arch arch;
+    std::shared_ptr<std::promise<api::Result<api::LatencyReport>>> promise;
+  };
+
+  api::EngineConfig base_cfg_;
+  ServiceConfig service_cfg_;
+  std::shared_ptr<api::EvalContext> ctx_;
+  bool coalesce_predictions_ = false;  // evaluator "predictor"
+  bool measured_evaluator_ = false;    // evaluator "measured" (stateful)
+
+  std::mutex shutdown_mutex_;  // serializes shutdown() callers only
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void(api::Engine&)>> pure_queue_;
+  std::deque<std::function<void(api::Engine&)>> exclusive_queue_;
+  std::deque<PredictTask> predict_queue_;
+  std::int64_t pure_active_ = 0;
+  bool exclusive_claimed_ = false;  // a worker owns the next exclusive task
+  bool stopping_ = false;
+  ServiceStats stats_;
+
+  std::vector<api::Engine> engines_;  // one per worker, fixed at create
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace hg::serve

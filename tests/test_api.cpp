@@ -4,6 +4,9 @@
 // and the export/import persistence round-trip.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+
 #include "api/engine.hpp"
 #include "baselines/baselines.hpp"
 #include "hgnas/pareto.hpp"
@@ -163,6 +166,51 @@ TEST(Engine, RandomStrategyRespectsBudgetAndConstraint) {
             cfg.population + cfg.iterations * (cfg.population / 2));
   EXPECT_GT(r.best_objective, 0.0);
   EXPECT_FALSE(r.history.empty());
+}
+
+TEST(EvalContext, PersistedEvalCacheWarmsTheNextRun) {
+  // EngineConfig::eval_cache_path: the first run's candidate scores are
+  // written at context destruction; a second, identical run loads them and
+  // serves its (random-strategy) revisits entirely from the warm cache —
+  // with identical results, since a hit replays the stored score.
+  EngineConfig cfg = EngineConfig::tiny();
+  cfg.strategy = "random";
+  // The random strategy memoises through the cache on the batch path only
+  // (the serial path must preserve its historical shared RNG stream), so
+  // pin a pool width > 1 for deterministic warm hits on any host.
+  cfg.num_threads = 2;
+  cfg.eval_cache_path = ::testing::TempDir() + "api_eval_cache_warm.txt";
+  std::remove(cfg.eval_cache_path.c_str());
+
+  SearchResult cold, warm;
+  std::int64_t cold_misses = 0, warm_misses = 0;
+  {
+    Result<Engine> created = Engine::create(cfg);
+    ASSERT_TRUE(created.ok()) << created.status().to_string();
+    Result<SearchReport> report = created.value().search();
+    ASSERT_TRUE(report.ok()) << report.status().to_string();
+    cold = report.value().result;
+    cold_misses = cold.eval_cache_misses;
+  }  // context destroyed -> cache saved
+  {
+    Result<Engine> created = Engine::create(cfg);
+    ASSERT_TRUE(created.ok()) << created.status().to_string();
+    Result<SearchReport> report = created.value().search();
+    ASSERT_TRUE(report.ok()) << report.status().to_string();
+    warm = report.value().result;
+    warm_misses = warm.eval_cache_misses;
+  }
+  EXPECT_GT(cold_misses, 0);
+  EXPECT_LT(warm_misses, cold_misses);  // warm start: revisits are hits
+  EXPECT_GT(warm.eval_cache_hits, 0);
+  // Persisted cache entries carry the canonical genome (see
+  // hgnas::EvalCache::save), so the warm winner is the canonical form of
+  // the cold one — the execution-identical architecture, same score.
+  EXPECT_EQ(hgnas::canonicalize(warm.best_arch),
+            hgnas::canonicalize(cold.best_arch));
+  EXPECT_DOUBLE_EQ(warm.best_objective, cold.best_objective);
+  EXPECT_DOUBLE_EQ(warm.best_latency_ms, cold.best_latency_ms);
+  std::remove(cfg.eval_cache_path.c_str());
 }
 
 TEST(Engine, TrainMaterialisesAnArch) {

@@ -204,6 +204,32 @@ TEST(GcnLayer, GradientsFlow) {
   }
 }
 
+TEST(GcnLayer, FusedInferencePathBitIdenticalToReference) {
+  // forward() dispatches to a fused no-materialisation path under
+  // NoGradGuard (sum reduce); the batched predictor's exact-replay
+  // guarantees are built on that path computing exactly what the taped
+  // gather/scale/scatter/add reference computes.
+  Rng rng(8);
+  for (const auto reduce : {Reduce::Sum, Reduce::Max}) {
+    GcnLayer gcn(6, 7, rng, reduce);
+    const std::int64_t n = 40;
+    Tensor x = Tensor::randn({n, 6}, rng);
+    graph::EdgeList g = graph::random_graph(n, 5, rng);
+    g.num_nodes = n;
+    Tensor reference = gcn.forward(x, g);  // grad enabled: taped pipeline
+    Tensor fused;
+    {
+      NoGradGuard ng;
+      fused = gcn.forward(x, g);
+    }
+    ASSERT_EQ(fused.shape(), reference.shape());
+    for (std::int64_t i = 0; i < fused.numel(); ++i)
+      EXPECT_EQ(fused.data()[static_cast<std::size_t>(i)],
+                reference.data()[static_cast<std::size_t>(i)])
+          << "element " << i;
+  }
+}
+
 TEST(GcnLayer, NodeCountMismatchThrows) {
   Rng rng(7);
   GcnLayer gcn(2, 3, rng);

@@ -457,17 +457,35 @@ TEST(ConcurrentSearch, EvalCacheScopeClearsOnChangeOnly) {
   cache.open_scope("scope-a");
   hgnas::ScoredCandidate s;
   s.fitness = 0.5;
-  cache.insert("genome", s);
+  cache.insert("scope-a", "genome", s);
   ASSERT_EQ(cache.size(), 1);
 
   cache.open_scope("scope-a");  // unchanged scope keeps entries
   hgnas::ScoredCandidate out;
-  EXPECT_TRUE(cache.lookup("genome", &out));
+  EXPECT_TRUE(cache.lookup("scope-a", "genome", &out));
   EXPECT_DOUBLE_EQ(out.fitness, 0.5);
 
   cache.open_scope("scope-b");  // any change — evaluator, objective,
   EXPECT_EQ(cache.size(), 0);   // supernet weight version — starts cold
-  EXPECT_FALSE(cache.lookup("genome", &out));
+  EXPECT_FALSE(cache.lookup("scope-b", "genome", &out));
+}
+
+TEST(ConcurrentSearch, EvalCacheRejectsStaleScopeTraffic) {
+  // A search that re-scoped the cache must be immune to another search
+  // still holding the old scope: stale lookups miss, stale inserts drop.
+  hgnas::EvalCache cache;
+  cache.open_scope("scope-a");
+  hgnas::ScoredCandidate s;
+  s.fitness = 0.5;
+  cache.insert("scope-a", "genome", s);
+
+  cache.open_scope("scope-b");
+  hgnas::ScoredCandidate out;
+  EXPECT_FALSE(cache.lookup("scope-a", "genome", &out));  // stale reader
+  cache.insert("scope-a", "genome", s);                   // stale writer
+  EXPECT_EQ(cache.size(), 0);
+  cache.insert("scope-b", "genome", s);
+  EXPECT_TRUE(cache.lookup("scope-b", "genome", &out));
 }
 
 TEST(ConcurrentSearch, WeightVersionTracksEveryWeightMutation) {

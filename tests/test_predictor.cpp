@@ -5,7 +5,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <span>
+#include <vector>
 
+#include "core/parallel.hpp"
 #include "predictor/predictor.hpp"
 
 namespace hg::predictor {
@@ -169,6 +172,86 @@ TEST(Predictor, GeneralisesAndRanks) {
   }
   EXPECT_GT(static_cast<double>(concordant) / static_cast<double>(total),
             0.75);
+}
+
+TEST(Predictor, PredictBatchEqualsSerialForwardsExactly) {
+  // The serving layer coalesces queued queries into one packed forward;
+  // that is only sound if batching can never change an answer. Exact
+  // equality, not tolerance: the block-diagonal pass must replay the very
+  // same arithmetic as N lone forwards.
+  Rng rng(21);
+  hw::Device dev = hw::make_device(hw::DeviceKind::Rtx3080);
+  auto train = collect_labeled_archs(dev, test_space(), test_workload(),
+                                     80, 17);
+  LatencyPredictor pred(tiny_predictor_config(), test_workload(), rng);
+  pred.fit(train, rng);
+
+  std::vector<hgnas::Arch> archs;
+  for (int i = 0; i < 10; ++i)
+    archs.push_back(hgnas::random_arch(test_space(), rng));
+
+  std::vector<double> serial;
+  for (const auto& a : archs) serial.push_back(pred.predict_ms(a));
+
+  const std::vector<double> whole = pred.predict_batch_ms(archs);
+  ASSERT_EQ(whole.size(), archs.size());
+  for (std::size_t i = 0; i < archs.size(); ++i)
+    EXPECT_DOUBLE_EQ(whole[i], serial[i]) << "arch " << i;
+
+  // Batch composition must not matter either: any split gives the same
+  // numbers.
+  const std::vector<double> head = pred.predict_batch_ms(
+      std::span<const hgnas::Arch>(archs.data(), 3));
+  const std::vector<double> tail = pred.predict_batch_ms(
+      std::span<const hgnas::Arch>(archs.data() + 3, archs.size() - 3));
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_DOUBLE_EQ(head[i], serial[i]);
+  for (std::size_t i = 3; i < archs.size(); ++i)
+    EXPECT_DOUBLE_EQ(tail[i - 3], serial[i]);
+
+  EXPECT_TRUE(pred.predict_batch_ms({}).empty());
+}
+
+TEST(Predictor, PredictBatchExactForMeanPoolHeadToo) {
+  // Same exactness for the non-default global-mean-pool head (the packed
+  // readout segment-means instead of segment-summing).
+  Rng rng(22);
+  PredictorConfig cfg = tiny_predictor_config();
+  cfg.log_space_output = false;
+  LatencyPredictor pred(cfg, test_workload(), rng);
+  std::vector<hgnas::Arch> archs;
+  for (int i = 0; i < 6; ++i)
+    archs.push_back(hgnas::random_arch(test_space(), rng));
+  const std::vector<double> batch = pred.predict_batch_ms(archs);
+  for (std::size_t i = 0; i < archs.size(); ++i)
+    EXPECT_DOUBLE_EQ(batch[i], pred.predict_ms(archs[i])) << "arch " << i;
+}
+
+TEST(CollectLabeled, MultiDeviceShardingMatchesPerDeviceCollection) {
+  // Fleet collection through one pooled queue must hand every device the
+  // exact labelled set a lone collection would have produced — for the
+  // serial path and for any pool width.
+  hw::Device rtx = hw::make_device(hw::DeviceKind::Rtx3080);
+  hw::Device i7 = hw::make_device(hw::DeviceKind::IntelI7_8700K);
+  const CollectSpec specs[] = {{&rtx, 20, 5}, {&i7, 15, 9}};
+
+  for (const std::int64_t threads : {std::int64_t{1}, std::int64_t{3}}) {
+    core::ScopedNumThreads scoped(threads);
+    const auto multi =
+        collect_labeled_archs_multi(specs, test_space(), test_workload());
+    ASSERT_EQ(multi.size(), 2u);
+    for (std::size_t d = 0; d < 2; ++d) {
+      const auto solo =
+          collect_labeled_archs(*specs[d].device, test_space(),
+                                test_workload(), specs[d].count,
+                                specs[d].seed);
+      ASSERT_EQ(multi[d].size(), solo.size()) << "threads " << threads;
+      for (std::size_t i = 0; i < solo.size(); ++i) {
+        EXPECT_EQ(multi[d][i].arch, solo[i].arch);
+        EXPECT_DOUBLE_EQ(multi[d][i].latency_ms, solo[i].latency_ms);
+      }
+    }
+  }
 }
 
 TEST(Predictor, PredictionNeverNegative) {

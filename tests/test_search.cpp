@@ -2,6 +2,11 @@
 // evaluators, simulated clock.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <string>
+
 #include "hgnas/search.hpp"
 
 namespace hg::hgnas {
@@ -202,6 +207,64 @@ TEST(Search, TightConstraintYieldsFasterArchitectures) {
   const double tight = run_with_constraint(dgcnn_ms * 0.05);
   EXPECT_LT(tight, dgcnn_ms * 0.05);
   EXPECT_LE(tight, loose + 1e-9);
+}
+
+TEST(EvalCache, SaveLoadRoundTripsEntriesAndScope) {
+  Rng rng(33);
+  SpaceConfig space;
+  space.num_positions = 5;
+  EvalCache cache;
+  cache.open_scope("oracle@rtx#1|w3");
+  ScoredCandidate feasible;
+  feasible.arch = random_arch(space, rng);
+  feasible.fitness = 0.42;
+  feasible.acc = 0.8;
+  feasible.latency_ms = 12.5;
+  feasible.raw_latency_ms = 12.5;
+  feasible.is_feasible = true;
+  ScoredCandidate oom;
+  oom.arch = random_arch(space, rng);
+  oom.fitness = 0.0;
+  oom.latency_ms = std::numeric_limits<double>::infinity();
+  oom.raw_latency_ms = 99.0;
+  cache.insert("oracle@rtx#1|w3", "genome-a", feasible);
+  cache.insert("oracle@rtx#1|w3", "genome-b", oom);
+
+  const std::string path = ::testing::TempDir() + "evalcache_roundtrip.txt";
+  ASSERT_TRUE(cache.save(path));
+
+  EvalCache loaded;
+  ASSERT_TRUE(loaded.load(path));
+  EXPECT_EQ(loaded.scope(), "oracle@rtx#1|w3");
+  EXPECT_EQ(loaded.size(), 2);
+  ScoredCandidate out;
+  ASSERT_TRUE(loaded.lookup("oracle@rtx#1|w3", "genome-a", &out));
+  // Persisted archs come back in canonical form (see EvalCache::save).
+  EXPECT_EQ(out.arch, canonicalize(feasible.arch));
+  EXPECT_DOUBLE_EQ(out.fitness, 0.42);
+  EXPECT_DOUBLE_EQ(out.acc, 0.8);
+  EXPECT_TRUE(out.is_feasible);
+  ASSERT_TRUE(loaded.lookup("oracle@rtx#1|w3", "genome-b", &out));
+  EXPECT_TRUE(std::isinf(out.latency_ms));
+  EXPECT_DOUBLE_EQ(out.raw_latency_ms, 99.0);
+  EXPECT_FALSE(out.is_feasible);
+
+  // A warm file under a changed scope (e.g. retrained supernet) is cold.
+  loaded.open_scope("oracle@rtx#1|w4");
+  EXPECT_EQ(loaded.size(), 0);
+
+  // Missing / corrupt files degrade to an empty cache, not an error.
+  EvalCache missing;
+  EXPECT_FALSE(missing.load(::testing::TempDir() + "no_such_cache.txt"));
+  EXPECT_EQ(missing.size(), 0);
+  const std::string corrupt_path = ::testing::TempDir() + "evalcache_bad.txt";
+  {
+    std::ofstream os(corrupt_path);
+    os << "hgnas-evalcache v1\nscope 3\nabc\nentries 5\ngarbage";
+  }
+  EvalCache corrupt;
+  EXPECT_FALSE(corrupt.load(corrupt_path));
+  EXPECT_EQ(corrupt.size(), 0);
 }
 
 TEST(Search, PredictorVsMeasurementClockGap) {

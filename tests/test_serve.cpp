@@ -1,0 +1,336 @@
+// serve::Service — the long-lived concurrent NAS service loop: scheduling
+// classes, FIFO-exclusive ordering, prediction coalescing, shutdown
+// semantics, and the headline guarantee that a concurrent run's results
+// are bit-identical to a serial one.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve/service.hpp"
+
+namespace hg::serve {
+namespace {
+
+/// Oracle-evaluator config small enough to search in well under a second.
+api::EngineConfig tiny_cfg() {
+  api::EngineConfig cfg = api::EngineConfig::tiny();
+  cfg.evaluator = "oracle";
+  cfg.strategy = "random";
+  cfg.iterations = 2;
+  return cfg;
+}
+
+std::shared_ptr<Service> make_service(const api::EngineConfig& cfg,
+                                      std::int64_t workers) {
+  ServiceConfig scfg;
+  scfg.num_workers = workers;
+  api::Result<std::shared_ptr<Service>> service = Service::create(cfg, scfg);
+  EXPECT_TRUE(service.ok()) << service.status().to_string();
+  return service.ok() ? service.value() : nullptr;
+}
+
+/// Every result of one scripted mixed-workload run, in submission order.
+struct RunResults {
+  std::vector<api::SearchReport> searches;
+  std::vector<api::LatencyReport> predictions;
+  std::vector<api::ProfileReport> profiles;
+  std::vector<api::ProfileReport> baselines;
+  std::vector<api::TrainReport> trained;
+};
+
+/// Submit the fixed mixed-request script and wait for everything. The
+/// script interleaves every request type so pure and exclusive traffic
+/// overlap in flight.
+RunResults run_script(Service& service, const std::vector<api::Arch>& archs) {
+  std::vector<std::future<api::Result<api::SearchReport>>> searches;
+  std::vector<std::future<api::Result<api::LatencyReport>>> predictions;
+  std::vector<std::future<api::Result<api::ProfileReport>>> profiles;
+  std::vector<std::future<api::Result<api::ProfileReport>>> baselines;
+  std::vector<std::future<api::Result<api::TrainReport>>> trained;
+
+  searches.push_back(service.submit(SearchRequest{}));
+  for (const api::Arch& a : archs) {
+    predictions.push_back(service.submit(PredictLatencyRequest{a}));
+    profiles.push_back(service.submit(ProfileRequest{a}));
+  }
+  baselines.push_back(service.submit(ProfileBaselineRequest{"dgcnn", {}}));
+  baselines.push_back(service.submit(ProfileBaselineRequest{"li", {}}));
+  trained.push_back(service.submit(TrainBaselineRequest{"tailor"}));
+  api::EngineConfig second = service.config();
+  second.strategy = "random";
+  second.train_supernet = false;  // reuse the first search's training
+  searches.push_back(service.submit(SearchRequest{second}));
+  for (const api::Arch& a : archs)
+    predictions.push_back(service.submit(PredictLatencyRequest{a}));
+
+  RunResults out;
+  for (auto& f : searches) {
+    api::Result<api::SearchReport> r = f.get();
+    EXPECT_TRUE(r.ok()) << r.status().to_string();
+    out.searches.push_back(std::move(r).value());
+  }
+  for (auto& f : predictions) {
+    api::Result<api::LatencyReport> r = f.get();
+    EXPECT_TRUE(r.ok()) << r.status().to_string();
+    out.predictions.push_back(std::move(r).value());
+  }
+  for (auto& f : profiles) {
+    api::Result<api::ProfileReport> r = f.get();
+    EXPECT_TRUE(r.ok()) << r.status().to_string();
+    out.profiles.push_back(std::move(r).value());
+  }
+  for (auto& f : baselines) {
+    api::Result<api::ProfileReport> r = f.get();
+    EXPECT_TRUE(r.ok()) << r.status().to_string();
+    out.baselines.push_back(std::move(r).value());
+  }
+  for (auto& f : trained) {
+    api::Result<api::TrainReport> r = f.get();
+    EXPECT_TRUE(r.ok()) << r.status().to_string();
+    out.trained.push_back(std::move(r).value());
+  }
+  return out;
+}
+
+TEST(Serve, MixedConcurrentRunBitIdenticalToSerial) {
+  // The acceptance bar of the serving layer: many mixed requests against a
+  // shared context, four workers racing, and every answer must equal the
+  // one-worker (fully serialized) run of the same script — searches
+  // included, because exclusive requests replay in submission order.
+  const api::EngineConfig cfg = tiny_cfg();
+
+  auto probe = api::Engine::create(cfg);
+  ASSERT_TRUE(probe.ok()) << probe.status().to_string();
+  std::vector<api::Arch> archs;
+  for (int i = 0; i < 8; ++i) archs.push_back(probe.value().sample_arch());
+
+  auto serial_service = make_service(cfg, 1);
+  ASSERT_NE(serial_service, nullptr);
+  const RunResults serial = run_script(*serial_service, archs);
+  serial_service->shutdown();
+
+  auto concurrent_service = make_service(cfg, 4);
+  ASSERT_NE(concurrent_service, nullptr);
+  const RunResults concurrent = run_script(*concurrent_service, archs);
+  concurrent_service->shutdown();
+
+  ASSERT_EQ(serial.searches.size(), concurrent.searches.size());
+  for (std::size_t i = 0; i < serial.searches.size(); ++i) {
+    EXPECT_EQ(serial.searches[i].result.best_arch,
+              concurrent.searches[i].result.best_arch);
+    EXPECT_DOUBLE_EQ(serial.searches[i].result.best_objective,
+                     concurrent.searches[i].result.best_objective);
+    EXPECT_DOUBLE_EQ(serial.searches[i].result.best_latency_ms,
+                     concurrent.searches[i].result.best_latency_ms);
+    EXPECT_DOUBLE_EQ(serial.searches[i].result.total_sim_time_s,
+                     concurrent.searches[i].result.total_sim_time_s);
+  }
+  ASSERT_EQ(serial.predictions.size(), concurrent.predictions.size());
+  for (std::size_t i = 0; i < serial.predictions.size(); ++i)
+    EXPECT_DOUBLE_EQ(serial.predictions[i].latency_ms,
+                     concurrent.predictions[i].latency_ms);
+  ASSERT_EQ(serial.profiles.size(), concurrent.profiles.size());
+  for (std::size_t i = 0; i < serial.profiles.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial.profiles[i].latency_ms,
+                     concurrent.profiles[i].latency_ms);
+    EXPECT_DOUBLE_EQ(serial.profiles[i].peak_memory_mb,
+                     concurrent.profiles[i].peak_memory_mb);
+  }
+  for (std::size_t i = 0; i < serial.baselines.size(); ++i)
+    EXPECT_DOUBLE_EQ(serial.baselines[i].latency_ms,
+                     concurrent.baselines[i].latency_ms);
+  for (std::size_t i = 0; i < serial.trained.size(); ++i)
+    EXPECT_DOUBLE_EQ(serial.trained[i].overall_acc,
+                     concurrent.trained[i].overall_acc);
+}
+
+TEST(Serve, PureRequestsMatchDirectEngineCalls) {
+  const api::EngineConfig cfg = tiny_cfg();
+  auto service = make_service(cfg, 3);
+  ASSERT_NE(service, nullptr);
+
+  auto engine = api::Engine::create(cfg, service->context());
+  ASSERT_TRUE(engine.ok());
+  std::vector<api::Arch> archs;
+  for (int i = 0; i < 6; ++i) archs.push_back(engine.value().sample_arch());
+
+  std::vector<std::future<api::Result<api::LatencyReport>>> lat;
+  std::vector<std::future<api::Result<api::ProfileReport>>> prof;
+  for (const api::Arch& a : archs) {
+    lat.push_back(service->submit(PredictLatencyRequest{a}));
+    prof.push_back(service->submit(ProfileRequest{a}));
+  }
+  for (std::size_t i = 0; i < archs.size(); ++i) {
+    api::Result<api::LatencyReport> served = lat[i].get();
+    ASSERT_TRUE(served.ok());
+    api::Result<api::LatencyReport> direct =
+        engine.value().predict_latency(archs[i]);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_DOUBLE_EQ(served.value().latency_ms, direct.value().latency_ms);
+
+    api::Result<api::ProfileReport> served_prof = prof[i].get();
+    ASSERT_TRUE(served_prof.ok());
+    api::Result<api::ProfileReport> direct_prof =
+        engine.value().profile(archs[i]);
+    ASSERT_TRUE(direct_prof.ok());
+    EXPECT_DOUBLE_EQ(served_prof.value().latency_ms,
+                     direct_prof.value().latency_ms);
+  }
+}
+
+TEST(Serve, CoalescesPredictorQueriesIntoBatches) {
+  // With a "predictor" evaluator, queued queries must merge into packed
+  // forwards — and coalescing must not change any answer. An exclusive
+  // search is submitted first so the predictions pile up behind it (the
+  // exclusive claim stalls pure traffic), guaranteeing a coalesced drain.
+  api::EngineConfig cfg = tiny_cfg();
+  cfg.evaluator = "predictor";
+  cfg.predictor_samples = 40;
+  cfg.predictor_epochs = 4;
+
+  auto service = make_service(cfg, 2);
+  ASSERT_NE(service, nullptr);
+  auto engine = api::Engine::create(cfg, service->context());
+  ASSERT_TRUE(engine.ok());
+  std::vector<api::Arch> archs;
+  for (int i = 0; i < 12; ++i) archs.push_back(engine.value().sample_arch());
+
+  auto search = service->submit(SearchRequest{});
+  std::vector<std::future<api::Result<api::LatencyReport>>> lat;
+  for (const api::Arch& a : archs)
+    lat.push_back(service->submit(PredictLatencyRequest{a}));
+  ASSERT_TRUE(search.get().ok());
+  for (std::size_t i = 0; i < archs.size(); ++i) {
+    api::Result<api::LatencyReport> served = lat[i].get();
+    ASSERT_TRUE(served.ok());
+    api::Result<api::LatencyReport> direct =
+        engine.value().predict_latency(archs[i]);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_DOUBLE_EQ(served.value().latency_ms, direct.value().latency_ms);
+  }
+
+  const ServiceStats stats = service->stats();
+  EXPECT_EQ(stats.predict_requests, 12);
+  EXPECT_LT(stats.predict_batches, stats.predict_requests);
+  EXPECT_GT(stats.max_predict_batch, 1);
+
+  // A malformed genome that lands in a coalesced batch must fail alone:
+  // its batchmates get exactly the answer an uncoalesced query would.
+  api::Arch bad = archs[0];
+  bad.genes[0].op = static_cast<hgnas::OpType>(99);
+  auto stall = service->submit(SearchRequest{});  // pile the queue again
+  auto bad_future = service->submit(PredictLatencyRequest{bad});
+  std::vector<std::future<api::Result<api::LatencyReport>>> good;
+  for (int i = 0; i < 4; ++i)
+    good.push_back(service->submit(PredictLatencyRequest{archs[
+        static_cast<std::size_t>(i)]}));
+  ASSERT_TRUE(stall.get().ok());
+  api::Result<api::LatencyReport> bad_result = bad_future.get();
+  ASSERT_FALSE(bad_result.ok());
+  EXPECT_EQ(bad_result.status().code(), api::StatusCode::kInvalidArgument);
+  for (int i = 0; i < 4; ++i) {
+    api::Result<api::LatencyReport> served = good[static_cast<std::size_t>(i)]
+                                                 .get();
+    ASSERT_TRUE(served.ok()) << served.status().to_string();
+    EXPECT_DOUBLE_EQ(
+        served.value().latency_ms,
+        engine.value()
+            .predict_latency(archs[static_cast<std::size_t>(i)])
+            .value()
+            .latency_ms);
+  }
+}
+
+TEST(Serve, IncompatibleSearchConfigFailsThatRequestOnly) {
+  const api::EngineConfig cfg = tiny_cfg();
+  auto service = make_service(cfg, 2);
+  ASSERT_NE(service, nullptr);
+
+  api::EngineConfig other = cfg;
+  other.num_points = cfg.num_points * 2;  // context-shaping mismatch
+  auto bad = service->submit(SearchRequest{other});
+  api::Result<api::SearchReport> r = bad.get();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), api::StatusCode::kInvalidArgument);
+
+  // The service keeps serving.
+  auto engine = api::Engine::create(cfg, service->context());
+  ASSERT_TRUE(engine.ok());
+  auto ok = service->submit(ProfileRequest{engine.value().sample_arch()});
+  EXPECT_TRUE(ok.get().ok());
+}
+
+TEST(Serve, RejectsConfigAndSubmitAfterShutdown) {
+  {
+    ServiceConfig scfg;
+    scfg.num_workers = 0;
+    api::Result<std::shared_ptr<Service>> bad =
+        Service::create(tiny_cfg(), scfg);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), api::StatusCode::kInvalidArgument);
+  }
+
+  auto service = make_service(tiny_cfg(), 2);
+  ASSERT_NE(service, nullptr);
+  auto engine = api::Engine::create(tiny_cfg(), service->context());
+  ASSERT_TRUE(engine.ok());
+  const api::Arch arch = engine.value().sample_arch();
+
+  auto before = service->submit(ProfileRequest{arch});
+  EXPECT_TRUE(before.get().ok());
+  service->shutdown();
+  service->shutdown();  // idempotent
+  auto after = service->submit(ProfileRequest{arch});
+  api::Result<api::ProfileReport> r = after.get();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), api::StatusCode::kFailedPrecondition);
+}
+
+TEST(Serve, StressManyMixedRequestsAcrossWorkerCounts) {
+  // Pile enough traffic on the queues that claims, drains and coalescing
+  // interleave heavily; every future must resolve OK and pure answers must
+  // be reproducible across worker counts.
+  const api::EngineConfig cfg = tiny_cfg();
+  auto probe = api::Engine::create(cfg);
+  ASSERT_TRUE(probe.ok());
+  std::vector<api::Arch> archs;
+  for (int i = 0; i < 16; ++i) archs.push_back(probe.value().sample_arch());
+
+  std::vector<std::vector<double>> latencies;
+  for (const std::int64_t workers : {std::int64_t{1}, std::int64_t{4}}) {
+    auto service = make_service(cfg, workers);
+    ASSERT_NE(service, nullptr);
+    std::vector<std::future<api::Result<api::LatencyReport>>> lat;
+    std::vector<std::future<api::Result<api::ProfileReport>>> prof;
+    std::vector<std::future<api::Result<api::TrainReport>>> train;
+    for (int round = 0; round < 4; ++round) {
+      for (const api::Arch& a : archs) {
+        lat.push_back(service->submit(PredictLatencyRequest{a}));
+        prof.push_back(service->submit(ProfileRequest{a}));
+      }
+      train.push_back(service->submit(TrainBaselineRequest{"li"}));
+    }
+    std::vector<double> run;
+    for (auto& f : lat) {
+      api::Result<api::LatencyReport> r = f.get();
+      ASSERT_TRUE(r.ok()) << r.status().to_string();
+      run.push_back(r.value().latency_ms);
+    }
+    for (auto& f : prof) ASSERT_TRUE(f.get().ok());
+    for (auto& f : train) ASSERT_TRUE(f.get().ok());
+    const ServiceStats stats = service->stats();
+    EXPECT_EQ(stats.requests, 4 * (2 * 16 + 1));
+    EXPECT_EQ(stats.exclusive_requests, 4);
+    latencies.push_back(std::move(run));
+  }
+  ASSERT_EQ(latencies[0].size(), latencies[1].size());
+  for (std::size_t i = 0; i < latencies[0].size(); ++i)
+    EXPECT_DOUBLE_EQ(latencies[0][i], latencies[1][i]);
+}
+
+}  // namespace
+}  // namespace hg::serve
