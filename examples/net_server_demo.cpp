@@ -1,0 +1,129 @@
+// net_server_demo — a remotely queryable NAS service on a loopback port.
+//
+// Builds one net::Server (wire protocol in front of serve::Service) and
+// serves until interrupted — or, with --once, until the first client
+// connection closes (CI drives net_client_demo against it this way and
+// the demo exits 0 with a stats report).
+//
+//   net_server_demo [--port N] [--device name] [--workers N]
+//                   [--window-us N] [--max-queue N] [--oracle] [--once]
+//
+// Defaults: port 7171, jetson-tx2, 3 workers, a 2 ms predict-coalescing
+// window, queue bounded at 256, GNN latency predictor as evaluator
+// (--oracle swaps in the analytical oracle: instant startup, used by the
+// CI smoke run).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "net/server.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hg;
+
+  std::uint16_t port = 7171;
+  std::string device = "jetson-tx2";
+  std::int64_t workers = 3;
+  std::int64_t window_us = 2000;
+  std::int64_t max_queue = 256;
+  bool oracle = false;
+  bool once = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_next = i + 1 < argc;
+    if (arg == "--port" && has_next)
+      port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+    else if (arg == "--device" && has_next)
+      device = argv[++i];
+    else if (arg == "--workers" && has_next)
+      workers = std::atoll(argv[++i]);
+    else if (arg == "--window-us" && has_next)
+      window_us = std::atoll(argv[++i]);
+    else if (arg == "--max-queue" && has_next)
+      max_queue = std::atoll(argv[++i]);
+    else if (arg == "--oracle")
+      oracle = true;
+    else if (arg == "--once")
+      once = true;
+    else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  api::EngineConfig cfg;
+  cfg.device = device;
+  cfg.evaluator = oracle ? "oracle" : "predictor";
+  cfg.strategy = "multistage";
+  cfg.num_positions = 8;
+  cfg.samples_per_class = 6;
+  cfg.population = 10;
+  cfg.parents = 5;
+  cfg.iterations = 4;
+  cfg.eval_val_samples = 10;
+  cfg.predictor_samples = 160;
+  cfg.predictor_epochs = 20;
+  cfg.constrain_to_reference = true;
+
+  net::ServerConfig server_cfg;
+  server_cfg.port = port;
+  server_cfg.service.num_workers = workers;
+  server_cfg.service.predict_window_us = window_us;
+  server_cfg.service.max_queue_depth = max_queue;
+
+  std::printf("starting %s service on %s (evaluator: %s)...\n",
+              device.c_str(), server_cfg.host.c_str(),
+              cfg.evaluator.c_str());
+  std::fflush(stdout);
+  api::Result<std::shared_ptr<net::Server>> server =
+      net::Server::create(cfg, server_cfg);
+  if (!server.ok()) {
+    std::fprintf(stderr, "%s\n", server.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("listening on %s:%u (workers %lld, predict window %lld us, "
+              "queue bound %lld)\n",
+              server_cfg.host.c_str(), server.value()->port(),
+              static_cast<long long>(workers),
+              static_cast<long long>(window_us),
+              static_cast<long long>(max_queue));
+  std::fflush(stdout);
+
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    const net::NetStats net = server.value()->net_stats();
+    if (once && net.connections_opened > 0 &&
+        net.connections_closed >= net.connections_opened)
+      break;
+  }
+
+  server.value()->stop();
+  const net::NetStats net = server.value()->net_stats();
+  const serve::ServiceStats stats = server.value()->service()->stats();
+  std::printf("\n-- session report --\n");
+  std::printf("connections: %lld opened, %lld closed, %lld dropped "
+              "(unframeable)\n",
+              static_cast<long long>(net.connections_opened),
+              static_cast<long long>(net.connections_closed),
+              static_cast<long long>(net.connections_dropped));
+  std::printf("frames: %lld received, %lld rejected, %lld replies sent\n",
+              static_cast<long long>(net.frames_received),
+              static_cast<long long>(net.frames_rejected),
+              static_cast<long long>(net.replies_sent));
+  std::printf("service: %lld requests (%lld exclusive), %lld predictions "
+              "in %lld packed forwards (largest batch %lld)\n",
+              static_cast<long long>(stats.requests),
+              static_cast<long long>(stats.exclusive_requests),
+              static_cast<long long>(stats.predict_requests),
+              static_cast<long long>(stats.predict_batches),
+              static_cast<long long>(stats.max_predict_batch));
+  std::printf("back-pressure: %lld rejected, %lld deadline-expired, "
+              "%lld cancelled\n",
+              static_cast<long long>(stats.rejected_requests),
+              static_cast<long long>(stats.deadline_expired),
+              static_cast<long long>(stats.cancelled_requests));
+  return 0;
+}

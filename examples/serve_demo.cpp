@@ -128,6 +128,12 @@ int main() {
                 static_cast<long long>(stats.predict_requests),
                 static_cast<long long>(stats.predict_batches),
                 static_cast<long long>(stats.max_predict_batch));
+    std::printf("admission: queue depth %lld live, %lld rejected "
+                "(back-pressure), %lld deadline-expired, %lld cancelled\n",
+                static_cast<long long>(stats.queue_depth),
+                static_cast<long long>(stats.rejected_requests),
+                static_cast<long long>(stats.deadline_expired),
+                static_cast<long long>(stats.cancelled_requests));
   }
 
   for (auto& service : services) service->shutdown();

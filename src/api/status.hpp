@@ -20,6 +20,10 @@ enum class StatusCode : int {
   kNotFound,            // unknown registry key (device / evaluator / strategy)
   kFailedPrecondition,  // valid request, unsupported in this configuration
   kInternal,            // an invariant broke below the facade
+  kDeadlineExceeded,    // the request's deadline passed before it could run
+  kResourceExhausted,   // admission refused: a bounded queue is full
+  kCancelled,           // abandoned before running (e.g. caller disconnected)
+  kUnavailable,         // transport failure (peer gone, connection broken)
 };
 
 std::string status_code_name(StatusCode code);
@@ -40,6 +44,18 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -67,6 +83,10 @@ inline std::string status_code_name(StatusCode code) {
     case StatusCode::kNotFound: return "NOT_FOUND";
     case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kCancelled: return "CANCELLED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <limits>
 #include <stdexcept>
@@ -144,7 +145,13 @@ bool read_block(std::istream& is, const char* tag, std::string* body) {
 
 bool EvalCache::save(const std::string& path) const {
   std::shared_lock<std::shared_mutex> lock(scope_mutex_);
-  std::ofstream os(path, std::ios::trunc);
+  // Atomic commit, mirroring load()'s all-or-nothing parse: write a
+  // sibling temp file and rename it over `path`, so a crash mid-save
+  // leaves the previous cache intact instead of a truncated file another
+  // service is about to load. rename(2) is atomic within a filesystem,
+  // and the temp sits next to the target to stay on the same one.
+  const std::string tmp_path = path + ".tmp";
+  std::ofstream os(tmp_path, std::ios::trunc);
   if (!os) return false;
   std::vector<std::pair<std::string, ScoredCandidate>> entries;
   for (Shard& s : shards_) {
@@ -170,7 +177,16 @@ bool EvalCache::save(const std::string& path) const {
     write_block(os, "key", key);
     write_block(os, "arch", arch_to_text(score.arch));
   }
-  return static_cast<bool>(os);
+  os.close();
+  if (!os) {
+    std::remove(tmp_path.c_str());
+    return false;
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return false;
+  }
+  return true;
 }
 
 bool EvalCache::load(const std::string& path) {

@@ -1,0 +1,327 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace hg::net {
+
+namespace {
+
+api::Status transport_error(const std::string& what) {
+  return api::Status::Unavailable(what + ": " +
+                                  std::string(std::strerror(errno)));
+}
+
+api::Status disconnected_status() {
+  return api::Status::Unavailable("client is not connected");
+}
+
+}  // namespace
+
+api::Result<Client> Client::connect(const ClientConfig& cfg) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return transport_error("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(cfg.port);
+  if (::inet_pton(AF_INET, cfg.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return api::Status::InvalidArgument(
+        "ClientConfig::host is not an IPv4 address: " + cfg.host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const api::Status status = transport_error(
+        "connect(" + cfg.host + ":" + std::to_string(cfg.port) + ") failed");
+    ::close(fd);
+    return status;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (cfg.recv_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = cfg.recv_timeout_ms / 1000;
+    tv.tv_usec = (cfg.recv_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  Client client;
+  client.fd_ = fd;
+  return client;
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      next_id_(other.next_id_),
+      in_(std::move(other.in_)),
+      stash_(std::move(other.stash_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    next_id_ = other.next_id_;
+    in_ = std::move(other.in_);
+    stash_ = std::move(other.stash_);
+  }
+  return *this;
+}
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+api::Result<std::uint64_t> Client::send_frame(FrameType type,
+                                              std::uint64_t deadline_us,
+                                              const std::string& payload) {
+  if (fd_ < 0) return disconnected_status();
+  if (payload.size() > kMaxPayloadBytes)
+    return api::Status::InvalidArgument("request payload exceeds the wire "
+                                        "limit");
+  const std::uint64_t id = next_id_++;
+  const std::string frame =
+      encode_frame(type, /*reply=*/false, id, deadline_us, payload);
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    const api::Status status = transport_error("send() failed");
+    close();
+    return status;
+  }
+  return id;
+}
+
+api::Result<std::string> Client::recv_reply(std::uint64_t id,
+                                            FrameType type) {
+  const std::uint16_t want_type =
+      static_cast<std::uint16_t>(type) | kReplyBit;
+  for (;;) {
+    // Served already (a pipelined peer's reply landed first)?
+    auto it = stash_.find(id);
+    if (it != stash_.end()) {
+      std::pair<std::uint16_t, std::string> reply = std::move(it->second);
+      stash_.erase(it);
+      if (reply.first != want_type)
+        return api::Status::Unavailable(
+            "reply type mismatch (got " + std::to_string(reply.first) +
+            ", want " + std::to_string(want_type) + ")");
+      return std::move(reply.second);
+    }
+    if (fd_ < 0) return disconnected_status();
+
+    // Pull complete frames off the socket into the stash.
+    while (in_.size() >= kHeaderSize) {
+      FrameHeader h;
+      if (!decode_header(in_.data(), in_.size(), &h)) {
+        close();
+        return api::Status::Unavailable("unframeable reply stream");
+      }
+      if (in_.size() < kHeaderSize + h.payload_len) break;
+      stash_[h.request_id] = {h.type,
+                              in_.substr(kHeaderSize, h.payload_len)};
+      in_.erase(0, kHeaderSize + h.payload_len);
+    }
+    if (stash_.count(id)) continue;
+
+    char buf[64 * 1024];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      in_.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    const api::Status status =
+        n == 0 ? api::Status::Unavailable("server closed the connection")
+        : (errno == EAGAIN || errno == EWOULDBLOCK)
+            ? api::Status::Unavailable("receive timed out")
+            : transport_error("recv() failed");
+    close();
+    return status;
+  }
+}
+
+// ---- send_* ----------------------------------------------------------------
+
+api::Result<std::uint64_t> Client::send_search(
+    std::optional<api::EngineConfig> cfg, std::uint64_t deadline_us) {
+  Writer w;
+  encode_search_request(cfg, &w);
+  return send_frame(FrameType::kSearch, deadline_us, w.bytes());
+}
+
+api::Result<std::uint64_t> Client::send_predict_latency(
+    const api::Arch& arch, std::uint64_t deadline_us) {
+  Writer w;
+  encode_predict_request(arch, &w);
+  return send_frame(FrameType::kPredictLatency, deadline_us, w.bytes());
+}
+
+api::Result<std::uint64_t> Client::send_predict_batch(
+    const std::vector<api::Arch>& archs, std::uint64_t deadline_us) {
+  Writer w;
+  encode_predict_batch_request(archs, &w);
+  return send_frame(FrameType::kPredictBatch, deadline_us, w.bytes());
+}
+
+api::Result<std::uint64_t> Client::send_profile(const api::Arch& arch,
+                                                std::uint64_t deadline_us) {
+  Writer w;
+  encode_predict_request(arch, &w);
+  return send_frame(FrameType::kProfile, deadline_us, w.bytes());
+}
+
+api::Result<std::uint64_t> Client::send_profile_baseline(
+    const std::string& name, const std::optional<api::Workload>& workload,
+    std::uint64_t deadline_us) {
+  Writer w;
+  encode_profile_baseline_request(name, workload, &w);
+  return send_frame(FrameType::kProfileBaseline, deadline_us, w.bytes());
+}
+
+api::Result<std::uint64_t> Client::send_train_baseline(
+    const std::string& name, std::uint64_t deadline_us) {
+  Writer w;
+  encode_train_baseline_request(name, &w);
+  return send_frame(FrameType::kTrainBaseline, deadline_us, w.bytes());
+}
+
+// ---- wait_* ----------------------------------------------------------------
+
+namespace {
+
+template <typename T, typename DecodeFn>
+api::Result<T> wait_typed(api::Result<std::string> payload, DecodeFn decode) {
+  if (!payload.ok()) return payload.status();
+  Reader r(payload.value());
+  api::Result<T> out = api::Status::Internal("uninitialised reply");
+  if (!decode_reply<T>(&r, decode, &out))
+    return api::Status::Unavailable("malformed reply payload");
+  return out;
+}
+
+}  // namespace
+
+api::Result<api::SearchReport> Client::wait_search(std::uint64_t id) {
+  return wait_typed<api::SearchReport>(
+      recv_reply(id, FrameType::kSearch),
+      [](Reader* r, api::SearchReport* out) {
+        return decode_search_report(r, out);
+      });
+}
+
+api::Result<api::LatencyReport> Client::wait_predict_latency(
+    std::uint64_t id) {
+  return wait_typed<api::LatencyReport>(
+      recv_reply(id, FrameType::kPredictLatency),
+      [](Reader* r, api::LatencyReport* out) {
+        return decode_latency_report(r, out);
+      });
+}
+
+api::Result<std::vector<api::LatencyReport>> Client::wait_predict_batch(
+    std::uint64_t id) {
+  api::Result<std::string> payload =
+      recv_reply(id, FrameType::kPredictBatch);
+  if (!payload.ok()) return payload.status();
+  Reader r(payload.value());
+  std::vector<api::Result<api::LatencyReport>> elements;
+  if (!decode_predict_batch_reply(&r, &elements))
+    return api::Status::Unavailable("malformed reply payload");
+  std::vector<api::LatencyReport> out;
+  out.reserve(elements.size());
+  for (const api::Result<api::LatencyReport>& e : elements) {
+    if (!e.ok()) return e.status();  // first failure fails the batch verb
+    out.push_back(e.value());
+  }
+  return out;
+}
+
+api::Result<api::ProfileReport> Client::wait_profile(std::uint64_t id) {
+  return wait_typed<api::ProfileReport>(
+      recv_reply(id, FrameType::kProfile),
+      [](Reader* r, api::ProfileReport* out) {
+        return decode_profile_report(r, out);
+      });
+}
+
+api::Result<api::ProfileReport> Client::wait_profile_baseline(
+    std::uint64_t id) {
+  return wait_typed<api::ProfileReport>(
+      recv_reply(id, FrameType::kProfileBaseline),
+      [](Reader* r, api::ProfileReport* out) {
+        return decode_profile_report(r, out);
+      });
+}
+
+api::Result<api::TrainReport> Client::wait_train_baseline(std::uint64_t id) {
+  return wait_typed<api::TrainReport>(
+      recv_reply(id, FrameType::kTrainBaseline),
+      [](Reader* r, api::TrainReport* out) {
+        return decode_train_report(r, out);
+      });
+}
+
+// ---- blocking verbs --------------------------------------------------------
+
+api::Result<api::SearchReport> Client::search(
+    std::optional<api::EngineConfig> cfg, std::uint64_t deadline_us) {
+  api::Result<std::uint64_t> id = send_search(std::move(cfg), deadline_us);
+  if (!id.ok()) return id.status();
+  return wait_search(id.value());
+}
+
+api::Result<api::LatencyReport> Client::predict_latency(
+    const api::Arch& arch, std::uint64_t deadline_us) {
+  api::Result<std::uint64_t> id = send_predict_latency(arch, deadline_us);
+  if (!id.ok()) return id.status();
+  return wait_predict_latency(id.value());
+}
+
+api::Result<std::vector<api::LatencyReport>> Client::predict_batch(
+    const std::vector<api::Arch>& archs, std::uint64_t deadline_us) {
+  api::Result<std::uint64_t> id = send_predict_batch(archs, deadline_us);
+  if (!id.ok()) return id.status();
+  return wait_predict_batch(id.value());
+}
+
+api::Result<api::ProfileReport> Client::profile(const api::Arch& arch,
+                                                std::uint64_t deadline_us) {
+  api::Result<std::uint64_t> id = send_profile(arch, deadline_us);
+  if (!id.ok()) return id.status();
+  return wait_profile(id.value());
+}
+
+api::Result<api::ProfileReport> Client::profile_baseline(
+    const std::string& name, const std::optional<api::Workload>& workload,
+    std::uint64_t deadline_us) {
+  api::Result<std::uint64_t> id =
+      send_profile_baseline(name, workload, deadline_us);
+  if (!id.ok()) return id.status();
+  return wait_profile_baseline(id.value());
+}
+
+api::Result<api::TrainReport> Client::train_baseline(
+    const std::string& name, std::uint64_t deadline_us) {
+  api::Result<std::uint64_t> id = send_train_baseline(name, deadline_us);
+  if (!id.ok()) return id.status();
+  return wait_train_baseline(id.value());
+}
+
+}  // namespace hg::net

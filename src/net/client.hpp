@@ -1,0 +1,135 @@
+// client.hpp — hg::net::Client, the blocking remote counterpart of the
+// Engine verbs.
+//
+// One client owns one TCP connection to a net::Server and mirrors the
+// facade vocabulary over it: search / predict_latency (single and batch) /
+// profile / profile_baseline / train_baseline, each returning the same
+// Result<T> the in-process verb would (remote answers are bit-identical —
+// asserted in tests/test_net.cpp). Transport failures surface as
+// UNAVAILABLE; everything else is the server's own Status relayed
+// verbatim.
+//
+// Pipelining: every verb is also available as a send_* / wait_* pair with
+// an explicit request id. send_* writes the frame and returns immediately;
+// wait_* blocks until THAT id's reply arrives, stashing any other reply
+// that lands first (the server answers in completion order, not
+// submission order). This is how a single connection keeps many requests
+// in flight — e.g. trickling predictions into the server's coalescing
+// window while a search runs.
+//
+// Deadlines: `deadline_us` (0 = none) rides the frame header as the
+// request's queue-time budget, measured from server receipt. An expired
+// request is answered DEADLINE_EXCEEDED without running; a request
+// already running is unaffected.
+//
+// A Client is NOT thread-safe: drive one instance from one thread (open
+// several connections for concurrent callers).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/config.hpp"
+#include "api/engine.hpp"
+#include "api/status.hpp"
+#include "net/protocol.hpp"
+
+namespace hg::net {
+
+struct ClientConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// recv() blocks at most this long before the call fails UNAVAILABLE;
+  /// 0 = block forever. A safety net against a hung peer, not a request
+  /// deadline (use deadline_us for that).
+  std::int64_t recv_timeout_ms = 0;
+};
+
+class Client {
+ public:
+  static api::Result<Client> connect(const ClientConfig& cfg);
+  static api::Result<Client> connect(const std::string& host,
+                                     std::uint16_t port) {
+    ClientConfig cfg;
+    cfg.host = host;
+    cfg.port = port;
+    return connect(cfg);
+  }
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  // ---- blocking verbs (send + wait) ----
+  api::Result<api::SearchReport> search(
+      std::optional<api::EngineConfig> cfg = {}, std::uint64_t deadline_us = 0);
+  api::Result<api::LatencyReport> predict_latency(
+      const api::Arch& arch, std::uint64_t deadline_us = 0);
+  /// Mirrors Engine::predict_batch: element i is the answer to archs[i].
+  /// The server evaluates elements independently (its coalescing queue
+  /// packs them back together); if any element failed, the first failing
+  /// element's Status is returned for the whole call, like the engine
+  /// verb.
+  api::Result<std::vector<api::LatencyReport>> predict_batch(
+      const std::vector<api::Arch>& archs, std::uint64_t deadline_us = 0);
+  api::Result<api::ProfileReport> profile(const api::Arch& arch,
+                                          std::uint64_t deadline_us = 0);
+  api::Result<api::ProfileReport> profile_baseline(
+      const std::string& name,
+      const std::optional<api::Workload>& workload = {},
+      std::uint64_t deadline_us = 0);
+  api::Result<api::TrainReport> train_baseline(const std::string& name,
+                                               std::uint64_t deadline_us = 0);
+
+  // ---- pipelined form: fire now, collect by id later ----
+  api::Result<std::uint64_t> send_search(
+      std::optional<api::EngineConfig> cfg = {}, std::uint64_t deadline_us = 0);
+  api::Result<std::uint64_t> send_predict_latency(
+      const api::Arch& arch, std::uint64_t deadline_us = 0);
+  api::Result<std::uint64_t> send_predict_batch(
+      const std::vector<api::Arch>& archs, std::uint64_t deadline_us = 0);
+  api::Result<std::uint64_t> send_profile(const api::Arch& arch,
+                                          std::uint64_t deadline_us = 0);
+  api::Result<std::uint64_t> send_profile_baseline(
+      const std::string& name,
+      const std::optional<api::Workload>& workload = {},
+      std::uint64_t deadline_us = 0);
+  api::Result<std::uint64_t> send_train_baseline(
+      const std::string& name, std::uint64_t deadline_us = 0);
+
+  api::Result<api::SearchReport> wait_search(std::uint64_t id);
+  api::Result<api::LatencyReport> wait_predict_latency(std::uint64_t id);
+  api::Result<std::vector<api::LatencyReport>> wait_predict_batch(
+      std::uint64_t id);
+  api::Result<api::ProfileReport> wait_profile(std::uint64_t id);
+  api::Result<api::ProfileReport> wait_profile_baseline(std::uint64_t id);
+  api::Result<api::TrainReport> wait_train_baseline(std::uint64_t id);
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Close the connection (any still-queued server-side work for it gets
+  /// cancelled on the server). Idempotent; further calls fail UNAVAILABLE.
+  void close();
+
+ private:
+  Client() = default;
+
+  api::Result<std::uint64_t> send_frame(FrameType type,
+                                        std::uint64_t deadline_us,
+                                        const std::string& payload);
+  /// Blocks until the reply for `id` arrives (stashing others), then
+  /// checks its type and hands back the payload.
+  api::Result<std::string> recv_reply(std::uint64_t id, FrameType type);
+
+  int fd_ = -1;
+  std::uint64_t next_id_ = 1;
+  std::string in_;  // partial-frame accumulation
+  std::map<std::uint64_t, std::pair<std::uint16_t, std::string>> stash_;
+};
+
+}  // namespace hg::net

@@ -1,0 +1,232 @@
+// protocol.hpp — the hg::net wire protocol (version 1).
+//
+// A versioned, length-prefixed binary framing that carries every
+// serve::Request variant and its Result<T> reply over a byte stream, so a
+// serve::Service can be queried from another process or machine. The
+// protocol is deliberately dependency-free: fixed-width little-endian
+// integers, IEEE-754 doubles bit-cast to u64, and length-prefixed strings.
+//
+// Frame layout (header is exactly kHeaderSize bytes):
+//
+//   offset  size  field
+//        0     4  magic        0x4847'4E31 ("HGN1")
+//        4     2  version      kProtocolVersion (1)
+//        6     2  type         FrameType (request, or request | kReplyBit)
+//        8     8  request_id   caller-chosen, echoed verbatim in the reply
+//       16     8  deadline_us  queue-time budget in microseconds from
+//                              server receipt; 0 = no deadline. Ignored in
+//                              replies.
+//       24     4  payload_len  bytes following the header
+//
+// Every request frame gets exactly one reply frame with the same
+// request_id and type | kReplyBit; replies may arrive in any order
+// (pipelined ids). A reply payload is an encoded Status followed, when the
+// Status is OK, by the verb's report.
+//
+// Decoding is strictly bounds-checked: a Reader never reads past the
+// payload it was given, rejects length prefixes that overrun the
+// remaining bytes, and requires every payload to be fully consumed —
+// truncated, oversized, or trailing-garbage payloads decode to failure,
+// never to a crash or an over-read. Malformed *headers* (bad magic /
+// version / oversized payload_len) cannot be recovered on a byte stream
+// (framing is lost) and make the server drop the connection instead.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/config.hpp"
+#include "api/engine.hpp"
+#include "serve/request.hpp"
+
+namespace hg::net {
+
+inline constexpr std::uint32_t kMagic = 0x4847'4E31;  // "HGN1"
+inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::size_t kHeaderSize = 28;
+/// Upper bound on payload_len a peer will accept. Large enough for any
+/// real report (a SearchReport is a few tens of KB); small enough that a
+/// corrupt length field cannot drive allocation to OOM.
+inline constexpr std::uint32_t kMaxPayloadBytes = 1u << 26;  // 64 MB
+
+/// Frame types. Requests are 1..N; the matching reply is type | kReplyBit.
+enum class FrameType : std::uint16_t {
+  kSearch = 1,
+  kPredictLatency = 2,
+  kPredictBatch = 3,
+  kProfile = 4,
+  kProfileBaseline = 5,
+  kTrainBaseline = 6,
+};
+inline constexpr std::uint16_t kReplyBit = 0x80;
+
+struct FrameHeader {
+  std::uint32_t magic = kMagic;
+  std::uint16_t version = kProtocolVersion;
+  std::uint16_t type = 0;
+  std::uint64_t request_id = 0;
+  std::uint64_t deadline_us = 0;  // 0 = none
+  std::uint32_t payload_len = 0;
+};
+
+/// Serialize `h` into exactly kHeaderSize bytes, appended to `out`.
+void encode_header(const FrameHeader& h, std::string* out);
+
+/// Parse a header from `bytes` (must hold >= kHeaderSize). Returns false
+/// on bad magic, unknown version, or payload_len > kMaxPayloadBytes — the
+/// stream is unframeable and the connection must be dropped.
+bool decode_header(const char* bytes, std::size_t len, FrameHeader* out);
+
+// ---- payload encoding ------------------------------------------------------
+
+/// Append-only little-endian payload builder.
+class Writer {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  void f64(double v);
+  void boolean(bool v);
+  void str(const std::string& v);  // u32 length prefix + bytes
+
+  const std::string& bytes() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked payload reader. Every accessor returns false once the
+/// payload is exhausted or a length prefix overruns it; after the first
+/// failure all subsequent reads fail too, so decoders can chain `ok &=`
+/// without checking each field.
+class Reader {
+ public:
+  Reader(const char* data, std::size_t len) : data_(data), len_(len) {}
+  explicit Reader(const std::string& bytes)
+      : Reader(bytes.data(), bytes.size()) {}
+
+  bool u8(std::uint8_t* v);
+  bool u16(std::uint16_t* v);
+  bool u32(std::uint32_t* v);
+  bool u64(std::uint64_t* v);
+  bool i64(std::int64_t* v);
+  bool f64(double* v);
+  bool boolean(bool* v);
+  bool str(std::string* v);
+
+  /// True when every byte was consumed and no read ever failed — decoders
+  /// require this so trailing garbage is rejected, not ignored.
+  bool exhausted() const { return !failed_ && pos_ == len_; }
+  bool failed() const { return failed_; }
+
+ private:
+  bool take(std::size_t n, const char** out);
+
+  const char* data_;
+  std::size_t len_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+// ---- vocabulary codecs -----------------------------------------------------
+//
+// Every encode_* appends to a Writer; every decode_* returns false on any
+// malformed input (without touching *out beyond recognition). Codecs are
+// structural, not semantic: field values round-trip verbatim (an
+// out-of-range enum survives the trip) so a remote request fails with
+// exactly the Status the same in-process request would produce.
+
+void encode_arch(const api::Arch& arch, Writer* w);
+bool decode_arch(Reader* r, api::Arch* out);
+
+void encode_workload(const api::Workload& w, Writer* out);
+bool decode_workload(Reader* r, api::Workload* out);
+
+void encode_engine_config(const api::EngineConfig& cfg, Writer* w);
+bool decode_engine_config(Reader* r, api::EngineConfig* out);
+
+void encode_status(const api::Status& status, Writer* w);
+bool decode_status(Reader* r, api::Status* out);
+
+void encode_latency_report(const api::LatencyReport& rep, Writer* w);
+bool decode_latency_report(Reader* r, api::LatencyReport* out);
+
+void encode_profile_report(const api::ProfileReport& rep, Writer* w);
+bool decode_profile_report(Reader* r, api::ProfileReport* out);
+
+void encode_train_report(const api::TrainReport& rep, Writer* w);
+bool decode_train_report(Reader* r, api::TrainReport* out);
+
+void encode_search_report(const api::SearchReport& rep, Writer* w);
+bool decode_search_report(Reader* r, api::SearchReport* out);
+
+// ---- request payloads ------------------------------------------------------
+
+void encode_search_request(const std::optional<api::EngineConfig>& cfg,
+                           Writer* w);
+bool decode_search_request(Reader* r, std::optional<api::EngineConfig>* out);
+
+void encode_predict_request(const api::Arch& arch, Writer* w);
+bool decode_predict_request(Reader* r, api::Arch* out);
+
+void encode_predict_batch_request(const std::vector<api::Arch>& archs,
+                                  Writer* w);
+bool decode_predict_batch_request(Reader* r, std::vector<api::Arch>* out);
+
+// kProfile shares the kPredictLatency payload (one arch).
+
+void encode_profile_baseline_request(
+    const std::string& name, const std::optional<api::Workload>& workload,
+    Writer* w);
+bool decode_profile_baseline_request(Reader* r, std::string* name,
+                                     std::optional<api::Workload>* workload);
+
+void encode_train_baseline_request(const std::string& name, Writer* w);
+bool decode_train_baseline_request(Reader* r, std::string* out);
+
+// ---- reply payloads --------------------------------------------------------
+//
+// A reply is encode_status(...) then, iff OK, the report. The typed
+// helpers below build / parse the whole payload.
+
+template <typename T, typename EncodeFn>
+std::string encode_reply(const api::Result<T>& result, EncodeFn encode) {
+  Writer w;
+  encode_status(result.ok() ? api::Status::Ok() : result.status(), &w);
+  if (result.ok()) encode(result.value(), &w);
+  return w.take();
+}
+
+template <typename T, typename DecodeFn>
+bool decode_reply(Reader* r, DecodeFn decode, api::Result<T>* out) {
+  api::Status status;
+  if (!decode_status(r, &status)) return false;
+  if (!status.ok()) {
+    if (!r->exhausted()) return false;
+    *out = status;
+    return true;
+  }
+  T value{};
+  if (!decode(r, &value) || !r->exhausted()) return false;
+  *out = std::move(value);
+  return true;
+}
+
+/// The batch reply carries one Result per element (the service answers
+/// each query independently; a bad genome fails alone, its batchmates
+/// still succeed).
+std::string encode_predict_batch_reply(
+    const std::vector<api::Result<api::LatencyReport>>& results);
+bool decode_predict_batch_reply(
+    Reader* r, std::vector<api::Result<api::LatencyReport>>* out);
+
+/// Whole-frame convenience: header + payload in one buffer.
+std::string encode_frame(FrameType type, bool reply, std::uint64_t request_id,
+                         std::uint64_t deadline_us, const std::string& payload);
+
+}  // namespace hg::net

@@ -1,0 +1,569 @@
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "net/protocol.hpp"
+
+namespace hg::net {
+
+namespace {
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+}  // namespace
+
+struct Server::Impl {
+  /// One submitted request whose reply has not been written yet. The
+  /// future variant mirrors the request vocabulary; a batch holds one
+  /// future per element (the service coalesces them back together).
+  struct Pending {
+    std::uint64_t id = 0;
+    FrameType type = FrameType::kSearch;
+    std::variant<std::future<api::Result<api::SearchReport>>,
+                 std::future<api::Result<api::LatencyReport>>,
+                 std::future<api::Result<api::ProfileReport>>,
+                 std::future<api::Result<api::TrainReport>>,
+                 std::vector<std::future<api::Result<api::LatencyReport>>>>
+        future;
+
+    bool ready() const {
+      const auto done = [](const auto& f) {
+        return f.wait_for(std::chrono::seconds(0)) ==
+               std::future_status::ready;
+      };
+      if (const auto* batch = std::get_if<
+              std::vector<std::future<api::Result<api::LatencyReport>>>>(
+              &future)) {
+        for (const auto& f : *batch)
+          if (!done(f)) return false;
+        return true;
+      }
+      return std::visit(
+          [&](const auto& f) {
+            if constexpr (std::is_same_v<std::decay_t<decltype(f)>,
+                                         std::vector<std::future<api::Result<
+                                             api::LatencyReport>>>>)
+              return true;  // handled above
+            else
+              return done(f);
+          },
+          future);
+    }
+  };
+
+  struct Conn {
+    int fd = -1;
+    std::string in;
+    std::string out;
+    std::shared_ptr<std::atomic<bool>> cancel;
+    std::deque<Pending> pending;
+  };
+
+  serve::Service* service = nullptr;
+  ServerConfig cfg;
+  int listen_fd = -1;
+  int wake_read = -1;
+  int wake_write = -1;
+  std::thread loop;
+  std::atomic<bool> stopping{false};
+  std::mutex stop_mutex;  // serializes concurrent Server::stop() callers
+
+  mutable std::mutex stats_mutex;
+  NetStats stats;
+
+  std::map<int, Conn> conns;  // poll-thread-only after start
+
+  // ---- stats helpers -------------------------------------------------------
+  void bump(std::int64_t NetStats::* counter) {
+    std::lock_guard<std::mutex> lock(stats_mutex);
+    ++(stats.*counter);
+  }
+
+  // ---- lifecycle -----------------------------------------------------------
+  api::Status listen_on(const std::string& host, std::uint16_t port,
+                        std::uint16_t* bound) {
+    listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd < 0)
+      return api::Status::Unavailable("socket() failed: " +
+                                      std::string(std::strerror(errno)));
+    const int one = 1;
+    ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+      return api::Status::InvalidArgument("ServerConfig::host is not an "
+                                          "IPv4 address: " + host);
+    if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0)
+      return api::Status::Unavailable("bind(" + host + ":" +
+                                      std::to_string(port) + ") failed: " +
+                                      std::strerror(errno));
+    if (::listen(listen_fd, 64) != 0)
+      return api::Status::Unavailable(std::string("listen() failed: ") +
+                                      std::strerror(errno));
+    sockaddr_in actual{};
+    socklen_t len = sizeof(actual);
+    if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&actual),
+                      &len) != 0)
+      return api::Status::Unavailable(std::string("getsockname() failed: ") +
+                                      std::strerror(errno));
+    *bound = ntohs(actual.sin_port);
+    if (!set_nonblocking(listen_fd))
+      return api::Status::Unavailable("cannot make listen socket "
+                                      "non-blocking");
+    int pipe_fds[2] = {-1, -1};
+    if (::pipe(pipe_fds) != 0)
+      return api::Status::Unavailable(std::string("pipe() failed: ") +
+                                      std::strerror(errno));
+    wake_read = pipe_fds[0];
+    wake_write = pipe_fds[1];
+    set_nonblocking(wake_read);
+    set_nonblocking(wake_write);
+    return api::Status::Ok();
+  }
+
+  void wake() const {
+    if (wake_write >= 0) {
+      const char b = 1;
+      // Non-blocking; a full pipe already guarantees a wakeup is queued.
+      (void)!::write(wake_write, &b, 1);
+    }
+  }
+
+  // ---- the poll loop -------------------------------------------------------
+  void run() {
+    while (!stopping.load(std::memory_order_acquire)) {
+      std::vector<pollfd> fds;
+      fds.push_back({wake_read, POLLIN, 0});
+      const bool can_accept =
+          static_cast<std::int64_t>(conns.size()) < cfg.max_connections;
+      fds.push_back({listen_fd, static_cast<short>(can_accept ? POLLIN : 0),
+                     0});
+      for (const auto& [fd, c] : conns)
+        fds.push_back({fd, static_cast<short>(
+                               POLLIN | (c.out.empty() ? 0 : POLLOUT)),
+                       0});
+
+      // The self-pipe wakes us on any service completion; 200 ms is only
+      // a safety net (e.g. a missed edge during shutdown races).
+      (void)::poll(fds.data(), fds.size(), 200);
+      if (stopping.load(std::memory_order_acquire)) break;
+
+      if (fds[0].revents & POLLIN) drain_wake_pipe();
+      if (fds[1].revents & POLLIN) accept_new();
+
+      std::vector<int> dead;
+      for (std::size_t i = 2; i < fds.size(); ++i) {
+        auto it = conns.find(fds[i].fd);
+        if (it == conns.end()) continue;
+        Conn& c = it->second;
+        bool drop = (fds[i].revents & (POLLERR | POLLNVAL)) != 0;
+        if (!drop && (fds[i].revents & (POLLIN | POLLHUP)))
+          drop = !read_from(c);
+        if (!drop && (fds[i].revents & POLLOUT)) drop = !flush(c);
+        if (drop) dead.push_back(fds[i].fd);
+      }
+      for (int fd : dead) close_conn(fd);
+
+      pump_completions();
+    }
+  }
+
+  void drain_wake_pipe() const {
+    char buf[256];
+    while (::read(wake_read, buf, sizeof(buf)) > 0) {
+    }
+  }
+
+  void accept_new() {
+    for (;;) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) return;  // EAGAIN or transient error: try next round
+      if (static_cast<std::int64_t>(conns.size()) >= cfg.max_connections) {
+        ::close(fd);
+        bump(&NetStats::connections_refused);
+        continue;
+      }
+      set_nonblocking(fd);
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      Conn c;
+      c.fd = fd;
+      c.cancel = std::make_shared<std::atomic<bool>>(false);
+      conns.emplace(fd, std::move(c));
+      bump(&NetStats::connections_opened);
+    }
+  }
+
+  /// Reads everything available; false when the peer is gone or the
+  /// stream became unframeable.
+  bool read_from(Conn& c) {
+    char buf[kReadChunk];
+    for (;;) {
+      const ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        c.in.append(buf, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n == 0) return false;  // orderly shutdown by the peer
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    return parse_frames(c);
+  }
+
+  bool parse_frames(Conn& c) {
+    std::size_t consumed = 0;
+    while (c.in.size() - consumed >= kHeaderSize) {
+      FrameHeader h;
+      if (!decode_header(c.in.data() + consumed, c.in.size() - consumed,
+                         &h)) {
+        // Bad magic / version / oversized length: byte-stream framing is
+        // lost, nothing downstream can be trusted. Drop the connection.
+        bump(&NetStats::connections_dropped);
+        return false;
+      }
+      if (c.in.size() - consumed < kHeaderSize + h.payload_len) break;
+      handle_frame(c, h, c.in.data() + consumed + kHeaderSize,
+                   h.payload_len);
+      consumed += kHeaderSize + h.payload_len;
+    }
+    c.in.erase(0, consumed);
+    return true;
+  }
+
+  void reply_error(Conn& c, FrameType type, std::uint64_t id,
+                   const api::Status& status) {
+    Writer w;
+    encode_status(status, &w);
+    send_reply(c, type, id, w.take());
+    bump(&NetStats::frames_rejected);
+  }
+
+  void send_reply(Conn& c, FrameType type, std::uint64_t id,
+                  const std::string& payload) {
+    c.out.append(encode_frame(type, /*reply=*/true, id, 0, payload));
+    bump(&NetStats::replies_sent);
+  }
+
+  void handle_frame(Conn& c, const FrameHeader& h, const char* payload,
+                    std::size_t len) {
+    const bool is_reply = (h.type & kReplyBit) != 0;
+    const auto type = static_cast<FrameType>(h.type & ~kReplyBit);
+    if (is_reply || h.type == 0 ||
+        (h.type & ~kReplyBit) >
+            static_cast<std::uint16_t>(FrameType::kTrainBaseline)) {
+      reply_error(c, type, h.request_id,
+                  api::Status::InvalidArgument(
+                      "unknown frame type " + std::to_string(h.type)));
+      return;
+    }
+    bump(&NetStats::frames_received);
+
+    serve::RequestOptions opts;
+    if (h.deadline_us > 0) {
+      // Saturate the peer-controlled budget before it meets the clock: a
+      // huge value (hostile, or a bit-flip in the header) must not
+      // overflow the time_point arithmetic into UB / a deadline in the
+      // past. One day of queue time is "no deadline" in practice.
+      constexpr std::uint64_t kMaxDeadlineUs = 86'400'000'000ULL;
+      opts.deadline = std::chrono::steady_clock::now() +
+                      std::chrono::microseconds(
+                          std::min(h.deadline_us, kMaxDeadlineUs));
+    }
+    opts.cancel = c.cancel;
+    opts.notify = [this] { wake(); };
+
+    Reader r(payload, len);
+    Pending p;
+    p.id = h.request_id;
+    p.type = type;
+    switch (type) {
+      case FrameType::kSearch: {
+        std::optional<api::EngineConfig> cfg_override;
+        if (!decode_search_request(&r, &cfg_override) || !r.exhausted()) {
+          reply_error(c, type, h.request_id,
+                      api::Status::InvalidArgument(
+                          "malformed search request payload"));
+          return;
+        }
+        p.future = service->submit(
+            serve::SearchRequest{std::move(cfg_override), std::move(opts)});
+        break;
+      }
+      case FrameType::kPredictLatency: {
+        api::Arch arch;
+        if (!decode_predict_request(&r, &arch) || !r.exhausted()) {
+          reply_error(c, type, h.request_id,
+                      api::Status::InvalidArgument(
+                          "malformed predict request payload"));
+          return;
+        }
+        p.future = service->submit(
+            serve::PredictLatencyRequest{std::move(arch), std::move(opts)});
+        break;
+      }
+      case FrameType::kPredictBatch: {
+        std::vector<api::Arch> archs;
+        if (!decode_predict_batch_request(&r, &archs) || !r.exhausted()) {
+          reply_error(c, type, h.request_id,
+                      api::Status::InvalidArgument(
+                          "malformed predict-batch request payload"));
+          return;
+        }
+        // One service submission per element: the coalescing queue packs
+        // them back into block-diagonal forwards, and a bad element fails
+        // alone. The shared notify fires per element; the reply goes out
+        // when the last future resolves.
+        std::vector<std::future<api::Result<api::LatencyReport>>> futures;
+        futures.reserve(archs.size());
+        for (api::Arch& a : archs) {
+          serve::RequestOptions element = opts;
+          futures.push_back(service->submit(
+              serve::PredictLatencyRequest{std::move(a), std::move(element)}));
+        }
+        p.future = std::move(futures);
+        break;
+      }
+      case FrameType::kProfile: {
+        api::Arch arch;
+        if (!decode_predict_request(&r, &arch) || !r.exhausted()) {
+          reply_error(c, type, h.request_id,
+                      api::Status::InvalidArgument(
+                          "malformed profile request payload"));
+          return;
+        }
+        p.future = service->submit(
+            serve::ProfileRequest{std::move(arch), std::move(opts)});
+        break;
+      }
+      case FrameType::kProfileBaseline: {
+        std::string name;
+        std::optional<api::Workload> workload;
+        if (!decode_profile_baseline_request(&r, &name, &workload) ||
+            !r.exhausted()) {
+          reply_error(c, type, h.request_id,
+                      api::Status::InvalidArgument(
+                          "malformed profile-baseline request payload"));
+          return;
+        }
+        p.future = service->submit(serve::ProfileBaselineRequest{
+            std::move(name), workload, std::move(opts)});
+        break;
+      }
+      case FrameType::kTrainBaseline: {
+        std::string name;
+        if (!decode_train_baseline_request(&r, &name) || !r.exhausted()) {
+          reply_error(c, type, h.request_id,
+                      api::Status::InvalidArgument(
+                          "malformed train-baseline request payload"));
+          return;
+        }
+        p.future = service->submit(serve::TrainBaselineRequest{
+            std::move(name), std::move(opts)});
+        break;
+      }
+    }
+    c.pending.push_back(std::move(p));
+  }
+
+  /// Encode every completed pending request's reply, preserving
+  /// completion order across requests (pipelined ids resolve out of
+  /// order by design).
+  void pump_completions() {
+    std::vector<int> dead;
+    for (auto& [fd, c] : conns) {
+      bool wrote = false;
+      for (std::size_t scan = 0; scan < c.pending.size();) {
+        if (!c.pending[scan].ready()) {
+          ++scan;
+          continue;
+        }
+        Pending p = std::move(c.pending[scan]);
+        c.pending.erase(c.pending.begin() +
+                        static_cast<std::ptrdiff_t>(scan));
+        send_reply(c, p.type, p.id, encode_ready_reply(p));
+        wrote = true;
+      }
+      if (wrote && !flush(c)) dead.push_back(fd);
+    }
+    for (int fd : dead) close_conn(fd);
+  }
+
+  static std::string encode_ready_reply(Pending& p) {
+    switch (p.type) {
+      case FrameType::kSearch:
+        return encode_reply<api::SearchReport>(
+            std::get<std::future<api::Result<api::SearchReport>>>(p.future)
+                .get(),
+            [](const api::SearchReport& rep, Writer* w) {
+              encode_search_report(rep, w);
+            });
+      case FrameType::kPredictLatency:
+        return encode_reply<api::LatencyReport>(
+            std::get<std::future<api::Result<api::LatencyReport>>>(p.future)
+                .get(),
+            [](const api::LatencyReport& rep, Writer* w) {
+              encode_latency_report(rep, w);
+            });
+      case FrameType::kPredictBatch: {
+        auto& futures = std::get<
+            std::vector<std::future<api::Result<api::LatencyReport>>>>(
+            p.future);
+        std::vector<api::Result<api::LatencyReport>> results;
+        results.reserve(futures.size());
+        for (auto& f : futures) results.push_back(f.get());
+        return encode_predict_batch_reply(results);
+      }
+      case FrameType::kProfile:
+      case FrameType::kProfileBaseline:
+        return encode_reply<api::ProfileReport>(
+            std::get<std::future<api::Result<api::ProfileReport>>>(p.future)
+                .get(),
+            [](const api::ProfileReport& rep, Writer* w) {
+              encode_profile_report(rep, w);
+            });
+      case FrameType::kTrainBaseline:
+        return encode_reply<api::TrainReport>(
+            std::get<std::future<api::Result<api::TrainReport>>>(p.future)
+                .get(),
+            [](const api::TrainReport& rep, Writer* w) {
+              encode_train_report(rep, w);
+            });
+    }
+    Writer w;
+    encode_status(api::Status::Internal("unreachable reply type"), &w);
+    return w.take();
+  }
+
+  /// False when the connection broke mid-write.
+  bool flush(Conn& c) {
+    while (!c.out.empty()) {
+      const ssize_t n =
+          ::send(c.fd, c.out.data(), c.out.size(), MSG_NOSIGNAL);
+      if (n > 0) {
+        c.out.erase(0, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    return true;
+  }
+
+  void close_conn(int fd) {
+    auto it = conns.find(fd);
+    if (it == conns.end()) return;
+    // Abandon this connection's still-queued work: the service resolves
+    // it CANCELLED without running. Futures die with the Conn; the
+    // service side holds its own promise references, so late
+    // resolutions are harmless.
+    it->second.cancel->store(true, std::memory_order_relaxed);
+    ::close(fd);
+    conns.erase(it);
+    bump(&NetStats::connections_closed);
+  }
+
+  void shutdown_io() {
+    stopping.store(true, std::memory_order_release);
+    wake();
+    if (loop.joinable()) loop.join();
+    for (auto& [fd, c] : conns) {
+      c.cancel->store(true, std::memory_order_relaxed);
+      ::close(fd);
+    }
+    conns.clear();
+    // Close the listen socket now (not in ~Impl): a late client must see
+    // a refused/reset connection, not sit in a backlog nobody accepts.
+    if (listen_fd >= 0) {
+      ::close(listen_fd);
+      listen_fd = -1;
+    }
+  }
+
+  ~Impl() {
+    if (listen_fd >= 0) ::close(listen_fd);
+    if (wake_read >= 0) ::close(wake_read);
+    if (wake_write >= 0) ::close(wake_write);
+  }
+};
+
+api::Result<std::shared_ptr<Server>> Server::create(
+    const api::EngineConfig& cfg, const ServerConfig& server_cfg) {
+  api::Result<std::shared_ptr<api::EvalContext>> ctx =
+      api::EvalContext::create(cfg);
+  if (!ctx.ok()) return ctx.status();
+  return create(cfg, std::move(ctx).value(), server_cfg);
+}
+
+api::Result<std::shared_ptr<Server>> Server::create(
+    const api::EngineConfig& cfg, std::shared_ptr<api::EvalContext> ctx,
+    const ServerConfig& server_cfg) {
+  if (server_cfg.max_connections < 1)
+    return api::Status::InvalidArgument(
+        "ServerConfig::max_connections must be >= 1");
+  api::Result<std::shared_ptr<serve::Service>> service =
+      serve::Service::create(cfg, std::move(ctx), server_cfg.service);
+  if (!service.ok()) return service.status();
+
+  std::shared_ptr<Server> server(new Server());
+  server->service_ = std::move(service).value();
+  server->impl_ = std::make_unique<Impl>();
+  server->impl_->service = server->service_.get();
+  server->impl_->cfg = server_cfg;
+  api::Status listening = server->impl_->listen_on(
+      server_cfg.host, server_cfg.port, &server->port_);
+  if (!listening.ok()) return listening;
+  Impl* impl = server->impl_.get();
+  impl->loop = std::thread([impl] { impl->run(); });
+  return server;
+}
+
+Server::~Server() { stop(); }
+
+void Server::stop() {
+  if (impl_ == nullptr) return;
+  // Serializes concurrent stop() callers (a second caller would join the
+  // same I/O thread). Order matters: stop I/O first (no new submissions,
+  // queued work of closed connections flagged cancelled), then drain the
+  // service — its completion notifies still hit the (open, non-blocking)
+  // wake pipe harmlessly. The fds close with impl_.
+  std::lock_guard<std::mutex> lock(impl_->stop_mutex);
+  impl_->shutdown_io();
+  if (service_) service_->shutdown();
+}
+
+NetStats Server::net_stats() const {
+  if (impl_ == nullptr) return {};
+  std::lock_guard<std::mutex> lock(impl_->stats_mutex);
+  return impl_->stats;
+}
+
+}  // namespace hg::net

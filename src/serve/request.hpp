@@ -17,6 +17,10 @@
 //    serial one.
 #pragma once
 
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -25,6 +29,32 @@
 
 namespace hg::serve {
 
+/// Per-request scheduling options, honored by the service for every
+/// request type. All fields are optional; default-constructed options
+/// reproduce the historical behavior exactly.
+struct RequestOptions {
+  /// Absolute point after which the request must not *start*: a request
+  /// still queued when its deadline passes resolves to DEADLINE_EXCEEDED
+  /// without running (and without consuming any context RNG). A request
+  /// already running is never interrupted — the deadline bounds queue
+  /// time, not execution time. max() = no deadline.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+
+  /// Cooperative cancellation for queued requests: set the flag (any
+  /// thread) and a request not yet started resolves to CANCELLED instead
+  /// of running. net::Server uses one flag per connection so a client
+  /// disconnect abandons that connection's still-queued work.
+  std::shared_ptr<std::atomic<bool>> cancel;
+
+  /// Invoked exactly once, after the request's promise has been resolved
+  /// (with a result, an admission error, expiry, or cancellation). Lets a
+  /// poll-based caller (net::Server's self-pipe) learn about completion
+  /// without blocking on the future. Must be cheap and must not call back
+  /// into the service.
+  std::function<void()> notify;
+};
+
 /// Run a full NAS search on the service's context. `cfg` overrides the
 /// service's engine config for this one request (strategy, objective,
 /// constraints, search scale); its context-shaping fields must match the
@@ -32,19 +62,23 @@ namespace hg::serve {
 /// INVALID_ARGUMENT. Unset: the service's config as-is.
 struct SearchRequest {
   std::optional<api::EngineConfig> cfg;
+  RequestOptions opts{};
 };
 
 /// One latency query through the service's configured evaluator. With
 /// evaluator "predictor", queued requests are coalesced into one packed
 /// GCN forward (Engine::predict_batch) — the answer is bit-identical to an
-/// uncoalesced query, only cheaper.
+/// uncoalesced query, only cheaper. ServiceConfig::predict_window_us adds
+/// a time window so trickle traffic coalesces too.
 struct PredictLatencyRequest {
   api::Arch arch;
+  RequestOptions opts{};
 };
 
 /// Deterministic deployment report on the service's device model.
 struct ProfileRequest {
   api::Arch arch;
+  RequestOptions opts{};
 };
 
 /// The profile report for a named reference network ("dgcnn", "li",
@@ -52,12 +86,14 @@ struct ProfileRequest {
 struct ProfileBaselineRequest {
   std::string name;
   std::optional<api::Workload> workload;
+  RequestOptions opts{};
 };
 
 /// Train a CPU-scale instance of a named baseline on the service's
 /// dataset.
 struct TrainBaselineRequest {
   std::string name;
+  RequestOptions opts{};
 };
 
 }  // namespace hg::serve

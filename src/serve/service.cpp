@@ -12,6 +12,22 @@ api::Status shut_down_status() {
   return api::Status::FailedPrecondition("service is shut down");
 }
 
+api::Status queue_full_status() {
+  return api::Status::ResourceExhausted("service queue is full");
+}
+
+api::Status expired_status() {
+  return api::Status::DeadlineExceeded("deadline expired while queued");
+}
+
+api::Status cancelled_status() {
+  return api::Status::Cancelled("request cancelled while queued");
+}
+
+bool is_cancelled(const std::shared_ptr<std::atomic<bool>>& flag) {
+  return flag != nullptr && flag->load(std::memory_order_relaxed);
+}
+
 }  // namespace
 
 api::Result<std::shared_ptr<Service>> Service::create(
@@ -31,6 +47,12 @@ api::Result<std::shared_ptr<Service>> Service::create(
   if (service_cfg.max_predict_batch < 1)
     return api::Status::InvalidArgument(
         "ServiceConfig::max_predict_batch must be >= 1");
+  if (service_cfg.max_queue_depth < 0)
+    return api::Status::InvalidArgument(
+        "ServiceConfig::max_queue_depth must be >= 0 (0 = unbounded)");
+  if (service_cfg.predict_window_us < 0)
+    return api::Status::InvalidArgument(
+        "ServiceConfig::predict_window_us must be >= 0 (0 = no window)");
   if (ctx == nullptr)
     return api::Status::InvalidArgument("EvalContext is null");
 
@@ -75,36 +97,64 @@ void Service::shutdown() {
   workers_.clear();
 }
 
-bool Service::enqueue(std::function<void(api::Engine&)> fn, bool exclusive,
-                      bool count_predict) {
+Service::Admission Service::enqueue(QueuedTask task, bool exclusive,
+                                    bool count_predict) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (stopping_) return false;
+    if (stopping_) return Admission::kShutDown;
     ++stats_.requests;
     if (count_predict) ++stats_.predict_requests;
+    const std::int64_t depth =
+        static_cast<std::int64_t>(pure_queue_.size() +
+                                  exclusive_queue_.size() +
+                                  predict_queue_.size());
+    if (service_cfg_.max_queue_depth > 0 &&
+        depth >= service_cfg_.max_queue_depth) {
+      ++stats_.rejected_requests;
+      return Admission::kQueueFull;
+    }
     if (exclusive) {
       ++stats_.exclusive_requests;
-      exclusive_queue_.push_back(std::move(fn));
+      exclusive_queue_.push_back(std::move(task));
     } else {
-      pure_queue_.push_back(std::move(fn));
+      pure_queue_.push_back(std::move(task));
     }
   }
   cv_.notify_all();
-  return true;
+  return Admission::kAccepted;
 }
 
 template <typename T>
 std::future<api::Result<T>> Service::submit_task(
-    std::function<api::Result<T>(api::Engine&)> fn, bool exclusive,
-    bool count_predict) {
+    std::function<api::Result<T>(api::Engine&)> fn, RequestOptions opts,
+    bool exclusive, bool count_predict) {
   auto promise = std::make_shared<std::promise<api::Result<T>>>();
   std::future<api::Result<T>> future = promise->get_future();
-  const bool accepted = enqueue(
-      [fn = std::move(fn), promise](api::Engine& engine) {
-        promise->set_value(fn(engine));
-      },
-      exclusive, count_predict);
-  if (!accepted) promise->set_value(shut_down_status());
+  auto resolve = [promise, notify = std::move(opts.notify)](
+                     api::Result<T> result) {
+    promise->set_value(std::move(result));
+    if (notify) notify();
+  };
+  QueuedTask task;
+  task.deadline = opts.deadline;
+  task.cancel = std::move(opts.cancel);
+  task.run = [fn = std::move(fn), resolve](api::Engine& engine) {
+    resolve(fn(engine));
+  };
+  task.fail = [resolve](const api::Status& status) { resolve(status); };
+  // Keep a handle for the not-admitted paths: `task` is gone after the
+  // move into enqueue.
+  const std::function<void(const api::Status&)> fail = task.fail;
+  switch (enqueue(std::move(task), exclusive, count_predict)) {
+    case Admission::kAccepted:
+      break;
+    case Admission::kShutDown:
+      fail(shut_down_status());
+      break;
+    case Admission::kQueueFull:
+      fail(queue_full_status());
+      break;
+  }
   return future;
 }
 
@@ -120,7 +170,7 @@ std::future<api::Result<api::SearchReport>> Service::submit(
         if (!engine.ok()) return engine.status();
         return engine.value().search();
       },
-      /*exclusive=*/true);
+      std::move(req.opts), /*exclusive=*/true);
 }
 
 std::future<api::Result<api::LatencyReport>> Service::submit(
@@ -133,25 +183,45 @@ std::future<api::Result<api::LatencyReport>> Service::submit(
         [arch = std::move(req.arch)](api::Engine& engine) {
           return engine.predict_latency(arch);
         },
-        /*exclusive=*/measured_evaluator_, /*count_predict=*/true);
+        std::move(req.opts), /*exclusive=*/measured_evaluator_,
+        /*count_predict=*/true);
   }
 
   // Predictor path: park the request on the coalescing queue; a worker
-  // drains a whole batch into one packed forward.
+  // drains a whole batch into one packed forward (waiting out
+  // predict_window_us first, when configured).
   PredictTask task;
   task.arch = std::move(req.arch);
+  task.opts = std::move(req.opts);
+  task.enqueued_at = std::chrono::steady_clock::now();
   task.promise =
       std::make_shared<std::promise<api::Result<api::LatencyReport>>>();
   auto future = task.promise->get_future();
+  api::Status refused;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_) {
-      task.promise->set_value(shut_down_status());
-      return future;
+      refused = shut_down_status();
+    } else {
+      ++stats_.requests;
+      ++stats_.predict_requests;
+      const std::int64_t depth =
+          static_cast<std::int64_t>(pure_queue_.size() +
+                                    exclusive_queue_.size() +
+                                    predict_queue_.size());
+      if (service_cfg_.max_queue_depth > 0 &&
+          depth >= service_cfg_.max_queue_depth) {
+        ++stats_.rejected_requests;
+        refused = queue_full_status();
+      } else {
+        predict_queue_.push_back(std::move(task));
+      }
     }
-    ++stats_.requests;
-    ++stats_.predict_requests;
-    predict_queue_.push_back(std::move(task));
+  }
+  if (!refused.ok()) {
+    task.promise->set_value(refused);
+    if (task.opts.notify) task.opts.notify();
+    return future;
   }
   cv_.notify_all();
   return future;
@@ -163,18 +233,19 @@ std::future<api::Result<api::ProfileReport>> Service::submit(
       [arch = std::move(req.arch)](api::Engine& engine) {
         return engine.profile(arch);
       },
-      /*exclusive=*/false);
+      std::move(req.opts), /*exclusive=*/false);
 }
 
 std::future<api::Result<api::ProfileReport>> Service::submit(
     ProfileBaselineRequest req) {
+  RequestOptions opts = std::move(req.opts);
   return submit_task<api::ProfileReport>(
-      [req = std::move(req)](api::Engine& engine) {
-        return req.workload
-                   ? engine.profile_baseline(req.name, *req.workload)
-                   : engine.profile_baseline(req.name);
+      [name = std::move(req.name),
+       workload = req.workload](api::Engine& engine) {
+        return workload ? engine.profile_baseline(name, *workload)
+                        : engine.profile_baseline(name);
       },
-      /*exclusive=*/false);
+      std::move(opts), /*exclusive=*/false);
 }
 
 std::future<api::Result<api::TrainReport>> Service::submit(
@@ -183,12 +254,41 @@ std::future<api::Result<api::TrainReport>> Service::submit(
       [name = std::move(req.name)](api::Engine& engine) {
         return engine.train_baseline(name);
       },
-      /*exclusive=*/true);  // draws from the shared context RNG
+      std::move(req.opts), /*exclusive=*/true);  // draws the shared ctx RNG
 }
 
 ServiceStats Service::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  ServiceStats snapshot = stats_;
+  snapshot.queue_depth =
+      static_cast<std::int64_t>(pure_queue_.size() +
+                                exclusive_queue_.size() +
+                                predict_queue_.size());
+  return snapshot;
+}
+
+bool Service::pop_runnable(std::deque<QueuedTask>& queue,
+                           std::unique_lock<std::mutex>& lock,
+                           QueuedTask* out) {
+  while (!queue.empty()) {
+    QueuedTask task = std::move(queue.front());
+    queue.pop_front();
+    const bool cancelled = is_cancelled(task.cancel);
+    const bool expired =
+        !cancelled && std::chrono::steady_clock::now() > task.deadline;
+    if (!cancelled && !expired) {
+      *out = std::move(task);
+      return true;
+    }
+    if (cancelled)
+      ++stats_.cancelled_requests;
+    else
+      ++stats_.deadline_expired;
+    lock.unlock();
+    task.fail(cancelled ? cancelled_status() : expired_status());
+    lock.lock();
+  }
+  return false;
 }
 
 void Service::worker_loop(std::size_t worker_index) {
@@ -196,9 +296,13 @@ void Service::worker_loop(std::size_t worker_index) {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     cv_.wait(lock, [this] {
+      // A predict queue whose coalescing window another worker is
+      // already waiting out is not claimable work.
+      const bool predict_work =
+          !predict_queue_.empty() && !predict_window_waiter_;
       const bool work =
           !exclusive_claimed_ &&
-          (!exclusive_queue_.empty() || !predict_queue_.empty() ||
+          (!exclusive_queue_.empty() || predict_work ||
            !pure_queue_.empty());
       const bool drained = stopping_ && exclusive_queue_.empty() &&
                            predict_queue_.empty() && pure_queue_.empty();
@@ -209,62 +313,118 @@ void Service::worker_loop(std::size_t worker_index) {
     // in-flight pure work to drain, run alone. While a claim is pending or
     // running, no worker starts anything — that is the whole guarantee.
     if (!exclusive_claimed_ && !exclusive_queue_.empty()) {
-      std::function<void(api::Engine&)> task =
-          std::move(exclusive_queue_.front());
-      exclusive_queue_.pop_front();
       exclusive_claimed_ = true;
+      QueuedTask task;
+      if (!pop_runnable(exclusive_queue_, lock, &task)) {
+        // Every queued exclusive was cancelled or expired.
+        exclusive_claimed_ = false;
+        cv_.notify_all();
+        continue;
+      }
       cv_.wait(lock, [this] { return pure_active_ == 0; });
       lock.unlock();
-      task(engine);
+      task.run(engine);
       lock.lock();
       exclusive_claimed_ = false;
       cv_.notify_all();
       continue;
     }
 
-    if (!exclusive_claimed_ && !predict_queue_.empty()) {
-      const std::size_t n = std::min<std::size_t>(
+    if (!exclusive_claimed_ && !predict_queue_.empty() &&
+        !predict_window_waiter_) {
+      // Time-windowed coalescing: with a window configured and room left
+      // in the batch, let the oldest queued query age to the window
+      // before firing, so queries arriving one at a time (remote trickle
+      // traffic) still pack into one forward. Exactly ONE worker holds
+      // the window (predict_window_waiter_) — the others keep serving
+      // pure traffic meanwhile. Fires early when the batch fills, an
+      // exclusive request arrives, or the service stops.
+      if (service_cfg_.predict_window_us > 0 && !stopping_ &&
+          static_cast<std::int64_t>(predict_queue_.size()) <
+              service_cfg_.max_predict_batch) {
+        const auto fire_at =
+            predict_queue_.front().enqueued_at +
+            std::chrono::microseconds(service_cfg_.predict_window_us);
+        if (std::chrono::steady_clock::now() < fire_at) {
+          predict_window_waiter_ = true;
+          cv_.wait_until(lock, fire_at, [this] {
+            return stopping_ || exclusive_claimed_ ||
+                   !exclusive_queue_.empty() || predict_queue_.empty() ||
+                   static_cast<std::int64_t>(predict_queue_.size()) >=
+                       service_cfg_.max_predict_batch;
+          });
+          predict_window_waiter_ = false;
+          cv_.notify_all();
+          continue;  // re-dispatch from the top with fresh state
+        }
+      }
+
+      const std::size_t want = std::min<std::size_t>(
           predict_queue_.size(),
           static_cast<std::size_t>(service_cfg_.max_predict_batch));
+      const auto now = std::chrono::steady_clock::now();
       std::vector<PredictTask> batch;
-      batch.reserve(n);
-      for (std::size_t i = 0; i < n; ++i) {
-        batch.push_back(std::move(predict_queue_.front()));
+      std::vector<std::pair<PredictTask, api::Status>> refused;
+      batch.reserve(want);
+      for (std::size_t i = 0; i < want; ++i) {
+        PredictTask t = std::move(predict_queue_.front());
         predict_queue_.pop_front();
+        if (is_cancelled(t.opts.cancel)) {
+          ++stats_.cancelled_requests;
+          refused.emplace_back(std::move(t), cancelled_status());
+        } else if (now > t.opts.deadline) {
+          ++stats_.deadline_expired;
+          refused.emplace_back(std::move(t), expired_status());
+        } else {
+          batch.push_back(std::move(t));
+        }
       }
-      ++stats_.predict_batches;
-      stats_.max_predict_batch = std::max(
-          stats_.max_predict_batch, static_cast<std::int64_t>(n));
-      ++pure_active_;
+      if (!batch.empty()) {
+        ++stats_.predict_batches;
+        stats_.max_predict_batch =
+            std::max(stats_.max_predict_batch,
+                     static_cast<std::int64_t>(batch.size()));
+        ++pure_active_;
+      }
       lock.unlock();
-      std::vector<api::Arch> archs;
-      archs.reserve(batch.size());
-      for (const PredictTask& t : batch) archs.push_back(t.arch);
-      api::Result<std::vector<api::LatencyReport>> reports =
-          engine.predict_batch(archs);
-      if (reports.ok()) {
-        for (std::size_t i = 0; i < batch.size(); ++i)
-          batch[i].promise->set_value(reports.value()[i]);
-      } else {
-        // One bad request (an invalid genome fails the whole packed
-        // forward) must not poison its batchmates: fall back to lone
-        // queries so every request gets exactly the answer an uncoalesced
-        // submission would have produced.
-        for (PredictTask& t : batch)
-          t.promise->set_value(engine.predict_latency(t.arch));
+      for (auto& [t, status] : refused) {
+        t.promise->set_value(status);
+        if (t.opts.notify) t.opts.notify();
+      }
+      if (!batch.empty()) {
+        std::vector<api::Arch> archs;
+        archs.reserve(batch.size());
+        for (const PredictTask& t : batch) archs.push_back(t.arch);
+        api::Result<std::vector<api::LatencyReport>> reports =
+            engine.predict_batch(archs);
+        if (reports.ok()) {
+          for (std::size_t i = 0; i < batch.size(); ++i) {
+            batch[i].promise->set_value(reports.value()[i]);
+            if (batch[i].opts.notify) batch[i].opts.notify();
+          }
+        } else {
+          // One bad request (an invalid genome fails the whole packed
+          // forward) must not poison its batchmates: fall back to lone
+          // queries so every request gets exactly the answer an
+          // uncoalesced submission would have produced.
+          for (PredictTask& t : batch) {
+            t.promise->set_value(engine.predict_latency(t.arch));
+            if (t.opts.notify) t.opts.notify();
+          }
+        }
       }
       lock.lock();
-      --pure_active_;
+      if (!batch.empty()) --pure_active_;
       cv_.notify_all();
       continue;
     }
 
     if (!exclusive_claimed_ && !pure_queue_.empty()) {
-      std::function<void(api::Engine&)> task = std::move(pure_queue_.front());
-      pure_queue_.pop_front();
+      QueuedTask task;
+      if (!pop_runnable(pure_queue_, lock, &task)) continue;
       ++pure_active_;
       lock.unlock();
-      task(engine);
+      task.run(engine);
       lock.lock();
       --pure_active_;
       cv_.notify_all();

@@ -20,11 +20,27 @@
 //     (Engine::predict_batch), which is bit-identical per element to
 //     serial queries but pays the per-forward overhead once.
 //
+// Admission control and queue-time guarantees (all per-request, see
+// serve/request.hpp):
+//   * ServiceConfig::max_queue_depth bounds the pending-request queue:
+//     over-limit submissions resolve immediately to RESOURCE_EXHAUSTED
+//     instead of growing the queue without bound (back-pressure).
+//   * A request whose RequestOptions::deadline passes while it is still
+//     queued resolves to DEADLINE_EXCEEDED without running.
+//   * A request whose RequestOptions::cancel flag is set before it starts
+//     resolves to CANCELLED without running.
+//   * ServiceConfig::predict_window_us makes a worker that picks up a
+//     lone coalescible PredictLatency wait up to the window for more to
+//     arrive before firing the packed forward, so remote trickle traffic
+//     still batches. 0 preserves the drain-what-is-queued behavior
+//     bit-exactly.
+//
 // Lifecycle: create() -> submit() from any thread -> shutdown() (drains
 // queued work, joins the workers; the destructor calls it too). After
 // shutdown, submit() resolves immediately to FAILED_PRECONDITION.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -48,15 +64,31 @@ struct ServiceConfig {
   /// Most PredictLatency requests coalesced into one packed forward.
   /// 1 disables coalescing (every query is its own forward).
   std::int64_t max_predict_batch = 16;
+  /// Bound on the number of *queued* (admitted, not yet started)
+  /// requests across all three queues. A submission that would exceed it
+  /// resolves immediately to RESOURCE_EXHAUSTED. 0 = unbounded.
+  std::int64_t max_queue_depth = 0;
+  /// Time-based predict-coalescing window (microseconds): a worker about
+  /// to fire a packed forward with fewer than max_predict_batch queries
+  /// waits until the *oldest* queued query has aged this long, giving
+  /// trickle traffic (one request per connection round-trip) a chance to
+  /// coalesce. 0 = fire immediately with whatever is queued (the
+  /// historical behavior, bit-exactly).
+  std::int64_t predict_window_us = 0;
 };
 
-/// Cumulative counters (monotone; snapshot via Service::stats()).
+/// Cumulative counters (monotone except queue_depth; snapshot via
+/// Service::stats()).
 struct ServiceStats {
   std::int64_t requests = 0;            // everything submitted
   std::int64_t exclusive_requests = 0;  // ran on the exclusive FIFO path
   std::int64_t predict_requests = 0;    // PredictLatency submissions
   std::int64_t predict_batches = 0;     // packed forwards actually run
   std::int64_t max_predict_batch = 0;   // largest coalesced batch seen
+  std::int64_t queue_depth = 0;         // live: admitted, not yet started
+  std::int64_t rejected_requests = 0;   // refused: bounded queue was full
+  std::int64_t deadline_expired = 0;    // expired while still queued
+  std::int64_t cancelled_requests = 0;  // cancelled while still queued
 };
 
 class Service {
@@ -99,28 +131,50 @@ class Service {
  private:
   Service() = default;
 
+  /// One admitted request parked on the pure or exclusive queue. `run`
+  /// resolves the promise with the verb's Result; `fail` resolves it with
+  /// an admission-side Status (expiry / cancellation) without running.
+  /// Both fire the request's notify hook.
+  struct QueuedTask {
+    std::function<void(api::Engine&)> run;
+    std::function<void(const api::Status&)> fail;
+    std::chrono::steady_clock::time_point deadline;
+    std::shared_ptr<std::atomic<bool>> cancel;
+  };
+
+  /// How enqueue() disposed of a submission.
+  enum class Admission { kAccepted, kShutDown, kQueueFull };
+
   void start_workers(std::int64_t n);
   void worker_loop(std::size_t worker_index);
 
-  /// Enqueue `fn` on the pure or exclusive queue, bumping the request
+  /// Admit `task` to the pure or exclusive queue, bumping the request
   /// counters (incl. predict_requests when `count_predict`) atomically
-  /// with admission; returns false (caller resolves the future to
-  /// FAILED_PRECONDITION) after shutdown.
-  bool enqueue(std::function<void(api::Engine&)> fn, bool exclusive,
-               bool count_predict = false);
+  /// with admission. Non-accepted submissions bump rejected_requests /
+  /// leave the queue untouched; the caller resolves the future.
+  Admission enqueue(QueuedTask task, bool exclusive,
+                    bool count_predict = false);
 
   /// The common submit shape: park `fn` on a queue, resolve its promise
-  /// with the Result it returns — or with FAILED_PRECONDITION when the
-  /// service is already shut down. Defined in service.cpp (instantiated
-  /// for the facade report types only).
+  /// with the Result it returns — or with FAILED_PRECONDITION /
+  /// RESOURCE_EXHAUSTED when the submission is not admitted. Defined in
+  /// service.cpp (instantiated for the facade report types only).
   template <typename T>
   std::future<api::Result<T>> submit_task(
-      std::function<api::Result<T>(api::Engine&)> fn, bool exclusive,
-      bool count_predict = false);
+      std::function<api::Result<T>(api::Engine&)> fn, RequestOptions opts,
+      bool exclusive, bool count_predict = false);
+
+  /// Pops the task at the queue front; under `lock`, resolves (outside
+  /// the lock) every leading task that is cancelled or expired, bumping
+  /// the matching counters. Returns false when the queue is drained.
+  bool pop_runnable(std::deque<QueuedTask>& queue,
+                    std::unique_lock<std::mutex>& lock, QueuedTask* out);
 
   struct PredictTask {
     api::Arch arch;
     std::shared_ptr<std::promise<api::Result<api::LatencyReport>>> promise;
+    RequestOptions opts;
+    std::chrono::steady_clock::time_point enqueued_at;
   };
 
   api::EngineConfig base_cfg_;
@@ -132,11 +186,15 @@ class Service {
   std::mutex shutdown_mutex_;  // serializes shutdown() callers only
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<std::function<void(api::Engine&)>> pure_queue_;
-  std::deque<std::function<void(api::Engine&)>> exclusive_queue_;
+  std::deque<QueuedTask> pure_queue_;
+  std::deque<QueuedTask> exclusive_queue_;
   std::deque<PredictTask> predict_queue_;
   std::int64_t pure_active_ = 0;
   bool exclusive_claimed_ = false;  // a worker owns the next exclusive task
+  // A worker is waiting out predict_window_us on the coalescing queue;
+  // the other workers treat that queue as unclaimable meanwhile and
+  // serve pure traffic instead.
+  bool predict_window_waiter_ = false;
   bool stopping_ = false;
   ServiceStats stats_;
 
