@@ -59,6 +59,7 @@ api::Result<Client> Client::connect(const ClientConfig& cfg) {
 Client::Client(Client&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
       next_id_(other.next_id_),
+      sent_goodbye_(other.sent_goodbye_),
       in_(std::move(other.in_)),
       stash_(std::move(other.stash_)) {}
 
@@ -67,6 +68,7 @@ Client& Client::operator=(Client&& other) noexcept {
     close();
     fd_ = std::exchange(other.fd_, -1);
     next_id_ = other.next_id_;
+    sent_goodbye_ = other.sent_goodbye_;
     in_ = std::move(other.in_);
     stash_ = std::move(other.stash_);
   }
@@ -82,10 +84,24 @@ void Client::close() {
   }
 }
 
+api::Status Client::goodbye() {
+  if (sent_goodbye_) return api::Status::Ok();  // idempotent
+  api::Result<std::uint64_t> id = send_frame(FrameType::kGoodbye, 0, "");
+  if (!id.ok()) return id.status();
+  sent_goodbye_ = true;
+  ::shutdown(fd_, SHUT_WR);
+  return api::Status::Ok();
+}
+
 api::Result<std::uint64_t> Client::send_frame(FrameType type,
                                               std::uint64_t deadline_us,
                                               const std::string& payload) {
   if (fd_ < 0) return disconnected_status();
+  // After goodbye() the write side is gone but replies are still being
+  // collected: refuse here instead of letting EPIPE tear down the whole
+  // connection (and with it the pending replies).
+  if (sent_goodbye_)
+    return api::Status::Unavailable("no more requests after goodbye()");
   if (payload.size() > kMaxPayloadBytes)
     return api::Status::InvalidArgument("request payload exceeds the wire "
                                         "limit");

@@ -112,6 +112,14 @@ class Client {
 
   bool connected() const { return fd_ >= 0; }
 
+  /// Announce "no more requests" (a kGoodbye frame) and FIN the write
+  /// side. The read side stays open: outstanding wait_* calls still
+  /// collect their replies, after which the server closes the
+  /// connection. Use this before abandoning a pipelining client whose
+  /// in-flight requests should be *answered* — a plain close() makes the
+  /// server cancel them instead. Further send_* calls fail UNAVAILABLE.
+  api::Status goodbye();
+
   /// Close the connection (any still-queued server-side work for it gets
   /// cancelled on the server). Idempotent; further calls fail UNAVAILABLE.
   void close();
@@ -128,6 +136,7 @@ class Client {
 
   int fd_ = -1;
   std::uint64_t next_id_ = 1;
+  bool sent_goodbye_ = false;  // write side FIN'd; reads still live
   std::string in_;  // partial-frame accumulation
   std::map<std::uint64_t, std::pair<std::uint16_t, std::string>> stash_;
 };

@@ -21,7 +21,8 @@
 // Every request frame gets exactly one reply frame with the same
 // request_id and type | kReplyBit; replies may arrive in any order
 // (pipelined ids). A reply payload is an encoded Status followed, when the
-// Status is OK, by the verb's report.
+// Status is OK, by the verb's report. The one no-reply frame is kGoodbye
+// (see FrameType) — the connection close after the drain is its ack.
 //
 // Decoding is strictly bounds-checked: a Reader never reads past the
 // payload it was given, rejects length prefixes that overrun the
@@ -59,6 +60,14 @@ enum class FrameType : std::uint16_t {
   kProfile = 4,
   kProfileBaseline = 5,
   kTrainBaseline = 6,
+  /// Empty-payload, no-reply notice: "no more requests on this
+  /// connection — answer what you have, then close." A pipelining client
+  /// sends this before shutdown(SHUT_WR) so the server serves the
+  /// already-submitted requests and flushes their replies. Without it a
+  /// peer's FIN is an abandoning disconnect: the connection's
+  /// still-queued requests are cancelled (a TCP FIN alone cannot say
+  /// which of the two the client meant).
+  kGoodbye = 7,
 };
 inline constexpr std::uint16_t kReplyBit = 0x80;
 

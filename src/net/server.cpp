@@ -34,6 +34,13 @@ bool set_nonblocking(int fd) {
 
 constexpr std::size_t kReadChunk = 64 * 1024;
 
+/// Write-side back-pressure: stop reading a connection whose unflushed
+/// replies exceed this, so a peer that pipelines requests without ever
+/// draining its answers cannot grow c.out without bound. Reads resume
+/// once the buffer flushes below the mark. (Replies for requests already
+/// admitted still append past it — bounded by the service queue depth.)
+constexpr std::size_t kMaxBufferedReplyBytes = 4 * 1024 * 1024;
+
 }  // namespace
 
 struct Server::Impl {
@@ -55,21 +62,17 @@ struct Server::Impl {
         return f.wait_for(std::chrono::seconds(0)) ==
                std::future_status::ready;
       };
-      if (const auto* batch = std::get_if<
-              std::vector<std::future<api::Result<api::LatencyReport>>>>(
-              &future)) {
-        for (const auto& f : *batch)
-          if (!done(f)) return false;
-        return true;
-      }
       return std::visit(
           [&](const auto& f) {
             if constexpr (std::is_same_v<std::decay_t<decltype(f)>,
                                          std::vector<std::future<api::Result<
-                                             api::LatencyReport>>>>)
-              return true;  // handled above
-            else
+                                             api::LatencyReport>>>>) {
+              for (const auto& e : f)
+                if (!done(e)) return false;
+              return true;
+            } else {
               return done(f);
+            }
           },
           future);
     }
@@ -81,6 +84,14 @@ struct Server::Impl {
     std::string out;
     std::shared_ptr<std::atomic<bool>> cancel;
     std::deque<Pending> pending;
+    // The peer sent kGoodbye: no more requests will arrive, but the ones
+    // already submitted are still served and their replies flushed
+    // before the connection is closed. A FIN *without* a goodbye is an
+    // abandoning disconnect and cancels this connection's queued work.
+    bool draining = false;
+    // A draining peer's FIN arrived (it shutdown(SHUT_WR) after the
+    // goodbye); stop polling its read side.
+    bool peer_eof = false;
   };
 
   serve::Service* service = nullptr;
@@ -164,10 +175,14 @@ struct Server::Impl {
           static_cast<std::int64_t>(conns.size()) < cfg.max_connections;
       fds.push_back({listen_fd, static_cast<short>(can_accept ? POLLIN : 0),
                      0});
-      for (const auto& [fd, c] : conns)
+      for (const auto& [fd, c] : conns) {
+        const bool throttled =
+            c.peer_eof || c.out.size() > kMaxBufferedReplyBytes;
         fds.push_back({fd, static_cast<short>(
-                               POLLIN | (c.out.empty() ? 0 : POLLOUT)),
+                               (throttled ? 0 : POLLIN) |
+                               (c.out.empty() ? 0 : POLLOUT)),
                        0});
+      }
 
       // The self-pipe wakes us on any service completion; 200 ms is only
       // a safety net (e.g. a missed edge during shutdown races).
@@ -220,8 +235,36 @@ struct Server::Impl {
     }
   }
 
-  /// Reads everything available; false when the peer is gone or the
-  /// stream became unframeable.
+  /// True when c.in holds a complete, well-framed kGoodbye frame. A
+  /// header-only walk — nothing is submitted, so an abandoning FIN can
+  /// be recognized without first handing the dead peer's final requests
+  /// to the service.
+  static bool buffered_goodbye(const Conn& c) {
+    std::size_t pos = 0;
+    while (c.in.size() - pos >= kHeaderSize) {
+      FrameHeader h;
+      if (!decode_header(c.in.data() + pos, c.in.size() - pos, &h))
+        return false;  // unframeable: the caller drops the connection
+      if (c.in.size() - pos < kHeaderSize + h.payload_len) break;
+      // Only a well-formed goodbye counts: handle_frame rejects a
+      // payload-bearing one without setting the drain flag, which would
+      // otherwise submit the dead peer's requests only to cancel them.
+      if (h.type == static_cast<std::uint16_t>(FrameType::kGoodbye) &&
+          h.payload_len == 0)
+        return true;
+      pos += kHeaderSize + h.payload_len;
+    }
+    return false;
+  }
+
+  /// Reads everything available; false when the connection must be
+  /// dropped (read error, unframeable stream, or the peer is gone).
+  /// After a kGoodbye the peer's FIN is expected — requests pipelined
+  /// before the goodbye keep the connection alive until their replies
+  /// are flushed (see pump_completions). A FIN with no goodbye is an
+  /// abandoning disconnect: the final buffered frames are discarded
+  /// unsubmitted and dropping the connection cancels its queued work
+  /// (close_conn).
   bool read_from(Conn& c) {
     char buf[kReadChunk];
     for (;;) {
@@ -230,7 +273,13 @@ struct Server::Impl {
         c.in.append(buf, static_cast<std::size_t>(n));
         continue;
       }
-      if (n == 0) return false;  // orderly shutdown by the peer
+      if (n == 0) {  // orderly shutdown by the peer
+        if (!c.draining && !buffered_goodbye(c)) return false;  // abandoned
+        if (!parse_frames(c)) return false;
+        if (!c.draining) return false;  // the goodbye was malformed
+        c.peer_eof = true;
+        return !(c.pending.empty() && c.out.empty());
+      }
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       if (errno == EINTR) continue;
       return false;
@@ -240,7 +289,7 @@ struct Server::Impl {
 
   bool parse_frames(Conn& c) {
     std::size_t consumed = 0;
-    while (c.in.size() - consumed >= kHeaderSize) {
+    while (!c.draining && c.in.size() - consumed >= kHeaderSize) {
       FrameHeader h;
       if (!decode_header(c.in.data() + consumed, c.in.size() - consumed,
                          &h)) {
@@ -254,7 +303,10 @@ struct Server::Impl {
                    h.payload_len);
       consumed += kHeaderSize + h.payload_len;
     }
-    c.in.erase(0, consumed);
+    if (c.draining)
+      c.in.clear();  // nothing after a goodbye is meaningful
+    else
+      c.in.erase(0, consumed);
     return true;
   }
 
@@ -267,7 +319,21 @@ struct Server::Impl {
   }
 
   void send_reply(Conn& c, FrameType type, std::uint64_t id,
-                  const std::string& payload) {
+                  std::string payload) {
+    if (payload.size() > kMaxPayloadBytes) {
+      // The peer's decode_header rejects frames above kMaxPayloadBytes
+      // (and past 4 GB the u32 length field would truncate): framing an
+      // oversized body would kill the whole stream on the client side.
+      // Answer this one request with a clean error instead.
+      Writer w;
+      encode_status(
+          api::Status::ResourceExhausted(
+              "reply payload (" + std::to_string(payload.size()) +
+              " bytes) exceeds the wire limit"),
+          &w);
+      payload = w.take();
+      bump(&NetStats::oversized_replies);
+    }
     c.out.append(encode_frame(type, /*reply=*/true, id, 0, payload));
     bump(&NetStats::replies_sent);
   }
@@ -278,13 +344,23 @@ struct Server::Impl {
     const auto type = static_cast<FrameType>(h.type & ~kReplyBit);
     if (is_reply || h.type == 0 ||
         (h.type & ~kReplyBit) >
-            static_cast<std::uint16_t>(FrameType::kTrainBaseline)) {
+            static_cast<std::uint16_t>(FrameType::kGoodbye)) {
       reply_error(c, type, h.request_id,
                   api::Status::InvalidArgument(
                       "unknown frame type " + std::to_string(h.type)));
       return;
     }
     bump(&NetStats::frames_received);
+    if (type == FrameType::kGoodbye) {
+      if (len != 0) {
+        reply_error(c, type, h.request_id,
+                    api::Status::InvalidArgument(
+                        "goodbye frame carries a payload"));
+        return;
+      }
+      c.draining = true;  // no reply: the close after the drain is the ack
+      return;
+    }
 
     serve::RequestOptions opts;
     if (h.deadline_us > 0) {
@@ -389,6 +465,8 @@ struct Server::Impl {
             std::move(name), std::move(opts)});
         break;
       }
+      case FrameType::kGoodbye:
+        return;  // handled above the switch; never reaches here
     }
     c.pending.push_back(std::move(p));
   }
@@ -411,7 +489,13 @@ struct Server::Impl {
         send_reply(c, p.type, p.id, encode_ready_reply(p));
         wrote = true;
       }
-      if (wrote && !flush(c)) dead.push_back(fd);
+      if (wrote && !flush(c)) {
+        dead.push_back(fd);
+        continue;
+      }
+      // A peer that said goodbye is done once its last reply flushed.
+      if (c.draining && c.pending.empty() && c.out.empty())
+        dead.push_back(fd);
     }
     for (int fd : dead) close_conn(fd);
   }
@@ -456,6 +540,8 @@ struct Server::Impl {
             [](const api::TrainReport& rep, Writer* w) {
               encode_train_report(rep, w);
             });
+      case FrameType::kGoodbye:
+        break;  // a goodbye is never a Pending; fall to the error below
     }
     Writer w;
     encode_status(api::Status::Internal("unreachable reply type"), &w);

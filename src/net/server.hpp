@@ -65,6 +65,10 @@ struct NetStats {
   std::int64_t frames_rejected = 0;       // INVALID_ARGUMENT replies
   std::int64_t connections_dropped = 0;   // unframeable input
   std::int64_t replies_sent = 0;
+  // Reply bodies over kMaxPayloadBytes, answered RESOURCE_EXHAUSTED
+  // instead of framed (kept separate from frames_rejected: these come
+  // from healthy traffic, not malformed input).
+  std::int64_t oversized_replies = 0;
 };
 
 class Server {

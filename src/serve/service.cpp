@@ -267,9 +267,10 @@ ServiceStats Service::stats() const {
   return snapshot;
 }
 
-bool Service::pop_runnable(std::deque<QueuedTask>& queue,
-                           std::unique_lock<std::mutex>& lock,
-                           QueuedTask* out) {
+bool Service::pop_runnable(
+    std::deque<QueuedTask>& queue,
+    std::vector<std::pair<QueuedTask, api::Status>>* failed,
+    QueuedTask* out) {
   while (!queue.empty()) {
     QueuedTask task = std::move(queue.front());
     queue.pop_front();
@@ -284,9 +285,8 @@ bool Service::pop_runnable(std::deque<QueuedTask>& queue,
       ++stats_.cancelled_requests;
     else
       ++stats_.deadline_expired;
-    lock.unlock();
-    task.fail(cancelled ? cancelled_status() : expired_status());
-    lock.lock();
+    failed->emplace_back(std::move(task),
+                         cancelled ? cancelled_status() : expired_status());
   }
   return false;
 }
@@ -315,9 +315,18 @@ void Service::worker_loop(std::size_t worker_index) {
     if (!exclusive_claimed_ && !exclusive_queue_.empty()) {
       exclusive_claimed_ = true;
       QueuedTask task;
-      if (!pop_runnable(exclusive_queue_, lock, &task)) {
-        // Every queued exclusive was cancelled or expired.
-        exclusive_claimed_ = false;
+      std::vector<std::pair<QueuedTask, api::Status>> failed;
+      const bool got = pop_runnable(exclusive_queue_, &failed, &task);
+      if (!got) exclusive_claimed_ = false;  // every exclusive was dead
+      if (!failed.empty()) {
+        // Resolve cancellations/expiries outside the lock (they fire
+        // promise waiters and notify hooks). When a live task was popped
+        // the claim stays held across the unlock, so no pure work starts.
+        lock.unlock();
+        for (auto& [t, status] : failed) t.fail(status);
+        lock.lock();
+      }
+      if (!got) {
         cv_.notify_all();
         continue;
       }
@@ -338,18 +347,32 @@ void Service::worker_loop(std::size_t worker_index) {
       // traffic) still pack into one forward. Exactly ONE worker holds
       // the window (predict_window_waiter_) — the others keep serving
       // pure traffic meanwhile. Fires early when the batch fills, an
-      // exclusive request arrives, or the service stops.
+      // exclusive request arrives, the service stops, or pure work is
+      // queued with no free worker to take it.
       if (service_cfg_.predict_window_us > 0 && !stopping_ &&
           static_cast<std::int64_t>(predict_queue_.size()) <
               service_cfg_.max_predict_batch) {
         const auto fire_at =
             predict_queue_.front().enqueued_at +
             std::chrono::microseconds(service_cfg_.predict_window_us);
-        if (std::chrono::steady_clock::now() < fire_at) {
+        // When every other worker is busy (with one worker, always),
+        // nobody else can take queued pure work while the window ages.
+        // Sleeping on top of it would stall it for nothing — and running
+        // it first could stall the *predictions* past the window (a
+        // profile can take seconds). So fire the batch early with
+        // whatever is queued: the packed forward is quick, the window
+        // stays an upper bound on coalescing delay, and the pure work
+        // runs right after.
+        const auto no_free_worker = [this] {
+          return service_cfg_.num_workers - 1 - pure_active_ <= 0;
+        };
+        if (std::chrono::steady_clock::now() < fire_at &&
+            !(!pure_queue_.empty() && no_free_worker())) {
           predict_window_waiter_ = true;
-          cv_.wait_until(lock, fire_at, [this] {
+          cv_.wait_until(lock, fire_at, [this, &no_free_worker] {
             return stopping_ || exclusive_claimed_ ||
                    !exclusive_queue_.empty() || predict_queue_.empty() ||
+                   (!pure_queue_.empty() && no_free_worker()) ||
                    static_cast<std::int64_t>(predict_queue_.size()) >=
                        service_cfg_.max_predict_batch;
           });
@@ -358,75 +381,82 @@ void Service::worker_loop(std::size_t worker_index) {
           continue;  // re-dispatch from the top with fresh state
         }
       }
-
-      const std::size_t want = std::min<std::size_t>(
-          predict_queue_.size(),
-          static_cast<std::size_t>(service_cfg_.max_predict_batch));
-      const auto now = std::chrono::steady_clock::now();
-      std::vector<PredictTask> batch;
-      std::vector<std::pair<PredictTask, api::Status>> refused;
-      batch.reserve(want);
-      for (std::size_t i = 0; i < want; ++i) {
-        PredictTask t = std::move(predict_queue_.front());
-        predict_queue_.pop_front();
-        if (is_cancelled(t.opts.cancel)) {
-          ++stats_.cancelled_requests;
-          refused.emplace_back(std::move(t), cancelled_status());
-        } else if (now > t.opts.deadline) {
-          ++stats_.deadline_expired;
-          refused.emplace_back(std::move(t), expired_status());
-        } else {
-          batch.push_back(std::move(t));
-        }
-      }
-      if (!batch.empty()) {
-        ++stats_.predict_batches;
-        stats_.max_predict_batch =
-            std::max(stats_.max_predict_batch,
-                     static_cast<std::int64_t>(batch.size()));
-        ++pure_active_;
-      }
-      lock.unlock();
-      for (auto& [t, status] : refused) {
-        t.promise->set_value(status);
-        if (t.opts.notify) t.opts.notify();
-      }
-      if (!batch.empty()) {
-        std::vector<api::Arch> archs;
-        archs.reserve(batch.size());
-        for (const PredictTask& t : batch) archs.push_back(t.arch);
-        api::Result<std::vector<api::LatencyReport>> reports =
-            engine.predict_batch(archs);
-        if (reports.ok()) {
-          for (std::size_t i = 0; i < batch.size(); ++i) {
-            batch[i].promise->set_value(reports.value()[i]);
-            if (batch[i].opts.notify) batch[i].opts.notify();
-          }
-        } else {
-          // One bad request (an invalid genome fails the whole packed
-          // forward) must not poison its batchmates: fall back to lone
-          // queries so every request gets exactly the answer an
-          // uncoalesced submission would have produced.
-          for (PredictTask& t : batch) {
-            t.promise->set_value(engine.predict_latency(t.arch));
-            if (t.opts.notify) t.opts.notify();
+      {
+        const std::size_t want = std::min<std::size_t>(
+            predict_queue_.size(),
+            static_cast<std::size_t>(service_cfg_.max_predict_batch));
+        const auto now = std::chrono::steady_clock::now();
+        std::vector<PredictTask> batch;
+        std::vector<std::pair<PredictTask, api::Status>> refused;
+        batch.reserve(want);
+        for (std::size_t i = 0; i < want; ++i) {
+          PredictTask t = std::move(predict_queue_.front());
+          predict_queue_.pop_front();
+          if (is_cancelled(t.opts.cancel)) {
+            ++stats_.cancelled_requests;
+            refused.emplace_back(std::move(t), cancelled_status());
+          } else if (now > t.opts.deadline) {
+            ++stats_.deadline_expired;
+            refused.emplace_back(std::move(t), expired_status());
+          } else {
+            batch.push_back(std::move(t));
           }
         }
+        if (!batch.empty()) {
+          ++stats_.predict_batches;
+          stats_.max_predict_batch =
+              std::max(stats_.max_predict_batch,
+                       static_cast<std::int64_t>(batch.size()));
+          ++pure_active_;
+        }
+        lock.unlock();
+        for (auto& [t, status] : refused) {
+          t.promise->set_value(status);
+          if (t.opts.notify) t.opts.notify();
+        }
+        if (!batch.empty()) {
+          std::vector<api::Arch> archs;
+          archs.reserve(batch.size());
+          for (const PredictTask& t : batch) archs.push_back(t.arch);
+          api::Result<std::vector<api::LatencyReport>> reports =
+              engine.predict_batch(archs);
+          if (reports.ok()) {
+            for (std::size_t i = 0; i < batch.size(); ++i) {
+              batch[i].promise->set_value(reports.value()[i]);
+              if (batch[i].opts.notify) batch[i].opts.notify();
+            }
+          } else {
+            // One bad request (an invalid genome fails the whole packed
+            // forward) must not poison its batchmates: fall back to lone
+            // queries so every request gets exactly the answer an
+            // uncoalesced submission would have produced.
+            for (PredictTask& t : batch) {
+              t.promise->set_value(engine.predict_latency(t.arch));
+              if (t.opts.notify) t.opts.notify();
+            }
+          }
+        }
+        lock.lock();
+        if (!batch.empty()) --pure_active_;
+        cv_.notify_all();
+        continue;
       }
-      lock.lock();
-      if (!batch.empty()) --pure_active_;
-      cv_.notify_all();
-      continue;
     }
 
     if (!exclusive_claimed_ && !pure_queue_.empty()) {
       QueuedTask task;
-      if (!pop_runnable(pure_queue_, lock, &task)) continue;
-      ++pure_active_;
+      std::vector<std::pair<QueuedTask, api::Status>> failed;
+      // The pop and the pure_active_ bump share one continuous lock hold
+      // with the exclusive_claimed_ check above: an exclusive claimant
+      // waiting for pure_active_ == 0 can never interleave between them,
+      // which is what keeps exclusive runs bit-identical to serial.
+      const bool got = pop_runnable(pure_queue_, &failed, &task);
+      if (got) ++pure_active_;
       lock.unlock();
-      task.run(engine);
+      for (auto& [t, status] : failed) t.fail(status);
+      if (got) task.run(engine);
       lock.lock();
-      --pure_active_;
+      if (got) --pure_active_;
       cv_.notify_all();
       continue;
     }

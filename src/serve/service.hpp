@@ -49,6 +49,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "api/engine.hpp"
@@ -73,7 +74,10 @@ struct ServiceConfig {
   /// waits until the *oldest* queued query has aged this long, giving
   /// trickle traffic (one request per connection round-trip) a chance to
   /// coalesce. 0 = fire immediately with whatever is queued (the
-  /// historical behavior, bit-exactly).
+  /// historical behavior, bit-exactly). The window is an *upper bound*
+  /// on coalescing delay: when pure work is queued and no other worker
+  /// is free to take it (always true with num_workers == 1), the window
+  /// fires early instead of sleeping on top of runnable work.
   std::int64_t predict_window_us = 0;
 };
 
@@ -164,11 +168,16 @@ class Service {
       std::function<api::Result<T>(api::Engine&)> fn, RequestOptions opts,
       bool exclusive, bool count_predict = false);
 
-  /// Pops the task at the queue front; under `lock`, resolves (outside
-  /// the lock) every leading task that is cancelled or expired, bumping
-  /// the matching counters. Returns false when the queue is drained.
+  /// Pops the task at the queue front, moving every leading task that is
+  /// cancelled or expired into `failed` (with the Status to resolve it
+  /// with) and bumping the matching counters. Runs entirely under the
+  /// caller's lock — it never releases mutex_, so the dispatch decision
+  /// that follows (claiming exclusivity, bumping pure_active_) stays
+  /// atomic with the pop; the caller resolves `failed` outside the lock.
+  /// Returns false when the queue is drained.
   bool pop_runnable(std::deque<QueuedTask>& queue,
-                    std::unique_lock<std::mutex>& lock, QueuedTask* out);
+                    std::vector<std::pair<QueuedTask, api::Status>>* failed,
+                    QueuedTask* out);
 
   struct PredictTask {
     api::Arch arch;
@@ -193,7 +202,8 @@ class Service {
   bool exclusive_claimed_ = false;  // a worker owns the next exclusive task
   // A worker is waiting out predict_window_us on the coalescing queue;
   // the other workers treat that queue as unclaimable meanwhile and
-  // serve pure traffic instead.
+  // serve pure traffic instead (when none of them is free and pure work
+  // is queued, the window fires early — see worker_loop).
   bool predict_window_waiter_ = false;
   bool stopping_ = false;
   ServiceStats stats_;

@@ -620,6 +620,8 @@ class RawConn {
   void send_bytes(const std::string& bytes) const {
     (void)!::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL);
   }
+  /// FIN our write side; the read side stays open for replies.
+  void half_close() const { ::shutdown(fd_, SHUT_WR); }
   /// Blocks until the peer closes (true) or data arrives (false).
   bool closed_by_peer() const {
     char buf[256];
@@ -721,6 +723,132 @@ TEST(NetServerFuzz, HostileFramesNeverCrashTheServer) {
   ASSERT_TRUE(client.ok());
   api::Result<api::ProfileReport> sane = client.value().profile(archs[0]);
   EXPECT_TRUE(sane.ok()) << sane.status().to_string();
+}
+
+TEST(NetServer, GoodbyeThenHalfCloseStillAnswersPipelinedRequests) {
+  // A client may pipeline its requests, announce kGoodbye, and
+  // shutdown(SHUT_WR): requests that arrive together with the FIN must
+  // be served, and the connection closed only after the last reply is
+  // flushed. (Without the goodbye the FIN is an abandoning disconnect —
+  // NetServer.DisconnectCancelsThatConnectionsQueuedRequests covers
+  // that side.)
+  const api::EngineConfig cfg = tiny_cfg();
+  auto server = Server::create(cfg);
+  ASSERT_TRUE(server.ok()) << server.status().to_string();
+  const std::vector<api::Arch> archs = sample_archs(cfg, 2);
+
+  RawConn conn(server.value()->port());
+  ASSERT_TRUE(conn.ok());
+  std::string frames;
+  for (std::size_t i = 0; i < archs.size(); ++i) {
+    Writer w;
+    encode_predict_request(archs[i], &w);
+    frames += encode_frame(FrameType::kProfile, false, i + 1, 0, w.bytes());
+  }
+  frames += encode_frame(FrameType::kGoodbye, false, 99, 0, "");
+  conn.send_bytes(frames);
+  conn.half_close();
+
+  // Both replies arrive, then a clean EOF.
+  std::string buf;
+  char chunk[4096];
+  std::size_t replies = 0;
+  bool eof = false;
+  while (!eof && replies < archs.size()) {
+    const ssize_t n = ::recv(conn.fd(), chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      eof = true;
+      break;
+    }
+    ASSERT_GT(n, 0) << "recv failed while waiting for half-close replies";
+    buf.append(chunk, static_cast<std::size_t>(n));
+    for (;;) {
+      if (buf.size() < kHeaderSize) break;
+      FrameHeader h;
+      ASSERT_TRUE(decode_header(buf.data(), buf.size(), &h));
+      if (buf.size() < kHeaderSize + h.payload_len) break;
+      EXPECT_EQ(h.type, static_cast<std::uint16_t>(FrameType::kProfile) |
+                            kReplyBit);
+      Reader r(buf.data() + kHeaderSize, h.payload_len);
+      api::Result<api::ProfileReport> rep = api::Status::Internal("seed");
+      ASSERT_TRUE(decode_reply<api::ProfileReport>(
+          &r,
+          [](Reader* rr, api::ProfileReport* p) {
+            return decode_profile_report(rr, p);
+          },
+          &rep));
+      EXPECT_TRUE(rep.ok()) << rep.status().to_string();
+      buf.erase(0, kHeaderSize + h.payload_len);
+      ++replies;
+    }
+  }
+  EXPECT_EQ(replies, archs.size())
+      << "requests pipelined with the FIN were discarded";
+  EXPECT_TRUE(conn.closed_by_peer());
+}
+
+TEST(NetClient, GoodbyeDrainsPipelinedRequests) {
+  // The shipped client's graceful-drain path: pipeline requests,
+  // goodbye(), then collect every reply; afterwards the write side is
+  // gone and new sends fail UNAVAILABLE.
+  const api::EngineConfig cfg = tiny_cfg();
+  auto server = Server::create(cfg);
+  ASSERT_TRUE(server.ok()) << server.status().to_string();
+  auto client = Client::connect("127.0.0.1", server.value()->port());
+  ASSERT_TRUE(client.ok());
+  Client& remote = client.value();
+  const std::vector<api::Arch> archs = sample_archs(cfg, 2);
+
+  auto id1 = remote.send_profile(archs[0]);
+  auto id2 = remote.send_profile(archs[1]);
+  ASSERT_TRUE(id1.ok() && id2.ok());
+  ASSERT_TRUE(remote.goodbye().ok());
+  ASSERT_TRUE(remote.goodbye().ok());  // idempotent
+
+  // A stray send after the goodbye fails cleanly WITHOUT tearing down
+  // the read side — the pending replies below must still arrive.
+  EXPECT_FALSE(remote.send_profile(archs[0]).ok());
+
+  api::Result<api::ProfileReport> r1 = remote.wait_profile(id1.value());
+  api::Result<api::ProfileReport> r2 = remote.wait_profile(id2.value());
+  EXPECT_TRUE(r1.ok()) << r1.status().to_string();
+  EXPECT_TRUE(r2.ok()) << r2.status().to_string();
+  EXPECT_EQ(server.value()->service()->stats().cancelled_requests, 0);
+}
+
+TEST(ServeWindow, LoneWorkerDoesNotStallPureWorkOnTheWindow) {
+  // num_workers == 1: the sole worker must not sleep out the predict
+  // window on top of queued pure work — the window fires early and the
+  // profile is served right after.
+  api::EngineConfig cfg = tiny_cfg();
+  cfg.evaluator = "predictor";
+  cfg.predictor_samples = 40;
+  cfg.predictor_epochs = 4;
+  serve::ServiceConfig scfg;
+  scfg.num_workers = 1;
+  scfg.predict_window_us = 2'000'000;  // 2 s: far above a profile's cost
+  auto service = serve::Service::create(cfg, scfg);
+  ASSERT_TRUE(service.ok()) << service.status().to_string();
+  auto engine = api::Engine::create(cfg, service.value()->context());
+  ASSERT_TRUE(engine.ok());
+  const api::Arch arch = engine.value().sample_arch();
+
+  // Open the window with a lone prediction, then queue pure work.
+  auto predicted =
+      service.value()->submit(serve::PredictLatencyRequest{arch, {}});
+  const auto start = std::chrono::steady_clock::now();
+  auto profiled = service.value()->submit(serve::ProfileRequest{arch, {}});
+  ASSERT_TRUE(profiled.get().ok());
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, 1500ms) << "the lone worker slept out the window on "
+                                "top of queued pure work";
+
+  api::Result<api::LatencyReport> served = predicted.get();
+  ASSERT_TRUE(served.ok()) << served.status().to_string();
+  api::Result<api::LatencyReport> direct =
+      engine.value().predict_latency(arch);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_DOUBLE_EQ(served.value().latency_ms, direct.value().latency_ms);
 }
 
 TEST(NetServer, StopIsIdempotentAndRefusesLateClients) {
