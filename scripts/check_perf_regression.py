@@ -22,10 +22,32 @@ import sys
 NOISE_FLOOR_MS = 5.0
 
 
+def die(msg):
+    """One-line usage/input error, exit 2 (distinct from exit 1 = a real
+    perf regression, so CI annotations stay unambiguous)."""
+    print(msg, file=sys.stderr)
+    sys.exit(2)
+
+
 def load_records(path):
-    with open(path) as f:
-        data = json.load(f)
-    return {r["name"]: r for r in data.get("records", [])}
+    """Parse a BENCH_*.json into {name: record}; exits 2 with a one-line
+    error on a missing or malformed file (a CI misconfiguration, not a
+    perf regression — the traceback would bury the actual problem)."""
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except OSError as e:
+        die(f"error: cannot read bench records {path!r}: {e.strerror}")
+    except json.JSONDecodeError as e:
+        die(f"error: {path!r} is not valid JSON (line {e.lineno}: {e.msg})")
+    records = data.get("records") if isinstance(data, dict) else None
+    if not isinstance(records, list):
+        die(f"error: {path!r} has no 'records' array — not a "
+            "BENCH_*.json file?")
+    try:
+        return {r["name"]: r for r in records}
+    except (KeyError, TypeError):
+        die(f"error: {path!r} has a record without a 'name' field")
 
 
 def main():
@@ -46,7 +68,12 @@ def main():
         if base is None:
             print(f"  new record (no baseline): {name}")
             continue
-        cur_ms, base_ms = rec["wall_ms"], base["wall_ms"]
+        try:
+            cur_ms = float(rec["wall_ms"])
+            base_ms = float(base["wall_ms"])
+        except (KeyError, TypeError, ValueError):
+            die(f"error: record {name!r} has a missing or non-numeric "
+                "'wall_ms' field")
         if rec.get("threads") != base.get("threads"):
             print(f"  skipped (thread count differs): {name}")
             continue

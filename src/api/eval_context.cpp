@@ -162,7 +162,9 @@ Result<std::vector<std::shared_ptr<EvalContext>>> EvalContext::create_many(
             predictor::collect_labeled_archs_multi(
                 specs, space, contexts[spec_owner[0]]->deploy_workload_);
         for (std::size_t s = 0; s < spec_owner.size(); ++s) {
-          contexts[spec_owner[s]]->prefetched_labels_ = std::make_shared<
+          EvalContext& ctx = *contexts[spec_owner[s]];
+          core::MutexLock lock(ctx.evaluators_mutex_);
+          ctx.prefetched_labels_ = std::make_shared<
               const std::vector<predictor::LabeledArch>>(
               std::move(labels[s]));
         }
@@ -189,7 +191,7 @@ Result<EvaluatorBundle> EvalContext::evaluator(const std::string& name) {
   const std::string key = normalize_key(name);
   std::shared_ptr<const std::vector<predictor::LabeledArch>> labels;
   {
-    std::lock_guard<std::mutex> lock(evaluators_mutex_);
+    core::MutexLock lock(evaluators_mutex_);
     if (const auto it = evaluators_.find(key); it != evaluators_.end())
       return it->second;
     if (key == "predictor") labels = prefetched_labels_;
@@ -211,7 +213,7 @@ Result<EvaluatorBundle> EvalContext::evaluator(const std::string& name) {
       Registry::global().make_evaluator(key, req);
   if (!bundle.ok()) return bundle.status();
 
-  std::lock_guard<std::mutex> lock(evaluators_mutex_);
+  core::MutexLock lock(evaluators_mutex_);
   if (const auto it = evaluators_.find(key); it != evaluators_.end())
     return it->second;  // lost the race: serve the winner's bundle
   if (labels != nullptr) prefetched_labels_.reset();

@@ -44,7 +44,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -52,6 +51,7 @@
 #include "api/config.hpp"
 #include "api/registry.hpp"
 #include "api/status.hpp"
+#include "core/annotations.hpp"
 
 namespace hg::api {
 
@@ -110,7 +110,7 @@ class EvalContext {
   /// How many evaluator bundles have actually been built (observability:
   /// "one predictor fit per device" is this staying at 1).
   std::int64_t evaluator_builds() const {
-    std::lock_guard<std::mutex> lock(evaluators_mutex_);
+    core::MutexLock lock(evaluators_mutex_);
     return evaluator_builds_;
   }
 
@@ -134,13 +134,18 @@ class EvalContext {
   double reference_mb_ = 0.0;
   // Guards the evaluator memo (and its build counter); everything else is
   // immutable after creation or internally synchronized.
-  mutable std::mutex evaluators_mutex_;
-  std::map<std::string, EvaluatorBundle> evaluators_;  // by normalized name
-  std::int64_t evaluator_builds_ = 0;
+  mutable core::Mutex evaluators_mutex_;
+  // By normalized name.
+  std::map<std::string, EvaluatorBundle> evaluators_
+      HG_GUARDED_BY(evaluators_mutex_);
+  std::int64_t evaluator_builds_ HG_GUARDED_BY(evaluators_mutex_) = 0;
   // Labels pre-collected by create_many for this context's "predictor"
-  // evaluator; consumed (and released) by the first build.
+  // evaluator; consumed (and released) by the first build. create_many
+  // writes it under the lock too, even though no other thread can see the
+  // context yet — the analysis (rightly) has no notion of "not yet
+  // published".
   std::shared_ptr<const std::vector<predictor::LabeledArch>>
-      prefetched_labels_;
+      prefetched_labels_ HG_GUARDED_BY(evaluators_mutex_);
 };
 
 }  // namespace hg::api

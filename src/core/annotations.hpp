@@ -1,0 +1,199 @@
+// annotations.hpp — Clang Thread Safety Analysis wiring: attribute macros
+// plus capability-annotated mutex and lock-guard wrappers.
+//
+// Under clang (`-Wthread-safety`, promoted to an error by HG_WERROR in CI)
+// the compiler proves at build time that every access to a member marked
+// HG_GUARDED_BY(mu) happens with `mu` held, that a function marked
+// HG_REQUIRES(mu) is only called under `mu`, and that lock/unlock pairs
+// balance on every path. Under gcc the macros expand to nothing and the
+// wrappers behave exactly like the std types they wrap — zero overhead,
+// zero behavior change.
+//
+// ---- Annotating new code ---------------------------------------------------
+//
+// 1. Declare lock-protected state with the wrapper types below, never raw
+//    std::mutex / std::shared_mutex: only the wrappers carry the capability
+//    attribute the analysis keys on.
+//
+//      core::Mutex mutex_;
+//      std::deque<Task> queue_ HG_GUARDED_BY(mutex_);
+//
+// 2. Take locks through the scoped guards (MutexLock, UniqueMutexLock,
+//    ReaderLock, WriterLock). The analysis understands their constructor/
+//    destructor pairs; a bare mutex_.lock() without a matching unlock on
+//    some path is a compile error.
+//
+// 3. A private helper that expects the caller to hold the lock gets
+//    HG_REQUIRES(mutex_) on its *declaration* — then forgetting the lock at
+//    any call site is a compile error, which is the whole point.
+//
+// 4. Condition variables: pair std::condition_variable_any with
+//    UniqueMutexLock and write waits as explicit loops,
+//
+//      while (!predicate_over_guarded_state) cv_.wait(lock);
+//
+//    not cv_.wait(lock, [&] {...}): a predicate lambda is analyzed as its
+//    own unannotated function and would warn on every guarded read inside.
+//
+// 5. HG_NO_THREAD_SAFETY_ANALYSIS is a last resort for code whose locking
+//    is correct but inexpressible (e.g. lock handoff between functions).
+//    Every use must carry a comment saying why the analysis cannot see it.
+//
+// The annotated modules (serve::Service, net::Server's Impl,
+// api::EvalContext, hgnas::EvalCache, core's pool) are the reference for
+// idiom; clang's own documentation
+// (clang.llvm.org/docs/ThreadSafetyAnalysis.html) for the semantics.
+#pragma once
+
+#include <mutex>
+#include <shared_mutex>
+
+// Attribute spellings: GNU attributes, understood by clang whenever thread
+// safety analysis is available; expanded away everywhere else (gcc accepts
+// but ignores a few of them — silence is not checking, so gate on clang).
+#if defined(__clang__)
+#define HG_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define HG_THREAD_ANNOTATION(x)
+#endif
+
+/// On a type: instances are capabilities (lockable things).
+#define HG_CAPABILITY(x) HG_THREAD_ANNOTATION(capability(x))
+/// On a type: RAII object that acquires in its ctor, releases in its dtor.
+#define HG_SCOPED_CAPABILITY HG_THREAD_ANNOTATION(scoped_lockable)
+
+/// On a member: may only be read/written while holding `x`.
+#define HG_GUARDED_BY(x) HG_THREAD_ANNOTATION(guarded_by(x))
+/// On a pointer member: the *pointee* is protected by `x`.
+#define HG_PT_GUARDED_BY(x) HG_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// On a function: caller must hold the capability (exclusively / shared).
+#define HG_REQUIRES(...) \
+  HG_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define HG_REQUIRES_SHARED(...) \
+  HG_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// On a function: acquires / releases the capability.
+#define HG_ACQUIRE(...) HG_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define HG_ACQUIRE_SHARED(...) \
+  HG_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define HG_RELEASE(...) HG_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define HG_RELEASE_SHARED(...) \
+  HG_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define HG_TRY_ACQUIRE(...) \
+  HG_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// On a function: must be called WITHOUT the capability (deadlock guard for
+/// functions that take it themselves).
+#define HG_EXCLUDES(...) HG_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// On a function returning a reference to a capability.
+#define HG_RETURN_CAPABILITY(x) HG_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch — see rule 5 above.
+#define HG_NO_THREAD_SAFETY_ANALYSIS \
+  HG_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace hg::core {
+
+/// std::mutex carrying the capability attribute. Prefer the scoped guards;
+/// lock()/unlock() exist for the guards and for condition-variable plumbing.
+class HG_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() HG_ACQUIRE() { mu_.lock(); }
+  void unlock() HG_RELEASE() { mu_.unlock(); }
+  bool try_lock() HG_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::shared_mutex carrying the capability attribute (reader/writer).
+class HG_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() HG_ACQUIRE() { mu_.lock(); }
+  void unlock() HG_RELEASE() { mu_.unlock(); }
+  void lock_shared() HG_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() HG_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// std::lock_guard<Mutex> with the scoped-capability attribute: holds the
+/// mutex for exactly the enclosing scope.
+class HG_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) HG_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() HG_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// std::unique_lock<Mutex> equivalent: a scoped hold that can be dropped
+/// and re-taken mid-scope (worker loops that run a task outside the lock)
+/// and that condition_variable_any can wait on. The analysis tracks the
+/// explicit lock()/unlock() calls, so guarded state touched while dropped
+/// is still a compile error. Must be locked again when the scope exits
+/// (the destructor releases unconditionally) — the analysis enforces that
+/// too, on every path.
+class HG_SCOPED_CAPABILITY UniqueMutexLock {
+ public:
+  explicit UniqueMutexLock(Mutex& mu) HG_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~UniqueMutexLock() HG_RELEASE() { mu_.unlock(); }
+
+  void lock() HG_ACQUIRE() { mu_.lock(); }
+  void unlock() HG_RELEASE() { mu_.unlock(); }
+
+  UniqueMutexLock(const UniqueMutexLock&) = delete;
+  UniqueMutexLock& operator=(const UniqueMutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Scoped shared (reader) hold on a SharedMutex.
+class HG_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) HG_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~ReaderLock() HG_RELEASE() { mu_.unlock_shared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Scoped exclusive (writer) hold on a SharedMutex.
+class HG_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) HG_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~WriterLock() HG_RELEASE() { mu_.unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+}  // namespace hg::core

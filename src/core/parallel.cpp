@@ -4,10 +4,11 @@
 #include <atomic>
 #include <condition_variable>
 #include <exception>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <vector>
+
+#include "core/annotations.hpp"
 
 namespace hg::core {
 
@@ -26,8 +27,8 @@ struct Job {
   const std::function<void(std::int64_t, std::int64_t)>* fn = nullptr;
   std::atomic<std::int64_t> next{0};
   std::atomic<std::int64_t> remaining{0};
-  std::mutex err_mutex;
-  std::exception_ptr error;
+  Mutex err_mutex;
+  std::exception_ptr error HG_GUARDED_BY(err_mutex);
 
   void run_chunks() {
     t_in_parallel_region = true;
@@ -39,7 +40,7 @@ struct Job {
       try {
         (*fn)(lo, hi);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(err_mutex);
+        MutexLock lock(err_mutex);
         if (!error) error = std::current_exception();
       }
     }
@@ -57,7 +58,7 @@ class Pool {
   std::int64_t width() const { return width_.load(std::memory_order_relaxed); }
 
   void resize(std::int64_t n) {
-    std::lock_guard<std::mutex> lock(resize_mutex_);
+    MutexLock lock(resize_mutex_);
     if (n == width()) return;
     stop_workers();
     width_.store(n, std::memory_order_relaxed);
@@ -68,7 +69,7 @@ class Pool {
   /// every chunk has run.
   void run(Job& job) {
     {
-      std::lock_guard<std::mutex> lock(queue_mutex_);
+      MutexLock lock(queue_mutex_);
       pending_.push_back(&job);
     }
     wake_.notify_all();
@@ -76,23 +77,26 @@ class Pool {
     // The caller ran out of chunks. Unpublish the job so no further worker
     // can join it (the Job lives on the caller's stack), then wait for the
     // workers already inside it.
-    std::unique_lock<std::mutex> lock(queue_mutex_);
+    UniqueMutexLock lock(queue_mutex_);
     const auto it = std::find(pending_.begin(), pending_.end(), &job);
     if (it != pending_.end()) pending_.erase(it);  // a worker may have already
-    done_.wait(lock, [&job] {
-      return job.remaining.load(std::memory_order_acquire) == 0;
-    });
+    while (job.remaining.load(std::memory_order_acquire) != 0)
+      done_.wait(lock);
   }
 
  private:
   Pool() {
     width_.store(hardware_threads(), std::memory_order_relaxed);
+    MutexLock lock(resize_mutex_);
     start_workers();
   }
 
-  ~Pool() { stop_workers(); }
+  ~Pool() {
+    MutexLock lock(resize_mutex_);
+    stop_workers();
+  }
 
-  void start_workers() {
+  void start_workers() HG_REQUIRES(resize_mutex_) {
     const std::int64_t n = width() - 1;
     shutdown_ = false;
     for (std::int64_t i = 0; i < n; ++i) {
@@ -108,9 +112,9 @@ class Pool {
     }
   }
 
-  void stop_workers() {
+  void stop_workers() HG_REQUIRES(resize_mutex_) {
     {
-      std::lock_guard<std::mutex> lock(queue_mutex_);
+      MutexLock lock(queue_mutex_);
       shutdown_ = true;
     }
     wake_.notify_all();
@@ -122,8 +126,8 @@ class Pool {
     for (;;) {
       Job* job = nullptr;
       {
-        std::unique_lock<std::mutex> lock(queue_mutex_);
-        wake_.wait(lock, [this] { return shutdown_ || !pending_.empty(); });
+        UniqueMutexLock lock(queue_mutex_);
+        while (!shutdown_ && pending_.empty()) wake_.wait(lock);
         if (shutdown_) return;
         job = pending_.front();
         // Keep the job visible until its chunks are exhausted so every idle
@@ -139,21 +143,21 @@ class Pool {
       {
         // Lock pairs the decrement with the caller's predicate check so the
         // final wakeup cannot be lost.
-        std::lock_guard<std::mutex> lock(queue_mutex_);
+        MutexLock lock(queue_mutex_);
       }
       done_.notify_all();
     }
   }
 
   std::atomic<std::int64_t> width_{1};
-  std::mutex resize_mutex_;
+  Mutex resize_mutex_;
 
-  std::mutex queue_mutex_;
-  std::condition_variable wake_;
-  std::condition_variable done_;
-  std::vector<Job*> pending_;
-  std::vector<std::thread> workers_;
-  bool shutdown_ = false;
+  Mutex queue_mutex_;
+  std::condition_variable_any wake_;  // waits on UniqueMutexLock
+  std::condition_variable_any done_;
+  std::vector<Job*> pending_ HG_GUARDED_BY(queue_mutex_);
+  std::vector<std::thread> workers_ HG_GUARDED_BY(resize_mutex_);
+  bool shutdown_ HG_GUARDED_BY(queue_mutex_) = false;
 };
 
 }  // namespace
@@ -197,7 +201,14 @@ void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
   job.num_chunks = (range + job.chunk - 1) / job.chunk;
   job.fn = &fn;
   Pool::instance().run(job);
-  if (job.error) std::rethrow_exception(job.error);
+  std::exception_ptr error;
+  {
+    // run() has joined every worker that entered the job, but the analysis
+    // only knows `error` by its guard.
+    MutexLock lock(job.err_mutex);
+    error = job.error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void parallel_invoke(std::int64_t n,

@@ -47,10 +47,10 @@ EvalCache::Shard& EvalCache::shard_for(const std::string& key) const {
 }
 
 void EvalCache::open_scope(const std::string& scope) {
-  std::unique_lock<std::shared_mutex> lock(scope_mutex_);
+  core::WriterLock lock(scope_mutex_);
   if (scope_ == scope) return;
   for (Shard& s : shards_) {
-    std::lock_guard<std::mutex> shard_lock(s.mutex);
+    core::MutexLock shard_lock(s.mutex);
     s.map.clear();
   }
   scope_ = scope;
@@ -58,10 +58,10 @@ void EvalCache::open_scope(const std::string& scope) {
 
 bool EvalCache::lookup(const std::string& scope, const std::string& key,
                        ScoredCandidate* out) const {
-  std::shared_lock<std::shared_mutex> lock(scope_mutex_);
+  core::ReaderLock lock(scope_mutex_);
   if (scope_ != scope) return false;
   Shard& s = shard_for(key);
-  std::lock_guard<std::mutex> shard_lock(s.mutex);
+  core::MutexLock shard_lock(s.mutex);
   const auto it = s.map.find(key);
   if (it == s.map.end()) return false;
   *out = it->second;
@@ -70,34 +70,34 @@ bool EvalCache::lookup(const std::string& scope, const std::string& key,
 
 void EvalCache::insert(const std::string& scope, const std::string& key,
                        const ScoredCandidate& score) {
-  std::shared_lock<std::shared_mutex> lock(scope_mutex_);
+  core::ReaderLock lock(scope_mutex_);
   if (scope_ != scope) return;  // stale writer: the entry is invalid here
   Shard& s = shard_for(key);
-  std::lock_guard<std::mutex> shard_lock(s.mutex);
+  core::MutexLock shard_lock(s.mutex);
   s.map.emplace(key, score);
 }
 
 void EvalCache::clear() {
-  std::unique_lock<std::shared_mutex> lock(scope_mutex_);
+  core::WriterLock lock(scope_mutex_);
   for (Shard& s : shards_) {
-    std::lock_guard<std::mutex> shard_lock(s.mutex);
+    core::MutexLock shard_lock(s.mutex);
     s.map.clear();
   }
   scope_.clear();
 }
 
 std::int64_t EvalCache::size() const {
-  std::shared_lock<std::shared_mutex> lock(scope_mutex_);
+  core::ReaderLock lock(scope_mutex_);
   std::int64_t n = 0;
   for (Shard& s : shards_) {
-    std::lock_guard<std::mutex> shard_lock(s.mutex);
+    core::MutexLock shard_lock(s.mutex);
     n += static_cast<std::int64_t>(s.map.size());
   }
   return n;
 }
 
 std::string EvalCache::scope() const {
-  std::shared_lock<std::shared_mutex> lock(scope_mutex_);
+  core::ReaderLock lock(scope_mutex_);
   return scope_;
 }
 
@@ -144,7 +144,7 @@ bool read_block(std::istream& is, const char* tag, std::string* body) {
 }  // namespace
 
 bool EvalCache::save(const std::string& path) const {
-  std::shared_lock<std::shared_mutex> lock(scope_mutex_);
+  core::ReaderLock lock(scope_mutex_);
   // Atomic commit, mirroring load()'s all-or-nothing parse: write a
   // sibling temp file and rename it over `path`, so a crash mid-save
   // leaves the previous cache intact instead of a truncated file another
@@ -155,7 +155,7 @@ bool EvalCache::save(const std::string& path) const {
   if (!os) return false;
   std::vector<std::pair<std::string, ScoredCandidate>> entries;
   for (Shard& s : shards_) {
-    std::lock_guard<std::mutex> shard_lock(s.mutex);
+    core::MutexLock shard_lock(s.mutex);
     for (const auto& [key, score] : s.map) entries.emplace_back(key, score);
   }
   // Deterministic file contents regardless of hash order (reviewable
@@ -190,9 +190,9 @@ bool EvalCache::save(const std::string& path) const {
 }
 
 bool EvalCache::load(const std::string& path) {
-  std::unique_lock<std::shared_mutex> lock(scope_mutex_);
+  core::WriterLock lock(scope_mutex_);
   for (Shard& s : shards_) {
-    std::lock_guard<std::mutex> shard_lock(s.mutex);
+    core::MutexLock shard_lock(s.mutex);
     s.map.clear();
   }
   scope_.clear();
@@ -240,7 +240,7 @@ bool EvalCache::load(const std::string& path) {
 
   for (auto& [key, score] : entries) {
     Shard& s = shard_for(key);
-    std::lock_guard<std::mutex> shard_lock(s.mutex);
+    core::MutexLock shard_lock(s.mutex);
     s.map.emplace(std::move(key), std::move(score));
   }
   scope_ = std::move(scope);

@@ -23,13 +23,12 @@
 
 #include <array>
 #include <functional>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "hgnas/arch.hpp"
 #include "hgnas/pareto.hpp"
 #include "hgnas/supernet.hpp"
@@ -128,13 +127,16 @@ class EvalCache {
  private:
   static constexpr std::size_t kNumShards = 16;
   struct Shard {
-    mutable std::mutex mutex;
-    std::unordered_map<std::string, ScoredCandidate> map;
+    mutable core::Mutex mutex;
+    std::unordered_map<std::string, ScoredCandidate> map
+        HG_GUARDED_BY(mutex);
   };
   Shard& shard_for(const std::string& key) const;
 
-  mutable std::shared_mutex scope_mutex_;
-  std::string scope_;
+  // Shared (reader) on the hot lookup/insert path, exclusive (writer) in
+  // open_scope/clear/load. Shard mutexes nest inside it.
+  mutable core::SharedMutex scope_mutex_;
+  std::string scope_ HG_GUARDED_BY(scope_mutex_);
   mutable std::array<Shard, kNumShards> shards_;
 };
 

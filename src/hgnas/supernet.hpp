@@ -96,6 +96,9 @@ class SuperNet final : public nn::Module {
  private:
   SpaceConfig space_;
   SupernetConfig cfg_;
+  // Deliberately atomic rather than HG_GUARDED_BY a mutex (see
+  // core/annotations.hpp): cross-thread readers only need a published
+  // value, and the weights it versions are externally serialized.
   std::atomic<std::int64_t> weight_version_{0};
 
   std::unique_ptr<nn::Linear> input_proj_;

@@ -16,8 +16,7 @@ namespace hg::net {
 namespace {
 
 api::Status transport_error(const std::string& what) {
-  return api::Status::Unavailable(what + ": " +
-                                  std::string(std::strerror(errno)));
+  return api::Status::Unavailable(what + ": " + errno_string(errno));
 }
 
 api::Status disconnected_status() {

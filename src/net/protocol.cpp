@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cstring>
+#include <string>
 #include <utility>
 
 namespace hg::net {
@@ -576,6 +577,20 @@ bool decode_predict_batch_reply(
     }
   }
   return r->exhausted();
+}
+
+std::string errno_string(int err) {
+  char buf[128] = {};
+#if defined(__GLIBC__) && defined(_GNU_SOURCE)
+  // GNU variant: returns the message, which may live in `buf` or in a
+  // glibc-internal immutable table.
+  return std::string(strerror_r(err, buf, sizeof(buf)));
+#else
+  // XSI variant: fills `buf`, returns 0 on success.
+  if (strerror_r(err, buf, sizeof(buf)) != 0)
+    return "errno " + std::to_string(err);
+  return std::string(buf);
+#endif
 }
 
 }  // namespace hg::net

@@ -238,4 +238,9 @@ bool decode_predict_batch_reply(
 std::string encode_frame(FrameType type, bool reply, std::uint64_t request_id,
                          std::uint64_t deadline_us, const std::string& payload);
 
+/// Message text for `err` (an errno value). strerror(3) reads a static
+/// buffer and is not required to be thread-safe (clang-tidy
+/// concurrency-mt-unsafe); this wraps strerror_r, which is.
+std::string errno_string(int err);
+
 }  // namespace hg::net

@@ -15,12 +15,12 @@
 #include <deque>
 #include <future>
 #include <map>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <variant>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "net/protocol.hpp"
 
 namespace hg::net {
@@ -101,16 +101,22 @@ struct Server::Impl {
   int wake_write = -1;
   std::thread loop;
   std::atomic<bool> stopping{false};
-  std::mutex stop_mutex;  // serializes concurrent Server::stop() callers
+  core::Mutex stop_mutex;  // serializes concurrent Server::stop() callers
 
-  mutable std::mutex stats_mutex;
-  NetStats stats;
+  // The counters are the only Impl state shared between the poll thread
+  // and callers (Server::net_stats from any thread).
+  mutable core::Mutex stats_mutex;
+  NetStats stats HG_GUARDED_BY(stats_mutex);
 
-  std::map<int, Conn> conns;  // poll-thread-only after start
+  // The connection table (fds, buffered frames, reply buffers, pending
+  // futures) is owned by the poll thread alone after start: run() is the
+  // only code that touches it until shutdown_io() has joined the thread.
+  // No mutex — single-threaded by construction, checked by TSan in CI.
+  std::map<int, Conn> conns;
 
   // ---- stats helpers -------------------------------------------------------
   void bump(std::int64_t NetStats::* counter) {
-    std::lock_guard<std::mutex> lock(stats_mutex);
+    core::MutexLock lock(stats_mutex);
     ++(stats.*counter);
   }
 
@@ -120,7 +126,7 @@ struct Server::Impl {
     listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (listen_fd < 0)
       return api::Status::Unavailable("socket() failed: " +
-                                      std::string(std::strerror(errno)));
+                                      errno_string(errno));
     const int one = 1;
     ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
     sockaddr_in addr{};
@@ -133,16 +139,16 @@ struct Server::Impl {
                sizeof(addr)) != 0)
       return api::Status::Unavailable("bind(" + host + ":" +
                                       std::to_string(port) + ") failed: " +
-                                      std::strerror(errno));
+                                      errno_string(errno));
     if (::listen(listen_fd, 64) != 0)
       return api::Status::Unavailable(std::string("listen() failed: ") +
-                                      std::strerror(errno));
+                                      errno_string(errno));
     sockaddr_in actual{};
     socklen_t len = sizeof(actual);
     if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&actual),
                       &len) != 0)
       return api::Status::Unavailable(std::string("getsockname() failed: ") +
-                                      std::strerror(errno));
+                                      errno_string(errno));
     *bound = ntohs(actual.sin_port);
     if (!set_nonblocking(listen_fd))
       return api::Status::Unavailable("cannot make listen socket "
@@ -150,7 +156,7 @@ struct Server::Impl {
     int pipe_fds[2] = {-1, -1};
     if (::pipe(pipe_fds) != 0)
       return api::Status::Unavailable(std::string("pipe() failed: ") +
-                                      std::strerror(errno));
+                                      errno_string(errno));
     wake_read = pipe_fds[0];
     wake_write = pipe_fds[1];
     set_nonblocking(wake_read);
@@ -641,14 +647,14 @@ void Server::stop() {
   // queued work of closed connections flagged cancelled), then drain the
   // service — its completion notifies still hit the (open, non-blocking)
   // wake pipe harmlessly. The fds close with impl_.
-  std::lock_guard<std::mutex> lock(impl_->stop_mutex);
+  core::MutexLock lock(impl_->stop_mutex);
   impl_->shutdown_io();
   if (service_) service_->shutdown();
 }
 
 NetStats Server::net_stats() const {
   if (impl_ == nullptr) return {};
-  std::lock_guard<std::mutex> lock(impl_->stats_mutex);
+  core::MutexLock lock(impl_->stats_mutex);
   return impl_->stats;
 }
 

@@ -87,9 +87,9 @@ void Service::start_workers(std::int64_t n) {
 void Service::shutdown() {
   // Serializes concurrent shutdown() callers (a second caller would
   // otherwise join the same threads); queue state stays under mutex_.
-  std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
+  core::MutexLock shutdown_lock(shutdown_mutex_);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    core::MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -100,7 +100,7 @@ void Service::shutdown() {
 Service::Admission Service::enqueue(QueuedTask task, bool exclusive,
                                     bool count_predict) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    core::MutexLock lock(mutex_);
     if (stopping_) return Admission::kShutDown;
     ++stats_.requests;
     if (count_predict) ++stats_.predict_requests;
@@ -197,9 +197,13 @@ std::future<api::Result<api::LatencyReport>> Service::submit(
   task.promise =
       std::make_shared<std::promise<api::Result<api::LatencyReport>>>();
   auto future = task.promise->get_future();
+  // Handles for the not-admitted paths, taken before the move into the
+  // queue so the refusal below never reaches into a moved-from task.
+  const auto promise = task.promise;
+  const auto notify = task.opts.notify;
   api::Status refused;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    core::MutexLock lock(mutex_);
     if (stopping_) {
       refused = shut_down_status();
     } else {
@@ -219,8 +223,8 @@ std::future<api::Result<api::LatencyReport>> Service::submit(
     }
   }
   if (!refused.ok()) {
-    task.promise->set_value(refused);
-    if (task.opts.notify) task.opts.notify();
+    promise->set_value(refused);
+    if (notify) notify();
     return future;
   }
   cv_.notify_all();
@@ -258,7 +262,7 @@ std::future<api::Result<api::TrainReport>> Service::submit(
 }
 
 ServiceStats Service::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  core::MutexLock lock(mutex_);
   ServiceStats snapshot = stats_;
   snapshot.queue_depth =
       static_cast<std::int64_t>(pure_queue_.size() +
@@ -293,9 +297,12 @@ bool Service::pop_runnable(
 
 void Service::worker_loop(std::size_t worker_index) {
   api::Engine& engine = engines_[worker_index];
-  std::unique_lock<std::mutex> lock(mutex_);
+  core::UniqueMutexLock lock(mutex_);
   for (;;) {
-    cv_.wait(lock, [this] {
+    // Waits are explicit loops over guarded state, not cv_.wait(lock,
+    // pred): thread safety analysis treats a predicate lambda as its own
+    // unannotated function (see annotations.hpp rule 4).
+    for (;;) {
       // A predict queue whose coalescing window another worker is
       // already waiting out is not claimable work.
       const bool predict_work =
@@ -306,8 +313,9 @@ void Service::worker_loop(std::size_t worker_index) {
            !pure_queue_.empty());
       const bool drained = stopping_ && exclusive_queue_.empty() &&
                            predict_queue_.empty() && pure_queue_.empty();
-      return work || drained;
-    });
+      if (work || drained) break;
+      cv_.wait(lock);
+    }
 
     // Exclusive requests outrank everything: claim the oldest, wait for
     // in-flight pure work to drain, run alone. While a claim is pending or
@@ -330,7 +338,7 @@ void Service::worker_loop(std::size_t worker_index) {
         cv_.notify_all();
         continue;
       }
-      cv_.wait(lock, [this] { return pure_active_ == 0; });
+      while (pure_active_ != 0) cv_.wait(lock);
       lock.unlock();
       task.run(engine);
       lock.lock();
@@ -363,19 +371,19 @@ void Service::worker_loop(std::size_t worker_index) {
         // whatever is queued: the packed forward is quick, the window
         // stays an upper bound on coalescing delay, and the pure work
         // runs right after.
-        const auto no_free_worker = [this] {
-          return service_cfg_.num_workers - 1 - pure_active_ <= 0;
-        };
         if (std::chrono::steady_clock::now() < fire_at &&
             !(!pure_queue_.empty() && no_free_worker())) {
           predict_window_waiter_ = true;
-          cv_.wait_until(lock, fire_at, [this, &no_free_worker] {
-            return stopping_ || exclusive_claimed_ ||
-                   !exclusive_queue_.empty() || predict_queue_.empty() ||
-                   (!pure_queue_.empty() && no_free_worker()) ||
-                   static_cast<std::int64_t>(predict_queue_.size()) >=
-                       service_cfg_.max_predict_batch;
-          });
+          for (;;) {
+            if (stopping_ || exclusive_claimed_ ||
+                !exclusive_queue_.empty() || predict_queue_.empty() ||
+                (!pure_queue_.empty() && no_free_worker()) ||
+                static_cast<std::int64_t>(predict_queue_.size()) >=
+                    service_cfg_.max_predict_batch)
+              break;
+            if (cv_.wait_until(lock, fire_at) == std::cv_status::timeout)
+              break;
+          }
           predict_window_waiter_ = false;
           cv_.notify_all();
           continue;  // re-dispatch from the top with fresh state

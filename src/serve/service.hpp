@@ -47,7 +47,6 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -55,6 +54,7 @@
 #include "api/engine.hpp"
 #include "api/eval_context.hpp"
 #include "api/status.hpp"
+#include "core/annotations.hpp"
 #include "serve/request.hpp"
 
 namespace hg::serve {
@@ -177,7 +177,13 @@ class Service {
   /// Returns false when the queue is drained.
   bool pop_runnable(std::deque<QueuedTask>& queue,
                     std::vector<std::pair<QueuedTask, api::Status>>* failed,
-                    QueuedTask* out);
+                    QueuedTask* out) HG_REQUIRES(mutex_);
+
+  /// True when every other worker is busy (with one worker, always): queued
+  /// pure work then has nobody to run it but the caller.
+  bool no_free_worker() const HG_REQUIRES(mutex_) {
+    return service_cfg_.num_workers - 1 - pure_active_ <= 0;
+  }
 
   struct PredictTask {
     api::Arch arch;
@@ -192,22 +198,26 @@ class Service {
   bool coalesce_predictions_ = false;  // evaluator "predictor"
   bool measured_evaluator_ = false;    // evaluator "measured" (stateful)
 
-  std::mutex shutdown_mutex_;  // serializes shutdown() callers only
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<QueuedTask> pure_queue_;
-  std::deque<QueuedTask> exclusive_queue_;
-  std::deque<PredictTask> predict_queue_;
-  std::int64_t pure_active_ = 0;
-  bool exclusive_claimed_ = false;  // a worker owns the next exclusive task
+  core::Mutex shutdown_mutex_;  // serializes shutdown() callers only
+  mutable core::Mutex mutex_;
+  std::condition_variable_any cv_;  // waits on UniqueMutexLock over mutex_
+  std::deque<QueuedTask> pure_queue_ HG_GUARDED_BY(mutex_);
+  std::deque<QueuedTask> exclusive_queue_ HG_GUARDED_BY(mutex_);
+  std::deque<PredictTask> predict_queue_ HG_GUARDED_BY(mutex_);
+  std::int64_t pure_active_ HG_GUARDED_BY(mutex_) = 0;
+  // A worker owns the next exclusive task.
+  bool exclusive_claimed_ HG_GUARDED_BY(mutex_) = false;
   // A worker is waiting out predict_window_us on the coalescing queue;
   // the other workers treat that queue as unclaimable meanwhile and
   // serve pure traffic instead (when none of them is free and pure work
   // is queued, the window fires early — see worker_loop).
-  bool predict_window_waiter_ = false;
-  bool stopping_ = false;
-  ServiceStats stats_;
+  bool predict_window_waiter_ HG_GUARDED_BY(mutex_) = false;
+  bool stopping_ HG_GUARDED_BY(mutex_) = false;
+  ServiceStats stats_ HG_GUARDED_BY(mutex_);
 
+  // Written single-threaded in create() before the workers exist, then
+  // only read (worker i owns engines_[i]); workers_ is joined under
+  // shutdown_mutex_. Neither needs mutex_.
   std::vector<api::Engine> engines_;  // one per worker, fixed at create
   std::vector<std::thread> workers_;
 };
