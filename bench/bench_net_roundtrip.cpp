@@ -9,6 +9,10 @@
 //     once instead of N times.
 //  3. Mixed pipelined load: N predictions + N profiles with pipelined
 //     request ids (all in flight at once), requests/sec.
+//  4. Degraded mode: the same lone predictions through a chaotic client
+//     transport that kills ~1% of frames mid-header, with a RetryPolicy
+//     that reconnects and retries — what fault tolerance costs when the
+//     network actually misbehaves, vs the fault-free run above.
 //
 // Results are printed and written to BENCH_net_roundtrip.json; CI's
 // smoke-net job gates the --quick run against
@@ -22,6 +26,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "net/chaos.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
 
@@ -165,6 +170,45 @@ int main(int argc, char** argv) {
     std::printf("mixed pipelined  %-16s %9.2f ms   %8.0f req/s\n",
                 mixed_problem.c_str(), wall_ms, rps);
     json.add("mixed/remote_pipelined", wall_ms, mixed_problem, rps, "req/s");
+  }
+
+  // ---- degraded mode: ~1% of frames die mid-header; retries absorb it ----
+  {
+    net::testing::ChaosConfig chaos;
+    chaos.seed = 99;  // fixed: the same fault schedule on every run
+    chaos.reset_send_rate = 0.005;
+    chaos.reset_recv_rate = 0.005;
+    net::testing::ChaosStats faults;
+    net::ClientConfig degraded_cfg;
+    degraded_cfg.host = "127.0.0.1";
+    degraded_cfg.port = server.value()->port();
+    degraded_cfg.wrap_transport = net::testing::chaos_wrap(chaos, &faults);
+    degraded_cfg.retry.max_attempts = 4;
+    degraded_cfg.retry.initial_backoff_us = 200;
+    degraded_cfg.retry.max_backoff_us = 2'000;
+    api::Result<net::Client> degraded_conn =
+        net::Client::connect(degraded_cfg);
+    if (!degraded_conn.ok()) return 1;
+    net::Client degraded = std::move(degraded_conn).value();
+
+    std::vector<double> rtt;
+    rtt.reserve(static_cast<std::size_t>(n));
+    bench::Timer t;
+    for (const api::Arch& a : archs) {
+      bench::Timer one;
+      if (!degraded.predict_latency(a).ok()) return 1;
+      rtt.push_back(one.ms());
+    }
+    const double wall_ms = t.ms();
+    const double rps = static_cast<double>(n) / (wall_ms / 1e3);
+    const double p99 = percentile(rtt, 0.99);
+    std::printf("predict degraded %-16s %9.2f ms   %8.0f req/s   "
+                "p99 %.3f ms   (%lld resets absorbed, %lld reconnects)\n",
+                problem.c_str(), wall_ms, rps, p99,
+                static_cast<long long>(faults.resets.load()),
+                static_cast<long long>(degraded.connections_dialed() - 1));
+    json.add("predict/remote_degraded", wall_ms, problem, rps, "req/s");
+    json.add("predict/remote_degraded_p99", p99, problem, p99, "ms");
   }
 
   server.value()->stop();

@@ -1,13 +1,19 @@
 // net_client_demo — mixed remote load against a running net_server_demo.
 //
 //   net_client_demo [--host H] [--port N] [--positions N] [--no-search]
+//                   [--retries N]
 //
-// One connection, pipelined request ids: a deployment reference
-// (profile_baseline), a batched latency query (one frame, N archs), a
-// trickle of lone predictions (they meet the server's coalescing window),
-// a full NAS search, and a deployment profile of the search winner.
-// Everything the server answers is printed with its round-trip time;
-// exits non-zero on the first failed request.
+// One connection, pipelined request ids: a health ping first, then a
+// deployment reference (profile_baseline), a batched latency query (one
+// frame, N archs), a trickle of lone predictions (they meet the server's
+// coalescing window), a full NAS search, and a deployment profile of the
+// search winner. Everything the server answers is printed with its
+// round-trip time; exits non-zero on the first failed request.
+//
+// The blocking verbs ride a RetryPolicy (--retries, default 3 attempts):
+// pure verbs reconnect and retry transport failures with backed-off
+// jitter, honoring any retry_after_us hint the server attaches to
+// refused-before-running replies.
 //
 // The architectures are sampled locally (hgnas::random_arch) — a remote
 // client needs no engine, only the design-space shape (--positions must
@@ -39,6 +45,7 @@ int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   std::uint16_t port = 7171;
   std::int64_t positions = 8;
+  int retries = 3;
   bool run_search = true;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -49,6 +56,8 @@ int main(int argc, char** argv) {
       port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
     else if (arg == "--positions" && has_next)
       positions = std::atoll(argv[++i]);
+    else if (arg == "--retries" && has_next)
+      retries = std::atoi(argv[++i]);
     else if (arg == "--no-search")
       run_search = false;
     else {
@@ -57,14 +66,34 @@ int main(int argc, char** argv) {
     }
   }
 
-  api::Result<net::Client> connected = net::Client::connect(host, port);
+  net::ClientConfig client_cfg;
+  client_cfg.host = host;
+  client_cfg.port = port;
+  client_cfg.retry.max_attempts = retries;
+  api::Result<net::Client> connected = net::Client::connect(client_cfg);
   if (!connected.ok()) {
     std::fprintf(stderr, "connect: %s\n",
                  connected.status().to_string().c_str());
     return 1;
   }
   net::Client client = std::move(connected).value();
-  std::printf("connected to %s:%u\n", host.c_str(), port);
+  std::printf("connected to %s:%u (retry budget: %d attempts)\n",
+              host.c_str(), port, retries);
+
+  // Health first: is this server worth sending work to?
+  auto t0 = std::chrono::steady_clock::now();
+  api::Result<net::HealthReport> health = client.ping();
+  if (!health.ok()) {
+    std::fprintf(stderr, "ping: %s\n", health.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("server health: %s, queue depth %lld, %lld workers, up "
+              "%.1f s  (round trip %.1f ms)\n",
+              net::health_state_name(health.value().state),
+              static_cast<long long>(health.value().queue_depth),
+              static_cast<long long>(health.value().workers),
+              static_cast<double>(health.value().uptime_us) / 1e6,
+              ms_since(t0));
 
   hgnas::SpaceConfig space;
   space.num_positions = positions;
@@ -74,7 +103,7 @@ int main(int argc, char** argv) {
     archs.push_back(hgnas::random_arch(space, rng));
 
   // Deployment reference for the target device.
-  auto t0 = std::chrono::steady_clock::now();
+  t0 = std::chrono::steady_clock::now();
   api::Result<api::ProfileReport> reference =
       client.profile_baseline("dgcnn");
   if (!reference.ok()) {

@@ -7,11 +7,14 @@
 //
 //   net_server_demo [--port N] [--device name] [--workers N]
 //                   [--window-us N] [--max-queue N] [--oracle] [--once]
+//                   [--drain-after-ms N]
 //
 // Defaults: port 7171, jetson-tx2, 3 workers, a 2 ms predict-coalescing
 // window, queue bounded at 256, GNN latency predictor as evaluator
 // (--oracle swaps in the analytical oracle: instant startup, used by the
-// CI smoke run).
+// CI smoke run). --drain-after-ms N demonstrates the graceful wind-down:
+// after N ms the server stops accepting, finishes and answers everything
+// already admitted, half-closes, and exits with the stats report.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -29,6 +32,7 @@ int main(int argc, char** argv) {
   std::int64_t workers = 3;
   std::int64_t window_us = 2000;
   std::int64_t max_queue = 256;
+  std::int64_t drain_after_ms = -1;  // -1 = never
   bool oracle = false;
   bool once = false;
   for (int i = 1; i < argc; ++i) {
@@ -44,6 +48,8 @@ int main(int argc, char** argv) {
       window_us = std::atoll(argv[++i]);
     else if (arg == "--max-queue" && has_next)
       max_queue = std::atoll(argv[++i]);
+    else if (arg == "--drain-after-ms" && has_next)
+      drain_after_ms = std::atoll(argv[++i]);
     else if (arg == "--oracle")
       oracle = true;
     else if (arg == "--once")
@@ -92,11 +98,30 @@ int main(int argc, char** argv) {
               static_cast<long long>(max_queue));
   std::fflush(stdout);
 
+  const auto started = std::chrono::steady_clock::now();
+  auto drain_deadline = std::chrono::steady_clock::time_point::max();
   for (;;) {
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
     const net::NetStats net = server.value()->net_stats();
     if (once && net.connections_opened > 0 &&
         net.connections_closed >= net.connections_opened)
+      break;
+    const auto now = std::chrono::steady_clock::now();
+    if (drain_after_ms >= 0 && !server.value()->draining() &&
+        now - started >= std::chrono::milliseconds(drain_after_ms)) {
+      std::printf("draining: no new work; finishing %lld queued "
+                  "request(s)...\n",
+                  static_cast<long long>(
+                      server.value()->service()->stats().queue_depth));
+      std::fflush(stdout);
+      server.value()->drain();
+      // Grace period for queued replies to flush and peers to hang up.
+      drain_deadline = now + std::chrono::seconds(5);
+    }
+    if (server.value()->draining() &&
+        (now >= drain_deadline ||
+         (server.value()->service()->stats().queue_depth == 0 &&
+          net.connections_closed >= net.connections_opened)))
       break;
   }
 
@@ -125,5 +150,11 @@ int main(int argc, char** argv) {
               static_cast<long long>(stats.rejected_requests),
               static_cast<long long>(stats.deadline_expired),
               static_cast<long long>(stats.cancelled_requests));
+  std::printf("fault tolerance: %lld pings, %lld sheds with retry hint, "
+              "%lld version mismatches, drain %s\n",
+              static_cast<long long>(stats.pings),
+              static_cast<long long>(stats.sheds_with_hint),
+              static_cast<long long>(net.version_mismatches),
+              stats.drain_started > 0 ? "completed" : "never started");
   return 0;
 }

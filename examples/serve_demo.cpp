@@ -134,8 +134,16 @@ int main() {
                 static_cast<long long>(stats.rejected_requests),
                 static_cast<long long>(stats.deadline_expired),
                 static_cast<long long>(stats.cancelled_requests));
+    std::printf("wire-front counters: %lld pings, %lld sheds with retry "
+                "hint, drain %s\n",
+                static_cast<long long>(stats.pings),
+                static_cast<long long>(stats.sheds_with_hint),
+                stats.drain_started > 0 ? "started" : "never started");
   }
 
+  // Graceful half of shutdown first: drain() stops admissions while the
+  // workers finish what is queued, then shutdown() joins them.
+  for (auto& service : services) service->drain();
   for (auto& service : services) service->shutdown();
   std::printf("\nservices drained and shut down.\n");
   return 0;

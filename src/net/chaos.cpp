@@ -1,0 +1,183 @@
+#include "net/chaos.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "net/protocol.hpp"
+
+namespace hg::net::testing {
+
+namespace {
+
+/// A reset/stall fires once the cursor reaches this offset of the doomed
+/// frame: halfway through the header, so the peer is left holding a torn
+/// frame it cannot even parse.
+constexpr std::size_t kFaultOffset = kHeaderSize / 2;
+
+std::uint32_t le32(const char* p) {
+  std::uint32_t v = 0;
+  for (std::size_t i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+ChaosTransport::ChaosTransport(std::unique_ptr<Transport> inner,
+                               const ChaosConfig& cfg, ChaosStats* stats)
+    : inner_(std::move(inner)), cfg_(cfg), stats_(stats), rng_(cfg.seed) {}
+
+void ChaosTransport::roll(Cursor* c, bool sending) {
+  if (!c->fresh) return;
+  c->fresh = false;
+  if (sending) {
+    c->reset_here =
+        c->frame == cfg_.reset_send_at_frame ||
+        (cfg_.reset_send_rate > 0 && rng_.bernoulli(cfg_.reset_send_rate));
+    c->corrupt_here = cfg_.corrupt_header_rate > 0 &&
+                      rng_.bernoulli(cfg_.corrupt_header_rate);
+    if (c->corrupt_here) {
+      c->corrupt_at = static_cast<std::size_t>(
+          rng_.uniform_int(static_cast<std::uint64_t>(kHeaderSize)));
+      c->corrupt_mask =
+          static_cast<unsigned char>(1u << rng_.uniform_int(8));
+      if (stats_ != nullptr)
+        stats_->corrupted_frames.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    c->reset_here =
+        c->frame == cfg_.reset_recv_at_frame ||
+        (cfg_.reset_recv_rate > 0 && rng_.bernoulli(cfg_.reset_recv_rate));
+    c->stall_here = c->frame == cfg_.stall_recv_at_frame;
+  }
+}
+
+void ChaosTransport::advance(Cursor* c, const char* data, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (c->offset < kHeaderSize) {
+      c->header[c->offset] = data[i];
+      if (c->offset + 1 == kHeaderSize) {
+        c->frame_len = kHeaderSize + le32(c->header + 24);
+        c->len_known = true;
+      }
+    }
+    ++c->offset;
+    if (c->len_known && c->offset >= c->frame_len) {
+      ++c->frame;
+      c->offset = 0;
+      c->frame_len = 0;
+      c->len_known = false;
+      c->fresh = true;
+    }
+  }
+}
+
+ssize_t ChaosTransport::send(const char* data, std::size_t len) {
+  if (send_dead_) {
+    errno = EPIPE;
+    return -1;
+  }
+  if (len == 0) return inner_->send(data, len);
+  Cursor& c = tx_;
+  roll(&c, /*sending=*/true);
+  if (c.reset_here) {
+    if (c.offset >= kFaultOffset) {
+      send_dead_ = true;
+      if (stats_ != nullptr)
+        stats_->resets.fetch_add(1, std::memory_order_relaxed);
+      errno = EPIPE;
+      return -1;
+    }
+    len = std::min(len, kFaultOffset - c.offset);
+  }
+  // Never move past the current tracking boundary (end of the header
+  // while the length is unknown, end of the frame after): the caller's
+  // send loop supplies the rest, and per-frame dice stay exact.
+  len = std::min(len, (c.len_known ? c.frame_len : kHeaderSize) - c.offset);
+  if (cfg_.short_io_rate > 0 && len > 1 &&
+      rng_.bernoulli(cfg_.short_io_rate)) {
+    len = 1 + static_cast<std::size_t>(
+                  rng_.uniform_int(static_cast<std::uint64_t>(len - 1)));
+    if (stats_ != nullptr)
+      stats_->short_sends.fetch_add(1, std::memory_order_relaxed);
+  }
+  const char* out = data;
+  std::string scratch;
+  if (c.corrupt_here && c.corrupt_at >= c.offset &&
+      c.corrupt_at < c.offset + len) {
+    scratch.assign(data, len);
+    scratch[c.corrupt_at - c.offset] = static_cast<char>(
+        static_cast<unsigned char>(scratch[c.corrupt_at - c.offset]) ^
+        c.corrupt_mask);
+    out = scratch.data();
+  }
+  const ssize_t n = inner_->send(out, len);
+  // The cursor tracks the ORIGINAL bytes, so a corrupted length field
+  // cannot desynchronize our own bookkeeping.
+  if (n > 0) advance(&c, data, static_cast<std::size_t>(n));
+  return n;
+}
+
+ssize_t ChaosTransport::recv(char* buf, std::size_t len) {
+  if (recv_dead_) {
+    errno = ECONNRESET;
+    return -1;
+  }
+  if (stalled_) {
+    errno = EAGAIN;
+    return -1;
+  }
+  if (len == 0) return inner_->recv(buf, len);
+  Cursor& c = rx_;
+  roll(&c, /*sending=*/false);
+  if ((c.reset_here || c.stall_here) && c.offset >= kFaultOffset) {
+    if (c.reset_here) {
+      recv_dead_ = true;
+      if (stats_ != nullptr)
+        stats_->resets.fetch_add(1, std::memory_order_relaxed);
+      errno = ECONNRESET;
+    } else {
+      stalled_ = true;
+      if (stats_ != nullptr)
+        stats_->stalls.fetch_add(1, std::memory_order_relaxed);
+      errno = EAGAIN;
+    }
+    return -1;
+  }
+  if (c.reset_here || c.stall_here)
+    len = std::min(len, kFaultOffset - c.offset);
+  len = std::min(len, (c.len_known ? c.frame_len : kHeaderSize) - c.offset);
+  if (cfg_.short_io_rate > 0 && len > 1 &&
+      rng_.bernoulli(cfg_.short_io_rate)) {
+    len = 1 + static_cast<std::size_t>(
+                  rng_.uniform_int(static_cast<std::uint64_t>(len - 1)));
+    if (stats_ != nullptr)
+      stats_->short_recvs.fetch_add(1, std::memory_order_relaxed);
+  }
+  const ssize_t n = inner_->recv(buf, len);
+  if (n > 0) advance(&c, buf, static_cast<std::size_t>(n));
+  return n;
+}
+
+TransportWrap chaos_wrap(const ChaosConfig& cfg, ChaosStats* stats) {
+  auto next = std::make_shared<std::atomic<std::uint64_t>>(0);
+  return [cfg, stats, next](std::unique_ptr<Transport> inner) {
+    ChaosConfig c = cfg;
+    c.seed += next->fetch_add(1, std::memory_order_relaxed);
+    return std::make_unique<ChaosTransport>(std::move(inner), c, stats);
+  };
+}
+
+TransportWrap chaos_first_connection_only(const ChaosConfig& cfg,
+                                          ChaosStats* stats) {
+  auto next = std::make_shared<std::atomic<std::uint64_t>>(0);
+  return [cfg, stats, next](
+             std::unique_ptr<Transport> inner) -> std::unique_ptr<Transport> {
+    if (next->fetch_add(1, std::memory_order_relaxed) != 0) return inner;
+    return std::make_unique<ChaosTransport>(std::move(inner), cfg, stats);
+  };
+}
+
+}  // namespace hg::net::testing

@@ -1,0 +1,132 @@
+// chaos.hpp — net::testing::ChaosTransport, deterministic fault injection
+// for the wire (the transport-level counterpart of the codec fuzz loops
+// in tests/test_net.cpp).
+//
+// A ChaosTransport decorates a real Transport and perturbs the byte
+// stream according to a seeded schedule:
+//
+//   * short reads/writes  — any send()/recv() may move only a random
+//     prefix, so partial-frame accumulation paths run constantly;
+//   * mid-frame resets    — the connection dies with EPIPE (send) or
+//     ECONNRESET (recv) halfway through the header of a chosen frame,
+//     leaving the peer a torn frame;
+//   * header corruption   — one bit of one header byte flips in flight
+//     (bad magic / version / type / id / deadline / length are all
+//     reachable). Corruption is confined to HEADER bytes by design: a
+//     flipped header can only produce a clean typed error, a dropped
+//     connection, or an orphaned reply — never a structurally valid
+//     request for a *different* computation, so "every OK answer is
+//     bit-identical to local" stays assertable under chaos;
+//   * stalls              — from a chosen frame on, recv() returns
+//     EAGAIN forever, exactly what a peer gone silent looks like after
+//     SO_RCVTIMEO expires.
+//
+// The shim tracks frame boundaries by parsing the ORIGINAL stream (its
+// own framing bookkeeping is never corrupted), so per-frame schedules
+// stay exact even under fragmentation. Faults are driven by an Rng
+// seeded from ChaosConfig::seed — same seed, same byte counts, same
+// fault sequence. Tests derive the seed from HG_FUZZ_SEED like the
+// existing fuzz loops, so any CI failure is reproducible.
+//
+// Like every Transport, an instance is driven by a single thread; the
+// optional ChaosStats sink is atomic and may be shared across many
+// transports (e.g. one per reconnect attempt) and read from the test
+// thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/transport.hpp"
+#include "tensor/rng.hpp"
+
+namespace hg::net::testing {
+
+struct ChaosConfig {
+  std::uint64_t seed = 1;
+  /// Probability that a send()/recv() moves only a random prefix (>= 1
+  /// byte) of what it could have.
+  double short_io_rate = 0.0;
+  /// Per outgoing frame: probability that one random bit of one random
+  /// header byte flips in flight.
+  double corrupt_header_rate = 0.0;
+  /// Tear down the connection (EPIPE) halfway through the header of this
+  /// outgoing frame (0-based; -1 = never).
+  std::int64_t reset_send_at_frame = -1;
+  /// Tear down the connection (ECONNRESET) halfway through the header of
+  /// this incoming frame (-1 = never).
+  std::int64_t reset_recv_at_frame = -1;
+  /// From halfway through the header of this incoming frame on, recv()
+  /// returns EAGAIN forever — a peer gone silent past SO_RCVTIMEO
+  /// (-1 = never).
+  std::int64_t stall_recv_at_frame = -1;
+  /// Probabilistic per-frame variants of the resets (for degraded-mode
+  /// benchmarking, e.g. 0.01 = 1% of frames die mid-header).
+  double reset_send_rate = 0.0;
+  double reset_recv_rate = 0.0;
+};
+
+/// Monotone fault counters; safe to share across transports and read
+/// from another thread.
+struct ChaosStats {
+  std::atomic<std::int64_t> short_sends{0};
+  std::atomic<std::int64_t> short_recvs{0};
+  std::atomic<std::int64_t> corrupted_frames{0};
+  std::atomic<std::int64_t> resets{0};
+  std::atomic<std::int64_t> stalls{0};
+};
+
+class ChaosTransport final : public Transport {
+ public:
+  ChaosTransport(std::unique_ptr<Transport> inner, const ChaosConfig& cfg,
+                 ChaosStats* stats = nullptr);
+
+  ssize_t send(const char* data, std::size_t len) override;
+  ssize_t recv(char* buf, std::size_t len) override;
+  void shutdown_write() override { inner_->shutdown_write(); }
+  int fd() const override { return inner_->fd(); }
+
+ private:
+  /// Per-direction frame-boundary bookkeeping over the original stream.
+  struct Cursor {
+    std::int64_t frame = 0;
+    std::size_t offset = 0;      // bytes into the current frame
+    std::size_t frame_len = 0;   // known once the header has passed
+    bool len_known = false;
+    bool fresh = true;           // roll this frame's fault dice on touch
+    char header[32] = {};        // first kHeaderSize original bytes
+    // This frame's schedule (decided once, at its first byte):
+    bool reset_here = false;
+    bool stall_here = false;
+    bool corrupt_here = false;
+    std::size_t corrupt_at = 0;  // header byte offset
+    unsigned char corrupt_mask = 0;
+  };
+
+  void advance(Cursor* c, const char* data, std::size_t n);
+  void roll(Cursor* c, bool sending);
+
+  std::unique_ptr<Transport> inner_;
+  ChaosConfig cfg_;
+  ChaosStats* stats_;
+  Rng rng_;
+  Cursor tx_;
+  Cursor rx_;
+  bool send_dead_ = false;  // a send reset fired; EPIPE from now on
+  bool recv_dead_ = false;  // a recv reset fired; ECONNRESET from now on
+  bool stalled_ = false;    // a stall fired; EAGAIN from now on
+};
+
+/// TransportWrap wrapping every connection in a ChaosTransport.
+/// Connection k gets seed cfg.seed + k, so reconnect attempts see
+/// distinct (but still deterministic) schedules.
+TransportWrap chaos_wrap(const ChaosConfig& cfg, ChaosStats* stats = nullptr);
+
+/// Same, but only the FIRST connection is chaotic — recovery tests: the
+/// fault fires once, the retry's fresh connection is clean.
+TransportWrap chaos_first_connection_only(const ChaosConfig& cfg,
+                                          ChaosStats* stats = nullptr);
+
+}  // namespace hg::net::testing

@@ -3,12 +3,16 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 namespace hg::net {
@@ -23,9 +27,15 @@ api::Status disconnected_status() {
   return api::Status::Unavailable("client is not connected");
 }
 
+std::int64_t elapsed_us(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
 }  // namespace
 
-api::Result<Client> Client::connect(const ClientConfig& cfg) {
+api::Result<std::unique_ptr<Transport>> Client::dial(const ClientConfig& cfg) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return transport_error("socket() failed");
   sockaddr_in addr{};
@@ -37,10 +47,41 @@ api::Result<Client> Client::connect(const ClientConfig& cfg) {
         "ClientConfig::host is not an IPv4 address: " + cfg.host);
   }
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const api::Status status = transport_error(
-        "connect(" + cfg.host + ":" + std::to_string(cfg.port) + ") failed");
-    ::close(fd);
-    return status;
+    bool established = false;
+    if (errno == EINTR) {
+      // POSIX: an EINTR'd connect(2) keeps establishing in the
+      // background; re-calling connect() races the in-flight handshake
+      // (EALREADY/EISCONN). Wait for writability, then read the real
+      // outcome from SO_ERROR.
+      pollfd p{};
+      p.fd = fd;
+      p.events = POLLOUT;
+      int rc = 0;
+      do {
+        rc = ::poll(&p, 1, -1);
+      } while (rc < 0 && errno == EINTR);
+      if (rc > 0) {
+        int err = 0;
+        socklen_t len = sizeof(err);
+        if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+          err = errno;
+        }
+        if (err == 0) {
+          established = true;
+        } else {
+          errno = err;
+        }
+      }
+    }
+    if (!established) {
+      // ECONNREFUSED / ETIMEDOUT / EHOSTUNREACH all land here: the
+      // server is not reachable right now — UNAVAILABLE, retryable.
+      const api::Status status = transport_error(
+          "connect(" + cfg.host + ":" + std::to_string(cfg.port) +
+          ") failed");
+      ::close(fd);
+      return status;
+    }
   }
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -50,37 +91,42 @@ api::Result<Client> Client::connect(const ClientConfig& cfg) {
     tv.tv_usec = (cfg.recv_timeout_ms % 1000) * 1000;
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   }
+  std::unique_ptr<Transport> transport = std::make_unique<SocketTransport>(fd);
+  if (cfg.wrap_transport) transport = cfg.wrap_transport(std::move(transport));
+  return transport;
+}
+
+api::Result<Client> Client::connect(const ClientConfig& cfg) {
+  api::Result<std::unique_ptr<Transport>> transport = dial(cfg);
+  if (!transport.ok()) return transport.status();
   Client client;
-  client.fd_ = fd;
+  client.cfg_ = cfg;
+  client.jitter_ = Rng(cfg.retry.jitter_seed);
+  client.transport_ = std::move(transport).value();
+  client.connections_dialed_ = 1;
   return client;
 }
 
-Client::Client(Client&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)),
-      next_id_(other.next_id_),
-      sent_goodbye_(other.sent_goodbye_),
-      in_(std::move(other.in_)),
-      stash_(std::move(other.stash_)) {}
-
-Client& Client::operator=(Client&& other) noexcept {
-  if (this != &other) {
-    close();
-    fd_ = std::exchange(other.fd_, -1);
-    next_id_ = other.next_id_;
-    sent_goodbye_ = other.sent_goodbye_;
-    in_ = std::move(other.in_);
-    stash_ = std::move(other.stash_);
-  }
-  return *this;
+api::Status Client::reconnect() {
+  if (user_closed_) return disconnected_status();
+  if (sent_goodbye_)
+    return api::Status::Unavailable("no more requests after goodbye()");
+  api::Result<std::unique_ptr<Transport>> transport = dial(cfg_);
+  if (!transport.ok()) return transport.status();
+  transport_ = std::move(transport).value();
+  ++connections_dialed_;
+  in_.clear();
+  return api::Status::Ok();
 }
 
-Client::~Client() { close(); }
+void Client::drop_connection() {
+  transport_.reset();
+  in_.clear();
+}
 
 void Client::close() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
-  }
+  drop_connection();
+  user_closed_ = true;
 }
 
 api::Status Client::goodbye() {
@@ -88,14 +134,14 @@ api::Status Client::goodbye() {
   api::Result<std::uint64_t> id = send_frame(FrameType::kGoodbye, 0, "");
   if (!id.ok()) return id.status();
   sent_goodbye_ = true;
-  ::shutdown(fd_, SHUT_WR);
+  transport_->shutdown_write();
   return api::Status::Ok();
 }
 
 api::Result<std::uint64_t> Client::send_frame(FrameType type,
                                               std::uint64_t deadline_us,
                                               const std::string& payload) {
-  if (fd_ < 0) return disconnected_status();
+  if (!connected()) return disconnected_status();
   // After goodbye() the write side is gone but replies are still being
   // collected: refuse here instead of letting EPIPE tear down the whole
   // connection (and with it the pending replies).
@@ -109,15 +155,15 @@ api::Result<std::uint64_t> Client::send_frame(FrameType type,
       encode_frame(type, /*reply=*/false, id, deadline_us, payload);
   std::size_t sent = 0;
   while (sent < frame.size()) {
-    const ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent,
-                             MSG_NOSIGNAL);
+    const ssize_t n =
+        transport_->send(frame.data() + sent, frame.size() - sent);
     if (n > 0) {
       sent += static_cast<std::size_t>(n);
       continue;
     }
     if (errno == EINTR) continue;
     const api::Status status = transport_error("send() failed");
-    close();
+    drop_connection();
     return status;
   }
   return id;
@@ -139,13 +185,24 @@ api::Result<std::string> Client::recv_reply(std::uint64_t id,
             ", want " + std::to_string(want_type) + ")");
       return std::move(reply.second);
     }
-    if (fd_ < 0) return disconnected_status();
+    if (!connected()) return disconnected_status();
 
     // Pull complete frames off the socket into the stash.
     while (in_.size() >= kHeaderSize) {
       FrameHeader h;
-      if (!decode_header(in_.data(), in_.size(), &h)) {
-        close();
+      const HeaderDecode hd = decode_header_ex(in_.data(), in_.size(), &h);
+      if (hd == HeaderDecode::kBadVersion) {
+        // A server speaking another protocol version: its farewell (or
+        // any reply) is unparseable beyond the header. Typed, terminal,
+        // never retried.
+        drop_connection();
+        return api::Status::FailedPrecondition(
+            "protocol version mismatch: server speaks v" +
+            std::to_string(h.version) + ", client speaks v" +
+            std::to_string(kProtocolVersion));
+      }
+      if (hd != HeaderDecode::kOk) {
+        drop_connection();
         return api::Status::Unavailable("unframeable reply stream");
       }
       if (in_.size() < kHeaderSize + h.payload_len) break;
@@ -156,7 +213,7 @@ api::Result<std::string> Client::recv_reply(std::uint64_t id,
     if (stash_.count(id)) continue;
 
     char buf[64 * 1024];
-    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    const ssize_t n = transport_->recv(buf, sizeof(buf));
     if (n > 0) {
       in_.append(buf, static_cast<std::size_t>(n));
       continue;
@@ -167,9 +224,116 @@ api::Result<std::string> Client::recv_reply(std::uint64_t id,
         : (errno == EAGAIN || errno == EWOULDBLOCK)
             ? api::Status::Unavailable("receive timed out")
             : transport_error("recv() failed");
-    close();
+    drop_connection();
     return status;
   }
+}
+
+// ---- retrying roundtrip ----------------------------------------------------
+
+template <typename T>
+api::Result<T> Client::roundtrip(FrameType type, const std::string& payload,
+                                 std::uint64_t deadline_us, bool idempotent,
+                                 ParseReply<T> parse) {
+  const std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  if (sent_goodbye_)
+    return api::Status::Unavailable("no more requests after goodbye()");
+  const int max_attempts = std::max(1, cfg_.retry.max_attempts);
+  std::int64_t prev_sleep_us = cfg_.retry.initial_backoff_us;
+  api::Status failure = disconnected_status();
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    // The frame carries the REMAINING budget, not the original figure —
+    // the server's queue-time clock starts at receipt, and a retried
+    // request has already spent part of the caller's patience.
+    std::uint64_t remaining = deadline_us;
+    if (deadline_us > 0) {
+      const std::int64_t elapsed = elapsed_us(start);
+      if (elapsed >= static_cast<std::int64_t>(deadline_us))
+        return api::Status::DeadlineExceeded(
+            "request deadline expired after " + std::to_string(attempt - 1) +
+            " attempt(s); last failure: " + failure.message());
+      remaining = deadline_us - static_cast<std::uint64_t>(elapsed);
+    }
+
+    std::uint64_t hint_us = 0;
+    bool hinted_refusal = false;
+    bool attempt_failed = false;
+    if (!connected()) {
+      const api::Status status = reconnect();
+      if (!status.ok()) {
+        // Non-UNAVAILABLE dial failures (bad host) are config errors.
+        if (status.code() != api::StatusCode::kUnavailable) return status;
+        failure = status;
+        attempt_failed = true;
+      }
+    }
+    if (!attempt_failed) {
+      const api::Result<std::uint64_t> id =
+          send_frame(type, remaining, payload);
+      if (!id.ok()) {
+        failure = id.status();
+        attempt_failed = true;
+      } else {
+        const api::Result<std::string> reply = recv_reply(id.value(), type);
+        if (!reply.ok()) {
+          // Version mismatch (FAILED_PRECONDITION) is terminal; every
+          // UNAVAILABLE here is transport-class.
+          if (reply.status().code() != api::StatusCode::kUnavailable)
+            return reply.status();
+          failure = reply.status();
+          attempt_failed = true;
+        } else {
+          api::Result<T> parsed = api::Status::Internal("unparsed reply");
+          if (!parse(reply.value(), &parsed, &hint_us)) {
+            drop_connection();
+            failure = api::Status::Unavailable("malformed reply payload");
+            attempt_failed = true;
+          } else if (!parsed.ok() && hint_us > 0) {
+            // A hinted refusal: the server turned the request away
+            // BEFORE running it (shed / draining), so retrying is safe
+            // for every verb, mutating ones included.
+            failure = parsed.status();
+            hinted_refusal = true;
+            attempt_failed = true;
+          } else {
+            return parsed;  // success, or the server's own typed answer
+          }
+        }
+      }
+    }
+
+    const bool retryable =
+        hinted_refusal || idempotent || cfg_.retry.retry_mutating;
+    if (!retryable || attempt == max_attempts) return failure;
+    // A hinted refusal leaves a healthy connection — keep it. Everything
+    // else reconnects from scratch on the next attempt.
+    if (!hinted_refusal) drop_connection();
+
+    // Decorrelated jitter: sleep uniform(initial, 3 * previous sleep),
+    // clamped to max_backoff_us and floored at the server's pacing hint.
+    const std::int64_t lo = std::max<std::int64_t>(0,
+                                                   cfg_.retry.initial_backoff_us);
+    const std::int64_t hi = std::max(lo, prev_sleep_us * 3);
+    std::int64_t sleep_us = lo;
+    if (hi > lo)
+      sleep_us = lo + static_cast<std::int64_t>(jitter_.uniform_int(
+                          static_cast<std::uint64_t>(hi - lo + 1)));
+    sleep_us = std::min(sleep_us, cfg_.retry.max_backoff_us);
+    if (hint_us > 0)
+      sleep_us = std::max(sleep_us, static_cast<std::int64_t>(hint_us));
+    if (deadline_us > 0 &&
+        elapsed_us(start) + sleep_us >=
+            static_cast<std::int64_t>(deadline_us))
+      return api::Status::DeadlineExceeded(
+          "retry backoff would overrun the request deadline; last "
+          "failure: " +
+          failure.message());
+    prev_sleep_us = std::max<std::int64_t>(sleep_us, 1);
+    if (sleep_us > 0)
+      std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+  }
+  return failure;  // unreachable: the loop returns on its last attempt
 }
 
 // ---- send_* ----------------------------------------------------------------
@@ -295,48 +459,145 @@ api::Result<api::TrainReport> Client::wait_train_baseline(std::uint64_t id) {
 
 // ---- blocking verbs --------------------------------------------------------
 
+namespace {
+
+template <typename T, typename DecodeFn>
+bool parse_reply_payload(const std::string& payload, DecodeFn decode,
+                         api::Result<T>* out, std::uint64_t* hint) {
+  Reader r(payload);
+  return decode_reply<T>(&r, decode, out, hint);
+}
+
+}  // namespace
+
 api::Result<api::SearchReport> Client::search(
     std::optional<api::EngineConfig> cfg, std::uint64_t deadline_us) {
-  api::Result<std::uint64_t> id = send_search(std::move(cfg), deadline_us);
-  if (!id.ok()) return id.status();
-  return wait_search(id.value());
+  Writer w;
+  encode_search_request(cfg, &w);
+  return roundtrip<api::SearchReport>(
+      FrameType::kSearch, w.bytes(), deadline_us, /*idempotent=*/false,
+      [](const std::string& p, api::Result<api::SearchReport>* out,
+         std::uint64_t* hint) {
+        return parse_reply_payload<api::SearchReport>(
+            p,
+            [](Reader* r, api::SearchReport* v) {
+              return decode_search_report(r, v);
+            },
+            out, hint);
+      });
 }
 
 api::Result<api::LatencyReport> Client::predict_latency(
     const api::Arch& arch, std::uint64_t deadline_us) {
-  api::Result<std::uint64_t> id = send_predict_latency(arch, deadline_us);
-  if (!id.ok()) return id.status();
-  return wait_predict_latency(id.value());
+  Writer w;
+  encode_predict_request(arch, &w);
+  return roundtrip<api::LatencyReport>(
+      FrameType::kPredictLatency, w.bytes(), deadline_us,
+      /*idempotent=*/true,
+      [](const std::string& p, api::Result<api::LatencyReport>* out,
+         std::uint64_t* hint) {
+        return parse_reply_payload<api::LatencyReport>(
+            p,
+            [](Reader* r, api::LatencyReport* v) {
+              return decode_latency_report(r, v);
+            },
+            out, hint);
+      });
 }
 
 api::Result<std::vector<api::LatencyReport>> Client::predict_batch(
     const std::vector<api::Arch>& archs, std::uint64_t deadline_us) {
-  api::Result<std::uint64_t> id = send_predict_batch(archs, deadline_us);
-  if (!id.ok()) return id.status();
-  return wait_predict_batch(id.value());
+  Writer w;
+  encode_predict_batch_request(archs, &w);
+  return roundtrip<std::vector<api::LatencyReport>>(
+      FrameType::kPredictBatch, w.bytes(), deadline_us,
+      /*idempotent=*/true,
+      [](const std::string& p,
+         api::Result<std::vector<api::LatencyReport>>* out,
+         std::uint64_t* hint) {
+        Reader r(p);
+        std::vector<api::Result<api::LatencyReport>> elements;
+        if (!decode_predict_batch_reply(&r, &elements, hint)) return false;
+        std::vector<api::LatencyReport> reports;
+        reports.reserve(elements.size());
+        for (const api::Result<api::LatencyReport>& e : elements) {
+          if (!e.ok()) {
+            *out = e.status();  // first failure fails the batch verb
+            return true;
+          }
+          reports.push_back(e.value());
+        }
+        *out = std::move(reports);
+        return true;
+      });
 }
 
 api::Result<api::ProfileReport> Client::profile(const api::Arch& arch,
                                                 std::uint64_t deadline_us) {
-  api::Result<std::uint64_t> id = send_profile(arch, deadline_us);
-  if (!id.ok()) return id.status();
-  return wait_profile(id.value());
+  Writer w;
+  encode_predict_request(arch, &w);
+  return roundtrip<api::ProfileReport>(
+      FrameType::kProfile, w.bytes(), deadline_us, /*idempotent=*/true,
+      [](const std::string& p, api::Result<api::ProfileReport>* out,
+         std::uint64_t* hint) {
+        return parse_reply_payload<api::ProfileReport>(
+            p,
+            [](Reader* r, api::ProfileReport* v) {
+              return decode_profile_report(r, v);
+            },
+            out, hint);
+      });
 }
 
 api::Result<api::ProfileReport> Client::profile_baseline(
     const std::string& name, const std::optional<api::Workload>& workload,
     std::uint64_t deadline_us) {
-  api::Result<std::uint64_t> id =
-      send_profile_baseline(name, workload, deadline_us);
-  if (!id.ok()) return id.status();
-  return wait_profile_baseline(id.value());
+  Writer w;
+  encode_profile_baseline_request(name, workload, &w);
+  return roundtrip<api::ProfileReport>(
+      FrameType::kProfileBaseline, w.bytes(), deadline_us,
+      /*idempotent=*/true,
+      [](const std::string& p, api::Result<api::ProfileReport>* out,
+         std::uint64_t* hint) {
+        return parse_reply_payload<api::ProfileReport>(
+            p,
+            [](Reader* r, api::ProfileReport* v) {
+              return decode_profile_report(r, v);
+            },
+            out, hint);
+      });
 }
 
 api::Result<api::TrainReport> Client::train_baseline(
     const std::string& name, std::uint64_t deadline_us) {
-  api::Result<std::uint64_t> id = send_train_baseline(name, deadline_us);
-  if (!id.ok()) return id.status();
-  return wait_train_baseline(id.value());
+  Writer w;
+  encode_train_baseline_request(name, &w);
+  return roundtrip<api::TrainReport>(
+      FrameType::kTrainBaseline, w.bytes(), deadline_us,
+      /*idempotent=*/false,
+      [](const std::string& p, api::Result<api::TrainReport>* out,
+         std::uint64_t* hint) {
+        return parse_reply_payload<api::TrainReport>(
+            p,
+            [](Reader* r, api::TrainReport* v) {
+              return decode_train_report(r, v);
+            },
+            out, hint);
+      });
+}
+
+api::Result<HealthReport> Client::ping(std::uint64_t deadline_us) {
+  return roundtrip<HealthReport>(
+      FrameType::kPing, "", deadline_us, /*idempotent=*/true,
+      [](const std::string& p, api::Result<HealthReport>* out,
+         std::uint64_t* hint) {
+        return parse_reply_payload<HealthReport>(
+            p,
+            [](Reader* r, HealthReport* v) {
+              return decode_health_report(r, v);
+            },
+            out, hint);
+      });
 }
 
 }  // namespace hg::net

@@ -22,12 +22,30 @@
 // request is answered DEADLINE_EXCEEDED without running; a request
 // already running is unaffected.
 //
+// Fault tolerance (blocking verbs only): with a RetryPolicy of more than
+// one attempt, a verb that fails in TRANSPORT (send/recv errno, torn or
+// unframeable reply, receive timeout — all surfaced as UNAVAILABLE)
+// reconnects and retries with exponential backoff and decorrelated
+// jitter. Retry is idempotency-aware: pure verbs (predict_latency,
+// predict_batch, profile, profile_baseline, ping) retry transparently;
+// mutating verbs (search, train_baseline) surface the UNAVAILABLE
+// instead — a transport failure cannot prove the request never ran —
+// unless RetryPolicy::retry_mutating opts in. The exception is a reply
+// carrying a retry_after_us hint: the server attaches it only to
+// requests it REFUSED before running (queue-full sheds, drain
+// refusals), so hinted refusals are retried for every verb, with the
+// backoff floored at the server's hint. Retries never extend past the
+// verb's deadline_us, measured from verb entry; each attempt's frame
+// carries only the remaining budget. The pipelined send_*/wait_* API
+// never retries (ids are tied to one connection).
+//
 // A Client is NOT thread-safe: drive one instance from one thread (open
 // several connections for concurrent callers).
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -36,8 +54,29 @@
 #include "api/engine.hpp"
 #include "api/status.hpp"
 #include "net/protocol.hpp"
+#include "net/transport.hpp"
+#include "tensor/rng.hpp"
 
 namespace hg::net {
+
+/// Retry schedule for the blocking verbs. The default (one attempt) is
+/// plain v1 behavior: every failure surfaces immediately.
+struct RetryPolicy {
+  /// Total attempts, the first one included; <= 1 disables retry.
+  int max_attempts = 1;
+  /// Decorrelated-jitter backoff: attempt n sleeps
+  /// uniform(initial_backoff_us, 3 * previous_sleep), clamped to
+  /// max_backoff_us and floored at the server's retry_after_us hint
+  /// when one was given.
+  std::int64_t initial_backoff_us = 2'000;
+  std::int64_t max_backoff_us = 200'000;
+  /// Seeds the jitter stream — deterministic backoff sequences in tests.
+  std::uint64_t jitter_seed = 1;
+  /// Opt in to retrying search / train_baseline on transport failures.
+  /// Only safe when the caller knows duplicated execution is acceptable
+  /// (e.g. deterministic seeds make a re-run idempotent anyway).
+  bool retry_mutating = false;
+};
 
 struct ClientConfig {
   std::string host = "127.0.0.1";
@@ -46,6 +85,10 @@ struct ClientConfig {
   /// 0 = block forever. A safety net against a hung peer, not a request
   /// deadline (use deadline_us for that).
   std::int64_t recv_timeout_ms = 0;
+  RetryPolicy retry;
+  /// Test seam: wraps the freshly connected transport (and every
+  /// reconnect's) — see net/chaos.hpp. Empty = use the socket directly.
+  TransportWrap wrap_transport;
 };
 
 class Client {
@@ -59,11 +102,11 @@ class Client {
     return connect(cfg);
   }
 
-  Client(Client&& other) noexcept;
-  Client& operator=(Client&& other) noexcept;
+  Client(Client&& other) noexcept = default;
+  Client& operator=(Client&& other) noexcept = default;
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
-  ~Client();
+  ~Client() = default;
 
   // ---- blocking verbs (send + wait) ----
   api::Result<api::SearchReport> search(
@@ -85,6 +128,10 @@ class Client {
       std::uint64_t deadline_us = 0);
   api::Result<api::TrainReport> train_baseline(const std::string& name,
                                                std::uint64_t deadline_us = 0);
+  /// Health probe (protocol v2): answered from the server's I/O thread
+  /// even when every worker is busy, so it reports saturation instead of
+  /// queueing behind it.
+  api::Result<HealthReport> ping(std::uint64_t deadline_us = 0);
 
   // ---- pipelined form: fire now, collect by id later ----
   api::Result<std::uint64_t> send_search(
@@ -110,7 +157,12 @@ class Client {
   api::Result<api::ProfileReport> wait_profile_baseline(std::uint64_t id);
   api::Result<api::TrainReport> wait_train_baseline(std::uint64_t id);
 
-  bool connected() const { return fd_ >= 0; }
+  bool connected() const { return transport_ != nullptr; }
+
+  /// Connections dialed over this client's lifetime (1 after connect();
+  /// grows with every automatic reconnect). Observability for tests and
+  /// callers curious whether their verbs have been riding retries.
+  std::int64_t connections_dialed() const { return connections_dialed_; }
 
   /// Announce "no more requests" (a kGoodbye frame) and FIN the write
   /// side. The read side stays open: outstanding wait_* calls still
@@ -127,6 +179,29 @@ class Client {
  private:
   Client() = default;
 
+  /// Parse one reply payload into a Result, reporting the server's
+  /// retry_after_us hint (0 = none). Returns false on malformed bytes —
+  /// a transport-class failure, distinct from a decoded error Status.
+  template <typename T>
+  using ParseReply = bool (*)(const std::string& payload, api::Result<T>* out,
+                              std::uint64_t* retry_after_us);
+
+  /// Dial cfg.host:cfg.port (EINTR-safe) and apply cfg.wrap_transport.
+  static api::Result<std::unique_ptr<Transport>> dial(
+      const ClientConfig& cfg);
+  /// Re-dial after a dropped connection; refused after goodbye()/close().
+  api::Status reconnect();
+  /// Tear down the transport and any half-accumulated frame. Stashed
+  /// complete replies survive (their ids are never reused).
+  void drop_connection();
+
+  /// The blocking-verb engine: send, await the reply, parse — retrying
+  /// per cfg_.retry as documented at the top of this header.
+  template <typename T>
+  api::Result<T> roundtrip(FrameType type, const std::string& payload,
+                           std::uint64_t deadline_us, bool idempotent,
+                           ParseReply<T> parse);
+
   api::Result<std::uint64_t> send_frame(FrameType type,
                                         std::uint64_t deadline_us,
                                         const std::string& payload);
@@ -134,9 +209,13 @@ class Client {
   /// checks its type and hands back the payload.
   api::Result<std::string> recv_reply(std::uint64_t id, FrameType type);
 
-  int fd_ = -1;
+  ClientConfig cfg_;
+  std::unique_ptr<Transport> transport_;
+  Rng jitter_{1};
+  std::int64_t connections_dialed_ = 0;
   std::uint64_t next_id_ = 1;
   bool sent_goodbye_ = false;  // write side FIN'd; reads still live
+  bool user_closed_ = false;   // explicit close(): no auto-reconnect
   std::string in_;  // partial-frame accumulation
   std::map<std::uint64_t, std::pair<std::uint16_t, std::string>> stash_;
 };

@@ -36,15 +36,43 @@ void encode_header(const FrameHeader& h, std::string* out) {
 }
 
 bool decode_header(const char* bytes, std::size_t len, FrameHeader* out) {
-  if (len < kHeaderSize) return false;
+  return decode_header_ex(bytes, len, out) == HeaderDecode::kOk;
+}
+
+HeaderDecode decode_header_ex(const char* bytes, std::size_t len,
+                              FrameHeader* out) {
+  if (len < kHeaderSize) return HeaderDecode::kTruncated;
   out->magic = static_cast<std::uint32_t>(get_le(bytes, 4));
   out->version = static_cast<std::uint16_t>(get_le(bytes + 4, 2));
   out->type = static_cast<std::uint16_t>(get_le(bytes + 6, 2));
   out->request_id = get_le(bytes + 8, 8);
   out->deadline_us = get_le(bytes + 16, 8);
   out->payload_len = static_cast<std::uint32_t>(get_le(bytes + 24, 4));
-  return out->magic == kMagic && out->version == kProtocolVersion &&
-         out->payload_len <= kMaxPayloadBytes;
+  if (out->magic != kMagic) return HeaderDecode::kBadMagic;
+  if (out->version != kProtocolVersion) return HeaderDecode::kBadVersion;
+  if (out->payload_len > kMaxPayloadBytes) return HeaderDecode::kOversized;
+  return HeaderDecode::kOk;
+}
+
+std::string encode_version_farewell(const FrameHeader& peer) {
+  // v1 status layout (code + message, no retry_after_us): the oldest
+  // layout every version can parse, framed with the PEER's claimed
+  // version so its decoder accepts the header.
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(api::StatusCode::kFailedPrecondition));
+  w.str("protocol version mismatch: peer speaks v" +
+        std::to_string(peer.version) + ", server speaks v" +
+        std::to_string(kProtocolVersion) + "; upgrade the client");
+  FrameHeader h;
+  h.version = peer.version;
+  h.type = static_cast<std::uint16_t>(peer.type | kReplyBit);
+  h.request_id = peer.request_id;
+  h.payload_len = static_cast<std::uint32_t>(w.bytes().size());
+  std::string out;
+  out.reserve(kHeaderSize + w.bytes().size());
+  encode_header(h, &out);
+  out.append(w.bytes());
+  return out;
 }
 
 std::string encode_frame(FrameType type, bool reply, std::uint64_t request_id,
@@ -282,15 +310,20 @@ bool decode_engine_config(Reader* r, api::EngineConfig* out) {
   return ok;
 }
 
-void encode_status(const api::Status& status, Writer* w) {
+void encode_status(const api::Status& status, Writer* w,
+                   std::uint64_t retry_after_us) {
   w->u32(static_cast<std::uint32_t>(status.code()));
   w->str(status.message());
+  w->u64(retry_after_us);
 }
 
-bool decode_status(Reader* r, api::Status* out) {
+bool decode_status(Reader* r, api::Status* out,
+                   std::uint64_t* retry_after_us) {
   std::uint32_t code = 0;
   std::string message;
-  if (!r->u32(&code) || !r->str(&message)) return false;
+  std::uint64_t hint = 0;
+  if (!r->u32(&code) || !r->str(&message) || !r->u64(&hint)) return false;
+  if (retry_after_us != nullptr) *retry_after_us = hint;
   switch (static_cast<api::StatusCode>(code)) {
     case api::StatusCode::kOk:
       *out = api::Status::Ok();
@@ -321,6 +354,35 @@ bool decode_status(Reader* r, api::Status* out) {
       return true;
   }
   return false;  // unknown code: malformed reply
+}
+
+const char* health_state_name(HealthState state) {
+  switch (state) {
+    case HealthState::kAccepting:
+      return "accepting";
+    case HealthState::kDraining:
+      return "draining";
+    case HealthState::kOverloaded:
+      return "overloaded";
+  }
+  return "unknown";
+}
+
+void encode_health_report(const HealthReport& rep, Writer* w) {
+  w->u8(static_cast<std::uint8_t>(rep.state));
+  w->i64(rep.queue_depth);
+  w->i64(rep.workers);
+  w->u64(rep.uptime_us);
+}
+
+bool decode_health_report(Reader* r, HealthReport* out) {
+  std::uint8_t state = 0;
+  bool ok = r->u8(&state) && r->i64(&out->queue_depth) &&
+            r->i64(&out->workers) && r->u64(&out->uptime_us);
+  if (!ok || state > static_cast<std::uint8_t>(HealthState::kOverloaded))
+    return false;
+  out->state = static_cast<HealthState>(state);
+  return true;
 }
 
 void encode_latency_report(const api::LatencyReport& rep, Writer* w) {
@@ -539,21 +601,30 @@ bool decode_train_baseline_request(Reader* r, std::string* out) {
 }
 
 std::string encode_predict_batch_reply(
-    const std::vector<api::Result<api::LatencyReport>>& results) {
+    const std::vector<api::Result<api::LatencyReport>>& results,
+    std::uint64_t shed_retry_after_us) {
   Writer w;
   encode_status(api::Status::Ok(), &w);
   w.u32(static_cast<std::uint32_t>(results.size()));
   for (const api::Result<api::LatencyReport>& r : results) {
-    encode_status(r.ok() ? api::Status::Ok() : r.status(), &w);
+    const api::Status status = r.ok() ? api::Status::Ok() : r.status();
+    encode_status(status, &w,
+                  status.code() == api::StatusCode::kResourceExhausted
+                      ? shed_retry_after_us
+                      : 0);
     if (r.ok()) encode_latency_report(r.value(), &w);
   }
   return w.take();
 }
 
 bool decode_predict_batch_reply(
-    Reader* r, std::vector<api::Result<api::LatencyReport>>* out) {
+    Reader* r, std::vector<api::Result<api::LatencyReport>>* out,
+    std::uint64_t* retry_after_us) {
+  if (retry_after_us != nullptr) *retry_after_us = 0;
   api::Status envelope;
-  if (!decode_status(r, &envelope)) return false;
+  std::uint64_t envelope_hint = 0;
+  if (!decode_status(r, &envelope, &envelope_hint)) return false;
+  if (retry_after_us != nullptr) *retry_after_us = envelope_hint;
   if (!envelope.ok()) {
     // A whole-batch failure (e.g. malformed payload reported by the
     // server) still decodes: one Result per nothing.
@@ -567,7 +638,10 @@ bool decode_predict_batch_reply(
   out->clear();
   for (std::uint32_t i = 0; i < n; ++i) {
     api::Status status;
-    if (!decode_status(r, &status)) return false;
+    std::uint64_t hint = 0;
+    if (!decode_status(r, &status, &hint)) return false;
+    if (retry_after_us != nullptr && hint > *retry_after_us)
+      *retry_after_us = hint;
     if (status.ok()) {
       api::LatencyReport rep;
       if (!decode_latency_report(r, &rep)) return false;

@@ -1,4 +1,4 @@
-// protocol.hpp — the hg::net wire protocol (version 1).
+// protocol.hpp — the hg::net wire protocol (version 2).
 //
 // A versioned, length-prefixed binary framing that carries every
 // serve::Request variant and its Result<T> reply over a byte stream, so a
@@ -6,11 +6,21 @@
 // protocol is deliberately dependency-free: fixed-width little-endian
 // integers, IEEE-754 doubles bit-cast to u64, and length-prefixed strings.
 //
+// Version history:
+//   v1  initial framing + verb payloads (PR 5).
+//   v2  every encoded Status carries a trailing retry_after_us hint
+//       (0 = none — attached to refused-before-running replies so client
+//       backoff can honor the server's pacing), and kPing answers a
+//       HealthReport. A v2 server answers a mismatched-version peer with
+//       one best-effort FAILED_PRECONDITION reply framed in the PEER's
+//       version before dropping it (see encode_version_farewell), so an
+//       old client sees a clean typed error, not a silent hangup.
+//
 // Frame layout (header is exactly kHeaderSize bytes):
 //
 //   offset  size  field
 //        0     4  magic        0x4847'4E31 ("HGN1")
-//        4     2  version      kProtocolVersion (1)
+//        4     2  version      kProtocolVersion (2)
 //        6     2  type         FrameType (request, or request | kReplyBit)
 //        8     8  request_id   caller-chosen, echoed verbatim in the reply
 //       16     8  deadline_us  queue-time budget in microseconds from
@@ -45,7 +55,7 @@
 namespace hg::net {
 
 inline constexpr std::uint32_t kMagic = 0x4847'4E31;  // "HGN1"
-inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::uint16_t kProtocolVersion = 2;
 inline constexpr std::size_t kHeaderSize = 28;
 /// Upper bound on payload_len a peer will accept. Large enough for any
 /// real report (a SearchReport is a few tens of KB); small enough that a
@@ -68,6 +78,11 @@ enum class FrameType : std::uint16_t {
   /// still-queued requests are cancelled (a TCP FIN alone cannot say
   /// which of the two the client meant).
   kGoodbye = 7,
+  /// Empty-payload health probe, answered from the server's I/O thread
+  /// without touching the worker queues (a ping must come back even when
+  /// the service is saturated): the reply is OK + a HealthReport. New in
+  /// protocol v2.
+  kPing = 8,
 };
 inline constexpr std::uint16_t kReplyBit = 0x80;
 
@@ -87,6 +102,27 @@ void encode_header(const FrameHeader& h, std::string* out);
 /// on bad magic, unknown version, or payload_len > kMaxPayloadBytes — the
 /// stream is unframeable and the connection must be dropped.
 bool decode_header(const char* bytes, std::size_t len, FrameHeader* out);
+
+/// Classified header parse. `out` is filled whenever the bytes suffice,
+/// even on rejection — kBadVersion callers need the peer's claimed
+/// version / id / type to frame the farewell reply.
+enum class HeaderDecode : std::uint8_t {
+  kOk,
+  kTruncated,   // fewer than kHeaderSize bytes
+  kBadMagic,    // not this protocol at all
+  kBadVersion,  // our magic, a version we do not speak
+  kOversized,   // payload_len > kMaxPayloadBytes
+};
+HeaderDecode decode_header_ex(const char* bytes, std::size_t len,
+                              FrameHeader* out);
+
+/// The one frame a server sends to a peer speaking another protocol
+/// version: a FAILED_PRECONDITION reply framed in the PEER's version
+/// (our frames would be rejected by its decoder) with the v1 status
+/// layout (code + message — the retry_after_us field is v2-only), echoing
+/// the offending frame's id and type. Best-effort: flushed once, then
+/// the connection is dropped (nothing later in the stream can be parsed).
+std::string encode_version_farewell(const FrameHeader& peer);
 
 // ---- payload encoding ------------------------------------------------------
 
@@ -159,8 +195,33 @@ bool decode_workload(Reader* r, api::Workload* out);
 void encode_engine_config(const api::EngineConfig& cfg, Writer* w);
 bool decode_engine_config(Reader* r, api::EngineConfig* out);
 
-void encode_status(const api::Status& status, Writer* w);
-bool decode_status(Reader* r, api::Status* out);
+/// v2 status layout: u32 code, str message, u64 retry_after_us. The hint
+/// is only ever non-zero on replies the server REFUSED before running
+/// (queue-full sheds, drain refusals) — it both paces the client's retry
+/// backoff and certifies "this request never executed", which is what
+/// makes retrying it safe for every verb, mutating ones included.
+void encode_status(const api::Status& status, Writer* w,
+                   std::uint64_t retry_after_us = 0);
+bool decode_status(Reader* r, api::Status* out,
+                   std::uint64_t* retry_after_us = nullptr);
+
+/// Server health, answered to kPing (v2).
+enum class HealthState : std::uint8_t {
+  kAccepting = 0,   // normal operation
+  kDraining = 1,    // Server::drain(): finishing queued work, no new work
+  kOverloaded = 2,  // bounded queue at capacity; expect sheds
+};
+const char* health_state_name(HealthState state);
+
+struct HealthReport {
+  HealthState state = HealthState::kAccepting;
+  std::int64_t queue_depth = 0;  // admitted, not yet started
+  std::int64_t workers = 0;
+  std::uint64_t uptime_us = 0;
+};
+
+void encode_health_report(const HealthReport& rep, Writer* w);
+bool decode_health_report(Reader* r, HealthReport* out);
 
 void encode_latency_report(const api::LatencyReport& rep, Writer* w);
 bool decode_latency_report(Reader* r, api::LatencyReport* out);
@@ -203,18 +264,29 @@ bool decode_train_baseline_request(Reader* r, std::string* out);
 // A reply is encode_status(...) then, iff OK, the report. The typed
 // helpers below build / parse the whole payload.
 
+/// `shed_retry_after_us`, when non-zero, is attached to RESOURCE_EXHAUSTED
+/// statuses only — the shed path (the request was refused before running);
+/// other error codes mean the request ran and must not advertise a hint.
 template <typename T, typename EncodeFn>
-std::string encode_reply(const api::Result<T>& result, EncodeFn encode) {
+std::string encode_reply(const api::Result<T>& result, EncodeFn encode,
+                         std::uint64_t shed_retry_after_us = 0) {
   Writer w;
-  encode_status(result.ok() ? api::Status::Ok() : result.status(), &w);
+  const api::Status status =
+      result.ok() ? api::Status::Ok() : result.status();
+  const std::uint64_t hint =
+      status.code() == api::StatusCode::kResourceExhausted
+          ? shed_retry_after_us
+          : 0;
+  encode_status(status, &w, hint);
   if (result.ok()) encode(result.value(), &w);
   return w.take();
 }
 
 template <typename T, typename DecodeFn>
-bool decode_reply(Reader* r, DecodeFn decode, api::Result<T>* out) {
+bool decode_reply(Reader* r, DecodeFn decode, api::Result<T>* out,
+                  std::uint64_t* retry_after_us = nullptr) {
   api::Status status;
-  if (!decode_status(r, &status)) return false;
+  if (!decode_status(r, &status, retry_after_us)) return false;
   if (!status.ok()) {
     if (!r->exhausted()) return false;
     *out = status;
@@ -228,11 +300,14 @@ bool decode_reply(Reader* r, DecodeFn decode, api::Result<T>* out) {
 
 /// The batch reply carries one Result per element (the service answers
 /// each query independently; a bad genome fails alone, its batchmates
-/// still succeed).
+/// still succeed). `shed_retry_after_us` applies to the RESOURCE_EXHAUSTED
+/// elements; decode surfaces the max over all elements.
 std::string encode_predict_batch_reply(
-    const std::vector<api::Result<api::LatencyReport>>& results);
+    const std::vector<api::Result<api::LatencyReport>>& results,
+    std::uint64_t shed_retry_after_us = 0);
 bool decode_predict_batch_reply(
-    Reader* r, std::vector<api::Result<api::LatencyReport>>* out);
+    Reader* r, std::vector<api::Result<api::LatencyReport>>* out,
+    std::uint64_t* retry_after_us = nullptr);
 
 /// Whole-frame convenience: header + payload in one buffer.
 std::string encode_frame(FrameType type, bool reply, std::uint64_t request_id,

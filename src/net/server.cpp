@@ -22,6 +22,7 @@
 
 #include "core/annotations.hpp"
 #include "net/protocol.hpp"
+#include "net/transport.hpp"
 
 namespace hg::net {
 
@@ -79,7 +80,9 @@ struct Server::Impl {
   };
 
   struct Conn {
-    int fd = -1;
+    // Owns the fd (closes it on destruction). The map key is the same
+    // fd, used for poll(2).
+    std::unique_ptr<Transport> transport;
     std::string in;
     std::string out;
     std::shared_ptr<std::atomic<bool>> cancel;
@@ -88,10 +91,20 @@ struct Server::Impl {
     // already submitted are still served and their replies flushed
     // before the connection is closed. A FIN *without* a goodbye is an
     // abandoning disconnect and cancels this connection's queued work.
-    bool draining = false;
-    // A draining peer's FIN arrived (it shutdown(SHUT_WR) after the
+    bool goodbye = false;
+    // A goodbye peer's FIN arrived (it shutdown(SHUT_WR) after the
     // goodbye); stop polling its read side.
     bool peer_eof = false;
+    // Server-side drain: we FIN'd our write side after the last reply
+    // flushed; reads are discarded until the peer's FIN closes the
+    // connection for good.
+    bool half_closed = false;
+    // We answered this peer (a reply, a ping, a refusal) while draining:
+    // it has been TOLD about the drain, so once its work is flushed the
+    // FIN below is not a surprise hangup. A peer idle since drain began
+    // keeps its connection (it may still want to ping) until it next
+    // speaks or stop() closes everything.
+    bool answered_in_drain = false;
   };
 
   serve::Service* service = nullptr;
@@ -101,6 +114,11 @@ struct Server::Impl {
   int wake_write = -1;
   std::thread loop;
   std::atomic<bool> stopping{false};
+  // Server::drain(): written by any thread, acted on by the poll thread
+  // (which closes the listen fd and starts refusing new frames).
+  std::atomic<bool> draining{false};
+  const std::chrono::steady_clock::time_point started =
+      std::chrono::steady_clock::now();
   core::Mutex stop_mutex;  // serializes concurrent Server::stop() callers
 
   // The counters are the only Impl state shared between the poll thread
@@ -175,6 +193,14 @@ struct Server::Impl {
   // ---- the poll loop -------------------------------------------------------
   void run() {
     while (!stopping.load(std::memory_order_acquire)) {
+      // Draining: close the listen socket here, on the thread that owns
+      // it, so a late client sees a refused connection instead of a
+      // backlog nobody will ever accept. A pollfd with fd < 0 is
+      // ignored, so the (now -1) listen slot below stays harmless.
+      if (draining.load(std::memory_order_acquire) && listen_fd >= 0) {
+        ::close(listen_fd);
+        listen_fd = -1;
+      }
       std::vector<pollfd> fds;
       fds.push_back({wake_read, POLLIN, 0});
       const bool can_accept =
@@ -234,7 +260,9 @@ struct Server::Impl {
       const int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
       Conn c;
-      c.fd = fd;
+      c.transport = std::make_unique<SocketTransport>(fd);
+      if (cfg.wrap_transport)
+        c.transport = cfg.wrap_transport(std::move(c.transport));
       c.cancel = std::make_shared<std::atomic<bool>>(false);
       conns.emplace(fd, std::move(c));
       bump(&NetStats::connections_opened);
@@ -270,19 +298,21 @@ struct Server::Impl {
   /// are flushed (see pump_completions). A FIN with no goodbye is an
   /// abandoning disconnect: the final buffered frames are discarded
   /// unsubmitted and dropping the connection cancels its queued work
-  /// (close_conn).
+  /// (close_conn). A half-closed (server-drain) connection only reads
+  /// to discard: its peer's FIN is the close.
   bool read_from(Conn& c) {
     char buf[kReadChunk];
     for (;;) {
-      const ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+      const ssize_t n = c.transport->recv(buf, sizeof(buf));
       if (n > 0) {
-        c.in.append(buf, static_cast<std::size_t>(n));
+        if (!c.half_closed) c.in.append(buf, static_cast<std::size_t>(n));
         continue;
       }
       if (n == 0) {  // orderly shutdown by the peer
-        if (!c.draining && !buffered_goodbye(c)) return false;  // abandoned
+        if (c.half_closed) return false;  // drain handshake complete
+        if (!c.goodbye && !buffered_goodbye(c)) return false;  // abandoned
         if (!parse_frames(c)) return false;
-        if (!c.draining) return false;  // the goodbye was malformed
+        if (!c.goodbye) return false;  // the goodbye was malformed
         c.peer_eof = true;
         return !(c.pending.empty() && c.out.empty());
       }
@@ -290,17 +320,28 @@ struct Server::Impl {
       if (errno == EINTR) continue;
       return false;
     }
-    return parse_frames(c);
+    return c.half_closed || parse_frames(c);
   }
 
   bool parse_frames(Conn& c) {
     std::size_t consumed = 0;
-    while (!c.draining && c.in.size() - consumed >= kHeaderSize) {
+    while (!c.goodbye && c.in.size() - consumed >= kHeaderSize) {
       FrameHeader h;
-      if (!decode_header(c.in.data() + consumed, c.in.size() - consumed,
-                         &h)) {
-        // Bad magic / version / oversized length: byte-stream framing is
-        // lost, nothing downstream can be trusted. Drop the connection.
+      const HeaderDecode hd = decode_header_ex(
+          c.in.data() + consumed, c.in.size() - consumed, &h);
+      if (hd == HeaderDecode::kBadVersion) {
+        // A peer speaking another protocol version: answer its frame
+        // with one FAILED_PRECONDITION farewell framed in ITS version
+        // (best-effort flush below), then drop — the rest of its stream
+        // cannot be parsed.
+        bump(&NetStats::version_mismatches);
+        c.out.append(encode_version_farewell(h));
+        (void)flush(c);
+        return false;
+      }
+      if (hd != HeaderDecode::kOk) {
+        // Bad magic / oversized length: byte-stream framing is lost,
+        // nothing downstream can be trusted. Drop the connection.
         bump(&NetStats::connections_dropped);
         return false;
       }
@@ -309,7 +350,7 @@ struct Server::Impl {
                    h.payload_len);
       consumed += kHeaderSize + h.payload_len;
     }
-    if (c.draining)
+    if (c.goodbye)
       c.in.clear();  // nothing after a goodbye is meaningful
     else
       c.in.erase(0, consumed);
@@ -322,6 +363,17 @@ struct Server::Impl {
     encode_status(status, &w);
     send_reply(c, type, id, w.take());
     bump(&NetStats::frames_rejected);
+  }
+
+  /// A refused-before-running reply (drain-time UNAVAILABLE): carries the
+  /// retry_after_us hint so the peer can pace its retry. Not counted as a
+  /// rejected frame — the request was well-formed, just turned away.
+  void reply_refusal(Conn& c, FrameType type, std::uint64_t id,
+                     const api::Status& status) {
+    Writer w;
+    encode_status(status, &w, cfg.shed_retry_after_us);
+    send_reply(c, type, id, w.take());
+    if (cfg.shed_retry_after_us > 0) service->record_shed_hint();
   }
 
   void send_reply(Conn& c, FrameType type, std::uint64_t id,
@@ -342,6 +394,7 @@ struct Server::Impl {
     }
     c.out.append(encode_frame(type, /*reply=*/true, id, 0, payload));
     bump(&NetStats::replies_sent);
+    if (draining.load(std::memory_order_acquire)) c.answered_in_drain = true;
   }
 
   void handle_frame(Conn& c, const FrameHeader& h, const char* payload,
@@ -350,7 +403,7 @@ struct Server::Impl {
     const auto type = static_cast<FrameType>(h.type & ~kReplyBit);
     if (is_reply || h.type == 0 ||
         (h.type & ~kReplyBit) >
-            static_cast<std::uint16_t>(FrameType::kGoodbye)) {
+            static_cast<std::uint16_t>(FrameType::kPing)) {
       reply_error(c, type, h.request_id,
                   api::Status::InvalidArgument(
                       "unknown frame type " + std::to_string(h.type)));
@@ -364,7 +417,46 @@ struct Server::Impl {
                         "goodbye frame carries a payload"));
         return;
       }
-      c.draining = true;  // no reply: the close after the drain is the ack
+      c.goodbye = true;  // no reply: the close after the drain is the ack
+      return;
+    }
+    if (type == FrameType::kPing) {
+      if (len != 0) {
+        reply_error(c, type, h.request_id,
+                    api::Status::InvalidArgument(
+                        "ping frame carries a payload"));
+        return;
+      }
+      // Answered right here on the I/O thread — a ping must come back
+      // even when every worker is wedged, which is exactly when callers
+      // need the report.
+      service->record_ping();
+      const serve::ServiceStats s = service->stats();
+      HealthReport rep;
+      rep.state = draining.load(std::memory_order_acquire)
+                      ? HealthState::kDraining
+                      : (cfg.service.max_queue_depth > 0 &&
+                                 s.queue_depth >= cfg.service.max_queue_depth
+                             ? HealthState::kOverloaded
+                             : HealthState::kAccepting);
+      rep.queue_depth = s.queue_depth;
+      rep.workers = cfg.service.num_workers;
+      rep.uptime_us = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - started)
+              .count());
+      Writer w;
+      encode_status(api::Status::Ok(), &w);
+      encode_health_report(rep, &w);
+      send_reply(c, type, h.request_id, w.take());
+      return;
+    }
+    if (draining.load(std::memory_order_acquire)) {
+      // Refused BEFORE submission: this request never ran, which the
+      // retry_after_us hint certifies — safe to retry elsewhere (or
+      // here, if the drain is a rolling restart) for every verb.
+      reply_refusal(c, type, h.request_id,
+                    api::Status::Unavailable("server is draining"));
       return;
     }
 
@@ -472,6 +564,7 @@ struct Server::Impl {
         break;
       }
       case FrameType::kGoodbye:
+      case FrameType::kPing:
         return;  // handled above the switch; never reaches here
     }
     c.pending.push_back(std::move(p));
@@ -481,6 +574,7 @@ struct Server::Impl {
   /// completion order across requests (pipelined ids resolve out of
   /// order by design).
   void pump_completions() {
+    const bool drain_mode = draining.load(std::memory_order_acquire);
     std::vector<int> dead;
     for (auto& [fd, c] : conns) {
       bool wrote = false;
@@ -500,54 +594,101 @@ struct Server::Impl {
         continue;
       }
       // A peer that said goodbye is done once its last reply flushed.
-      if (c.draining && c.pending.empty() && c.out.empty())
+      if (c.goodbye && c.pending.empty() && c.out.empty()) {
         dead.push_back(fd);
+        continue;
+      }
+      // Server drain: once a connection's admitted work is answered and
+      // flushed, FIN our write side — "that was the last byte" — and
+      // keep reading until the peer's FIN completes the handshake. Only
+      // connections we have ANSWERED during the drain are FIN'd: a peer
+      // idle since drain began still deserves its ping (state=draining)
+      // or refusal first; it gets the FIN right after that answer.
+      if (drain_mode && c.answered_in_drain && !c.half_closed &&
+          c.pending.empty() && c.out.empty()) {
+        c.transport->shutdown_write();
+        c.half_closed = true;
+      }
     }
     for (int fd : dead) close_conn(fd);
   }
 
-  static std::string encode_ready_reply(Pending& p) {
+  /// Builds the reply for a resolved Pending. A RESOURCE_EXHAUSTED
+  /// result is the service's queue-full shed — refused before running —
+  /// so it gets the retry_after_us hint (encode_reply attaches it to
+  /// that code only).
+  std::string encode_ready_reply(Pending& p) {
+    const std::uint64_t hint = cfg.shed_retry_after_us;
+    const auto note_shed = [this, hint](const api::Status& status) {
+      if (hint > 0 &&
+          status.code() == api::StatusCode::kResourceExhausted)
+        service->record_shed_hint();
+    };
     switch (p.type) {
-      case FrameType::kSearch:
-        return encode_reply<api::SearchReport>(
+      case FrameType::kSearch: {
+        const api::Result<api::SearchReport> r =
             std::get<std::future<api::Result<api::SearchReport>>>(p.future)
-                .get(),
+                .get();
+        if (!r.ok()) note_shed(r.status());
+        return encode_reply<api::SearchReport>(
+            r,
             [](const api::SearchReport& rep, Writer* w) {
               encode_search_report(rep, w);
-            });
-      case FrameType::kPredictLatency:
-        return encode_reply<api::LatencyReport>(
+            },
+            hint);
+      }
+      case FrameType::kPredictLatency: {
+        const api::Result<api::LatencyReport> r =
             std::get<std::future<api::Result<api::LatencyReport>>>(p.future)
-                .get(),
+                .get();
+        if (!r.ok()) note_shed(r.status());
+        return encode_reply<api::LatencyReport>(
+            r,
             [](const api::LatencyReport& rep, Writer* w) {
               encode_latency_report(rep, w);
-            });
+            },
+            hint);
+      }
       case FrameType::kPredictBatch: {
         auto& futures = std::get<
             std::vector<std::future<api::Result<api::LatencyReport>>>>(
             p.future);
         std::vector<api::Result<api::LatencyReport>> results;
         results.reserve(futures.size());
-        for (auto& f : futures) results.push_back(f.get());
-        return encode_predict_batch_reply(results);
+        for (auto& f : futures) {
+          results.push_back(f.get());
+          if (!results.back().ok()) note_shed(results.back().status());
+        }
+        return encode_predict_batch_reply(results, hint);
       }
       case FrameType::kProfile:
-      case FrameType::kProfileBaseline:
-        return encode_reply<api::ProfileReport>(
+      case FrameType::kProfileBaseline: {
+        const api::Result<api::ProfileReport> r =
             std::get<std::future<api::Result<api::ProfileReport>>>(p.future)
-                .get(),
+                .get();
+        if (!r.ok()) note_shed(r.status());
+        return encode_reply<api::ProfileReport>(
+            r,
             [](const api::ProfileReport& rep, Writer* w) {
               encode_profile_report(rep, w);
-            });
-      case FrameType::kTrainBaseline:
-        return encode_reply<api::TrainReport>(
+            },
+            hint);
+      }
+      case FrameType::kTrainBaseline: {
+        const api::Result<api::TrainReport> r =
             std::get<std::future<api::Result<api::TrainReport>>>(p.future)
-                .get(),
+                .get();
+        if (!r.ok()) note_shed(r.status());
+        return encode_reply<api::TrainReport>(
+            r,
             [](const api::TrainReport& rep, Writer* w) {
               encode_train_report(rep, w);
-            });
+            },
+            hint);
+      }
       case FrameType::kGoodbye:
-        break;  // a goodbye is never a Pending; fall to the error below
+      case FrameType::kPing:
+        break;  // never a Pending; fall to the error below
     }
     Writer w;
     encode_status(api::Status::Internal("unreachable reply type"), &w);
@@ -557,8 +698,7 @@ struct Server::Impl {
   /// False when the connection broke mid-write.
   bool flush(Conn& c) {
     while (!c.out.empty()) {
-      const ssize_t n =
-          ::send(c.fd, c.out.data(), c.out.size(), MSG_NOSIGNAL);
+      const ssize_t n = c.transport->send(c.out.data(), c.out.size());
       if (n > 0) {
         c.out.erase(0, static_cast<std::size_t>(n));
         continue;
@@ -576,9 +716,8 @@ struct Server::Impl {
     // Abandon this connection's still-queued work: the service resolves
     // it CANCELLED without running. Futures die with the Conn; the
     // service side holds its own promise references, so late
-    // resolutions are harmless.
+    // resolutions are harmless. The transport closes the fd.
     it->second.cancel->store(true, std::memory_order_relaxed);
-    ::close(fd);
     conns.erase(it);
     bump(&NetStats::connections_closed);
   }
@@ -587,11 +726,9 @@ struct Server::Impl {
     stopping.store(true, std::memory_order_release);
     wake();
     if (loop.joinable()) loop.join();
-    for (auto& [fd, c] : conns) {
+    for (auto& [fd, c] : conns)
       c.cancel->store(true, std::memory_order_relaxed);
-      ::close(fd);
-    }
-    conns.clear();
+    conns.clear();  // transports close their fds
     // Close the listen socket now (not in ~Impl): a late client must see
     // a refused/reset connection, not sit in a backlog nobody accepts.
     if (listen_fd >= 0) {
@@ -650,6 +787,21 @@ void Server::stop() {
   core::MutexLock lock(impl_->stop_mutex);
   impl_->shutdown_io();
   if (service_) service_->shutdown();
+}
+
+void Server::drain() {
+  if (impl_ == nullptr) return;
+  // Order matters: the service refuses new admissions first, so a frame
+  // racing the flag flip gets a clean refusal from one layer or the
+  // other — never queued work that no one will answer.
+  service_->drain();
+  impl_->draining.store(true, std::memory_order_release);
+  impl_->wake();
+}
+
+bool Server::draining() const {
+  return impl_ != nullptr &&
+         impl_->draining.load(std::memory_order_acquire);
 }
 
 NetStats Server::net_stats() const {

@@ -36,6 +36,7 @@
 #include <string>
 
 #include "api/status.hpp"
+#include "net/transport.hpp"
 #include "serve/service.hpp"
 
 namespace hg::net {
@@ -53,6 +54,14 @@ struct ServerConfig {
   /// because a socket front end must not let a fast peer grow the queue
   /// without limit.
   serve::ServiceConfig service{.max_queue_depth = 1024};
+  /// retry_after_us hint attached to refused-before-running replies
+  /// (queue-full RESOURCE_EXHAUSTED sheds, drain-time UNAVAILABLE
+  /// refusals): "come back in about this long". Clients floor their
+  /// retry backoff at it. 0 disables the hint.
+  std::uint64_t shed_retry_after_us = 5'000;
+  /// Test seam: wraps every accepted connection's transport (see
+  /// net/chaos.hpp). Empty = use the socket directly.
+  TransportWrap wrap_transport;
 };
 
 /// Net-level counters (monotone; snapshot via Server::net_stats()).
@@ -69,6 +78,9 @@ struct NetStats {
   // instead of framed (kept separate from frames_rejected: these come
   // from healthy traffic, not malformed input).
   std::int64_t oversized_replies = 0;
+  // Peers speaking another protocol version, answered with one
+  // best-effort FAILED_PRECONDITION farewell and dropped.
+  std::int64_t version_mismatches = 0;
 };
 
 class Server {
@@ -95,6 +107,18 @@ class Server {
   /// Stop accepting, close every connection (cancelling its queued
   /// requests), drain and shut down the service. Idempotent.
   void stop();
+
+  /// Graceful wind-down, non-blocking and idempotent: close the listen
+  /// socket (new connects are refused), refuse new frames with
+  /// UNAVAILABLE + retry_after_us, finish every request already
+  /// admitted, flush its reply, then half-close each connection and wait
+  /// for the peer's FIN. Pings still answer (state = draining): a
+  /// connection is only FIN'd after it has been answered during the
+  /// drain, so an idle peer keeps its connection until it next speaks
+  /// (it gets that answer, then the FIN). Call stop() afterwards to join
+  /// the I/O thread and the workers.
+  void drain();
+  bool draining() const;
 
   NetStats net_stats() const;
   const std::shared_ptr<serve::Service>& service() const { return service_; }

@@ -1,0 +1,22 @@
+#include "net/transport.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace hg::net {
+
+SocketTransport::~SocketTransport() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+ssize_t SocketTransport::send(const char* data, std::size_t len) {
+  return ::send(fd_, data, len, MSG_NOSIGNAL);
+}
+
+ssize_t SocketTransport::recv(char* buf, std::size_t len) {
+  return ::recv(fd_, buf, len, 0);
+}
+
+void SocketTransport::shutdown_write() { ::shutdown(fd_, SHUT_WR); }
+
+}  // namespace hg::net

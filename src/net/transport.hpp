@@ -1,0 +1,74 @@
+// transport.hpp — the byte-stream seam under hg::net.
+//
+// Client and Server speak to their peers exclusively through this
+// interface instead of a raw fd, so the I/O layer is substitutable: the
+// production implementation (SocketTransport) is a thin wrapper over
+// send(2)/recv(2), and tests wrap it in net::testing::ChaosTransport
+// (net/chaos.hpp) to inject short reads/writes, mid-frame resets, byte
+// corruption, and stalls deterministically — every failure path in the
+// protocol state machines is exercisable in-process.
+//
+// Semantics mirror the syscalls: send()/recv() return the byte count
+// moved, 0 from recv() means orderly EOF, and -1 sets errno (EINTR,
+// EAGAIN/EWOULDBLOCK, ECONNRESET, EPIPE, ...). A Transport owns its fd
+// and closes it on destruction. Instances are not thread-safe; each is
+// driven by exactly one thread (the client's caller, or the server's
+// poll thread).
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace hg::net {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// send(2) semantics: bytes written, or -1 with errno set. Never raises
+  /// SIGPIPE (the socket implementation passes MSG_NOSIGNAL).
+  virtual ssize_t send(const char* data, std::size_t len) = 0;
+
+  /// recv(2) semantics: bytes read, 0 on orderly EOF, or -1 with errno
+  /// set (EAGAIN/EWOULDBLOCK after SO_RCVTIMEO expires).
+  virtual ssize_t recv(char* buf, std::size_t len) = 0;
+
+  /// shutdown(SHUT_WR): FIN the write side, keep reading.
+  virtual void shutdown_write() = 0;
+
+  /// The underlying fd, for poll(2). Decorators forward to the inner
+  /// transport so the server's poll loop keeps working under chaos.
+  virtual int fd() const = 0;
+};
+
+/// The production transport: a connected TCP socket. Takes ownership of
+/// `fd` and closes it on destruction.
+class SocketTransport final : public Transport {
+ public:
+  explicit SocketTransport(int fd) : fd_(fd) {}
+  ~SocketTransport() override;
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  ssize_t send(const char* data, std::size_t len) override;
+  ssize_t recv(char* buf, std::size_t len) override;
+  void shutdown_write() override;
+  int fd() const override { return fd_; }
+
+ private:
+  int fd_;
+};
+
+/// Decoration hook: given the freshly connected/accepted transport,
+/// return the transport to actually use (tests return a ChaosTransport
+/// wrapping it). Called once per connection — on the client side that
+/// includes every automatic reconnect, so a schedule can differ per
+/// attempt.
+using TransportWrap =
+    std::function<std::unique_ptr<Transport>(std::unique_ptr<Transport>)>;
+
+}  // namespace hg::net

@@ -16,6 +16,10 @@ api::Status queue_full_status() {
   return api::Status::ResourceExhausted("service queue is full");
 }
 
+api::Status draining_status() {
+  return api::Status::Unavailable("service is draining");
+}
+
 api::Status expired_status() {
   return api::Status::DeadlineExceeded("deadline expired while queued");
 }
@@ -97,11 +101,37 @@ void Service::shutdown() {
   workers_.clear();
 }
 
+void Service::drain() {
+  {
+    core::MutexLock lock(mutex_);
+    if (draining_) return;
+    draining_ = true;
+    ++stats_.drain_started;
+  }
+  cv_.notify_all();
+}
+
+bool Service::draining() const {
+  core::MutexLock lock(mutex_);
+  return draining_;
+}
+
+void Service::record_ping() {
+  core::MutexLock lock(mutex_);
+  ++stats_.pings;
+}
+
+void Service::record_shed_hint() {
+  core::MutexLock lock(mutex_);
+  ++stats_.sheds_with_hint;
+}
+
 Service::Admission Service::enqueue(QueuedTask task, bool exclusive,
                                     bool count_predict) {
   {
     core::MutexLock lock(mutex_);
     if (stopping_) return Admission::kShutDown;
+    if (draining_) return Admission::kDraining;
     ++stats_.requests;
     if (count_predict) ++stats_.predict_requests;
     const std::int64_t depth =
@@ -153,6 +183,9 @@ std::future<api::Result<T>> Service::submit_task(
       break;
     case Admission::kQueueFull:
       fail(queue_full_status());
+      break;
+    case Admission::kDraining:
+      fail(draining_status());
       break;
   }
   return future;
@@ -206,6 +239,8 @@ std::future<api::Result<api::LatencyReport>> Service::submit(
     core::MutexLock lock(mutex_);
     if (stopping_) {
       refused = shut_down_status();
+    } else if (draining_) {
+      refused = draining_status();
     } else {
       ++stats_.requests;
       ++stats_.predict_requests;

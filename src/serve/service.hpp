@@ -93,6 +93,9 @@ struct ServiceStats {
   std::int64_t rejected_requests = 0;   // refused: bounded queue was full
   std::int64_t deadline_expired = 0;    // expired while still queued
   std::int64_t cancelled_requests = 0;  // cancelled while still queued
+  std::int64_t pings = 0;               // health probes answered (net)
+  std::int64_t sheds_with_hint = 0;     // refusals sent with retry_after_us
+  std::int64_t drain_started = 0;       // drain() transitions (0 or 1)
 };
 
 class Service {
@@ -128,6 +131,19 @@ class Service {
   /// workers. Idempotent; safe from any thread (not from a worker).
   void shutdown();
 
+  /// Stop ADMITTING requests (further submissions resolve UNAVAILABLE
+  /// "service is draining") while the workers keep running everything
+  /// already queued. Non-blocking and idempotent; the graceful first half
+  /// of shutdown() — call shutdown() afterwards to join the workers.
+  void drain();
+  bool draining() const;
+
+  /// Net-layer stat recorders (the wire front end answers pings and
+  /// attaches retry_after_us hints itself; the counters live here so one
+  /// snapshot tells the whole story).
+  void record_ping();
+  void record_shed_hint();
+
   ServiceStats stats() const;
   const std::shared_ptr<api::EvalContext>& context() const { return ctx_; }
   const api::EngineConfig& config() const { return base_cfg_; }
@@ -147,7 +163,7 @@ class Service {
   };
 
   /// How enqueue() disposed of a submission.
-  enum class Admission { kAccepted, kShutDown, kQueueFull };
+  enum class Admission { kAccepted, kShutDown, kQueueFull, kDraining };
 
   void start_workers(std::int64_t n);
   void worker_loop(std::size_t worker_index);
@@ -213,6 +229,7 @@ class Service {
   // is queued, the window fires early — see worker_loop).
   bool predict_window_waiter_ HG_GUARDED_BY(mutex_) = false;
   bool stopping_ HG_GUARDED_BY(mutex_) = false;
+  bool draining_ HG_GUARDED_BY(mutex_) = false;
   ServiceStats stats_ HG_GUARDED_BY(mutex_);
 
   // Written single-threaded in create() before the workers exist, then

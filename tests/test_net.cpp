@@ -4,6 +4,13 @@
 // the queue-time semantics: per-request deadlines, bounded-queue
 // back-pressure, disconnect cancellation, and the time-windowed predict
 // coalescing that batches remote trickle traffic.
+//
+// Fault tolerance (protocol v2) is covered by the NetChaos / NetClient
+// suites at the bottom: seeded transport-level fault injection
+// (net/chaos.hpp) drives short I/O, mid-frame resets, header corruption
+// and stalls through the retry/backoff path, with the invariant that
+// every verb either answers bit-identically to local or fails with a
+// clean typed Status — never a hang, crash, or torn frame.
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
@@ -22,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "net/chaos.hpp"
 #include "net/client.hpp"
 #include "net/protocol.hpp"
 #include "net/server.hpp"
@@ -889,6 +897,725 @@ TEST(NetServer, StopIsIdempotentAndRefusesLateClients) {
         late.value().train_baseline("dgcnn", /*deadline_us=*/0);
     EXPECT_FALSE(r.ok());
   }
+}
+
+// ---- protocol v2: retry hints, health, version farewell --------------------
+
+TEST(NetProtocol, StatusHintRoundTrip) {
+  Writer w;
+  encode_status(api::Status::ResourceExhausted("queue full"), &w, 12'345);
+  Reader r(w.bytes());
+  api::Status back;
+  std::uint64_t hint = 0;
+  ASSERT_TRUE(decode_status(&r, &back, &hint));
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(back.code(), api::StatusCode::kResourceExhausted);
+  EXPECT_EQ(hint, 12'345u);
+
+  // The hint defaults to zero and callers may ignore it entirely.
+  Writer plain;
+  encode_status(api::Status::Ok(), &plain);
+  Reader pr(plain.bytes());
+  ASSERT_TRUE(decode_status(&pr, &back));
+  EXPECT_TRUE(pr.exhausted());
+
+  // encode_reply attaches the shed hint to RESOURCE_EXHAUSTED only: any
+  // other code means the request RAN, and must not advertise "never ran".
+  const auto enc = [](const api::ProfileReport& rep, Writer* out) {
+    encode_profile_report(rep, out);
+  };
+  const std::vector<std::pair<api::Status, std::uint64_t>> cases = {
+      {api::Status::ResourceExhausted("shed"), 7'777},
+      {api::Status::Internal("ran and failed"), 0},
+  };
+  for (const auto& [status, expect_hint] : cases) {
+    const std::string payload = encode_reply<api::ProfileReport>(
+        api::Result<api::ProfileReport>(status), enc, 7'777);
+    Reader rr(payload);
+    api::Result<api::ProfileReport> out = api::Status::Internal("seed");
+    std::uint64_t got = 99;
+    ASSERT_TRUE(decode_reply<api::ProfileReport>(
+        &rr,
+        [](Reader* p, api::ProfileReport* rep) {
+          return decode_profile_report(p, rep);
+        },
+        &out, &got));
+    EXPECT_EQ(out.status().code(), status.code());
+    EXPECT_EQ(got, expect_hint);
+  }
+
+  // Batch replies surface the max over their elements' hints.
+  std::vector<api::Result<api::LatencyReport>> results;
+  results.emplace_back(api::LatencyReport{});
+  results.emplace_back(api::Status::ResourceExhausted("shed"));
+  const std::string batch = encode_predict_batch_reply(results, 4'242);
+  Reader br(batch);
+  std::vector<api::Result<api::LatencyReport>> back_batch;
+  std::uint64_t batch_hint = 0;
+  ASSERT_TRUE(decode_predict_batch_reply(&br, &back_batch, &batch_hint));
+  ASSERT_EQ(back_batch.size(), 2u);
+  EXPECT_EQ(batch_hint, 4'242u);
+}
+
+TEST(NetProtocol, HealthReportRoundTrip) {
+  HealthReport rep;
+  rep.state = HealthState::kOverloaded;
+  rep.queue_depth = 1024;
+  rep.workers = 8;
+  rep.uptime_us = 123'456'789;
+  Writer w;
+  encode_health_report(rep, &w);
+  Reader r(w.bytes());
+  HealthReport back;
+  ASSERT_TRUE(decode_health_report(&r, &back));
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(back.state, HealthState::kOverloaded);
+  EXPECT_EQ(back.queue_depth, 1024);
+  EXPECT_EQ(back.workers, 8);
+  EXPECT_EQ(back.uptime_us, 123'456'789u);
+
+  // Unknown state bytes are rejected, not coerced (strict decoding).
+  std::string bytes = w.bytes();
+  bytes[0] = 3;
+  Reader bad(bytes);
+  EXPECT_FALSE(decode_health_report(&bad, &back));
+
+  EXPECT_STREQ(health_state_name(HealthState::kAccepting), "accepting");
+  EXPECT_STREQ(health_state_name(HealthState::kDraining), "draining");
+  EXPECT_STREQ(health_state_name(HealthState::kOverloaded), "overloaded");
+}
+
+TEST(NetProtocol, HeaderDecodeClassifiesRejections) {
+  FrameHeader h;
+  h.type = static_cast<std::uint16_t>(FrameType::kProfile);
+  h.request_id = 41;
+  h.payload_len = 12;
+  std::string bytes;
+  encode_header(h, &bytes);
+
+  FrameHeader out;
+  EXPECT_EQ(decode_header_ex(bytes.data(), bytes.size(), &out),
+            HeaderDecode::kOk);
+  EXPECT_EQ(decode_header_ex(bytes.data(), kHeaderSize - 1, &out),
+            HeaderDecode::kTruncated);
+
+  std::string bad = bytes;
+  bad[0] = static_cast<char>(bad[0] ^ 0x40);
+  EXPECT_EQ(decode_header_ex(bad.data(), bad.size(), &out),
+            HeaderDecode::kBadMagic);
+
+  // An old (v1) frame is rejected as kBadVersion, but the fields are
+  // still reported — the farewell needs the peer's version / id / type.
+  std::string old = bytes;
+  old[4] = 1;
+  old[5] = 0;
+  ASSERT_EQ(decode_header_ex(old.data(), old.size(), &out),
+            HeaderDecode::kBadVersion);
+  EXPECT_EQ(out.version, 1);
+  EXPECT_EQ(out.request_id, 41u);
+  EXPECT_EQ(out.type, h.type);
+  const FrameHeader peer = out;
+
+  FrameHeader huge = h;
+  huge.payload_len = kMaxPayloadBytes + 1;
+  std::string huge_bytes;
+  encode_header(huge, &huge_bytes);
+  EXPECT_EQ(decode_header_ex(huge_bytes.data(), huge_bytes.size(), &out),
+            HeaderDecode::kOversized);
+
+  // The farewell to that v1 peer is framed in ITS version (our own
+  // decoder refuses it — exactly the point) and carries the v1 status
+  // layout: code + message, no trailing retry_after_us.
+  const std::string farewell = encode_version_farewell(peer);
+  ASSERT_GE(farewell.size(), kHeaderSize);
+  FrameHeader fh;
+  EXPECT_EQ(decode_header_ex(farewell.data(), farewell.size(), &fh),
+            HeaderDecode::kBadVersion);
+  EXPECT_EQ(fh.version, 1);
+  EXPECT_EQ(fh.type, h.type | kReplyBit);
+  EXPECT_EQ(fh.request_id, 41u);
+  ASSERT_EQ(farewell.size(), kHeaderSize + fh.payload_len);
+  Reader fr(farewell.data() + kHeaderSize, fh.payload_len);
+  std::uint32_t code = 0;
+  std::string message;
+  ASSERT_TRUE(fr.u32(&code));
+  ASSERT_TRUE(fr.str(&message));
+  EXPECT_TRUE(fr.exhausted());  // v1 layout: nothing after the message
+  EXPECT_EQ(code,
+            static_cast<std::uint32_t>(api::StatusCode::kFailedPrecondition));
+  EXPECT_NE(message.find("version"), std::string::npos);
+}
+
+// ---- health, draining, and shed hints over the wire ------------------------
+
+TEST(NetServer, PingReportsHealthAndDrainState) {
+  const api::EngineConfig cfg = tiny_cfg();
+  ServerConfig server_cfg;
+  server_cfg.service.num_workers = 2;
+  auto server = Server::create(cfg, server_cfg);
+  ASSERT_TRUE(server.ok()) << server.status().to_string();
+  auto client = Client::connect("127.0.0.1", server.value()->port());
+  ASSERT_TRUE(client.ok());
+  Client& remote = client.value();
+
+  api::Result<HealthReport> health = remote.ping();
+  ASSERT_TRUE(health.ok()) << health.status().to_string();
+  EXPECT_EQ(health.value().state, HealthState::kAccepting);
+  EXPECT_EQ(health.value().workers, 2);
+  EXPECT_EQ(health.value().queue_depth, 0);
+  EXPECT_GT(health.value().uptime_us, 0u);
+
+  // A second connection, opened before the drain closes the listener; it
+  // stays idle through the drain flip (idle peers are not FIN'd — they
+  // get their answer first, then the FIN).
+  auto other = Client::connect("127.0.0.1", server.value()->port());
+  ASSERT_TRUE(other.ok());
+  // connect() returning only proves the kernel completed the handshake;
+  // a round-trip proves the server accept()ed — without it, a loaded box
+  // can drain (closing the listener) while `other` still sits in the
+  // backlog, and the drop would masquerade as the drain refusal below.
+  ASSERT_TRUE(other.value().ping().ok());
+
+  // Draining: pings still answer (that is how a balancer notices the
+  // state), while every other verb is refused before submission.
+  EXPECT_FALSE(server.value()->draining());
+  server.value()->drain();
+  server.value()->drain();  // idempotent
+  EXPECT_TRUE(server.value()->draining());
+  api::Result<HealthReport> drained = remote.ping();
+  ASSERT_TRUE(drained.ok()) << drained.status().to_string();
+  EXPECT_EQ(drained.value().state, HealthState::kDraining);
+
+  const std::vector<api::Arch> archs = sample_archs(cfg, 1);
+  api::Result<api::ProfileReport> refused = other.value().profile(archs[0]);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), api::StatusCode::kUnavailable);
+
+  const serve::ServiceStats stats = server.value()->service()->stats();
+  EXPECT_GE(stats.pings, 2);
+  EXPECT_EQ(stats.drain_started, 1);
+  EXPECT_GE(stats.sheds_with_hint, 1);  // the drain refusal carried a hint
+}
+
+TEST(NetServer, OldVersionPeerGetsCleanFarewell) {
+  const api::EngineConfig cfg = tiny_cfg();
+  auto server = Server::create(cfg);
+  ASSERT_TRUE(server.ok()) << server.status().to_string();
+  const std::vector<api::Arch> archs = sample_archs(cfg, 1);
+
+  Writer w;
+  encode_predict_request(archs[0], &w);
+  std::string frame =
+      encode_frame(FrameType::kProfile, false, 21, 0, w.bytes());
+  frame[4] = 1;  // rewrite the version field: a v1 peer
+  frame[5] = 0;
+
+  RawConn conn(server.value()->port());
+  ASSERT_TRUE(conn.ok());
+  conn.send_bytes(frame);
+
+  // One FAILED_PRECONDITION farewell framed in v1, then EOF.
+  std::string buf;
+  char chunk[4096];
+  FrameHeader h;
+  for (;;) {
+    const ssize_t n = ::recv(conn.fd(), chunk, sizeof(chunk), 0);
+    ASSERT_GT(n, 0) << "server hung up without a farewell";
+    buf.append(chunk, static_cast<std::size_t>(n));
+    if (buf.size() < kHeaderSize) continue;
+    ASSERT_EQ(decode_header_ex(buf.data(), buf.size(), &h),
+              HeaderDecode::kBadVersion);  // framed in the PEER's version
+    if (buf.size() >= kHeaderSize + h.payload_len) break;
+  }
+  EXPECT_EQ(h.version, 1);
+  EXPECT_EQ(h.request_id, 21u);
+  EXPECT_EQ(h.type,
+            static_cast<std::uint16_t>(FrameType::kProfile) | kReplyBit);
+  Reader r(buf.data() + kHeaderSize, h.payload_len);
+  std::uint32_t code = 0;
+  std::string message;
+  ASSERT_TRUE(r.u32(&code));
+  ASSERT_TRUE(r.str(&message));
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(code,
+            static_cast<std::uint32_t>(api::StatusCode::kFailedPrecondition));
+  EXPECT_TRUE(conn.closed_by_peer());
+  EXPECT_GE(server.value()->net_stats().version_mismatches, 1);
+}
+
+TEST(NetServer, ShedRepliesCarryRetryAfterHint) {
+  const api::EngineConfig cfg = tiny_cfg();
+  ServerConfig server_cfg;
+  server_cfg.service.num_workers = 1;
+  server_cfg.service.max_queue_depth = 1;
+  server_cfg.shed_retry_after_us = 9'000;
+  auto server = Server::create(cfg, server_cfg);
+  ASSERT_TRUE(server.ok()) << server.status().to_string();
+  const std::vector<api::Arch> archs = sample_archs(cfg, 1);
+
+  auto pipelined = Client::connect("127.0.0.1", server.value()->port());
+  ASSERT_TRUE(pipelined.ok());
+  auto search_id = pipelined.value().send_search();
+  ASSERT_TRUE(search_id.ok());
+  wait_for_requests(*server.value(), 1);
+  wait_for_drain_into_worker(*server.value());  // search occupies the worker
+  auto queued_id = pipelined.value().send_profile(archs[0]);
+  ASSERT_TRUE(queued_id.ok());
+  wait_for_requests(*server.value(), 2);  // the queue is now full
+
+  // A raw probe: the shed reply must carry the configured hint.
+  Writer w;
+  encode_predict_request(archs[0], &w);
+  RawConn probe(server.value()->port());
+  ASSERT_TRUE(probe.ok());
+  probe.send_bytes(encode_frame(FrameType::kProfile, false, 5, 0, w.bytes()));
+  std::string buf;
+  char chunk[4096];
+  FrameHeader h;
+  for (;;) {
+    const ssize_t n = ::recv(probe.fd(), chunk, sizeof(chunk), 0);
+    ASSERT_GT(n, 0) << "no shed reply arrived";
+    buf.append(chunk, static_cast<std::size_t>(n));
+    if (buf.size() >= kHeaderSize) {
+      ASSERT_TRUE(decode_header(buf.data(), buf.size(), &h));
+      if (buf.size() >= kHeaderSize + h.payload_len) break;
+    }
+  }
+  Reader r(buf.data() + kHeaderSize, h.payload_len);
+  api::Result<api::ProfileReport> shed = api::Status::Internal("seed");
+  std::uint64_t hint = 0;
+  ASSERT_TRUE(decode_reply<api::ProfileReport>(
+      &r,
+      [](Reader* rr, api::ProfileReport* p) {
+        return decode_profile_report(rr, p);
+      },
+      &shed, &hint));
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), api::StatusCode::kResourceExhausted);
+  EXPECT_EQ(hint, 9'000u);
+  EXPECT_GE(server.value()->service()->stats().sheds_with_hint, 1);
+
+  // The hint certifies "never ran", so even a MUTATING verb may ride it:
+  // this search retries through the full queue (backoff floored at the
+  // hint) and succeeds once the worker frees up — without reconnecting.
+  ClientConfig retry_cfg;
+  retry_cfg.host = "127.0.0.1";
+  retry_cfg.port = server.value()->port();
+  retry_cfg.retry.max_attempts = 400;
+  retry_cfg.retry.initial_backoff_us = 2'000;
+  retry_cfg.retry.max_backoff_us = 20'000;
+  retry_cfg.retry.jitter_seed = fuzz_seed(7);
+  auto retrying = Client::connect(retry_cfg);
+  ASSERT_TRUE(retrying.ok());
+  api::Result<api::SearchReport> second = retrying.value().search();
+  EXPECT_TRUE(second.ok()) << second.status().to_string();
+  EXPECT_EQ(retrying.value().connections_dialed(), 1);
+
+  EXPECT_TRUE(pipelined.value().wait_profile(queued_id.value()).ok());
+  EXPECT_TRUE(pipelined.value().wait_search(search_id.value()).ok());
+}
+
+TEST(NetServer, DrainAnswersQueuedWorkThenCloses) {
+  const api::EngineConfig cfg = tiny_cfg();
+  ServerConfig server_cfg;
+  server_cfg.service.num_workers = 1;
+  auto server = Server::create(cfg, server_cfg);
+  ASSERT_TRUE(server.ok()) << server.status().to_string();
+  const std::uint16_t port = server.value()->port();
+  const std::vector<api::Arch> archs = sample_archs(cfg, 1);
+
+  auto client = Client::connect("127.0.0.1", port);
+  ASSERT_TRUE(client.ok());
+  Client& remote = client.value();
+  auto search_id = remote.send_search();
+  ASSERT_TRUE(search_id.ok());
+  std::vector<std::uint64_t> profile_ids;
+  for (int i = 0; i < 3; ++i) {
+    auto id = remote.send_profile(archs[0]);
+    ASSERT_TRUE(id.ok());
+    profile_ids.push_back(id.value());
+  }
+  wait_for_requests(*server.value(), 4);  // all admitted before the drain
+
+  server.value()->drain();
+
+  // A post-drain frame on the live connection is refused before
+  // submission (UNAVAILABLE, with a retry hint on the wire).
+  auto late_id = remote.send_profile(archs[0]);
+  ASSERT_TRUE(late_id.ok());
+  api::Result<api::ProfileReport> late = remote.wait_profile(late_id.value());
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), api::StatusCode::kUnavailable);
+
+  // Everything admitted before the drain is still answered.
+  for (std::uint64_t id : profile_ids) {
+    api::Result<api::ProfileReport> r = remote.wait_profile(id);
+    EXPECT_TRUE(r.ok()) << r.status().to_string();
+  }
+  EXPECT_TRUE(remote.wait_search(search_id.value()).ok());
+
+  // After the last reply the server half-closes; the next roundtrip sees
+  // a clean UNAVAILABLE (refusal or EOF, depending on the race) instead
+  // of hanging.
+  api::Result<api::ProfileReport> after = remote.profile(archs[0]);
+  ASSERT_FALSE(after.ok());
+  EXPECT_EQ(after.status().code(), api::StatusCode::kUnavailable);
+
+  // New connections are refused once the poll thread closes the listen
+  // socket (its next wakeup after the drain flag flips).
+  bool refused = false;
+  for (int i = 0; i < 2000 && !refused; ++i) {
+    auto late_client = Client::connect("127.0.0.1", port);
+    if (!late_client.ok()) {
+      EXPECT_EQ(late_client.status().code(), api::StatusCode::kUnavailable);
+      refused = true;
+    } else {
+      std::this_thread::sleep_for(1ms);
+    }
+  }
+  EXPECT_TRUE(refused) << "drain never closed the listen socket";
+
+  const serve::ServiceStats stats = server.value()->service()->stats();
+  EXPECT_EQ(stats.drain_started, 1);
+  EXPECT_EQ(stats.cancelled_requests, 0) << "drain abandoned admitted work";
+  server.value()->stop();
+}
+
+// ---- chaos: deterministic transport fault injection ------------------------
+
+using testing::ChaosConfig;
+using testing::ChaosStats;
+
+/// Assert a remote report re-encodes bit-identically to the local one.
+template <typename Report, typename EncodeFn>
+void expect_bit_identical(const Report& remote, const Report& local,
+                          EncodeFn encode) {
+  Writer a, b;
+  encode(remote, &a);
+  encode(local, &b);
+  EXPECT_EQ(a.bytes(), b.bytes()) << "remote answer diverged from local";
+}
+
+TEST(NetChaos, ShortIoOnBothSidesStaysBitIdentical) {
+  // Short reads/writes are lossless: every verb must still answer OK and
+  // bit-identical to local, with no retries needed (max_attempts = 1).
+  const std::uint64_t seed = fuzz_seed(4242);
+  const api::EngineConfig cfg = tiny_cfg();
+
+  ChaosStats server_faults;
+  ChaosConfig server_chaos;
+  server_chaos.seed = seed;
+  server_chaos.short_io_rate = 0.6;
+  ServerConfig server_cfg;
+  server_cfg.wrap_transport =
+      testing::chaos_wrap(server_chaos, &server_faults);
+  auto server = Server::create(cfg, server_cfg);
+  ASSERT_TRUE(server.ok()) << server.status().to_string();
+  auto engine =
+      api::Engine::create(cfg, server.value()->service()->context());
+  ASSERT_TRUE(engine.ok());
+  const std::vector<api::Arch> archs = sample_archs(cfg, 3);
+
+  ChaosStats client_faults;
+  ChaosConfig client_chaos;
+  client_chaos.seed = seed + 1'000'000;
+  client_chaos.short_io_rate = 0.6;
+  ClientConfig client_cfg;
+  client_cfg.host = "127.0.0.1";
+  client_cfg.port = server.value()->port();
+  client_cfg.wrap_transport =
+      testing::chaos_wrap(client_chaos, &client_faults);
+  auto client = Client::connect(client_cfg);
+  ASSERT_TRUE(client.ok()) << client.status().to_string();
+  Client& remote = client.value();
+
+  for (const api::Arch& a : archs) {
+    api::Result<api::LatencyReport> r1 = remote.predict_latency(a);
+    api::Result<api::LatencyReport> r2 = engine.value().predict_latency(a);
+    ASSERT_TRUE(r1.ok()) << r1.status().to_string();
+    ASSERT_TRUE(r2.ok());
+    expect_bit_identical(r1.value(), r2.value(),
+                         [](const api::LatencyReport& rep, Writer* w) {
+                           encode_latency_report(rep, w);
+                         });
+  }
+  {
+    api::Result<api::ProfileReport> p1 = remote.profile(archs[0]);
+    api::Result<api::ProfileReport> p2 = engine.value().profile(archs[0]);
+    ASSERT_TRUE(p1.ok()) << p1.status().to_string();
+    ASSERT_TRUE(p2.ok());
+    expect_bit_identical(p1.value(), p2.value(),
+                         [](const api::ProfileReport& rep, Writer* w) {
+                           encode_profile_report(rep, w);
+                         });
+  }
+  {
+    api::Result<std::vector<api::LatencyReport>> b1 =
+        remote.predict_batch(archs);
+    api::Result<std::vector<api::LatencyReport>> b2 =
+        engine.value().predict_batch(archs);
+    ASSERT_TRUE(b1.ok()) << b1.status().to_string();
+    ASSERT_TRUE(b2.ok());
+    ASSERT_EQ(b1.value().size(), b2.value().size());
+    for (std::size_t i = 0; i < b1.value().size(); ++i)
+      EXPECT_DOUBLE_EQ(b1.value()[i].latency_ms, b2.value()[i].latency_ms);
+  }
+  api::Result<HealthReport> health = remote.ping();
+  ASSERT_TRUE(health.ok()) << health.status().to_string();
+
+  EXPECT_GT(client_faults.short_sends.load() +
+                client_faults.short_recvs.load() +
+                server_faults.short_sends.load() +
+                server_faults.short_recvs.load(),
+            0)
+      << "the chaos schedule never fired";
+}
+
+TEST(NetChaos, RetryRecoversFromMidFrameResets) {
+  const std::uint64_t seed = fuzz_seed(515);
+  const api::EngineConfig cfg = tiny_cfg();
+  auto server = Server::create(cfg);
+  ASSERT_TRUE(server.ok()) << server.status().to_string();
+  auto engine =
+      api::Engine::create(cfg, server.value()->service()->context());
+  ASSERT_TRUE(engine.ok());
+  const std::vector<api::Arch> archs = sample_archs(cfg, 1);
+
+  for (const bool reset_send : {false, true}) {
+    ChaosStats faults;
+    ChaosConfig chaos;
+    chaos.seed = seed + (reset_send ? 1 : 0);
+    if (reset_send) {
+      chaos.reset_send_at_frame = 0;  // the request never leaves (EPIPE)
+    } else {
+      chaos.reset_recv_at_frame = 0;  // the reply is torn mid-header
+    }
+    ClientConfig ccfg;
+    ccfg.host = "127.0.0.1";
+    ccfg.port = server.value()->port();
+    ccfg.wrap_transport = testing::chaos_first_connection_only(chaos, &faults);
+    ccfg.retry.max_attempts = 4;
+    ccfg.retry.initial_backoff_us = 500;
+    ccfg.retry.max_backoff_us = 2'000;
+    auto client = Client::connect(ccfg);
+    ASSERT_TRUE(client.ok()) << client.status().to_string();
+
+    // A pure verb recovers transparently: the retry's fresh connection
+    // answers, and bit-identically to local.
+    api::Result<api::LatencyReport> r =
+        client.value().predict_latency(archs[0]);
+    ASSERT_TRUE(r.ok()) << "reset_send=" << reset_send << ": "
+                        << r.status().to_string();
+    api::Result<api::LatencyReport> local =
+        engine.value().predict_latency(archs[0]);
+    ASSERT_TRUE(local.ok());
+    expect_bit_identical(r.value(), local.value(),
+                         [](const api::LatencyReport& rep, Writer* w) {
+                           encode_latency_report(rep, w);
+                         });
+    EXPECT_EQ(client.value().connections_dialed(), 2);
+    EXPECT_GE(faults.resets.load(), 1);
+  }
+}
+
+TEST(NetChaos, FaultMatrixNeverHangsAndOkAnswersStayBitIdentical) {
+  // The acceptance matrix: under every fault class, a verb either
+  // answers OK — in which case the answer is bit-identical to local — or
+  // fails with a clean typed Status. Nothing hangs (recv_timeout_ms
+  // bounds every wait) and the server survives to serve a clean client
+  // afterwards.
+  const std::uint64_t seed = fuzz_seed(8080);
+  const api::EngineConfig cfg = tiny_cfg();
+  auto server = Server::create(cfg);
+  ASSERT_TRUE(server.ok()) << server.status().to_string();
+  auto engine =
+      api::Engine::create(cfg, server.value()->service()->context());
+  ASSERT_TRUE(engine.ok());
+  const std::vector<api::Arch> archs = sample_archs(cfg, 3);
+
+  struct FaultClass {
+    const char* name;
+    ChaosConfig chaos;
+  };
+  std::vector<FaultClass> classes(5);
+  classes[0].name = "short-io";
+  classes[0].chaos.short_io_rate = 0.6;
+  classes[1].name = "corrupt-headers";
+  classes[1].chaos.corrupt_header_rate = 1.0;
+  classes[2].name = "reset-send";
+  classes[2].chaos.reset_send_rate = 0.4;
+  classes[3].name = "reset-recv";
+  classes[3].chaos.reset_recv_rate = 0.4;
+  classes[4].name = "stall";
+  classes[4].chaos.stall_recv_at_frame = 1;
+
+  for (std::size_t ci = 0; ci < classes.size(); ++ci) {
+    for (int trial = 0; trial < 2; ++trial) {
+      ChaosConfig chaos = classes[ci].chaos;
+      chaos.seed = seed + ci * 100 + static_cast<std::uint64_t>(trial);
+      ClientConfig ccfg;
+      ccfg.host = "127.0.0.1";
+      ccfg.port = server.value()->port();
+      ccfg.recv_timeout_ms = 200;
+      ccfg.retry.max_attempts = 3;
+      ccfg.retry.initial_backoff_us = 500;
+      ccfg.retry.max_backoff_us = 5'000;
+      ccfg.wrap_transport = testing::chaos_wrap(chaos);
+      auto client = Client::connect(ccfg);
+      ASSERT_TRUE(client.ok())
+          << classes[ci].name << ": " << client.status().to_string();
+      const api::Arch& arch = archs[static_cast<std::size_t>(trial)];
+
+      api::Result<api::LatencyReport> p =
+          client.value().predict_latency(arch);
+      if (p.ok()) {
+        api::Result<api::LatencyReport> local =
+            engine.value().predict_latency(arch);
+        ASSERT_TRUE(local.ok());
+        expect_bit_identical(p.value(), local.value(),
+                             [](const api::LatencyReport& rep, Writer* w) {
+                               encode_latency_report(rep, w);
+                             });
+      } else {
+        EXPECT_NE(p.status().code(), api::StatusCode::kOk)
+            << classes[ci].name;
+      }
+
+      api::Result<api::ProfileReport> pr = client.value().profile(arch);
+      if (pr.ok()) {
+        api::Result<api::ProfileReport> local = engine.value().profile(arch);
+        ASSERT_TRUE(local.ok());
+        expect_bit_identical(pr.value(), local.value(),
+                             [](const api::ProfileReport& rep, Writer* w) {
+                               encode_profile_report(rep, w);
+                             });
+      } else {
+        EXPECT_NE(pr.status().code(), api::StatusCode::kOk)
+            << classes[ci].name;
+      }
+    }
+  }
+
+  // The server took every beating above and still answers correctly.
+  auto clean = Client::connect("127.0.0.1", server.value()->port());
+  ASSERT_TRUE(clean.ok());
+  api::Result<api::ProfileReport> sane = clean.value().profile(archs[0]);
+  ASSERT_TRUE(sane.ok()) << sane.status().to_string();
+  api::Result<api::ProfileReport> local = engine.value().profile(archs[0]);
+  ASSERT_TRUE(local.ok());
+  expect_bit_identical(sane.value(), local.value(),
+                       [](const api::ProfileReport& rep, Writer* w) {
+                         encode_profile_report(rep, w);
+                       });
+}
+
+// ---- client retry semantics ------------------------------------------------
+
+TEST(NetClient, MutatingVerbsDoNotRetryTransportFailures) {
+  const std::uint64_t seed = fuzz_seed(626);
+  const api::EngineConfig cfg = tiny_cfg();
+  auto server = Server::create(cfg);
+  ASSERT_TRUE(server.ok()) << server.status().to_string();
+
+  ChaosConfig chaos;
+  chaos.seed = seed;
+  chaos.reset_recv_at_frame = 0;  // the reply is torn: did it run?
+  ClientConfig base;
+  base.host = "127.0.0.1";
+  base.port = server.value()->port();
+  base.retry.max_attempts = 4;
+  base.retry.initial_backoff_us = 500;
+
+  // search is mutating: a torn reply cannot prove the request never ran,
+  // so the failure surfaces instead of retrying.
+  {
+    ChaosStats faults;
+    ClientConfig ccfg = base;
+    ccfg.wrap_transport = testing::chaos_first_connection_only(chaos, &faults);
+    auto client = Client::connect(ccfg);
+    ASSERT_TRUE(client.ok());
+    api::Result<api::SearchReport> r = client.value().search();
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), api::StatusCode::kUnavailable);
+    EXPECT_EQ(client.value().connections_dialed(), 1);  // no retry
+    EXPECT_GE(faults.resets.load(), 1);
+  }
+  // retry_mutating opts in (the caller vouches for idempotency).
+  {
+    ChaosStats faults;
+    ClientConfig ccfg = base;
+    ccfg.retry.retry_mutating = true;
+    ccfg.wrap_transport = testing::chaos_first_connection_only(chaos, &faults);
+    auto client = Client::connect(ccfg);
+    ASSERT_TRUE(client.ok());
+    api::Result<api::SearchReport> r = client.value().search();
+    EXPECT_TRUE(r.ok()) << r.status().to_string();
+    EXPECT_EQ(client.value().connections_dialed(), 2);
+  }
+}
+
+TEST(NetClient, RetryRespectsRequestDeadline) {
+  const api::EngineConfig cfg = tiny_cfg();
+  auto server = Server::create(cfg);
+  ASSERT_TRUE(server.ok()) << server.status().to_string();
+  const std::vector<api::Arch> archs = sample_archs(cfg, 1);
+
+  // Every connection stalls on its first incoming frame: each attempt
+  // times out, and the retry loop must give up at the DEADLINE — not at
+  // max_attempts (set absurdly high) — and never sleep past it.
+  ChaosConfig chaos;
+  chaos.seed = fuzz_seed(737);
+  chaos.stall_recv_at_frame = 0;
+  ChaosStats faults;
+  ClientConfig ccfg;
+  ccfg.host = "127.0.0.1";
+  ccfg.port = server.value()->port();
+  ccfg.recv_timeout_ms = 50;
+  ccfg.wrap_transport = testing::chaos_wrap(chaos, &faults);
+  ccfg.retry.max_attempts = 1'000'000;
+  ccfg.retry.initial_backoff_us = 1'000;
+  ccfg.retry.max_backoff_us = 10'000;
+  auto client = Client::connect(ccfg);
+  ASSERT_TRUE(client.ok());
+
+  const auto start = std::chrono::steady_clock::now();
+  api::Result<api::LatencyReport> r =
+      client.value().predict_latency(archs[0], /*deadline_us=*/400'000);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), api::StatusCode::kDeadlineExceeded)
+      << r.status().to_string();
+  EXPECT_GE(faults.stalls.load(), 1);
+  EXPECT_GT(client.value().connections_dialed(), 1);  // it DID retry
+  EXPECT_LT(elapsed, 2s) << "retries ran far past the deadline";
+}
+
+TEST(NetClient, ConnectFailuresAreTyped) {
+  // Nothing listening: ECONNREFUSED surfaces as UNAVAILABLE, not a hang
+  // or a crash.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const std::uint16_t dead_port = ntohs(addr.sin_port);
+  ::close(fd);  // bound but never listened: connects are refused
+
+  auto refused = Client::connect("127.0.0.1", dead_port);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), api::StatusCode::kUnavailable);
+
+  // A config mistake is not a transport failure: INVALID_ARGUMENT.
+  ClientConfig bad;
+  bad.host = "not-a-dotted-quad";
+  bad.port = 1;
+  auto nonsense = Client::connect(bad);
+  ASSERT_FALSE(nonsense.ok());
+  EXPECT_EQ(nonsense.status().code(), api::StatusCode::kInvalidArgument);
 }
 
 }  // namespace
