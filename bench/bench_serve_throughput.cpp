@@ -152,7 +152,7 @@ int main(int argc, char** argv) {
                 static_cast<long long>(workers), workers == 1 ? " " : "s",
                 problem.c_str(), wall_ms, rps);
     json.add("serve/workers=" + std::to_string(workers), wall_ms, problem,
-             rps, "req/s");
+             rps, "req/s", workers);
   }
 
   json.write();

@@ -156,5 +156,11 @@ int main(int argc, char** argv) {
               static_cast<long long>(stats.sheds_with_hint),
               static_cast<long long>(net.version_mismatches),
               stats.drain_started > 0 ? "completed" : "never started");
+  std::printf("latency: queue-wait p50/p99 %lld/%lld us, service-time "
+              "p50/p99 %lld/%lld us (log2-bucket upper bounds)\n",
+              static_cast<long long>(stats.queue_wait_p50_us),
+              static_cast<long long>(stats.queue_wait_p99_us),
+              static_cast<long long>(stats.service_time_p50_us),
+              static_cast<long long>(stats.service_time_p99_us));
   return 0;
 }

@@ -139,6 +139,12 @@ int main() {
                 static_cast<long long>(stats.pings),
                 static_cast<long long>(stats.sheds_with_hint),
                 stats.drain_started > 0 ? "started" : "never started");
+    std::printf("latency: queue-wait p50/p99 %lld/%lld us, service-time "
+                "p50/p99 %lld/%lld us (log2-bucket upper bounds)\n",
+                static_cast<long long>(stats.queue_wait_p50_us),
+                static_cast<long long>(stats.queue_wait_p99_us),
+                static_cast<long long>(stats.service_time_p50_us),
+                static_cast<long long>(stats.service_time_p99_us));
   }
 
   // Graceful half of shutdown first: drain() stops admissions while the

@@ -2,6 +2,7 @@
 """Gate BENCH_*.json records against a committed baseline.
 
 Usage: check_perf_regression.py <current.json> <baseline.json> [threshold]
+           [--require-speedup SLOW:FAST:RATIO]...
 
 Fails (exit 1) when any record's wall_ms regresses more than `threshold`x
 (default 1.5) against the same-named record in the baseline file, and the
@@ -9,11 +10,21 @@ measurement is above the noise floor. Records missing on either side are
 reported but do not fail the gate (bench contents may evolve); improvements
 are reported for the log.
 
+--require-speedup SLOW:FAST:RATIO (repeatable) additionally asserts a
+relationship WITHIN the current file: record SLOW's wall_ms must be at
+least RATIO times record FAST's wall_ms. This is how CI pins the committed
+curves — e.g. `serve/workers=1:serve/workers=4:1.8` (worker scaling) or
+`predict/remote_lone:predict/remote_batched:2` (wire batching) — without
+depending on the absolute speed of the runner. A named record missing from
+the current file fails the gate (exit 1): silently skipping would let a
+renamed bench retire the guarantee.
+
 The baseline lives in bench/baseline/ and is refreshed deliberately, by
 committing a new BENCH_*.json produced on the reference configuration —
 that keeps the perf trajectory an explicit, reviewable artifact.
 """
 
+import argparse
 import json
 import os
 import sys
@@ -50,13 +61,68 @@ def load_records(path):
         die(f"error: {path!r} has a record without a 'name' field")
 
 
+def parse_speedup_spec(spec):
+    """'slow:fast:ratio' -> (slow, fast, float(ratio)); exits 2 on a
+    malformed spec (a CI misconfiguration, not a perf failure)."""
+    parts = spec.rsplit(":", 1)
+    if len(parts) != 2 or ":" not in parts[0]:
+        die(f"error: --require-speedup spec {spec!r} is not SLOW:FAST:RATIO")
+    slow, fast = parts[0].split(":", 1)
+    try:
+        ratio = float(parts[1])
+    except ValueError:
+        die(f"error: --require-speedup ratio {parts[1]!r} is not a number")
+    if not slow or not fast or ratio <= 0:
+        die(f"error: --require-speedup spec {spec!r} is not SLOW:FAST:RATIO")
+    return slow, fast, ratio
+
+
+def check_speedups(current, specs):
+    """Returns a list of human-readable failures for unmet SLOW:FAST:RATIO
+    assertions over the current records."""
+    failures = []
+    for slow, fast, required in specs:
+        missing = [n for n in (slow, fast) if n not in current]
+        if missing:
+            failures.append(
+                f"required record(s) missing from current run: "
+                f"{', '.join(repr(n) for n in missing)}")
+            continue
+        try:
+            slow_ms = float(current[slow]["wall_ms"])
+            fast_ms = float(current[fast]["wall_ms"])
+        except (KeyError, TypeError, ValueError):
+            die(f"error: speedup records {slow!r}/{fast!r} have a missing "
+                "or non-numeric 'wall_ms' field")
+        actual = slow_ms / fast_ms if fast_ms > 0 else float("inf")
+        verdict = "OK" if actual >= required else "TOO SLOW"
+        print(f"  {verdict:>10}  {fast}: {actual:.2f}x faster than {slow} "
+              f"(required {required:.2f}x)")
+        if actual < required:
+            failures.append(
+                f"{fast} is only {actual:.2f}x faster than {slow} "
+                f"(required {required:.2f}x: {slow_ms:.1f} ms vs "
+                f"{fast_ms:.1f} ms)")
+    return failures
+
+
 def main():
-    if len(sys.argv) < 3:
+    parser = argparse.ArgumentParser(
+        add_help=False, usage=argparse.SUPPRESS)
+    parser.add_argument("current")
+    parser.add_argument("baseline")
+    parser.add_argument("threshold", nargs="?", default=None)
+    parser.add_argument("--require-speedup", action="append", default=[],
+                        dest="require_speedup", metavar="SLOW:FAST:RATIO")
+    try:
+        args = parser.parse_args()
+    except SystemExit:
         print(__doc__)
         return 2
-    current_path, baseline_path = sys.argv[1], sys.argv[2]
-    threshold = float(sys.argv[3]) if len(sys.argv) > 3 else float(
+    current_path, baseline_path = args.current, args.baseline
+    threshold = float(args.threshold) if args.threshold is not None else float(
         os.environ.get("HG_PERF_THRESHOLD", "1.5"))
+    speedup_specs = [parse_speedup_spec(s) for s in args.require_speedup]
 
     current = load_records(current_path)
     baseline = load_records(baseline_path)
@@ -99,13 +165,21 @@ def main():
     for name in sorted(set(baseline) - set(current)):
         print(f"  record dropped from bench: {name}")
 
+    speedup_failures = check_speedups(current, speedup_specs)
+
     if failures:
         print(f"\n{len(failures)} record(s) regressed beyond {threshold}x:")
         for name, base_ms, cur_ms, ratio in failures:
             print(f"  {name}: {base_ms:.1f} ms -> {cur_ms:.1f} ms "
                   f"({ratio:.2f}x)")
+    if speedup_failures:
+        print(f"\n{len(speedup_failures)} required speedup(s) unmet:")
+        for msg in speedup_failures:
+            print(f"  {msg}")
+    if failures or speedup_failures:
         return 1
     print(f"\nperf gate passed ({compared} records compared, "
+          f"{len(speedup_specs)} speedup assertion(s), "
           f"threshold {threshold}x)")
     return 0
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/parallel.hpp"
+#include "core/simd.hpp"
 
 namespace hg::gnn {
 
@@ -120,7 +121,7 @@ float fused_edge_message(const float* xd, std::int64_t s, std::int64_t d,
       std::copy(xt, xt + c, buf);
       return 0.f;
     case MessageType::RelPos:
-      for (std::int64_t j = 0; j < c; ++j) buf[j] = xs[j] - xt[j];
+      simd::sub(buf, xs, xt, c);
       return 0.f;
     case MessageType::Distance: {
       const float nv = rel_norm();
@@ -128,23 +129,17 @@ float fused_edge_message(const float* xd, std::int64_t s, std::int64_t d,
       return nv;
     }
     case MessageType::SourceRel:
-      for (std::int64_t j = 0; j < c; ++j) {
-        buf[j] = xs[j];
-        buf[c + j] = xs[j] - xt[j];
-      }
+      std::copy(xs, xs + c, buf);
+      simd::sub(buf + c, xs, xt, c);
       return 0.f;
     case MessageType::TargetRel:
-      for (std::int64_t j = 0; j < c; ++j) {
-        buf[j] = xt[j];
-        buf[c + j] = xs[j] - xt[j];
-      }
+      std::copy(xt, xt + c, buf);
+      simd::sub(buf + c, xs, xt, c);
       return 0.f;
     case MessageType::Full: {
-      for (std::int64_t j = 0; j < c; ++j) {
-        buf[j] = xt[j];
-        buf[c + j] = xs[j];
-        buf[2 * c + j] = xs[j] - xt[j];
-      }
+      std::copy(xt, xt + c, buf);
+      std::copy(xs, xs + c, buf + c);
+      simd::sub(buf + 2 * c, xs, xt, c);
       const float nv = rel_norm();
       buf[3 * c] = nv;
       return nv;
@@ -212,23 +207,14 @@ Tensor aggregate_fused(const Tensor& x, const graph::EdgeList& g,
             fused_edge_message(xd, src[ei], v, c, mt, buf.data());
         if (needs_norm) norm[static_cast<std::size_t>(ei)] = nv;
         if (extremal) {
-          for (std::int64_t j = 0; j < m; ++j) {
-            auto& a = arg[static_cast<std::size_t>(v * m + j)];
-            float& o = orow[j];
-            const float mv = buf[static_cast<std::size_t>(j)];
-            if (a < 0 || (is_max ? (mv > o) : (mv < o))) {
-              o = mv;
-              a = ei;
-            }
-          }
+          simd::extremal_update(orow, arg.data() + v * m, buf.data(), ei, m,
+                                is_max);
         } else {
-          for (std::int64_t j = 0; j < m; ++j)
-            orow[j] += buf[static_cast<std::size_t>(j)];
+          simd::accumulate(orow, buf.data(), m);
         }
       }
       if (reduce == Reduce::Mean && t > b) {
-        const float d = static_cast<float>(t - b);
-        for (std::int64_t j = 0; j < m; ++j) orow[j] /= d;
+        simd::scale_inv(orow, static_cast<float>(t - b), m);
       }
     }
   });
@@ -451,9 +437,9 @@ Tensor GcnLayer::forward(const Tensor& x, const graph::EdgeList& g) {
     // added after the accumulated sum, mirroring the reference
     // gather/scale/scatter/add pipeline below operation for operation.
     // Bit-for-bit identity with that pipeline is asserted in
-    // tests/test_gnn.cpp (it holds as long as the compiler does not
-    // contract the mul+add below into an FMA the reference's stored
-    // intermediate can't use — true for every non-HG_NATIVE build).
+    // tests/test_gnn.cpp; the top-level -ffp-contract=off keeps the
+    // compiler from fusing the mul+add below into an FMA the reference's
+    // stored intermediate can't use, so it holds for HG_NATIVE builds too.
     const std::int64_t c = h.shape()[1];
     const auto hd = h.data();
     const detail::IndexCsr by_dst =
@@ -471,12 +457,10 @@ Tensor GcnLayer::forward(const Tensor& x, const graph::EdgeList& g) {
           const std::int64_t e = by_dst.items[static_cast<std::size_t>(s)];
           const float* hrow =
               hd.data() + g.src[static_cast<std::size_t>(e)] * c;
-          const float es = scale[static_cast<std::size_t>(e)];
-          for (std::int64_t j = 0; j < c; ++j) orow[j] += hrow[j] * es;
+          simd::axpy(orow, scale[static_cast<std::size_t>(e)], hrow, c);
         }
-        const float ss = self_scale[static_cast<std::size_t>(v)];
-        const float* hrow = hd.data() + v * c;
-        for (std::int64_t j = 0; j < c; ++j) orow[j] += hrow[j] * ss;
+        simd::axpy(orow, self_scale[static_cast<std::size_t>(v)],
+                   hd.data() + v * c, c);
       }
     });
     return Tensor::from_vector({n, c}, std::move(out));

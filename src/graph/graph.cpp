@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "core/parallel.hpp"
+#include "core/simd.hpp"
 
 namespace hg::graph {
 
@@ -66,17 +67,34 @@ EdgeList knn_graph_brute(std::span<const float> points, std::int64_t n,
   out.src.resize(static_cast<std::size_t>(n * kk));
   out.dst.resize(static_cast<std::size_t>(n * kk));
 
+  // Coordinates split once into planes so the per-query distance pass
+  // vectorizes over candidates (core/simd.hpp). Each dist[j] is the exact
+  // dx*dx + dy*dy + dz*dz of the historical AoS sq_dist3, so the candidate
+  // ordering (and thus the graph) is unchanged.
+  std::vector<float> xs(static_cast<std::size_t>(n)),
+      ys(static_cast<std::size_t>(n)), zs(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    xs[static_cast<std::size_t>(i)] = points[static_cast<std::size_t>(i * 3)];
+    ys[static_cast<std::size_t>(i)] =
+        points[static_cast<std::size_t>(i * 3 + 1)];
+    zs[static_cast<std::size_t>(i)] =
+        points[static_cast<std::size_t>(i * 3 + 2)];
+  }
+
   core::parallel_for(
       0, n, std::max<std::int64_t>(1, (1 << 18) / n),
       [&](std::int64_t lo, std::int64_t hi) {
+        std::vector<float> dist(static_cast<std::size_t>(n));
         std::vector<std::pair<float, std::int64_t>> cand(
             static_cast<std::size_t>(n - 1));
         for (std::int64_t i = lo; i < hi; ++i) {
           const float* pi = points.data() + i * 3;
+          simd::sq_dist3(dist.data(), pi[0], pi[1], pi[2], xs.data(),
+                         ys.data(), zs.data(), n);
           std::size_t c = 0;
           for (std::int64_t j = 0; j < n; ++j) {
             if (j == i) continue;
-            cand[c++] = {sq_dist3(pi, points.data() + j * 3), j};
+            cand[c++] = {dist[static_cast<std::size_t>(j)], j};
           }
           std::partial_sort(cand.begin(), cand.begin() + kk, cand.end());
           for (std::int64_t m = 0; m < kk; ++m) {
@@ -246,23 +264,31 @@ EdgeList knn_graph_features(std::span<const float> features, std::int64_t n,
   const std::int64_t kk = std::min<std::int64_t>(k, n - 1);
   out.src.resize(static_cast<std::size_t>(n * kk));
   out.dst.resize(static_cast<std::size_t>(n * kk));
+  // Features transposed once to [dim, n] so each query accumulates its
+  // squared distances to ALL candidates one dimension at a time — the
+  // vector axis is the candidate axis, while each (i, j) pair still sums
+  // (fi[d]-fj[d])^2 in ascending-d order exactly like the historical
+  // per-pair loop, so every distance (and the graph) is bit-identical.
+  std::vector<float> ft(static_cast<std::size_t>(dim * n));
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t d = 0; d < dim; ++d)
+      ft[static_cast<std::size_t>(d * n + i)] =
+          features[static_cast<std::size_t>(i * dim + d)];
   core::parallel_for(
       0, n, std::max<std::int64_t>(1, (1 << 18) / (n * dim)),
       [&](std::int64_t lo, std::int64_t hi) {
+        std::vector<float> dist(static_cast<std::size_t>(n));
         std::vector<std::pair<float, std::int64_t>> cand(
             static_cast<std::size_t>(n - 1));
         for (std::int64_t i = lo; i < hi; ++i) {
           const float* fi = features.data() + i * dim;
+          std::fill(dist.begin(), dist.end(), 0.f);
+          for (std::int64_t d = 0; d < dim; ++d)
+            simd::dist_accumulate(dist.data(), fi[d], ft.data() + d * n, n);
           std::size_t c = 0;
           for (std::int64_t j = 0; j < n; ++j) {
             if (j == i) continue;
-            const float* fj = features.data() + j * dim;
-            float d2 = 0.f;
-            for (std::int64_t d = 0; d < dim; ++d) {
-              const float diff = fi[d] - fj[d];
-              d2 += diff * diff;
-            }
-            cand[c++] = {d2, j};
+            cand[c++] = {dist[static_cast<std::size_t>(j)], j};
           }
           std::partial_sort(cand.begin(), cand.begin() + kk, cand.end());
           for (std::int64_t m = 0; m < kk; ++m) {

@@ -356,7 +356,7 @@ api::Result<std::uint64_t> Client::send_predict_batch(
     const std::vector<api::Arch>& archs, std::uint64_t deadline_us) {
   Writer w;
   encode_predict_batch_request(archs, &w);
-  return send_frame(FrameType::kPredictBatch, deadline_us, w.bytes());
+  return send_frame(FrameType::kPredictBatchN, deadline_us, w.bytes());
 }
 
 api::Result<std::uint64_t> Client::send_profile(const api::Arch& arch,
@@ -417,7 +417,7 @@ api::Result<api::LatencyReport> Client::wait_predict_latency(
 api::Result<std::vector<api::LatencyReport>> Client::wait_predict_batch(
     std::uint64_t id) {
   api::Result<std::string> payload =
-      recv_reply(id, FrameType::kPredictBatch);
+      recv_reply(id, FrameType::kPredictBatchN);
   if (!payload.ok()) return payload.status();
   Reader r(payload.value());
   std::vector<api::Result<api::LatencyReport>> elements;
@@ -510,7 +510,7 @@ api::Result<std::vector<api::LatencyReport>> Client::predict_batch(
   Writer w;
   encode_predict_batch_request(archs, &w);
   return roundtrip<std::vector<api::LatencyReport>>(
-      FrameType::kPredictBatch, w.bytes(), deadline_us,
+      FrameType::kPredictBatchN, w.bytes(), deadline_us,
       /*idempotent=*/true,
       [](const std::string& p,
          api::Result<std::vector<api::LatencyReport>>* out,

@@ -42,6 +42,63 @@ constexpr std::size_t kReadChunk = 64 * 1024;
 /// admitted still append past it — bounded by the service queue depth.)
 constexpr std::size_t kMaxBufferedReplyBytes = 4 * 1024 * 1024;
 
+/// Most reply buffers handed to one sendv(2) call. Linux caps a single
+/// sendmsg at IOV_MAX (1024) iovecs; 64 already amortizes the syscall
+/// across a coalesced window's replies without building giant arrays.
+constexpr int kMaxFlushIovecs = 64;
+
+/// The write side of a connection: one encoded reply frame per buffer,
+/// flushed with a single gathered sendv instead of concatenating into
+/// (and erasing from the front of) one ever-reallocating string. The
+/// head buffer may be partially written; head_off tracks how far.
+class OutQueue {
+ public:
+  bool empty() const { return bytes_ == 0; }
+  std::size_t size() const { return bytes_; }
+
+  void append(std::string frame) {
+    if (frame.empty()) return;
+    bytes_ += frame.size();
+    bufs_.push_back(std::move(frame));
+  }
+
+  /// Fills `iov` (capacity kMaxFlushIovecs) with the unflushed prefix;
+  /// returns the iovec count.
+  int gather(struct iovec* iov) const {
+    int n = 0;
+    std::size_t off = head_off_;
+    for (const std::string& b : bufs_) {
+      if (n == kMaxFlushIovecs) break;
+      iov[n].iov_base =
+          const_cast<char*>(b.data()) + static_cast<std::ptrdiff_t>(off);
+      iov[n].iov_len = b.size() - off;
+      ++n;
+      off = 0;
+    }
+    return n;
+  }
+
+  /// Advances past `n` written bytes (which may end mid-buffer).
+  void consume(std::size_t n) {
+    bytes_ -= n;
+    while (n > 0) {
+      const std::size_t head_left = bufs_.front().size() - head_off_;
+      if (n < head_left) {
+        head_off_ += n;
+        return;
+      }
+      n -= head_left;
+      head_off_ = 0;
+      bufs_.pop_front();
+    }
+  }
+
+ private:
+  std::deque<std::string> bufs_;
+  std::size_t head_off_ = 0;  // flushed prefix of bufs_.front()
+  std::size_t bytes_ = 0;     // total unflushed bytes across bufs_
+};
+
 }  // namespace
 
 struct Server::Impl {
@@ -55,7 +112,8 @@ struct Server::Impl {
                  std::future<api::Result<api::LatencyReport>>,
                  std::future<api::Result<api::ProfileReport>>,
                  std::future<api::Result<api::TrainReport>>,
-                 std::vector<std::future<api::Result<api::LatencyReport>>>>
+                 std::vector<std::future<api::Result<api::LatencyReport>>>,
+                 std::future<std::vector<api::Result<api::LatencyReport>>>>
         future;
 
     bool ready() const {
@@ -84,7 +142,7 @@ struct Server::Impl {
     // fd, used for poll(2).
     std::unique_ptr<Transport> transport;
     std::string in;
-    std::string out;
+    OutQueue out;
     std::shared_ptr<std::atomic<bool>> cancel;
     std::deque<Pending> pending;
     // The peer sent kGoodbye: no more requests will arrive, but the ones
@@ -403,7 +461,7 @@ struct Server::Impl {
     const auto type = static_cast<FrameType>(h.type & ~kReplyBit);
     if (is_reply || h.type == 0 ||
         (h.type & ~kReplyBit) >
-            static_cast<std::uint16_t>(FrameType::kPing)) {
+            static_cast<std::uint16_t>(FrameType::kPredictBatchN)) {
       reply_error(c, type, h.request_id,
                   api::Status::InvalidArgument(
                       "unknown frame type " + std::to_string(h.type)));
@@ -523,6 +581,37 @@ struct Server::Impl {
               serve::PredictLatencyRequest{std::move(a), std::move(element)}));
         }
         p.future = std::move(futures);
+        break;
+      }
+      case FrameType::kPredictBatchN: {
+        std::vector<api::Arch> archs;
+        if (!decode_predict_batch_request(&r, &archs) || !r.exhausted()) {
+          reply_error(c, type, h.request_id,
+                      api::Status::InvalidArgument(
+                          "malformed predict-batch request payload"));
+          return;
+        }
+        if (archs.size() > kMaxWireBatch) {
+          // Refused before submission, per element (the reply shape
+          // matches the request so the client's decode stays simple).
+          // Deliberately NO retry_after hint: unlike a queue shed this
+          // refusal is deterministic — the same frame can never succeed;
+          // the caller must split the batch, not wait.
+          const api::Status refusal = api::Status::ResourceExhausted(
+              "batch of " + std::to_string(archs.size()) +
+              " exceeds the per-frame limit of " +
+              std::to_string(kMaxWireBatch));
+          std::vector<api::Result<api::LatencyReport>> results(
+              archs.size(), api::Result<api::LatencyReport>(refusal));
+          send_reply(c, type, h.request_id,
+                     encode_predict_batch_reply(results));
+          return;
+        }
+        // ONE submission for the whole frame: the service runs it as a
+        // single unit of work (the packed block-diagonal forward) instead
+        // of N queue entries racing N other connections' elements.
+        p.future = service->submit(
+            serve::PredictBatchRequest{std::move(archs), std::move(opts)});
         break;
       }
       case FrameType::kProfile: {
@@ -661,6 +750,15 @@ struct Server::Impl {
         }
         return encode_predict_batch_reply(results, hint);
       }
+      case FrameType::kPredictBatchN: {
+        std::vector<api::Result<api::LatencyReport>> results =
+            std::get<std::future<std::vector<api::Result<api::LatencyReport>>>>(
+                p.future)
+                .get();
+        for (const auto& e : results)
+          if (!e.ok()) note_shed(e.status());
+        return encode_predict_batch_reply(results, hint);
+      }
       case FrameType::kProfile:
       case FrameType::kProfileBaseline: {
         const api::Result<api::ProfileReport> r =
@@ -695,14 +793,20 @@ struct Server::Impl {
     return w.take();
   }
 
-  /// False when the connection broke mid-write.
+  /// False when the connection broke mid-write. One gathered sendv per
+  /// round flushes up to kMaxFlushIovecs reply frames in one syscall —
+  /// the batch of replies a coalesced window resolves together goes out
+  /// as one write instead of one per frame.
   bool flush(Conn& c) {
+    struct iovec iov[kMaxFlushIovecs];
     while (!c.out.empty()) {
-      const ssize_t n = c.transport->send(c.out.data(), c.out.size());
+      const int cnt = c.out.gather(iov);
+      const ssize_t n = c.transport->sendv(iov, cnt);
       if (n > 0) {
-        c.out.erase(0, static_cast<std::size_t>(n));
+        c.out.consume(static_cast<std::size_t>(n));
         continue;
       }
+      if (n == 0) return true;  // decorator wrote nothing; retry later
       if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
       if (errno == EINTR) continue;
       return false;

@@ -13,6 +13,15 @@ ssize_t SocketTransport::send(const char* data, std::size_t len) {
   return ::send(fd_, data, len, MSG_NOSIGNAL);
 }
 
+ssize_t SocketTransport::sendv(const struct iovec* iov, int iovcnt) {
+  // sendmsg(2), not writev(2): writev cannot pass MSG_NOSIGNAL, and a
+  // SIGPIPE from a peer that closed mid-flush would kill the process.
+  struct msghdr msg = {};
+  msg.msg_iov = const_cast<struct iovec*>(iov);
+  msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
+  return ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+}
+
 ssize_t SocketTransport::recv(char* buf, std::size_t len) {
   return ::recv(fd_, buf, len, 0);
 }

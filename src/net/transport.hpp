@@ -17,6 +17,7 @@
 #pragma once
 
 #include <sys/types.h>
+#include <sys/uio.h>
 
 #include <cstddef>
 #include <functional>
@@ -31,6 +32,23 @@ class Transport {
   /// send(2) semantics: bytes written, or -1 with errno set. Never raises
   /// SIGPIPE (the socket implementation passes MSG_NOSIGNAL).
   virtual ssize_t send(const char* data, std::size_t len) = 0;
+
+  /// Gathered write, writev(2) semantics: total bytes written across the
+  /// iovecs (a short count may end mid-iovec), or -1 with errno set. The
+  /// base implementation forwards the FIRST non-empty iovec to send(), so
+  /// decorators that only override send() (ChaosTransport) keep their
+  /// fault injection on every byte — one gathered flush degrades to the
+  /// historical per-buffer behavior, never bypasses the wrapper.
+  /// SocketTransport overrides this with one sendmsg(2) call, which is
+  /// what lets the server flush a coalesced window's replies in a single
+  /// syscall.
+  virtual ssize_t sendv(const struct iovec* iov, int iovcnt) {
+    for (int i = 0; i < iovcnt; ++i)
+      if (iov[i].iov_len > 0)
+        return send(static_cast<const char*>(iov[i].iov_base),
+                    iov[i].iov_len);
+    return 0;
+  }
 
   /// recv(2) semantics: bytes read, 0 on orderly EOF, or -1 with errno
   /// set (EAGAIN/EWOULDBLOCK after SO_RCVTIMEO expires).
@@ -55,6 +73,7 @@ class SocketTransport final : public Transport {
   SocketTransport& operator=(const SocketTransport&) = delete;
 
   ssize_t send(const char* data, std::size_t len) override;
+  ssize_t sendv(const struct iovec* iov, int iovcnt) override;
   ssize_t recv(char* buf, std::size_t len) override;
   void shutdown_write() override;
   int fd() const override { return fd_; }

@@ -23,6 +23,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "api/config.hpp"
 #include "api/engine.hpp"
@@ -72,6 +73,20 @@ struct SearchRequest {
 /// a time window so trickle traffic coalesces too.
 struct PredictLatencyRequest {
   api::Arch arch;
+  RequestOptions opts{};
+};
+
+/// N latency queries submitted as ONE unit of work: the whole batch is
+/// fed straight into Engine::predict_batch (the packed block-diagonal
+/// forward) instead of being queued as N separate requests. The future
+/// resolves with one Result per arch, in submission order; a bad element
+/// fails alone (the service falls back to lone queries when the packed
+/// forward rejects the batch), so every answer is bit-identical to an
+/// uncoalesced submission. This is what the wire's multi-predict frame
+/// (net::FrameType::kPredictBatchN) lands on. Stats count the batch as
+/// archs.size() predict requests but one queue slot.
+struct PredictBatchRequest {
+  std::vector<api::Arch> archs;
   RequestOptions opts{};
 };
 

@@ -32,6 +32,20 @@ bool is_cancelled(const std::shared_ptr<std::atomic<bool>>& flag) {
   return flag != nullptr && flag->load(std::memory_order_relaxed);
 }
 
+/// Relaxed CAS-max for the max_predict_batch watermark.
+void atomic_max(std::atomic<std::int64_t>& a, std::int64_t v) {
+  std::int64_t cur = a.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::int64_t us_between(std::chrono::steady_clock::time_point from,
+                        std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+      .count();
+}
+
 }  // namespace
 
 api::Result<std::shared_ptr<Service>> Service::create(
@@ -90,67 +104,77 @@ void Service::start_workers(std::int64_t n) {
 
 void Service::shutdown() {
   // Serializes concurrent shutdown() callers (a second caller would
-  // otherwise join the same threads); queue state stays under mutex_.
+  // otherwise join the same threads); queue state stays under queue_mutex_.
   core::MutexLock shutdown_lock(shutdown_mutex_);
   {
-    core::MutexLock lock(mutex_);
+    core::MutexLock lock(queue_mutex_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  // Every parked worker must observe stopping_, including a predict-window
+  // waiter mid-wait_until. The exclusive gate needs no signal: a claimant
+  // blocked there is released by the last pure completion regardless.
+  work_cv_.notify_all();
+  window_cv_.notify_one();
   for (std::thread& w : workers_) w.join();
   workers_.clear();
 }
 
 void Service::drain() {
   {
-    core::MutexLock lock(mutex_);
+    core::MutexLock lock(queue_mutex_);
     if (draining_) return;
     draining_ = true;
-    ++stats_.drain_started;
   }
-  cv_.notify_all();
+  counters_.drain_started.fetch_add(1, std::memory_order_relaxed);
+  // No wakeup: draining_ only affects admission (checked by submitters
+  // under the queue lock), never a worker's wait predicate.
 }
 
 bool Service::draining() const {
-  core::MutexLock lock(mutex_);
+  core::MutexLock lock(queue_mutex_);
   return draining_;
 }
 
 void Service::record_ping() {
-  core::MutexLock lock(mutex_);
-  ++stats_.pings;
+  counters_.pings.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Service::record_shed_hint() {
-  core::MutexLock lock(mutex_);
-  ++stats_.sheds_with_hint;
+  counters_.sheds_with_hint.fetch_add(1, std::memory_order_relaxed);
 }
 
 Service::Admission Service::enqueue(QueuedTask task, bool exclusive,
-                                    bool count_predict) {
+                                    bool count_predict, std::int64_t count) {
+  bool wake_window = false;
   {
-    core::MutexLock lock(mutex_);
+    core::MutexLock lock(queue_mutex_);
     if (stopping_) return Admission::kShutDown;
     if (draining_) return Admission::kDraining;
-    ++stats_.requests;
-    if (count_predict) ++stats_.predict_requests;
+    counters_.requests.fetch_add(count, std::memory_order_relaxed);
+    if (count_predict)
+      counters_.predict_requests.fetch_add(count, std::memory_order_relaxed);
     const std::int64_t depth =
         static_cast<std::int64_t>(pure_queue_.size() +
                                   exclusive_queue_.size() +
                                   predict_queue_.size());
     if (service_cfg_.max_queue_depth > 0 &&
         depth >= service_cfg_.max_queue_depth) {
-      ++stats_.rejected_requests;
+      counters_.rejected_requests.fetch_add(count, std::memory_order_relaxed);
       return Admission::kQueueFull;
     }
     if (exclusive) {
-      ++stats_.exclusive_requests;
+      counters_.exclusive_requests.fetch_add(1, std::memory_order_relaxed);
       exclusive_queue_.push_back(std::move(task));
     } else {
       pure_queue_.push_back(std::move(task));
     }
+    wake_window = predict_window_waiter_;
   }
-  cv_.notify_all();
+  // One admitted task, one woken worker. A window waiter gets its own
+  // signal: an exclusive arrival (or pure work with nobody free) is one of
+  // its early-fire conditions, and it sleeps on window_cv_, not work_cv_.
+  work_cv_.notify_one();
+  if (wake_window) window_cv_.notify_one();
   return Admission::kAccepted;
 }
 
@@ -168,6 +192,7 @@ std::future<api::Result<T>> Service::submit_task(
   QueuedTask task;
   task.deadline = opts.deadline;
   task.cancel = std::move(opts.cancel);
+  task.enqueued_at = std::chrono::steady_clock::now();
   task.run = [fn = std::move(fn), resolve](api::Engine& engine) {
     resolve(fn(engine));
   };
@@ -235,25 +260,27 @@ std::future<api::Result<api::LatencyReport>> Service::submit(
   const auto promise = task.promise;
   const auto notify = task.opts.notify;
   api::Status refused;
+  bool wake_window = false;
   {
-    core::MutexLock lock(mutex_);
+    core::MutexLock lock(queue_mutex_);
     if (stopping_) {
       refused = shut_down_status();
     } else if (draining_) {
       refused = draining_status();
     } else {
-      ++stats_.requests;
-      ++stats_.predict_requests;
+      counters_.requests.fetch_add(1, std::memory_order_relaxed);
+      counters_.predict_requests.fetch_add(1, std::memory_order_relaxed);
       const std::int64_t depth =
           static_cast<std::int64_t>(pure_queue_.size() +
                                     exclusive_queue_.size() +
                                     predict_queue_.size());
       if (service_cfg_.max_queue_depth > 0 &&
           depth >= service_cfg_.max_queue_depth) {
-        ++stats_.rejected_requests;
+        counters_.rejected_requests.fetch_add(1, std::memory_order_relaxed);
         refused = queue_full_status();
       } else {
         predict_queue_.push_back(std::move(task));
+        wake_window = predict_window_waiter_;
       }
     }
   }
@@ -262,7 +289,75 @@ std::future<api::Result<api::LatencyReport>> Service::submit(
     if (notify) notify();
     return future;
   }
-  cv_.notify_all();
+  // While a window waiter holds the coalescing queue the new query is
+  // only actionable by that waiter (the batch may just have filled);
+  // otherwise wake one worker to claim the queue.
+  if (wake_window)
+    window_cv_.notify_one();
+  else
+    work_cv_.notify_one();
+  return future;
+}
+
+std::future<std::vector<api::Result<api::LatencyReport>>> Service::submit(
+    PredictBatchRequest req) {
+  using BatchResults = std::vector<api::Result<api::LatencyReport>>;
+  auto promise = std::make_shared<std::promise<BatchResults>>();
+  std::future<BatchResults> future = promise->get_future();
+  const std::size_t n = req.archs.size();
+  auto resolve = [promise, notify = std::move(req.opts.notify)](
+                     BatchResults results) {
+    promise->set_value(std::move(results));
+    if (notify) notify();
+  };
+  if (n == 0) {
+    resolve({});
+    return future;
+  }
+
+  QueuedTask task;
+  task.deadline = req.opts.deadline;
+  task.cancel = std::move(req.opts.cancel);
+  task.enqueued_at = std::chrono::steady_clock::now();
+  task.run = [this, archs = std::move(req.archs),
+              resolve](api::Engine& engine) {
+    counters_.predict_batches.fetch_add(1, std::memory_order_relaxed);
+    atomic_max(counters_.max_predict_batch,
+               static_cast<std::int64_t>(archs.size()));
+    BatchResults results;
+    results.reserve(archs.size());
+    api::Result<std::vector<api::LatencyReport>> reports =
+        engine.predict_batch(archs);
+    if (reports.ok()) {
+      for (const api::LatencyReport& r : reports.value()) results.push_back(r);
+    } else {
+      // Same fallback as the coalescing worker: one bad element must not
+      // poison its batchmates, and every answer must equal what a lone
+      // submission would have produced.
+      for (const api::Arch& a : archs) results.push_back(engine.predict_latency(a));
+    }
+    resolve(std::move(results));
+  };
+  task.fail = [n, resolve](const api::Status& status) {
+    resolve(BatchResults(n, api::Result<api::LatencyReport>(status)));
+  };
+  const std::function<void(const api::Status&)> fail = task.fail;
+  // "measured" replays the evaluator's shared noise stream: run the batch
+  // on the exclusive FIFO so its elements draw exactly the serial stream.
+  switch (enqueue(std::move(task), /*exclusive=*/measured_evaluator_,
+                  /*count_predict=*/true, static_cast<std::int64_t>(n))) {
+    case Admission::kAccepted:
+      break;
+    case Admission::kShutDown:
+      fail(shut_down_status());
+      break;
+    case Admission::kQueueFull:
+      fail(queue_full_status());
+      break;
+    case Admission::kDraining:
+      fail(draining_status());
+      break;
+  }
   return future;
 }
 
@@ -297,8 +392,26 @@ std::future<api::Result<api::TrainReport>> Service::submit(
 }
 
 ServiceStats Service::stats() const {
-  core::MutexLock lock(mutex_);
-  ServiceStats snapshot = stats_;
+  ServiceStats snapshot;
+  const auto ld = [](const std::atomic<std::int64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  };
+  snapshot.requests = ld(counters_.requests);
+  snapshot.exclusive_requests = ld(counters_.exclusive_requests);
+  snapshot.predict_requests = ld(counters_.predict_requests);
+  snapshot.predict_batches = ld(counters_.predict_batches);
+  snapshot.max_predict_batch = ld(counters_.max_predict_batch);
+  snapshot.rejected_requests = ld(counters_.rejected_requests);
+  snapshot.deadline_expired = ld(counters_.deadline_expired);
+  snapshot.cancelled_requests = ld(counters_.cancelled_requests);
+  snapshot.pings = ld(counters_.pings);
+  snapshot.sheds_with_hint = ld(counters_.sheds_with_hint);
+  snapshot.drain_started = ld(counters_.drain_started);
+  snapshot.queue_wait_p50_us = queue_wait_us_.percentile_us(0.50);
+  snapshot.queue_wait_p99_us = queue_wait_us_.percentile_us(0.99);
+  snapshot.service_time_p50_us = service_time_us_.percentile_us(0.50);
+  snapshot.service_time_p99_us = service_time_us_.percentile_us(0.99);
+  core::MutexLock lock(queue_mutex_);
   snapshot.queue_depth =
       static_cast<std::int64_t>(pure_queue_.size() +
                                 exclusive_queue_.size() +
@@ -314,16 +427,17 @@ bool Service::pop_runnable(
     QueuedTask task = std::move(queue.front());
     queue.pop_front();
     const bool cancelled = is_cancelled(task.cancel);
-    const bool expired =
-        !cancelled && std::chrono::steady_clock::now() > task.deadline;
+    const auto now = std::chrono::steady_clock::now();
+    const bool expired = !cancelled && now > task.deadline;
     if (!cancelled && !expired) {
+      queue_wait_us_.record_us(us_between(task.enqueued_at, now));
       *out = std::move(task);
       return true;
     }
     if (cancelled)
-      ++stats_.cancelled_requests;
+      counters_.cancelled_requests.fetch_add(1, std::memory_order_relaxed);
     else
-      ++stats_.deadline_expired;
+      counters_.deadline_expired.fetch_add(1, std::memory_order_relaxed);
     failed->emplace_back(std::move(task),
                          cancelled ? cancelled_status() : expired_status());
   }
@@ -332,7 +446,7 @@ bool Service::pop_runnable(
 
 void Service::worker_loop(std::size_t worker_index) {
   api::Engine& engine = engines_[worker_index];
-  core::UniqueMutexLock lock(mutex_);
+  core::UniqueMutexLock lock(queue_mutex_);
   for (;;) {
     // Waits are explicit loops over guarded state, not cv_.wait(lock,
     // pred): thread safety analysis treats a predicate lambda as its own
@@ -349,7 +463,7 @@ void Service::worker_loop(std::size_t worker_index) {
       const bool drained = stopping_ && exclusive_queue_.empty() &&
                            predict_queue_.empty() && pure_queue_.empty();
       if (work || drained) break;
-      cv_.wait(lock);
+      work_cv_.wait(lock);
     }
 
     // Exclusive requests outrank everything: claim the oldest, wait for
@@ -370,15 +484,22 @@ void Service::worker_loop(std::size_t worker_index) {
         lock.lock();
       }
       if (!got) {
-        cv_.notify_all();
+        // The transient claim may have parked workers that saw
+        // exclusive_claimed_; every one of them must re-examine the queues.
+        work_cv_.notify_all();
         continue;
       }
-      while (pure_active_ != 0) cv_.wait(lock);
+      while (pure_active_ != 0) gate_cv_.wait(lock);
       lock.unlock();
+      const auto started = std::chrono::steady_clock::now();
       task.run(engine);
+      service_time_us_.record_us(
+          us_between(started, std::chrono::steady_clock::now()));
       lock.lock();
       exclusive_claimed_ = false;
-      cv_.notify_all();
+      // Releasing the claim re-opens dispatch for everyone (any queue, any
+      // worker), so this is the one completion that broadcasts.
+      work_cv_.notify_all();
       continue;
     }
 
@@ -416,11 +537,16 @@ void Service::worker_loop(std::size_t worker_index) {
                 static_cast<std::int64_t>(predict_queue_.size()) >=
                     service_cfg_.max_predict_batch)
               break;
-            if (cv_.wait_until(lock, fire_at) == std::cv_status::timeout)
+            if (window_cv_.wait_until(lock, fire_at) ==
+                std::cv_status::timeout)
               break;
           }
           predict_window_waiter_ = false;
-          cv_.notify_all();
+          // The queue was unclaimable while the flag was up; enqueue-side
+          // notify_ones from that span may have been absorbed by workers
+          // that could not act on them, so re-open it with a broadcast
+          // (rare: once per window).
+          work_cv_.notify_all();
           continue;  // re-dispatch from the top with fresh state
         }
       }
@@ -436,20 +562,22 @@ void Service::worker_loop(std::size_t worker_index) {
           PredictTask t = std::move(predict_queue_.front());
           predict_queue_.pop_front();
           if (is_cancelled(t.opts.cancel)) {
-            ++stats_.cancelled_requests;
+            counters_.cancelled_requests.fetch_add(
+                1, std::memory_order_relaxed);
             refused.emplace_back(std::move(t), cancelled_status());
           } else if (now > t.opts.deadline) {
-            ++stats_.deadline_expired;
+            counters_.deadline_expired.fetch_add(1,
+                                                 std::memory_order_relaxed);
             refused.emplace_back(std::move(t), expired_status());
           } else {
+            queue_wait_us_.record_us(us_between(t.enqueued_at, now));
             batch.push_back(std::move(t));
           }
         }
         if (!batch.empty()) {
-          ++stats_.predict_batches;
-          stats_.max_predict_batch =
-              std::max(stats_.max_predict_batch,
-                       static_cast<std::int64_t>(batch.size()));
+          counters_.predict_batches.fetch_add(1, std::memory_order_relaxed);
+          atomic_max(counters_.max_predict_batch,
+                     static_cast<std::int64_t>(batch.size()));
           ++pure_active_;
         }
         lock.unlock();
@@ -461,6 +589,7 @@ void Service::worker_loop(std::size_t worker_index) {
           std::vector<api::Arch> archs;
           archs.reserve(batch.size());
           for (const PredictTask& t : batch) archs.push_back(t.arch);
+          const auto started = std::chrono::steady_clock::now();
           api::Result<std::vector<api::LatencyReport>> reports =
               engine.predict_batch(archs);
           if (reports.ok()) {
@@ -478,10 +607,17 @@ void Service::worker_loop(std::size_t worker_index) {
               if (t.opts.notify) t.opts.notify();
             }
           }
+          service_time_us_.record_us(
+              us_between(started, std::chrono::steady_clock::now()));
         }
         lock.lock();
-        if (!batch.empty()) --pure_active_;
-        cv_.notify_all();
+        if (!batch.empty()) {
+          --pure_active_;
+          // Only an exclusive claimant waits on the active count; nobody
+          // else needs to hear about a completion.
+          if (pure_active_ == 0 && exclusive_claimed_)
+            gate_cv_.notify_one();
+        }
         continue;
       }
     }
@@ -497,10 +633,17 @@ void Service::worker_loop(std::size_t worker_index) {
       if (got) ++pure_active_;
       lock.unlock();
       for (auto& [t, status] : failed) t.fail(status);
-      if (got) task.run(engine);
+      if (got) {
+        const auto started = std::chrono::steady_clock::now();
+        task.run(engine);
+        service_time_us_.record_us(
+            us_between(started, std::chrono::steady_clock::now()));
+      }
       lock.lock();
-      if (got) --pure_active_;
-      cv_.notify_all();
+      if (got) {
+        --pure_active_;
+        if (pure_active_ == 0 && exclusive_claimed_) gate_cv_.notify_one();
+      }
       continue;
     }
 

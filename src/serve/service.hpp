@@ -40,6 +40,8 @@
 // shutdown, submit() resolves immediately to FAILED_PRECONDITION.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -96,6 +98,53 @@ struct ServiceStats {
   std::int64_t pings = 0;               // health probes answered (net)
   std::int64_t sheds_with_hint = 0;     // refusals sent with retry_after_us
   std::int64_t drain_started = 0;       // drain() transitions (0 or 1)
+  // Latency distribution snapshots (microseconds; each value is the upper
+  // bound of the log2 bucket holding the quantile, so it is exact to
+  // within 2x — see LatencyHistogram). queue_wait covers admission ->
+  // dispatch for every queued request; service_time covers the execution
+  // of one unit of work (one task, or one packed predict forward).
+  std::int64_t queue_wait_p50_us = 0;
+  std::int64_t queue_wait_p99_us = 0;
+  std::int64_t service_time_p50_us = 0;
+  std::int64_t service_time_p99_us = 0;
+};
+
+/// Lock-free latency histogram: log2-microsecond buckets bumped with
+/// relaxed atomics, so the serve hot paths record timings without taking
+/// the queue lock (or any other). Quantile reads are approximate by
+/// construction — the bucket boundary, exact to within 2x — which is all
+/// a p50/p99 health readout needs.
+class LatencyHistogram {
+ public:
+  void record_us(std::int64_t us) {
+    std::size_t b = 0;
+    for (std::uint64_t v = us > 0 ? static_cast<std::uint64_t>(us) : 0;
+         v != 0 && b + 1 < kBuckets; v >>= 1)
+      ++b;
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Upper bound (us) of the bucket holding quantile `p` in [0, 1];
+  /// 0 when nothing has been recorded yet.
+  std::int64_t percentile_us(double p) const {
+    std::array<std::int64_t, kBuckets> counts;
+    std::int64_t total = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b)
+      total += counts[b] = buckets_[b].load(std::memory_order_relaxed);
+    if (total == 0) return 0;
+    const double target = p * static_cast<double>(total);
+    std::int64_t seen = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      seen += counts[b];
+      if (static_cast<double>(seen) >= target)
+        return b == 0 ? 0 : (std::int64_t{1} << b) - 1;
+    }
+    return (std::int64_t{1} << (kBuckets - 1)) - 1;
+  }
+
+ private:
+  static constexpr std::size_t kBuckets = 40;
+  std::array<std::atomic<std::int64_t>, kBuckets> buckets_{};
 };
 
 class Service {
@@ -122,6 +171,11 @@ class Service {
   std::future<api::Result<api::SearchReport>> submit(SearchRequest req);
   std::future<api::Result<api::LatencyReport>> submit(
       PredictLatencyRequest req);
+  /// One unit of work, one packed forward, per-element results (see
+  /// PredictBatchRequest). An admission refusal (shutdown / draining /
+  /// queue full) resolves every element with that status.
+  std::future<std::vector<api::Result<api::LatencyReport>>> submit(
+      PredictBatchRequest req);
   std::future<api::Result<api::ProfileReport>> submit(ProfileRequest req);
   std::future<api::Result<api::ProfileReport>> submit(
       ProfileBaselineRequest req);
@@ -160,6 +214,7 @@ class Service {
     std::function<void(const api::Status&)> fail;
     std::chrono::steady_clock::time_point deadline;
     std::shared_ptr<std::atomic<bool>> cancel;
+    std::chrono::steady_clock::time_point enqueued_at;  // queue-wait histo
   };
 
   /// How enqueue() disposed of a submission.
@@ -170,10 +225,12 @@ class Service {
 
   /// Admit `task` to the pure or exclusive queue, bumping the request
   /// counters (incl. predict_requests when `count_predict`) atomically
-  /// with admission. Non-accepted submissions bump rejected_requests /
-  /// leave the queue untouched; the caller resolves the future.
+  /// with admission. `count` is the number of logical requests the task
+  /// carries (> 1 for a PredictBatchRequest, which still occupies one
+  /// queue slot). Non-accepted submissions bump rejected_requests / leave
+  /// the queue untouched; the caller resolves the future.
   Admission enqueue(QueuedTask task, bool exclusive,
-                    bool count_predict = false);
+                    bool count_predict = false, std::int64_t count = 1);
 
   /// The common submit shape: park `fn` on a queue, resolve its promise
   /// with the Result it returns — or with FAILED_PRECONDITION /
@@ -193,11 +250,11 @@ class Service {
   /// Returns false when the queue is drained.
   bool pop_runnable(std::deque<QueuedTask>& queue,
                     std::vector<std::pair<QueuedTask, api::Status>>* failed,
-                    QueuedTask* out) HG_REQUIRES(mutex_);
+                    QueuedTask* out) HG_REQUIRES(queue_mutex_);
 
   /// True when every other worker is busy (with one worker, always): queued
   /// pure work then has nobody to run it but the caller.
-  bool no_free_worker() const HG_REQUIRES(mutex_) {
+  bool no_free_worker() const HG_REQUIRES(queue_mutex_) {
     return service_cfg_.num_workers - 1 - pure_active_ <= 0;
   }
 
@@ -214,23 +271,59 @@ class Service {
   bool coalesce_predictions_ = false;  // evaluator "predictor"
   bool measured_evaluator_ = false;    // evaluator "measured" (stateful)
 
+  /// Monotone stat counters, all bumped with relaxed atomics: submissions,
+  /// completions and the net layer's ping/shed recording never touch the
+  /// queue lock. queue_depth is the one ServiceStats field not here — it
+  /// is derived from the queue sizes under queue_mutex_ in stats().
+  struct Counters {
+    std::atomic<std::int64_t> requests{0};
+    std::atomic<std::int64_t> exclusive_requests{0};
+    std::atomic<std::int64_t> predict_requests{0};
+    std::atomic<std::int64_t> predict_batches{0};
+    std::atomic<std::int64_t> max_predict_batch{0};
+    std::atomic<std::int64_t> rejected_requests{0};
+    std::atomic<std::int64_t> deadline_expired{0};
+    std::atomic<std::int64_t> cancelled_requests{0};
+    std::atomic<std::int64_t> pings{0};
+    std::atomic<std::int64_t> sheds_with_hint{0};
+    std::atomic<std::int64_t> drain_started{0};
+  };
+
   core::Mutex shutdown_mutex_;  // serializes shutdown() callers only
-  mutable core::Mutex mutex_;
-  std::condition_variable_any cv_;  // waits on UniqueMutexLock over mutex_
-  std::deque<QueuedTask> pure_queue_ HG_GUARDED_BY(mutex_);
-  std::deque<QueuedTask> exclusive_queue_ HG_GUARDED_BY(mutex_);
-  std::deque<PredictTask> predict_queue_ HG_GUARDED_BY(mutex_);
-  std::int64_t pure_active_ HG_GUARDED_BY(mutex_) = 0;
+  // The queue lock: it guards exactly the queues and the dispatch flags
+  // below. Stats live in lock-free Counters/LatencyHistogram members, so
+  // a stat bump never contends with dispatch.
+  mutable core::Mutex queue_mutex_;
+  // Targeted wakeups (all wait via UniqueMutexLock over queue_mutex_):
+  //   work_cv_   — workers parked for dispatchable work. Every enqueue
+  //                wakes exactly one worker (notify_one); the broadcast
+  //                cases are exclusive-claim release (it gated everybody)
+  //                and shutdown.
+  //   gate_cv_   — the single exclusive claimant waiting out in-flight
+  //                pure work; signalled when pure_active_ drops to 0 with
+  //                a claim pending.
+  //   window_cv_ — the single predict-window waiter; signalled on any
+  //                enqueue (an arrival can satisfy its early-fire
+  //                conditions) and on shutdown.
+  std::condition_variable_any work_cv_;
+  std::condition_variable_any gate_cv_;
+  std::condition_variable_any window_cv_;
+  std::deque<QueuedTask> pure_queue_ HG_GUARDED_BY(queue_mutex_);
+  std::deque<QueuedTask> exclusive_queue_ HG_GUARDED_BY(queue_mutex_);
+  std::deque<PredictTask> predict_queue_ HG_GUARDED_BY(queue_mutex_);
+  std::int64_t pure_active_ HG_GUARDED_BY(queue_mutex_) = 0;
   // A worker owns the next exclusive task.
-  bool exclusive_claimed_ HG_GUARDED_BY(mutex_) = false;
+  bool exclusive_claimed_ HG_GUARDED_BY(queue_mutex_) = false;
   // A worker is waiting out predict_window_us on the coalescing queue;
   // the other workers treat that queue as unclaimable meanwhile and
   // serve pure traffic instead (when none of them is free and pure work
   // is queued, the window fires early — see worker_loop).
-  bool predict_window_waiter_ HG_GUARDED_BY(mutex_) = false;
-  bool stopping_ HG_GUARDED_BY(mutex_) = false;
-  bool draining_ HG_GUARDED_BY(mutex_) = false;
-  ServiceStats stats_ HG_GUARDED_BY(mutex_);
+  bool predict_window_waiter_ HG_GUARDED_BY(queue_mutex_) = false;
+  bool stopping_ HG_GUARDED_BY(queue_mutex_) = false;
+  bool draining_ HG_GUARDED_BY(queue_mutex_) = false;
+  Counters counters_;                // lock-free
+  LatencyHistogram queue_wait_us_;   // admission -> dispatch, lock-free
+  LatencyHistogram service_time_us_;  // one unit of work, lock-free
 
   // Written single-threaded in create() before the workers exist, then
   // only read (worker i owns engines_[i]); workers_ is joined under

@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "core/parallel.hpp"
+#include "core/simd.hpp"
 #include "tensor/rng.hpp"
 
 namespace hg {
@@ -72,12 +73,13 @@ Tensor make_op(Shape shape, std::vector<float> data,
 
 // ---- raw (tape-free) kernels used inside backward closures -----------------
 
-// Matmul kernels: row-parallel and cache-blocked. Each output element
-// accumulates its k terms in ascending-p order exactly like the historical
-// naive triple loop, so the blocked/parallel kernels are bit-for-bit
-// identical to it for any thread count. The i-block keeps a handful of
-// output rows hot while one row of b streams through, cutting b reloads by
-// the block factor.
+// Matmul kernels: row-parallel and cache-blocked, with the inner axpy over
+// output columns vectorized (core/simd.hpp). Each output element accumulates
+// its k terms in ascending-p order exactly like the historical naive triple
+// loop, so the blocked/parallel/SIMD kernels are bit-for-bit identical to it
+// for any thread count — the vector axis is the output axis, never the
+// reduction axis. The i-block keeps a handful of output rows hot while one
+// row of b streams through, cutting b reloads by the block factor.
 constexpr std::int64_t kMatmulRowBlock = 4;
 
 void raw_matmul(const float* a, const float* b, float* c, std::int64_t m,
@@ -93,8 +95,7 @@ void raw_matmul(const float* a, const float* b, float* c, std::int64_t m,
             for (std::int64_t i = i0; i < i1; ++i) {
               const float av = a[i * k + p];
               if (av == 0.f) continue;
-              float* crow = c + i * n;
-              for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+              simd::axpy(c + i * n, av, brow, n);
             }
           }
         }
@@ -116,8 +117,7 @@ void raw_matmul_at_b(const float* a, const float* b, float* c, std::int64_t m,
           for (std::int64_t i = lo; i < hi; ++i) {
             const float av = arow[i];
             if (av == 0.f) continue;
-            float* crow = c + i * n;
-            for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+            simd::axpy(c + i * n, av, brow, n);
           }
         }
       });
@@ -125,17 +125,32 @@ void raw_matmul_at_b(const float* a, const float* b, float* c, std::int64_t m,
 
 void raw_matmul_a_bt(const float* a, const float* b, float* c, std::int64_t m,
                      std::int64_t k, std::int64_t n) {
-  // a is [m, k], b is [n, k] (we want a @ b^T), c is [m, n]
+  // a is [m, k], b is [n, k] (we want a @ b^T), c is [m, n]. The historical
+  // kernel took a per-(i,j) dot product — a reduction along the vector-
+  // hostile axis. Transposing b once into [k, n] scratch turns the inner
+  // loop into the same axpy-over-output-columns shape as raw_matmul: c[i,j]
+  // still accumulates its k terms in ascending-p order starting from 0, so
+  // every output element is bit-identical to the old dot (no zero-skip here,
+  // because the old kernel had none).
+  std::vector<float> bt(static_cast<std::size_t>(k * n));
+  core::parallel_for(
+      0, n, row_grain(k), [&, bt_data = bt.data()](std::int64_t lo,
+                                                   std::int64_t hi) {
+        for (std::int64_t j = lo; j < hi; ++j)
+          for (std::int64_t p = 0; p < k; ++p)
+            bt_data[p * n + j] = b[j * k + p];
+      });
+  const float* btd = bt.data();
   core::parallel_for(
       0, m, row_grain(k * n), [=](std::int64_t lo, std::int64_t hi) {
-        for (std::int64_t i = lo; i < hi; ++i) {
-          const float* arow = a + i * k;
-          float* crow = c + i * n;
-          for (std::int64_t j = 0; j < n; ++j) {
-            const float* brow = b + j * k;
-            float acc = 0.f;
-            for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-            crow[j] = acc;
+        std::fill(c + lo * n, c + hi * n, 0.f);
+        for (std::int64_t i0 = lo; i0 < hi; i0 += kMatmulRowBlock) {
+          const std::int64_t i1 =
+              std::min<std::int64_t>(hi, i0 + kMatmulRowBlock);
+          for (std::int64_t p = 0; p < k; ++p) {
+            const float* brow = btd + p * n;
+            for (std::int64_t i = i0; i < i1; ++i)
+              simd::axpy(c + i * n, a[i * k + p], brow, n);
           }
         }
       });

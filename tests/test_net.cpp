@@ -752,6 +752,167 @@ TEST(NetServerFuzz, HostileFramesNeverCrashTheServer) {
   EXPECT_TRUE(sane.ok()) << sane.status().to_string();
 }
 
+/// Blocks until one complete reply frame arrives on a raw socket;
+/// returns false on EOF/error before a full frame.
+bool read_reply_frame(int fd, FrameHeader* header, std::string* payload) {
+  std::string buf;
+  char chunk[4096];
+  for (;;) {
+    if (buf.size() >= kHeaderSize) {
+      if (!decode_header(buf.data(), buf.size(), header)) return false;
+      if (buf.size() >= kHeaderSize + header->payload_len) {
+        payload->assign(buf, kHeaderSize, header->payload_len);
+        return true;
+      }
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+TEST(NetBatchFrame, BatchedFrameRunsAsOneServiceUnit) {
+  // kPredictBatchN submits the whole frame as ONE unit of work: the
+  // service must see one queue entry / one packed forward (not N racing
+  // elements), and the answers must be bit-identical to a local
+  // Engine::predict_batch.
+  const api::EngineConfig cfg = tiny_cfg();
+  const std::vector<api::Arch> archs = sample_archs(cfg, 8);
+
+  ServerConfig server_cfg;
+  server_cfg.service.num_workers = 2;
+  auto server = Server::create(cfg, server_cfg);
+  ASSERT_TRUE(server.ok()) << server.status().to_string();
+  auto client = Client::connect("127.0.0.1", server.value()->port());
+  ASSERT_TRUE(client.ok()) << client.status().to_string();
+
+  api::Result<std::vector<api::LatencyReport>> remote =
+      client.value().predict_batch(archs);
+  ASSERT_TRUE(remote.ok()) << remote.status().to_string();
+  ASSERT_EQ(remote.value().size(), archs.size());
+
+  auto engine = api::Engine::create(cfg);
+  ASSERT_TRUE(engine.ok());
+  api::Result<std::vector<api::LatencyReport>> local =
+      engine.value().predict_batch(archs);
+  ASSERT_TRUE(local.ok());
+  for (std::size_t i = 0; i < archs.size(); ++i)
+    EXPECT_DOUBLE_EQ(remote.value()[i].latency_ms,
+                     local.value()[i].latency_ms);
+
+  const serve::ServiceStats stats = server.value()->service()->stats();
+  EXPECT_EQ(stats.predict_requests,
+            static_cast<std::int64_t>(archs.size()));
+  EXPECT_GE(stats.predict_batches, 1);
+  EXPECT_GE(stats.max_predict_batch,
+            static_cast<std::int64_t>(archs.size()));
+}
+
+TEST(NetBatchFrame, OversizedBatchRefusedPerElementWithoutRunning) {
+  const api::EngineConfig cfg = tiny_cfg();
+  const std::vector<api::Arch> seed = sample_archs(cfg, 1);
+
+  ServerConfig server_cfg;
+  server_cfg.shed_retry_after_us = 0;  // a deterministic refusal either way
+  auto server = Server::create(cfg, server_cfg);
+  ASSERT_TRUE(server.ok()) << server.status().to_string();
+  auto client = Client::connect("127.0.0.1", server.value()->port());
+  ASSERT_TRUE(client.ok()) << client.status().to_string();
+
+  const std::vector<api::Arch> oversized(kMaxWireBatch + 1, seed[0]);
+  api::Result<std::vector<api::LatencyReport>> r =
+      client.value().predict_batch(oversized);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), api::StatusCode::kResourceExhausted);
+  // Refused before submission: the service never saw the work.
+  EXPECT_EQ(server.value()->service()->stats().requests, 0);
+
+  // The refusal is a clean per-request answer — the connection lives.
+  api::Result<api::LatencyReport> sane =
+      client.value().predict_latency(seed[0]);
+  EXPECT_TRUE(sane.ok()) << sane.status().to_string();
+}
+
+TEST(NetBatchFrame, LegacyPredictBatchFrameStillServed) {
+  // An old client speaking the original per-element kPredictBatch frame
+  // gets the same answers as the new single-unit path — the server keeps
+  // both verbs.
+  const api::EngineConfig cfg = tiny_cfg();
+  const std::vector<api::Arch> archs = sample_archs(cfg, 4);
+  auto server = Server::create(cfg);
+  ASSERT_TRUE(server.ok()) << server.status().to_string();
+
+  Writer w;
+  encode_predict_batch_request(archs, &w);
+  RawConn conn(server.value()->port());
+  ASSERT_TRUE(conn.ok());
+  conn.send_bytes(encode_frame(FrameType::kPredictBatch, /*reply=*/false,
+                               /*id=*/21, 0, w.bytes()));
+  FrameHeader reply;
+  std::string payload;
+  ASSERT_TRUE(read_reply_frame(conn.fd(), &reply, &payload));
+  EXPECT_EQ(reply.request_id, 21u);
+  EXPECT_EQ(reply.type, static_cast<std::uint16_t>(FrameType::kPredictBatch) |
+                            kReplyBit);
+  Reader r(payload);
+  std::vector<api::Result<api::LatencyReport>> elements;
+  ASSERT_TRUE(decode_predict_batch_reply(&r, &elements));
+  ASSERT_EQ(elements.size(), archs.size());
+
+  auto engine = api::Engine::create(cfg);
+  ASSERT_TRUE(engine.ok());
+  api::Result<std::vector<api::LatencyReport>> local =
+      engine.value().predict_batch(archs);
+  ASSERT_TRUE(local.ok());
+  for (std::size_t i = 0; i < archs.size(); ++i) {
+    ASSERT_TRUE(elements[i].ok()) << elements[i].status().to_string();
+    EXPECT_DOUBLE_EQ(elements[i].value().latency_ms,
+                     local.value()[i].latency_ms);
+  }
+}
+
+TEST(NetBatchFrameFuzz, CorruptBatchFramesNeverCrashTheServer) {
+  // Truncations and deterministic bit-flips over a valid kPredictBatchN
+  // frame: whatever each lands as (drop, typed error, or a normal answer
+  // on a don't-care bit), the server survives and keeps serving.
+  const api::EngineConfig cfg = tiny_cfg();
+  const std::vector<api::Arch> archs = sample_archs(cfg, 3);
+  auto server = Server::create(cfg);
+  ASSERT_TRUE(server.ok()) << server.status().to_string();
+  const std::uint16_t port = server.value()->port();
+
+  Writer w;
+  encode_predict_batch_request(archs, &w);
+  const std::string valid =
+      encode_frame(FrameType::kPredictBatchN, false, 31, 0, w.bytes());
+
+  Rng rng(fuzz_seed(1331));
+  for (int trial = 0; trial < 16; ++trial) {  // truncation at random cuts
+    std::string cut = valid;
+    cut.resize(static_cast<std::size_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(valid.size()) - 1)));
+    RawConn conn(port);
+    ASSERT_TRUE(conn.ok());
+    conn.send_bytes(cut);
+  }
+  for (int trial = 0; trial < 24; ++trial) {  // single bit-flips
+    std::string flipped = valid;
+    const std::size_t byte = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(valid.size()) - 1));
+    flipped[byte] =
+        static_cast<char>(flipped[byte] ^ (1 << rng.uniform_int(0, 7)));
+    RawConn conn(port);
+    ASSERT_TRUE(conn.ok());
+    conn.send_bytes(flipped);
+  }
+
+  auto client = Client::connect("127.0.0.1", port);
+  ASSERT_TRUE(client.ok());
+  api::Result<std::vector<api::LatencyReport>> sane =
+      client.value().predict_batch(archs);
+  EXPECT_TRUE(sane.ok()) << sane.status().to_string();
+}
+
 TEST(NetServer, GoodbyeThenHalfCloseStillAnswersPipelinedRequests) {
   // A client may pipeline its requests, announce kGoodbye, and
   // shutdown(SHUT_WR): requests that arrive together with the FIN must

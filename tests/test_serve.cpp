@@ -332,5 +332,117 @@ TEST(Serve, StressManyMixedRequestsAcrossWorkerCounts) {
     EXPECT_DOUBLE_EQ(latencies[0][i], latencies[1][i]);
 }
 
+TEST(ServeBatch, BatchRequestMatchesLoneSubmissionsBitIdentically) {
+  // One PredictBatchRequest (a single unit of work -> one packed forward)
+  // must answer exactly what N lone submissions answer, element for
+  // element, and must count as ONE queue entry but N predict requests.
+  const api::EngineConfig cfg = tiny_cfg();
+  auto probe = api::Engine::create(cfg);
+  ASSERT_TRUE(probe.ok());
+  std::vector<api::Arch> archs;
+  for (int i = 0; i < 12; ++i) archs.push_back(probe.value().sample_arch());
+
+  auto lone_service = make_service(cfg, 2);
+  ASSERT_NE(lone_service, nullptr);
+  std::vector<api::LatencyReport> lone;
+  for (const api::Arch& a : archs) {
+    api::Result<api::LatencyReport> r =
+        lone_service->submit(PredictLatencyRequest{a}).get();
+    ASSERT_TRUE(r.ok()) << r.status().to_string();
+    lone.push_back(r.value());
+  }
+  lone_service->shutdown();
+
+  auto batch_service = make_service(cfg, 2);
+  ASSERT_NE(batch_service, nullptr);
+  std::vector<api::Result<api::LatencyReport>> batched =
+      batch_service->submit(PredictBatchRequest{archs}).get();
+  ASSERT_EQ(batched.size(), archs.size());
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    ASSERT_TRUE(batched[i].ok()) << batched[i].status().to_string();
+    EXPECT_DOUBLE_EQ(batched[i].value().latency_ms, lone[i].latency_ms);
+    EXPECT_DOUBLE_EQ(batched[i].value().peak_memory_mb,
+                     lone[i].peak_memory_mb);
+  }
+  const ServiceStats stats = batch_service->stats();
+  EXPECT_EQ(stats.predict_requests, static_cast<std::int64_t>(archs.size()));
+  EXPECT_GE(stats.predict_batches, 1);
+  EXPECT_GE(stats.max_predict_batch, static_cast<std::int64_t>(archs.size()));
+  batch_service->shutdown();
+}
+
+TEST(ServeBatch, BadElementFailsAloneInBatchRequest) {
+  const api::EngineConfig cfg = tiny_cfg();
+  auto probe = api::Engine::create(cfg);
+  ASSERT_TRUE(probe.ok());
+
+  auto service = make_service(cfg, 2);
+  ASSERT_NE(service, nullptr);
+  std::vector<api::Arch> archs;
+  archs.push_back(probe.value().sample_arch());
+  archs.push_back(api::Arch{});  // no genes: fails validation
+  archs.push_back(probe.value().sample_arch());
+
+  std::vector<api::Result<api::LatencyReport>> results =
+      service->submit(PredictBatchRequest{archs}).get();
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok()) << results[0].status().to_string();
+  EXPECT_FALSE(results[1].ok());
+  EXPECT_EQ(results[1].status().code(), api::StatusCode::kInvalidArgument);
+  EXPECT_TRUE(results[2].ok()) << results[2].status().to_string();
+
+  // The good elements answer exactly what lone submissions answer.
+  api::Result<api::LatencyReport> lone0 =
+      service->submit(PredictLatencyRequest{archs[0]}).get();
+  ASSERT_TRUE(lone0.ok());
+  EXPECT_DOUBLE_EQ(results[0].value().latency_ms, lone0.value().latency_ms);
+  service->shutdown();
+}
+
+TEST(ServeBatch, EmptyBatchResolvesImmediately) {
+  auto service = make_service(tiny_cfg(), 1);
+  ASSERT_NE(service, nullptr);
+  std::vector<api::Result<api::LatencyReport>> results =
+      service->submit(PredictBatchRequest{}).get();
+  EXPECT_TRUE(results.empty());
+  service->shutdown();
+}
+
+TEST(ServeStats, LatencyHistogramsReportWaitAndServiceTime) {
+  const api::EngineConfig cfg = tiny_cfg();
+  auto probe = api::Engine::create(cfg);
+  ASSERT_TRUE(probe.ok());
+
+  auto service = make_service(cfg, 2);
+  ASSERT_NE(service, nullptr);
+  std::vector<std::future<api::Result<api::LatencyReport>>> futures;
+  for (int i = 0; i < 32; ++i)
+    futures.push_back(
+        service->submit(PredictLatencyRequest{probe.value().sample_arch()}));
+  for (auto& f : futures) ASSERT_TRUE(f.get().ok());
+
+  const ServiceStats stats = service->stats();
+  // Percentiles are log2-bucket upper bounds: monotone in rank, and a
+  // served request always records a service time (>= the 0-bucket).
+  EXPECT_GE(stats.queue_wait_p99_us, stats.queue_wait_p50_us);
+  EXPECT_GE(stats.service_time_p99_us, stats.service_time_p50_us);
+  EXPECT_GE(stats.service_time_p99_us, 0);
+  // A p99 of a 32-request run that did real work should be nonzero.
+  EXPECT_GT(stats.service_time_p99_us, 0);
+  service->shutdown();
+}
+
+TEST(ServeStats, HistogramBucketsAreUpperBounds) {
+  LatencyHistogram h;
+  h.record_us(0);
+  EXPECT_EQ(h.percentile_us(0.5), 0);
+  LatencyHistogram h2;
+  h2.record_us(1000);  // bucket 9 (512..1023) -> upper bound 1023
+  EXPECT_EQ(h2.percentile_us(0.5), 1023);
+  h2.record_us(100000);  // bucket 16 (65536..131071) -> 131071
+  EXPECT_EQ(h2.percentile_us(0.99), 131071);
+  EXPECT_EQ(h2.percentile_us(0.25), 1023);
+}
+
 }  // namespace
 }  // namespace hg::serve
