@@ -32,28 +32,39 @@ std::vector<float> random_values(std::int64_t n, Rng& rng) {
   return v;
 }
 
+/// Wall time plus the pool width the timed region ACTUALLY ran with —
+/// the pool may clamp a request (e.g. to the hardware thread count), and
+/// the JSON records must name the effective width, not the asked-for one.
+struct Timed {
+  double ms = 0.0;
+  std::int64_t threads = 1;
+};
+
 /// Best-of-`reps` wall time of `fn` at the given pool width.
 template <typename Fn>
-double time_at(std::int64_t threads, int reps, Fn&& fn) {
+Timed time_at(std::int64_t threads, int reps, Fn&& fn) {
   core::ScopedNumThreads scoped(threads);
-  double best = 1e300;
+  Timed out;
+  out.threads = core::num_threads();
+  out.ms = 1e300;
   for (int r = 0; r < reps; ++r) {
     bench::Timer t;
     fn();
-    best = std::min(best, t.ms());
+    out.ms = std::min(out.ms, t.ms());
   }
-  return best;
+  return out;
 }
 
 void report_pair(bench::JsonReporter& json, const std::string& name,
-                 const std::string& problem, double serial_ms,
-                 double parallel_ms, std::int64_t threads) {
-  const double speedup = parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0;
+                 const std::string& problem, const Timed& serial,
+                 const Timed& parallel) {
+  const double speedup = parallel.ms > 0.0 ? serial.ms / parallel.ms : 0.0;
   std::printf("%-28s %-26s serial %9.2f ms | %2lld threads %9.2f ms | %.2fx\n",
-              name.c_str(), problem.c_str(), serial_ms,
-              static_cast<long long>(threads), parallel_ms, speedup);
-  json.add(name + "/serial", serial_ms, problem, 0.0, "", 1);
-  json.add(name + "/parallel", parallel_ms, problem, speedup, "x", threads);
+              name.c_str(), problem.c_str(), serial.ms,
+              static_cast<long long>(parallel.threads), parallel.ms, speedup);
+  json.add(name + "/serial", serial.ms, problem, 0.0, "", serial.threads);
+  json.add(name + "/parallel", parallel.ms, problem, speedup, "x",
+           parallel.threads);
 }
 
 }  // namespace
@@ -85,7 +96,7 @@ int main(int argc, char** argv) {
     };
     report_pair(json, "matmul",
                 std::to_string(n) + "x" + std::to_string(n),
-                time_at(1, reps, run), time_at(hw, reps, run), hw);
+                time_at(1, reps, run), time_at(hw, reps, run));
   }
 
   // ---- graph construction: KNN ---------------------------------------------
@@ -96,7 +107,7 @@ int main(int argc, char** argv) {
     auto run = [&] { (void)graph::knn_graph(pts, points_n, k); };
     report_pair(json, "knn_graph",
                 std::to_string(points_n) + " pts k=" + std::to_string(k),
-                time_at(1, reps, run), time_at(hw, reps, run), hw);
+                time_at(1, reps, run), time_at(hw, reps, run));
   }
 
   // ---- GNN operator: EdgeConv forward --------------------------------------
@@ -114,7 +125,7 @@ int main(int argc, char** argv) {
     report_pair(json, "edgeconv_forward",
                 std::to_string(points_n) + " pts k=" + std::to_string(k) +
                     " c=" + std::to_string(channels),
-                time_at(1, reps, run), time_at(hw, reps, run), hw);
+                time_at(1, reps, run), time_at(hw, reps, run));
   }
 
   // ---- fused vs materializing Aggregate (Full message, max reduce) ---------
@@ -132,9 +143,9 @@ int main(int argc, char** argv) {
     const std::string problem = std::to_string(points_n) +
                                 " pts k=" + std::to_string(k) +
                                 " c=" + std::to_string(channels) + " full/max";
-    const double mat_ms = time_at(1, reps, materialized);
-    const double fused_ms = time_at(hw, reps, fused);
-    report_pair(json, "aggregate_fused_vs_mat", problem, mat_ms, fused_ms, hw);
+    const Timed mat = time_at(1, reps, materialized);
+    const Timed fused_t = time_at(hw, reps, fused);
+    report_pair(json, "aggregate_fused_vs_mat", problem, mat, fused_t);
   }
 
   // ---- end-to-end: Engine::search on the quickstart workload --------------
@@ -145,28 +156,38 @@ int main(int argc, char** argv) {
       cfg.samples_per_class = 10;  // the quickstart example's scale
       cfg.iterations = 8;
     }
-    auto search_ms = [&](std::int64_t threads) {
+    auto search_at = [&](std::int64_t threads) {
       cfg.num_threads = threads;
+      Timed out;
+      {
+        // The engine resolves cfg.num_threads through the same pool clamp
+        // as everyone else; record the width it will actually get.
+        core::ScopedNumThreads probe(threads);
+        out.threads = core::num_threads();
+      }
       bench::Timer t;
       api::Result<api::Engine> engine = api::Engine::create(cfg);
       if (!engine.ok()) {
         std::fprintf(stderr, "engine: %s\n",
                      engine.status().to_string().c_str());
-        return -1.0;
+        out.ms = -1.0;
+        return out;
       }
       api::Result<api::SearchReport> r = engine.value().search();
       if (!r.ok()) {
         std::fprintf(stderr, "search: %s\n", r.status().to_string().c_str());
-        return -1.0;
+        out.ms = -1.0;
+        return out;
       }
-      return t.ms();
+      out.ms = t.ms();
+      return out;
     };
-    const double serial_ms = search_ms(1);
-    const double parallel_ms = search_ms(hw);
-    if (serial_ms >= 0.0 && parallel_ms >= 0.0)
+    const Timed serial = search_at(1);
+    const Timed parallel = search_at(hw);
+    if (serial.ms >= 0.0 && parallel.ms >= 0.0)
       report_pair(json, "engine_search",
-                  quick ? "tiny config" : "quickstart workload", serial_ms,
-                  parallel_ms, hw);
+                  quick ? "tiny config" : "quickstart workload", serial,
+                  parallel);
     core::set_num_threads(0);  // restore the default pool width
   }
 

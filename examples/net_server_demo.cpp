@@ -6,11 +6,13 @@
 // the demo exits 0 with a stats report).
 //
 //   net_server_demo [--port N] [--device name] [--workers N]
-//                   [--window-us N] [--max-queue N] [--oracle] [--once]
-//                   [--drain-after-ms N]
+//                   [--window-us N] [--max-queue N] [--slice-ms N]
+//                   [--oracle] [--once] [--drain-after-ms N]
 //
 // Defaults: port 7171, jetson-tx2, 3 workers, a 2 ms predict-coalescing
-// window, queue bounded at 256, GNN latency predictor as evaluator
+// window, queue bounded at 256, a 5 ms exclusive slice (searches yield to
+// queued predict traffic between generations; --slice-ms 0 restores
+// run-to-completion), GNN latency predictor as evaluator
 // (--oracle swaps in the analytical oracle: instant startup, used by the
 // CI smoke run). --drain-after-ms N demonstrates the graceful wind-down:
 // after N ms the server stops accepting, finishes and answers everything
@@ -32,6 +34,7 @@ int main(int argc, char** argv) {
   std::int64_t workers = 3;
   std::int64_t window_us = 2000;
   std::int64_t max_queue = 256;
+  std::int64_t slice_ms = 5;
   std::int64_t drain_after_ms = -1;  // -1 = never
   bool oracle = false;
   bool once = false;
@@ -48,6 +51,8 @@ int main(int argc, char** argv) {
       window_us = std::atoll(argv[++i]);
     else if (arg == "--max-queue" && has_next)
       max_queue = std::atoll(argv[++i]);
+    else if (arg == "--slice-ms" && has_next)
+      slice_ms = std::atoll(argv[++i]);
     else if (arg == "--drain-after-ms" && has_next)
       drain_after_ms = std::atoll(argv[++i]);
     else if (arg == "--oracle")
@@ -79,6 +84,7 @@ int main(int argc, char** argv) {
   server_cfg.service.num_workers = workers;
   server_cfg.service.predict_window_us = window_us;
   server_cfg.service.max_queue_depth = max_queue;
+  server_cfg.service.exclusive_slice_ms = slice_ms;
 
   std::printf("starting %s service on %s (evaluator: %s)...\n",
               device.c_str(), server_cfg.host.c_str(),
@@ -91,11 +97,12 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("listening on %s:%u (workers %lld, predict window %lld us, "
-              "queue bound %lld)\n",
+              "queue bound %lld, slice %lld ms)\n",
               server_cfg.host.c_str(), server.value()->port(),
               static_cast<long long>(workers),
               static_cast<long long>(window_us),
-              static_cast<long long>(max_queue));
+              static_cast<long long>(max_queue),
+              static_cast<long long>(slice_ms));
   std::fflush(stdout);
 
   const auto started = std::chrono::steady_clock::now();
@@ -162,5 +169,23 @@ int main(int argc, char** argv) {
               static_cast<long long>(stats.queue_wait_p99_us),
               static_cast<long long>(stats.service_time_p50_us),
               static_cast<long long>(stats.service_time_p99_us));
+  std::printf("  pure:      queue-wait p50/p99 %lld/%lld us, service-time "
+              "p50/p99 %lld/%lld us\n",
+              static_cast<long long>(stats.pure_queue_wait_p50_us),
+              static_cast<long long>(stats.pure_queue_wait_p99_us),
+              static_cast<long long>(stats.pure_service_time_p50_us),
+              static_cast<long long>(stats.pure_service_time_p99_us));
+  std::printf("  exclusive: queue-wait p50/p99 %lld/%lld us, service-time "
+              "p50/p99 %lld/%lld us\n",
+              static_cast<long long>(stats.exclusive_queue_wait_p50_us),
+              static_cast<long long>(stats.exclusive_queue_wait_p99_us),
+              static_cast<long long>(stats.exclusive_service_time_p50_us),
+              static_cast<long long>(stats.exclusive_service_time_p99_us));
+  std::printf("slicing: %lld slices, %lld preemptions, %lld resumes "
+              "(slice %lld ms)\n",
+              static_cast<long long>(stats.exclusive_slices),
+              static_cast<long long>(stats.exclusive_preemptions),
+              static_cast<long long>(stats.exclusive_resumes),
+              static_cast<long long>(slice_ms));
   return 0;
 }

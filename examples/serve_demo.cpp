@@ -48,6 +48,9 @@ int main() {
 
   serve::ServiceConfig scfg;
   scfg.num_workers = 3;
+  // Generation-sliced scheduling: searches yield every 5 ms so the small
+  // predict/profile queries interleave instead of waiting out a search.
+  scfg.exclusive_slice_ms = 5;
   std::vector<std::shared_ptr<serve::Service>> services;
   for (std::size_t i = 0; i < devices.size(); ++i) {
     api::Result<std::shared_ptr<serve::Service>> service =
@@ -145,6 +148,24 @@ int main() {
                 static_cast<long long>(stats.queue_wait_p99_us),
                 static_cast<long long>(stats.service_time_p50_us),
                 static_cast<long long>(stats.service_time_p99_us));
+    std::printf("  pure:      queue-wait p50/p99 %lld/%lld us, "
+                "service-time p50/p99 %lld/%lld us\n",
+                static_cast<long long>(stats.pure_queue_wait_p50_us),
+                static_cast<long long>(stats.pure_queue_wait_p99_us),
+                static_cast<long long>(stats.pure_service_time_p50_us),
+                static_cast<long long>(stats.pure_service_time_p99_us));
+    std::printf("  exclusive: queue-wait p50/p99 %lld/%lld us, "
+                "service-time p50/p99 %lld/%lld us\n",
+                static_cast<long long>(stats.exclusive_queue_wait_p50_us),
+                static_cast<long long>(stats.exclusive_queue_wait_p99_us),
+                static_cast<long long>(stats.exclusive_service_time_p50_us),
+                static_cast<long long>(stats.exclusive_service_time_p99_us));
+    std::printf("slicing: %lld slices, %lld preemptions, %lld resumes "
+                "(slice %lld ms)\n",
+                static_cast<long long>(stats.exclusive_slices),
+                static_cast<long long>(stats.exclusive_preemptions),
+                static_cast<long long>(stats.exclusive_resumes),
+                static_cast<long long>(scfg.exclusive_slice_ms));
   }
 
   // Graceful half of shutdown first: drain() stops admissions while the

@@ -147,6 +147,87 @@ Result<SearchReport> Engine::search() {
   }
 }
 
+Result<std::unique_ptr<SearchRun>> Engine::begin_search() {
+  StrategyRequest req;
+  req.supernet = &ctx_->supernet();
+  req.data = &ctx_->data();
+  req.cfg = search_cfg_;
+  req.latency = evaluator_.fn;
+  req.rng = &ctx_->rng();
+  req.eval_cache = &ctx_->eval_cache();
+
+  std::unique_ptr<SearchRun> run(new SearchRun());
+  run->ctx_ = ctx_;
+  run->deploy_workload_ = deploy_workload();
+
+  Registry& reg = Registry::global();
+  if (reg.has_strategy_stepper(cfg_.strategy)) {
+    try {
+      Result<std::unique_ptr<hgnas::SearchStepper>> stepper =
+          reg.make_strategy_stepper(cfg_.strategy, req);
+      if (!stepper.ok()) return stepper.status();
+      run->stepper_ = std::move(stepper).value();
+    } catch (const std::exception& e) {
+      return Status::Internal(std::string("search failed: ") + e.what());
+    }
+  } else {
+    // Third-party strategy registered without a stepwise form: the whole
+    // run becomes one (non-preemptible) step.
+    const std::string strategy = cfg_.strategy;
+    run->monolithic_ = [strategy, req] {
+      return Registry::global().run_strategy(strategy, req);
+    };
+  }
+  return run;
+}
+
+bool SearchRun::step() {
+  if (finished_) return false;
+  try {
+    if (stepper_ != nullptr) {
+      if (stepper_->step()) return true;
+      result_ = stepper_->take_result();
+    } else {
+      Result<hgnas::SearchResult> r = monolithic_();
+      if (r.ok())
+        result_ = std::move(r).value();
+      else
+        error_ = r.status();
+      fallback_progress_.phase = hgnas::SearchProgress::Phase::kDone;
+      fallback_progress_.steps = 1;
+      fallback_progress_.sim_time_s = result_.total_sim_time_s;
+      fallback_progress_.best_objective = result_.best_objective;
+      fallback_progress_.has_best = r.ok();
+    }
+  } catch (const std::exception& e) {
+    error_ = Status::Internal(std::string("search failed: ") + e.what());
+  }
+  finished_ = true;
+  return false;
+}
+
+Result<SearchReport> SearchRun::take_report() {
+  if (!finished_)
+    return Status::FailedPrecondition(
+        "search still in flight; drive step() to completion first");
+  if (!error_.ok()) return error_;
+  try {
+    SearchReport report;
+    report.result = std::move(result_);
+    report.visualization =
+        hgnas::visualize(report.result.best_arch, deploy_workload_);
+    for (const ParetoPoint& p : report.result.frontier) {
+      char line[64];
+      std::snprintf(line, sizeof(line), "%12.1f %10.3f\n", p.latency_ms,
+                    p.accuracy);
+      report.frontier_table += line;
+    }
+    return report;
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("search failed: ") + e.what());
+  }
+}
+
 Result<LatencyReport> Engine::predict_latency(const Arch& arch) {
   if (const Status s = validate_arch(arch); !s.ok()) return s;
   try {
@@ -272,6 +353,50 @@ Result<TrainReport> Engine::train_baseline(const std::string& name) {
     return Status::Internal(std::string("baseline training failed: ") +
                             e.what());
   }
+}
+
+Result<std::unique_ptr<TrainBaselineRun>> Engine::begin_train_baseline(
+    const std::string& name) {
+  Result<std::unique_ptr<Lowerable>> baseline =
+      Registry::global().make_baseline(name);
+  if (!baseline.ok()) return baseline.status();
+  std::unique_ptr<TrainBaselineRun> run(new TrainBaselineRun());
+  run->ctx_ = ctx_;
+  run->baseline_ = std::move(baseline).value();
+  try {
+    // The model is materialised here, consuming the context RNG exactly as
+    // train_baseline() would before its first epoch.
+    run->stepper_ = run->baseline_->train_stepper(
+        ctx_->data(), train_workload(), cfg_.train_epochs, cfg_.train_lr,
+        ctx_->rng());
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("baseline training failed: ") +
+                            e.what());
+  }
+  return run;
+}
+
+bool TrainBaselineRun::step() {
+  if (finished_) return false;
+  try {
+    if (stepper_->step()) return true;
+    const BaselineTrainResult r = stepper_->result();
+    report_ = TrainReport{r.overall_acc, r.balanced_acc, 0.0, r.param_mb};
+  } catch (const std::exception& e) {
+    error_ = Status::Internal(std::string("baseline training failed: ") +
+                              e.what());
+  }
+  finished_ = true;
+  return false;
+}
+
+Result<TrainReport> TrainBaselineRun::take_report() {
+  if (!finished_)
+    return Status::FailedPrecondition(
+        "baseline training still in flight; drive step() to completion "
+        "first");
+  if (!error_.ok()) return error_;
+  return report_;
 }
 
 Result<std::string> Engine::export_arch(const Arch& arch) const {

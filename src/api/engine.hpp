@@ -32,6 +32,7 @@
 #pragma once
 
 #include <array>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -98,6 +99,9 @@ struct SearchReport {
   std::string frontier_table;
 };
 
+class SearchRun;
+class TrainBaselineRun;
+
 /// Shape of the predictor's architecture-graph abstraction (§III-D).
 struct ArchGraphInfo {
   std::int64_t nodes = 0;
@@ -140,6 +144,13 @@ class Engine {
   /// Run the configured search strategy end to end.
   Result<SearchReport> search();
 
+  /// Generation-granular form of search(): the returned run is advanced one
+  /// step at a time and yields the identical report when driven to
+  /// completion (the stepper drives the same coroutine search() does).
+  /// serve::Service preempts long searches at this granularity. The run
+  /// keeps the engine's EvalContext alive, so it may outlive this Engine.
+  Result<std::unique_ptr<SearchRun>> begin_search();
+
   /// Latency of one architecture through the configured evaluator. Noisy
   /// for "measured", learned for "predictor", exact for "oracle". For
   /// "predictor" this is predict_batch at batch size 1 (one packed GCN
@@ -177,6 +188,10 @@ class Engine {
   /// Table II / Fig. 2 / Fig. 6. mean_loss is 0 (baseline training loops
   /// report accuracy only).
   Result<TrainReport> train_baseline(const std::string& name);
+  /// Epoch-granular form of train_baseline(): bit-identical when driven to
+  /// completion (same model construction, same RNG consumption order).
+  Result<std::unique_ptr<TrainBaselineRun>> begin_train_baseline(
+      const std::string& name);
 
   // ---- persistence (serialize_arch v1 text format) ----
   Result<std::string> export_arch(const Arch& arch) const;
@@ -224,6 +239,73 @@ class Engine {
   // ProfileReport.
   std::int64_t last_cache_hits_ = 0;
   std::int64_t last_cache_misses_ = 0;
+};
+
+/// An in-flight search advanced one generation at a time — the scheduling
+/// unit serve::Service preempts under its exclusive time slice. Obtained
+/// from Engine::begin_search(). step() never throws: failures are captured
+/// and surface from take_report(), exactly as Engine::search() would have
+/// reported them.
+class SearchRun {
+ public:
+  SearchRun(const SearchRun&) = delete;
+  SearchRun& operator=(const SearchRun&) = delete;
+
+  /// Advance one generation (or warmup epoch / sampling chunk). False once
+  /// the search has finished — successfully or not.
+  bool step();
+  bool done() const { return finished_; }
+  /// Live progress view (phase, step count, simulated time, best
+  /// objective). For a strategy without a registered stepwise form the view
+  /// jumps from kIdle to kDone on the single whole-run step.
+  const hgnas::SearchProgress& progress() const {
+    return stepper_ != nullptr ? stepper_->progress() : fallback_progress_;
+  }
+  /// FAILED_PRECONDITION until done(); afterwards the report (or error
+  /// Status) Engine::search() would have produced. Consumes the result.
+  Result<SearchReport> take_report();
+
+ private:
+  friend class Engine;
+  SearchRun() = default;
+
+  std::shared_ptr<EvalContext> ctx_;  // keeps the stepper's borrows alive
+  Workload deploy_workload_;
+  std::unique_ptr<hgnas::SearchStepper> stepper_;
+  /// Fallback for strategies without a stepwise form: one whole-run step.
+  std::function<Result<hgnas::SearchResult>()> monolithic_;
+  hgnas::SearchProgress fallback_progress_;
+  hgnas::SearchResult result_;
+  Status error_;
+  bool finished_ = false;
+};
+
+/// An in-flight baseline training run advanced one epoch at a time — the
+/// train_baseline() counterpart of SearchRun, with the same step() /
+/// take_report() contract.
+class TrainBaselineRun {
+ public:
+  TrainBaselineRun(const TrainBaselineRun&) = delete;
+  TrainBaselineRun& operator=(const TrainBaselineRun&) = delete;
+
+  /// One training epoch (or the final evaluation). False once finished;
+  /// never throws.
+  bool step();
+  bool done() const { return finished_; }
+  /// FAILED_PRECONDITION until done(); afterwards the report (or error
+  /// Status) Engine::train_baseline() would have produced.
+  Result<TrainReport> take_report();
+
+ private:
+  friend class Engine;
+  TrainBaselineRun() = default;
+
+  std::shared_ptr<EvalContext> ctx_;
+  std::unique_ptr<Lowerable> baseline_;  // the stepper refers into it
+  std::unique_ptr<TrainStepper> stepper_;
+  TrainReport report_;
+  Status error_;
+  bool finished_ = false;
 };
 
 }  // namespace hg::api

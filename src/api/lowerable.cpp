@@ -1,15 +1,91 @@
 #include "api/lowerable.hpp"
 
+#include <functional>
 #include <utility>
 
 #include "api/registry.hpp"
 #include "baselines/baselines.hpp"
+#include "core/stepwise.hpp"
 #include "hgnas/model.hpp"
 #include "hgnas/zoo.hpp"
 
 namespace hg::api {
 
 namespace {
+
+/// Epoch stepper over the baselines' shared training loop: owns the
+/// materialised model and drives the train_baseline_stepwise coroutine.
+/// The model is built in the constructor, so RNG consumption matches the
+/// monolithic train() (model init first, then training draws per step).
+template <typename ModelT, typename ConfigT>
+class ModelTrainStepper final : public TrainStepper {
+ public:
+  ModelTrainStepper(const ConfigT& cfg, const pointcloud::Dataset& data,
+                    std::int64_t epochs, float lr, Rng& rng)
+      : model_(cfg, rng),
+        run_(baselines::train_baseline_stepwise(model_, data, epochs, lr, rng,
+                                                &eval_)) {}
+
+  bool step() override {
+    if (run_.done()) return false;
+    return run_.step();
+  }
+  bool done() const override { return run_.done(); }
+  BaselineTrainResult result() const override {
+    return {eval_.overall_acc, eval_.balanced_acc, model_.param_mb()};
+  }
+
+ private:
+  ModelT model_;  // declared before run_: the coroutine frame refers to it
+  baselines::BaselineEval eval_;
+  core::Stepper run_;
+};
+
+/// Same shape over hgnas::train_model_stepwise for zoo architectures.
+class ZooTrainStepper final : public TrainStepper {
+ public:
+  ZooTrainStepper(const hgnas::Arch& arch, const hgnas::Workload& train_w,
+                  const pointcloud::Dataset& data, hgnas::TrainConfig cfg,
+                  Rng& rng)
+      : model_(arch, train_w, rng),
+        run_(hgnas::train_model_stepwise(model_, data, cfg, rng, &eval_)) {}
+
+  bool step() override {
+    if (run_.done()) return false;
+    return run_.step();
+  }
+  bool done() const override { return run_.done(); }
+  BaselineTrainResult result() const override {
+    return {eval_.overall_acc, eval_.balanced_acc, model_.param_mb()};
+  }
+
+ private:
+  hgnas::GnnModel model_;
+  hgnas::EvalResult eval_;
+  core::Stepper run_;
+};
+
+/// Fallback for Lowerables without an epoch-granular loop: one step that
+/// runs the whole train() call.
+class MonolithicTrainStepper final : public TrainStepper {
+ public:
+  explicit MonolithicTrainStepper(std::function<BaselineTrainResult()> fn)
+      : fn_(std::move(fn)) {}
+
+  bool step() override {
+    if (done_) return false;
+    result_ = fn_();
+    done_ = true;
+    return false;
+  }
+  bool done() const override { return done_; }
+  BaselineTrainResult result() const override { return result_; }
+
+ private:
+  std::function<BaselineTrainResult()> fn_;
+  BaselineTrainResult result_;
+  bool done_ = false;
+};
 
 /// DGCNN and its sampling-reuse ladder: reuse_from_layer = 4 is the
 /// original network, 1 is the Li et al. [6] single-sample optimisation
@@ -42,6 +118,17 @@ class DgcnnBaseline final : public Lowerable {
     return {eval.overall_acc, eval.balanced_acc, model.param_mb()};
   }
 
+  std::unique_ptr<TrainStepper> train_stepper(
+      const pointcloud::Dataset& data, const hgnas::Workload& train_w,
+      std::int64_t epochs, float lr, Rng& rng) const override {
+    baselines::DgcnnConfig cfg =
+        baselines::DgcnnConfig::scaled(train_w.num_classes, train_w.k);
+    cfg.reuse_from_layer = reuse_from_layer_;
+    return std::make_unique<
+        ModelTrainStepper<baselines::Dgcnn, baselines::DgcnnConfig>>(
+        cfg, data, epochs, lr, rng);
+  }
+
  private:
   std::string name_;
   std::int64_t reuse_from_layer_;
@@ -68,6 +155,15 @@ class TailorBaseline final : public Lowerable {
     const baselines::BaselineEval eval =
         baselines::train_baseline(model, data, epochs, lr, rng);
     return {eval.overall_acc, eval.balanced_acc, model.param_mb()};
+  }
+
+  std::unique_ptr<TrainStepper> train_stepper(
+      const pointcloud::Dataset& data, const hgnas::Workload& train_w,
+      std::int64_t epochs, float lr, Rng& rng) const override {
+    return std::make_unique<
+        ModelTrainStepper<baselines::TailorGnn, baselines::TailorConfig>>(
+        baselines::TailorConfig::scaled(train_w.num_classes, train_w.k), data,
+        epochs, lr, rng);
   }
 };
 
@@ -96,12 +192,30 @@ class ZooBaseline final : public Lowerable {
     return {eval.overall_acc, eval.balanced_acc, model.param_mb()};
   }
 
+  std::unique_ptr<TrainStepper> train_stepper(
+      const pointcloud::Dataset& data, const hgnas::Workload& train_w,
+      std::int64_t epochs, float lr, Rng& rng) const override {
+    hgnas::TrainConfig cfg;
+    cfg.epochs = epochs;
+    cfg.lr = lr;
+    return std::make_unique<ZooTrainStepper>(arch_, train_w, data, cfg, rng);
+  }
+
  private:
   std::string name_;
   hgnas::Arch arch_;
 };
 
 }  // namespace
+
+std::unique_ptr<TrainStepper> Lowerable::train_stepper(
+    const pointcloud::Dataset& data, const hgnas::Workload& train_workload,
+    std::int64_t epochs, float lr, Rng& rng) const {
+  return std::make_unique<MonolithicTrainStepper>(
+      [this, &data, train_workload, epochs, lr, &rng] {
+        return train(data, train_workload, epochs, lr, rng);
+      });
+}
 
 void install_builtin_baselines(Registry& registry) {
   auto dgcnn = [](std::string name, std::int64_t reuse) {

@@ -37,6 +37,21 @@ struct BaselineTrainResult {
   double param_mb = 0.0;  // of the CPU-scale instance that was trained
 };
 
+/// A baseline training run advanced one epoch at a time — the scheduling
+/// unit serve::Service preempts under its exclusive time slice. Obtained
+/// from Lowerable::train_stepper; driving step() to completion produces the
+/// same result as the matching train() call.
+class TrainStepper {
+ public:
+  virtual ~TrainStepper() = default;
+  /// One epoch (or the final evaluation). False once finished; exceptions
+  /// from the training loop propagate out of the step that hit them.
+  virtual bool step() = 0;
+  virtual bool done() const = 0;
+  /// Valid once step() has returned false.
+  virtual BaselineTrainResult result() const = 0;
+};
+
 /// A named reference network: lowers to a cost-model trace at any workload
 /// and can materialise a trainable CPU-scale instance.
 class Lowerable {
@@ -57,6 +72,16 @@ class Lowerable {
                                     const hgnas::Workload& train_workload,
                                     std::int64_t epochs, float lr,
                                     Rng& rng) const = 0;
+
+  /// Epoch-granular form of train(): the model is built here (consuming
+  /// `rng` exactly as train() would), each step() runs one epoch, and the
+  /// final step evaluates. Bit-identical to train() when driven to
+  /// completion. The built-in baselines override this; the default wraps
+  /// train() in a single step for third-party Lowerables. All references
+  /// must outlive the stepper.
+  virtual std::unique_ptr<TrainStepper> train_stepper(
+      const pointcloud::Dataset& data, const hgnas::Workload& train_workload,
+      std::int64_t epochs, float lr, Rng& rng) const;
 };
 
 /// Register the built-in baselines and zoo networks (called once by the

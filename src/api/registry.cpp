@@ -143,6 +143,27 @@ Registry::Registry() {
     });
   };
 
+  // Stepwise companions: the same pipelines as generation-granular
+  // steppers (SearchStepper drives the identical coroutine the run_*
+  // wrappers above drive, so both forms stay bit-identical).
+  auto stepper_for = [](hgnas::SearchStrategy strategy) {
+    return [strategy](const StrategyRequest& req)
+               -> Result<std::unique_ptr<hgnas::SearchStepper>> {
+      try {
+        return std::make_unique<hgnas::SearchStepper>(
+            *req.supernet, *req.data, req.cfg, req.latency, strategy,
+            *req.rng, req.eval_cache);
+      } catch (const std::invalid_argument& e) {
+        return Status::InvalidArgument(e.what());
+      }
+    };
+  };
+  strategy_steppers_["multistage"] =
+      stepper_for(hgnas::SearchStrategy::kMultistage);
+  strategy_steppers_["onestage"] =
+      stepper_for(hgnas::SearchStrategy::kOnestage);
+  strategy_steppers_["random"] = stepper_for(hgnas::SearchStrategy::kRandom);
+
   install_builtin_baselines(*this);
 }
 
@@ -177,6 +198,16 @@ Status Registry::register_strategy(const std::string& name,
   if (key.empty()) return Status::InvalidArgument("strategy name is empty");
   if (!strategies_.emplace(key, std::move(strategy)).second)
     return Status::InvalidArgument("strategy '" + key +
+                                   "' already registered");
+  return Status::Ok();
+}
+
+Status Registry::register_strategy_stepper(const std::string& name,
+                                           StrategyStepperFactory factory) {
+  const std::string key = normalize_key(name);
+  if (key.empty()) return Status::InvalidArgument("strategy name is empty");
+  if (!strategy_steppers_.emplace(key, std::move(factory)).second)
+    return Status::InvalidArgument("strategy stepper '" + key +
                                    "' already registered");
   return Status::Ok();
 }
@@ -231,6 +262,19 @@ Result<hgnas::SearchResult> Registry::run_strategy(
   return it->second(req);
 }
 
+Result<std::unique_ptr<hgnas::SearchStepper>> Registry::make_strategy_stepper(
+    const std::string& name, const StrategyRequest& req) const {
+  const auto it = strategy_steppers_.find(normalize_key(name));
+  if (it == strategy_steppers_.end())
+    return Status::NotFound("strategy '" + name +
+                            "' has no stepwise form registered");
+  if (req.supernet == nullptr || req.data == nullptr || req.rng == nullptr)
+    return Status::Internal("StrategyRequest has null borrows");
+  if (!req.latency)
+    return Status::InvalidArgument("strategy requires a latency evaluator");
+  return it->second(req);
+}
+
 Result<std::unique_ptr<Lowerable>> Registry::make_baseline(
     const std::string& name) const {
   const auto it = baselines_.find(normalize_key(name));
@@ -242,6 +286,10 @@ Result<std::unique_ptr<Lowerable>> Registry::make_baseline(
 
 bool Registry::has_strategy(const std::string& name) const {
   return strategies_.count(normalize_key(name)) > 0;
+}
+
+bool Registry::has_strategy_stepper(const std::string& name) const {
+  return strategy_steppers_.count(normalize_key(name)) > 0;
 }
 
 std::vector<std::string> Registry::device_names() const {

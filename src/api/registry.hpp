@@ -91,6 +91,12 @@ class Registry {
       std::function<Result<EvaluatorBundle>(const EvaluatorRequest&)>;
   using StrategyFn =
       std::function<Result<hgnas::SearchResult>(const StrategyRequest&)>;
+  /// Stepwise form of a strategy: builds a generation-granular stepper over
+  /// the request instead of running to completion. The built-in strategies
+  /// register both; a custom strategy may register only the monolithic fn
+  /// (Engine::begin_search then falls back to one whole-run step).
+  using StrategyStepperFactory = std::function<
+      Result<std::unique_ptr<hgnas::SearchStepper>>(const StrategyRequest&)>;
   using BaselineFactory = std::function<std::unique_ptr<Lowerable>()>;
 
   /// The process-wide registry, with the built-ins installed.
@@ -101,6 +107,10 @@ class Registry {
   Status register_device(const std::string& name, DeviceFactory factory);
   Status register_evaluator(const std::string& name, EvaluatorFactory factory);
   Status register_strategy(const std::string& name, StrategyFn strategy);
+  /// Optional stepwise companion to register_strategy (same key rules; the
+  /// monolithic fn must exist or be registered too for run_strategy).
+  Status register_strategy_stepper(const std::string& name,
+                                   StrategyStepperFactory factory);
   /// `alias` may be empty; like devices, aliases resolve but are not
   /// listed in baseline_names().
   Status register_baseline(const std::string& name, const std::string& alias,
@@ -111,10 +121,16 @@ class Registry {
                                          const EvaluatorRequest& req) const;
   Result<hgnas::SearchResult> run_strategy(const std::string& name,
                                            const StrategyRequest& req) const;
+  /// Builds the stepwise run for a strategy registered with
+  /// register_strategy_stepper; NOT_FOUND for strategies without one
+  /// (callers fall back to run_strategy).
+  Result<std::unique_ptr<hgnas::SearchStepper>> make_strategy_stepper(
+      const std::string& name, const StrategyRequest& req) const;
   Result<std::unique_ptr<Lowerable>> make_baseline(
       const std::string& name) const;
 
   bool has_strategy(const std::string& name) const;
+  bool has_strategy_stepper(const std::string& name) const;
 
   /// Canonical device names only (aliases like "rtx" resolve but are not
   /// listed) — the one source of truth for "iterate all devices".
@@ -130,6 +146,7 @@ class Registry {
   std::vector<std::string> canonical_devices_;
   std::map<std::string, EvaluatorFactory> evaluators_;
   std::map<std::string, StrategyFn> strategies_;
+  std::map<std::string, StrategyStepperFactory> strategy_steppers_;
   std::map<std::string, BaselineFactory> baselines_;  // canonical + aliases
   std::vector<std::string> canonical_baselines_;
 };

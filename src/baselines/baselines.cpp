@@ -270,8 +270,10 @@ hw::Trace TailorGnn::trace(const TailorConfig& cfg, std::int64_t num_points) {
 }
 
 template <typename ModelT>
-BaselineEval train_baseline(ModelT& model, const pointcloud::Dataset& data,
-                            std::int64_t epochs, float lr, Rng& rng) {
+core::Stepper train_baseline_stepwise(ModelT& model,
+                                      const pointcloud::Dataset& data,
+                                      std::int64_t epochs, float lr, Rng& rng,
+                                      BaselineEval* out) {
   check(epochs > 0, "train_baseline: epochs must be positive");
   Adam opt(model.parameters(), lr);
   model.set_training(true);
@@ -292,6 +294,7 @@ BaselineEval train_baseline(ModelT& model, const pointcloud::Dataset& data,
         in_batch = 0;
       }
     }
+    co_await std::suspend_always{};
   }
   // Evaluate.
   NoGradGuard ng;
@@ -303,11 +306,20 @@ BaselineEval train_baseline(ModelT& model, const pointcloud::Dataset& data,
     labels.push_back(s.label);
   }
   model.set_training(true);
-  BaselineEval r;
-  r.overall_acc = nn::overall_accuracy(preds, labels);
-  r.balanced_acc =
+  out->overall_acc = nn::overall_accuracy(preds, labels);
+  out->balanced_acc =
       nn::balanced_accuracy(preds, labels, data.num_classes());
-  return r;
+}
+
+template <typename ModelT>
+BaselineEval train_baseline(ModelT& model, const pointcloud::Dataset& data,
+                            std::int64_t epochs, float lr, Rng& rng) {
+  BaselineEval out;
+  core::Stepper run =
+      train_baseline_stepwise(model, data, epochs, lr, rng, &out);
+  while (run.step()) {
+  }
+  return out;
 }
 
 // Explicit instantiations for the two baseline model types.
@@ -316,5 +328,11 @@ template BaselineEval train_baseline<Dgcnn>(Dgcnn&, const pointcloud::Dataset&,
 template BaselineEval train_baseline<TailorGnn>(TailorGnn&,
                                                 const pointcloud::Dataset&,
                                                 std::int64_t, float, Rng&);
+template core::Stepper train_baseline_stepwise<Dgcnn>(
+    Dgcnn&, const pointcloud::Dataset&, std::int64_t, float, Rng&,
+    BaselineEval*);
+template core::Stepper train_baseline_stepwise<TailorGnn>(
+    TailorGnn&, const pointcloud::Dataset&, std::int64_t, float, Rng&,
+    BaselineEval*);
 
 }  // namespace hg::baselines

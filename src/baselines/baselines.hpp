@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/stepwise.hpp"
 #include "gnn/gnn.hpp"
 #include "hw/device.hpp"
 #include "nn/nn.hpp"
@@ -120,5 +121,15 @@ struct BaselineEval {
 template <typename ModelT>
 BaselineEval train_baseline(ModelT& model, const pointcloud::Dataset& data,
                             std::int64_t epochs, float lr, Rng& rng);
+
+/// The same training loop with one suspension per epoch (the final step runs
+/// the test-set evaluation into *out). train_baseline drives this coroutine
+/// to completion, so stepped and monolithic runs are bit-identical. All
+/// references must outlive the returned stepper.
+template <typename ModelT>
+core::Stepper train_baseline_stepwise(ModelT& model,
+                                      const pointcloud::Dataset& data,
+                                      std::int64_t epochs, float lr, Rng& rng,
+                                      BaselineEval* out);
 
 }  // namespace hg::baselines

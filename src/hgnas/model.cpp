@@ -131,8 +131,10 @@ double GnnModel::param_mb() const {
   return static_cast<double>(num_parameters()) * 4.0 / 1e6;
 }
 
-EvalResult train_model(GnnModel& model, const pointcloud::Dataset& data,
-                       const TrainConfig& cfg, Rng& rng) {
+core::Stepper train_model_stepwise(GnnModel& model,
+                                   const pointcloud::Dataset& data,
+                                   TrainConfig cfg, Rng& rng,
+                                   EvalResult* out) {
   check(cfg.epochs > 0 && cfg.batch_size > 0, "train_model: bad config");
   Adam opt(model.parameters(), cfg.lr, 0.9f, 0.999f, 1e-8f,
            cfg.weight_decay);
@@ -169,8 +171,18 @@ EvalResult train_model(GnnModel& model, const pointcloud::Dataset& data,
                   static_cast<long long>(epoch + 1),
                   epoch_loss / static_cast<double>(train.size()));
     }
+    co_await std::suspend_always{};
   }
-  return evaluate_model(model, data.test(), data.num_classes(), rng);
+  *out = evaluate_model(model, data.test(), data.num_classes(), rng);
+}
+
+EvalResult train_model(GnnModel& model, const pointcloud::Dataset& data,
+                       const TrainConfig& cfg, Rng& rng) {
+  EvalResult out;
+  core::Stepper run = train_model_stepwise(model, data, cfg, rng, &out);
+  while (run.step()) {
+  }
+  return out;
 }
 
 EvalResult evaluate_model(GnnModel& model,

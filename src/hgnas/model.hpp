@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/stepwise.hpp"
 #include "hgnas/arch.hpp"
 #include "nn/nn.hpp"
 #include "pointcloud/pointcloud.hpp"
@@ -64,6 +65,15 @@ struct TrainConfig {
 /// Train on the dataset's train split with Adam; returns final test metrics.
 EvalResult train_model(GnnModel& model, const pointcloud::Dataset& data,
                        const TrainConfig& cfg, Rng& rng);
+
+/// The same loop with one suspension per epoch; the final step runs the
+/// test-set evaluation into *out. train_model drives this coroutine to
+/// completion, so stepped and monolithic runs are bit-identical (the
+/// step / total_steps cosine-schedule bookkeeping lives in the frame).
+/// `cfg` is taken by value: the caller's copy may die before the last step.
+core::Stepper train_model_stepwise(GnnModel& model,
+                                   const pointcloud::Dataset& data,
+                                   TrainConfig cfg, Rng& rng, EvalResult* out);
 
 /// Evaluate (eval mode, no grad) on a set of samples.
 EvalResult evaluate_model(GnnModel& model,

@@ -490,10 +490,17 @@ void HgnasSearch::finalize_result(SearchResult& result) {
   result.frontier_candidates = frontier_.recorded();
 }
 
-SearchResult HgnasSearch::evolve_operations(const FunctionSet& upper,
-                                            const FunctionSet& lower,
-                                            bool full_space, Rng& rng) {
-  SearchResult result;
+// The operation-search EA as a coroutine: one suspension after the initial
+// population is scored and one after every generation. The suspensions are
+// pure — no computation or RNG draw moves across them — so driving this to
+// completion in one go reproduces the historical monolithic loop bit for
+// bit. `upper`/`lower` arrive by value: the caller's copies (locals in an
+// outer coroutine frame, or temporaries) may die before the last step.
+core::Stepper HgnasSearch::co_evolve(FunctionSet upper, FunctionSet lower,
+                                     bool full_space, Rng& rng,
+                                     SearchResult* out, SearchProgress* prog) {
+  *out = SearchResult{};
+  SearchResult& result = *out;
   result.upper = upper;
   result.lower = lower;
   open_cache();  // supernet training is done: entries valid from here on
@@ -543,6 +550,9 @@ SearchResult HgnasSearch::evolve_operations(const FunctionSet& upper,
 
   while (admitted() < cfg_.population) admit(sample_candidate(rng));
   flush();
+  prog->sim_time_s = sim_time_s_;
+  ++prog->steps;
+  co_await std::suspend_always{};
 
   // Ranking: any feasible candidate beats any infeasible one (Eq. (3)
   // scores feasible candidates, which can legitimately go negative when
@@ -593,6 +603,11 @@ SearchResult HgnasSearch::evolve_operations(const FunctionSet& upper,
       if (admit(sample_candidate(rng))) ++produced;
     }
     flush();
+    prog->sim_time_s = sim_time_s_;
+    prog->best_objective = result.history.back().best_objective;
+    prog->has_best = true;
+    ++prog->steps;
+    co_await std::suspend_always{};
   }
 
   std::sort(population.begin(), population.end(), by_fitness);
@@ -603,10 +618,13 @@ SearchResult HgnasSearch::evolve_operations(const FunctionSet& upper,
   result.best_latency_ms = best.latency_ms;
   result.history.push_back({sim_time_s_, best.fitness});
   finalize_result(result);
-  return result;
+  prog->sim_time_s = sim_time_s_;
+  prog->best_objective = best.fitness;
+  prog->has_best = true;
 }
 
-SearchResult HgnasSearch::run_multistage(Rng& rng) {
+core::Stepper HgnasSearch::co_run_multistage(Rng& rng, SearchResult* out,
+                                             SearchProgress* prog) {
   reset_run_state();
 
   // ---- Stage 0: supernet warmup over the full space -----------------------
@@ -618,6 +636,10 @@ SearchResult HgnasSearch::run_multistage(Rng& rng) {
                             rng);
       advance_clock(static_cast<double>(data_.train().size()) *
                     cfg_.sim_train_s_per_sample);
+      prog->phase = SearchProgress::Phase::kWarmup;
+      prog->sim_time_s = sim_time_s_;
+      ++prog->steps;
+      co_await std::suspend_always{};
     }
   }
 
@@ -688,6 +710,10 @@ SearchResult HgnasSearch::run_multistage(Rng& rng) {
     fn_pop.push_back(std::move(s));
   }
   if (batch_eval) eval_group(fn_pop, 0);
+  prog->phase = SearchProgress::Phase::kStage1;
+  prog->sim_time_s = sim_time_s_;
+  ++prog->steps;
+  co_await std::suspend_always{};
   auto by_fit = [](const ScoredFn& a, const ScoredFn& b) {
     return a.fitness > b.fitness;
   };
@@ -718,6 +744,9 @@ SearchResult HgnasSearch::run_multistage(Rng& rng) {
       fn_pop.push_back(std::move(child));
     }
     if (batch_eval) eval_group(fn_pop, first_child);
+    prog->sim_time_s = sim_time_s_;
+    ++prog->steps;
+    co_await std::suspend_always{};
   }
   std::sort(fn_pop.begin(), fn_pop.end(), by_fit);
   const FunctionSet upper = fn_pop.front().upper;
@@ -735,14 +764,32 @@ SearchResult HgnasSearch::run_multistage(Rng& rng) {
                             rng);
       advance_clock(static_cast<double>(data_.train().size()) *
                     cfg_.sim_train_s_per_sample);
+      prog->phase = SearchProgress::Phase::kPretrain;
+      prog->sim_time_s = sim_time_s_;
+      ++prog->steps;
+      co_await std::suspend_always{};
     }
   }
 
   // ---- Stage 2: multi-objective operation search --------------------------
-  return evolve_operations(upper, lower, /*full_space=*/false, rng);
+  prog->phase = SearchProgress::Phase::kStage2;
+  core::Stepper stage2 =
+      co_evolve(upper, lower, /*full_space=*/false, rng, out, prog);
+  while (stage2.step()) co_await std::suspend_always{};
+  prog->phase = SearchProgress::Phase::kDone;
 }
 
-SearchResult HgnasSearch::run_onestage(Rng& rng) {
+SearchResult HgnasSearch::run_multistage(Rng& rng) {
+  SearchResult out;
+  SearchProgress prog;
+  core::Stepper run = co_run_multistage(rng, &out, &prog);
+  while (run.step()) {
+  }
+  return out;
+}
+
+core::Stepper HgnasSearch::co_run_onestage(Rng& rng, SearchResult* out,
+                                           SearchProgress* prog) {
   reset_run_state();
 
   // Same training budget as the multi-stage pipeline, then one joint EA
@@ -756,13 +803,30 @@ SearchResult HgnasSearch::run_onestage(Rng& rng) {
                             rng);
       advance_clock(static_cast<double>(data_.train().size()) *
                     cfg_.sim_train_s_per_sample);
+      prog->phase = SearchProgress::Phase::kWarmup;
+      prog->sim_time_s = sim_time_s_;
+      ++prog->steps;
+      co_await std::suspend_always{};
     }
   }
-  return evolve_operations(FunctionSet{}, FunctionSet{}, /*full_space=*/true,
-                           rng);
+  prog->phase = SearchProgress::Phase::kStage2;
+  core::Stepper ea = co_evolve(FunctionSet{}, FunctionSet{},
+                               /*full_space=*/true, rng, out, prog);
+  while (ea.step()) co_await std::suspend_always{};
+  prog->phase = SearchProgress::Phase::kDone;
 }
 
-SearchResult HgnasSearch::run_random(Rng& rng) {
+SearchResult HgnasSearch::run_onestage(Rng& rng) {
+  SearchResult out;
+  SearchProgress prog;
+  core::Stepper run = co_run_onestage(rng, &out, &prog);
+  while (run.step()) {
+  }
+  return out;
+}
+
+core::Stepper HgnasSearch::co_run_random(Rng& rng, SearchResult* out,
+                                         SearchProgress* prog) {
   reset_run_state();
 
   if (cfg_.train_supernet) {
@@ -774,10 +838,15 @@ SearchResult HgnasSearch::run_random(Rng& rng) {
                             rng);
       advance_clock(static_cast<double>(data_.train().size()) *
                     cfg_.sim_train_s_per_sample);
+      prog->phase = SearchProgress::Phase::kWarmup;
+      prog->sim_time_s = sim_time_s_;
+      ++prog->steps;
+      co_await std::suspend_always{};
     }
   }
 
-  SearchResult result;
+  *out = SearchResult{};
+  SearchResult& result = *out;
   open_cache();
   const std::int64_t budget =
       cfg_.population + cfg_.iterations * (cfg_.population / 2);
@@ -826,6 +895,12 @@ SearchResult HgnasSearch::run_random(Rng& rng) {
       done += n;
       if (done % chunk == 0)
         result.history.push_back({sim_time_s_, result.best_objective});
+      prog->phase = SearchProgress::Phase::kSampling;
+      prog->sim_time_s = sim_time_s_;
+      prog->best_objective = result.best_objective;
+      prog->has_best = have_best;
+      ++prog->steps;
+      co_await std::suspend_always{};
     } else {
       // Serial path: the historical sequential pipeline, one shared RNG
       // stream. The memo cache is bypassed here because a hit would skip
@@ -839,11 +914,65 @@ SearchResult HgnasSearch::run_random(Rng& rng) {
         if (done % chunk == 0)
           result.history.push_back({sim_time_s_, result.best_objective});
       }
+      prog->phase = SearchProgress::Phase::kSampling;
+      prog->sim_time_s = sim_time_s_;
+      prog->best_objective = result.best_objective;
+      prog->has_best = have_best;
+      ++prog->steps;
+      co_await std::suspend_always{};
     }
   }
   result.history.push_back({sim_time_s_, result.best_objective});
   finalize_result(result);
-  return result;
+  prog->phase = SearchProgress::Phase::kDone;
+  prog->sim_time_s = sim_time_s_;
+  prog->best_objective = result.best_objective;
+  prog->has_best = have_best;
+}
+
+SearchResult HgnasSearch::run_random(Rng& rng) {
+  SearchResult out;
+  SearchProgress prog;
+  core::Stepper run = co_run_random(rng, &out, &prog);
+  while (run.step()) {
+  }
+  return out;
+}
+
+core::Stepper HgnasSearch::run_stepwise(SearchStrategy strategy, Rng& rng,
+                                        SearchResult* out,
+                                        SearchProgress* prog) {
+  switch (strategy) {
+    case SearchStrategy::kOnestage:
+      return co_run_onestage(rng, out, prog);
+    case SearchStrategy::kRandom:
+      return co_run_random(rng, out, prog);
+    case SearchStrategy::kMultistage:
+      break;
+  }
+  return co_run_multistage(rng, out, prog);
+}
+
+std::string SearchProgress::to_text() const {
+  const char* name = "idle";
+  switch (phase) {
+    case Phase::kIdle: name = "idle"; break;
+    case Phase::kWarmup: name = "warmup"; break;
+    case Phase::kStage1: name = "stage1"; break;
+    case Phase::kPretrain: name = "pretrain"; break;
+    case Phase::kStage2: name = "stage2"; break;
+    case Phase::kSampling: name = "sampling"; break;
+    case Phase::kDone: name = "done"; break;
+  }
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "phase=%s steps=%lld sim_time_s=%.3f", name,
+                static_cast<long long>(steps), sim_time_s);
+  std::string text = buf;
+  if (has_best) {
+    std::snprintf(buf, sizeof buf, " best_objective=%.6f", best_objective);
+    text += buf;
+  }
+  return text;
 }
 
 }  // namespace hg::hgnas

@@ -22,13 +22,16 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/annotations.hpp"
+#include "core/stepwise.hpp"
 #include "hgnas/arch.hpp"
 #include "hgnas/pareto.hpp"
 #include "hgnas/supernet.hpp"
@@ -217,6 +220,35 @@ struct SearchResult {
   std::int64_t frontier_candidates = 0;
 };
 
+/// Which run_* pipeline a stepwise run drives (the three strategies below
+/// map 1:1 onto run_multistage / run_onestage / run_random).
+enum class SearchStrategy { kMultistage, kOnestage, kRandom };
+
+/// Where a stepwise run currently stands. Updated in place before every
+/// suspension, so a scheduler can read it between step() calls; to_text()
+/// is the serializable one-line view (progress frames, logs, checkpoints).
+struct SearchProgress {
+  enum class Phase {
+    kIdle,      // created, step() not called yet
+    kWarmup,    // stage-0 / onestage / random supernet training epochs
+    kStage1,    // function-set EA generations
+    kPretrain,  // between-stages re-init + pretrain epochs
+    kStage2,    // operation EA generations (also the onestage EA)
+    kSampling,  // random-strategy budget chunks
+    kDone,
+  };
+  Phase phase = Phase::kIdle;
+  /// Steps completed so far (epochs + generations + chunks, cumulative).
+  std::int64_t steps = 0;
+  double sim_time_s = 0.0;
+  /// Best Eq. (3) objective seen so far; meaningful once has_best is set
+  /// (the EA phases report it from their first generation on).
+  double best_objective = 0.0;
+  bool has_best = false;
+
+  std::string to_text() const;
+};
+
 class HgnasSearch {
  public:
   /// The supernet and dataset are borrowed; they must outlive the search.
@@ -241,6 +273,16 @@ class HgnasSearch {
   /// the "random search" row of ablation tables. Unlike the EA, random
   /// sampling re-visits genomes, so this is where the memo cache pays off.
   SearchResult run_random(Rng& rng);
+
+  /// The stepwise form of the three strategies: returns a coroutine whose
+  /// step() advances ONE generation (or training epoch, or random-sampling
+  /// chunk). The monolithic run_* entry points drive this same coroutine to
+  /// completion, so stepped and monolithic runs are bit-identical by
+  /// construction for every strategy. `*out` holds the result once the
+  /// stepper reports done; `*prog` is refreshed before every suspension.
+  /// `rng`, `out`, `prog` and this search must outlive the stepper.
+  core::Stepper run_stepwise(SearchStrategy strategy, Rng& rng,
+                             SearchResult* out, SearchProgress* prog);
 
   /// Eq. (3) objective for given accuracy / latency.
   double objective(double acc, double latency_ms, bool oom) const;
@@ -297,9 +339,19 @@ class HgnasSearch {
   void record_frontier(const Scored& s);
   void finalize_result(SearchResult& result);
 
-  SearchResult evolve_operations(const FunctionSet& upper,
-                                 const FunctionSet& lower, bool full_space,
-                                 Rng& rng);
+  // The strategy pipelines as coroutines (one suspension per epoch /
+  // generation / chunk). FunctionSets are taken by value: the caller's
+  // copies may die before the last step(). `out`/`prog` are borrowed and
+  // must outlive the frame (run_stepwise documents this for callers).
+  core::Stepper co_run_multistage(Rng& rng, SearchResult* out,
+                                  SearchProgress* prog);
+  core::Stepper co_run_onestage(Rng& rng, SearchResult* out,
+                                SearchProgress* prog);
+  core::Stepper co_run_random(Rng& rng, SearchResult* out,
+                              SearchProgress* prog);
+  core::Stepper co_evolve(FunctionSet upper, FunctionSet lower,
+                          bool full_space, Rng& rng, SearchResult* out,
+                          SearchProgress* prog);
 
   SuperNet& supernet_;
   const pointcloud::Dataset& data_;
@@ -323,6 +375,46 @@ class HgnasSearch {
   std::int64_t cache_misses_ = 0;
   // In-loop Pareto bookkeeping over every feasible candidate scored.
   ParetoTracker frontier_;
+};
+
+/// A whole search run, advanced one generation at a time — the scheduling
+/// unit serve::Service preempts under its exclusive time slice. Owns its
+/// HgnasSearch (RNG draws in flight, population, Pareto tracker and cache
+/// handles all live in the coroutine frame / the search), so a run parked
+/// between steps carries its full state. The constructor validates the
+/// config exactly like HgnasSearch (throws std::invalid_argument).
+///
+/// Not copyable or movable: the coroutine frame pins the addresses of the
+/// members it references.
+class SearchStepper {
+ public:
+  /// Borrows supernet / data / rng / shared_cache with the same lifetime
+  /// rules as HgnasSearch — all must outlive the stepper.
+  SearchStepper(SuperNet& supernet, const pointcloud::Dataset& data,
+                SearchConfig cfg, LatencyFn latency, SearchStrategy strategy,
+                Rng& rng, EvalCache* shared_cache = nullptr)
+      : search_(supernet, data, std::move(cfg), std::move(latency),
+                shared_cache),
+        stepper_(search_.run_stepwise(strategy, rng, &result_, &progress_)) {}
+  SearchStepper(const SearchStepper&) = delete;
+  SearchStepper& operator=(const SearchStepper&) = delete;
+
+  /// One generation (or epoch, or sampling chunk). False once finished;
+  /// rethrows anything the pipeline threw, from the step that hit it.
+  bool step() { return stepper_.step(); }
+  bool done() const { return stepper_.done(); }
+
+  const SearchProgress& progress() const { return progress_; }
+
+  /// The finished run's result — identical to what the matching run_*
+  /// call would have returned. Valid once done().
+  SearchResult take_result() { return std::move(result_); }
+
+ private:
+  HgnasSearch search_;  // declared before stepper_: the frame refers to it
+  SearchResult result_;
+  SearchProgress progress_;
+  core::Stepper stepper_;
 };
 
 }  // namespace hg::hgnas

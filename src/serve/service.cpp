@@ -46,6 +46,39 @@ std::int64_t us_between(std::chrono::steady_clock::time_point from,
       .count();
 }
 
+/// Bridges an api-layer run object (SearchRun / TrainBaselineRun — same
+/// step()/done()/take_report() shape) onto the scheduler's Steppable
+/// interface. A failed begin_* Result is carried as the error the run
+/// would have reported: step() is immediately false and finish() resolves
+/// with it, so admission-time failures take the same path as run-time
+/// ones.
+template <typename Run, typename Report>
+class RunSteppable final : public Steppable {
+ public:
+  RunSteppable(api::Result<std::unique_ptr<Run>> run,
+               std::function<void(api::Result<Report>)> resolve)
+      : resolve_(std::move(resolve)) {
+    if (run.ok())
+      run_ = std::move(run).value();
+    else
+      error_ = run.status();
+  }
+
+  bool step() override { return run_ != nullptr && run_->step(); }
+  void finish() override {
+    if (run_ != nullptr)
+      resolve_(run_->take_report());
+    else
+      resolve_(error_);
+  }
+  void abort(const api::Status& status) override { resolve_(status); }
+
+ private:
+  std::unique_ptr<Run> run_;
+  api::Status error_;
+  std::function<void(api::Result<Report>)> resolve_;
+};
+
 }  // namespace
 
 api::Result<std::shared_ptr<Service>> Service::create(
@@ -71,6 +104,10 @@ api::Result<std::shared_ptr<Service>> Service::create(
   if (service_cfg.predict_window_us < 0)
     return api::Status::InvalidArgument(
         "ServiceConfig::predict_window_us must be >= 0 (0 = no window)");
+  if (service_cfg.exclusive_slice_ms < 0)
+    return api::Status::InvalidArgument(
+        "ServiceConfig::exclusive_slice_ms must be >= 0 "
+        "(0 = run to completion)");
   if (ctx == nullptr)
     return api::Status::InvalidArgument("EvalContext is null");
 
@@ -181,7 +218,10 @@ Service::Admission Service::enqueue(QueuedTask task, bool exclusive,
 template <typename T>
 std::future<api::Result<T>> Service::submit_task(
     std::function<api::Result<T>(api::Engine&)> fn, RequestOptions opts,
-    bool exclusive, bool count_predict) {
+    bool exclusive, bool count_predict,
+    std::function<std::unique_ptr<Steppable>(
+        api::Engine&, std::function<void(api::Result<T>)>)>
+        make_run) {
   auto promise = std::make_shared<std::promise<api::Result<T>>>();
   std::future<api::Result<T>> future = promise->get_future();
   auto resolve = [promise, notify = std::move(opts.notify)](
@@ -196,6 +236,14 @@ std::future<api::Result<T>> Service::submit_task(
   task.run = [fn = std::move(fn), resolve](api::Engine& engine) {
     resolve(fn(engine));
   };
+  if (make_run) {
+    // The stepwise form resolves the same promise through the same
+    // closure, so the two paths are interchangeable per task.
+    task.make_steppable = [make_run = std::move(make_run),
+                           resolve](api::Engine& engine) {
+      return make_run(engine, resolve);
+    };
+  }
   task.fail = [resolve](const api::Status& status) { resolve(status); };
   // Keep a handle for the not-admitted paths: `task` is gone after the
   // move into enqueue.
@@ -228,7 +276,22 @@ std::future<api::Result<api::SearchReport>> Service::submit(
         if (!engine.ok()) return engine.status();
         return engine.value().search();
       },
-      std::move(req.opts), /*exclusive=*/true);
+      std::move(req.opts), /*exclusive=*/true, /*count_predict=*/false,
+      [this, cfg](api::Engine&,
+                  std::function<void(api::Result<api::SearchReport>)> resolve)
+          -> std::unique_ptr<Steppable> {
+        // Same fresh-engine policy as the monolithic path above; the run
+        // keeps the EvalContext alive itself, so the temporary engine may
+        // die as soon as begin_search() returns.
+        using SearchSteppable =
+            RunSteppable<api::SearchRun, api::SearchReport>;
+        api::Result<api::Engine> engine = api::Engine::create(cfg, ctx_);
+        if (!engine.ok())
+          return std::make_unique<SearchSteppable>(engine.status(),
+                                                   std::move(resolve));
+        return std::make_unique<SearchSteppable>(
+            engine.value().begin_search(), std::move(resolve));
+      });
 }
 
 std::future<api::Result<api::LatencyReport>> Service::submit(
@@ -384,11 +447,18 @@ std::future<api::Result<api::ProfileReport>> Service::submit(
 
 std::future<api::Result<api::TrainReport>> Service::submit(
     TrainBaselineRequest req) {
+  const std::string name = std::move(req.name);
   return submit_task<api::TrainReport>(
-      [name = std::move(req.name)](api::Engine& engine) {
-        return engine.train_baseline(name);
-      },
-      std::move(req.opts), /*exclusive=*/true);  // draws the shared ctx RNG
+      [name](api::Engine& engine) { return engine.train_baseline(name); },
+      std::move(req.opts), /*exclusive=*/true,  // draws the shared ctx RNG
+      /*count_predict=*/false,
+      [name](api::Engine& engine,
+             std::function<void(api::Result<api::TrainReport>)> resolve)
+          -> std::unique_ptr<Steppable> {
+        return std::make_unique<
+            RunSteppable<api::TrainBaselineRun, api::TrainReport>>(
+            engine.begin_train_baseline(name), std::move(resolve));
+      });
 }
 
 ServiceStats Service::stats() const {
@@ -407,10 +477,27 @@ ServiceStats Service::stats() const {
   snapshot.pings = ld(counters_.pings);
   snapshot.sheds_with_hint = ld(counters_.sheds_with_hint);
   snapshot.drain_started = ld(counters_.drain_started);
+  snapshot.exclusive_slices = ld(counters_.exclusive_slices);
+  snapshot.exclusive_preemptions = ld(counters_.exclusive_preemptions);
+  snapshot.exclusive_resumes = ld(counters_.exclusive_resumes);
   snapshot.queue_wait_p50_us = queue_wait_us_.percentile_us(0.50);
   snapshot.queue_wait_p99_us = queue_wait_us_.percentile_us(0.99);
   snapshot.service_time_p50_us = service_time_us_.percentile_us(0.50);
   snapshot.service_time_p99_us = service_time_us_.percentile_us(0.99);
+  snapshot.pure_queue_wait_p50_us = pure_queue_wait_us_.percentile_us(0.50);
+  snapshot.pure_queue_wait_p99_us = pure_queue_wait_us_.percentile_us(0.99);
+  snapshot.pure_service_time_p50_us =
+      pure_service_time_us_.percentile_us(0.50);
+  snapshot.pure_service_time_p99_us =
+      pure_service_time_us_.percentile_us(0.99);
+  snapshot.exclusive_queue_wait_p50_us =
+      exclusive_queue_wait_us_.percentile_us(0.50);
+  snapshot.exclusive_queue_wait_p99_us =
+      exclusive_queue_wait_us_.percentile_us(0.99);
+  snapshot.exclusive_service_time_p50_us =
+      exclusive_service_time_us_.percentile_us(0.50);
+  snapshot.exclusive_service_time_p99_us =
+      exclusive_service_time_us_.percentile_us(0.99);
   core::MutexLock lock(queue_mutex_);
   snapshot.queue_depth =
       static_cast<std::int64_t>(pure_queue_.size() +
@@ -422,7 +509,7 @@ ServiceStats Service::stats() const {
 bool Service::pop_runnable(
     std::deque<QueuedTask>& queue,
     std::vector<std::pair<QueuedTask, api::Status>>* failed,
-    QueuedTask* out) {
+    QueuedTask* out, LatencyHistogram& kind_wait) {
   while (!queue.empty()) {
     QueuedTask task = std::move(queue.front());
     queue.pop_front();
@@ -430,7 +517,9 @@ bool Service::pop_runnable(
     const auto now = std::chrono::steady_clock::now();
     const bool expired = !cancelled && now > task.deadline;
     if (!cancelled && !expired) {
-      queue_wait_us_.record_us(us_between(task.enqueued_at, now));
+      const std::int64_t wait_us = us_between(task.enqueued_at, now);
+      queue_wait_us_.record_us(wait_us);
+      kind_wait.record_us(wait_us);
       *out = std::move(task);
       return true;
     }
@@ -466,14 +555,29 @@ void Service::worker_loop(std::size_t worker_index) {
       work_cv_.wait(lock);
     }
 
+    // A preempted exclusive re-parked at the queue front yields one
+    // dispatch round to queued pure/predict traffic — that interleaving is
+    // the whole point of slicing. A FRESH exclusive keeps the historical
+    // drain-pure-first priority, and under slice_ms == 0 no task ever has
+    // a steppable, so this is dead code on the legacy path. Caveat: a
+    // saturating pure load can starve a preempted run (accepted — pure
+    // work is cheap and bounded, exclusives are minutes).
+    const bool defer_exclusive =
+        !exclusive_queue_.empty() &&
+        exclusive_queue_.front().steppable != nullptr &&
+        ((!predict_queue_.empty() && !predict_window_waiter_) ||
+         !pure_queue_.empty());
+
     // Exclusive requests outrank everything: claim the oldest, wait for
     // in-flight pure work to drain, run alone. While a claim is pending or
     // running, no worker starts anything — that is the whole guarantee.
-    if (!exclusive_claimed_ && !exclusive_queue_.empty()) {
+    if (!exclusive_claimed_ && !exclusive_queue_.empty() &&
+        !defer_exclusive) {
       exclusive_claimed_ = true;
       QueuedTask task;
       std::vector<std::pair<QueuedTask, api::Status>> failed;
-      const bool got = pop_runnable(exclusive_queue_, &failed, &task);
+      const bool got = pop_runnable(exclusive_queue_, &failed, &task,
+                                    exclusive_queue_wait_us_);
       if (!got) exclusive_claimed_ = false;  // every exclusive was dead
       if (!failed.empty()) {
         // Resolve cancellations/expiries outside the lock (they fire
@@ -490,13 +594,76 @@ void Service::worker_loop(std::size_t worker_index) {
         continue;
       }
       while (pure_active_ != 0) gate_cv_.wait(lock);
+      // Slice only the verbs that registered a stepwise form; everything
+      // else on this queue (measured-evaluator predictions) is quick and
+      // runs to completion as before.
+      const bool sliced =
+          service_cfg_.exclusive_slice_ms > 0 &&
+          (task.make_steppable != nullptr || task.steppable != nullptr);
       lock.unlock();
       const auto started = std::chrono::steady_clock::now();
-      task.run(engine);
-      service_time_us_.record_us(
-          us_between(started, std::chrono::steady_clock::now()));
+      bool finished = true;
+      if (!sliced) {
+        task.run(engine);
+      } else {
+        counters_.exclusive_slices.fetch_add(1, std::memory_order_relaxed);
+        if (task.steppable == nullptr) {
+          task.steppable = task.make_steppable(engine);
+          task.make_steppable = nullptr;
+        } else {
+          counters_.exclusive_resumes.fetch_add(1,
+                                                std::memory_order_relaxed);
+        }
+        const auto slice =
+            std::chrono::milliseconds(service_cfg_.exclusive_slice_ms);
+        finished = false;
+        for (;;) {
+          // Between steps the task is at a clean boundary: honor a cancel
+          // or an expired deadline now instead of at the end of the run.
+          if (is_cancelled(task.cancel)) {
+            counters_.cancelled_requests.fetch_add(
+                1, std::memory_order_relaxed);
+            task.steppable->abort(api::Status::Cancelled(
+                "request cancelled mid-run (between steps)"));
+            finished = true;
+            break;
+          }
+          if (std::chrono::steady_clock::now() > task.deadline) {
+            counters_.deadline_expired.fetch_add(1,
+                                                 std::memory_order_relaxed);
+            task.steppable->abort(api::Status::DeadlineExceeded(
+                "deadline expired mid-run (between steps)"));
+            finished = true;
+            break;
+          }
+          if (!task.steppable->step()) {
+            task.steppable->finish();
+            finished = true;
+            break;
+          }
+          if (std::chrono::steady_clock::now() - started >= slice) break;
+        }
+      }
+      const auto ended = std::chrono::steady_clock::now();
+      // Per dispatch, not per request: a preempted run records one
+      // service-time sample per slice (each slice occupied a worker
+      // separately), mirroring the per-dispatch queue-wait samples.
+      const std::int64_t run_us = us_between(started, ended);
+      service_time_us_.record_us(run_us);
+      exclusive_service_time_us_.record_us(run_us);
       lock.lock();
       exclusive_claimed_ = false;
+      if (!finished) {
+        // Re-park at the FRONT: the preempted task stays ahead of every
+        // younger exclusive, so exclusives still run FIFO and the shared
+        // context RNG is consumed in submission order — bit-identical
+        // results for any slice value. The wait clock restarts (each
+        // dispatch waited separately).
+        task.enqueued_at = ended;
+        counters_.exclusive_preemptions.fetch_add(1,
+                                                  std::memory_order_relaxed);
+        exclusive_queue_.push_front(std::move(task));
+      }
       // Releasing the claim re-opens dispatch for everyone (any queue, any
       // worker), so this is the one completion that broadcasts.
       work_cv_.notify_all();
@@ -570,7 +737,9 @@ void Service::worker_loop(std::size_t worker_index) {
                                                  std::memory_order_relaxed);
             refused.emplace_back(std::move(t), expired_status());
           } else {
-            queue_wait_us_.record_us(us_between(t.enqueued_at, now));
+            const std::int64_t wait_us = us_between(t.enqueued_at, now);
+            queue_wait_us_.record_us(wait_us);
+            pure_queue_wait_us_.record_us(wait_us);
             batch.push_back(std::move(t));
           }
         }
@@ -607,8 +776,10 @@ void Service::worker_loop(std::size_t worker_index) {
               if (t.opts.notify) t.opts.notify();
             }
           }
-          service_time_us_.record_us(
-              us_between(started, std::chrono::steady_clock::now()));
+          const std::int64_t run_us =
+              us_between(started, std::chrono::steady_clock::now());
+          service_time_us_.record_us(run_us);
+          pure_service_time_us_.record_us(run_us);
         }
         lock.lock();
         if (!batch.empty()) {
@@ -629,15 +800,18 @@ void Service::worker_loop(std::size_t worker_index) {
       // with the exclusive_claimed_ check above: an exclusive claimant
       // waiting for pure_active_ == 0 can never interleave between them,
       // which is what keeps exclusive runs bit-identical to serial.
-      const bool got = pop_runnable(pure_queue_, &failed, &task);
+      const bool got =
+          pop_runnable(pure_queue_, &failed, &task, pure_queue_wait_us_);
       if (got) ++pure_active_;
       lock.unlock();
       for (auto& [t, status] : failed) t.fail(status);
       if (got) {
         const auto started = std::chrono::steady_clock::now();
         task.run(engine);
-        service_time_us_.record_us(
-            us_between(started, std::chrono::steady_clock::now()));
+        const std::int64_t run_us =
+            us_between(started, std::chrono::steady_clock::now());
+        service_time_us_.record_us(run_us);
+        pure_service_time_us_.record_us(run_us);
       }
       lock.lock();
       if (got) {

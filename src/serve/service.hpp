@@ -14,6 +14,12 @@
 //     predictions) run one at a time, in submission order, with the pure
 //     traffic drained first — so a concurrent run's results are
 //     bit-identical to submitting the same requests serially.
+//   * With ServiceConfig::exclusive_slice_ms > 0, a long exclusive run
+//     (search / train_baseline) is PREEMPTIBLE: it advances one step (one
+//     generation / one epoch) at a time, and once a slice expires it is
+//     re-parked at the front of the exclusive queue so queued pure traffic
+//     interleaves — flat predict p99 under a long search — while results
+//     stay bit-identical to run-to-completion (see the config field).
 //   * Queued PredictLatency requests against a "predictor" evaluator are
 //     coalesced: a worker drains up to ServiceConfig::max_predict_batch of
 //     them and answers with ONE packed GCN forward
@@ -81,6 +87,17 @@ struct ServiceConfig {
   /// is free to take it (always true with num_workers == 1), the window
   /// fires early instead of sleeping on top of runnable work.
   std::int64_t predict_window_us = 0;
+  /// Exclusive-task time slice (milliseconds). 0 = run-to-completion (the
+  /// historical scheduler, bit-exactly). > 0: search / train_baseline run
+  /// stepwise (one generation / one epoch per step); once a slice expires
+  /// at a step boundary the task is re-parked at the FRONT of the
+  /// exclusive queue — exclusives stay FIFO and the shared-context RNG
+  /// stream is consumed in submission order, so results are bit-identical
+  /// to run-to-completion for ANY slice value — and queued pure work gets
+  /// a dispatch round before it resumes. Cancel and deadline are also
+  /// checked between steps, so a mid-run cancel / expiry resolves within
+  /// one step instead of when the whole run ends.
+  std::int64_t exclusive_slice_ms = 0;
 };
 
 /// Cumulative counters (monotone except queue_depth; snapshot via
@@ -93,8 +110,8 @@ struct ServiceStats {
   std::int64_t max_predict_batch = 0;   // largest coalesced batch seen
   std::int64_t queue_depth = 0;         // live: admitted, not yet started
   std::int64_t rejected_requests = 0;   // refused: bounded queue was full
-  std::int64_t deadline_expired = 0;    // expired while still queued
-  std::int64_t cancelled_requests = 0;  // cancelled while still queued
+  std::int64_t deadline_expired = 0;    // expired while queued or mid-run
+  std::int64_t cancelled_requests = 0;  // cancelled while queued or mid-run
   std::int64_t pings = 0;               // health probes answered (net)
   std::int64_t sheds_with_hint = 0;     // refusals sent with retry_after_us
   std::int64_t drain_started = 0;       // drain() transitions (0 or 1)
@@ -107,6 +124,23 @@ struct ServiceStats {
   std::int64_t queue_wait_p99_us = 0;
   std::int64_t service_time_p50_us = 0;
   std::int64_t service_time_p99_us = 0;
+  // Slice-scheduler counters (all 0 while exclusive_slice_ms == 0):
+  std::int64_t exclusive_slices = 0;       // sliced dispatches (first+resumed)
+  std::int64_t exclusive_preemptions = 0;  // re-parked at slice expiry
+  std::int64_t exclusive_resumes = 0;      // dispatches of a preempted task
+  // The same distributions split by request kind: pure covers predict /
+  // profile / profile_baseline (and packed predict forwards), exclusive
+  // covers search / train_baseline / measured-evaluator traffic. A
+  // preempted exclusive records one wait and one service-time sample per
+  // dispatch (each slice waited and ran separately).
+  std::int64_t pure_queue_wait_p50_us = 0;
+  std::int64_t pure_queue_wait_p99_us = 0;
+  std::int64_t pure_service_time_p50_us = 0;
+  std::int64_t pure_service_time_p99_us = 0;
+  std::int64_t exclusive_queue_wait_p50_us = 0;
+  std::int64_t exclusive_queue_wait_p99_us = 0;
+  std::int64_t exclusive_service_time_p50_us = 0;
+  std::int64_t exclusive_service_time_p99_us = 0;
 };
 
 /// Lock-free latency histogram: log2-microsecond buckets bumped with
@@ -145,6 +179,24 @@ class LatencyHistogram {
  private:
   static constexpr std::size_t kBuckets = 40;
   std::array<std::atomic<std::int64_t>, kBuckets> buckets_{};
+};
+
+/// One preemptible unit of exclusive work, advanced a step at a time (one
+/// search generation / one training epoch) between slice-expiry checks.
+/// step() must not throw: failures are captured inside the run and reported
+/// when finish() resolves the request's promise.
+class Steppable {
+ public:
+  virtual ~Steppable() = default;
+  /// Advance one step; false once the run has finished (successfully or
+  /// not).
+  virtual bool step() = 0;
+  /// Resolve the request's promise with the run's result (or captured
+  /// error). Call exactly once, after step() returned false.
+  virtual void finish() = 0;
+  /// Resolve the request's promise with `status` (mid-run cancel /
+  /// deadline expiry). The partially-advanced run is discarded.
+  virtual void abort(const api::Status& status) = 0;
 };
 
 class Service {
@@ -212,6 +264,15 @@ class Service {
   struct QueuedTask {
     std::function<void(api::Engine&)> run;
     std::function<void(const api::Status&)> fail;
+    /// Set for the sliceable exclusive verbs (search / train_baseline):
+    /// builds the stepwise form of `run` on first dispatch. Only consulted
+    /// when ServiceConfig::exclusive_slice_ms > 0 — with slicing off,
+    /// `run` executes monolithically, bit-exactly the historical
+    /// scheduler.
+    std::function<std::unique_ptr<Steppable>(api::Engine&)> make_steppable;
+    /// The in-flight stepwise run of a preempted task, carried across its
+    /// re-park at the front of the exclusive queue.
+    std::unique_ptr<Steppable> steppable;
     std::chrono::steady_clock::time_point deadline;
     std::shared_ptr<std::atomic<bool>> cancel;
     std::chrono::steady_clock::time_point enqueued_at;  // queue-wait histo
@@ -239,7 +300,10 @@ class Service {
   template <typename T>
   std::future<api::Result<T>> submit_task(
       std::function<api::Result<T>(api::Engine&)> fn, RequestOptions opts,
-      bool exclusive, bool count_predict = false);
+      bool exclusive, bool count_predict = false,
+      std::function<std::unique_ptr<Steppable>(
+          api::Engine&, std::function<void(api::Result<T>)>)>
+          make_run = {});
 
   /// Pops the task at the queue front, moving every leading task that is
   /// cancelled or expired into `failed` (with the Status to resolve it
@@ -248,9 +312,12 @@ class Service {
   /// that follows (claiming exclusivity, bumping pure_active_) stays
   /// atomic with the pop; the caller resolves `failed` outside the lock.
   /// Returns false when the queue is drained.
+  /// `kind_wait` additionally receives the queue-wait sample in the
+  /// per-kind (pure vs exclusive) histogram for the queue being popped.
   bool pop_runnable(std::deque<QueuedTask>& queue,
                     std::vector<std::pair<QueuedTask, api::Status>>* failed,
-                    QueuedTask* out) HG_REQUIRES(queue_mutex_);
+                    QueuedTask* out, LatencyHistogram& kind_wait)
+      HG_REQUIRES(queue_mutex_);
 
   /// True when every other worker is busy (with one worker, always): queued
   /// pure work then has nobody to run it but the caller.
@@ -287,6 +354,9 @@ class Service {
     std::atomic<std::int64_t> pings{0};
     std::atomic<std::int64_t> sheds_with_hint{0};
     std::atomic<std::int64_t> drain_started{0};
+    std::atomic<std::int64_t> exclusive_slices{0};
+    std::atomic<std::int64_t> exclusive_preemptions{0};
+    std::atomic<std::int64_t> exclusive_resumes{0};
   };
 
   core::Mutex shutdown_mutex_;  // serializes shutdown() callers only
@@ -324,6 +394,12 @@ class Service {
   Counters counters_;                // lock-free
   LatencyHistogram queue_wait_us_;   // admission -> dispatch, lock-free
   LatencyHistogram service_time_us_;  // one unit of work, lock-free
+  // The same two distributions split by request kind (pure vs exclusive);
+  // every sample above also lands in exactly one of these.
+  LatencyHistogram pure_queue_wait_us_;
+  LatencyHistogram exclusive_queue_wait_us_;
+  LatencyHistogram pure_service_time_us_;
+  LatencyHistogram exclusive_service_time_us_;
 
   // Written single-threaded in create() before the workers exist, then
   // only read (worker i owns engines_[i]); workers_ is joined under

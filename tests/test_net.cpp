@@ -473,6 +473,47 @@ TEST(NetServer, DeadlineExpiresQueuedRequestWithoutRunning) {
   EXPECT_GE(server.value()->service()->stats().deadline_expired, 1);
 }
 
+TEST(NetServer, DeadlineExpiresMidRunWhenServerSlices) {
+  // With generation slicing enabled on the server, a deadline is honored
+  // even after the search has STARTED: the worker checks it between
+  // steps and aborts the partially-advanced run. The client just sees a
+  // clean DEADLINE_EXCEEDED over the wire.
+  const api::EngineConfig cfg = tiny_cfg();
+  ServerConfig server_cfg;
+  server_cfg.service.num_workers = 1;
+  server_cfg.service.exclusive_slice_ms = 1;
+  auto server = Server::create(cfg, server_cfg);
+  ASSERT_TRUE(server.ok()) << server.status().to_string();
+  auto client = Client::connect("127.0.0.1", server.value()->port());
+  ASSERT_TRUE(client.ok());
+  Client& remote = client.value();
+
+  // Per-request override: a search far too long for its 300 ms budget.
+  api::EngineConfig huge = cfg;
+  huge.iterations = 500;
+  auto search_id = remote.send_search(huge, /*deadline_us=*/300'000);
+  ASSERT_TRUE(search_id.ok());
+  // Confirm the search was actually dispatched (not expired while queued)
+  // before the deadline can fire.
+  bool started = false;
+  for (int i = 0; i < 2000 && !started; ++i) {
+    started = server.value()->service()->stats().exclusive_slices > 0;
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_TRUE(started) << "search never started slicing";
+
+  api::Result<api::SearchReport> r = remote.wait_search(search_id.value());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), api::StatusCode::kDeadlineExceeded);
+  EXPECT_GE(server.value()->service()->stats().deadline_expired, 1);
+
+  // The worker is free again and the server keeps serving.
+  const std::vector<api::Arch> archs = sample_archs(cfg, 1);
+  auto fine_id = remote.send_profile(archs[0]);
+  ASSERT_TRUE(fine_id.ok());
+  EXPECT_TRUE(remote.wait_profile(fine_id.value()).ok());
+}
+
 TEST(NetServer, BoundedQueueRejectsOverLimitSubmissions) {
   const api::EngineConfig cfg = tiny_cfg();
   ServerConfig server_cfg;

@@ -288,5 +288,105 @@ TEST(Search, PredictorVsMeasurementClockGap) {
   EXPECT_GT(slow, fast + 10.0);
 }
 
+// The stepwise form drives the same coroutine the run_* wrappers drive, so
+// a stepped run must be bit-identical to the monolithic one — every field,
+// every strategy. This is the contract serve::Service's slice scheduler
+// relies on (a preempted search resumes mid-stream and must still produce
+// the run-to-completion result).
+TEST(SearchStepper, BitIdenticalToMonolithicRunForAllStrategies) {
+  for (const SearchStrategy strategy :
+       {SearchStrategy::kMultistage, SearchStrategy::kOnestage,
+        SearchStrategy::kRandom}) {
+    SCOPED_TRACE(static_cast<int>(strategy));
+    const auto run_monolithic = [&] {
+      SearchFixture f;
+      hw::Device dev = hw::make_device(hw::DeviceKind::Rtx3080);
+      const double dgcnn_ms =
+          dev.latency_ms(hw::dgcnn_reference_trace(f.workload.num_points));
+      SearchConfig cfg = f.make_cfg(dgcnn_ms);
+      HgnasSearch search(f.supernet, f.data, cfg,
+                         make_oracle_evaluator(dev, f.workload));
+      switch (strategy) {
+        case SearchStrategy::kMultistage:
+          return search.run_multistage(f.rng);
+        case SearchStrategy::kOnestage:
+          return search.run_onestage(f.rng);
+        case SearchStrategy::kRandom:
+          return search.run_random(f.rng);
+      }
+      return SearchResult{};
+    };
+    const SearchResult mono = run_monolithic();
+
+    SearchFixture f;  // fresh same-seed setup: identical starting state
+    hw::Device dev = hw::make_device(hw::DeviceKind::Rtx3080);
+    const double dgcnn_ms =
+        dev.latency_ms(hw::dgcnn_reference_trace(f.workload.num_points));
+    SearchStepper stepper(f.supernet, f.data, f.make_cfg(dgcnn_ms),
+                          make_oracle_evaluator(dev, f.workload), strategy,
+                          f.rng);
+    std::int64_t steps = 0;
+    while (stepper.step()) ++steps;
+    // A generation-granular run really is granular (preemption points
+    // exist), and the progress view lands in the terminal phase.
+    EXPECT_GT(steps, 1);
+    EXPECT_TRUE(stepper.done());
+    EXPECT_EQ(stepper.progress().phase, SearchProgress::Phase::kDone);
+    EXPECT_GE(stepper.progress().steps, steps);
+    EXPECT_FALSE(stepper.progress().to_text().empty());
+    const SearchResult stepped = stepper.take_result();
+
+    EXPECT_EQ(stepped.best_arch, mono.best_arch);
+    EXPECT_EQ(stepped.upper, mono.upper);
+    EXPECT_EQ(stepped.lower, mono.lower);
+    EXPECT_DOUBLE_EQ(stepped.best_objective, mono.best_objective);
+    EXPECT_DOUBLE_EQ(stepped.best_supernet_acc, mono.best_supernet_acc);
+    EXPECT_DOUBLE_EQ(stepped.best_latency_ms, mono.best_latency_ms);
+    EXPECT_DOUBLE_EQ(stepped.total_sim_time_s, mono.total_sim_time_s);
+    EXPECT_EQ(stepped.latency_queries, mono.latency_queries);
+    EXPECT_EQ(stepped.accuracy_probes, mono.accuracy_probes);
+    EXPECT_EQ(stepped.eval_cache_hits, mono.eval_cache_hits);
+    EXPECT_EQ(stepped.eval_cache_misses, mono.eval_cache_misses);
+    EXPECT_EQ(stepped.frontier_candidates, mono.frontier_candidates);
+    ASSERT_EQ(stepped.history.size(), mono.history.size());
+    for (std::size_t i = 0; i < mono.history.size(); ++i) {
+      EXPECT_DOUBLE_EQ(stepped.history[i].sim_time_s,
+                       mono.history[i].sim_time_s);
+      EXPECT_DOUBLE_EQ(stepped.history[i].best_objective,
+                       mono.history[i].best_objective);
+    }
+    ASSERT_EQ(stepped.frontier.size(), mono.frontier.size());
+    for (std::size_t i = 0; i < mono.frontier.size(); ++i) {
+      EXPECT_DOUBLE_EQ(stepped.frontier[i].latency_ms,
+                       mono.frontier[i].latency_ms);
+      EXPECT_DOUBLE_EQ(stepped.frontier[i].accuracy,
+                       mono.frontier[i].accuracy);
+    }
+  }
+}
+
+TEST(SearchStepper, ProgressAdvancesThroughPhases) {
+  SearchFixture f;
+  hw::Device dev = hw::make_device(hw::DeviceKind::Rtx3080);
+  const double dgcnn_ms =
+      dev.latency_ms(hw::dgcnn_reference_trace(f.workload.num_points));
+  SearchStepper stepper(f.supernet, f.data, f.make_cfg(dgcnn_ms),
+                        make_oracle_evaluator(dev, f.workload),
+                        SearchStrategy::kMultistage, f.rng);
+  std::int64_t last_steps = 0;
+  bool saw_stage2 = false;
+  while (stepper.step()) {
+    const SearchProgress& p = stepper.progress();
+    EXPECT_GE(p.steps, last_steps);  // monotone
+    last_steps = p.steps;
+    if (p.phase == SearchProgress::Phase::kStage2) saw_stage2 = true;
+  }
+  EXPECT_TRUE(saw_stage2);
+  EXPECT_TRUE(stepper.progress().has_best);
+  EXPECT_GT(stepper.progress().best_objective, 0.0);
+  // The one-line view names the terminal phase.
+  EXPECT_NE(stepper.progress().to_text().find("done"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace hg::hgnas

@@ -4,9 +4,13 @@
 // are bit-identical to a serial one.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <future>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -442,6 +446,242 @@ TEST(ServeStats, HistogramBucketsAreUpperBounds) {
   h2.record_us(100000);  // bucket 16 (65536..131071) -> 131071
   EXPECT_EQ(h2.percentile_us(0.99), 131071);
   EXPECT_EQ(h2.percentile_us(0.25), 1023);
+}
+
+TEST(ServeStats, HistogramEdgeCases) {
+  // Empty: every quantile reads 0 (the "nothing recorded" sentinel).
+  LatencyHistogram empty;
+  EXPECT_EQ(empty.percentile_us(0.50), 0);
+  EXPECT_EQ(empty.percentile_us(0.99), 0);
+  // A single sample answers every quantile with its bucket's upper bound.
+  LatencyHistogram one;
+  one.record_us(5);  // bucket 3 (4..7) -> 7
+  EXPECT_EQ(one.percentile_us(0.50), 7);
+  EXPECT_EQ(one.percentile_us(0.99), 7);
+  // Log2-bucket upper edges: the last value of a bucket reads as itself,
+  // one past it jumps to the next bucket's upper bound.
+  LatencyHistogram edge;
+  edge.record_us(1023);
+  EXPECT_EQ(edge.percentile_us(0.50), 1023);
+  LatencyHistogram past;
+  past.record_us(1024);
+  EXPECT_EQ(past.percentile_us(0.50), 2047);
+}
+
+// ---- generation-sliced preemptible scheduling ------------------------------
+
+std::shared_ptr<Service> make_sliced_service(const api::EngineConfig& cfg,
+                                             std::int64_t workers,
+                                             std::int64_t slice_ms) {
+  ServiceConfig scfg;
+  scfg.num_workers = workers;
+  scfg.exclusive_slice_ms = slice_ms;
+  api::Result<std::shared_ptr<Service>> service = Service::create(cfg, scfg);
+  EXPECT_TRUE(service.ok()) << service.status().to_string();
+  return service.ok() ? service.value() : nullptr;
+}
+
+/// Block until the service has dispatched at least one exclusive slice
+/// (i.e. the search is genuinely running, not just queued).
+bool wait_for_first_slice(Service& service) {
+  for (int i = 0; i < 2000; ++i) {
+    if (service.stats().exclusive_slices > 0) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return false;
+}
+
+TEST(ServeSlice, SlicedRunBitIdenticalToRunToCompletion) {
+  // The tentpole guarantee: enabling the slice changes WHEN work runs,
+  // never WHAT it computes. The same mixed script through a sliced
+  // service must reproduce the run-to-completion results bit-for-bit —
+  // searches and trained baselines included, because the preempted run
+  // resumes ahead of every younger exclusive and the shared-context RNG
+  // stream replays in submission order.
+  const api::EngineConfig cfg = tiny_cfg();
+  auto probe = api::Engine::create(cfg);
+  ASSERT_TRUE(probe.ok()) << probe.status().to_string();
+  std::vector<api::Arch> archs;
+  for (int i = 0; i < 8; ++i) archs.push_back(probe.value().sample_arch());
+
+  auto plain = make_service(cfg, 2);
+  ASSERT_NE(plain, nullptr);
+  const RunResults legacy = run_script(*plain, archs);
+  plain->shutdown();
+
+  auto sliced = make_sliced_service(cfg, 2, /*slice_ms=*/1);
+  ASSERT_NE(sliced, nullptr);
+  const RunResults preempted = run_script(*sliced, archs);
+  const ServiceStats stats = sliced->stats();
+  sliced->shutdown();
+
+  // The slice path actually engaged, and the per-kind split saw traffic
+  // on both sides.
+  EXPECT_GT(stats.exclusive_slices, 0);
+  EXPECT_GT(stats.pure_service_time_p99_us, 0);
+  EXPECT_GT(stats.exclusive_service_time_p99_us, 0);
+  EXPECT_GE(stats.queue_wait_p99_us, stats.pure_queue_wait_p50_us);
+
+  ASSERT_EQ(legacy.searches.size(), preempted.searches.size());
+  for (std::size_t i = 0; i < legacy.searches.size(); ++i) {
+    EXPECT_EQ(legacy.searches[i].result.best_arch,
+              preempted.searches[i].result.best_arch);
+    EXPECT_DOUBLE_EQ(legacy.searches[i].result.best_objective,
+                     preempted.searches[i].result.best_objective);
+    EXPECT_DOUBLE_EQ(legacy.searches[i].result.best_latency_ms,
+                     preempted.searches[i].result.best_latency_ms);
+    EXPECT_DOUBLE_EQ(legacy.searches[i].result.total_sim_time_s,
+                     preempted.searches[i].result.total_sim_time_s);
+    EXPECT_EQ(legacy.searches[i].result.latency_queries,
+              preempted.searches[i].result.latency_queries);
+  }
+  ASSERT_EQ(legacy.predictions.size(), preempted.predictions.size());
+  for (std::size_t i = 0; i < legacy.predictions.size(); ++i)
+    EXPECT_DOUBLE_EQ(legacy.predictions[i].latency_ms,
+                     preempted.predictions[i].latency_ms);
+  ASSERT_EQ(legacy.trained.size(), preempted.trained.size());
+  for (std::size_t i = 0; i < legacy.trained.size(); ++i) {
+    EXPECT_DOUBLE_EQ(legacy.trained[i].overall_acc,
+                     preempted.trained[i].overall_acc);
+    EXPECT_DOUBLE_EQ(legacy.trained[i].balanced_acc,
+                     preempted.trained[i].balanced_acc);
+  }
+}
+
+TEST(ServeSlice, PreemptedSearchIsResumedAndStillCorrect) {
+  // One worker + a fat search + a stream of pure probes: the search MUST
+  // be preempted (probes interleave) and still finish with the result a
+  // dedicated engine computes.
+  api::EngineConfig cfg = tiny_cfg();
+  cfg.iterations = 12;
+  // The probe arch comes from a throwaway engine: sample_arch() consumes
+  // RNG, and the reference search below must start from virgin state to
+  // match what the service's worker engine sees.
+  auto sampler = api::Engine::create(cfg);
+  ASSERT_TRUE(sampler.ok());
+  const api::Arch arch = sampler.value().sample_arch();
+  auto reference = api::Engine::create(cfg);
+  ASSERT_TRUE(reference.ok());
+  const api::Result<api::SearchReport> expected = reference.value().search();
+  ASSERT_TRUE(expected.ok());
+
+  auto service = make_sliced_service(cfg, 1, /*slice_ms=*/1);
+  ASSERT_NE(service, nullptr);
+  auto search = service->submit(SearchRequest{});
+  ASSERT_TRUE(wait_for_first_slice(*service));
+  // Keep pure probes flowing while the search runs, forcing interleaving.
+  std::int64_t probes = 0;
+  while (search.wait_for(std::chrono::seconds(0)) !=
+             std::future_status::ready &&
+         probes < 10000) {
+    ASSERT_TRUE(service->submit(PredictLatencyRequest{arch}).get().ok());
+    ++probes;
+  }
+  api::Result<api::SearchReport> got = search.get();
+  ASSERT_TRUE(got.ok()) << got.status().to_string();
+  const ServiceStats stats = service->stats();
+  service->shutdown();
+
+  EXPECT_GT(stats.exclusive_preemptions, 0);
+  EXPECT_GT(stats.exclusive_resumes, 0);
+  EXPECT_GT(probes, 0);
+  // The service search ran on a fresh engine over the same context state
+  // a lone engine starts from — identical results.
+  EXPECT_EQ(got.value().result.best_arch,
+            expected.value().result.best_arch);
+  EXPECT_DOUBLE_EQ(got.value().result.best_objective,
+                   expected.value().result.best_objective);
+  EXPECT_DOUBLE_EQ(got.value().result.total_sim_time_s,
+                   expected.value().result.total_sim_time_s);
+}
+
+TEST(ServeSlice, MidRunCancelResolvesBetweenSteps) {
+  api::EngineConfig cfg = tiny_cfg();
+  cfg.iterations = 500;  // minutes of work if never interrupted
+  auto service = make_sliced_service(cfg, 1, /*slice_ms=*/1);
+  ASSERT_NE(service, nullptr);
+
+  SearchRequest req;
+  req.opts.cancel = std::make_shared<std::atomic<bool>>(false);
+  auto cancel = req.opts.cancel;
+  auto search = service->submit(std::move(req));
+  ASSERT_TRUE(wait_for_first_slice(*service));
+  cancel->store(true);
+
+  // Without mid-run checks this would block for the whole 500-iteration
+  // run; between-step cancellation resolves within a few generations.
+  api::Result<api::SearchReport> r = search.get();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), api::StatusCode::kCancelled);
+  EXPECT_GE(service->stats().cancelled_requests, 1);
+
+  // The worker is free again: the service keeps serving.
+  auto probe = api::Engine::create(cfg);
+  ASSERT_TRUE(probe.ok());
+  EXPECT_TRUE(
+      service->submit(PredictLatencyRequest{probe.value().sample_arch()})
+          .get()
+          .ok());
+  service->shutdown();
+}
+
+TEST(ServeSlice, MidRunDeadlineResolvesBetweenSteps) {
+  api::EngineConfig cfg = tiny_cfg();
+  cfg.iterations = 500;
+  auto service = make_sliced_service(cfg, 1, /*slice_ms=*/1);
+  ASSERT_NE(service, nullptr);
+
+  SearchRequest req;
+  req.opts.deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(200);
+  auto search = service->submit(std::move(req));
+  ASSERT_TRUE(wait_for_first_slice(*service));
+
+  api::Result<api::SearchReport> r = search.get();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), api::StatusCode::kDeadlineExceeded);
+  EXPECT_GE(service->stats().deadline_expired, 1);
+  service->shutdown();
+}
+
+TEST(ServeSlice, SliceZeroKeepsLegacySchedulerExactly) {
+  // slice = 0 must not even construct the stepwise form: counters stay 0
+  // and a running search is never interrupted by cancel (queue-time-only
+  // semantics, as documented).
+  const api::EngineConfig cfg = tiny_cfg();
+  auto service = make_sliced_service(cfg, 1, /*slice_ms=*/0);
+  ASSERT_NE(service, nullptr);
+
+  SearchRequest req;
+  req.opts.cancel = std::make_shared<std::atomic<bool>>(false);
+  auto cancel = req.opts.cancel;
+  auto search = service->submit(std::move(req));
+  // Give the worker a moment to claim, then cancel mid-run: the legacy
+  // path must IGNORE it and finish the search.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  cancel->store(true);
+  api::Result<api::SearchReport> r = search.get();
+  const ServiceStats stats = service->stats();
+  service->shutdown();
+
+  EXPECT_EQ(stats.exclusive_slices, 0);
+  EXPECT_EQ(stats.exclusive_preemptions, 0);
+  EXPECT_EQ(stats.exclusive_resumes, 0);
+  // Either the cancel won the race while the task was still queued (the
+  // legacy queue-side check) or the search ran to completion; it was
+  // never aborted mid-run.
+  if (!r.ok()) {
+    EXPECT_EQ(r.status().code(), api::StatusCode::kCancelled);
+  }
+}
+
+TEST(ServeSlice, RejectsNegativeSlice) {
+  ServiceConfig scfg;
+  scfg.exclusive_slice_ms = -1;
+  api::Result<std::shared_ptr<Service>> service =
+      Service::create(tiny_cfg(), scfg);
+  ASSERT_FALSE(service.ok());
+  EXPECT_EQ(service.status().code(), api::StatusCode::kInvalidArgument);
 }
 
 }  // namespace
