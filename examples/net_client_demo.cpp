@@ -1,14 +1,17 @@
 // net_client_demo — mixed remote load against a running net_server_demo.
 //
 //   net_client_demo [--host H] [--port N] [--positions N] [--no-search]
-//                   [--retries N]
+//                   [--retries N] [--stats]
 //
 // One connection, pipelined request ids: a health ping first, then a
 // deployment reference (profile_baseline), a batched latency query (one
 // frame, N archs), a trickle of lone predictions (they meet the server's
 // coalescing window), a full NAS search, and a deployment profile of the
 // search winner. Everything the server answers is printed with its
-// round-trip time; exits non-zero on the first failed request.
+// round-trip time; exits non-zero on the first failed request. --stats
+// finishes with a remote metrics scrape (kStats): the server's full
+// registry snapshot — serve.* and net.* — rendered like the server's own
+// session report.
 //
 // The blocking verbs ride a RetryPolicy (--retries, default 3 attempts):
 // pure verbs reconnect and retry transport failures with backed-off
@@ -47,6 +50,7 @@ int main(int argc, char** argv) {
   std::int64_t positions = 8;
   int retries = 3;
   bool run_search = true;
+  bool scrape_stats = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool has_next = i + 1 < argc;
@@ -60,6 +64,8 @@ int main(int argc, char** argv) {
       retries = std::atoi(argv[++i]);
     else if (arg == "--no-search")
       run_search = false;
+    else if (arg == "--stats")
+      scrape_stats = true;
     else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return 2;
@@ -178,6 +184,19 @@ int main(int argc, char** argv) {
     std::printf("winner on-device: %.1f ms, %.1f MB, %.2fx vs DGCNN\n",
                 winner.value().latency_ms, winner.value().peak_memory_mb,
                 winner.value().speedup_vs_reference);
+  }
+
+  if (scrape_stats) {
+    t0 = std::chrono::steady_clock::now();
+    api::Result<obs::Snapshot> snap = client.stats();
+    if (!snap.ok()) {
+      std::fprintf(stderr, "stats: %s\n",
+                   snap.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("server metrics (%zu instruments, round trip %.1f ms):\n",
+                snap.value().size(), ms_since(t0));
+    std::fputs(obs::render_snapshot(snap.value()).c_str(), stdout);
   }
 
   std::printf("done; closing connection.\n");

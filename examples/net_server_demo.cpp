@@ -8,6 +8,7 @@
 //   net_server_demo [--port N] [--device name] [--workers N]
 //                   [--window-us N] [--max-queue N] [--slice-ms N]
 //                   [--oracle] [--once] [--drain-after-ms N]
+//                   [--trace-out PATH]
 //
 // Defaults: port 7171, jetson-tx2, 3 workers, a 2 ms predict-coalescing
 // window, queue bounded at 256, a 5 ms exclusive slice (searches yield to
@@ -17,6 +18,9 @@
 // CI smoke run). --drain-after-ms N demonstrates the graceful wind-down:
 // after N ms the server stops accepting, finishes and answers everything
 // already admitted, half-closes, and exits with the stats report.
+// --trace-out PATH enables request-scoped tracing for the whole session
+// and writes the spans as Chrome trace_event JSON (load in
+// chrome://tracing or Perfetto) when the service shuts down.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -36,6 +40,7 @@ int main(int argc, char** argv) {
   std::int64_t max_queue = 256;
   std::int64_t slice_ms = 5;
   std::int64_t drain_after_ms = -1;  // -1 = never
+  std::string trace_out;
   bool oracle = false;
   bool once = false;
   for (int i = 1; i < argc; ++i) {
@@ -55,6 +60,8 @@ int main(int argc, char** argv) {
       slice_ms = std::atoll(argv[++i]);
     else if (arg == "--drain-after-ms" && has_next)
       drain_after_ms = std::atoll(argv[++i]);
+    else if (arg == "--trace-out" && has_next)
+      trace_out = argv[++i];
     else if (arg == "--oracle")
       oracle = true;
     else if (arg == "--once")
@@ -85,6 +92,7 @@ int main(int argc, char** argv) {
   server_cfg.service.predict_window_us = window_us;
   server_cfg.service.max_queue_depth = max_queue;
   server_cfg.service.exclusive_slice_ms = slice_ms;
+  server_cfg.service.trace_path = trace_out;
 
   std::printf("starting %s service on %s (evaluator: %s)...\n",
               device.c_str(), server_cfg.host.c_str(),
@@ -133,59 +141,24 @@ int main(int argc, char** argv) {
   }
 
   server.value()->stop();
-  const net::NetStats net = server.value()->net_stats();
-  const serve::ServiceStats stats = server.value()->service()->stats();
-  std::printf("\n-- session report --\n");
-  std::printf("connections: %lld opened, %lld closed, %lld dropped "
-              "(unframeable)\n",
-              static_cast<long long>(net.connections_opened),
-              static_cast<long long>(net.connections_closed),
-              static_cast<long long>(net.connections_dropped));
-  std::printf("frames: %lld received, %lld rejected, %lld replies sent\n",
-              static_cast<long long>(net.frames_received),
-              static_cast<long long>(net.frames_rejected),
-              static_cast<long long>(net.replies_sent));
-  std::printf("service: %lld requests (%lld exclusive), %lld predictions "
-              "in %lld packed forwards (largest batch %lld)\n",
-              static_cast<long long>(stats.requests),
-              static_cast<long long>(stats.exclusive_requests),
-              static_cast<long long>(stats.predict_requests),
-              static_cast<long long>(stats.predict_batches),
-              static_cast<long long>(stats.max_predict_batch));
-  std::printf("back-pressure: %lld rejected, %lld deadline-expired, "
-              "%lld cancelled\n",
-              static_cast<long long>(stats.rejected_requests),
-              static_cast<long long>(stats.deadline_expired),
-              static_cast<long long>(stats.cancelled_requests));
-  std::printf("fault tolerance: %lld pings, %lld sheds with retry hint, "
-              "%lld version mismatches, drain %s\n",
-              static_cast<long long>(stats.pings),
-              static_cast<long long>(stats.sheds_with_hint),
-              static_cast<long long>(net.version_mismatches),
-              stats.drain_started > 0 ? "completed" : "never started");
-  std::printf("latency: queue-wait p50/p99 %lld/%lld us, service-time "
-              "p50/p99 %lld/%lld us (log2-bucket upper bounds)\n",
-              static_cast<long long>(stats.queue_wait_p50_us),
-              static_cast<long long>(stats.queue_wait_p99_us),
-              static_cast<long long>(stats.service_time_p50_us),
-              static_cast<long long>(stats.service_time_p99_us));
-  std::printf("  pure:      queue-wait p50/p99 %lld/%lld us, service-time "
-              "p50/p99 %lld/%lld us\n",
-              static_cast<long long>(stats.pure_queue_wait_p50_us),
-              static_cast<long long>(stats.pure_queue_wait_p99_us),
-              static_cast<long long>(stats.pure_service_time_p50_us),
-              static_cast<long long>(stats.pure_service_time_p99_us));
-  std::printf("  exclusive: queue-wait p50/p99 %lld/%lld us, service-time "
-              "p50/p99 %lld/%lld us\n",
-              static_cast<long long>(stats.exclusive_queue_wait_p50_us),
-              static_cast<long long>(stats.exclusive_queue_wait_p99_us),
-              static_cast<long long>(stats.exclusive_service_time_p50_us),
-              static_cast<long long>(stats.exclusive_service_time_p99_us));
-  std::printf("slicing: %lld slices, %lld preemptions, %lld resumes "
-              "(slice %lld ms)\n",
-              static_cast<long long>(stats.exclusive_slices),
-              static_cast<long long>(stats.exclusive_preemptions),
-              static_cast<long long>(stats.exclusive_resumes),
+  // One registry holds both layers: net.* frame counters (the server
+  // registers its instruments into the service's registry) and serve.*
+  // admission / latency / slicing metrics. Rendering is shared with
+  // serve_demo; histograms report .p50_us/.p99_us/.count.
+  std::printf("\n-- session report (slice %lld ms) --\n",
               static_cast<long long>(slice_ms));
+  std::fputs(obs::render_snapshot(
+                 server.value()->service()->metrics_snapshot())
+                 .c_str(),
+             stdout);
+  std::printf("drain %s\n",
+              server.value()->service()->stats().drain_started > 0
+                  ? "completed"
+                  : "never started");
+  if (!trace_out.empty()) {
+    // stop() shut the service down, which exported the collected spans.
+    std::printf("trace written to %s (Chrome trace_event JSON)\n",
+                trace_out.c_str());
+  }
   return 0;
 }

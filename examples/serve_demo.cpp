@@ -123,49 +123,13 @@ int main() {
       std::printf("%5zu %15.2f %15.2f\n", i, lat.value().latency_ms,
                   prof.value().latency_ms);
     }
-    const serve::ServiceStats stats = services[s]->stats();
-    std::printf("stats: %lld requests (%lld exclusive), %lld predictions "
-                "answered in %lld packed forwards (largest batch %lld)\n",
-                static_cast<long long>(stats.requests),
-                static_cast<long long>(stats.exclusive_requests),
-                static_cast<long long>(stats.predict_requests),
-                static_cast<long long>(stats.predict_batches),
-                static_cast<long long>(stats.max_predict_batch));
-    std::printf("admission: queue depth %lld live, %lld rejected "
-                "(back-pressure), %lld deadline-expired, %lld cancelled\n",
-                static_cast<long long>(stats.queue_depth),
-                static_cast<long long>(stats.rejected_requests),
-                static_cast<long long>(stats.deadline_expired),
-                static_cast<long long>(stats.cancelled_requests));
-    std::printf("wire-front counters: %lld pings, %lld sheds with retry "
-                "hint, drain %s\n",
-                static_cast<long long>(stats.pings),
-                static_cast<long long>(stats.sheds_with_hint),
-                stats.drain_started > 0 ? "started" : "never started");
-    std::printf("latency: queue-wait p50/p99 %lld/%lld us, service-time "
-                "p50/p99 %lld/%lld us (log2-bucket upper bounds)\n",
-                static_cast<long long>(stats.queue_wait_p50_us),
-                static_cast<long long>(stats.queue_wait_p99_us),
-                static_cast<long long>(stats.service_time_p50_us),
-                static_cast<long long>(stats.service_time_p99_us));
-    std::printf("  pure:      queue-wait p50/p99 %lld/%lld us, "
-                "service-time p50/p99 %lld/%lld us\n",
-                static_cast<long long>(stats.pure_queue_wait_p50_us),
-                static_cast<long long>(stats.pure_queue_wait_p99_us),
-                static_cast<long long>(stats.pure_service_time_p50_us),
-                static_cast<long long>(stats.pure_service_time_p99_us));
-    std::printf("  exclusive: queue-wait p50/p99 %lld/%lld us, "
-                "service-time p50/p99 %lld/%lld us\n",
-                static_cast<long long>(stats.exclusive_queue_wait_p50_us),
-                static_cast<long long>(stats.exclusive_queue_wait_p99_us),
-                static_cast<long long>(stats.exclusive_service_time_p50_us),
-                static_cast<long long>(stats.exclusive_service_time_p99_us));
-    std::printf("slicing: %lld slices, %lld preemptions, %lld resumes "
-                "(slice %lld ms)\n",
-                static_cast<long long>(stats.exclusive_slices),
-                static_cast<long long>(stats.exclusive_preemptions),
-                static_cast<long long>(stats.exclusive_resumes),
+    // Full registry snapshot for this service (histograms report
+    // .p50_us/.p99_us/.count; slicing runs with exclusive_slice_ms from
+    // scfg). Rendering is shared with net_server_demo.
+    std::printf("metrics (slice %lld ms):\n",
                 static_cast<long long>(scfg.exclusive_slice_ms));
+    std::fputs(obs::render_snapshot(services[s]->metrics_snapshot()).c_str(),
+               stdout);
   }
 
   // Graceful half of shutdown first: drain() stops admissions while the

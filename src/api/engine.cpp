@@ -6,11 +6,19 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "predictor/predictor.hpp"
 
 namespace hg::api {
 
 namespace {
+
+/// Process-wide verb counters. Instrument references from the global
+/// registry are stable for the process lifetime, so each verb pays the
+/// name lookup once and a relaxed atomic increment per call after that.
+obs::Counter& engine_counter(const char* name) {
+  return obs::Registry::global().counter(name);
+}
 
 std::string join(const std::vector<std::string>& names) {
   std::string out;
@@ -118,6 +126,8 @@ Result<Engine> Engine::create(const EngineConfig& cfg,
 }
 
 Result<SearchReport> Engine::search() {
+  static obs::Counter& searches = engine_counter("engine.searches");
+  searches.inc();
   StrategyRequest req;
   req.supernet = &ctx_->supernet();
   req.data = &ctx_->data();
@@ -148,6 +158,11 @@ Result<SearchReport> Engine::search() {
 }
 
 Result<std::unique_ptr<SearchRun>> Engine::begin_search() {
+  // Counts as a search like the monolithic verb: serve::Service picks one
+  // form or the other depending on slicing, and engine.searches should
+  // not depend on which.
+  static obs::Counter& searches = engine_counter("engine.searches");
+  searches.inc();
   StrategyRequest req;
   req.supernet = &ctx_->supernet();
   req.data = &ctx_->data();
@@ -241,6 +256,11 @@ Result<LatencyReport> Engine::predict_latency(const Arch& arch) {
 
 Result<std::vector<LatencyReport>> Engine::predict_batch(
     std::span<const Arch> archs) {
+  static obs::Counter& batches = engine_counter("engine.predict_batches");
+  static obs::Counter& archs_counter =
+      engine_counter("engine.predicted_archs");
+  batches.inc();
+  archs_counter.inc(static_cast<std::int64_t>(archs.size()));
   for (const Arch& arch : archs)
     if (const Status s = validate_arch(arch); !s.ok()) return s;
   try {
@@ -341,6 +361,8 @@ Result<ProfileReport> Engine::profile_baseline(const std::string& name,
 }
 
 Result<TrainReport> Engine::train_baseline(const std::string& name) {
+  static obs::Counter& trains = engine_counter("engine.train_baselines");
+  trains.inc();
   Result<std::unique_ptr<Lowerable>> baseline =
       Registry::global().make_baseline(name);
   if (!baseline.ok()) return baseline.status();
@@ -379,6 +401,7 @@ Result<std::unique_ptr<TrainBaselineRun>> Engine::begin_train_baseline(
 bool TrainBaselineRun::step() {
   if (finished_) return false;
   try {
+    HG_TRACE_SCOPE("train.epoch", "train");
     if (stepper_->step()) return true;
     const BaselineTrainResult r = stepper_->result();
     report_ = TrainReport{r.overall_acc, r.balanced_acc, 0.0, r.param_mb};
@@ -398,6 +421,8 @@ Result<TrainReport> TrainBaselineRun::take_report() {
   if (!error_.ok()) return error_;
   return report_;
 }
+
+obs::Snapshot Engine::metrics() { return obs::Registry::global().snapshot(); }
 
 Result<std::string> Engine::export_arch(const Arch& arch) const {
   if (const Status s = validate_arch(arch); !s.ok()) return s;

@@ -46,6 +46,7 @@
 #include "hgnas/search.hpp"
 #include "hgnas/serialize_arch.hpp"
 #include "hw/profiler.hpp"
+#include "obs/metrics.hpp"
 
 namespace hg::api {
 
@@ -200,6 +201,11 @@ class Engine {
   Result<Arch> load_arch(const std::string& path) const;
 
   // ---- introspection ----
+  /// Snapshot of the process-wide engine instrumentation
+  /// (obs::Registry::global()): engine.* counters bumped by the heavy
+  /// verbs across every Engine in the process. Per-service serving
+  /// metrics live in serve::Service::metrics_snapshot() instead.
+  static obs::Snapshot metrics();
   /// Fig. 10-style multi-line rendering at the deployment workload.
   std::string visualize(const Arch& arch) const;
   /// Node/edge/feature counts of the predictor's graph abstraction.

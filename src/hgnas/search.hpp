@@ -32,6 +32,7 @@
 
 #include "core/annotations.hpp"
 #include "core/stepwise.hpp"
+#include "obs/trace.hpp"
 #include "hgnas/arch.hpp"
 #include "hgnas/pareto.hpp"
 #include "hgnas/supernet.hpp"
@@ -401,7 +402,13 @@ class SearchStepper {
 
   /// One generation (or epoch, or sampling chunk). False once finished;
   /// rethrows anything the pipeline threw, from the step that hit it.
-  bool step() { return stepper_.step(); }
+  /// Each step is one trace span named after the phase the step *entered
+  /// in* (obs::TraceCollector; free when tracing is off), so a traced
+  /// sliced search reads as warmup/stage1/pretrain/stage2 segments.
+  bool step() {
+    HG_TRACE_SCOPE(phase_span_name(progress_.phase), "search");
+    return stepper_.step();
+  }
   bool done() const { return stepper_.done(); }
 
   const SearchProgress& progress() const { return progress_; }
@@ -411,6 +418,19 @@ class SearchStepper {
   SearchResult take_result() { return std::move(result_); }
 
  private:
+  static const char* phase_span_name(SearchProgress::Phase phase) {
+    switch (phase) {
+      case SearchProgress::Phase::kWarmup: return "search.warmup";
+      case SearchProgress::Phase::kStage1: return "search.stage1";
+      case SearchProgress::Phase::kPretrain: return "search.pretrain";
+      case SearchProgress::Phase::kStage2: return "search.stage2";
+      case SearchProgress::Phase::kSampling: return "search.sampling";
+      case SearchProgress::Phase::kIdle:
+      case SearchProgress::Phase::kDone: break;
+    }
+    return "search.step";
+  }
+
   HgnasSearch search_;  // declared before stepper_: the frame refers to it
   SearchResult result_;
   SearchProgress progress_;

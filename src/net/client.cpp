@@ -600,4 +600,18 @@ api::Result<HealthReport> Client::ping(std::uint64_t deadline_us) {
       });
 }
 
+api::Result<obs::Snapshot> Client::stats(std::uint64_t deadline_us) {
+  return roundtrip<obs::Snapshot>(
+      FrameType::kStats, "", deadline_us, /*idempotent=*/true,
+      [](const std::string& p, api::Result<obs::Snapshot>* out,
+         std::uint64_t* hint) {
+        return parse_reply_payload<obs::Snapshot>(
+            p,
+            [](Reader* r, obs::Snapshot* v) {
+              return decode_stats_snapshot(r, v);
+            },
+            out, hint);
+      });
+}
+
 }  // namespace hg::net

@@ -132,6 +132,10 @@ class Client {
   /// even when every worker is busy, so it reports saturation instead of
   /// queueing behind it.
   api::Result<HealthReport> ping(std::uint64_t deadline_us = 0);
+  /// Remote metrics scrape (protocol v2, kStats): the server's full
+  /// obs::Registry snapshot — serve.* counters/histograms plus the
+  /// net.* frame counters — answered from the I/O thread like ping.
+  api::Result<obs::Snapshot> stats(std::uint64_t deadline_us = 0);
 
   // ---- pipelined form: fire now, collect by id later ----
   api::Result<std::uint64_t> send_search(

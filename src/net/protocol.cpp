@@ -385,6 +385,31 @@ bool decode_health_report(Reader* r, HealthReport* out) {
   return true;
 }
 
+void encode_stats_snapshot(const obs::Snapshot& snap, Writer* w) {
+  w->u32(static_cast<std::uint32_t>(snap.size()));
+  for (const auto& [name, value] : snap) {
+    w->str(name);
+    w->i64(value);
+  }
+}
+
+bool decode_stats_snapshot(Reader* r, obs::Snapshot* out) {
+  std::uint32_t count = 0;
+  if (!r->u32(&count)) return false;
+  // The smallest entry is 12 bytes (empty name + i64); a count the
+  // remaining payload cannot hold is corrupt, not a huge map to build.
+  if (count > kMaxPayloadBytes / 12) return false;
+  obs::Snapshot snap;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    std::int64_t value = 0;
+    if (!r->str(&name) || !r->i64(&value)) return false;
+    snap[std::move(name)] = value;
+  }
+  *out = std::move(snap);
+  return true;
+}
+
 void encode_latency_report(const api::LatencyReport& rep, Writer* w) {
   w->f64(rep.latency_ms);
   w->f64(rep.peak_memory_mb);

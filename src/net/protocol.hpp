@@ -56,6 +56,7 @@
 
 #include "api/config.hpp"
 #include "api/engine.hpp"
+#include "obs/metrics.hpp"
 #include "serve/request.hpp"
 
 namespace hg::net {
@@ -97,6 +98,14 @@ enum class FrameType : std::uint16_t {
   /// batch larger than kMaxWireBatch is refused up front with per-element
   /// RESOURCE_EXHAUSTED (+ retry hint) — it never reaches the service.
   kPredictBatchN = 9,
+  /// Empty-payload metrics scrape, answered from the server's I/O thread
+  /// like kPing: the reply is OK + the full flattened metrics snapshot
+  /// (serve::Service::metrics_snapshot — every registered obs instrument
+  /// plus the live queue depth), encoded as name/value pairs
+  /// (encode_stats_snapshot). Later v2 addition: an older v2 peer answers
+  /// it with a typed INVALID_ARGUMENT reply, so a client can detect and
+  /// fall back to kPing.
+  kStats = 10,
 };
 inline constexpr std::uint16_t kReplyBit = 0x80;
 
@@ -241,6 +250,12 @@ struct HealthReport {
 
 void encode_health_report(const HealthReport& rep, Writer* w);
 bool decode_health_report(Reader* r, HealthReport* out);
+
+/// Metrics snapshot, answered to kStats (v2): u32 count, then `count`
+/// (str name, i64 value) pairs in map order. Bounded by the payload cap;
+/// decode rejects a count that could not fit the remaining bytes.
+void encode_stats_snapshot(const obs::Snapshot& snap, Writer* w);
+bool decode_stats_snapshot(Reader* r, obs::Snapshot* out);
 
 void encode_latency_report(const api::LatencyReport& rep, Writer* w);
 bool decode_latency_report(Reader* r, api::LatencyReport* out);

@@ -23,6 +23,8 @@
 #include "core/annotations.hpp"
 #include "net/protocol.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace hg::net {
 
@@ -115,6 +117,9 @@ struct Server::Impl {
                  std::vector<std::future<api::Result<api::LatencyReport>>>,
                  std::future<std::vector<api::Result<api::LatencyReport>>>>
         future;
+    // Frame receipt, for the end-to-end "net.request" span (receipt ->
+    // reply encoded).
+    std::chrono::steady_clock::time_point received_at;
 
     bool ready() const {
       const auto done = [](const auto& f) {
@@ -179,22 +184,40 @@ struct Server::Impl {
       std::chrono::steady_clock::now();
   core::Mutex stop_mutex;  // serializes concurrent Server::stop() callers
 
-  // The counters are the only Impl state shared between the poll thread
-  // and callers (Server::net_stats from any thread).
-  mutable core::Mutex stats_mutex;
-  NetStats stats HG_GUARDED_BY(stats_mutex);
+  // The "net.*" counters live in the owned service's registry (so one
+  // kStats snapshot tells the whole story); handles are resolved once in
+  // init_counters and bumped lock-free from the poll thread, read from
+  // any thread via Server::net_stats().
+  struct NetCounters {
+    obs::Counter* connections_opened = nullptr;
+    obs::Counter* connections_closed = nullptr;
+    obs::Counter* connections_refused = nullptr;
+    obs::Counter* frames_received = nullptr;
+    obs::Counter* frames_rejected = nullptr;
+    obs::Counter* connections_dropped = nullptr;
+    obs::Counter* replies_sent = nullptr;
+    obs::Counter* oversized_replies = nullptr;
+    obs::Counter* version_mismatches = nullptr;
+  };
+  NetCounters nc;
+
+  void init_counters(obs::Registry& r) {
+    nc.connections_opened = &r.counter("net.connections_opened");
+    nc.connections_closed = &r.counter("net.connections_closed");
+    nc.connections_refused = &r.counter("net.connections_refused");
+    nc.frames_received = &r.counter("net.frames_received");
+    nc.frames_rejected = &r.counter("net.frames_rejected");
+    nc.connections_dropped = &r.counter("net.connections_dropped");
+    nc.replies_sent = &r.counter("net.replies_sent");
+    nc.oversized_replies = &r.counter("net.oversized_replies");
+    nc.version_mismatches = &r.counter("net.version_mismatches");
+  }
 
   // The connection table (fds, buffered frames, reply buffers, pending
   // futures) is owned by the poll thread alone after start: run() is the
   // only code that touches it until shutdown_io() has joined the thread.
   // No mutex — single-threaded by construction, checked by TSan in CI.
   std::map<int, Conn> conns;
-
-  // ---- stats helpers -------------------------------------------------------
-  void bump(std::int64_t NetStats::* counter) {
-    core::MutexLock lock(stats_mutex);
-    ++(stats.*counter);
-  }
 
   // ---- lifecycle -----------------------------------------------------------
   api::Status listen_on(const std::string& host, std::uint16_t port,
@@ -311,7 +334,7 @@ struct Server::Impl {
       if (fd < 0) return;  // EAGAIN or transient error: try next round
       if (static_cast<std::int64_t>(conns.size()) >= cfg.max_connections) {
         ::close(fd);
-        bump(&NetStats::connections_refused);
+        nc.connections_refused->inc();
         continue;
       }
       set_nonblocking(fd);
@@ -323,7 +346,7 @@ struct Server::Impl {
         c.transport = cfg.wrap_transport(std::move(c.transport));
       c.cancel = std::make_shared<std::atomic<bool>>(false);
       conns.emplace(fd, std::move(c));
-      bump(&NetStats::connections_opened);
+      nc.connections_opened->inc();
     }
   }
 
@@ -392,7 +415,7 @@ struct Server::Impl {
         // with one FAILED_PRECONDITION farewell framed in ITS version
         // (best-effort flush below), then drop — the rest of its stream
         // cannot be parsed.
-        bump(&NetStats::version_mismatches);
+        nc.version_mismatches->inc();
         c.out.append(encode_version_farewell(h));
         (void)flush(c);
         return false;
@@ -400,7 +423,7 @@ struct Server::Impl {
       if (hd != HeaderDecode::kOk) {
         // Bad magic / oversized length: byte-stream framing is lost,
         // nothing downstream can be trusted. Drop the connection.
-        bump(&NetStats::connections_dropped);
+        nc.connections_dropped->inc();
         return false;
       }
       if (c.in.size() - consumed < kHeaderSize + h.payload_len) break;
@@ -420,7 +443,7 @@ struct Server::Impl {
     Writer w;
     encode_status(status, &w);
     send_reply(c, type, id, w.take());
-    bump(&NetStats::frames_rejected);
+    nc.frames_rejected->inc();
   }
 
   /// A refused-before-running reply (drain-time UNAVAILABLE): carries the
@@ -448,10 +471,10 @@ struct Server::Impl {
               " bytes) exceeds the wire limit"),
           &w);
       payload = w.take();
-      bump(&NetStats::oversized_replies);
+      nc.oversized_replies->inc();
     }
     c.out.append(encode_frame(type, /*reply=*/true, id, 0, payload));
-    bump(&NetStats::replies_sent);
+    nc.replies_sent->inc();
     if (draining.load(std::memory_order_acquire)) c.answered_in_drain = true;
   }
 
@@ -461,13 +484,13 @@ struct Server::Impl {
     const auto type = static_cast<FrameType>(h.type & ~kReplyBit);
     if (is_reply || h.type == 0 ||
         (h.type & ~kReplyBit) >
-            static_cast<std::uint16_t>(FrameType::kPredictBatchN)) {
+            static_cast<std::uint16_t>(FrameType::kStats)) {
       reply_error(c, type, h.request_id,
                   api::Status::InvalidArgument(
                       "unknown frame type " + std::to_string(h.type)));
       return;
     }
-    bump(&NetStats::frames_received);
+    nc.frames_received->inc();
     if (type == FrameType::kGoodbye) {
       if (len != 0) {
         reply_error(c, type, h.request_id,
@@ -509,6 +532,22 @@ struct Server::Impl {
       send_reply(c, type, h.request_id, w.take());
       return;
     }
+    if (type == FrameType::kStats) {
+      if (len != 0) {
+        reply_error(c, type, h.request_id,
+                    api::Status::InvalidArgument(
+                        "stats frame carries a payload"));
+        return;
+      }
+      // Like kPing, answered on the I/O thread: a metrics scrape must
+      // not queue behind the very backlog it is trying to diagnose, and
+      // it still answers while draining.
+      Writer w;
+      encode_status(api::Status::Ok(), &w);
+      encode_stats_snapshot(service->metrics_snapshot(), &w);
+      send_reply(c, type, h.request_id, w.take());
+      return;
+    }
     if (draining.load(std::memory_order_acquire)) {
       // Refused BEFORE submission: this request never ran, which the
       // retry_after_us hint certifies — safe to retry elsewhere (or
@@ -531,11 +570,16 @@ struct Server::Impl {
     }
     opts.cancel = c.cancel;
     opts.notify = [this] { wake(); };
+    // The wire request id doubles as the trace id: a traced server's
+    // spans for this request carry the id the client chose, so a remote
+    // call is attributable end to end.
+    opts.trace_id = h.request_id;
 
     Reader r(payload, len);
     Pending p;
     p.id = h.request_id;
     p.type = type;
+    p.received_at = std::chrono::steady_clock::now();
     switch (type) {
       case FrameType::kSearch: {
         std::optional<api::EngineConfig> cfg_override;
@@ -654,6 +698,7 @@ struct Server::Impl {
       }
       case FrameType::kGoodbye:
       case FrameType::kPing:
+      case FrameType::kStats:
         return;  // handled above the switch; never reaches here
     }
     c.pending.push_back(std::move(p));
@@ -675,7 +720,12 @@ struct Server::Impl {
         Pending p = std::move(c.pending[scan]);
         c.pending.erase(c.pending.begin() +
                         static_cast<std::ptrdiff_t>(scan));
-        send_reply(c, p.type, p.id, encode_ready_reply(p));
+        std::string reply = encode_ready_reply(p);
+        // End-to-end wire span: frame receipt -> reply encoded, under
+        // the request id the client chose.
+        obs::record_span("net.request", "net", p.id, p.received_at,
+                         std::chrono::steady_clock::now());
+        send_reply(c, p.type, p.id, std::move(reply));
         wrote = true;
       }
       if (wrote && !flush(c)) {
@@ -786,6 +836,7 @@ struct Server::Impl {
       }
       case FrameType::kGoodbye:
       case FrameType::kPing:
+      case FrameType::kStats:
         break;  // never a Pending; fall to the error below
     }
     Writer w;
@@ -798,6 +849,8 @@ struct Server::Impl {
   /// the batch of replies a coalesced window resolves together goes out
   /// as one write instead of one per frame.
   bool flush(Conn& c) {
+    if (c.out.empty()) return true;
+    HG_TRACE_SCOPE("net.flush", "net");
     struct iovec iov[kMaxFlushIovecs];
     while (!c.out.empty()) {
       const int cnt = c.out.gather(iov);
@@ -823,7 +876,7 @@ struct Server::Impl {
     // resolutions are harmless. The transport closes the fd.
     it->second.cancel->store(true, std::memory_order_relaxed);
     conns.erase(it);
-    bump(&NetStats::connections_closed);
+    nc.connections_closed->inc();
   }
 
   void shutdown_io() {
@@ -870,6 +923,7 @@ api::Result<std::shared_ptr<Server>> Server::create(
   server->service_ = std::move(service).value();
   server->impl_ = std::make_unique<Impl>();
   server->impl_->service = server->service_.get();
+  server->impl_->init_counters(server->service_->registry());
   server->impl_->cfg = server_cfg;
   api::Status listening = server->impl_->listen_on(
       server_cfg.host, server_cfg.port, &server->port_);
@@ -909,9 +963,20 @@ bool Server::draining() const {
 }
 
 NetStats Server::net_stats() const {
+  // A thin view over the registry instruments (the same ones kStats
+  // serves), so this struct and the remote snapshot can never drift.
   if (impl_ == nullptr) return {};
-  core::MutexLock lock(impl_->stats_mutex);
-  return impl_->stats;
+  NetStats s;
+  s.connections_opened = impl_->nc.connections_opened->value();
+  s.connections_closed = impl_->nc.connections_closed->value();
+  s.connections_refused = impl_->nc.connections_refused->value();
+  s.frames_received = impl_->nc.frames_received->value();
+  s.frames_rejected = impl_->nc.frames_rejected->value();
+  s.connections_dropped = impl_->nc.connections_dropped->value();
+  s.replies_sent = impl_->nc.replies_sent->value();
+  s.oversized_replies = impl_->nc.oversized_replies->value();
+  s.version_mismatches = impl_->nc.version_mismatches->value();
+  return s;
 }
 
 }  // namespace hg::net

@@ -1,0 +1,65 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+
+namespace hg::obs {
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  core::MutexLock lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.try_emplace(std::string(name)).first->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  core::MutexLock lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  return gauges_.try_emplace(std::string(name)).first->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  core::MutexLock lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.try_emplace(std::string(name)).first->second;
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  core::MutexLock lock(mutex_);
+  for (const auto& [name, c] : counters_) snap[name] = c.value();
+  for (const auto& [name, g] : gauges_) snap[name] = g.value();
+  for (const auto& [name, h] : histograms_) {
+    snap[name + ".p50_us"] = h.percentile_us(0.50);
+    snap[name + ".p99_us"] = h.percentile_us(0.99);
+    snap[name + ".count"] = h.count();
+  }
+  return snap;
+}
+
+std::string render_snapshot(const Snapshot& snap) {
+  std::size_t width = 0;
+  for (const auto& [name, value] : snap)
+    width = name.size() > width ? name.size() : width;
+  std::string out;
+  std::string prev_prefix;
+  for (const auto& [name, value] : snap) {
+    const std::string prefix = name.substr(0, name.find('.'));
+    if (!prev_prefix.empty() && prefix != prev_prefix) out += '\n';
+    prev_prefix = prefix;
+    char line[256];
+    std::snprintf(line, sizeof(line), "  %-*s %12lld\n",
+                  static_cast<int>(width), name.c_str(),
+                  static_cast<long long>(value));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace hg::obs

@@ -1,0 +1,204 @@
+#include "obs/trace.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace hg::obs {
+
+namespace {
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+std::uint32_t this_thread_tid() {
+  static std::atomic<std::uint32_t> next_tid{0};
+  thread_local std::uint32_t tid =
+      next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+thread_local std::uint64_t t_trace_id = 0;
+
+// Escape a span name for direct embedding in a JSON string literal.
+// Instrument names are plain identifiers; this just keeps a hostile name
+// from corrupting the file.
+void append_json_escaped(std::string* out, const std::string& s) {
+  for (const char ch : s) {
+    if (ch == '"' || ch == '\\') {
+      out->push_back('\\');
+      out->push_back(ch);
+    } else if (static_cast<unsigned char>(ch) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(ch)));
+      *out += buf;
+    } else {
+      out->push_back(ch);
+    }
+  }
+}
+
+}  // namespace
+
+TraceCollector& TraceCollector::global() {
+  static TraceCollector collector;
+  return collector;
+}
+
+void TraceCollector::start(std::size_t capacity) {
+  if (capacity == 0) capacity = 1;
+  {
+    core::MutexLock lock(mutex_);
+    if (ring_.empty()) {
+      ring_.reserve(capacity);
+      ring_.resize(0);
+      next_ = 0;
+      dropped_ = 0;
+      wrapped_ = false;
+      ring_capacity_ = capacity;
+    }
+  }
+  enabled_.store(true, std::memory_order_release);
+}
+
+void TraceCollector::stop() {
+  enabled_.store(false, std::memory_order_release);
+  core::MutexLock lock(mutex_);
+  ring_.clear();
+  ring_.shrink_to_fit();
+  next_ = 0;
+  dropped_ = 0;
+  wrapped_ = false;
+  ring_capacity_ = 0;
+}
+
+void TraceCollector::record(TraceEvent ev) {
+  if (!enabled()) return;
+  core::MutexLock lock(mutex_);
+  if (ring_capacity_ == 0) return;  // stop() raced us; drop
+  if (ring_.size() < ring_capacity_) {
+    ring_.push_back(std::move(ev));
+  } else {
+    ring_[next_] = std::move(ev);
+    next_ = (next_ + 1) % ring_capacity_;
+    wrapped_ = true;
+    ++dropped_;
+  }
+}
+
+std::vector<TraceEvent> TraceCollector::events() const {
+  core::MutexLock lock(mutex_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (wrapped_) {
+    // next_ points at the oldest surviving event.
+    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(next_),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(next_));
+  } else {
+    out = ring_;
+  }
+  return out;
+}
+
+bool TraceCollector::write_json(const std::string& path) const {
+  const std::vector<TraceEvent> evs = events();
+  std::size_t dropped = 0;
+  {
+    core::MutexLock lock(mutex_);
+    dropped = dropped_;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const long long pid = static_cast<long long>(::getpid());
+  std::string body = "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const auto& ev : evs) {
+    if (!first) body += ",\n";
+    first = false;
+    body += "{\"name\":\"";
+    append_json_escaped(&body, ev.name);
+    body += "\",\"cat\":\"";
+    append_json_escaped(&body, ev.cat);
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"ph\":\"X\",\"ts\":%lld,\"dur\":%lld,\"pid\":%lld,"
+                  "\"tid\":%u,\"args\":{\"trace_id\":%llu}}",
+                  static_cast<long long>(ev.ts_us),
+                  static_cast<long long>(ev.dur_us), pid,
+                  static_cast<unsigned>(ev.tid),
+                  static_cast<unsigned long long>(ev.trace_id));
+    body += buf;
+  }
+  if (dropped > 0) {
+    if (!first) body += ",\n";
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"trace.dropped\",\"ph\":\"M\",\"ts\":0,"
+                  "\"pid\":%lld,\"tid\":0,"
+                  "\"args\":{\"dropped_events\":%llu}}",
+                  pid, static_cast<unsigned long long>(dropped));
+    body += buf;
+  }
+  body += "\n]}\n";
+  const bool ok =
+      std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return (std::fclose(f) == 0) && ok;
+}
+
+std::int64_t trace_now_us() {
+  return trace_ts_us(std::chrono::steady_clock::now());
+}
+
+std::int64_t trace_ts_us(std::chrono::steady_clock::time_point tp) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(tp -
+                                                               trace_epoch())
+      .count();
+}
+
+std::uint64_t current_trace_id() { return t_trace_id; }
+
+std::uint64_t next_local_trace_id() {
+  static std::atomic<std::uint64_t> next_id{1};
+  return (std::uint64_t{1} << 63) |
+         next_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+ScopedTraceId::ScopedTraceId(std::uint64_t id) : prev_(t_trace_id) {
+  t_trace_id = id;
+}
+
+ScopedTraceId::~ScopedTraceId() { t_trace_id = prev_; }
+
+ScopedSpan::~ScopedSpan() {
+  if (!armed_) return;
+  const std::int64_t end_us = trace_now_us();
+  TraceEvent ev;
+  ev.name = name_ != nullptr ? std::string(name_) : dynamic_name_;
+  ev.cat = cat_;
+  ev.trace_id = t_trace_id;
+  ev.ts_us = start_us_;
+  ev.dur_us = end_us - start_us_;
+  ev.tid = this_thread_tid();
+  TraceCollector::global().record(std::move(ev));
+}
+
+void record_span(const char* name, const char* cat, std::uint64_t trace_id,
+                 std::chrono::steady_clock::time_point start,
+                 std::chrono::steady_clock::time_point end) {
+  if (!tracing_enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.trace_id = trace_id;
+  ev.ts_us = trace_ts_us(start);
+  ev.dur_us = trace_ts_us(end) - ev.ts_us;
+  ev.tid = this_thread_tid();
+  TraceCollector::global().record(std::move(ev));
+}
+
+}  // namespace hg::obs

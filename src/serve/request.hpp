@@ -19,6 +19,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -62,6 +63,12 @@ struct RequestOptions {
   /// without blocking on the future. Must be cheap and must not call back
   /// into the service.
   std::function<void()> notify;
+
+  /// Trace attribution for this request's spans (obs::TraceCollector):
+  /// net::Server sets it to the wire frame's request id so a remote call's
+  /// server-side spans carry the id the client chose. 0 (the default) =
+  /// let the service assign a process-local id when tracing is enabled.
+  std::uint64_t trace_id = 0;
 };
 
 /// Run a full NAS search on the service's context. `cfg` overrides the

@@ -32,12 +32,11 @@ bool is_cancelled(const std::shared_ptr<std::atomic<bool>>& flag) {
   return flag != nullptr && flag->load(std::memory_order_relaxed);
 }
 
-/// Relaxed CAS-max for the max_predict_batch watermark.
-void atomic_max(std::atomic<std::int64_t>& a, std::int64_t v) {
-  std::int64_t cur = a.load(std::memory_order_relaxed);
-  while (cur < v &&
-         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
-  }
+/// The request's wire-chosen trace id, or a fresh local one when tracing
+/// is live (0 otherwise — untraced runs never pay the id counter).
+std::uint64_t effective_trace_id(std::uint64_t requested) {
+  if (requested != 0) return requested;
+  return obs::tracing_enabled() ? obs::next_local_trace_id() : 0;
 }
 
 std::int64_t us_between(std::chrono::steady_clock::time_point from,
@@ -126,6 +125,12 @@ api::Result<std::shared_ptr<Service>> Service::create(
     if (!engine.ok()) return engine.status();
     service->engines_.push_back(std::move(engine).value());
   }
+  if (!service_cfg.trace_path.empty()) {
+    // The collector is process-global; the first service configured with
+    // a trace_path owns it (starts it now, exports + stops at shutdown).
+    service->trace_owner_ = !obs::TraceCollector::global().enabled();
+    obs::TraceCollector::global().start();
+  }
   service->start_workers(service_cfg.num_workers);
   return service;
 }
@@ -154,6 +159,11 @@ void Service::shutdown() {
   window_cv_.notify_one();
   for (std::thread& w : workers_) w.join();
   workers_.clear();
+  if (trace_owner_) {
+    trace_owner_ = false;  // idempotent under shutdown_mutex_
+    obs::TraceCollector::global().write_json(service_cfg_.trace_path);
+    obs::TraceCollector::global().stop();
+  }
 }
 
 void Service::drain() {
@@ -162,7 +172,7 @@ void Service::drain() {
     if (draining_) return;
     draining_ = true;
   }
-  counters_.drain_started.fetch_add(1, std::memory_order_relaxed);
+  counters_.drain_started.inc();
   // No wakeup: draining_ only affects admission (checked by submitters
   // under the queue lock), never a worker's wait predicate.
 }
@@ -173,11 +183,11 @@ bool Service::draining() const {
 }
 
 void Service::record_ping() {
-  counters_.pings.fetch_add(1, std::memory_order_relaxed);
+  counters_.pings.inc();
 }
 
 void Service::record_shed_hint() {
-  counters_.sheds_with_hint.fetch_add(1, std::memory_order_relaxed);
+  counters_.sheds_with_hint.inc();
 }
 
 Service::Admission Service::enqueue(QueuedTask task, bool exclusive,
@@ -187,20 +197,20 @@ Service::Admission Service::enqueue(QueuedTask task, bool exclusive,
     core::MutexLock lock(queue_mutex_);
     if (stopping_) return Admission::kShutDown;
     if (draining_) return Admission::kDraining;
-    counters_.requests.fetch_add(count, std::memory_order_relaxed);
+    counters_.requests.inc(count);
     if (count_predict)
-      counters_.predict_requests.fetch_add(count, std::memory_order_relaxed);
+      counters_.predict_requests.inc(count);
     const std::int64_t depth =
         static_cast<std::int64_t>(pure_queue_.size() +
                                   exclusive_queue_.size() +
                                   predict_queue_.size());
     if (service_cfg_.max_queue_depth > 0 &&
         depth >= service_cfg_.max_queue_depth) {
-      counters_.rejected_requests.fetch_add(count, std::memory_order_relaxed);
+      counters_.rejected_requests.inc(count);
       return Admission::kQueueFull;
     }
     if (exclusive) {
-      counters_.exclusive_requests.fetch_add(1, std::memory_order_relaxed);
+      counters_.exclusive_requests.inc();
       exclusive_queue_.push_back(std::move(task));
     } else {
       pure_queue_.push_back(std::move(task));
@@ -233,6 +243,7 @@ std::future<api::Result<T>> Service::submit_task(
   task.deadline = opts.deadline;
   task.cancel = std::move(opts.cancel);
   task.enqueued_at = std::chrono::steady_clock::now();
+  task.trace_id = effective_trace_id(opts.trace_id);
   task.run = [fn = std::move(fn), resolve](api::Engine& engine) {
     resolve(fn(engine));
   };
@@ -314,6 +325,7 @@ std::future<api::Result<api::LatencyReport>> Service::submit(
   PredictTask task;
   task.arch = std::move(req.arch);
   task.opts = std::move(req.opts);
+  task.opts.trace_id = effective_trace_id(task.opts.trace_id);
   task.enqueued_at = std::chrono::steady_clock::now();
   task.promise =
       std::make_shared<std::promise<api::Result<api::LatencyReport>>>();
@@ -331,15 +343,15 @@ std::future<api::Result<api::LatencyReport>> Service::submit(
     } else if (draining_) {
       refused = draining_status();
     } else {
-      counters_.requests.fetch_add(1, std::memory_order_relaxed);
-      counters_.predict_requests.fetch_add(1, std::memory_order_relaxed);
+      counters_.requests.inc();
+      counters_.predict_requests.inc();
       const std::int64_t depth =
           static_cast<std::int64_t>(pure_queue_.size() +
                                     exclusive_queue_.size() +
                                     predict_queue_.size());
       if (service_cfg_.max_queue_depth > 0 &&
           depth >= service_cfg_.max_queue_depth) {
-        counters_.rejected_requests.fetch_add(1, std::memory_order_relaxed);
+        counters_.rejected_requests.inc();
         refused = queue_full_status();
       } else {
         predict_queue_.push_back(std::move(task));
@@ -382,11 +394,11 @@ std::future<std::vector<api::Result<api::LatencyReport>>> Service::submit(
   task.deadline = req.opts.deadline;
   task.cancel = std::move(req.opts.cancel);
   task.enqueued_at = std::chrono::steady_clock::now();
+  task.trace_id = effective_trace_id(req.opts.trace_id);
   task.run = [this, archs = std::move(req.archs),
               resolve](api::Engine& engine) {
-    counters_.predict_batches.fetch_add(1, std::memory_order_relaxed);
-    atomic_max(counters_.max_predict_batch,
-               static_cast<std::int64_t>(archs.size()));
+    counters_.predict_batches.inc();
+    counters_.max_predict_batch.max_of(static_cast<std::int64_t>(archs.size()));
     BatchResults results;
     results.reserve(archs.size());
     api::Result<std::vector<api::LatencyReport>> reports =
@@ -462,24 +474,25 @@ std::future<api::Result<api::TrainReport>> Service::submit(
 }
 
 ServiceStats Service::stats() const {
+  // A thin view over the registered instruments: every field is read from
+  // the same counter/histogram the hot paths bump, so this struct, the
+  // full metrics_snapshot(), and the wire's kStats answer can never
+  // disagree.
   ServiceStats snapshot;
-  const auto ld = [](const std::atomic<std::int64_t>& a) {
-    return a.load(std::memory_order_relaxed);
-  };
-  snapshot.requests = ld(counters_.requests);
-  snapshot.exclusive_requests = ld(counters_.exclusive_requests);
-  snapshot.predict_requests = ld(counters_.predict_requests);
-  snapshot.predict_batches = ld(counters_.predict_batches);
-  snapshot.max_predict_batch = ld(counters_.max_predict_batch);
-  snapshot.rejected_requests = ld(counters_.rejected_requests);
-  snapshot.deadline_expired = ld(counters_.deadline_expired);
-  snapshot.cancelled_requests = ld(counters_.cancelled_requests);
-  snapshot.pings = ld(counters_.pings);
-  snapshot.sheds_with_hint = ld(counters_.sheds_with_hint);
-  snapshot.drain_started = ld(counters_.drain_started);
-  snapshot.exclusive_slices = ld(counters_.exclusive_slices);
-  snapshot.exclusive_preemptions = ld(counters_.exclusive_preemptions);
-  snapshot.exclusive_resumes = ld(counters_.exclusive_resumes);
+  snapshot.requests = counters_.requests.value();
+  snapshot.exclusive_requests = counters_.exclusive_requests.value();
+  snapshot.predict_requests = counters_.predict_requests.value();
+  snapshot.predict_batches = counters_.predict_batches.value();
+  snapshot.max_predict_batch = counters_.max_predict_batch.value();
+  snapshot.rejected_requests = counters_.rejected_requests.value();
+  snapshot.deadline_expired = counters_.deadline_expired.value();
+  snapshot.cancelled_requests = counters_.cancelled_requests.value();
+  snapshot.pings = counters_.pings.value();
+  snapshot.sheds_with_hint = counters_.sheds_with_hint.value();
+  snapshot.drain_started = counters_.drain_started.value();
+  snapshot.exclusive_slices = counters_.exclusive_slices.value();
+  snapshot.exclusive_preemptions = counters_.exclusive_preemptions.value();
+  snapshot.exclusive_resumes = counters_.exclusive_resumes.value();
   snapshot.queue_wait_p50_us = queue_wait_us_.percentile_us(0.50);
   snapshot.queue_wait_p99_us = queue_wait_us_.percentile_us(0.99);
   snapshot.service_time_p50_us = service_time_us_.percentile_us(0.50);
@@ -506,6 +519,18 @@ ServiceStats Service::stats() const {
   return snapshot;
 }
 
+obs::Snapshot Service::metrics_snapshot() const {
+  obs::Snapshot snap = registry_->snapshot();
+  // queue_depth is the one live (non-monotone, non-instrument) value: it
+  // is derived from the queue sizes, so inject it here.
+  core::MutexLock lock(queue_mutex_);
+  snap["serve.queue_depth"] =
+      static_cast<std::int64_t>(pure_queue_.size() +
+                                exclusive_queue_.size() +
+                                predict_queue_.size());
+  return snap;
+}
+
 bool Service::pop_runnable(
     std::deque<QueuedTask>& queue,
     std::vector<std::pair<QueuedTask, api::Status>>* failed,
@@ -520,13 +545,15 @@ bool Service::pop_runnable(
       const std::int64_t wait_us = us_between(task.enqueued_at, now);
       queue_wait_us_.record_us(wait_us);
       kind_wait.record_us(wait_us);
+      obs::record_span("serve.queue_wait", "serve", task.trace_id,
+                       task.enqueued_at, now);
       *out = std::move(task);
       return true;
     }
     if (cancelled)
-      counters_.cancelled_requests.fetch_add(1, std::memory_order_relaxed);
+      counters_.cancelled_requests.inc();
     else
-      counters_.deadline_expired.fetch_add(1, std::memory_order_relaxed);
+      counters_.deadline_expired.inc();
     failed->emplace_back(std::move(task),
                          cancelled ? cancelled_status() : expired_status());
   }
@@ -601,18 +628,20 @@ void Service::worker_loop(std::size_t worker_index) {
           service_cfg_.exclusive_slice_ms > 0 &&
           (task.make_steppable != nullptr || task.steppable != nullptr);
       lock.unlock();
+      // Nested spans (search.* / train.* from the steppers) inherit the
+      // request's id through the thread-local.
+      HG_TRACE_ID(task.trace_id);
       const auto started = std::chrono::steady_clock::now();
       bool finished = true;
       if (!sliced) {
         task.run(engine);
       } else {
-        counters_.exclusive_slices.fetch_add(1, std::memory_order_relaxed);
+        counters_.exclusive_slices.inc();
         if (task.steppable == nullptr) {
           task.steppable = task.make_steppable(engine);
           task.make_steppable = nullptr;
         } else {
-          counters_.exclusive_resumes.fetch_add(1,
-                                                std::memory_order_relaxed);
+          counters_.exclusive_resumes.inc();
         }
         const auto slice =
             std::chrono::milliseconds(service_cfg_.exclusive_slice_ms);
@@ -621,16 +650,14 @@ void Service::worker_loop(std::size_t worker_index) {
           // Between steps the task is at a clean boundary: honor a cancel
           // or an expired deadline now instead of at the end of the run.
           if (is_cancelled(task.cancel)) {
-            counters_.cancelled_requests.fetch_add(
-                1, std::memory_order_relaxed);
+            counters_.cancelled_requests.inc();
             task.steppable->abort(api::Status::Cancelled(
                 "request cancelled mid-run (between steps)"));
             finished = true;
             break;
           }
           if (std::chrono::steady_clock::now() > task.deadline) {
-            counters_.deadline_expired.fetch_add(1,
-                                                 std::memory_order_relaxed);
+            counters_.deadline_expired.inc();
             task.steppable->abort(api::Status::DeadlineExceeded(
                 "deadline expired mid-run (between steps)"));
             finished = true;
@@ -651,6 +678,8 @@ void Service::worker_loop(std::size_t worker_index) {
       const std::int64_t run_us = us_between(started, ended);
       service_time_us_.record_us(run_us);
       exclusive_service_time_us_.record_us(run_us);
+      obs::record_span(sliced ? "serve.slice" : "serve.exclusive", "serve",
+                       task.trace_id, started, ended);
       lock.lock();
       exclusive_claimed_ = false;
       if (!finished) {
@@ -660,8 +689,7 @@ void Service::worker_loop(std::size_t worker_index) {
         // results for any slice value. The wait clock restarts (each
         // dispatch waited separately).
         task.enqueued_at = ended;
-        counters_.exclusive_preemptions.fetch_add(1,
-                                                  std::memory_order_relaxed);
+        counters_.exclusive_preemptions.inc();
         exclusive_queue_.push_front(std::move(task));
       }
       // Releasing the claim re-opens dispatch for everyone (any queue, any
@@ -729,24 +757,23 @@ void Service::worker_loop(std::size_t worker_index) {
           PredictTask t = std::move(predict_queue_.front());
           predict_queue_.pop_front();
           if (is_cancelled(t.opts.cancel)) {
-            counters_.cancelled_requests.fetch_add(
-                1, std::memory_order_relaxed);
+            counters_.cancelled_requests.inc();
             refused.emplace_back(std::move(t), cancelled_status());
           } else if (now > t.opts.deadline) {
-            counters_.deadline_expired.fetch_add(1,
-                                                 std::memory_order_relaxed);
+            counters_.deadline_expired.inc();
             refused.emplace_back(std::move(t), expired_status());
           } else {
             const std::int64_t wait_us = us_between(t.enqueued_at, now);
             queue_wait_us_.record_us(wait_us);
             pure_queue_wait_us_.record_us(wait_us);
+            obs::record_span("serve.queue_wait", "serve", t.opts.trace_id,
+                             t.enqueued_at, now);
             batch.push_back(std::move(t));
           }
         }
         if (!batch.empty()) {
-          counters_.predict_batches.fetch_add(1, std::memory_order_relaxed);
-          atomic_max(counters_.max_predict_batch,
-                     static_cast<std::int64_t>(batch.size()));
+          counters_.predict_batches.inc();
+          counters_.max_predict_batch.max_of(static_cast<std::int64_t>(batch.size()));
           ++pure_active_;
         }
         lock.unlock();
@@ -776,10 +803,14 @@ void Service::worker_loop(std::size_t worker_index) {
               if (t.opts.notify) t.opts.notify();
             }
           }
-          const std::int64_t run_us =
-              us_between(started, std::chrono::steady_clock::now());
+          const auto ended = std::chrono::steady_clock::now();
+          const std::int64_t run_us = us_between(started, ended);
           service_time_us_.record_us(run_us);
           pure_service_time_us_.record_us(run_us);
+          // One packed forward serves the whole batch; the span carries
+          // the oldest element's attribution.
+          obs::record_span("serve.predict_batch", "serve",
+                           batch.front().opts.trace_id, started, ended);
         }
         lock.lock();
         if (!batch.empty()) {
@@ -806,12 +837,15 @@ void Service::worker_loop(std::size_t worker_index) {
       lock.unlock();
       for (auto& [t, status] : failed) t.fail(status);
       if (got) {
+        HG_TRACE_ID(task.trace_id);
         const auto started = std::chrono::steady_clock::now();
         task.run(engine);
-        const std::int64_t run_us =
-            us_between(started, std::chrono::steady_clock::now());
+        const auto ended = std::chrono::steady_clock::now();
+        const std::int64_t run_us = us_between(started, ended);
         service_time_us_.record_us(run_us);
         pure_service_time_us_.record_us(run_us);
+        obs::record_span("serve.pure", "serve", task.trace_id, started,
+                         ended);
       }
       lock.lock();
       if (got) {

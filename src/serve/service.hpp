@@ -46,7 +46,6 @@
 // shutdown, submit() resolves immediately to FAILED_PRECONDITION.
 #pragma once
 
-#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -55,6 +54,7 @@
 #include <functional>
 #include <future>
 #include <memory>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -63,6 +63,8 @@
 #include "api/eval_context.hpp"
 #include "api/status.hpp"
 #include "core/annotations.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/request.hpp"
 
 namespace hg::serve {
@@ -87,6 +89,13 @@ struct ServiceConfig {
   /// is free to take it (always true with num_workers == 1), the window
   /// fires early instead of sleeping on top of runnable work.
   std::int64_t predict_window_us = 0;
+  /// Non-empty: enable request-scoped tracing (obs::TraceCollector) for
+  /// this service's lifetime and write the collected spans as Chrome
+  /// trace_event JSON to this path at shutdown. The collector is
+  /// process-global; the first service configured with a path owns the
+  /// start/export. Empty (the default) = tracing off — every trace site
+  /// is one relaxed atomic load.
+  std::string trace_path{};
   /// Exclusive-task time slice (milliseconds). 0 = run-to-completion (the
   /// historical scheduler, bit-exactly). > 0: search / train_baseline run
   /// stepwise (one generation / one epoch per step); once a slice expires
@@ -101,7 +110,10 @@ struct ServiceConfig {
 };
 
 /// Cumulative counters (monotone except queue_depth; snapshot via
-/// Service::stats()).
+/// Service::stats()). This struct is a THIN VIEW over the service's
+/// obs::Registry instruments — stats() reads the registered counters and
+/// histograms, so this local struct and the wire's kStats snapshot
+/// (Service::metrics_snapshot) can never drift.
 struct ServiceStats {
   std::int64_t requests = 0;            // everything submitted
   std::int64_t exclusive_requests = 0;  // ran on the exclusive FIFO path
@@ -116,8 +128,8 @@ struct ServiceStats {
   std::int64_t sheds_with_hint = 0;     // refusals sent with retry_after_us
   std::int64_t drain_started = 0;       // drain() transitions (0 or 1)
   // Latency distribution snapshots (microseconds; each value is the upper
-  // bound of the log2 bucket holding the quantile, so it is exact to
-  // within 2x — see LatencyHistogram). queue_wait covers admission ->
+  // bound of the log-linear bucket holding the quantile, so it is exact to
+  // within ~25% — see obs::Histogram). queue_wait covers admission ->
   // dispatch for every queued request; service_time covers the execution
   // of one unit of work (one task, or one packed predict forward).
   std::int64_t queue_wait_p50_us = 0;
@@ -143,43 +155,10 @@ struct ServiceStats {
   std::int64_t exclusive_service_time_p99_us = 0;
 };
 
-/// Lock-free latency histogram: log2-microsecond buckets bumped with
-/// relaxed atomics, so the serve hot paths record timings without taking
-/// the queue lock (or any other). Quantile reads are approximate by
-/// construction — the bucket boundary, exact to within 2x — which is all
-/// a p50/p99 health readout needs.
-class LatencyHistogram {
- public:
-  void record_us(std::int64_t us) {
-    std::size_t b = 0;
-    for (std::uint64_t v = us > 0 ? static_cast<std::uint64_t>(us) : 0;
-         v != 0 && b + 1 < kBuckets; v >>= 1)
-      ++b;
-    buckets_[b].fetch_add(1, std::memory_order_relaxed);
-  }
-
-  /// Upper bound (us) of the bucket holding quantile `p` in [0, 1];
-  /// 0 when nothing has been recorded yet.
-  std::int64_t percentile_us(double p) const {
-    std::array<std::int64_t, kBuckets> counts;
-    std::int64_t total = 0;
-    for (std::size_t b = 0; b < kBuckets; ++b)
-      total += counts[b] = buckets_[b].load(std::memory_order_relaxed);
-    if (total == 0) return 0;
-    const double target = p * static_cast<double>(total);
-    std::int64_t seen = 0;
-    for (std::size_t b = 0; b < kBuckets; ++b) {
-      seen += counts[b];
-      if (static_cast<double>(seen) >= target)
-        return b == 0 ? 0 : (std::int64_t{1} << b) - 1;
-    }
-    return (std::int64_t{1} << (kBuckets - 1)) - 1;
-  }
-
- private:
-  static constexpr std::size_t kBuckets = 40;
-  std::array<std::atomic<std::int64_t>, kBuckets> buckets_{};
-};
+/// The serve-layer latency histogram is the obs one: lock-free log-linear
+/// microsecond buckets (4 sub-buckets per octave; quantiles exact to
+/// within ~25% — see obs::Histogram for the layout).
+using LatencyHistogram = obs::Histogram;
 
 /// One preemptible unit of exclusive work, advanced a step at a time (one
 /// search generation / one training epoch) between slice-expiry checks.
@@ -251,6 +230,19 @@ class Service {
   void record_shed_hint();
 
   ServiceStats stats() const;
+
+  /// This service's instrument registry. The net front end registers its
+  /// "net.*" counters here so one snapshot tells the whole story; each
+  /// Service owns its own registry (two services in one process must not
+  /// merge their queues' counters).
+  obs::Registry& registry() { return *registry_; }
+
+  /// The full flattened metrics snapshot — every registered instrument
+  /// (serve.*, plus whatever the owner registered) and the live
+  /// "serve.queue_depth". This is what the wire's kStats frame answers
+  /// and what obs::render_snapshot pretty-prints.
+  obs::Snapshot metrics_snapshot() const;
+
   const std::shared_ptr<api::EvalContext>& context() const { return ctx_; }
   const api::EngineConfig& config() const { return base_cfg_; }
 
@@ -276,6 +268,10 @@ class Service {
     std::chrono::steady_clock::time_point deadline;
     std::shared_ptr<std::atomic<bool>> cancel;
     std::chrono::steady_clock::time_point enqueued_at;  // queue-wait histo
+    /// Trace attribution: the submitter's RequestOptions::trace_id (the
+    /// wire request id for remote work), or a fresh local id when tracing
+    /// is enabled; 0 = unattributed.
+    std::uint64_t trace_id = 0;
   };
 
   /// How enqueue() disposed of a submission.
@@ -338,25 +334,32 @@ class Service {
   bool coalesce_predictions_ = false;  // evaluator "predictor"
   bool measured_evaluator_ = false;    // evaluator "measured" (stateful)
 
-  /// Monotone stat counters, all bumped with relaxed atomics: submissions,
-  /// completions and the net layer's ping/shed recording never touch the
-  /// queue lock. queue_depth is the one ServiceStats field not here — it
-  /// is derived from the queue sizes under queue_mutex_ in stats().
+  /// The per-service instrument registry, plus handles resolved once here
+  /// (registry references are stable for its lifetime — obs::Registry).
+  /// Every bump is one relaxed atomic: submissions, completions and the
+  /// net layer's ping/shed recording never touch the queue lock.
+  /// queue_depth is the one ServiceStats field without an instrument — it
+  /// is derived from the queue sizes under queue_mutex_ at snapshot time.
+  /// Declaration order matters: registry_ first, handles after.
+  std::shared_ptr<obs::Registry> registry_ =
+      std::make_shared<obs::Registry>();
   struct Counters {
-    std::atomic<std::int64_t> requests{0};
-    std::atomic<std::int64_t> exclusive_requests{0};
-    std::atomic<std::int64_t> predict_requests{0};
-    std::atomic<std::int64_t> predict_batches{0};
-    std::atomic<std::int64_t> max_predict_batch{0};
-    std::atomic<std::int64_t> rejected_requests{0};
-    std::atomic<std::int64_t> deadline_expired{0};
-    std::atomic<std::int64_t> cancelled_requests{0};
-    std::atomic<std::int64_t> pings{0};
-    std::atomic<std::int64_t> sheds_with_hint{0};
-    std::atomic<std::int64_t> drain_started{0};
-    std::atomic<std::int64_t> exclusive_slices{0};
-    std::atomic<std::int64_t> exclusive_preemptions{0};
-    std::atomic<std::int64_t> exclusive_resumes{0};
+    obs::Registry& r;
+    obs::Counter& requests = r.counter("serve.requests");
+    obs::Counter& exclusive_requests = r.counter("serve.exclusive_requests");
+    obs::Counter& predict_requests = r.counter("serve.predict_requests");
+    obs::Counter& predict_batches = r.counter("serve.predict_batches");
+    obs::Gauge& max_predict_batch = r.gauge("serve.max_predict_batch");
+    obs::Counter& rejected_requests = r.counter("serve.rejected_requests");
+    obs::Counter& deadline_expired = r.counter("serve.deadline_expired");
+    obs::Counter& cancelled_requests = r.counter("serve.cancelled_requests");
+    obs::Counter& pings = r.counter("serve.pings");
+    obs::Counter& sheds_with_hint = r.counter("serve.sheds_with_hint");
+    obs::Counter& drain_started = r.counter("serve.drain_started");
+    obs::Counter& exclusive_slices = r.counter("serve.exclusive_slices");
+    obs::Counter& exclusive_preemptions =
+        r.counter("serve.exclusive_preemptions");
+    obs::Counter& exclusive_resumes = r.counter("serve.exclusive_resumes");
   };
 
   core::Mutex shutdown_mutex_;  // serializes shutdown() callers only
@@ -391,15 +394,26 @@ class Service {
   bool predict_window_waiter_ HG_GUARDED_BY(queue_mutex_) = false;
   bool stopping_ HG_GUARDED_BY(queue_mutex_) = false;
   bool draining_ HG_GUARDED_BY(queue_mutex_) = false;
-  Counters counters_;                // lock-free
-  LatencyHistogram queue_wait_us_;   // admission -> dispatch, lock-free
-  LatencyHistogram service_time_us_;  // one unit of work, lock-free
-  // The same two distributions split by request kind (pure vs exclusive);
-  // every sample above also lands in exactly one of these.
-  LatencyHistogram pure_queue_wait_us_;
-  LatencyHistogram exclusive_queue_wait_us_;
-  LatencyHistogram pure_service_time_us_;
-  LatencyHistogram exclusive_service_time_us_;
+  Counters counters_{*registry_};  // lock-free bumps
+  // Histogram handles (same registry; all lock-free record_us):
+  // admission -> dispatch, one unit of work, and the same two
+  // distributions split by request kind (pure vs exclusive) — every
+  // sample in the first pair also lands in exactly one of the others.
+  LatencyHistogram& queue_wait_us_ =
+      registry_->histogram("serve.queue_wait_us");
+  LatencyHistogram& service_time_us_ =
+      registry_->histogram("serve.service_time_us");
+  LatencyHistogram& pure_queue_wait_us_ =
+      registry_->histogram("serve.pure_queue_wait_us");
+  LatencyHistogram& exclusive_queue_wait_us_ =
+      registry_->histogram("serve.exclusive_queue_wait_us");
+  LatencyHistogram& pure_service_time_us_ =
+      registry_->histogram("serve.pure_service_time_us");
+  LatencyHistogram& exclusive_service_time_us_ =
+      registry_->histogram("serve.exclusive_service_time_us");
+  // This service started the global trace collector (trace_path set):
+  // shutdown() exports and stops it.
+  bool trace_owner_ = false;
 
   // Written single-threaded in create() before the workers exist, then
   // only read (worker i owns engines_[i]); workers_ is joined under

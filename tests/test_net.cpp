@@ -33,6 +33,7 @@
 #include "net/client.hpp"
 #include "net/protocol.hpp"
 #include "net/server.hpp"
+#include "obs/trace.hpp"
 #include "tensor/rng.hpp"
 
 namespace hg::net {
@@ -330,6 +331,51 @@ TEST(NetProtocolFuzz, BitFlippedPayloadsNeverCrash) {
   }
 }
 
+TEST(NetProtocol, StatsSnapshotRoundTrip) {
+  obs::Snapshot snap;
+  snap["net.frames_received"] = 12;
+  snap["serve.requests"] = 3;
+  snap["serve.queue_wait_us.p99_us"] = 114687;
+  snap["weird name \"with\" quotes\n"] = -1;  // names are opaque strings
+  Writer w;
+  encode_stats_snapshot(snap, &w);
+  Reader r(w.bytes());
+  obs::Snapshot out;
+  ASSERT_TRUE(decode_stats_snapshot(&r, &out));
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(out, snap);
+}
+
+TEST(NetProtocolFuzz, CorruptStatsPayloadsNeverCrash) {
+  obs::Snapshot snap;
+  snap["serve.requests"] = 41;
+  snap["net.replies_sent"] = 40;
+  snap["serve.service_time_us.p50_us"] = 255;
+  Writer w;
+  encode_stats_snapshot(snap, &w);
+  const std::string payload = w.bytes();
+
+  expect_all_truncations_fail(payload, [](Reader* r) {
+    obs::Snapshot out;
+    return decode_stats_snapshot(r, &out);
+  });
+
+  // Bit flips: a corrupt count / length either fails cleanly or decodes
+  // to some map — never over-reads (ASAN) or over-allocates (the decoder
+  // bounds count against the max payload).
+  Rng rng(fuzz_seed(2024));
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string flipped = payload;
+    const std::size_t byte = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(payload.size()) - 1));
+    const int bit = static_cast<int>(rng.uniform_int(0, 7));
+    flipped[byte] = static_cast<char>(flipped[byte] ^ (1 << bit));
+    Reader r(flipped);
+    obs::Snapshot out;
+    (void)decode_stats_snapshot(&r, &out);
+  }
+}
+
 // ---- remote vs local -------------------------------------------------------
 
 TEST(NetServer, RemoteAnswersBitIdenticalToInProcess) {
@@ -438,6 +484,100 @@ TEST(NetServer, RemoteAnswersBitIdenticalToInProcess) {
     EXPECT_EQ(bad.status().code(),
               engine.value().profile_baseline("nope").status().code());
   }
+}
+
+TEST(NetServer, RemoteStatsMatchLocalCounters) {
+  const api::EngineConfig cfg = tiny_cfg();
+  const std::vector<api::Arch> archs = sample_archs(cfg, 4);
+
+  ServerConfig server_cfg;
+  server_cfg.service.num_workers = 2;
+  auto server = Server::create(cfg, server_cfg);
+  ASSERT_TRUE(server.ok()) << server.status().to_string();
+  auto client = Client::connect("127.0.0.1", server.value()->port());
+  ASSERT_TRUE(client.ok()) << client.status().to_string();
+  Client& remote = client.value();
+
+  ASSERT_TRUE(remote.ping().ok());
+  for (const api::Arch& a : archs)
+    ASSERT_TRUE(remote.predict_latency(a).ok());
+
+  api::Result<obs::Snapshot> scraped = remote.stats();
+  ASSERT_TRUE(scraped.ok()) << scraped.status().to_string();
+  const obs::Snapshot& snap = scraped.value();
+
+  // One registry, two views: the wire snapshot must agree with the local
+  // structs field for field (requests are quiesced — every verb above
+  // completed before the scrape).
+  const serve::ServiceStats local = server.value()->service()->stats();
+  EXPECT_EQ(snap.at("serve.requests"), local.requests);
+  EXPECT_EQ(snap.at("serve.predict_requests"), local.predict_requests);
+  EXPECT_EQ(snap.at("serve.predict_batches"), local.predict_batches);
+  EXPECT_EQ(snap.at("serve.pings"), local.pings);
+  EXPECT_EQ(snap.at("serve.queue_depth"), 0);
+  EXPECT_EQ(snap.at("serve.service_time_us.p99_us"),
+            local.service_time_p99_us);
+  EXPECT_GT(snap.at("serve.service_time_us.count"), 0);
+
+  // net.* counters live in the same registry. The snapshot was taken
+  // after the kStats frame arrived but before its reply went out.
+  const NetStats net = server.value()->net_stats();
+  EXPECT_EQ(snap.at("net.connections_opened"), net.connections_opened);
+  EXPECT_EQ(snap.at("net.frames_received"), net.frames_received);
+  EXPECT_EQ(snap.at("net.replies_sent"), net.replies_sent - 1);
+  EXPECT_EQ(snap.at("net.frames_rejected"), 0);
+
+  // A second scrape counts the first one's reply.
+  api::Result<obs::Snapshot> again = remote.stats();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().at("net.replies_sent"), net.replies_sent);
+}
+
+TEST(NetServer, WireRequestIdBecomesServerTraceId) {
+  // The frame header's request id is the trace id of every server-side
+  // span for that request: socket receipt ("net.request"), queue wait and
+  // execution ("serve.*") are all attributable to the originating call.
+  obs::TraceCollector::global().stop();
+  obs::TraceCollector::global().start();
+
+  const api::EngineConfig cfg = tiny_cfg();
+  const std::vector<api::Arch> archs = sample_archs(cfg, 1);
+  ServerConfig server_cfg;
+  server_cfg.service.num_workers = 1;
+  auto server = Server::create(cfg, server_cfg);
+  ASSERT_TRUE(server.ok()) << server.status().to_string();
+  auto client = Client::connect("127.0.0.1", server.value()->port());
+  ASSERT_TRUE(client.ok()) << client.status().to_string();
+
+  api::Result<std::uint64_t> id =
+      client.value().send_predict_latency(archs[0]);
+  ASSERT_TRUE(id.ok()) << id.status().to_string();
+  ASSERT_TRUE(client.value().wait_predict_latency(id.value()).ok());
+
+  // Spans are recorded after the worker fulfills the promise (the span
+  // covers the full execution, so recording necessarily trails the
+  // reply), so the client can get here a beat before the execution span
+  // lands in the collector — poll briefly instead of reading once.
+  bool saw_net = false, saw_queue_wait = false, saw_exec = false;
+  const auto poll_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  do {
+    for (const obs::TraceEvent& ev :
+         obs::TraceCollector::global().events()) {
+      if (ev.trace_id != id.value()) continue;
+      if (ev.name == "net.request") saw_net = true;
+      if (ev.name == "serve.queue_wait") saw_queue_wait = true;
+      if (ev.name == "serve.pure" || ev.name == "serve.predict_batch")
+        saw_exec = true;
+    }
+    if (saw_net && saw_queue_wait && saw_exec) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  } while (std::chrono::steady_clock::now() < poll_deadline);
+  obs::TraceCollector::global().stop();
+  EXPECT_TRUE(saw_net) << "no net.request span under the wire request id";
+  EXPECT_TRUE(saw_queue_wait)
+      << "no serve.queue_wait span under the wire request id";
+  EXPECT_TRUE(saw_exec) << "no execution span under the wire request id";
 }
 
 // ---- queue-time semantics --------------------------------------------------

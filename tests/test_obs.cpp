@@ -1,0 +1,286 @@
+// hg::obs — the observability layer: registry instruments under
+// concurrency (the TSan CI job runs this binary), the log-linear
+// histogram's bucket math as properties, snapshot/render shape, and the
+// trace collector's ring, ids and Chrome JSON export.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace hg::obs {
+namespace {
+
+// ---- registry ---------------------------------------------------------
+
+TEST(ObsRegistry, SameNameReturnsSameInstrument) {
+  Registry r;
+  Counter& a = r.counter("x.hits");
+  Counter& b = r.counter("x.hits");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(b.value(), 1);
+  // Distinct kinds with the same name are distinct instruments.
+  Gauge& g = r.gauge("x.hits");
+  g.set(42);
+  EXPECT_EQ(a.value(), 1);
+}
+
+TEST(ObsRegistry, ConcurrentRecordingAndSnapshots) {
+  // The TSan job's main course: writers hammer shared instruments —
+  // including first-registration races on fresh names — while a reader
+  // snapshots. Counts must come out exact (relaxed atomics lose nothing).
+  Registry r;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&r, t] {
+      for (int i = 0; i < kIters; ++i) {
+        r.counter("stress.shared").inc();
+        r.gauge("stress.high_water").max_of(t * kIters + i);
+        r.histogram("stress.lat_us").record_us(i);
+        r.counter("stress.per_thread." + std::to_string(t)).inc();
+      }
+    });
+  }
+  std::thread reader([&r] {
+    for (int i = 0; i < 50; ++i) {
+      const Snapshot snap = r.snapshot();
+      // Never negative, never past the final total.
+      auto it = snap.find("stress.shared");
+      if (it != snap.end()) {
+        EXPECT_GE(it->second, 0);
+        EXPECT_LE(it->second, std::int64_t{kThreads} * kIters);
+      }
+      std::this_thread::yield();
+    }
+  });
+  for (auto& w : workers) w.join();
+  reader.join();
+
+  const Snapshot snap = r.snapshot();
+  EXPECT_EQ(snap.at("stress.shared"), std::int64_t{kThreads} * kIters);
+  EXPECT_EQ(snap.at("stress.high_water"), std::int64_t{kThreads} * kIters - 1);
+  EXPECT_EQ(snap.at("stress.lat_us.count"), std::int64_t{kThreads} * kIters);
+  for (int t = 0; t < kThreads; ++t)
+    EXPECT_EQ(snap.at("stress.per_thread." + std::to_string(t)), kIters);
+}
+
+TEST(ObsRegistry, SnapshotExpandsHistograms) {
+  Registry r;
+  r.counter("a.count").inc(3);
+  r.gauge("a.depth").set(7);
+  r.histogram("a.wait_us").record_us(1000);
+  const Snapshot snap = r.snapshot();
+  EXPECT_EQ(snap.at("a.count"), 3);
+  EXPECT_EQ(snap.at("a.depth"), 7);
+  EXPECT_EQ(snap.at("a.wait_us.count"), 1);
+  EXPECT_EQ(snap.at("a.wait_us.p50_us"), 1023);
+  EXPECT_EQ(snap.at("a.wait_us.p99_us"), 1023);
+}
+
+TEST(ObsRegistry, RenderSnapshotGroupsByPrefix) {
+  Registry r;
+  r.counter("net.frames").inc(5);
+  r.counter("serve.requests").inc(2);
+  const std::string text = render_snapshot(r.snapshot());
+  EXPECT_NE(text.find("net.frames"), std::string::npos);
+  EXPECT_NE(text.find("serve.requests"), std::string::npos);
+  // Prefix change inserts a blank line between the groups.
+  EXPECT_NE(text.find("\n\n"), std::string::npos);
+  EXPECT_LT(text.find("net.frames"), text.find("serve.requests"));
+}
+
+// ---- log-linear histogram ---------------------------------------------
+
+TEST(ObsHistogram, BucketUpperIsTightUpperBound) {
+  // Property over a dense small range and a geometric large range: the
+  // bucket's upper bound contains the value and overestimates by < 25%.
+  const auto check = [](std::int64_t v) {
+    const std::size_t b = Histogram::bucket_index(v);
+    const std::int64_t upper = Histogram::bucket_upper(b);
+    ASSERT_GE(upper, v) << "value " << v;
+    if (v >= 4) {
+      ASSERT_LT(static_cast<double>(upper), 1.25 * static_cast<double>(v))
+          << "value " << v;
+    }
+  };
+  for (std::int64_t v = 0; v <= 5000; ++v) check(v);
+  for (std::int64_t v = 5000; v < (std::int64_t{1} << 40); v = v * 7 / 4)
+    check(v);
+}
+
+TEST(ObsHistogram, BucketIndexIsMonotone) {
+  std::size_t prev = 0;
+  for (std::int64_t v = 0; v <= 100000; ++v) {
+    const std::size_t b = Histogram::bucket_index(v);
+    ASSERT_GE(b, prev) << "value " << v;
+    prev = b;
+  }
+}
+
+TEST(ObsHistogram, BucketUppersStrictlyIncrease) {
+  constexpr std::size_t kBuckets = 4 + 38 * 4;
+  for (std::size_t b = 1; b < kBuckets; ++b)
+    ASSERT_GT(Histogram::bucket_upper(b), Histogram::bucket_upper(b - 1))
+        << "bucket " << b;
+}
+
+TEST(ObsHistogram, HugeValuesClampToLastBucket) {
+  Histogram h;
+  h.record_us(std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_GT(h.percentile_us(0.5), 0);
+}
+
+// ---- trace collector --------------------------------------------------
+
+/// Stops the global collector even when an assertion fails mid-test, so a
+/// failure cannot leak "tracing on" into the next test.
+struct TraceGuard {
+  ~TraceGuard() { TraceCollector::global().stop(); }
+};
+
+TEST(ObsTrace, DisabledRecordsNothing) {
+  TraceGuard guard;
+  TraceCollector& tc = TraceCollector::global();
+  tc.stop();
+  EXPECT_FALSE(tracing_enabled());
+  { HG_TRACE_SCOPE("noop.span", "test"); }
+  record_span("noop.manual", "test", 1, std::chrono::steady_clock::now(),
+              std::chrono::steady_clock::now());
+  EXPECT_TRUE(tc.events().empty());
+}
+
+TEST(ObsTrace, SpansCarryTheScopedTraceId) {
+  TraceGuard guard;
+  TraceCollector& tc = TraceCollector::global();
+  tc.stop();
+  tc.start();
+  {
+    HG_TRACE_ID(4242);
+    HG_TRACE_SCOPE("unit.work", "test");
+  }
+  const std::vector<TraceEvent> events = tc.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "unit.work");
+  EXPECT_STREQ(events[0].cat, "test");
+  EXPECT_EQ(events[0].trace_id, 4242u);
+  EXPECT_GE(events[0].dur_us, 0);
+}
+
+TEST(ObsTrace, ScopedTraceIdNests) {
+  HG_TRACE_ID(1);
+  EXPECT_EQ(current_trace_id(), 1u);
+  {
+    HG_TRACE_ID(2);
+    EXPECT_EQ(current_trace_id(), 2u);
+  }
+  EXPECT_EQ(current_trace_id(), 1u);
+}
+
+TEST(ObsTrace, LocalIdsHaveTheTopBitSet) {
+  // Wire request ids and process-local ids must never collide: local ids
+  // all carry bit 63, which the client's id counter never reaches.
+  const std::uint64_t a = next_local_trace_id();
+  const std::uint64_t b = next_local_trace_id();
+  EXPECT_NE(a, b);
+  EXPECT_NE(a & (std::uint64_t{1} << 63), 0u);
+  EXPECT_NE(b & (std::uint64_t{1} << 63), 0u);
+}
+
+TEST(ObsTrace, RingKeepsNewestAndCountsDropped) {
+  TraceGuard guard;
+  TraceCollector& tc = TraceCollector::global();
+  tc.stop();
+  tc.start(/*capacity=*/4);
+  for (int i = 0; i < 7; ++i) {
+    TraceEvent ev;
+    ev.name = "ev" + std::to_string(i);
+    ev.cat = "test";
+    ev.ts_us = i;
+    tc.record(std::move(ev));
+  }
+  const std::vector<TraceEvent> events = tc.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first unwrap of the newest four.
+  EXPECT_EQ(events.front().name, "ev3");
+  EXPECT_EQ(events.back().name, "ev6");
+}
+
+TEST(ObsTrace, ConcurrentSpansAreAllCollected) {
+  TraceGuard guard;
+  TraceCollector& tc = TraceCollector::global();
+  tc.stop();
+  tc.start();
+  constexpr int kThreads = 4;
+  constexpr int kSpans = 500;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([] {
+      for (int i = 0; i < kSpans; ++i) {
+        HG_TRACE_SCOPE("mt.span", "test");
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(tc.events().size(),
+            static_cast<std::size_t>(kThreads) * kSpans);
+}
+
+TEST(ObsTrace, WriteJsonEmitsChromeTraceEvents) {
+  TraceGuard guard;
+  TraceCollector& tc = TraceCollector::global();
+  tc.stop();
+  tc.start();
+  {
+    HG_TRACE_ID(99);
+    HG_TRACE_SCOPE("json.span", "test");
+  }
+  const std::string path = ::testing::TempDir() + "hg_trace_test.json";
+  ASSERT_TRUE(tc.write_json(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  std::remove(path.c_str());
+  // Chrome trace_event essentials: the envelope, a complete event with
+  // timestamp/duration/pid/tid, and the span's attribution.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"json.span\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":"), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\":99"), std::string::npos);
+}
+
+TEST(ObsTrace, RecordSpanUsesExplicitEndpoints) {
+  TraceGuard guard;
+  TraceCollector& tc = TraceCollector::global();
+  tc.stop();
+  tc.start();
+  const auto start = std::chrono::steady_clock::now();
+  const auto end = start + std::chrono::microseconds(1500);
+  record_span("queue.wait", "test", 7, start, end);
+  const std::vector<TraceEvent> events = tc.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "queue.wait");
+  EXPECT_EQ(events[0].trace_id, 7u);
+  EXPECT_EQ(events[0].dur_us, 1500);
+}
+
+}  // namespace
+}  // namespace hg::obs

@@ -426,8 +426,8 @@ TEST(ServeStats, LatencyHistogramsReportWaitAndServiceTime) {
   for (auto& f : futures) ASSERT_TRUE(f.get().ok());
 
   const ServiceStats stats = service->stats();
-  // Percentiles are log2-bucket upper bounds: monotone in rank, and a
-  // served request always records a service time (>= the 0-bucket).
+  // Percentiles are log-linear-bucket upper bounds: monotone in rank, and
+  // a served request always records a service time (>= the 0-bucket).
   EXPECT_GE(stats.queue_wait_p99_us, stats.queue_wait_p50_us);
   EXPECT_GE(stats.service_time_p99_us, stats.service_time_p50_us);
   EXPECT_GE(stats.service_time_p99_us, 0);
@@ -441,10 +441,10 @@ TEST(ServeStats, HistogramBucketsAreUpperBounds) {
   h.record_us(0);
   EXPECT_EQ(h.percentile_us(0.5), 0);
   LatencyHistogram h2;
-  h2.record_us(1000);  // bucket 9 (512..1023) -> upper bound 1023
+  h2.record_us(1000);  // octave 9, sub-bucket (896..1023) -> 1023
   EXPECT_EQ(h2.percentile_us(0.5), 1023);
-  h2.record_us(100000);  // bucket 16 (65536..131071) -> 131071
-  EXPECT_EQ(h2.percentile_us(0.99), 131071);
+  h2.record_us(100000);  // octave 16, sub-bucket (98304..114687) -> 114687
+  EXPECT_EQ(h2.percentile_us(0.99), 114687);
   EXPECT_EQ(h2.percentile_us(0.25), 1023);
 }
 
@@ -454,18 +454,20 @@ TEST(ServeStats, HistogramEdgeCases) {
   EXPECT_EQ(empty.percentile_us(0.50), 0);
   EXPECT_EQ(empty.percentile_us(0.99), 0);
   // A single sample answers every quantile with its bucket's upper bound.
+  // Octave 2 splits into width-1 sub-buckets, so 5 reads back exactly.
   LatencyHistogram one;
-  one.record_us(5);  // bucket 3 (4..7) -> 7
-  EXPECT_EQ(one.percentile_us(0.50), 7);
-  EXPECT_EQ(one.percentile_us(0.99), 7);
-  // Log2-bucket upper edges: the last value of a bucket reads as itself,
-  // one past it jumps to the next bucket's upper bound.
+  one.record_us(5);
+  EXPECT_EQ(one.percentile_us(0.50), 5);
+  EXPECT_EQ(one.percentile_us(0.99), 5);
+  // Log-linear upper edges: the last value of a sub-bucket reads as
+  // itself, one past it lands in the next octave's first quarter (a
+  // quantile overestimates by < 25%, not the factor of 2 log2 gave).
   LatencyHistogram edge;
   edge.record_us(1023);
   EXPECT_EQ(edge.percentile_us(0.50), 1023);
   LatencyHistogram past;
   past.record_us(1024);
-  EXPECT_EQ(past.percentile_us(0.50), 2047);
+  EXPECT_EQ(past.percentile_us(0.50), 1279);
 }
 
 // ---- generation-sliced preemptible scheduling ------------------------------
